@@ -1,0 +1,55 @@
+// Shared helpers for the table/figure reproduction binaries.
+
+#ifndef TPCP_BENCH_BENCH_UTIL_H_
+#define TPCP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace tpcp {
+namespace bench {
+
+/// Aborts the bench with a message if `s` is not OK.
+inline void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what,
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// Copies every file under `src_prefix` to the same name with `dst_prefix`
+/// substituted. Used to reuse Phase-1 factors across Phase-2 configurations
+/// without re-decomposing.
+inline void CopyPrefix(Env* env, const std::string& src_prefix,
+                       const std::string& dst_prefix) {
+  for (const std::string& name : env->ListFiles(src_prefix)) {
+    std::string bytes;
+    CheckOk(env->ReadFile(name, &bytes), "copy/read");
+    CheckOk(env->WriteFile(dst_prefix + name.substr(src_prefix.size()),
+                           bytes),
+            "copy/write");
+  }
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace tpcp
+
+#endif  // TPCP_BENCH_BENCH_UTIL_H_

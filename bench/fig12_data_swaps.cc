@@ -1,0 +1,103 @@
+// Reproduces Figure 12 (a)-(c): per-virtual-iteration data swaps for every
+// combination of schedule (MC/FO/ZO/HO), replacement policy (LRU/MRU/FOR),
+// partitioning (2^3/4^3/8^3) and buffer size (1/3, 1/2, 2/3 of the total
+// space requirement). As the paper notes, these counts are data-independent
+// — they depend only on the configuration — so the simulation is exact.
+//
+// Also prints the Section VIII-C-1 back-of-envelope: per-iteration data
+// exchange volume for a 100K x 100K x 100K tensor, 8x8x8 blocks, rank 100.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/cost_model.h"
+#include "core/swap_simulator.h"
+#include "util/format.h"
+
+namespace tpcp {
+namespace {
+
+constexpr ScheduleType kSchedules[] = {
+    ScheduleType::kModeCentric, ScheduleType::kFiberOrder,
+    ScheduleType::kZOrder, ScheduleType::kHilbertOrder};
+constexpr PolicyType kPolicies[] = {PolicyType::kLru, PolicyType::kMru,
+                                    PolicyType::kForward};
+
+double Simulate(int64_t parts, double fraction, ScheduleType schedule,
+                PolicyType policy) {
+  SwapSimConfig config;
+  // Swap counts are independent of the tensor size and rank; use a nominal
+  // cubic shape (verified by SwapsIndependentOfRankAndSize in the tests).
+  config.grid = GridPartition::Uniform(Shape({64, 64, 64}), parts);
+  config.rank = 8;
+  config.schedule = schedule;
+  config.policy = policy;
+  config.buffer_fraction = fraction;
+  config.measure_virtual_iterations = 100;
+  return SimulateSwaps(config).swaps_per_virtual_iteration;
+}
+
+void PrintPanel(double fraction, const char* label) {
+  std::printf("\nFigure 12%s: per-(virtual)iteration data swaps, buffer = "
+              "%s of total requirement\n",
+              label, Fixed(fraction, 3).c_str());
+  bench::PrintRule(70);
+  std::printf("%-10s %-6s %10s %10s %10s\n", "Partitions", "Sched", "LRU",
+              "MRU", "FOR");
+  bench::PrintRule(70);
+  for (int64_t parts : {2, 4, 8}) {
+    for (ScheduleType schedule : kSchedules) {
+      std::printf("%lldx%lldx%lld      %-6s", static_cast<long long>(parts),
+                  static_cast<long long>(parts),
+                  static_cast<long long>(parts),
+                  ScheduleTypeName(schedule));
+      for (PolicyType policy : kPolicies) {
+        std::printf(" %10.2f", Simulate(parts, fraction, schedule, policy));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace tpcp
+
+int main() {
+  using namespace tpcp;
+
+  std::printf(
+      "Figure 12: data swaps per virtual iteration "
+      "(exact replay; independent of data, as in the paper)\n");
+  PrintPanel(1.0 / 3.0, "(a)");
+  PrintPanel(1.0 / 2.0, "(b)");
+  PrintPanel(2.0 / 3.0, "(c)");
+
+  std::printf(
+      "Paper reference: MC is worst everywhere (up to ~24 swaps/iter at "
+      "8x8x8, LRU, any buffer);\nHO+FOR reaches ~1.1 swaps/iter at 1/3 "
+      "buffer and ~0.22 at 2/3 buffer for 8x8x8.\n");
+
+  // Section VIII-C-1 estimate: data exchanged per iteration at scale.
+  std::printf("\nSection VIII-C-1: per-iteration exchange volume, "
+              "100Kx100Kx100K tensor, 8x8x8 blocks, rank 100\n");
+  bench::PrintRule(70);
+  GridPartition grid =
+      GridPartition::Uniform(Shape({100000, 100000, 100000}), 8);
+  CostModel model(grid, 100);
+  const double mc_mru =
+      (Simulate(8, 1.0 / 3.0, ScheduleType::kModeCentric, PolicyType::kMru) +
+       Simulate(8, 1.0 / 2.0, ScheduleType::kModeCentric, PolicyType::kMru) +
+       Simulate(8, 2.0 / 3.0, ScheduleType::kModeCentric, PolicyType::kMru)) /
+      3.0;
+  const double ho_for = Simulate(8, 2.0 / 3.0, ScheduleType::kHilbertOrder,
+                                 PolicyType::kForward);
+  std::printf("MC+MRU  (avg %.2f swaps/iter): %s per iteration\n", mc_mru,
+              HumanBytes(model.ExchangeBytesPerIteration(mc_mru)).c_str());
+  std::printf("HO+FOR  (%.2f swaps/iter at 2/3 buffer): %s per iteration\n",
+              ho_for,
+              HumanBytes(model.ExchangeBytesPerIteration(ho_for)).c_str());
+  std::printf("Paper reference: ~6 GB (MC best case, 8.32 swaps) vs ~160 MB "
+              "(HO+FOR, 0.22 swaps).\n");
+  return 0;
+}

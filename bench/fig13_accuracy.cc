@@ -1,0 +1,126 @@
+// Reproduces Figure 13 (a)-(b): relative accuracy difference of the
+// block-centric schedules (FO/ZO/HO) vs conventional mode-centric (MC)
+// scheduling on the four evaluation datasets, for 2^3/4^3/8^3 partitions,
+// buffer = 1/3 of the total requirement, after at most 100 (a) and 200 (b)
+// virtual iterations.
+//
+// Substitutions (DESIGN.md #3/#4): shape/density-matched synthetic stand-ins
+// replace the unavailable Epinions/Ciao/Enron/Face downloads; Enron and
+// Face are scaled down and the rank reduced from the paper's 100 to 10 so
+// the figure regenerates in minutes on one core. Positive values mean the
+// block-centric schedule beats mode-centric, as in the paper's charts.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/two_phase_cp.h"
+#include "data/datasets.h"
+#include "tensor/norms.h"
+
+namespace tpcp {
+namespace {
+
+constexpr int64_t kRank = 10;
+
+DenseTensor MakeInput(PaperDataset dataset) {
+  // Scale the big datasets so every configuration runs quickly.
+  const uint64_t seed = 100 + static_cast<uint64_t>(dataset);
+  switch (dataset) {
+    case PaperDataset::kEnron: {
+      // 5632x184x184 -> 704x46x46 (1/8 scale), same density and skew.
+      const Shape shape = ScaledShape(PaperDatasetShape(dataset), 0.125);
+      const int64_t nnz = std::max<int64_t>(
+          64, static_cast<int64_t>(PaperDatasetDensity(dataset) *
+                                   static_cast<double>(shape.NumElements())));
+      return MakePowerLawSparseTensor(shape, nnz, 2.5, seed).ToDense();
+    }
+    case PaperDataset::kFace: {
+      // 480x640x100 -> 120x160x25 (1/4 scale), still fully dense.
+      LowRankSpec spec;
+      spec.shape = ScaledShape(PaperDatasetShape(dataset), 0.25);
+      spec.rank = 20;
+      spec.noise_level = 0.05;
+      spec.seed = seed;
+      return MakeLowRankTensor(spec);
+    }
+    default:
+      return MakeDensePaperDataset(dataset, seed);
+  }
+}
+
+// Final exact accuracy of a 2PCP run under `schedule` after at most
+// `max_vi` virtual iterations.
+double RunAccuracy(const DenseTensor& tensor, int64_t parts,
+                   ScheduleType schedule, int max_vi) {
+  auto env = NewMemEnv();
+  GridPartition grid = GridPartition::Uniform(tensor.shape(), parts);
+  BlockTensorStore input(env.get(), "tensor", grid);
+  bench::CheckOk(input.ImportTensor(tensor), "import");
+  BlockFactorStore factors(env.get(), "factors", grid, kRank);
+
+  TwoPhaseCpOptions options;
+  options.rank = kRank;
+  options.phase1_max_iterations = 10;
+  options.schedule = schedule;
+  options.policy = PolicyType::kForward;
+  options.buffer_fraction = 1.0 / 3.0;
+  options.max_virtual_iterations = max_vi;
+  options.fit_tolerance = 1e-2;  // the paper's stopping condition
+  TwoPhaseCp engine(&input, &factors, options);
+  const KruskalTensor k = bench::CheckOk(engine.Run(), "2PCP run");
+  return Fit(tensor, k);
+}
+
+void PrintPanel(int max_vi, const char* label) {
+  std::printf(
+      "\nFigure 13%s: relative accuracy difference vs MC "
+      "(1/3 buffer, FOR replacement, max %d virtual iterations)\n",
+      label, max_vi);
+  bench::PrintRule(76);
+  std::printf("%-10s %-10s %12s %12s %12s %12s\n", "Dataset", "Partitions",
+              "MC accuracy", "FO (rel %)", "ZO (rel %)", "HO (rel %)");
+  bench::PrintRule(76);
+
+  for (PaperDataset dataset : AllPaperDatasets()) {
+    const DenseTensor tensor = MakeInput(dataset);
+    for (int64_t parts : {2, 4, 8}) {
+      const double mc =
+          RunAccuracy(tensor, parts, ScheduleType::kModeCentric, max_vi);
+      std::printf("%-10s %lldx%lldx%lld     %12.4f", PaperDatasetName(dataset),
+                  static_cast<long long>(parts),
+                  static_cast<long long>(parts),
+                  static_cast<long long>(parts), mc);
+      for (ScheduleType schedule :
+           {ScheduleType::kFiberOrder, ScheduleType::kZOrder,
+            ScheduleType::kHilbertOrder}) {
+        const double acc = RunAccuracy(tensor, parts, schedule, max_vi);
+        const double rel =
+            mc != 0.0 ? 100.0 * (acc - mc) / std::abs(mc) : 0.0;
+        std::printf(" %+11.2f%%", rel);
+      }
+      std::printf("\n");
+    }
+  }
+  bench::PrintRule(76);
+}
+
+}  // namespace
+}  // namespace tpcp
+
+int main() {
+  using namespace tpcp;
+
+  std::printf(
+      "Figure 13: accuracy of block-centric schedules relative to "
+      "mode-centric\n(positive = block-centric wins; datasets are "
+      "shape/density-matched stand-ins, DESIGN.md #3)\n");
+  PrintPanel(100, "(a)");
+  PrintPanel(200, "(b)");
+  std::printf(
+      "\nPaper reference: block-centric (especially HO) matches or exceeds "
+      "MC except a few sparse\ncases (Enron 2x2x2); variability is high on "
+      "sparse data (block densities vary), and the\ndense Face dataset "
+      "shows virtually identical accuracies.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks for the numeric and scheduling kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "cp/cp_als.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "schedule/hilbert.h"
+#include "schedule/zorder.h"
+#include "storage/serializer.h"
+#include "tensor/mttkrp.h"
+#include "util/random.h"
+
+namespace tpcp {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextGaussian();
+  return m;
+}
+
+DenseTensor RandomTensor(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  DenseTensor t(shape);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    t.at_linear(i) = rng.NextGaussian();
+  }
+  return t;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    Gemm(Trans::kNo, a, Trans::kNo, b, 1.0, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GramTallSkinny(benchmark::State& state) {
+  // The ALS hot shape: tall factor matrix, small rank.
+  const Matrix a = RandomMatrix(state.range(0), 16, 3);
+  for (auto _ : state) {
+    Matrix g = Gram(a);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_GramTallSkinny)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const int64_t f = state.range(0);
+  const Matrix base = RandomMatrix(f + 8, f, 4);
+  Matrix s = Gram(base);
+  const Matrix t = RandomMatrix(256, f, 5);
+  for (auto _ : state) {
+    Matrix x;
+    SolveGramSystem(t, s, &x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_MttkrpDense(benchmark::State& state) {
+  const int64_t side = state.range(0);
+  const Shape shape({side, side, side});
+  const DenseTensor t = RandomTensor(shape, 6);
+  std::vector<Matrix> factors;
+  for (int m = 0; m < 3; ++m) factors.push_back(RandomMatrix(side, 16, 7 + m));
+  for (auto _ : state) {
+    Matrix m = Mttkrp(t, factors, 0);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations() * shape.NumElements());
+}
+BENCHMARK(BM_MttkrpDense)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CpAlsIteration(benchmark::State& state) {
+  const int64_t side = state.range(0);
+  const DenseTensor t = RandomTensor(Shape({side, side, side}), 8);
+  CpAlsOptions options;
+  options.rank = 8;
+  options.max_iterations = 1;
+  options.fit_tolerance = -1.0;
+  for (auto _ : state) {
+    KruskalTensor k = CpAls(t, options);
+    benchmark::DoNotOptimize(k.factors().data());
+  }
+}
+BENCHMARK(BM_CpAlsIteration)->Arg(16)->Arg(32);
+
+void BM_ZValue(benchmark::State& state) {
+  std::vector<int64_t> point = {5, 3, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZValue(point, 3));
+  }
+}
+BENCHMARK(BM_ZValue);
+
+void BM_HilbertIndex(benchmark::State& state) {
+  std::vector<int64_t> point = {5, 3, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertIndex(point, 3));
+  }
+}
+BENCHMARK(BM_HilbertIndex);
+
+void BM_SerializeMatrix(benchmark::State& state) {
+  const Matrix m = RandomMatrix(state.range(0), 16, 9);
+  for (auto _ : state) {
+    std::string bytes = SerializeMatrix(m);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 16 * 8);
+}
+BENCHMARK(BM_SerializeMatrix)->Arg(1000)->Arg(10000);
+
+void BM_DeserializeMatrix(benchmark::State& state) {
+  const std::string bytes = SerializeMatrix(RandomMatrix(state.range(0), 16, 10));
+  for (auto _ : state) {
+    auto m = DeserializeMatrix(bytes);
+    benchmark::DoNotOptimize(m->data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 16 * 8);
+}
+BENCHMARK(BM_DeserializeMatrix)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace tpcp
+
+BENCHMARK_MAIN();

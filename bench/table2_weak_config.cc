@@ -1,0 +1,176 @@
+// Reproduces Table II: Naive CP vs 2PCP (LRU vs forward-looking FOR buffer
+// replacement, Z-order schedule) for 2x2x2 and 4x4x4 partitionings of a
+// high-density tensor on the weak (single-machine) configuration.
+//
+// Substitutions (DESIGN.md #4): the paper decomposes a 1000^3 tensor
+// (density 0.49, rank 100) on an 8 GB desktop with a spinning disk, where
+// Naive CP needs >12 hours and a block swap costs ~3x the in-memory work
+// on the block (Section VIII footnote). Here:
+//   - the side is scaled to 120 and the rank to 20, so the table
+//     regenerates in ~2 minutes;
+//   - the disk is modeled by ThrottledEnv (25 MB/s, 5 ms/op), restoring
+//     the swap-vs-compute cost ratio the paper measured;
+//   - Naive CP gets a 45 s wall-clock budget and is reported as exceeding
+//     it, mirroring the paper's ">12 hours" row.
+
+#include <cstdio>
+
+#include "baselines/naive_oocp.h"
+#include "bench/bench_util.h"
+#include "core/two_phase_cp.h"
+#include "data/synthetic.h"
+#include "storage/throttled_env.h"
+#include "util/stopwatch.h"
+
+namespace tpcp {
+namespace {
+
+constexpr int64_t kSide = 120;
+constexpr int64_t kRank = 20;
+constexpr double kNaiveBudgetSeconds = 45.0;
+constexpr double kDiskMbPerSec = 25.0;
+constexpr double kDiskLatencyMs = 5.0;
+
+LowRankSpec MakeSpec() {
+  LowRankSpec spec;
+  spec.shape = Shape({kSide, kSide, kSide});
+  // Generator rank above the decomposition rank plus noise: convergence
+  // takes real work, as with the paper's measured data.
+  spec.rank = 2 * kRank;
+  spec.noise_level = 0.2;
+  spec.density = 0.49;
+  spec.seed = 13;
+  return spec;
+}
+
+struct TableRow {
+  std::string label;
+  double phase1_per_block = 0.0;
+  double phase2_lru = 0.0;
+  double phase2_for = 0.0;
+};
+
+TableRow RunPartitioning(Env* mem, const LowRankSpec& spec, int64_t parts) {
+  TableRow row;
+  row.label = std::to_string(parts) + "x" + std::to_string(parts) + "x" +
+              std::to_string(parts);
+
+  GridPartition grid = GridPartition::Uniform(spec.shape, parts);
+  ThrottledEnv disk(mem, kDiskMbPerSec, kDiskLatencyMs);
+  const std::string tensor_prefix = "tensor" + std::to_string(parts);
+  {
+    // Stage the input without throttling (the paper does not charge data
+    // generation to either system).
+    BlockTensorStore staging(mem, tensor_prefix, grid);
+    bench::CheckOk(GenerateLowRankIntoStore(spec, &staging), "generate");
+  }
+  BlockTensorStore input(&disk, tensor_prefix, grid);
+
+  TwoPhaseCpOptions options;
+  options.rank = kRank;
+  options.phase1_max_iterations = 10;
+  options.schedule = ScheduleType::kZOrder;  // the Table II configuration
+  options.buffer_fraction = 1.0 / 3.0;
+  options.max_virtual_iterations = 40;
+  options.fit_tolerance = 1e-3;
+
+  // Phase 1 once (against the modeled disk); Phase 2 per policy over copies
+  // of the same Phase-1 factors.
+  const std::string master = "factors" + std::to_string(parts) + "_master";
+  BlockFactorStore master_store(&disk, master, grid, kRank);
+  TwoPhaseCp phase1_engine(&input, &master_store, options);
+  bench::CheckOk(phase1_engine.RunPhase1(), "phase 1");
+  row.phase1_per_block = phase1_engine.result().phase1_seconds /
+                         static_cast<double>(grid.NumBlocks());
+
+  for (PolicyType policy : {PolicyType::kLru, PolicyType::kForward}) {
+    const std::string copy =
+        "factors" + std::to_string(parts) + "_" + PolicyTypeName(policy);
+    bench::CopyPrefix(mem, master + "/", copy + "/");  // untimed staging
+    ThrottledEnv phase2_disk(mem, kDiskMbPerSec, kDiskLatencyMs);
+    BlockTensorStore phase2_input(&phase2_disk, tensor_prefix, grid);
+    BlockFactorStore factors(&phase2_disk, copy, grid, kRank);
+    TwoPhaseCpOptions run_options = options;
+    run_options.policy = policy;
+    TwoPhaseCp engine(&phase2_input, &factors, run_options);
+    engine.AssumePhase1Factors();
+    bench::CheckOk(engine.RunPhase2(), "phase 2");
+    const double seconds = engine.result().phase2_seconds;
+    if (policy == PolicyType::kLru) {
+      row.phase2_lru = seconds;
+    } else {
+      row.phase2_for = seconds;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace tpcp
+
+int main() {
+  using namespace tpcp;
+
+  std::printf(
+      "Table II: execution times, weak configuration\n"
+      "(paper: 1000^3 density 0.49 rank 100 on a desktop disk; here: %lld^3 "
+      "density 0.49 rank %lld\n over a modeled %.0f MB/s, %.0f ms/op disk — "
+      "DESIGN.md substitution #4)\n",
+      static_cast<long long>(kSide), static_cast<long long>(kRank),
+      kDiskMbPerSec, kDiskLatencyMs);
+  bench::PrintRule(90);
+  std::printf("%-12s %16s %12s %12s %12s %12s\n", "# Part.",
+              "Phase I BD/block", "PhII LRU", "PhII FOR", "Total LRU",
+              "Total FOR");
+  bench::PrintRule(90);
+
+  const LowRankSpec spec = MakeSpec();
+
+  // Naive CP baseline: unpartitioned out-of-core ALS under a budget,
+  // against the same modeled disk.
+  {
+    auto mem = NewMemEnv();
+    GridPartition grid = GridPartition::Uniform(spec.shape, 2);
+    {
+      BlockTensorStore staging(mem.get(), "tensor", grid);
+      bench::CheckOk(GenerateLowRankIntoStore(spec, &staging), "generate");
+    }
+    ThrottledEnv disk(mem.get(), kDiskMbPerSec, kDiskLatencyMs);
+    BlockTensorStore input(&disk, "tensor", grid);
+    NaiveOocpOptions naive;
+    naive.rank = kRank;
+    naive.max_iterations = 1 << 20;
+    naive.fit_tolerance = 1e-5;
+    naive.max_seconds = kNaiveBudgetSeconds;
+    auto result = bench::CheckOk(NaiveOutOfCoreCp(input, naive), "naive");
+    if (result.timed_out) {
+      std::printf("%-12s %16s %12s %12s %11s %11s\n", "Naive CP", "-", "N/A",
+                  "N/A", (">" + std::to_string(static_cast<int>(
+                                    kNaiveBudgetSeconds)) + "s").c_str(),
+                  (">" + std::to_string(static_cast<int>(
+                             kNaiveBudgetSeconds)) + "s").c_str());
+    } else {
+      std::printf("%-12s %16s %12s %12s %11.1fs %11.1fs\n", "Naive CP", "-",
+                  "N/A", "N/A", result.seconds, result.seconds);
+    }
+  }
+
+  auto mem = NewMemEnv();
+  for (int64_t parts : {2, 4}) {
+    const TableRow row = RunPartitioning(mem.get(), spec, parts);
+    const int64_t blocks = parts * parts * parts;
+    std::printf("%-12s %15.2fs %11.1fs %11.1fs %11.1fs %11.1fs\n",
+                row.label.c_str(), row.phase1_per_block, row.phase2_lru,
+                row.phase2_for,
+                row.phase1_per_block * blocks + row.phase2_lru,
+                row.phase1_per_block * blocks + row.phase2_for);
+  }
+  bench::PrintRule(90);
+  std::printf(
+      "\nPaper reference (minutes): Naive CP >12h; 2x2x2: BD/block 79.1, "
+      "PhII 10.6 (LRU) / 9.6 (FOR);\n4x4x4: BD/block 9.8, PhII 64.3 (LRU) / "
+      "54.5 (FOR) -> FOR ~15%% faster at 4x4x4.\n"
+      "Expected shape: per-block Phase-I cost drops sharply with more "
+      "partitions; FOR < LRU in Phase II.\n");
+  return 0;
+}

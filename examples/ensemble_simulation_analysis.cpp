@@ -1,0 +1,133 @@
+// Ensemble-simulation analysis — the workload class that motivates 2PCP
+// (dense scientific tensors; see the paper's footnote 2: ensemble
+// simulations sample input-parameter domains and record results per
+// configuration).
+//
+//   build/examples/ensemble_simulation_analysis
+//
+// Simulates an epidemic-spread-style ensemble: a dense tensor indexed by
+// <transmission-rate sample, recovery-rate sample, time step> whose cells
+// are infection counts, driven by a small number of latent regimes. CP
+// decomposition recovers those regimes: each rank-1 component couples a
+// transmission profile, a recovery profile and a temporal trend. The
+// tensor is generated straight into a block store and decomposed
+// out-of-core, exactly like an ensemble too large for memory.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/two_phase_cp.h"
+#include "tensor/norms.h"
+#include "util/format.h"
+
+using namespace tpcp;
+
+namespace {
+
+// Three latent epidemic regimes, each a product of smooth profiles over
+// the two parameter axes and a temporal wave.
+double Regime(int which, double beta, double gamma, double t) {
+  switch (which) {
+    case 0:  // fast outbreak, early peak: high beta, low gamma
+      return std::exp(-8.0 * (beta - 0.8) * (beta - 0.8)) *
+             std::exp(-6.0 * gamma * gamma) *
+             std::exp(-12.0 * (t - 0.2) * (t - 0.2));
+    case 1:  // slow burn: mid beta, mid gamma, late wide peak
+      return std::exp(-6.0 * (beta - 0.5) * (beta - 0.5)) *
+             std::exp(-6.0 * (gamma - 0.5) * (gamma - 0.5)) *
+             std::exp(-3.0 * (t - 0.7) * (t - 0.7));
+    default:  // contained: any beta, high gamma, rapid decay
+      return std::exp(-2.0 * (beta - 0.3) * (beta - 0.3)) *
+             std::exp(-8.0 * (gamma - 0.9) * (gamma - 0.9)) *
+             std::exp(-4.0 * t);
+  }
+}
+
+int ArgMaxRow(const Matrix& factor, int64_t column) {
+  int64_t best = 0;
+  for (int64_t r = 1; r < factor.rows(); ++r) {
+    if (std::fabs(factor(r, column)) >
+        std::fabs(factor(best, column))) {
+      best = r;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+}  // namespace
+
+int main() {
+  // Ensemble: 48 transmission samples x 48 recovery samples x 64 steps.
+  const int64_t kBeta = 48, kGamma = 48, kTime = 64;
+  const Shape shape({kBeta, kGamma, kTime});
+  GridPartition grid = GridPartition::Uniform(shape, 4);
+
+  auto env = NewMemEnv();
+  BlockTensorStore store(env.get(), "ensemble", grid);
+  Status gen = store.Generate([&](const Index& idx) {
+    const double beta = static_cast<double>(idx[0]) / (kBeta - 1);
+    const double gamma = static_cast<double>(idx[1]) / (kGamma - 1);
+    const double t = static_cast<double>(idx[2]) / (kTime - 1);
+    return 1000.0 * Regime(0, beta, gamma, t) +
+           600.0 * Regime(1, beta, gamma, t) +
+           300.0 * Regime(2, beta, gamma, t);
+  });
+  if (!gen.ok()) {
+    std::fprintf(stderr, "generate: %s\n", gen.ToString().c_str());
+    return 1;
+  }
+  std::printf("ensemble tensor %s staged as %lld blocks (%s on storage)\n",
+              shape.ToString().c_str(),
+              static_cast<long long>(grid.NumBlocks()),
+              HumanBytes(store.TotalBytes().value()).c_str());
+
+  // Decompose at rank 3 — one component per latent regime.
+  TwoPhaseCpOptions options;
+  options.rank = 3;
+  options.schedule = ScheduleType::kHilbertOrder;
+  options.policy = PolicyType::kForward;
+  options.buffer_fraction = 0.5;
+  options.phase1_max_iterations = 60;
+  BlockFactorStore factors(env.get(), "factors", grid, options.rank);
+  TwoPhaseCp engine(&store, &factors, options);
+  Result<KruskalTensor> k = engine.Run();
+  if (!k.ok()) {
+    std::fprintf(stderr, "decompose: %s\n", k.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("rank-3 decomposition: surrogate fit %.4f after %d virtual "
+              "iterations\n\n",
+              engine.result().surrogate_fit,
+              engine.result().virtual_iterations);
+
+  // Interpret the components: peak positions along each mode, sorted by
+  // component weight.
+  std::vector<int64_t> order(3);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return k->lambda()[static_cast<size_t>(a)] >
+           k->lambda()[static_cast<size_t>(b)];
+  });
+  std::printf("%-10s %10s %18s %18s %14s\n", "component", "weight",
+              "peak transmission", "peak recovery", "peak time");
+  for (int64_t c : order) {
+    const double beta_peak =
+        static_cast<double>(ArgMaxRow(k->factor(0), c)) / (kBeta - 1);
+    const double gamma_peak =
+        static_cast<double>(ArgMaxRow(k->factor(1), c)) / (kGamma - 1);
+    const double t_peak =
+        static_cast<double>(ArgMaxRow(k->factor(2), c)) / (kTime - 1);
+    std::printf("%-10lld %10.1f %18.2f %18.2f %14.2f\n",
+                static_cast<long long>(c),
+                k->lambda()[static_cast<size_t>(c)], beta_peak, gamma_peak,
+                t_peak);
+  }
+  std::printf(
+      "\nexpected regimes: (beta~0.80, gamma~0.00, t~0.20), "
+      "(0.50, 0.50, 0.70), (0.30, 0.90, t->0)\n");
+  return 0;
+}

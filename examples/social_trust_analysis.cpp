@@ -1,0 +1,88 @@
+// Social trust-network analysis over a sparse <user, item, category>
+// tensor — the Epinions/Ciao workload from the paper's evaluation.
+//
+//   build/examples/social_trust_analysis
+//
+// Builds an Epinions-shaped sparse rating tensor, decomposes it with
+// CP-ALS, and reads the factors as soft co-clusters: each component ties a
+// group of users to the items and categories they rate together.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cp/cp_als.h"
+#include "data/datasets.h"
+#include "tensor/norms.h"
+#include "util/format.h"
+
+using namespace tpcp;
+
+namespace {
+
+std::vector<int64_t> TopRows(const Matrix& factor, int64_t column, int k) {
+  std::vector<int64_t> rows(static_cast<size_t>(factor.rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  const size_t keep = std::min<size_t>(static_cast<size_t>(k), rows.size());
+  std::partial_sort(rows.begin(),
+                    rows.begin() + static_cast<int64_t>(keep), rows.end(),
+                    [&](int64_t a, int64_t b) {
+                      return std::fabs(factor(a, column)) >
+                             std::fabs(factor(b, column));
+                    });
+  rows.resize(keep);
+  return rows;
+}
+
+std::string RowList(const std::vector<int64_t>& rows) {
+  std::vector<std::string> parts;
+  parts.reserve(rows.size());
+  for (int64_t r : rows) parts.push_back(std::to_string(r));
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+int main() {
+  // Epinions-shaped stand-in: 170 users x 1000 items x 18 categories at
+  // density 2.4e-4 with power-law activity (see data/datasets.h).
+  const SparseTensor ratings =
+      MakeSparsePaperDataset(PaperDataset::kEpinions, /*seed=*/2024);
+  std::printf("trust tensor %s: %lld ratings (density %.2e)\n",
+              ratings.shape().ToString().c_str(),
+              static_cast<long long>(ratings.nnz()), ratings.density());
+
+  // Rank-4 CP decomposition of the sparse tensor.
+  CpAlsOptions options;
+  options.rank = 4;
+  options.max_iterations = 80;
+  options.fit_tolerance = 1e-6;
+  options.seed = 7;
+  CpAlsReport report;
+  const KruskalTensor k = CpAls(ratings, options, &report);
+  std::printf("rank-%lld CP-ALS: fit %.4f after %d iterations (%s)\n\n",
+              static_cast<long long>(k.rank()), report.final_fit,
+              report.iterations,
+              report.converged ? "converged" : "iteration cap");
+
+  // Each component is a soft (users, items, categories) co-cluster.
+  for (int64_t c = 0; c < k.rank(); ++c) {
+    std::printf("component %lld (weight %.1f)\n", static_cast<long long>(c),
+                k.lambda()[static_cast<size_t>(c)]);
+    std::printf("  top users:      %s\n",
+                RowList(TopRows(k.factor(0), c, 5)).c_str());
+    std::printf("  top items:      %s\n",
+                RowList(TopRows(k.factor(1), c, 5)).c_str());
+    std::printf("  top categories: %s\n",
+                RowList(TopRows(k.factor(2), c, 3)).c_str());
+  }
+
+  // Sparse and dense evaluation agree on the same decomposition.
+  const DenseTensor dense = ratings.ToDense();
+  std::printf("\nfit (sparse eval) = %.6f, fit (dense eval) = %.6f\n",
+              Fit(ratings, k), Fit(dense, k));
+  return 0;
+}

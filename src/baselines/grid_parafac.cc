@@ -1,0 +1,6 @@
+#include "baselines/grid_parafac.h"
+
+// GridParafac is header-only sugar over TwoPhaseCp; this translation unit
+// exists so the target has a concrete object to archive.
+
+namespace tpcp {}  // namespace tpcp

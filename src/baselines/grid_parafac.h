@@ -1,0 +1,37 @@
+// GridPARAFAC-style baseline (Phan & Cichocki [22]): the same two-phase
+// block decomposition but with the conventional mode-centric refinement
+// (Algorithm 1) and a backward-looking buffer policy.
+
+#ifndef TPCP_BASELINES_GRID_PARAFAC_H_
+#define TPCP_BASELINES_GRID_PARAFAC_H_
+
+#include "core/two_phase_cp.h"
+
+namespace tpcp {
+
+/// Convenience wrapper that pins the configuration the paper compares
+/// against: mode-centric scheduling + LRU replacement.
+class GridParafac {
+ public:
+  GridParafac(BlockTensorStore* input, BlockFactorStore* factors,
+              TwoPhaseCpOptions options)
+      : engine_(input, factors, Pin(std::move(options))) {}
+
+  Result<KruskalTensor> Run(ThreadPool* pool = nullptr) {
+    return engine_.Run(pool);
+  }
+  const TwoPhaseCpResult& result() const { return engine_.result(); }
+
+ private:
+  static TwoPhaseCpOptions Pin(TwoPhaseCpOptions options) {
+    options.schedule = ScheduleType::kModeCentric;
+    options.policy = PolicyType::kLru;
+    return options;
+  }
+
+  TwoPhaseCp engine_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_BASELINES_GRID_PARAFAC_H_

@@ -1,0 +1,201 @@
+#include "baselines/haten2_sim.h"
+
+#include <cstring>
+
+#include "cp/cp_als.h"
+#include "linalg/blas.h"
+#include "tensor/norms.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace tpcp {
+namespace {
+
+std::string EncodeDouble(double v) {
+  return std::string(reinterpret_cast<const char*>(&v), sizeof(double));
+}
+
+bool DecodeDouble(const std::string& bytes, double* v) {
+  if (bytes.size() != sizeof(double)) return false;
+  std::memcpy(v, bytes.data(), sizeof(double));
+  return true;
+}
+
+// Key for an intermediate record: the coordinates not yet bound, in mode
+// order, plus the rank column — "i:k:f".
+std::string MakeKey(const std::vector<int64_t>& coords, int64_t f) {
+  std::string key;
+  for (int64_t c : coords) {
+    key += std::to_string(c);
+    key += ':';
+  }
+  key += std::to_string(f);
+  return key;
+}
+
+std::vector<int64_t> ParseKey(const std::string& key) {
+  std::vector<int64_t> out;
+  size_t pos = 0;
+  while (pos < key.size()) {
+    const size_t colon = key.find(':', pos);
+    const size_t end = colon == std::string::npos ? key.size() : colon;
+    out.push_back(std::stoll(key.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Haten2Result RunHaten2Sim(const SparseTensor& tensor, Env* env,
+                          const Haten2Options& options) {
+  Stopwatch watch;
+  Haten2Result result;
+  const Shape& shape = tensor.shape();
+  const int n = shape.num_modes();
+  const int64_t f = options.rank;
+
+  std::vector<Matrix> factors = RandomFactors(shape, f, options.seed);
+  std::vector<Matrix> grams;
+  grams.reserve(static_cast<size_t>(n));
+  for (const Matrix& fac : factors) grams.push_back(Gram(fac));
+
+  MapReduceOptions mr_options;
+  mr_options.num_reducers = options.num_reducers;
+  mr_options.heap_cap_bytes = options.heap_cap_bytes;
+  mr_options.working_dir = options.working_dir;
+  MapReduceEngine engine(env, mr_options);
+
+  auto fail = [&](const Status& status) {
+    result.failed = true;
+    result.failure = status.ToString();
+    result.seconds = watch.ElapsedSeconds();
+    result.shuffle_bytes = engine.stats().shuffle_bytes;
+    result.shuffle_records = engine.stats().shuffle_records;
+    result.mapreduce_jobs = engine.stats().jobs_run;
+    result.decomposition = KruskalTensor(std::move(factors));
+    return result;
+  };
+
+  // Input staging: one record per non-zero — <i1:...:iN, value> tuples as a
+  // Hadoop job would read them from HDFS.
+  std::vector<Record> nnz_records;
+  nnz_records.reserve(static_cast<size_t>(tensor.nnz()));
+  for (const SparseEntry& e : tensor.entries()) {
+    nnz_records.push_back(
+        Record{MakeKey(std::vector<int64_t>(e.index.begin(), e.index.end()),
+                       /*f=*/0),  // trailing :0 ignored for input tuples
+               EncodeDouble(e.value)});
+  }
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (int mode = 0; mode < n; ++mode) {
+      // HaTen2 computes the mode's MTTKRP as a chain of MapReduce jobs,
+      // binding one non-target factor per job. Job 1 fans every non-zero
+      // out to F rank columns — the nnz x F intermediate that makes dense
+      // inputs blow up — and each following job binds the next factor and
+      // aggregates. Reducers always sum partial products per key.
+      std::vector<int> other_modes;
+      for (int h = 0; h < n; ++h) {
+        if (h != mode) other_modes.push_back(h);
+      }
+
+      std::vector<Record> current = nnz_records;
+      for (size_t stage = 0; stage < other_modes.size(); ++stage) {
+        const int bind_mode = other_modes[stage];
+        const bool first = stage == 0;
+        // Positions of the surviving coordinates within the key, relative
+        // to the original mode order.
+        std::vector<int> live_modes;
+        if (first) {
+          for (int h = 0; h < n; ++h) live_modes.push_back(h);
+        } else {
+          live_modes.push_back(mode);
+          for (size_t s = stage; s < other_modes.size(); ++s) {
+            live_modes.push_back(other_modes[s]);
+          }
+        }
+        // Index of bind_mode within live_modes.
+        int bind_pos = 0;
+        for (size_t i = 0; i < live_modes.size(); ++i) {
+          if (live_modes[i] == bind_mode) bind_pos = static_cast<int>(i);
+        }
+        const Matrix& bound = factors[static_cast<size_t>(bind_mode)];
+
+        Mapper mapper = [&, first, bind_pos](const Record& rec,
+                                             const Emitter& emit) {
+          const std::vector<int64_t> parts = ParseKey(rec.key);
+          double value = 0.0;
+          if (!DecodeDouble(rec.value, &value)) return;
+          // Surviving coordinates after dropping the bound mode: keep the
+          // target mode first, then the not-yet-bound modes, preserving
+          // their relative order.
+          std::vector<int64_t> kept;
+          const size_t ncoords = parts.size() - 1;  // last field is f
+          for (size_t i = 0; i < ncoords; ++i) {
+            if (static_cast<int>(i) != bind_pos) kept.push_back(parts[i]);
+          }
+          if (first) {
+            // Reorder: target mode to the front.
+            std::vector<int64_t> reordered;
+            reordered.push_back(parts[static_cast<size_t>(mode)]);
+            for (int h = 0; h < n; ++h) {
+              if (h == mode || h == bind_mode) continue;
+              reordered.push_back(parts[static_cast<size_t>(h)]);
+            }
+            const int64_t row = parts[static_cast<size_t>(bind_mode)];
+            for (int64_t c = 0; c < f; ++c) {
+              emit(MakeKey(reordered, c),
+                   EncodeDouble(value * bound(row, c)));
+            }
+          } else {
+            const int64_t row = parts[bind_pos];
+            const int64_t c = parts[ncoords];
+            emit(MakeKey(kept, c), EncodeDouble(value * bound(row, c)));
+          }
+        };
+        Reducer reducer = [](const std::string& key,
+                             const std::vector<std::string>& values,
+                             const Emitter& emit) {
+          double acc = 0.0;
+          double v = 0.0;
+          for (const std::string& bytes : values) {
+            if (DecodeDouble(bytes, &v)) acc += v;
+          }
+          emit(key, EncodeDouble(acc));
+        };
+
+        auto outputs = engine.Run(mapper, reducer, current);
+        if (!outputs.ok()) return fail(outputs.status());
+        current = std::move(outputs).value();
+      }
+
+      // Driver-side: rows of the MTTKRP arrive as <i:f, m_if> records.
+      Matrix m(shape.dim(mode), f);
+      for (const Record& rec : current) {
+        const std::vector<int64_t> parts = ParseKey(rec.key);
+        if (parts.size() != 2) continue;
+        const int64_t row = parts[0];
+        const int64_t col = parts[1];
+        double value = 0.0;
+        if (row < 0 || row >= m.rows() || col < 0 || col >= f) continue;
+        if (DecodeDouble(rec.value, &value)) m(row, col) = value;
+      }
+      factors[static_cast<size_t>(mode)] = AlsFactorUpdate(m, grams, mode);
+      grams[static_cast<size_t>(mode)] =
+          Gram(factors[static_cast<size_t>(mode)]);
+    }
+    result.iterations_completed = iter + 1;
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  result.shuffle_bytes = engine.stats().shuffle_bytes;
+  result.shuffle_records = engine.stats().shuffle_records;
+  result.mapreduce_jobs = engine.stats().jobs_run;
+  result.decomposition = KruskalTensor(std::move(factors));
+  result.decomposition.Normalize();
+  result.fit = Fit(tensor, result.decomposition);
+  return result;
+}
+
+}  // namespace tpcp

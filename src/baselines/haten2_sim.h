@@ -1,0 +1,55 @@
+// HaTen2-sim: the algorithmic skeleton of HaTen2 (Jeon et al., ICDE'15) —
+// a MapReduce-based sparse CP-ALS — rebuilt on the local MapReduce
+// emulator.
+//
+// HaTen2 computes each factor update as a chain of MapReduce jobs whose
+// intermediate volume is proportional to nnz(X) * F. That is efficient for
+// the sparse social-media tensors it targets and catastrophic for the dense
+// scientific tensors 2PCP targets: on dense inputs, nnz approaches the cell
+// count, every iteration shuffles the whole tensor times F through storage,
+// and reducer-side state outgrows memory — the "FAILS" entry in Table I.
+// The emulator's heap cap reproduces that failure deterministically.
+
+#ifndef TPCP_BASELINES_HATEN2_SIM_H_
+#define TPCP_BASELINES_HATEN2_SIM_H_
+
+#include <string>
+
+#include "parallel/mapreduce.h"
+#include "tensor/kruskal.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tpcp {
+
+/// Configuration of a HaTen2-sim run.
+struct Haten2Options {
+  int64_t rank = 10;
+  int iterations = 1;  // the paper reports 1 iteration for Table I
+  int num_reducers = 8;
+  /// Per-reducer memory budget; dense inputs exceed it (0 = unlimited).
+  int64_t heap_cap_bytes = 0;
+  uint64_t seed = 1;
+  std::string working_dir = "haten2";
+};
+
+/// Run outcome; `failed` mirrors the paper's FAILS.
+struct Haten2Result {
+  KruskalTensor decomposition;
+  int iterations_completed = 0;
+  bool failed = false;
+  std::string failure;
+  double seconds = 0.0;
+  double fit = 0.0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t shuffle_records = 0;
+  uint64_t mapreduce_jobs = 0;
+};
+
+/// Runs the MapReduce CP-ALS over the non-zeros of `tensor`, staging every
+/// shuffle through `env`.
+Haten2Result RunHaten2Sim(const SparseTensor& tensor, Env* env,
+                          const Haten2Options& options);
+
+}  // namespace tpcp
+
+#endif  // TPCP_BASELINES_HATEN2_SIM_H_

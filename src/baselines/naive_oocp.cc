@@ -1,0 +1,115 @@
+#include "baselines/naive_oocp.h"
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/elementwise.h"
+#include "tensor/mttkrp.h"
+#include "util/stopwatch.h"
+
+namespace tpcp {
+namespace {
+
+// Row slices of the global factors covering one block.
+std::vector<Matrix> BlockFactorSlices(const GridPartition& grid,
+                                      const BlockIndex& block,
+                                      const std::vector<Matrix>& factors) {
+  std::vector<Matrix> slices;
+  slices.reserve(factors.size());
+  for (int m = 0; m < grid.num_modes(); ++m) {
+    const int64_t begin =
+        grid.PartitionOffset(m, block[static_cast<size_t>(m)]);
+    const int64_t end = begin + grid.PartitionSize(m, block[static_cast<size_t>(m)]);
+    slices.push_back(factors[static_cast<size_t>(m)].RowSlice(begin, end));
+  }
+  return slices;
+}
+
+}  // namespace
+
+Result<NaiveOocpResult> NaiveOutOfCoreCp(const BlockTensorStore& input,
+                                         const NaiveOocpOptions& options) {
+  Stopwatch watch;
+  const GridPartition& grid = input.grid();
+  const Shape& shape = grid.tensor_shape();
+  const int n = shape.num_modes();
+
+  NaiveOocpResult result;
+  std::vector<Matrix> factors = RandomFactors(shape, options.rank,
+                                              options.seed);
+  std::vector<Matrix> grams;
+  grams.reserve(static_cast<size_t>(n));
+  for (const Matrix& f : factors) grams.push_back(Gram(f));
+
+  // One streaming pass for ||X||^2.
+  double x_norm_sq = 0.0;
+  for (const BlockIndex& block : grid.AllBlocks()) {
+    TPCP_ASSIGN_OR_RETURN(DenseTensor chunk, input.ReadBlock(block));
+    x_norm_sq += chunk.SquaredNorm();
+    result.bytes_streamed += CostModel::TensorBytes(chunk.shape());
+  }
+
+  double prev_fit = 0.0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (int mode = 0; mode < n; ++mode) {
+      // Streamed MTTKRP: accumulate block contributions into the global M.
+      Matrix m(shape.dim(mode), options.rank);
+      for (const BlockIndex& block : grid.AllBlocks()) {
+        TPCP_ASSIGN_OR_RETURN(DenseTensor chunk, input.ReadBlock(block));
+        result.bytes_streamed += CostModel::TensorBytes(chunk.shape());
+        const std::vector<Matrix> slices =
+            BlockFactorSlices(grid, block, factors);
+        const Matrix partial = Mttkrp(chunk, slices, mode);
+        const int64_t row0 =
+            grid.PartitionOffset(mode, block[static_cast<size_t>(mode)]);
+        for (int64_t r = 0; r < partial.rows(); ++r) {
+          for (int64_t c = 0; c < partial.cols(); ++c) {
+            m(row0 + r, c) += partial(r, c);
+          }
+        }
+      }
+      factors[static_cast<size_t>(mode)] = AlsFactorUpdate(m, grams, mode);
+      grams[static_cast<size_t>(mode)] =
+          Gram(factors[static_cast<size_t>(mode)]);
+    }
+
+    // Fit via one extra streaming inner-product pass.
+    KruskalTensor current(factors);
+    double inner = 0.0;
+    for (const BlockIndex& block : grid.AllBlocks()) {
+      TPCP_ASSIGN_OR_RETURN(DenseTensor chunk, input.ReadBlock(block));
+      result.bytes_streamed += CostModel::TensorBytes(chunk.shape());
+      KruskalTensor sliced(BlockFactorSlices(grid, block, factors));
+      inner += InnerProduct(chunk, sliced);
+    }
+    const double k_norm = current.Norm();
+    double resid_sq = x_norm_sq - 2.0 * inner + k_norm * k_norm;
+    resid_sq = resid_sq > 0.0 ? resid_sq : 0.0;
+    const double fit =
+        x_norm_sq > 0.0 ? 1.0 - std::sqrt(resid_sq / x_norm_sq) : 1.0;
+
+    result.iterations = iter + 1;
+    result.fit = fit;
+    if (iter > 0 && fit - prev_fit < options.fit_tolerance) {
+      result.converged = true;
+      prev_fit = fit;
+      break;
+    }
+    prev_fit = fit;
+    if (options.max_seconds > 0.0 &&
+        watch.ElapsedSeconds() > options.max_seconds) {
+      result.timed_out = true;
+      break;
+    }
+  }
+
+  result.fit = prev_fit;
+  result.seconds = watch.ElapsedSeconds();
+  result.decomposition = KruskalTensor(std::move(factors));
+  result.decomposition.Normalize();
+  return result;
+}
+
+}  // namespace tpcp

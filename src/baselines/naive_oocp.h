@@ -1,0 +1,46 @@
+// Naive out-of-core CP-ALS ("Naive CP" / conventional TensorDB-style
+// decomposition in Table II): no partitioned refinement — every ALS mode
+// update streams the entire tensor from storage.
+
+#ifndef TPCP_BASELINES_NAIVE_OOCP_H_
+#define TPCP_BASELINES_NAIVE_OOCP_H_
+
+#include "cp/cp_als.h"
+#include "grid/block_tensor_store.h"
+#include "tensor/kruskal.h"
+
+namespace tpcp {
+
+/// Options for the naive out-of-core decomposition.
+struct NaiveOocpOptions {
+  int64_t rank = 10;
+  int max_iterations = 50;
+  double fit_tolerance = 1e-4;
+  uint64_t seed = 1;
+  /// Wall-clock budget in seconds; 0 = unlimited. When exceeded the run
+  /// stops and `timed_out` is set (the paper reports ">12 hours" for this
+  /// baseline — the budget lets benches demonstrate the blow-up without
+  /// waiting for it).
+  double max_seconds = 0.0;
+};
+
+/// Run diagnostics.
+struct NaiveOocpResult {
+  KruskalTensor decomposition;
+  int iterations = 0;
+  bool converged = false;
+  bool timed_out = false;
+  double seconds = 0.0;
+  double fit = 0.0;
+  /// Tensor bytes streamed from storage over the whole run.
+  uint64_t bytes_streamed = 0;
+};
+
+/// Runs ALS with factors in memory and the tensor streamed block-by-block
+/// from `input` for every MTTKRP (N + 1 full passes per iteration).
+Result<NaiveOocpResult> NaiveOutOfCoreCp(const BlockTensorStore& input,
+                                         const NaiveOocpOptions& options);
+
+}  // namespace tpcp
+
+#endif  // TPCP_BASELINES_NAIVE_OOCP_H_

@@ -1,0 +1,89 @@
+#include "buffer/buffer_pool.h"
+
+namespace tpcp {
+
+BufferPool::BufferPool(uint64_t capacity_bytes, UnitCatalog catalog,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_(capacity_bytes),
+      catalog_(std::move(catalog)),
+      policy_(std::move(policy)) {
+  TPCP_CHECK(policy_ != nullptr);
+  TPCP_CHECK_GE(capacity_, catalog_.MaxUnitBytes())
+      << "buffer cannot hold the largest data unit";
+}
+
+void BufferPool::SetCallbacks(LoadCallback on_load, EvictCallback on_evict) {
+  on_load_ = std::move(on_load);
+  on_evict_ = std::move(on_evict);
+}
+
+Status BufferPool::Access(const ModePartition& unit, int64_t pos) {
+  ++stats_.accesses;
+  auto it = resident_.find(unit);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    policy_->OnAccess(unit, pos);
+    return Status::OK();
+  }
+
+  const uint64_t bytes = catalog_.UnitBytes(unit);
+  while (used_ + bytes > capacity_) {
+    TPCP_RETURN_IF_ERROR(EvictOne(unit, pos));
+  }
+  if (on_load_ != nullptr) {
+    TPCP_RETURN_IF_ERROR(on_load_(unit));
+  }
+  resident_.emplace(unit, /*dirty=*/false);
+  used_ += bytes;
+  ++stats_.swap_ins;
+  stats_.bytes_in += bytes;
+  policy_->OnInsert(unit, pos);
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne(const ModePartition& keep, int64_t pos) {
+  std::vector<ModePartition> candidates;
+  candidates.reserve(resident_.size());
+  for (const auto& [unit, dirty] : resident_) {
+    if (!(unit == keep)) candidates.push_back(unit);
+  }
+  TPCP_CHECK(!candidates.empty())
+      << "buffer pool wedged: nothing evictable while over capacity";
+  return Evict(policy_->ChooseVictim(candidates, pos));
+}
+
+Status BufferPool::Evict(const ModePartition& unit) {
+  auto it = resident_.find(unit);
+  TPCP_CHECK(it != resident_.end());
+  const bool dirty = it->second;
+  if (on_evict_ != nullptr) {
+    TPCP_RETURN_IF_ERROR(on_evict_(unit, dirty));
+  }
+  const uint64_t bytes = catalog_.UnitBytes(unit);
+  resident_.erase(it);
+  used_ -= bytes;
+  ++stats_.swap_outs;
+  stats_.bytes_out += bytes;
+  if (dirty) ++stats_.dirty_writebacks;
+  policy_->OnEvict(unit);
+  return Status::OK();
+}
+
+void BufferPool::MarkDirty(const ModePartition& unit) {
+  auto it = resident_.find(unit);
+  TPCP_CHECK(it != resident_.end()) << "MarkDirty on non-resident unit";
+  it->second = true;
+}
+
+bool BufferPool::IsResident(const ModePartition& unit) const {
+  return resident_.count(unit) > 0;
+}
+
+Status BufferPool::Flush() {
+  while (!resident_.empty()) {
+    TPCP_RETURN_IF_ERROR(Evict(resident_.begin()->first));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcp

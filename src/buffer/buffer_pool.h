@@ -1,0 +1,100 @@
+// Buffer pool over data units ⟨i, ki⟩ with pluggable replacement.
+//
+// Used in two ways:
+//  - by the Phase-2 engine, with load/evict callbacks that move real data
+//    through an Env;
+//  - by the swap simulator (core/swap_simulator.h), with no callbacks, to
+//    count data swaps exactly as the paper's Figure 12 does.
+
+#ifndef TPCP_BUFFER_BUFFER_POOL_H_
+#define TPCP_BUFFER_BUFFER_POOL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "buffer/data_unit.h"
+#include "buffer/replacement_policy.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// Swap accounting for one pool.
+struct BufferStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t swap_ins = 0;    // misses: a unit brought in from storage
+  uint64_t swap_outs = 0;   // evictions
+  uint64_t dirty_writebacks = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+
+  double HitRate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Byte-budget buffer of data units.
+class BufferPool {
+ public:
+  /// Called when a unit must be materialized in memory (on miss).
+  using LoadCallback = std::function<Status(const ModePartition&)>;
+  /// Called when a unit is evicted; `dirty` indicates it must be persisted.
+  using EvictCallback = std::function<Status(const ModePartition&, bool dirty)>;
+
+  /// Pool with `capacity_bytes` of space over the given catalog and policy.
+  /// CHECK-fails if the capacity cannot hold the largest single unit (no
+  /// schedule can run otherwise).
+  BufferPool(uint64_t capacity_bytes, UnitCatalog catalog,
+             std::unique_ptr<ReplacementPolicy> policy);
+
+  /// Data-movement hooks (may be left unset for pure simulation).
+  void SetCallbacks(LoadCallback on_load, EvictCallback on_evict);
+
+  /// Touches `unit` at schedule position `pos`: counts a hit or performs a
+  /// swap-in (evicting victims per policy until the unit fits).
+  Status Access(const ModePartition& unit, int64_t pos);
+
+  /// Marks a resident unit as modified (it will be written back on
+  /// eviction / flush). CHECK-fails if not resident.
+  void MarkDirty(const ModePartition& unit);
+
+  /// True if the unit is currently resident.
+  bool IsResident(const ModePartition& unit) const;
+
+  /// Evicts everything (writing back dirty units).
+  Status Flush();
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  int64_t resident_units() const {
+    return static_cast<int64_t>(resident_.size());
+  }
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats(); }
+
+  const UnitCatalog& catalog() const { return catalog_; }
+  ReplacementPolicy* policy() { return policy_.get(); }
+
+ private:
+  Status EvictOne(const ModePartition& keep, int64_t pos);
+  Status Evict(const ModePartition& unit);
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  UnitCatalog catalog_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  LoadCallback on_load_;
+  EvictCallback on_evict_;
+  std::map<ModePartition, bool> resident_;  // unit -> dirty
+  BufferStats stats_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_BUFFER_BUFFER_POOL_H_

@@ -1,0 +1,53 @@
+#include "buffer/data_unit.h"
+
+namespace tpcp {
+
+UnitCatalog::UnitCatalog(const GridPartition& grid, int64_t rank)
+    : grid_(grid), rank_(rank) {
+  TPCP_CHECK_GE(rank, 1);
+}
+
+int64_t UnitCatalog::SlabBlocks(int mode) const {
+  return grid_.NumBlocks() / grid_.parts(mode);
+}
+
+uint64_t UnitCatalog::FactorBytes(const ModePartition& unit) const {
+  const int64_t rows = grid_.PartitionSize(unit.mode, unit.part);
+  return static_cast<uint64_t>(rows) * static_cast<uint64_t>(rank_) *
+         sizeof(double);
+}
+
+uint64_t UnitCatalog::BlockFactorBytes(const ModePartition& unit) const {
+  return static_cast<uint64_t>(SlabBlocks(unit.mode)) * FactorBytes(unit);
+}
+
+uint64_t UnitCatalog::UnitBytes(const ModePartition& unit) const {
+  return FactorBytes(unit) + BlockFactorBytes(unit);
+}
+
+uint64_t UnitCatalog::TotalBytes() const {
+  uint64_t total = 0;
+  for (const ModePartition& unit : AllUnits()) total += UnitBytes(unit);
+  return total;
+}
+
+uint64_t UnitCatalog::MaxUnitBytes() const {
+  uint64_t max_bytes = 0;
+  for (const ModePartition& unit : AllUnits()) {
+    max_bytes = std::max(max_bytes, UnitBytes(unit));
+  }
+  return max_bytes;
+}
+
+std::vector<ModePartition> UnitCatalog::AllUnits() const {
+  std::vector<ModePartition> out;
+  out.reserve(static_cast<size_t>(grid_.SumParts()));
+  for (int mode = 0; mode < grid_.num_modes(); ++mode) {
+    for (int64_t k = 0; k < grid_.parts(mode); ++k) {
+      out.push_back(ModePartition{mode, k});
+    }
+  }
+  return out;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,130 @@
+#include "buffer/replacement_policy.h"
+
+#include <map>
+
+#include "util/logging.h"
+
+namespace tpcp {
+namespace {
+
+// Shared bookkeeping for the recency-based policies.
+class RecencyPolicy : public ReplacementPolicy {
+ public:
+  explicit RecencyPolicy(bool evict_least_recent)
+      : evict_least_recent_(evict_least_recent) {}
+
+  PolicyType type() const override {
+    return evict_least_recent_ ? PolicyType::kLru : PolicyType::kMru;
+  }
+
+  void OnInsert(const ModePartition& unit, int64_t pos) override {
+    last_access_[unit] = pos;
+  }
+  void OnAccess(const ModePartition& unit, int64_t pos) override {
+    last_access_[unit] = pos;
+  }
+  void OnEvict(const ModePartition& unit) override {
+    last_access_.erase(unit);
+  }
+
+  ModePartition ChooseVictim(const std::vector<ModePartition>& candidates,
+                             int64_t /*pos*/) override {
+    TPCP_CHECK(!candidates.empty());
+    ModePartition victim = candidates.front();
+    int64_t victim_time = TimeOf(victim);
+    for (const ModePartition& unit : candidates) {
+      const int64_t t = TimeOf(unit);
+      const bool better =
+          evict_least_recent_ ? t < victim_time : t > victim_time;
+      if (better) {
+        victim = unit;
+        victim_time = t;
+      }
+    }
+    return victim;
+  }
+
+ private:
+  int64_t TimeOf(const ModePartition& unit) const {
+    auto it = last_access_.find(unit);
+    TPCP_CHECK(it != last_access_.end());
+    return it->second;
+  }
+
+  bool evict_least_recent_;
+  std::map<ModePartition, int64_t> last_access_;
+};
+
+class ForwardPolicy : public ReplacementPolicy {
+ public:
+  explicit ForwardPolicy(const UpdateSchedule& schedule)
+      : lookahead_(schedule) {}
+
+  PolicyType type() const override { return PolicyType::kForward; }
+
+  void OnInsert(const ModePartition&, int64_t) override {}
+  void OnAccess(const ModePartition&, int64_t) override {}
+  void OnEvict(const ModePartition&) override {}
+
+  ModePartition ChooseVictim(const std::vector<ModePartition>& candidates,
+                             int64_t pos) override {
+    TPCP_CHECK(!candidates.empty());
+    // Evict the least urgent unit: next use furthest in the future.
+    ModePartition victim = candidates.front();
+    int64_t victim_next = lookahead_.NextUse(victim, pos);
+    for (const ModePartition& unit : candidates) {
+      const int64_t next = lookahead_.NextUse(unit, pos);
+      if (next > victim_next) {
+        victim = unit;
+        victim_next = next;
+      }
+    }
+    return victim;
+  }
+
+ private:
+  ScheduleLookahead lookahead_;
+};
+
+}  // namespace
+
+const char* PolicyTypeName(PolicyType type) {
+  switch (type) {
+    case PolicyType::kLru:
+      return "LRU";
+    case PolicyType::kMru:
+      return "MRU";
+    case PolicyType::kForward:
+      return "FOR";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplacementPolicy> NewLruPolicy() {
+  return std::make_unique<RecencyPolicy>(/*evict_least_recent=*/true);
+}
+
+std::unique_ptr<ReplacementPolicy> NewMruPolicy() {
+  return std::make_unique<RecencyPolicy>(/*evict_least_recent=*/false);
+}
+
+std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
+    const UpdateSchedule& schedule) {
+  return std::make_unique<ForwardPolicy>(schedule);
+}
+
+std::unique_ptr<ReplacementPolicy> NewPolicy(PolicyType type,
+                                             const UpdateSchedule* schedule) {
+  switch (type) {
+    case PolicyType::kLru:
+      return NewLruPolicy();
+    case PolicyType::kMru:
+      return NewMruPolicy();
+    case PolicyType::kForward:
+      TPCP_CHECK(schedule != nullptr);
+      return NewForwardPolicy(*schedule);
+  }
+  return nullptr;
+}
+
+}  // namespace tpcp

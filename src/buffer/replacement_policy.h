@@ -1,0 +1,63 @@
+// Buffer replacement policies (Section VII): backward-looking LRU and MRU,
+// and the schedule-aware, forward-looking (FOR) policy.
+
+#ifndef TPCP_BUFFER_REPLACEMENT_POLICY_H_
+#define TPCP_BUFFER_REPLACEMENT_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "schedule/lookahead.h"
+#include "schedule/update_schedule.h"
+
+namespace tpcp {
+
+/// The replacement strategies evaluated in the paper (Table III).
+enum class PolicyType { kLru, kMru, kForward };
+
+const char* PolicyTypeName(PolicyType type);
+
+/// Chooses eviction victims among resident units.
+///
+/// The pool reports accesses with a monotonically increasing logical clock
+/// (the schedule step position); policies keep whatever bookkeeping they
+/// need and pick a victim from the candidate set on demand.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual PolicyType type() const = 0;
+
+  /// A unit entered the buffer at step `pos`.
+  virtual void OnInsert(const ModePartition& unit, int64_t pos) = 0;
+
+  /// A resident unit was accessed at step `pos`.
+  virtual void OnAccess(const ModePartition& unit, int64_t pos) = 0;
+
+  /// A unit left the buffer.
+  virtual void OnEvict(const ModePartition& unit) = 0;
+
+  /// Picks the victim among `candidates` (non-empty, all resident and
+  /// evictable), given that the step at `pos` is being executed.
+  virtual ModePartition ChooseVictim(
+      const std::vector<ModePartition>& candidates, int64_t pos) = 0;
+};
+
+/// Least-recently-used (temporal locality).
+std::unique_ptr<ReplacementPolicy> NewLruPolicy();
+
+/// Most-recently-used (temporal a-locality of looping traversals).
+std::unique_ptr<ReplacementPolicy> NewMruPolicy();
+
+/// Forward-looking, schedule-aware (Belady on the known trace): evicts the
+/// unit whose next use is furthest in the future.
+std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
+    const UpdateSchedule& schedule);
+
+/// Factory from the enum; `schedule` is only required for kForward.
+std::unique_ptr<ReplacementPolicy> NewPolicy(PolicyType type,
+                                             const UpdateSchedule* schedule);
+
+}  // namespace tpcp
+
+#endif  // TPCP_BUFFER_REPLACEMENT_POLICY_H_

@@ -1,0 +1,57 @@
+// Env-resident store of Phase-1 block factors U^(i)_k and Phase-2
+// sub-factors A^(i)_(ki).
+
+#ifndef TPCP_CORE_BLOCK_FACTORS_H_
+#define TPCP_CORE_BLOCK_FACTORS_H_
+
+#include <string>
+
+#include "grid/grid_partition.h"
+#include "linalg/matrix.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// Persists the factor matrices of a block-based decomposition.
+///
+/// Layout inside the Env (one serialized Matrix per file):
+///   <prefix>/U_<mode>_<k1>_<k2>_..._<kN>   block factor U^(mode)_k
+///   <prefix>/A_<mode>_<part>               sub-factor A^(mode)_(part)
+class BlockFactorStore {
+ public:
+  BlockFactorStore(Env* env, std::string prefix, GridPartition grid,
+                   int64_t rank);
+
+  const GridPartition& grid() const { return grid_; }
+  int64_t rank() const { return rank_; }
+  Env* env() const { return env_; }
+
+  /// Writes U^(mode)_block; shape must be (block's mode-extent) x rank.
+  Status WriteBlockFactor(const BlockIndex& block, int mode, const Matrix& u);
+  Result<Matrix> ReadBlockFactor(const BlockIndex& block, int mode) const;
+
+  /// Writes A^(mode)_(part); shape must be (partition extent) x rank.
+  Status WriteSubFactor(int mode, int64_t part, const Matrix& a);
+  Result<Matrix> ReadSubFactor(int mode, int64_t part) const;
+
+  /// All block positions in the mode-i slab of partition `part`:
+  /// { l in K : l_mode = part }.
+  std::vector<BlockIndex> SlabBlocks(int mode, int64_t part) const;
+
+  /// Assembles the full factor A^(mode) by stacking its partitions.
+  Result<Matrix> AssembleFullFactor(int mode) const;
+
+  std::string BlockFactorName(const BlockIndex& block, int mode) const;
+  std::string SubFactorName(int mode, int64_t part) const;
+
+ private:
+  Env* env_;
+  std::string prefix_;
+  GridPartition grid_;
+  int64_t rank_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_BLOCK_FACTORS_H_

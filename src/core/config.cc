@@ -1,0 +1,22 @@
+#include "core/config.h"
+
+#include "util/format.h"
+
+namespace tpcp {
+
+std::string TwoPhaseCpOptions::ToString() const {
+  std::string out = "rank=" + std::to_string(rank);
+  out += " schedule=";
+  out += ScheduleTypeName(schedule);
+  out += " policy=";
+  out += PolicyTypeName(policy);
+  if (buffer_bytes > 0) {
+    out += " buffer=" + HumanBytes(buffer_bytes);
+  } else {
+    out += " buffer_fraction=" + Fixed(buffer_fraction, 3);
+  }
+  out += " max_virtual_iterations=" + std::to_string(max_virtual_iterations);
+  return out;
+}
+
+}  // namespace tpcp

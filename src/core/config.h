@@ -1,0 +1,68 @@
+// Configuration for the 2PCP two-phase decomposition engine.
+
+#ifndef TPCP_CORE_CONFIG_H_
+#define TPCP_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "buffer/replacement_policy.h"
+#include "cp/cp_als.h"
+#include "schedule/update_schedule.h"
+
+namespace tpcp {
+
+/// Options controlling both phases of 2PCP.
+struct TwoPhaseCpOptions {
+  /// Target decomposition rank F.
+  int64_t rank = 10;
+
+  // ---- Phase 1: independent block decompositions ----
+  /// ALS iterations per block.
+  int phase1_max_iterations = 25;
+  /// Per-block ALS fit tolerance.
+  double phase1_fit_tolerance = 1e-4;
+  /// Relative ridge for the per-block Phase-1 ALS solves. Non-zero by
+  /// default: blocks whose content cannot support the full rank F (sparse
+  /// or thin blocks) would otherwise overfit with huge cancelling
+  /// components that destabilize the stitched refinement.
+  double phase1_ridge = 1e-3;
+  InitMethod init = InitMethod::kRandom;
+  uint64_t seed = 1;
+  /// Worker threads for Phase 1 (blocks are independent).
+  int num_threads = 1;
+
+  // ---- Phase 2: buffered iterative refinement ----
+  ScheduleType schedule = ScheduleType::kZOrder;
+  PolicyType policy = PolicyType::kForward;
+  /// Buffer capacity as a fraction of the total space requirement
+  /// (Observation #2). Ignored when buffer_bytes > 0.
+  double buffer_fraction = 0.5;
+  /// Absolute buffer capacity in bytes (0: use buffer_fraction).
+  uint64_t buffer_bytes = 0;
+  /// Cap on virtual iterations (Definition 3).
+  int max_virtual_iterations = 100;
+  /// Stop when the surrogate accuracy improves by less than this per
+  /// virtual iteration (the paper uses 1e-2).
+  double fit_tolerance = 1e-2;
+  /// Relative ridge for the Phase-2 update-rule solves (Eq. 3), same role
+  /// as phase1_ridge.
+  double refinement_ridge = 1e-3;
+  /// Resume Phase 2 from the sub-factors already persisted in the factor
+  /// store (e.g. after an interrupted run whose dirty units were flushed)
+  /// instead of re-seeding from the Phase-1 block factors.
+  bool resume_phase2 = false;
+
+  /// Resolves the effective buffer capacity for a given total requirement.
+  uint64_t ResolveBufferBytes(uint64_t total_requirement) const {
+    if (buffer_bytes > 0) return buffer_bytes;
+    return static_cast<uint64_t>(buffer_fraction *
+                                 static_cast<double>(total_requirement));
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_CONFIG_H_

@@ -1,0 +1,21 @@
+#include "core/cost_model.h"
+
+#include "util/format.h"
+
+namespace tpcp {
+
+uint64_t CostModel::ExchangeBytesPerIteration(
+    double swaps_per_iteration) const {
+  const int64_t units = catalog_.grid().SumParts();
+  const double avg_unit =
+      static_cast<double>(catalog_.TotalBytes()) / static_cast<double>(units);
+  return static_cast<uint64_t>(swaps_per_iteration * avg_unit);
+}
+
+std::string CostModel::ToString() const {
+  return "mem_total=" + HumanBytes(TotalRefinementBytes()) +
+         " mem_MP=" + HumanBytes(PerModePartitionBytes()) +
+         " naive_swaps/iter=" + std::to_string(NaiveSwapsPerIteration());
+}
+
+}  // namespace tpcp

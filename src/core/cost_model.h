@@ -1,0 +1,53 @@
+// Analytic memory and I/O cost model (Section IV-A and VI).
+
+#ifndef TPCP_CORE_COST_MODEL_H_
+#define TPCP_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "buffer/data_unit.h"
+
+namespace tpcp {
+
+/// Memory and exchange-volume estimates for a (grid, rank) configuration.
+class CostModel {
+ public:
+  CostModel(const GridPartition& grid, int64_t rank)
+      : catalog_(grid, rank) {}
+
+  /// mem_total(X): total bytes of all sub-factors A and block factors U —
+  /// the space the refinement phase needs if nothing is evicted
+  /// (Observation #2).
+  uint64_t TotalRefinementBytes() const { return catalog_.TotalBytes(); }
+
+  /// mem_MP: bytes needed to process a single mode-partition
+  /// (Observation #3) — the largest single unit.
+  uint64_t PerModePartitionBytes() const { return catalog_.MaxUnitBytes(); }
+
+  /// Swaps per iteration of the naive (write-everything-back) strategy:
+  /// Σ K_i (Observation #4).
+  int64_t NaiveSwapsPerIteration() const {
+    return catalog_.grid().SumParts();
+  }
+
+  /// Bytes moved per virtual iteration given an observed per-iteration swap
+  /// count (the Section VIII-C-1 estimate: swaps × average unit size).
+  uint64_t ExchangeBytesPerIteration(double swaps_per_iteration) const;
+
+  /// Dense tensor payload bytes (8 bytes per cell).
+  static uint64_t TensorBytes(const Shape& shape) {
+    return static_cast<uint64_t>(shape.NumElements()) * sizeof(double);
+  }
+
+  const UnitCatalog& catalog() const { return catalog_; }
+
+  std::string ToString() const;
+
+ private:
+  UnitCatalog catalog_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_COST_MODEL_H_

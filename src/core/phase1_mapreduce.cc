@@ -1,0 +1,114 @@
+#include "core/phase1_mapreduce.h"
+
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
+namespace tpcp {
+namespace {
+
+// Cell payload: N local coordinates (int64) + value (double).
+std::string EncodeCell(const Index& local, double value) {
+  std::string out;
+  out.reserve(local.size() * sizeof(int64_t) + sizeof(double));
+  for (int64_t c : local) {
+    out.append(reinterpret_cast<const char*>(&c), sizeof(int64_t));
+  }
+  out.append(reinterpret_cast<const char*>(&value), sizeof(double));
+  return out;
+}
+
+bool DecodeCell(const std::string& bytes, int n, Index* local,
+                double* value) {
+  if (bytes.size() != static_cast<size_t>(n) * sizeof(int64_t) +
+                          sizeof(double)) {
+    return false;
+  }
+  local->resize(static_cast<size_t>(n));
+  std::memcpy(local->data(), bytes.data(),
+              static_cast<size_t>(n) * sizeof(int64_t));
+  std::memcpy(value, bytes.data() + static_cast<size_t>(n) * sizeof(int64_t),
+              sizeof(double));
+  return true;
+}
+
+}  // namespace
+
+Status Phase1ViaMapReduce(const DenseTensor& tensor, BlockFactorStore* out,
+                          MapReduceEngine* engine, const CpAlsOptions& als) {
+  const GridPartition& grid = out->grid();
+  if (tensor.shape() != grid.tensor_shape()) {
+    return Status::InvalidArgument("tensor shape does not match factor grid");
+  }
+  const int n = grid.num_modes();
+
+  // Stage the input as one record per cell: key = "<linear index>", the
+  // mapper derives the block id. (A Hadoop deployment reads these tuples
+  // from HDFS; here they are staged in memory.)
+  std::vector<Record> input;
+  input.reserve(static_cast<size_t>(tensor.NumElements()));
+  for (int64_t linear = 0; linear < tensor.NumElements(); ++linear) {
+    input.push_back(Record{std::to_string(linear), std::string()});
+  }
+
+  Mapper mapper = [&](const Record& rec, const Emitter& emit) {
+    const int64_t linear = std::stoll(rec.key);
+    const Index global = tensor.shape().MultiIndex(linear);
+    // Locate the block and the cell's local coordinates within it.
+    BlockIndex block(static_cast<size_t>(n));
+    Index local(static_cast<size_t>(n));
+    for (int m = 0; m < n; ++m) {
+      const int64_t coord = global[static_cast<size_t>(m)];
+      // Partition search (K_i is small; linear scan is fine).
+      int64_t part = 0;
+      while (grid.PartitionOffset(m, part + 1) <= coord) ++part;
+      block[static_cast<size_t>(m)] = part;
+      local[static_cast<size_t>(m)] = coord - grid.PartitionOffset(m, part);
+    }
+    emit(std::to_string(grid.FlattenBlock(block)),
+         EncodeCell(local, tensor.at_linear(linear)));
+  };
+
+  std::mutex mu;
+  Status first_error = Status::OK();
+  Reducer reducer = [&](const std::string& key,
+                        const std::vector<std::string>& values,
+                        const Emitter& emit) {
+    const int64_t flat = std::stoll(key);
+    const BlockIndex block = grid.UnflattenBlock(flat);
+    DenseTensor chunk{Shape(grid.BlockSizes(block))};
+    Index local;
+    double value = 0.0;
+    for (const std::string& bytes : values) {
+      if (DecodeCell(bytes, n, &local, &value)) chunk.at(local) = value;
+    }
+    CpAlsOptions local_als = als;
+    local_als.seed = als.seed + 0x9e37u * static_cast<uint64_t>(flat + 1);
+    KruskalTensor sub = CpAls(chunk, local_als);
+    for (int64_t c = 0; c < sub.rank(); ++c) {
+      const double lam = sub.lambda()[static_cast<size_t>(c)];
+      const double scale =
+          lam > 0.0 ? std::pow(lam, 1.0 / static_cast<double>(n)) : 0.0;
+      for (int mode = 0; mode < n; ++mode) {
+        Matrix& f = sub.factor(mode);
+        for (int64_t r = 0; r < f.rows(); ++r) f(r, c) *= scale;
+      }
+    }
+    for (int mode = 0; mode < n; ++mode) {
+      const Status s = out->WriteBlockFactor(block, mode, sub.factor(mode));
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = s;
+        return;
+      }
+      emit(out->BlockFactorName(block, mode), std::string());
+    }
+  };
+
+  TPCP_ASSIGN_OR_RETURN(std::vector<Record> outputs,
+                        engine->Run(mapper, reducer, input));
+  (void)outputs;
+  return first_error;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,29 @@
+// Phase 1 expressed as the paper's MapReduce operators (Observation #1):
+//
+//   map:    <b, i, j, k, X(i,j,k)> keyed on the sub-tensor id b
+//   reduce: recompose X_b from its cells, run PARAFAC, emit the sub-factors
+//
+// TwoPhaseCp::RunPhase1 is the direct (thread-pool) production path; this
+// translation demonstrates and tests the distributed formulation on the
+// MapReduce emulator.
+
+#ifndef TPCP_CORE_PHASE1_MAPREDUCE_H_
+#define TPCP_CORE_PHASE1_MAPREDUCE_H_
+
+#include "core/block_factors.h"
+#include "cp/cp_als.h"
+#include "grid/block_tensor_store.h"
+#include "parallel/mapreduce.h"
+
+namespace tpcp {
+
+/// Decomposes every block of `tensor` through `engine`, writing the
+/// sub-factors into `out` (lambda spread evenly across modes, matching
+/// TwoPhaseCp::RunPhase1). Cells are shuffled as <block, cell> records —
+/// the full tensor crosses the shuffle once.
+Status Phase1ViaMapReduce(const DenseTensor& tensor, BlockFactorStore* out,
+                          MapReduceEngine* engine, const CpAlsOptions& als);
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_PHASE1_MAPREDUCE_H_

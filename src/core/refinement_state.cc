@@ -1,0 +1,174 @@
+#include "core/refinement_state.h"
+
+#include <cmath>
+
+#include "cp/cp_als.h"
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/elementwise.h"
+
+namespace tpcp {
+
+RefinementState::RefinementState(BlockFactorStore* store, double ridge)
+    : store_(store), grid_(store->grid()), rank_(store->rank()),
+      ridge_(ridge) {
+  for (int mode = 0; mode < grid_.num_modes(); ++mode) {
+    for (int64_t part = 0; part < grid_.parts(mode); ++part) {
+      slabs_[ModePartition{mode, part}] = store_->SlabBlocks(mode, part);
+    }
+  }
+  m_.assign(static_cast<size_t>(grid_.NumBlocks()),
+            std::vector<Matrix>(static_cast<size_t>(grid_.num_modes())));
+  block_norm_sq_.assign(static_cast<size_t>(grid_.NumBlocks()), 0.0);
+}
+
+const Matrix& RefinementState::GramOf(int mode, int64_t part) const {
+  auto it = g_.find(ModePartition{mode, part});
+  TPCP_CHECK(it != g_.end());
+  return it->second;
+}
+
+Status RefinementState::Initialize(bool resume) {
+  const int n = grid_.num_modes();
+
+  // Pass 1: seed A^(i)_(ki) — from the first block of each slab (fresh
+  // start, persisted) or from the sub-factors already in the store
+  // (resume) — and hold transiently for the metadata pass (A totals
+  // Σ_i I_i·F doubles — small next to the U data).
+  std::map<ModePartition, Matrix> a_init;
+  for (const auto& [unit, slab] : slabs_) {
+    TPCP_CHECK(!slab.empty());
+    Matrix seed;
+    if (resume) {
+      TPCP_ASSIGN_OR_RETURN(seed,
+                            store_->ReadSubFactor(unit.mode, unit.part));
+    } else {
+      TPCP_ASSIGN_OR_RETURN(seed,
+                            store_->ReadBlockFactor(slab.front(), unit.mode));
+      TPCP_RETURN_IF_ERROR(
+          store_->WriteSubFactor(unit.mode, unit.part, seed));
+    }
+    g_[unit] = Gram(seed);
+    a_init[unit] = std::move(seed);
+  }
+
+  // Pass 2: per block, compute M^(h)_l and the surrogate norm n_l.
+  for (const BlockIndex& block : grid_.AllBlocks()) {
+    const int64_t flat = grid_.FlattenBlock(block);
+    Matrix norm_acc(rank_, rank_, 1.0);
+    for (int h = 0; h < n; ++h) {
+      TPCP_ASSIGN_OR_RETURN(Matrix u, store_->ReadBlockFactor(block, h));
+      const ModePartition unit{h, block[static_cast<size_t>(h)]};
+      m_[static_cast<size_t>(flat)][static_cast<size_t>(h)] =
+          MatTMul(u, a_init.at(unit));
+      HadamardInPlace(&norm_acc, Gram(u));
+    }
+    double norm_sq = 0.0;
+    for (int64_t i = 0; i < norm_acc.size(); ++i) {
+      norm_sq += norm_acc.data()[i];
+    }
+    block_norm_sq_[static_cast<size_t>(flat)] = norm_sq > 0.0 ? norm_sq : 0.0;
+  }
+  return Status::OK();
+}
+
+Status RefinementState::LoadUnit(const ModePartition& unit) {
+  TPCP_CHECK_EQ(resident_.count(unit), 0u);
+  UnitData data;
+  TPCP_ASSIGN_OR_RETURN(data.a,
+                        store_->ReadSubFactor(unit.mode, unit.part));
+  const std::vector<BlockIndex>& slab = slabs_.at(unit);
+  data.u.reserve(slab.size());
+  for (const BlockIndex& block : slab) {
+    TPCP_ASSIGN_OR_RETURN(Matrix u, store_->ReadBlockFactor(block, unit.mode));
+    data.u.push_back(std::move(u));
+  }
+  resident_.emplace(unit, std::move(data));
+  return Status::OK();
+}
+
+Status RefinementState::EvictUnit(const ModePartition& unit, bool dirty) {
+  auto it = resident_.find(unit);
+  TPCP_CHECK(it != resident_.end());
+  if (dirty || it->second.dirty) {
+    TPCP_RETURN_IF_ERROR(
+        store_->WriteSubFactor(unit.mode, unit.part, it->second.a));
+  }
+  resident_.erase(it);
+  return Status::OK();
+}
+
+void RefinementState::ApplyUpdate(const UpdateStep& step) {
+  const ModePartition unit = step.unit();
+  auto it = resident_.find(unit);
+  TPCP_CHECK(it != resident_.end()) << "update on non-resident unit";
+  UnitData& data = it->second;
+  const int n = grid_.num_modes();
+  const int i = unit.mode;
+  const std::vector<BlockIndex>& slab = slabs_.at(unit);
+
+  Matrix t(data.a.rows(), rank_);
+  Matrix s(rank_, rank_);
+  Matrix w(rank_, rank_);
+  Matrix sw(rank_, rank_);
+  for (size_t j = 0; j < slab.size(); ++j) {
+    const BlockIndex& block = slab[j];
+    const int64_t flat = grid_.FlattenBlock(block);
+    // W = ⊛_{h≠i} M^(h)_l ; SW = ⊛_{h≠i} G^(h)_(l_h).
+    w.Fill(1.0);
+    sw.Fill(1.0);
+    for (int h = 0; h < n; ++h) {
+      if (h == i) continue;
+      HadamardInPlace(&w,
+                      m_[static_cast<size_t>(flat)][static_cast<size_t>(h)]);
+      HadamardInPlace(&sw, GramOf(h, block[static_cast<size_t>(h)]));
+    }
+    Gemm(Trans::kNo, data.u[j], Trans::kNo, w, 1.0, 1.0, &t);  // T += U_l W
+    s.Add(sw);
+  }
+
+  ApplyRidge(&s, ridge_);
+  Matrix a_new;
+  SolveGramSystem(t, s, &a_new);
+  data.a = std::move(a_new);
+  data.dirty = true;
+
+  // In-place metadata refresh (the paper's P/Q revision step).
+  g_[unit] = Gram(data.a);
+  for (size_t j = 0; j < slab.size(); ++j) {
+    const int64_t flat = grid_.FlattenBlock(slab[j]);
+    m_[static_cast<size_t>(flat)][static_cast<size_t>(i)] =
+        MatTMul(data.u[j], data.a);
+  }
+  ++updates_applied_;
+}
+
+double RefinementState::SurrogateFit() const {
+  const int n = grid_.num_modes();
+  double total_norm_sq = 0.0;
+  double residual_sq = 0.0;
+  Matrix p(rank_, rank_);
+  Matrix q(rank_, rank_);
+  for (const BlockIndex& block : grid_.AllBlocks()) {
+    const int64_t flat = grid_.FlattenBlock(block);
+    p.Fill(1.0);
+    q.Fill(1.0);
+    for (int h = 0; h < n; ++h) {
+      HadamardInPlace(&p,
+                      m_[static_cast<size_t>(flat)][static_cast<size_t>(h)]);
+      HadamardInPlace(&q, GramOf(h, block[static_cast<size_t>(h)]));
+    }
+    double sum_p = 0.0;
+    double sum_q = 0.0;
+    for (int64_t e = 0; e < p.size(); ++e) sum_p += p.data()[e];
+    for (int64_t e = 0; e < q.size(); ++e) sum_q += q.data()[e];
+    const double n_l = block_norm_sq_[static_cast<size_t>(flat)];
+    total_norm_sq += n_l;
+    residual_sq += n_l - 2.0 * sum_p + sum_q;
+  }
+  if (total_norm_sq <= 0.0) return 1.0;
+  residual_sq = residual_sq > 0.0 ? residual_sq : 0.0;
+  return 1.0 - std::sqrt(residual_sq) / std::sqrt(total_norm_sq);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,98 @@
+// Phase-2 iterative refinement state and the block-ALS update rule (Eq. 3).
+//
+// Always-resident metadata (small, F x F per entry):
+//   M^(h)_l = U^(h)T_l A^(h)_(l_h)   one per (block, mode)
+//   G^(h)_(kh) = A^(h)T_(kh) A^(h)_(kh)  one per mode-partition
+//   n_l = ||[[U_l]]||^2               one scalar per block
+//
+// The paper maintains the Hadamard products P_l = ⊛_h M^(h)_l and
+// Q_l = ⊛_h G^(h)_l in place via element-wise division; storing the
+// per-mode components instead is logically identical (the products are
+// recomposed on demand) and immune to division-by-zero.
+//
+// Bulk data (the units ⟨i,ki⟩ = {A^(i)_(ki); U^(i)-slab}) moves through the
+// BufferPool; this class provides the load/evict callbacks and the update
+// rule that runs against resident units.
+
+#ifndef TPCP_CORE_REFINEMENT_STATE_H_
+#define TPCP_CORE_REFINEMENT_STATE_H_
+
+#include <map>
+#include <vector>
+
+#include "core/block_factors.h"
+#include "schedule/update_schedule.h"
+
+namespace tpcp {
+
+/// In-memory state of the Phase-2 refinement.
+class RefinementState {
+ public:
+  /// `ridge` is the relative L2 regularization applied to every Eq.-3
+  /// solve (see TwoPhaseCpOptions::refinement_ridge).
+  explicit RefinementState(BlockFactorStore* store, double ridge = 0.0);
+
+  /// Seeds every sub-factor A^(i)_(ki) and computes the M/G/norm
+  /// metadata, reading every block factor once. With `resume` false the
+  /// seeds come from the Phase-1 factors (the first block of each slab)
+  /// and are persisted; with `resume` true the sub-factors already in the
+  /// store are used as-is, which restarts an interrupted refinement from
+  /// its last persisted state (everything else in Phase 2 is derivable
+  /// from {A, U}).
+  Status Initialize(bool resume = false);
+
+  /// BufferPool load hook: materializes ⟨i,ki⟩ (A + U-slab) from the store.
+  Status LoadUnit(const ModePartition& unit);
+
+  /// BufferPool evict hook: writes A back if dirty, drops the unit.
+  Status EvictUnit(const ModePartition& unit, bool dirty);
+
+  /// Applies the update rule for `step` (unit must be resident):
+  ///   T = Σ_{l: l_i=ki} U^(i)_l (⊛_{h≠i} M^(h)_l)
+  ///   S = Σ_{l: l_i=ki} ⊛_{h≠i} G^(h)_(l_h)
+  ///   A^(i)_(ki) <- T S^{-1}
+  /// then refreshes G^(i)_(ki) and the slab's M^(i)_l in place.
+  void ApplyUpdate(const UpdateStep& step);
+
+  /// Estimated accuracy of the current stitched decomposition against the
+  /// Phase-1 surrogate (X_l ≈ [[U_l]]), computable without I/O:
+  ///   1 - sqrt(Σ_l (n_l - 2·sum(P_l) + sum(Q_l))) / sqrt(Σ_l n_l).
+  double SurrogateFit() const;
+
+  bool IsResident(const ModePartition& unit) const {
+    return resident_.count(unit) > 0;
+  }
+
+  /// Number of update-rule applications so far.
+  int64_t updates_applied() const { return updates_applied_; }
+
+ private:
+  struct UnitData {
+    Matrix a;                      // A^(i)_(ki)
+    std::vector<Matrix> u;         // U^(i)_l for l in slab order
+    bool dirty = false;
+  };
+
+  const Matrix& GramOf(int mode, int64_t part) const;
+
+  BlockFactorStore* store_;
+  const GridPartition& grid_;
+  int64_t rank_;
+  double ridge_;
+
+  std::map<ModePartition, UnitData> resident_;
+  // Slab block lists, precomputed per unit.
+  std::map<ModePartition, std::vector<BlockIndex>> slabs_;
+  // m_[flat_block][mode] = M^(mode)_block.
+  std::vector<std::vector<Matrix>> m_;
+  // G per mode-partition.
+  std::map<ModePartition, Matrix> g_;
+  // n_l per flat block.
+  std::vector<double> block_norm_sq_;
+
+  int64_t updates_applied_ = 0;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_REFINEMENT_STATE_H_

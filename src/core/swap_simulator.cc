@@ -1,0 +1,49 @@
+#include "core/swap_simulator.h"
+
+#include <algorithm>
+
+namespace tpcp {
+
+SwapSimResult SimulateSwaps(const SwapSimConfig& config) {
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(config.schedule, config.grid);
+  UnitCatalog catalog(config.grid, config.rank);
+
+  SwapSimResult result;
+  result.total_requirement_bytes = catalog.TotalBytes();
+  result.buffer_bytes = std::max<uint64_t>(
+      static_cast<uint64_t>(config.buffer_fraction *
+                            static_cast<double>(result.total_requirement_bytes)),
+      catalog.MaxUnitBytes());
+
+  BufferPool pool(result.buffer_bytes, catalog,
+                  NewPolicy(config.policy, &schedule));
+
+  int64_t pos = 0;
+  const int64_t warmup_steps =
+      static_cast<int64_t>(config.warmup_cycles) * schedule.cycle_length();
+  for (; pos < warmup_steps; ++pos) {
+    const Status s = pool.Access(schedule.StepAt(pos).unit(), pos);
+    TPCP_CHECK(s.ok()) << s.ToString();
+  }
+  pool.ResetStats();
+
+  const int64_t measure_steps =
+      static_cast<int64_t>(config.measure_virtual_iterations) *
+      schedule.virtual_iteration_length();
+  const int64_t end = pos + measure_steps;
+  for (; pos < end; ++pos) {
+    const Status s = pool.Access(schedule.StepAt(pos).unit(), pos);
+    TPCP_CHECK(s.ok()) << s.ToString();
+  }
+
+  result.stats = pool.stats();
+  result.measured_swaps = result.stats.swap_ins;
+  result.measured_virtual_iterations = config.measure_virtual_iterations;
+  result.swaps_per_virtual_iteration =
+      static_cast<double>(result.measured_swaps) /
+      static_cast<double>(config.measure_virtual_iterations);
+  return result;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,48 @@
+// Exact data-swap simulation (reproduces Figure 12).
+//
+// Because every factor update touches exactly one data unit, the number of
+// per-virtual-iteration swaps depends only on the grid, the schedule, the
+// replacement policy, and the buffer size relative to the total space
+// requirement — not on the data (the paper makes the same observation).
+// This simulator replays the schedule's unit-access trace against a
+// BufferPool with no data movement and reports steady-state swap rates.
+
+#ifndef TPCP_CORE_SWAP_SIMULATOR_H_
+#define TPCP_CORE_SWAP_SIMULATOR_H_
+
+#include "buffer/buffer_pool.h"
+#include "schedule/update_schedule.h"
+
+namespace tpcp {
+
+/// One simulated configuration.
+struct SwapSimConfig {
+  GridPartition grid;
+  int64_t rank = 100;
+  ScheduleType schedule = ScheduleType::kZOrder;
+  PolicyType policy = PolicyType::kLru;
+  /// Buffer capacity as a fraction of the total space requirement.
+  double buffer_fraction = 1.0 / 3.0;
+  /// Virtual iterations measured after warm-up.
+  int measure_virtual_iterations = 100;
+  /// Full schedule cycles replayed before measuring (the replayed trace is
+  /// periodic, so steady state is reached within one cycle).
+  int warmup_cycles = 2;
+};
+
+/// Simulation outcome.
+struct SwapSimResult {
+  double swaps_per_virtual_iteration = 0.0;
+  uint64_t measured_swaps = 0;
+  int measured_virtual_iterations = 0;
+  uint64_t buffer_bytes = 0;
+  uint64_t total_requirement_bytes = 0;
+  BufferStats stats;
+};
+
+/// Replays the configured schedule and returns steady-state swap counts.
+SwapSimResult SimulateSwaps(const SwapSimConfig& config);
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_SWAP_SIMULATOR_H_

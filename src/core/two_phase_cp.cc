@@ -1,0 +1,170 @@
+#include "core/two_phase_cp.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace tpcp {
+
+TwoPhaseCp::TwoPhaseCp(BlockTensorStore* input, BlockFactorStore* factors,
+                       TwoPhaseCpOptions options)
+    : input_(input), factors_(factors), options_(std::move(options)) {
+  TPCP_CHECK(input_->grid() == factors_->grid())
+      << "input store and factor store must share one grid";
+  TPCP_CHECK_EQ(factors_->rank(), options_.rank);
+}
+
+Status TwoPhaseCp::RunPhase1(ThreadPool* pool) {
+  Stopwatch watch;
+  const GridPartition& grid = input_->grid();
+  const std::vector<BlockIndex> blocks = grid.AllBlocks();
+  const int n = grid.num_modes();
+
+  CpAlsOptions als;
+  als.rank = options_.rank;
+  als.max_iterations = options_.phase1_max_iterations;
+  als.fit_tolerance = options_.phase1_fit_tolerance;
+  als.ridge = options_.phase1_ridge;
+  als.init = options_.init;
+
+  std::mutex mu;
+  Status first_error = Status::OK();
+  double fit_sum = 0.0;
+
+  auto decompose_one = [&](int64_t i) {
+    const BlockIndex& block = blocks[static_cast<size_t>(i)];
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!first_error.ok()) return;
+    }
+    auto chunk = input_->ReadBlock(block);
+    if (!chunk.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = chunk.status();
+      return;
+    }
+    CpAlsOptions local = als;
+    local.seed = options_.seed + 0x9e37u * static_cast<uint64_t>(i + 1);
+    CpAlsReport report;
+    KruskalTensor sub = CpAls(*chunk, local, &report);
+    // Spread lambda evenly across modes so stored factors carry the full
+    // magnitude (U-products reconstruct the block without a weight vector).
+    for (int64_t c = 0; c < sub.rank(); ++c) {
+      const double lam = sub.lambda()[static_cast<size_t>(c)];
+      const double scale =
+          lam > 0.0 ? std::pow(lam, 1.0 / static_cast<double>(n)) : 0.0;
+      for (int mode = 0; mode < n; ++mode) {
+        Matrix& f = sub.factor(mode);
+        for (int64_t r = 0; r < f.rows(); ++r) f(r, c) *= scale;
+      }
+    }
+    for (int mode = 0; mode < n; ++mode) {
+      const Status s =
+          factors_->WriteBlockFactor(block, mode, sub.factor(mode));
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.ok()) first_error = s;
+        return;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    fit_sum += report.final_fit;
+  };
+
+  ParallelFor(pool, 0, static_cast<int64_t>(blocks.size()), decompose_one);
+  TPCP_RETURN_IF_ERROR(first_error);
+
+  result_.phase1_seconds = watch.ElapsedSeconds();
+  result_.blocks_decomposed = static_cast<int64_t>(blocks.size());
+  result_.phase1_mean_block_fit =
+      fit_sum / static_cast<double>(blocks.size());
+  phase1_done_ = true;
+  return Status::OK();
+}
+
+Status TwoPhaseCp::RunPhase2() {
+  TPCP_CHECK(phase1_done_) << "RunPhase2 requires RunPhase1 first";
+  Stopwatch watch;
+  const GridPartition& grid = factors_->grid();
+
+  RefinementState state(factors_, options_.refinement_ridge);
+  TPCP_RETURN_IF_ERROR(state.Initialize(options_.resume_phase2));
+
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(options_.schedule, grid);
+  UnitCatalog catalog(grid, options_.rank);
+  const uint64_t capacity = std::max(
+      options_.ResolveBufferBytes(catalog.TotalBytes()),
+      catalog.MaxUnitBytes());
+
+  BufferPool pool(capacity, catalog, NewPolicy(options_.policy, &schedule));
+  pool.SetCallbacks(
+      [&state](const ModePartition& unit) { return state.LoadUnit(unit); },
+      [&state](const ModePartition& unit, bool dirty) {
+        return state.EvictUnit(unit, dirty);
+      });
+
+  const int64_t vi_len = schedule.virtual_iteration_length();
+  double prev_fit = state.SurrogateFit();
+  result_.fit_trace.clear();
+  result_.converged = false;
+
+  int64_t pos = 0;
+  for (int vi = 0; vi < options_.max_virtual_iterations; ++vi) {
+    for (int64_t s = 0; s < vi_len; ++s, ++pos) {
+      const UpdateStep& step = schedule.StepAt(pos);
+      TPCP_RETURN_IF_ERROR(pool.Access(step.unit(), pos));
+      state.ApplyUpdate(step);
+      pool.MarkDirty(step.unit());
+    }
+    const double fit = state.SurrogateFit();
+    result_.fit_trace.push_back(fit);
+    result_.virtual_iterations = vi + 1;
+    // Termination is evaluated once per virtual iteration (Definition 3),
+    // but never before one full tensor-filling cycle: early virtual
+    // iterations of a block-centric schedule may only touch a few blocks
+    // (possibly empty ones on sparse data), and their flat fit would fake
+    // convergence before every sub-factor has seen all block information.
+    const bool cycle_completed = pos >= schedule.cycle_length();
+    if (cycle_completed && vi > 0 &&
+        fit - prev_fit < options_.fit_tolerance) {
+      prev_fit = fit;
+      result_.converged = true;
+      break;
+    }
+    prev_fit = fit;
+  }
+
+  result_.surrogate_fit = prev_fit;
+  TPCP_RETURN_IF_ERROR(pool.Flush());
+  result_.buffer_stats = pool.stats();
+  result_.swaps_per_virtual_iteration =
+      static_cast<double>(pool.stats().swap_ins) /
+      static_cast<double>(result_.virtual_iterations);
+  result_.phase2_seconds = watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status TwoPhaseCp::AssembleResult() {
+  const GridPartition& grid = factors_->grid();
+  std::vector<Matrix> full;
+  full.reserve(static_cast<size_t>(grid.num_modes()));
+  for (int mode = 0; mode < grid.num_modes(); ++mode) {
+    TPCP_ASSIGN_OR_RETURN(Matrix f, factors_->AssembleFullFactor(mode));
+    full.push_back(std::move(f));
+  }
+  result_.decomposition = KruskalTensor(std::move(full));
+  result_.decomposition.Normalize();
+  return Status::OK();
+}
+
+Result<KruskalTensor> TwoPhaseCp::Run(ThreadPool* pool) {
+  TPCP_RETURN_IF_ERROR(RunPhase1(pool));
+  TPCP_RETURN_IF_ERROR(RunPhase2());
+  TPCP_RETURN_IF_ERROR(AssembleResult());
+  return result_.decomposition;
+}
+
+}  // namespace tpcp

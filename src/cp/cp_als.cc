@@ -1,0 +1,90 @@
+#include "cp/cp_als.h"
+
+#include "linalg/blas.h"
+#include "linalg/cholesky.h"
+#include "linalg/elementwise.h"
+#include "tensor/mttkrp.h"
+
+namespace tpcp {
+namespace {
+
+// Shared ALS loop over anything Mttkrp/Fit accept.
+template <typename TensorT>
+KruskalTensor CpAlsImpl(const TensorT& tensor, const CpAlsOptions& options,
+                        CpAlsReport* report) {
+  TPCP_CHECK_GE(options.rank, 1);
+  const int n = tensor.num_modes();
+  std::vector<Matrix> factors =
+      InitFactors(tensor, options.rank, options.init, options.seed);
+
+  std::vector<Matrix> grams;
+  grams.reserve(static_cast<size_t>(n));
+  for (const Matrix& f : factors) grams.push_back(Gram(f));
+
+  CpAlsReport local_report;
+  CpAlsReport* rep = report != nullptr ? report : &local_report;
+  *rep = CpAlsReport();
+
+  double prev_fit = 0.0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (int mode = 0; mode < n; ++mode) {
+      const Matrix m = Mttkrp(tensor, factors, mode);
+      factors[static_cast<size_t>(mode)] =
+          AlsFactorUpdate(m, grams, mode, options.ridge);
+      grams[static_cast<size_t>(mode)] =
+          Gram(factors[static_cast<size_t>(mode)]);
+    }
+    KruskalTensor current(factors);
+    const double fit = Fit(tensor, current);
+    rep->fit_trace.push_back(fit);
+    rep->iterations = iter + 1;
+    if (iter > 0 && fit - prev_fit < options.fit_tolerance) {
+      rep->converged = true;
+      prev_fit = fit;
+      break;
+    }
+    prev_fit = fit;
+  }
+  rep->final_fit = prev_fit;
+
+  KruskalTensor result(std::move(factors));
+  result.Normalize();
+  return result;
+}
+
+}  // namespace
+
+void ApplyRidge(Matrix* s, double ridge) {
+  if (ridge <= 0.0) return;
+  const int64_t f = s->rows();
+  double trace = 0.0;
+  for (int64_t i = 0; i < f; ++i) trace += (*s)(i, i);
+  const double lambda = ridge * trace / static_cast<double>(f);
+  for (int64_t i = 0; i < f; ++i) (*s)(i, i) += lambda;
+}
+
+Matrix AlsFactorUpdate(const Matrix& mttkrp, const std::vector<Matrix>& grams,
+                       int mode, double ridge) {
+  const int64_t f = mttkrp.cols();
+  Matrix s(f, f, 1.0);
+  for (int k = 0; k < static_cast<int>(grams.size()); ++k) {
+    if (k == mode) continue;
+    HadamardInPlace(&s, grams[static_cast<size_t>(k)]);
+  }
+  ApplyRidge(&s, ridge);
+  Matrix a;
+  SolveGramSystem(mttkrp, s, &a);
+  return a;
+}
+
+KruskalTensor CpAls(const DenseTensor& tensor, const CpAlsOptions& options,
+                    CpAlsReport* report) {
+  return CpAlsImpl(tensor, options, report);
+}
+
+KruskalTensor CpAls(const SparseTensor& tensor, const CpAlsOptions& options,
+                    CpAlsReport* report) {
+  return CpAlsImpl(tensor, options, report);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,64 @@
+#include "cp/cp_nonneg.h"
+
+#include "linalg/blas.h"
+#include "linalg/elementwise.h"
+#include "tensor/mttkrp.h"
+#include "tensor/norms.h"
+
+namespace tpcp {
+
+KruskalTensor CpNonneg(const DenseTensor& tensor,
+                       const CpNonnegOptions& options, CpAlsReport* report) {
+  TPCP_CHECK_GE(options.rank, 1);
+  for (int64_t i = 0; i < tensor.NumElements(); ++i) {
+    TPCP_CHECK_GE(tensor.at_linear(i), 0.0)
+        << "CpNonneg requires a nonnegative tensor";
+  }
+  const int n = tensor.num_modes();
+  // Uniform [0,1) random init is already nonnegative.
+  std::vector<Matrix> factors =
+      RandomFactors(tensor.shape(), options.rank, options.seed);
+  std::vector<Matrix> grams;
+  grams.reserve(static_cast<size_t>(n));
+  for (const Matrix& f : factors) grams.push_back(Gram(f));
+
+  CpAlsReport local;
+  CpAlsReport* rep = report != nullptr ? report : &local;
+  *rep = CpAlsReport();
+
+  double prev_fit = 0.0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (int mode = 0; mode < n; ++mode) {
+      const Matrix numerator = Mttkrp(tensor, factors, mode);
+      Matrix s(options.rank, options.rank, 1.0);
+      for (int k = 0; k < n; ++k) {
+        if (k == mode) continue;
+        HadamardInPlace(&s, grams[static_cast<size_t>(k)]);
+      }
+      Matrix& a = factors[static_cast<size_t>(mode)];
+      Matrix denominator(a.rows(), options.rank);
+      Gemm(Trans::kNo, a, Trans::kNo, s, 1.0, 0.0, &denominator);
+      for (int64_t i = 0; i < a.size(); ++i) {
+        a.data()[i] *= numerator.data()[i] /
+                       (denominator.data()[i] + options.epsilon);
+      }
+      grams[static_cast<size_t>(mode)] = Gram(a);
+    }
+    const double fit = Fit(tensor, KruskalTensor(factors));
+    rep->fit_trace.push_back(fit);
+    rep->iterations = iter + 1;
+    if (iter > 0 && fit - prev_fit < options.fit_tolerance) {
+      prev_fit = fit;
+      rep->converged = true;
+      break;
+    }
+    prev_fit = fit;
+  }
+  rep->final_fit = prev_fit;
+
+  KruskalTensor result(std::move(factors));
+  result.Normalize();
+  return result;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,34 @@
+// Nonnegative CP decomposition via multiplicative updates — the algorithm
+// family of the paper's reference [23] (Phan & Cichocki, block
+// decomposition for very large-scale nonnegative tensor factorization).
+//
+// Factor updates follow the Lee–Seung rule generalized to tensors:
+//   A <- A ⊛ M ⊘ (A S + eps),  M = MTTKRP, S = ⊛_{k≠n} Gram_k,
+// which preserves nonnegativity and monotonically decreases the residual.
+
+#ifndef TPCP_CP_CP_NONNEG_H_
+#define TPCP_CP_CP_NONNEG_H_
+
+#include "cp/cp_als.h"
+
+namespace tpcp {
+
+/// Options for the nonnegative decomposition.
+struct CpNonnegOptions {
+  int64_t rank = 10;
+  int max_iterations = 100;
+  double fit_tolerance = 1e-5;
+  uint64_t seed = 1;
+  /// Denominator guard of the multiplicative update.
+  double epsilon = 1e-12;
+};
+
+/// Runs multiplicative-update nonnegative CP on a dense tensor with
+/// nonnegative entries (negative input cells CHECK-fail).
+KruskalTensor CpNonneg(const DenseTensor& tensor,
+                       const CpNonnegOptions& options,
+                       CpAlsReport* report = nullptr);
+
+}  // namespace tpcp
+
+#endif  // TPCP_CP_CP_NONNEG_H_

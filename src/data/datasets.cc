@@ -1,0 +1,93 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpcp {
+
+const char* PaperDatasetName(PaperDataset dataset) {
+  switch (dataset) {
+    case PaperDataset::kEpinions:
+      return "Epinions";
+    case PaperDataset::kCiao:
+      return "Ciao";
+    case PaperDataset::kEnron:
+      return "Enron";
+    case PaperDataset::kFace:
+      return "Face";
+  }
+  return "?";
+}
+
+std::vector<PaperDataset> AllPaperDatasets() {
+  return {PaperDataset::kEpinions, PaperDataset::kCiao, PaperDataset::kEnron,
+          PaperDataset::kFace};
+}
+
+Shape PaperDatasetShape(PaperDataset dataset) {
+  switch (dataset) {
+    case PaperDataset::kEpinions:
+      return Shape({170, 1000, 18});
+    case PaperDataset::kCiao:
+      return Shape({167, 967, 18});
+    case PaperDataset::kEnron:
+      return Shape({5632, 184, 184});
+    case PaperDataset::kFace:
+      return Shape({480, 640, 100});
+  }
+  return Shape({1});
+}
+
+double PaperDatasetDensity(PaperDataset dataset) {
+  switch (dataset) {
+    case PaperDataset::kEpinions:
+      return 2.4e-4;
+    case PaperDataset::kCiao:
+      return 2.2e-4;
+    case PaperDataset::kEnron:
+      return 1.8e-4;
+    case PaperDataset::kFace:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+SparseTensor MakeSparsePaperDataset(PaperDataset dataset, uint64_t seed) {
+  TPCP_CHECK(dataset != PaperDataset::kFace)
+      << "Face is dense; use MakeDensePaperDataset";
+  const Shape shape = PaperDatasetShape(dataset);
+  const int64_t nnz = std::max<int64_t>(
+      1, static_cast<int64_t>(PaperDatasetDensity(dataset) *
+                              static_cast<double>(shape.NumElements())));
+  // Trust/email data is heavily skewed: a few active users/items dominate.
+  const double skew = 2.5;
+  return MakePowerLawSparseTensor(shape, nnz, skew, seed);
+}
+
+DenseTensor MakeDensePaperDataset(PaperDataset dataset, uint64_t seed) {
+  if (dataset == PaperDataset::kFace) {
+    // Face images are smooth and highly correlated across the image mode:
+    // a dense low-rank-plus-noise tensor captures that structure.
+    LowRankSpec spec;
+    spec.shape = PaperDatasetShape(dataset);
+    spec.rank = 20;
+    spec.noise_level = 0.05;
+    spec.density = 1.0;
+    spec.seed = seed;
+    return MakeLowRankTensor(spec);
+  }
+  return MakeSparsePaperDataset(dataset, seed).ToDense();
+}
+
+Shape ScaledShape(const Shape& shape, double scale) {
+  std::vector<int64_t> dims;
+  dims.reserve(static_cast<size_t>(shape.num_modes()));
+  for (int m = 0; m < shape.num_modes(); ++m) {
+    dims.push_back(std::max<int64_t>(
+        8, static_cast<int64_t>(std::llround(
+               static_cast<double>(shape.dim(m)) * scale))));
+  }
+  return Shape(dims);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,49 @@
+// Shape- and density-matched stand-ins for the paper's evaluation datasets
+// (Section VIII-C). The real downloads are unavailable offline; these
+// generators reproduce the characteristics Figure 13 depends on — tensor
+// shape, overall density, cross-block density variability, and (for Face)
+// full density. See DESIGN.md, substitution #3.
+
+#ifndef TPCP_DATA_DATASETS_H_
+#define TPCP_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace tpcp {
+
+/// The four evaluation datasets.
+enum class PaperDataset {
+  kEpinions,  // 170 x 1000 x 18, density 2.4e-4, <user, item, category>
+  kCiao,      // 167 x 967 x 18,  density 2.2e-4, <user, item, category>
+  kEnron,     // 5632 x 184 x 184, density 1.8e-4, <time, from, to>
+  kFace,      // 480 x 640 x 100, density 1.0, <x, y, image>
+};
+
+const char* PaperDatasetName(PaperDataset dataset);
+std::vector<PaperDataset> AllPaperDatasets();
+
+/// Shape of a dataset as reported by the paper.
+Shape PaperDatasetShape(PaperDataset dataset);
+
+/// Density as reported by the paper.
+double PaperDatasetDensity(PaperDataset dataset);
+
+/// Generates the sparse stand-in for the three trust/email datasets
+/// (power-law marginals) — CHECK-fails for kFace (which is dense).
+SparseTensor MakeSparsePaperDataset(PaperDataset dataset, uint64_t seed);
+
+/// Generates any dataset in dense form (the natural form for kFace; the
+/// sparse ones come out mostly-zero).
+DenseTensor MakeDensePaperDataset(PaperDataset dataset, uint64_t seed);
+
+/// Optionally scales a dataset's shape by `scale` in every mode (used to
+/// keep single-core experiment times reasonable while preserving the
+/// shape ratios and density). scale = 1.0 reproduces the paper's sizes.
+Shape ScaledShape(const Shape& shape, double scale);
+
+}  // namespace tpcp
+
+#endif  // TPCP_DATA_DATASETS_H_

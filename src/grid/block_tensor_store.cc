@@ -1,0 +1,97 @@
+#include "grid/block_tensor_store.h"
+
+#include "storage/serializer.h"
+
+namespace tpcp {
+
+BlockTensorStore::BlockTensorStore(Env* env, std::string prefix,
+                                   GridPartition grid)
+    : env_(env), prefix_(std::move(prefix)), grid_(std::move(grid)) {}
+
+std::string BlockTensorStore::BlockFileName(const BlockIndex& block) const {
+  std::string name = prefix_ + "/block";
+  for (int64_t k : block) {
+    name += "_";
+    name += std::to_string(k);
+  }
+  return name;
+}
+
+Status BlockTensorStore::WriteBlock(const BlockIndex& block,
+                                    const DenseTensor& data) {
+  const std::vector<int64_t> expected = grid_.BlockSizes(block);
+  if (data.shape().dims() != expected) {
+    return Status::InvalidArgument(
+        "block shape " + data.shape().ToString() + " does not match grid");
+  }
+  return WriteTensor(env_, BlockFileName(block), data);
+}
+
+Result<DenseTensor> BlockTensorStore::ReadBlock(const BlockIndex& block) const {
+  return ReadTensor(env_, BlockFileName(block));
+}
+
+bool BlockTensorStore::HasBlock(const BlockIndex& block) const {
+  return env_->FileExists(BlockFileName(block));
+}
+
+Status BlockTensorStore::ImportTensor(const DenseTensor& tensor) {
+  if (tensor.shape() != grid_.tensor_shape()) {
+    return Status::InvalidArgument("tensor shape does not match grid");
+  }
+  for (const BlockIndex& block : grid_.AllBlocks()) {
+    const DenseTensor chunk =
+        tensor.Slice(grid_.BlockOffsets(block), grid_.BlockSizes(block));
+    TPCP_RETURN_IF_ERROR(WriteBlock(block, chunk));
+  }
+  return Status::OK();
+}
+
+Result<DenseTensor> BlockTensorStore::ExportTensor() const {
+  DenseTensor out(grid_.tensor_shape());
+  for (const BlockIndex& block : grid_.AllBlocks()) {
+    TPCP_ASSIGN_OR_RETURN(DenseTensor chunk, ReadBlock(block));
+    out.SetSlice(grid_.BlockOffsets(block), chunk);
+  }
+  return out;
+}
+
+Status BlockTensorStore::Generate(
+    const std::function<double(const Index&)>& gen) {
+  for (const BlockIndex& block : grid_.AllBlocks()) {
+    const Index offsets = grid_.BlockOffsets(block);
+    const std::vector<int64_t> sizes = grid_.BlockSizes(block);
+    DenseTensor chunk{Shape(sizes)};
+    const int n = grid_.num_modes();
+    Index local(static_cast<size_t>(n), 0);
+    Index global(static_cast<size_t>(n));
+    const int64_t total = chunk.NumElements();
+    for (int64_t linear = 0; linear < total; ++linear) {
+      for (int m = 0; m < n; ++m) {
+        global[static_cast<size_t>(m)] =
+            offsets[static_cast<size_t>(m)] + local[static_cast<size_t>(m)];
+      }
+      chunk.at_linear(linear) = gen(global);
+      for (int m = n - 1; m >= 0; --m) {
+        if (++local[static_cast<size_t>(m)] < sizes[static_cast<size_t>(m)]) {
+          break;
+        }
+        local[static_cast<size_t>(m)] = 0;
+      }
+    }
+    TPCP_RETURN_IF_ERROR(WriteBlock(block, chunk));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> BlockTensorStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const BlockIndex& block : grid_.AllBlocks()) {
+    TPCP_ASSIGN_OR_RETURN(const uint64_t size,
+                          env_->FileSize(BlockFileName(block)));
+    total += size;
+  }
+  return total;
+}
+
+}  // namespace tpcp

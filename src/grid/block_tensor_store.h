@@ -1,0 +1,63 @@
+// On-disk chunked dense tensor store (the TensorDB/SciDB chunk-store role).
+//
+// A BlockTensorStore holds one serialized DenseTensor file per grid block.
+// Large tensors never need to exist contiguously in memory: producers write
+// blocks one at a time, consumers (Phase 1) read them back one at a time.
+
+#ifndef TPCP_GRID_BLOCK_TENSOR_STORE_H_
+#define TPCP_GRID_BLOCK_TENSOR_STORE_H_
+
+#include <functional>
+#include <string>
+
+#include "grid/grid_partition.h"
+#include "storage/env.h"
+#include "tensor/dense_tensor.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// Chunked dense tensor resident in an Env.
+class BlockTensorStore {
+ public:
+  /// Store rooted at `prefix` inside `env`, laid out per `grid`.
+  BlockTensorStore(Env* env, std::string prefix, GridPartition grid);
+
+  const GridPartition& grid() const { return grid_; }
+  Env* env() const { return env_; }
+
+  /// Writes one block (shape must match the grid geometry for `block`).
+  Status WriteBlock(const BlockIndex& block, const DenseTensor& data);
+
+  /// Reads one block back.
+  Result<DenseTensor> ReadBlock(const BlockIndex& block) const;
+
+  /// True if the block has been written.
+  bool HasBlock(const BlockIndex& block) const;
+
+  /// Partitions a fully materialized tensor into the store.
+  Status ImportTensor(const DenseTensor& tensor);
+
+  /// Reassembles the full tensor (use only when it fits in memory).
+  Result<DenseTensor> ExportTensor() const;
+
+  /// Streams blocks generated cell-by-cell by `gen(global_index)` into the
+  /// store without ever materializing the whole tensor — the path used to
+  /// build billion-cell inputs.
+  Status Generate(const std::function<double(const Index&)>& gen);
+
+  /// File name of a block (exposed for tests and tooling).
+  std::string BlockFileName(const BlockIndex& block) const;
+
+  /// Sum of serialized block sizes currently present, in bytes.
+  Result<uint64_t> TotalBytes() const;
+
+ private:
+  Env* env_;
+  std::string prefix_;
+  GridPartition grid_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_GRID_BLOCK_TENSOR_STORE_H_

@@ -1,0 +1,93 @@
+#include "grid/grid_partition.h"
+
+#include "util/format.h"
+
+namespace tpcp {
+
+GridPartition::GridPartition(Shape shape, std::vector<int64_t> parts)
+    : shape_(std::move(shape)), parts_(std::move(parts)) {
+  TPCP_CHECK_EQ(static_cast<int>(parts_.size()), shape_.num_modes());
+  num_blocks_ = 1;
+  sum_parts_ = 0;
+  for (int m = 0; m < shape_.num_modes(); ++m) {
+    const int64_t k = parts_[static_cast<size_t>(m)];
+    TPCP_CHECK_GE(k, 1);
+    TPCP_CHECK_LE(k, shape_.dim(m));
+    num_blocks_ *= k;
+    sum_parts_ += k;
+  }
+}
+
+GridPartition GridPartition::Uniform(const Shape& shape,
+                                     int64_t parts_per_mode) {
+  return GridPartition(
+      shape, std::vector<int64_t>(static_cast<size_t>(shape.num_modes()),
+                                  parts_per_mode));
+}
+
+int64_t GridPartition::PartitionOffset(int mode, int64_t k) const {
+  const int64_t dim = shape_.dim(mode);
+  const int64_t parts = parts_[static_cast<size_t>(mode)];
+  TPCP_DCHECK(k >= 0 && k <= parts);
+  const int64_t base = dim / parts;
+  const int64_t extra = dim % parts;
+  // First `extra` partitions hold (base + 1) elements.
+  return k * base + std::min(k, extra);
+}
+
+int64_t GridPartition::PartitionSize(int mode, int64_t k) const {
+  return PartitionOffset(mode, k + 1) - PartitionOffset(mode, k);
+}
+
+int64_t GridPartition::FlattenBlock(const BlockIndex& block) const {
+  TPCP_DCHECK(static_cast<int>(block.size()) == num_modes());
+  int64_t flat = 0;
+  for (int m = 0; m < num_modes(); ++m) {
+    TPCP_DCHECK(block[static_cast<size_t>(m)] >= 0 &&
+                block[static_cast<size_t>(m)] < parts(m));
+    flat = flat * parts(m) + block[static_cast<size_t>(m)];
+  }
+  return flat;
+}
+
+BlockIndex GridPartition::UnflattenBlock(int64_t flat) const {
+  TPCP_DCHECK(flat >= 0 && flat < num_blocks_);
+  BlockIndex block(static_cast<size_t>(num_modes()));
+  for (int m = num_modes() - 1; m >= 0; --m) {
+    block[static_cast<size_t>(m)] = flat % parts(m);
+    flat /= parts(m);
+  }
+  return block;
+}
+
+std::vector<BlockIndex> GridPartition::AllBlocks() const {
+  std::vector<BlockIndex> out;
+  out.reserve(static_cast<size_t>(num_blocks_));
+  for (int64_t i = 0; i < num_blocks_; ++i) out.push_back(UnflattenBlock(i));
+  return out;
+}
+
+Index GridPartition::BlockOffsets(const BlockIndex& block) const {
+  Index offsets(static_cast<size_t>(num_modes()));
+  for (int m = 0; m < num_modes(); ++m) {
+    offsets[static_cast<size_t>(m)] =
+        PartitionOffset(m, block[static_cast<size_t>(m)]);
+  }
+  return offsets;
+}
+
+std::vector<int64_t> GridPartition::BlockSizes(const BlockIndex& block) const {
+  std::vector<int64_t> sizes(static_cast<size_t>(num_modes()));
+  for (int m = 0; m < num_modes(); ++m) {
+    sizes[static_cast<size_t>(m)] =
+        PartitionSize(m, block[static_cast<size_t>(m)]);
+  }
+  return sizes;
+}
+
+std::string GridPartition::ToString() const {
+  std::vector<uint64_t> parts(parts_.begin(), parts_.end());
+  return DimsToString(parts) + " over " + shape_.ToString();
+}
+
+}  // namespace tpcp

@@ -1,0 +1,87 @@
+// Grid partitioning of an N-mode tensor into blocks (Section III-C).
+//
+// A GridPartition splits mode i into K_i contiguous partitions; the blocks
+// X_k, k in K = K_1 x ... x K_N, tile the tensor. Partition sizes are
+// ceil-divided: the first (I_i mod K_i) partitions get one extra element, so
+// partitions are equal when K_i divides I_i (the paper's assumption) and
+// near-equal otherwise.
+
+#ifndef TPCP_GRID_GRID_PARTITION_H_
+#define TPCP_GRID_GRID_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace tpcp {
+
+/// Block position in the grid: one partition index per mode.
+using BlockIndex = std::vector<int64_t>;
+
+/// Geometry of a grid partitioning.
+class GridPartition {
+ public:
+  GridPartition() = default;
+
+  /// Partitions `shape` with K_i = parts[i] along mode i. CHECK-fails if any
+  /// parts[i] < 1 or parts[i] > dim(i).
+  GridPartition(Shape shape, std::vector<int64_t> parts);
+
+  /// Uniform K partitions along every mode.
+  static GridPartition Uniform(const Shape& shape, int64_t parts_per_mode);
+
+  const Shape& tensor_shape() const { return shape_; }
+  int num_modes() const { return shape_.num_modes(); }
+
+  /// K_i: partition count along mode i.
+  int64_t parts(int mode) const {
+    return parts_[static_cast<size_t>(mode)];
+  }
+  const std::vector<int64_t>& parts() const { return parts_; }
+
+  /// |K| = prod K_i.
+  int64_t NumBlocks() const { return num_blocks_; }
+
+  /// Sum_i K_i — the number of distinct mode-partition pairs, and the length
+  /// of one virtual iteration (Definition 3).
+  int64_t SumParts() const { return sum_parts_; }
+
+  /// Element offset of partition `k` along `mode`.
+  int64_t PartitionOffset(int mode, int64_t k) const;
+
+  /// Element count of partition `k` along `mode`.
+  int64_t PartitionSize(int mode, int64_t k) const;
+
+  /// Flattens a block index to [0, NumBlocks) (row-major over modes).
+  int64_t FlattenBlock(const BlockIndex& block) const;
+
+  /// Inverse of FlattenBlock.
+  BlockIndex UnflattenBlock(int64_t flat) const;
+
+  /// All block indexes in row-major order.
+  std::vector<BlockIndex> AllBlocks() const;
+
+  /// Per-mode element offsets of a block's origin.
+  Index BlockOffsets(const BlockIndex& block) const;
+
+  /// Per-mode element counts of a block.
+  std::vector<int64_t> BlockSizes(const BlockIndex& block) const;
+
+  /// "2x2x2 over 100x100x100".
+  std::string ToString() const;
+
+  bool operator==(const GridPartition& other) const {
+    return shape_ == other.shape_ && parts_ == other.parts_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<int64_t> parts_;
+  int64_t num_blocks_ = 0;
+  int64_t sum_parts_ = 0;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_GRID_GRID_PARTITION_H_

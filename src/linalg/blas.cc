@@ -1,0 +1,135 @@
+#include "linalg/blas.h"
+
+#include <algorithm>
+
+namespace tpcp {
+namespace {
+
+// Cache-blocking tile sizes (bytes: 64x64 doubles = 32 KiB per operand tile,
+// comfortably inside L2 alongside the C tile).
+constexpr int64_t kTileM = 64;
+constexpr int64_t kTileN = 64;
+constexpr int64_t kTileK = 64;
+
+// Inner kernel: C[mb x nb] += A[mb x kb] * B[kb x nb], all dense row-major
+// with leading dimensions lda/ldb/ldc. B is traversed row-wise so the inner
+// loop is a unit-stride SAXPY over C's row — autovectorizes well.
+void MicroKernel(const double* a, int64_t lda, const double* b, int64_t ldb,
+                 double* c, int64_t ldc, int64_t mb, int64_t nb, int64_t kb) {
+  for (int64_t i = 0; i < mb; ++i) {
+    const double* a_row = a + i * lda;
+    double* c_row = c + i * ldc;
+    for (int64_t p = 0; p < kb; ++p) {
+      const double aip = a_row[p];
+      if (aip == 0.0) continue;
+      const double* b_row = b + p * ldb;
+      for (int64_t j = 0; j < nb; ++j) {
+        c_row[j] += aip * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(Trans trans_a, const Matrix& a, Trans trans_b, const Matrix& b,
+          double alpha, double beta, Matrix* c) {
+  const int64_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const int64_t k = trans_a == Trans::kNo ? a.cols() : a.rows();
+  const int64_t kb2 = trans_b == Trans::kNo ? b.rows() : b.cols();
+  const int64_t n = trans_b == Trans::kNo ? b.cols() : b.rows();
+  TPCP_CHECK_EQ(k, kb2);
+  TPCP_CHECK_EQ(c->rows(), m);
+  TPCP_CHECK_EQ(c->cols(), n);
+
+  if (beta != 1.0) {
+    if (beta == 0.0) {
+      c->Fill(0.0);
+    } else {
+      c->Scale(beta);
+    }
+  }
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  // Materialize transposed operands once: simpler and faster than strided
+  // access for the operand shapes CP-ALS uses (tall-skinny times small).
+  Matrix at, bt;
+  const Matrix* ap = &a;
+  const Matrix* bp = &b;
+  if (trans_a == Trans::kYes) {
+    at = a.Transposed();
+    ap = &at;
+  }
+  if (trans_b == Trans::kYes) {
+    bt = b.Transposed();
+    bp = &bt;
+  }
+
+  // Scale A once if alpha != 1 (cheaper than scaling inside the kernel).
+  Matrix a_scaled;
+  if (alpha != 1.0) {
+    a_scaled = *ap;
+    a_scaled.Scale(alpha);
+    ap = &a_scaled;
+  }
+
+  const int64_t lda = ap->cols();
+  const int64_t ldb = bp->cols();
+  const int64_t ldc = c->cols();
+  for (int64_t i0 = 0; i0 < m; i0 += kTileM) {
+    const int64_t mb = std::min(kTileM, m - i0);
+    for (int64_t p0 = 0; p0 < k; p0 += kTileK) {
+      const int64_t kb = std::min(kTileK, k - p0);
+      for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
+        const int64_t nb = std::min(kTileN, n - j0);
+        MicroKernel(ap->data() + i0 * lda + p0, lda,
+                    bp->data() + p0 * ldb + j0, ldb,
+                    c->data() + i0 * ldc + j0, ldc, mb, nb, kb);
+      }
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  Gemm(Trans::kNo, a, Trans::kNo, b, 1.0, 0.0, &c);
+  return c;
+}
+
+Matrix MatTMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  Gemm(Trans::kYes, a, Trans::kNo, b, 1.0, 0.0, &c);
+  return c;
+}
+
+Matrix MatMulT(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  Gemm(Trans::kNo, a, Trans::kYes, b, 1.0, 0.0, &c);
+  return c;
+}
+
+Matrix Gram(const Matrix& a) { return MatTMul(a, a); }
+
+void Gemv(const Matrix& a, const Matrix& x, double alpha, double beta,
+          Matrix* y) {
+  TPCP_CHECK_EQ(x.cols(), 1);
+  TPCP_CHECK_EQ(y->cols(), 1);
+  TPCP_CHECK_EQ(a.cols(), x.rows());
+  TPCP_CHECK_EQ(a.rows(), y->rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    const double* row = a.row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) acc += row[j] * x(j, 0);
+    (*y)(i, 0) = alpha * acc + beta * (*y)(i, 0);
+  }
+}
+
+double FrobeniusDot(const Matrix& a, const Matrix& b) {
+  TPCP_CHECK_EQ(a.rows(), b.rows());
+  TPCP_CHECK_EQ(a.cols(), b.cols());
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += a.data()[i] * b.data()[i];
+  return acc;
+}
+
+}  // namespace tpcp

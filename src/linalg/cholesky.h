@@ -1,0 +1,34 @@
+// Cholesky factorization and SPD solves for the F x F normal-equation
+// systems at the heart of every ALS update.
+
+#ifndef TPCP_LINALG_CHOLESKY_H_
+#define TPCP_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// In-place lower Cholesky: on success `a` holds L in its lower triangle
+/// (upper triangle is zeroed). Fails with InvalidArgument if `a` is not
+/// square or FailedPrecondition if not positive definite.
+Status CholeskyFactor(Matrix* a);
+
+/// Solves L L^T x = b for multiple right-hand sides given the factor L
+/// (as produced by CholeskyFactor). b is overwritten with x.
+void CholeskySolveInPlace(const Matrix& l, Matrix* b);
+
+/// Solves the system X * S = T for X (i.e., X = T S^{-1}) where S is
+/// symmetric positive semi-definite F x F — the exact shape of the ALS
+/// update A <- T S^{-1}. When S is singular (rank-deficient blocks, e.g.
+/// F larger than a block dimension), falls back to the Moore–Penrose
+/// pseudo-inverse, X = T S^+: null-space components are zeroed rather than
+/// amplified, which keeps repeated block-centric updates stable.
+///
+/// Returns 0.0 for a clean Cholesky solve and -1.0 when the pseudo-inverse
+/// fallback was taken.
+double SolveGramSystem(const Matrix& t, const Matrix& s, Matrix* x);
+
+}  // namespace tpcp
+
+#endif  // TPCP_LINALG_CHOLESKY_H_

@@ -1,0 +1,111 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tpcp {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int64_t>(rows.size());
+  cols_ = rows_ > 0 ? static_cast<int64_t>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<size_t>(rows_ * cols_));
+  for (const auto& r : rows) {
+    TPCP_CHECK_EQ(static_cast<int64_t>(r.size()), cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::SetIdentity() {
+  Fill(0.0);
+  const int64_t n = std::min(rows_, cols_);
+  for (int64_t i = 0; i < n; ++i) (*this)(i, i) = 1.0;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* src = row(r);
+    for (int64_t c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::RowSlice(int64_t row_begin, int64_t row_end) const {
+  TPCP_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= rows_);
+  Matrix out(row_end - row_begin, cols_);
+  std::copy(row(row_begin), row(row_begin) + (row_end - row_begin) * cols_,
+            out.data());
+  return out;
+}
+
+void Matrix::SetRows(int64_t row_offset, const Matrix& src) {
+  TPCP_CHECK_EQ(src.cols(), cols_);
+  TPCP_CHECK_LE(row_offset + src.rows(), rows_);
+  std::copy(src.data(), src.data() + src.size(), row(row_offset));
+}
+
+double Matrix::FrobeniusNorm() const { return std::sqrt(SquaredNorm()); }
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return acc;
+}
+
+void Matrix::Add(const Matrix& other) {
+  TPCP_CHECK_EQ(rows_, other.rows_);
+  TPCP_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  TPCP_CHECK_EQ(rows_, other.rows_);
+  TPCP_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(double scalar) {
+  for (double& v : data_) v *= scalar;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  TPCP_CHECK_EQ(a.rows(), b.rows());
+  TPCP_CHECK_EQ(a.cols(), b.cols());
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+bool Matrix::AlmostEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return MaxAbsDiff(a, b) <= tol;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::string out = "Matrix " + std::to_string(rows_) + "x" +
+                    std::to_string(cols_) + "\n";
+  const int64_t show_r = std::min<int64_t>(rows_, max_rows);
+  const int64_t show_c = std::min<int64_t>(cols_, max_cols);
+  char buf[32];
+  for (int64_t r = 0; r < show_r; ++r) {
+    out += "  [";
+    for (int64_t c = 0; c < show_c; ++c) {
+      std::snprintf(buf, sizeof(buf), "%10.4g", (*this)(r, c));
+      out += buf;
+      if (c + 1 < show_c) out += ", ";
+    }
+    if (show_c < cols_) out += ", ...";
+    out += "]\n";
+  }
+  if (show_r < rows_) out += "  ...\n";
+  return out;
+}
+
+}  // namespace tpcp

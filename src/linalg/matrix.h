@@ -1,0 +1,120 @@
+// Dense, row-major, heap-owned double matrix — the workhorse value type of
+// the library. All factor matrices, Gram matrices, and unfoldings use it.
+
+#ifndef TPCP_LINALG_MATRIX_H_
+#define TPCP_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tpcp {
+
+/// Dense row-major matrix of doubles.
+///
+/// Semantics: a regular value type (copyable, movable). Element access is
+/// bounds-checked in debug builds only. Shape-changing operations allocate.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols)) {
+    TPCP_CHECK_GE(rows, 0);
+    TPCP_CHECK_GE(cols, 0);
+  }
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(int64_t rows, int64_t cols, double fill)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows * cols), fill) {}
+
+  /// Build from nested initializer list: Matrix m{{1,2},{3,4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double& operator()(int64_t r, int64_t c) {
+    TPCP_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double operator()(int64_t r, int64_t c) const {
+    TPCP_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Pointer to the start of row r.
+  double* row(int64_t r) { return data() + r * cols_; }
+  const double* row(int64_t r) const { return data() + r * cols_; }
+
+  /// Number of bytes of payload (excluding object header).
+  uint64_t ByteSize() const {
+    return static_cast<uint64_t>(size()) * sizeof(double);
+  }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// Sets this to the identity pattern (1 on the diagonal); requires square
+  /// only in debug — rectangular gets 1s on the main diagonal.
+  void SetIdentity();
+
+  /// Returns the transpose as a new matrix.
+  Matrix Transposed() const;
+
+  /// Returns rows [row_begin, row_end) as a new matrix.
+  Matrix RowSlice(int64_t row_begin, int64_t row_end) const;
+
+  /// Copies `src` into this matrix starting at row_offset (cols must match).
+  void SetRows(int64_t row_offset, const Matrix& src);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Sum of squared elements.
+  double SquaredNorm() const;
+
+  /// this += other (shapes must match).
+  void Add(const Matrix& other);
+
+  /// this -= other (shapes must match).
+  void Sub(const Matrix& other);
+
+  /// this *= scalar.
+  void Scale(double scalar);
+
+  /// Maximum |a(i,j) - b(i,j)|; CHECK-fails on shape mismatch.
+  static double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+  /// True if shapes match and elements are within `tol` (absolute).
+  static bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);
+
+  /// Multi-line debug rendering (rows capped for large matrices).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_LINALG_MATRIX_H_

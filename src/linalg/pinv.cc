@@ -1,0 +1,24 @@
+#include "linalg/pinv.h"
+
+#include "linalg/blas.h"
+#include "linalg/svd_jacobi.h"
+
+namespace tpcp {
+
+Matrix PseudoInverse(const Matrix& a, double rel_tol) {
+  SvdResult svd = SvdJacobi(a);
+  const int64_t r = static_cast<int64_t>(svd.singular_values.size());
+  const double smax = r > 0 ? svd.singular_values[0] : 0.0;
+  const double cutoff = smax * rel_tol;
+
+  // A^+ = V diag(1/s) U^T over the retained spectrum.
+  Matrix v_scaled = svd.v;  // n x r
+  for (int64_t j = 0; j < r; ++j) {
+    const double s = svd.singular_values[static_cast<size_t>(j)];
+    const double inv = s > cutoff && s > 0.0 ? 1.0 / s : 0.0;
+    for (int64_t i = 0; i < v_scaled.rows(); ++i) v_scaled(i, j) *= inv;
+  }
+  return MatMulT(v_scaled, svd.u);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,16 @@
+// Moore–Penrose pseudo-inverse via SVD with relative-threshold truncation.
+
+#ifndef TPCP_LINALG_PINV_H_
+#define TPCP_LINALG_PINV_H_
+
+#include "linalg/matrix.h"
+
+namespace tpcp {
+
+/// Returns A^+ (n x m for an m x n input). Singular values below
+/// rel_tol * sigma_max are treated as zero.
+Matrix PseudoInverse(const Matrix& a, double rel_tol = 1e-12);
+
+}  // namespace tpcp
+
+#endif  // TPCP_LINALG_PINV_H_

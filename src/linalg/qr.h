@@ -1,0 +1,26 @@
+// Householder QR, used for orthonormal random initialization and for
+// numerically robust least-squares in tests.
+
+#ifndef TPCP_LINALG_QR_H_
+#define TPCP_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+
+namespace tpcp {
+
+/// Result of a thin QR factorization A (m x n, m >= n) = Q (m x n) R (n x n).
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// Thin Householder QR. CHECK-fails if a.rows() < a.cols().
+QrResult QrFactor(const Matrix& a);
+
+/// Returns an m x n matrix with orthonormal columns (m >= n), built by
+/// QR-factoring a Gaussian random matrix drawn from `seed`.
+Matrix RandomOrthonormal(int64_t m, int64_t n, uint64_t seed);
+
+}  // namespace tpcp
+
+#endif  // TPCP_LINALG_QR_H_

@@ -1,0 +1,104 @@
+#include "linalg/svd_jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tpcp {
+
+SvdResult SvdJacobi(const Matrix& a, int max_sweeps) {
+  // Work on the tall orientation; swap U/V afterwards if we transposed.
+  const bool transposed = a.rows() < a.cols();
+  Matrix w = transposed ? a.Transposed() : a;  // m x n with m >= n
+  const int64_t m = w.rows();
+  const int64_t n = w.cols();
+
+  Matrix v(n, n);
+  v.SetIdentity();
+
+  const double eps = 1e-14;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        // Compute the 2x2 Gram entries for columns p, q.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wip = w(i, p);
+          const double wiq = w(i, q);
+          app += wip * wip;
+          aqq += wiq * wiq;
+          apq += wip * wiq;
+        }
+        if (std::fabs(apq) <= eps * std::sqrt(app * aqq)) continue;
+        off += apq * apq;
+        // Jacobi rotation eliminating the (p,q) Gram entry.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wip = w(i, p);
+          const double wiq = w(i, q);
+          w(i, p) = c * wip - s * wiq;
+          w(i, q) = s * wip + c * wiq;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    if (off == 0.0) break;
+  }
+
+  // Column norms of w are the singular values; normalize to get U.
+  std::vector<double> sv(static_cast<size_t>(n));
+  Matrix u(m, n);
+  for (int64_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (int64_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    norm = std::sqrt(norm);
+    sv[static_cast<size_t>(j)] = norm;
+    if (norm > 0.0) {
+      for (int64_t i = 0; i < m; ++i) u(i, j) = w(i, j) / norm;
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return sv[static_cast<size_t>(x)] > sv[static_cast<size_t>(y)];
+  });
+
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.singular_values.resize(static_cast<size_t>(n));
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    out.singular_values[static_cast<size_t>(j)] = sv[static_cast<size_t>(src)];
+    for (int64_t i = 0; i < m; ++i) out.u(i, j) = u(i, src);
+    for (int64_t i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+  }
+
+  if (transposed) std::swap(out.u, out.v);
+  return out;
+}
+
+Matrix LeadingLeftSingularVectors(const Matrix& a, int64_t k,
+                                  int max_sweeps) {
+  SvdResult svd = SvdJacobi(a, max_sweeps);
+  TPCP_CHECK_LE(k, svd.u.cols());
+  Matrix out(svd.u.rows(), k);
+  for (int64_t i = 0; i < out.rows(); ++i) {
+    for (int64_t j = 0; j < k; ++j) out(i, j) = svd.u(i, j);
+  }
+  return out;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,31 @@
+// One-sided Jacobi SVD. Used by the HOSVD-style initializer and by the
+// pseudo-inverse. Accurate for the small/medium matrices CP workloads need.
+
+#ifndef TPCP_LINALG_SVD_JACOBI_H_
+#define TPCP_LINALG_SVD_JACOBI_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tpcp {
+
+/// Thin SVD A (m x n, any shape) = U diag(s) V^T with U m x r, V n x r,
+/// r = min(m, n). Singular values are non-negative, descending.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+};
+
+/// One-sided Jacobi SVD; `sweeps` bounds the outer rotations (convergence is
+/// typically < 12 sweeps for well-conditioned inputs).
+SvdResult SvdJacobi(const Matrix& a, int max_sweeps = 30);
+
+/// Returns the top-`k` left singular vectors of `a` (m x k).
+Matrix LeadingLeftSingularVectors(const Matrix& a, int64_t k,
+                                  int max_sweeps = 30);
+
+}  // namespace tpcp
+
+#endif  // TPCP_LINALG_SVD_JACOBI_H_

@@ -1,0 +1,156 @@
+#include "parallel/mapreduce.h"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace tpcp {
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(const std::string& bytes, size_t* pos, uint32_t* v) {
+  if (*pos + sizeof(uint32_t) > bytes.size()) return false;
+  std::memcpy(v, bytes.data() + *pos, sizeof(uint32_t));
+  *pos += sizeof(uint32_t);
+  return true;
+}
+
+bool ReadBlob(const std::string& bytes, size_t* pos, std::string* out) {
+  uint32_t len = 0;
+  if (!ReadU32(bytes, pos, &len)) return false;
+  if (*pos + len > bytes.size()) return false;
+  out->assign(bytes, *pos, len);
+  *pos += len;
+  return true;
+}
+
+uint64_t HashKey(const std::string& key) {
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string EncodeRecords(const std::vector<Record>& records) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(records.size()));
+  for (const Record& r : records) {
+    AppendU32(&out, static_cast<uint32_t>(r.key.size()));
+    out += r.key;
+    AppendU32(&out, static_cast<uint32_t>(r.value.size()));
+    out += r.value;
+  }
+  return out;
+}
+
+Result<std::vector<Record>> DecodeRecords(const std::string& bytes) {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!ReadU32(bytes, &pos, &count)) {
+    return Status::Corruption("record file: truncated count");
+  }
+  std::vector<Record> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Record r;
+    if (!ReadBlob(bytes, &pos, &r.key) || !ReadBlob(bytes, &pos, &r.value)) {
+      return Status::Corruption("record file: truncated entry");
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+MapReduceEngine::MapReduceEngine(Env* env, MapReduceOptions options)
+    : env_(env), options_(std::move(options)) {
+  TPCP_CHECK_GE(options_.num_reducers, 1);
+}
+
+Result<std::vector<Record>> MapReduceEngine::Run(
+    const Mapper& mapper, const Reducer& reducer,
+    const std::vector<Record>& input) {
+  const uint64_t job_id = job_counter_++;
+  const int r = options_.num_reducers;
+  const std::string job_prefix =
+      options_.working_dir + "/job" + std::to_string(job_id) + "/";
+
+  // ---- Map phase: partition intermediate records by key hash. ----
+  std::vector<std::vector<Record>> partitions(static_cast<size_t>(r));
+  std::mutex partitions_mu;
+  auto run_map = [&](const Record& rec) {
+    std::vector<Record> local;
+    mapper(rec, [&local](std::string key, std::string value) {
+      local.push_back(Record{std::move(key), std::move(value)});
+    });
+    std::lock_guard<std::mutex> lock(partitions_mu);
+    for (Record& out : local) {
+      const size_t p = static_cast<size_t>(HashKey(out.key) %
+                                           static_cast<uint64_t>(r));
+      partitions[p].push_back(std::move(out));
+    }
+  };
+  if (options_.pool != nullptr) {
+    ParallelFor(options_.pool, 0, static_cast<int64_t>(input.size()),
+                [&](int64_t i) { run_map(input[static_cast<size_t>(i)]); });
+  } else {
+    for (const Record& rec : input) run_map(rec);
+  }
+  stats_.map_input_records += input.size();
+
+  // ---- Shuffle: spill every partition through the Env. ----
+  for (int p = 0; p < r; ++p) {
+    const std::string spill = EncodeRecords(partitions[static_cast<size_t>(p)]);
+    stats_.shuffle_records += partitions[static_cast<size_t>(p)].size();
+    stats_.shuffle_bytes += spill.size();
+    TPCP_RETURN_IF_ERROR(
+        env_->WriteFile(job_prefix + "part" + std::to_string(p), spill));
+    partitions[static_cast<size_t>(p)].clear();
+    partitions[static_cast<size_t>(p)].shrink_to_fit();
+  }
+
+  // ---- Reduce phase: re-read each partition, group, reduce. ----
+  std::vector<Record> outputs;
+  for (int p = 0; p < r; ++p) {
+    std::string spill;
+    TPCP_RETURN_IF_ERROR(
+        env_->ReadFile(job_prefix + "part" + std::to_string(p), &spill));
+    TPCP_ASSIGN_OR_RETURN(std::vector<Record> records, DecodeRecords(spill));
+
+    std::map<std::string, std::vector<std::string>> groups;
+    int64_t grouped_bytes = 0;
+    for (Record& rec : records) {
+      grouped_bytes += static_cast<int64_t>(rec.key.size() + rec.value.size()) +
+                       options_.record_overhead_bytes;
+      if (options_.heap_cap_bytes > 0 &&
+          grouped_bytes > options_.heap_cap_bytes) {
+        return Status::ResourceExhausted(
+            "reducer " + std::to_string(p) + " exceeded heap cap (" +
+            std::to_string(options_.heap_cap_bytes) + " bytes)");
+      }
+      groups[std::move(rec.key)].push_back(std::move(rec.value));
+    }
+    for (const auto& [key, values] : groups) {
+      reducer(key, values, [&outputs](std::string k, std::string v) {
+        outputs.push_back(Record{std::move(k), std::move(v)});
+      });
+    }
+    // Spill files are consumed; drop them.
+    TPCP_RETURN_IF_ERROR(
+        env_->DeleteFile(job_prefix + "part" + std::to_string(p)));
+  }
+  stats_.output_records += outputs.size();
+  ++stats_.jobs_run;
+  return outputs;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,94 @@
+// Single-node MapReduce emulator with on-disk shuffle.
+//
+// Substitutes for the Hadoop platform the paper runs Phase 1 and HaTen2 on:
+// map outputs are partitioned by key hash, spilled to an Env, then re-read
+// and grouped by the reduce phase. Every byte crossing the map->reduce
+// boundary goes through the Env, so shuffle volume is measured exactly; a
+// configurable heap cap makes jobs whose per-reducer group state exceeds
+// available memory fail with ResourceExhausted — the analogue of the JVM
+// OOM that makes HaTen2 "FAIL" on dense tensors in the paper's Table I.
+
+#ifndef TPCP_PARALLEL_MAPREDUCE_H_
+#define TPCP_PARALLEL_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// One key/value record.
+struct Record {
+  std::string key;
+  std::string value;
+};
+
+/// Receives emitted records from map and reduce functions.
+using Emitter = std::function<void(std::string key, std::string value)>;
+
+/// Map: one input record -> any number of intermediate records.
+using Mapper = std::function<void(const Record& input, const Emitter& emit)>;
+
+/// Reduce: one key plus all its values -> any number of output records.
+using Reducer = std::function<void(const std::string& key,
+                                   const std::vector<std::string>& values,
+                                   const Emitter& emit)>;
+
+/// Engine configuration.
+struct MapReduceOptions {
+  /// Number of reduce partitions.
+  int num_reducers = 4;
+  /// Maximum bytes a single reducer may hold grouped in memory; exceeding it
+  /// aborts the job with ResourceExhausted. <= 0 means unlimited.
+  int64_t heap_cap_bytes = 0;
+  /// Accounting overhead charged per grouped record on top of its key and
+  /// value payload (container nodes, string headers — the JVM equivalent is
+  /// far larger). Only used when heap_cap_bytes > 0.
+  int64_t record_overhead_bytes = 48;
+  /// Prefix inside the Env for shuffle spill files.
+  std::string working_dir = "mr";
+  /// Optional pool for running map tasks concurrently (may be null).
+  ThreadPool* pool = nullptr;
+};
+
+/// Cumulative statistics for one engine.
+struct MapReduceStats {
+  uint64_t jobs_run = 0;
+  uint64_t map_input_records = 0;
+  uint64_t shuffle_records = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t output_records = 0;
+};
+
+/// Runs MapReduce jobs against an Env-backed shuffle.
+class MapReduceEngine {
+ public:
+  MapReduceEngine(Env* env, MapReduceOptions options);
+
+  /// Executes one job over `input`, returning the reduce outputs.
+  Result<std::vector<Record>> Run(const Mapper& mapper, const Reducer& reducer,
+                                  const std::vector<Record>& input);
+
+  const MapReduceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MapReduceStats(); }
+
+ private:
+  Env* env_;
+  MapReduceOptions options_;
+  MapReduceStats stats_;
+  uint64_t job_counter_ = 0;
+};
+
+/// Encodes/decodes a record list to bytes (length-prefixed), exposed for
+/// tests and for baselines that stage record files directly.
+std::string EncodeRecords(const std::vector<Record>& records);
+Result<std::vector<Record>> DecodeRecords(const std::string& bytes);
+
+}  // namespace tpcp
+
+#endif  // TPCP_PARALLEL_MAPREDUCE_H_

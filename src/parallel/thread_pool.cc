@@ -1,0 +1,73 @@
+#include "parallel/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace tpcp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  TPCP_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    TPCP_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() == 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  for (int64_t i = begin; i < end; ++i) {
+    pool->Submit([&fn, i] { fn(i); });
+  }
+  pool->Wait();
+}
+
+}  // namespace tpcp

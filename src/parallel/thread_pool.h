@@ -1,0 +1,55 @@
+// Fixed-size thread pool used for Phase-1 block decompositions and the
+// MapReduce emulator's task execution.
+
+#ifndef TPCP_PARALLEL_THREAD_POOL_H_
+#define TPCP_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpcp {
+
+/// Simple FIFO thread pool. Tasks are void() callables; exceptions must not
+/// escape tasks (CHECK-fail instead).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+/// With a null pool, runs inline on the calling thread.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace tpcp
+
+#endif  // TPCP_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,94 @@
+#include "schedule/hilbert.h"
+
+#include "util/logging.h"
+
+namespace tpcp {
+namespace {
+
+// Skilling's "transpose" form: the Hilbert index's bits distributed across
+// the coordinate words, X[0] carrying the most significant bit of each
+// b-bit group.
+
+void AxesToTranspose(uint64_t* x, int bits, int dims) {
+  uint64_t m = uint64_t{1} << (bits - 1);
+  // Inverse undo.
+  for (uint64_t q = m; q > 1; q >>= 1) {
+    const uint64_t p = q - 1;
+    for (int i = 0; i < dims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const uint64_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < dims; ++i) x[i] ^= x[i - 1];
+  uint64_t t = 0;
+  for (uint64_t q = m; q > 1; q >>= 1) {
+    if (x[dims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < dims; ++i) x[i] ^= t;
+}
+
+void TransposeToAxes(uint64_t* x, int bits, int dims) {
+  const uint64_t n = uint64_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint64_t t = x[dims - 1] >> 1;
+  for (int i = dims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint64_t q = 2; q != n; q <<= 1) {
+    const uint64_t p = q - 1;
+    for (int i = dims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertIndex(const std::vector<int64_t>& point, int bits) {
+  const int dims = static_cast<int>(point.size());
+  TPCP_CHECK_GE(bits, 1);
+  TPCP_CHECK_LE(static_cast<int64_t>(dims) * bits, 64);
+  std::vector<uint64_t> x(point.begin(), point.end());
+  for (int64_t c : point) {
+    TPCP_CHECK(c >= 0 && c < (int64_t{1} << bits));
+  }
+  AxesToTranspose(x.data(), bits, dims);
+  // Interleave the transpose words into a single index: bit (bits-1-j) of
+  // x[i] becomes bit ((bits-1-j)*dims + (dims-1-i)) of the index.
+  uint64_t index = 0;
+  for (int j = 0; j < bits; ++j) {
+    for (int i = 0; i < dims; ++i) {
+      const uint64_t bit = (x[static_cast<size_t>(i)] >> j) & 1u;
+      index |= bit << (j * dims + (dims - 1 - i));
+    }
+  }
+  return index;
+}
+
+std::vector<int64_t> HilbertPoint(uint64_t index, int dims, int bits) {
+  TPCP_CHECK_GE(bits, 1);
+  TPCP_CHECK_LE(static_cast<int64_t>(dims) * bits, 64);
+  std::vector<uint64_t> x(static_cast<size_t>(dims), 0);
+  for (int j = 0; j < bits; ++j) {
+    for (int i = 0; i < dims; ++i) {
+      const uint64_t bit = (index >> (j * dims + (dims - 1 - i))) & 1u;
+      x[static_cast<size_t>(i)] |= bit << j;
+    }
+  }
+  TransposeToAxes(x.data(), bits, dims);
+  return std::vector<int64_t>(x.begin(), x.end());
+}
+
+}  // namespace tpcp

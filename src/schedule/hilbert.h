@@ -1,0 +1,21 @@
+// N-dimensional Hilbert curve (Section VI-C-2), via Skilling's transpose
+// algorithm ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004).
+
+#ifndef TPCP_SCHEDULE_HILBERT_H_
+#define TPCP_SCHEDULE_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tpcp {
+
+/// Distance along the Hilbert curve of a point with `bits` bits per
+/// coordinate. Coordinates must be < 2^bits; dims * bits <= 64.
+uint64_t HilbertIndex(const std::vector<int64_t>& point, int bits);
+
+/// Inverse of HilbertIndex.
+std::vector<int64_t> HilbertPoint(uint64_t index, int dims, int bits);
+
+}  // namespace tpcp
+
+#endif  // TPCP_SCHEDULE_HILBERT_H_

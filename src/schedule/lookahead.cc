@@ -1,0 +1,31 @@
+#include "schedule/lookahead.h"
+
+#include <algorithm>
+
+namespace tpcp {
+
+ScheduleLookahead::ScheduleLookahead(const UpdateSchedule& schedule)
+    : cycle_len_(schedule.cycle_length()) {
+  const auto& cycle = schedule.cycle();
+  for (int64_t pos = 0; pos < cycle_len_; ++pos) {
+    positions_[cycle[static_cast<size_t>(pos)].unit()].push_back(pos);
+  }
+}
+
+int64_t ScheduleLookahead::NextUse(const ModePartition& unit,
+                                   int64_t current_pos) const {
+  auto it = positions_.find(unit);
+  if (it == positions_.end() || it->second.empty()) {
+    return current_pos + 2 * cycle_len_;  // never used: furthest possible
+  }
+  const std::vector<int64_t>& in_cycle = it->second;
+  const int64_t base = current_pos - current_pos % cycle_len_;
+  const int64_t offset = current_pos % cycle_len_;
+  // First in-cycle position strictly after `offset`.
+  auto next = std::upper_bound(in_cycle.begin(), in_cycle.end(), offset);
+  if (next != in_cycle.end()) return base + *next;
+  // Wraps into the next cycle.
+  return base + cycle_len_ + in_cycle.front();
+}
+
+}  // namespace tpcp

@@ -1,0 +1,38 @@
+// Next-use oracle over an update schedule's unit-access trace.
+//
+// The regular, precomputable structure of fiber-/Z-/Hilbert-order traversals
+// is what makes the paper's forward-looking replacement policy feasible
+// (Section VII-B): for any unit in the buffer we can compute exactly how far
+// in the future the schedule touches it again.
+
+#ifndef TPCP_SCHEDULE_LOOKAHEAD_H_
+#define TPCP_SCHEDULE_LOOKAHEAD_H_
+
+#include <map>
+#include <vector>
+
+#include "schedule/update_schedule.h"
+
+namespace tpcp {
+
+/// Precomputed next-occurrence index over one schedule cycle.
+class ScheduleLookahead {
+ public:
+  explicit ScheduleLookahead(const UpdateSchedule& schedule);
+
+  /// Global position (> current_pos) of the next access to `unit`, given
+  /// that the step at `current_pos` is being executed now. The schedule is
+  /// cyclic, so a next use always exists for any unit that appears in the
+  /// cycle; units never accessed return a position one full cycle away plus
+  /// the cycle length (i.e., "furthest possible").
+  int64_t NextUse(const ModePartition& unit, int64_t current_pos) const;
+
+ private:
+  int64_t cycle_len_;
+  // Sorted in-cycle positions per unit.
+  std::map<ModePartition, std::vector<int64_t>> positions_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_SCHEDULE_LOOKAHEAD_H_

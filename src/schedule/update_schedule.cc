@@ -1,0 +1,167 @@
+#include "schedule/update_schedule.h"
+
+#include <algorithm>
+
+#include "schedule/hilbert.h"
+#include "schedule/zorder.h"
+#include "util/random.h"
+
+namespace tpcp {
+
+const char* ScheduleTypeName(ScheduleType type) {
+  switch (type) {
+    case ScheduleType::kModeCentric:
+      return "MC";
+    case ScheduleType::kFiberOrder:
+      return "FO";
+    case ScheduleType::kZOrder:
+      return "ZO";
+    case ScheduleType::kHilbertOrder:
+      return "HO";
+    case ScheduleType::kSnakeOrder:
+      return "SN";
+    case ScheduleType::kRandomOrder:
+      return "RND";
+  }
+  return "?";
+}
+
+std::vector<BlockIndex> OrderBlocksFiber(const GridPartition& grid) {
+  // Row-major order: the last mode varies fastest — a fiber at a time.
+  return grid.AllBlocks();
+}
+
+namespace {
+
+int MaxBits(const GridPartition& grid) {
+  int64_t max_parts = 1;
+  for (int m = 0; m < grid.num_modes(); ++m) {
+    max_parts = std::max(max_parts, grid.parts(m));
+  }
+  return BitsFor(max_parts);
+}
+
+std::vector<BlockIndex> OrderBlocksByCurve(
+    const GridPartition& grid,
+    uint64_t (*curve)(const std::vector<int64_t>&, int)) {
+  const int bits = MaxBits(grid);
+  std::vector<BlockIndex> blocks = grid.AllBlocks();
+  std::vector<std::pair<uint64_t, size_t>> keyed;
+  keyed.reserve(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    keyed.emplace_back(curve(blocks[i], bits), i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<BlockIndex> out;
+  out.reserve(blocks.size());
+  for (const auto& [key, i] : keyed) out.push_back(blocks[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<BlockIndex> OrderBlocksZOrder(const GridPartition& grid) {
+  return OrderBlocksByCurve(grid, &ZValue);
+}
+
+std::vector<BlockIndex> OrderBlocksSnake(const GridPartition& grid) {
+  // Boustrophedon traversal: like fiber order, but a mode reverses
+  // direction every time its enclosing "row" advances, so consecutive
+  // blocks are always grid neighbours. Mode m's direction therefore
+  // depends on the parity of the mixed-radix index formed by the
+  // more-significant coordinates (the number of row advances so far).
+  std::vector<BlockIndex> order = grid.AllBlocks();
+  for (BlockIndex& block : order) {
+    int64_t prefix_index = 0;  // mixed-radix value of modes < m
+    for (int m = 0; m < grid.num_modes(); ++m) {
+      const int64_t original = block[static_cast<size_t>(m)];
+      if (prefix_index % 2 == 1) {
+        block[static_cast<size_t>(m)] = grid.parts(m) - 1 - original;
+      }
+      prefix_index = prefix_index * grid.parts(m) + original;
+    }
+  }
+  return order;
+}
+
+std::vector<BlockIndex> OrderBlocksRandom(const GridPartition& grid,
+                                          uint64_t seed) {
+  std::vector<BlockIndex> order = grid.AllBlocks();
+  Rng rng(seed);
+  // Fisher–Yates.
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextUint64(i)]);
+  }
+  return order;
+}
+
+std::vector<BlockIndex> OrderBlocksHilbert(const GridPartition& grid) {
+  return OrderBlocksByCurve(grid, &HilbertIndex);
+}
+
+UpdateSchedule::UpdateSchedule(ScheduleType type, GridPartition grid,
+                               std::vector<UpdateStep> cycle,
+                               std::vector<BlockIndex> block_order)
+    : type_(type),
+      grid_(std::move(grid)),
+      cycle_(std::move(cycle)),
+      block_order_(std::move(block_order)) {
+  virtual_iteration_len_ = grid_.SumParts();
+}
+
+UpdateSchedule UpdateSchedule::Create(ScheduleType type,
+                                      const GridPartition& grid) {
+  std::vector<UpdateStep> cycle;
+  std::vector<BlockIndex> block_order;
+
+  if (type == ScheduleType::kModeCentric) {
+    // Algorithm 1: each mode, each partition, once per cycle.
+    cycle.reserve(static_cast<size_t>(grid.SumParts()));
+    for (int mode = 0; mode < grid.num_modes(); ++mode) {
+      for (int64_t k = 0; k < grid.parts(mode); ++k) {
+        UpdateStep step;
+        step.block.assign(static_cast<size_t>(grid.num_modes()), 0);
+        step.block[static_cast<size_t>(mode)] = k;
+        step.mode = mode;
+        cycle.push_back(std::move(step));
+      }
+    }
+  } else {
+    switch (type) {
+      case ScheduleType::kFiberOrder:
+        block_order = OrderBlocksFiber(grid);
+        break;
+      case ScheduleType::kZOrder:
+        block_order = OrderBlocksZOrder(grid);
+        break;
+      case ScheduleType::kHilbertOrder:
+        block_order = OrderBlocksHilbert(grid);
+        break;
+      case ScheduleType::kSnakeOrder:
+        block_order = OrderBlocksSnake(grid);
+        break;
+      case ScheduleType::kRandomOrder:
+        block_order = OrderBlocksRandom(grid, /*seed=*/0x5eed);
+        break;
+      case ScheduleType::kModeCentric:
+        break;  // unreachable
+    }
+    // Algorithm 2: all N mode updates at each visited block position.
+    cycle.reserve(block_order.size() * static_cast<size_t>(grid.num_modes()));
+    for (const BlockIndex& block : block_order) {
+      for (int mode = 0; mode < grid.num_modes(); ++mode) {
+        cycle.push_back(UpdateStep{block, mode});
+      }
+    }
+  }
+  return UpdateSchedule(type, grid, std::move(cycle), std::move(block_order));
+}
+
+std::string UpdateSchedule::ToString() const {
+  return std::string(ScheduleTypeName(type_)) + " schedule, cycle=" +
+         std::to_string(cycle_length()) + " steps, virtual-iteration=" +
+         std::to_string(virtual_iteration_length()) + " steps (" +
+         grid_.ToString() + ")";
+}
+
+}  // namespace tpcp

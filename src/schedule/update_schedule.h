@@ -1,0 +1,118 @@
+// Update schedules for the iterative refinement phase (Sections V and VI).
+//
+// A schedule is a cyclic sequence of factor-update steps. Each step updates
+// the sub-factor A^(i)_(ki) and touches exactly one data unit ⟨i, ki⟩
+// (Definition 4), so the schedule induces the unit-access trace the buffer
+// manager sees.
+//
+//  - Mode-centric (MC, Algorithm 1): for each mode i, for each partition ki.
+//    Cycle length = Σ K_i (one virtual iteration per cycle).
+//  - Block-centric (Algorithm 2): for each block position k in traversal
+//    order, for each mode i. Cycle length = N · |K|. Traversal orders:
+//    fiber (FO), Z-order (ZO), Hilbert-order (HO).
+
+#ifndef TPCP_SCHEDULE_UPDATE_SCHEDULE_H_
+#define TPCP_SCHEDULE_UPDATE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "grid/grid_partition.h"
+
+namespace tpcp {
+
+/// The scheduling strategies evaluated in the paper (Table III), plus two
+/// ablation orders: snake (boustrophedon fiber traversal — fiber order
+/// with alternating direction, removing the end-of-fiber jump) and random
+/// (a locality-free lower bound on reuse).
+enum class ScheduleType {
+  kModeCentric,   // MC
+  kFiberOrder,    // FO
+  kZOrder,        // ZO
+  kHilbertOrder,  // HO
+  kSnakeOrder,    // SN (ablation)
+  kRandomOrder,   // RND (ablation)
+};
+
+const char* ScheduleTypeName(ScheduleType type);
+
+/// A mode-partition pair ⟨i, ki⟩ — the unit of data access (Definition 4).
+struct ModePartition {
+  int mode = 0;
+  int64_t part = 0;
+
+  bool operator==(const ModePartition& other) const {
+    return mode == other.mode && part == other.part;
+  }
+  bool operator<(const ModePartition& other) const {
+    return mode != other.mode ? mode < other.mode : part < other.part;
+  }
+};
+
+/// One factor-update step of a schedule.
+struct UpdateStep {
+  /// Block position being visited. For mode-centric schedules the block is
+  /// a representative ([*,...,ki,...,*] collapsed to ki with 0 elsewhere);
+  /// the update itself only depends on (mode, part).
+  BlockIndex block;
+  /// Mode whose sub-factor is updated.
+  int mode = 0;
+
+  /// The data unit this step touches.
+  ModePartition unit() const {
+    return ModePartition{mode, block[static_cast<size_t>(mode)]};
+  }
+};
+
+/// An immutable, tensor-filling cyclic update schedule (Definition 2).
+class UpdateSchedule {
+ public:
+  /// Builds the cycle for `type` over `grid`.
+  static UpdateSchedule Create(ScheduleType type, const GridPartition& grid);
+
+  ScheduleType type() const { return type_; }
+  const GridPartition& grid() const { return grid_; }
+
+  /// One full cycle C of the schedule S = C : C : ...
+  const std::vector<UpdateStep>& cycle() const { return cycle_; }
+  int64_t cycle_length() const {
+    return static_cast<int64_t>(cycle_.size());
+  }
+
+  /// Steps per virtual iteration: Σ K_i (Definition 3).
+  int64_t virtual_iteration_length() const { return virtual_iteration_len_; }
+
+  /// The step at global position `pos` (pos >= 0, wraps cyclically).
+  const UpdateStep& StepAt(int64_t pos) const {
+    return cycle_[static_cast<size_t>(pos % cycle_length())];
+  }
+
+  /// The block traversal order underlying a block-centric cycle (empty for
+  /// mode-centric). Exposed for tests and ablations.
+  const std::vector<BlockIndex>& block_order() const { return block_order_; }
+
+  std::string ToString() const;
+
+ private:
+  UpdateSchedule(ScheduleType type, GridPartition grid,
+                 std::vector<UpdateStep> cycle,
+                 std::vector<BlockIndex> block_order);
+
+  ScheduleType type_;
+  GridPartition grid_;
+  std::vector<UpdateStep> cycle_;
+  std::vector<BlockIndex> block_order_;
+  int64_t virtual_iteration_len_ = 0;
+};
+
+/// Orders `blocks` by the given traversal. Exposed for ablation benches.
+std::vector<BlockIndex> OrderBlocksFiber(const GridPartition& grid);
+std::vector<BlockIndex> OrderBlocksZOrder(const GridPartition& grid);
+std::vector<BlockIndex> OrderBlocksHilbert(const GridPartition& grid);
+std::vector<BlockIndex> OrderBlocksSnake(const GridPartition& grid);
+std::vector<BlockIndex> OrderBlocksRandom(const GridPartition& grid,
+                                          uint64_t seed);
+
+}  // namespace tpcp
+
+#endif  // TPCP_SCHEDULE_UPDATE_SCHEDULE_H_

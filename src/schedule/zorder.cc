@@ -1,0 +1,41 @@
+#include "schedule/zorder.h"
+
+#include "util/logging.h"
+
+namespace tpcp {
+
+int BitsFor(int64_t n) {
+  TPCP_CHECK_GE(n, 1);
+  int bits = 0;
+  while ((int64_t{1} << bits) < n) ++bits;
+  return bits == 0 ? 1 : bits;
+}
+
+uint64_t ZValue(const std::vector<int64_t>& point, int bits) {
+  const int dims = static_cast<int>(point.size());
+  TPCP_CHECK_LE(static_cast<int64_t>(dims) * bits, 64);
+  // Within each interleave group, mode 0 contributes the most significant
+  // bit — matching the paper's example CZ(010, 011) = 001101.
+  uint64_t z = 0;
+  for (int j = 0; j < bits; ++j) {
+    for (int i = 0; i < dims; ++i) {
+      const uint64_t bit =
+          (static_cast<uint64_t>(point[static_cast<size_t>(i)]) >> j) & 1u;
+      z |= bit << (j * dims + (dims - 1 - i));
+    }
+  }
+  return z;
+}
+
+std::vector<int64_t> ZDecode(uint64_t zvalue, int dims, int bits) {
+  std::vector<int64_t> point(static_cast<size_t>(dims), 0);
+  for (int j = 0; j < bits; ++j) {
+    for (int i = 0; i < dims; ++i) {
+      const uint64_t bit = (zvalue >> (j * dims + (dims - 1 - i))) & 1u;
+      point[static_cast<size_t>(i)] |= static_cast<int64_t>(bit) << j;
+    }
+  }
+  return point;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,25 @@
+// Z-order (Morton-order) curve: bit-interleaved linearization of grid
+// positions (Section VI-C-1). Cheap to compute in any dimension.
+
+#ifndef TPCP_SCHEDULE_ZORDER_H_
+#define TPCP_SCHEDULE_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tpcp {
+
+/// Z-value of a point: interleaves the low `bits` bits of every coordinate,
+/// coordinate 0 contributing the least significant bit of each group (the
+/// paper's zvalue(k) with modes numbered from 1).
+uint64_t ZValue(const std::vector<int64_t>& point, int bits);
+
+/// Inverse of ZValue.
+std::vector<int64_t> ZDecode(uint64_t zvalue, int dims, int bits);
+
+/// Smallest b with 2^b >= n (bits needed to address n cells per mode).
+int BitsFor(int64_t n);
+
+}  // namespace tpcp
+
+#endif  // TPCP_SCHEDULE_ZORDER_H_

@@ -1,0 +1,87 @@
+#include "storage/compressed_env.h"
+
+#include <cstring>
+
+#include "storage/double_codec.h"
+
+namespace tpcp {
+namespace {
+
+// Stored layout: [u32 tail_len][tail bytes][compressed 64-bit words].
+
+std::string Compress(const std::string& data) {
+  const size_t words = data.size() / sizeof(double);
+  const uint32_t tail_len = static_cast<uint32_t>(data.size() % sizeof(double));
+  std::string out(sizeof(uint32_t), '\0');
+  std::memcpy(out.data(), &tail_len, sizeof(uint32_t));
+  out.append(data.data() + words * sizeof(double), tail_len);
+  // Reinterpret the word payload as doubles; the codec only moves bits.
+  std::vector<double> values(words);
+  if (words > 0) {
+    std::memcpy(values.data(), data.data(), words * sizeof(double));
+  }
+  out += CompressDoubles(values.data(), words);
+  return out;
+}
+
+Result<std::string> Decompress(const std::string& stored) {
+  if (stored.size() < sizeof(uint32_t)) {
+    return Status::Corruption("compressed file: missing header");
+  }
+  uint32_t tail_len = 0;
+  std::memcpy(&tail_len, stored.data(), sizeof(uint32_t));
+  if (tail_len >= sizeof(double) ||
+      stored.size() < sizeof(uint32_t) + tail_len) {
+    return Status::Corruption("compressed file: bad tail");
+  }
+  const std::string payload = stored.substr(sizeof(uint32_t) + tail_len);
+  TPCP_ASSIGN_OR_RETURN(std::vector<double> values,
+                        DecompressDoubles(payload));
+  std::string out(values.size() * sizeof(double) + tail_len, '\0');
+  if (!values.empty()) {
+    std::memcpy(out.data(), values.data(), values.size() * sizeof(double));
+  }
+  std::memcpy(out.data() + values.size() * sizeof(double),
+              stored.data() + sizeof(uint32_t), tail_len);
+  return out;
+}
+
+}  // namespace
+
+Status CompressedEnv::WriteFile(const std::string& name,
+                                const std::string& data) {
+  const std::string stored = Compress(data);
+  TPCP_RETURN_IF_ERROR(delegate_->WriteFile(name, stored));
+  logical_written_ += data.size();
+  stored_written_ += stored.size();
+  stats_.RecordWrite(data.size());
+  return Status::OK();
+}
+
+Status CompressedEnv::ReadFile(const std::string& name, std::string* out) {
+  std::string stored;
+  TPCP_RETURN_IF_ERROR(delegate_->ReadFile(name, &stored));
+  TPCP_ASSIGN_OR_RETURN(*out, Decompress(stored));
+  stats_.RecordRead(out->size());
+  return Status::OK();
+}
+
+bool CompressedEnv::FileExists(const std::string& name) {
+  return delegate_->FileExists(name);
+}
+
+Status CompressedEnv::DeleteFile(const std::string& name) {
+  return delegate_->DeleteFile(name);
+}
+
+Result<uint64_t> CompressedEnv::FileSize(const std::string& name) {
+  std::string out;
+  TPCP_RETURN_IF_ERROR(ReadFile(name, &out));
+  return static_cast<uint64_t>(out.size());
+}
+
+std::vector<std::string> CompressedEnv::ListFiles(const std::string& prefix) {
+  return delegate_->ListFiles(prefix);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,48 @@
+// Env wrapper that stores files compressed (double_codec.h).
+//
+// Files are treated as a stream of 64-bit words (the payloads this system
+// writes are overwhelmingly double arrays) plus a verbatim tail. The
+// wrapper is transparent: readers and writers see the logical bytes; only
+// the delegate sees the compressed representation. Pairs naturally with
+// ThrottledEnv to study the compression-vs-I/O trade the paper mentions in
+// Section VIII-C.
+
+#ifndef TPCP_STORAGE_COMPRESSED_ENV_H_
+#define TPCP_STORAGE_COMPRESSED_ENV_H_
+
+#include "storage/env.h"
+
+namespace tpcp {
+
+/// Transparent compression layer over another Env.
+class CompressedEnv : public Env {
+ public:
+  explicit CompressedEnv(Env* delegate) : delegate_(delegate) {}
+
+  Status WriteFile(const std::string& name, const std::string& data) override;
+  Status ReadFile(const std::string& name, std::string* out) override;
+  bool FileExists(const std::string& name) override;
+  Status DeleteFile(const std::string& name) override;
+  /// Logical (uncompressed) size, recovered from the stored header.
+  Result<uint64_t> FileSize(const std::string& name) override;
+  std::vector<std::string> ListFiles(const std::string& prefix) override;
+
+  /// Cumulative bytes as seen by callers vs bytes actually stored.
+  uint64_t logical_bytes_written() const { return logical_written_; }
+  uint64_t stored_bytes_written() const { return stored_written_; }
+  double CompressionRatio() const {
+    return stored_written_ == 0
+               ? 1.0
+               : static_cast<double>(logical_written_) /
+                     static_cast<double>(stored_written_);
+  }
+
+ private:
+  Env* delegate_;
+  uint64_t logical_written_ = 0;
+  uint64_t stored_written_ = 0;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_COMPRESSED_ENV_H_

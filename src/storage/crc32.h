@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial) for on-disk block integrity checks.
+
+#ifndef TPCP_STORAGE_CRC32_H_
+#define TPCP_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tpcp {
+
+/// Incremental CRC-32; pass the previous value to continue a running
+/// checksum, or omit it to start fresh.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_CRC32_H_

@@ -1,0 +1,179 @@
+#include "storage/double_codec.h"
+
+#include <cstring>
+#include <vector>
+
+namespace tpcp {
+namespace {
+
+class BitWriter {
+ public:
+  void WriteBit(uint32_t bit) {
+    if (bit_pos_ == 0) bytes_.push_back(0);
+    if (bit) bytes_.back() |= static_cast<char>(1u << (7 - bit_pos_));
+    bit_pos_ = (bit_pos_ + 1) % 8;
+  }
+
+  void WriteBits(uint64_t value, int count) {
+    for (int i = count - 1; i >= 0; --i) WriteBit((value >> i) & 1u);
+  }
+
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+  int bit_pos_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadBit(uint32_t* bit) {
+    const size_t byte = pos_ / 8;
+    if (byte >= size_) return false;
+    *bit = (static_cast<uint8_t>(data_[byte]) >> (7 - pos_ % 8)) & 1u;
+    ++pos_;
+    return true;
+  }
+
+  bool ReadBits(int count, uint64_t* value) {
+    *value = 0;
+    for (int i = 0; i < count; ++i) {
+      uint32_t bit = 0;
+      if (!ReadBit(&bit)) return false;
+      *value = (*value << 1) | bit;
+    }
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+int CountLeadingZeros(uint64_t v) {
+  return v == 0 ? 64 : __builtin_clzll(v);
+}
+
+int CountTrailingZeros(uint64_t v) {
+  return v == 0 ? 64 : __builtin_ctzll(v);
+}
+
+}  // namespace
+
+std::string CompressDoubles(const double* values, size_t count) {
+  std::string header(sizeof(uint64_t), '\0');
+  const uint64_t count64 = count;
+  std::memcpy(header.data(), &count64, sizeof(uint64_t));
+  if (count == 0) return header;
+
+  BitWriter writer;
+  uint64_t prev = 0;
+  std::memcpy(&prev, &values[0], sizeof(double));
+  writer.WriteBits(prev, 64);  // first value verbatim
+
+  int window_leading = -1;
+  int window_length = 0;
+  for (size_t i = 1; i < count; ++i) {
+    uint64_t cur = 0;
+    std::memcpy(&cur, &values[i], sizeof(double));
+    const uint64_t x = cur ^ prev;
+    prev = cur;
+    if (x == 0) {
+      writer.WriteBit(0);
+      continue;
+    }
+    int leading = CountLeadingZeros(x);
+    if (leading > 31) leading = 31;  // 5-bit-friendly cap, keeps windows sane
+    const int trailing = CountTrailingZeros(x);
+    const int length = 64 - leading - trailing;
+    writer.WriteBit(1);
+    if (window_leading >= 0 && leading >= window_leading &&
+        leading + length <= window_leading + window_length) {
+      // Fits the open window: control bit 0 + significant bits at the
+      // window's position.
+      writer.WriteBit(0);
+      writer.WriteBits(x >> (64 - window_leading - window_length),
+                       window_length);
+    } else {
+      writer.WriteBit(1);
+      window_leading = leading;
+      window_length = length;
+      writer.WriteBits(static_cast<uint64_t>(leading), 6);
+      writer.WriteBits(static_cast<uint64_t>(length - 1), 6);
+      writer.WriteBits(x >> trailing, length);
+    }
+  }
+  return header + writer.Take();
+}
+
+Result<std::vector<double>> DecompressDoubles(const std::string& bytes) {
+  if (bytes.size() < sizeof(uint64_t)) {
+    return Status::Corruption("double codec: missing header");
+  }
+  uint64_t count = 0;
+  std::memcpy(&count, bytes.data(), sizeof(uint64_t));
+  std::vector<double> out;
+  if (count == 0) return out;
+  if (count > (uint64_t{1} << 40)) {
+    return Status::Corruption("double codec: implausible count");
+  }
+  out.reserve(static_cast<size_t>(count));
+
+  BitReader reader(bytes.data() + sizeof(uint64_t),
+                   bytes.size() - sizeof(uint64_t));
+  uint64_t prev = 0;
+  if (!reader.ReadBits(64, &prev)) {
+    return Status::Corruption("double codec: truncated first value");
+  }
+  double value = 0.0;
+  std::memcpy(&value, &prev, sizeof(double));
+  out.push_back(value);
+
+  int window_leading = -1;
+  int window_length = 0;
+  while (out.size() < count) {
+    uint32_t changed = 0;
+    if (!reader.ReadBit(&changed)) {
+      return Status::Corruption("double codec: truncated stream");
+    }
+    uint64_t x = 0;
+    if (changed) {
+      uint32_t new_window = 0;
+      if (!reader.ReadBit(&new_window)) {
+        return Status::Corruption("double codec: truncated control bit");
+      }
+      if (new_window) {
+        uint64_t leading = 0, length_minus_1 = 0, bits = 0;
+        if (!reader.ReadBits(6, &leading) ||
+            !reader.ReadBits(6, &length_minus_1) ||
+            !reader.ReadBits(static_cast<int>(length_minus_1) + 1, &bits)) {
+          return Status::Corruption("double codec: truncated window");
+        }
+        window_leading = static_cast<int>(leading);
+        window_length = static_cast<int>(length_minus_1) + 1;
+        if (window_leading + window_length > 64) {
+          return Status::Corruption("double codec: bad window");
+        }
+        x = bits << (64 - window_leading - window_length);
+      } else {
+        if (window_leading < 0) {
+          return Status::Corruption("double codec: reuse before window");
+        }
+        uint64_t bits = 0;
+        if (!reader.ReadBits(window_length, &bits)) {
+          return Status::Corruption("double codec: truncated bits");
+        }
+        x = bits << (64 - window_leading - window_length);
+      }
+    }
+    prev ^= x;
+    std::memcpy(&value, &prev, sizeof(double));
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,37 @@
+// XOR-based compression for sequences of doubles (Gorilla-style, Pelkonen
+// et al., VLDB'15), specialized for the smooth factor-matrix and dense
+// tensor payloads this system persists.
+//
+// The paper points out that on-disk representation may be compressed and
+// that compression/decompression costs then join the I/O path (Section
+// VIII-C); this codec plus CompressedEnv (compressed_env.h) make that
+// configuration available and measurable.
+//
+// Encoding per value, relative to its predecessor:
+//   bit 0        value == previous (XOR == 0)
+//   bits 10      XOR fits the previous leading/trailing-zero window;
+//                emit the significant bits only
+//   bits 11      new window: 6 bits of leading-zero count, 6 bits of
+//                significant-bit length, then the bits
+
+#ifndef TPCP_STORAGE_DOUBLE_CODEC_H_
+#define TPCP_STORAGE_DOUBLE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tpcp {
+
+/// Compresses `count` doubles. Output begins with the count (8 bytes) so
+/// decoding is self-delimiting.
+std::string CompressDoubles(const double* values, size_t count);
+
+/// Decompresses a CompressDoubles payload.
+Result<std::vector<double>> DecompressDoubles(const std::string& bytes);
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_DOUBLE_CODEC_H_

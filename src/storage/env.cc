@@ -1,0 +1,13 @@
+#include "storage/env.h"
+
+#include "util/format.h"
+
+namespace tpcp {
+
+std::string IoStats::ToString() const {
+  return "reads=" + std::to_string(reads()) + " (" + HumanBytes(bytes_read()) +
+         ") writes=" + std::to_string(writes()) + " (" +
+         HumanBytes(bytes_written()) + ")";
+}
+
+}  // namespace tpcp

@@ -1,0 +1,63 @@
+// Environment abstraction over persistent storage (RocksDB-style Env).
+//
+// 2PCP's out-of-core structures (block tensors, block factors, buffer pool
+// spill files) talk to an Env rather than to the filesystem directly, so
+// tests can run against an in-memory Env and failure-injection wrappers.
+//
+// Files are read and written whole: the unit of I/O in this system is a
+// serialized block or data unit, never a byte range.
+
+#ifndef TPCP_STORAGE_ENV_H_
+#define TPCP_STORAGE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// Abstract storage environment. Thread-safe.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Writes (creating or replacing) the file `name` with `data`.
+  virtual Status WriteFile(const std::string& name,
+                           const std::string& data) = 0;
+
+  /// Reads the whole file into *out. NotFound if absent.
+  virtual Status ReadFile(const std::string& name, std::string* out) = 0;
+
+  /// True if the file exists.
+  virtual bool FileExists(const std::string& name) = 0;
+
+  /// Removes the file. NotFound if absent.
+  virtual Status DeleteFile(const std::string& name) = 0;
+
+  /// Size in bytes. NotFound if absent.
+  virtual Result<uint64_t> FileSize(const std::string& name) = 0;
+
+  /// Names of all files whose name starts with `prefix`.
+  virtual std::vector<std::string> ListFiles(const std::string& prefix) = 0;
+
+  /// Cumulative I/O counters for this environment.
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ protected:
+  IoStats stats_;
+};
+
+/// Fully in-memory Env for tests and swap simulation.
+std::unique_ptr<Env> NewMemEnv();
+
+/// Filesystem-backed Env rooted at `root_dir` (created if missing; file
+/// names may contain '/' which become subdirectories).
+std::unique_ptr<Env> NewPosixEnv(const std::string& root_dir);
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_ENV_H_

@@ -1,0 +1,42 @@
+#include "storage/faulty_env.h"
+
+namespace tpcp {
+
+Status FaultyEnv::WriteFile(const std::string& name, const std::string& data) {
+  if (writes_until_failure_ == 0) {
+    return Status::IOError("injected write failure: " + name);
+  }
+  if (writes_until_failure_ > 0) --writes_until_failure_;
+  return delegate_->WriteFile(name, data);
+}
+
+Status FaultyEnv::ReadFile(const std::string& name, std::string* out) {
+  if (reads_until_failure_ == 0) {
+    return Status::IOError("injected read failure: " + name);
+  }
+  if (reads_until_failure_ > 0) --reads_until_failure_;
+  TPCP_RETURN_IF_ERROR(delegate_->ReadFile(name, out));
+  if (corrupt_reads_ && !out->empty()) {
+    (*out)[out->size() / 2] = static_cast<char>((*out)[out->size() / 2] ^ 0x5a);
+  }
+  if (truncate_reads_) out->resize(out->size() / 2);
+  return Status::OK();
+}
+
+bool FaultyEnv::FileExists(const std::string& name) {
+  return delegate_->FileExists(name);
+}
+
+Status FaultyEnv::DeleteFile(const std::string& name) {
+  return delegate_->DeleteFile(name);
+}
+
+Result<uint64_t> FaultyEnv::FileSize(const std::string& name) {
+  return delegate_->FileSize(name);
+}
+
+std::vector<std::string> FaultyEnv::ListFiles(const std::string& prefix) {
+  return delegate_->ListFiles(prefix);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,47 @@
+// Failure-injection Env wrapper for exercising error paths in tests.
+
+#ifndef TPCP_STORAGE_FAULTY_ENV_H_
+#define TPCP_STORAGE_FAULTY_ENV_H_
+
+#include <memory>
+
+#include "storage/env.h"
+
+namespace tpcp {
+
+/// Wraps a delegate Env and injects configurable faults.
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(Env* delegate) : delegate_(delegate) {}
+
+  /// After `n` more successful writes, every write fails with IOError
+  /// (simulating a full disk). Negative disables.
+  void FailWritesAfter(int64_t n) { writes_until_failure_ = n; }
+
+  /// After `n` more successful reads, every read fails with IOError.
+  void FailReadsAfter(int64_t n) { reads_until_failure_ = n; }
+
+  /// Flip one byte in every subsequent read result (checksum tests).
+  void CorruptReads(bool enabled) { corrupt_reads_ = enabled; }
+
+  /// Truncate every subsequent read result to half its size (short reads).
+  void TruncateReads(bool enabled) { truncate_reads_ = enabled; }
+
+  Status WriteFile(const std::string& name, const std::string& data) override;
+  Status ReadFile(const std::string& name, std::string* out) override;
+  bool FileExists(const std::string& name) override;
+  Status DeleteFile(const std::string& name) override;
+  Result<uint64_t> FileSize(const std::string& name) override;
+  std::vector<std::string> ListFiles(const std::string& prefix) override;
+
+ private:
+  Env* delegate_;
+  int64_t writes_until_failure_ = -1;
+  int64_t reads_until_failure_ = -1;
+  bool corrupt_reads_ = false;
+  bool truncate_reads_ = false;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_FAULTY_ENV_H_

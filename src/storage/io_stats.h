@@ -1,0 +1,55 @@
+// Byte- and operation-level I/O accounting, shared by every Env.
+//
+// The paper's evaluation counts "data swaps" between disk and the memory
+// buffer; IoStats is the raw substrate those counters are derived from.
+
+#ifndef TPCP_STORAGE_IO_STATS_H_
+#define TPCP_STORAGE_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tpcp {
+
+/// Thread-safe cumulative I/O counters.
+class IoStats {
+ public:
+  void RecordRead(uint64_t bytes) {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordWrite(uint64_t bytes) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    reads_ = 0;
+    writes_ = 0;
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+  }
+
+  /// "reads=3 (24.0 KiB) writes=1 (8.0 KiB)".
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_IO_STATS_H_

@@ -1,0 +1,71 @@
+#include <map>
+#include <mutex>
+
+#include "storage/env.h"
+
+namespace tpcp {
+namespace {
+
+class MemEnv : public Env {
+ public:
+  Status WriteFile(const std::string& name, const std::string& data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[name] = data;
+    stats_.RecordWrite(data.size());
+    return Status::OK();
+  }
+
+  Status ReadFile(const std::string& name, std::string* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      return Status::NotFound("no such file: " + name);
+    }
+    *out = it->second;
+    stats_.RecordRead(out->size());
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(name) > 0;
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(name) == 0) {
+      return Status::NotFound("no such file: " + name);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      return Status::NotFound("no such file: " + name);
+    }
+    return static_cast<uint64_t>(it->second.size());
+  }
+
+  std::vector<std::string> ListFiles(const std::string& prefix) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    for (auto it = files_.lower_bound(prefix);
+         it != files_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      out.push_back(it->first);
+    }
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace tpcp

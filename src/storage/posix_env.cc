@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+
+#include "storage/env.h"
+
+namespace tpcp {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PosixEnv : public Env {
+ public:
+  explicit PosixEnv(std::string root) : root_(std::move(root)) {
+    std::error_code ec;
+    fs::create_directories(root_, ec);
+  }
+
+  Status WriteFile(const std::string& name, const std::string& data) override {
+    const fs::path path = Resolve(name);
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IOError("open for write failed: " + path.string() + ": " +
+                             std::strerror(errno));
+    }
+    const size_t written = data.empty()
+                               ? 0
+                               : std::fwrite(data.data(), 1, data.size(), f);
+    const int close_rc = std::fclose(f);
+    if (written != data.size() || close_rc != 0) {
+      return Status::IOError("short write: " + path.string());
+    }
+    stats_.RecordWrite(data.size());
+    return Status::OK();
+  }
+
+  Status ReadFile(const std::string& name, std::string* out) override {
+    const fs::path path = Resolve(name);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::NotFound("no such file: " + path.string());
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+      std::fclose(f);
+      return Status::IOError("ftell failed: " + path.string());
+    }
+    out->resize(static_cast<size_t>(size));
+    const size_t read =
+        size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+    std::fclose(f);
+    if (read != out->size()) {
+      return Status::IOError("short read: " + path.string());
+    }
+    stats_.RecordRead(out->size());
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& name) override {
+    std::error_code ec;
+    return fs::exists(Resolve(name), ec);
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    std::error_code ec;
+    if (!fs::remove(Resolve(name), ec)) {
+      return Status::NotFound("no such file: " + name);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& name) override {
+    std::error_code ec;
+    const auto size = fs::file_size(Resolve(name), ec);
+    if (ec) return Status::NotFound("no such file: " + name);
+    return static_cast<uint64_t>(size);
+  }
+
+  std::vector<std::string> ListFiles(const std::string& prefix) override {
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (auto it = fs::recursive_directory_iterator(root_, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file(ec)) continue;
+      std::string rel =
+          fs::relative(it->path(), root_, ec).generic_string();
+      if (rel.compare(0, prefix.size(), prefix) == 0) {
+        out.push_back(std::move(rel));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  fs::path Resolve(const std::string& name) const {
+    return fs::path(root_) / name;
+  }
+
+  std::string root_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewPosixEnv(const std::string& root_dir) {
+  return std::make_unique<PosixEnv>(root_dir);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,153 @@
+#include "storage/serializer.h"
+
+#include <cstring>
+
+#include "storage/crc32.h"
+
+namespace tpcp {
+namespace {
+
+constexpr uint32_t kMagic = 0x32504350;  // "2PCP"
+constexpr uint8_t kKindMatrix = 1;
+constexpr uint8_t kKindTensor = 2;
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+// Cursor-based reader returning false on underflow.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadDoubles(double* out, size_t count) {
+    const size_t n = count * sizeof(double);
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+std::string SerializeDims(uint8_t kind, const std::vector<int64_t>& dims,
+                          const double* payload, int64_t count) {
+  std::string out;
+  out.reserve(17 + dims.size() * 8 + static_cast<size_t>(count) * 8 + 4);
+  AppendPod(&out, kMagic);
+  AppendPod(&out, kind);
+  AppendPod(&out, static_cast<uint32_t>(dims.size()));
+  for (int64_t d : dims) AppendPod(&out, d);
+  AppendRaw(&out, payload, static_cast<size_t>(count) * sizeof(double));
+  const uint32_t crc = Crc32(out.data(), out.size());
+  AppendPod(&out, crc);
+  return out;
+}
+
+Status CheckEnvelope(const std::string& bytes, uint8_t expected_kind,
+                     Reader* reader, uint32_t* ndims) {
+  if (bytes.size() < 13) return Status::Corruption("record too short");
+  const uint32_t stored_crc =
+      Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  uint32_t file_crc = 0;
+  std::memcpy(&file_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (stored_crc != file_crc) {
+    return Status::Corruption("checksum mismatch");
+  }
+  uint32_t magic = 0;
+  uint8_t kind = 0;
+  if (!reader->Read(&magic) || !reader->Read(&kind) || !reader->Read(ndims)) {
+    return Status::Corruption("truncated header");
+  }
+  if (magic != kMagic) return Status::Corruption("bad magic");
+  if (kind != expected_kind) return Status::Corruption("wrong record kind");
+  if (*ndims == 0 || *ndims > 64) {
+    return Status::Corruption("implausible ndims");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeMatrix(const Matrix& m) {
+  return SerializeDims(kKindMatrix, {m.rows(), m.cols()}, m.data(), m.size());
+}
+
+Result<Matrix> DeserializeMatrix(const std::string& bytes) {
+  Reader reader(bytes);
+  uint32_t ndims = 0;
+  TPCP_RETURN_IF_ERROR(CheckEnvelope(bytes, kKindMatrix, &reader, &ndims));
+  if (ndims != 2) return Status::Corruption("matrix record must have 2 dims");
+  int64_t rows = 0, cols = 0;
+  if (!reader.Read(&rows) || !reader.Read(&cols) || rows < 0 || cols < 0) {
+    return Status::Corruption("bad matrix dims");
+  }
+  Matrix m(rows, cols);
+  if (!reader.ReadDoubles(m.data(), static_cast<size_t>(m.size()))) {
+    return Status::Corruption("truncated matrix payload");
+  }
+  return m;
+}
+
+std::string SerializeTensor(const DenseTensor& t) {
+  return SerializeDims(kKindTensor, t.shape().dims(), t.data(),
+                       t.NumElements());
+}
+
+Result<DenseTensor> DeserializeTensor(const std::string& bytes) {
+  Reader reader(bytes);
+  uint32_t ndims = 0;
+  TPCP_RETURN_IF_ERROR(CheckEnvelope(bytes, kKindTensor, &reader, &ndims));
+  std::vector<int64_t> dims(ndims);
+  for (uint32_t i = 0; i < ndims; ++i) {
+    if (!reader.Read(&dims[i]) || dims[i] <= 0) {
+      return Status::Corruption("bad tensor dims");
+    }
+  }
+  DenseTensor t{Shape(dims)};
+  if (!reader.ReadDoubles(t.data(), static_cast<size_t>(t.NumElements()))) {
+    return Status::Corruption("truncated tensor payload");
+  }
+  return t;
+}
+
+Status WriteMatrix(Env* env, const std::string& name, const Matrix& m) {
+  return env->WriteFile(name, SerializeMatrix(m));
+}
+
+Result<Matrix> ReadMatrix(Env* env, const std::string& name) {
+  std::string bytes;
+  TPCP_RETURN_IF_ERROR(env->ReadFile(name, &bytes));
+  return DeserializeMatrix(bytes);
+}
+
+Status WriteTensor(Env* env, const std::string& name, const DenseTensor& t) {
+  return env->WriteFile(name, SerializeTensor(t));
+}
+
+Result<DenseTensor> ReadTensor(Env* env, const std::string& name) {
+  std::string bytes;
+  TPCP_RETURN_IF_ERROR(env->ReadFile(name, &bytes));
+  return DeserializeTensor(bytes);
+}
+
+}  // namespace tpcp

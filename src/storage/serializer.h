@@ -1,0 +1,40 @@
+// Checksummed binary serialization of matrices and dense tensors.
+//
+// Record layout (little-endian host assumed, documented for the on-disk
+// format):
+//   [magic u32][kind u8][ndims u32][dims i64 * ndims][payload f64 * n]
+//   [crc32 u32 over everything before it]
+
+#ifndef TPCP_STORAGE_SERIALIZER_H_
+#define TPCP_STORAGE_SERIALIZER_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+#include "storage/env.h"
+#include "tensor/dense_tensor.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// Encodes a matrix to its on-disk byte representation.
+std::string SerializeMatrix(const Matrix& m);
+
+/// Decodes a matrix; Corruption on checksum/format mismatch.
+Result<Matrix> DeserializeMatrix(const std::string& bytes);
+
+/// Encodes a dense tensor.
+std::string SerializeTensor(const DenseTensor& t);
+
+/// Decodes a dense tensor; Corruption on checksum/format mismatch.
+Result<DenseTensor> DeserializeTensor(const std::string& bytes);
+
+/// Convenience wrappers writing/reading through an Env.
+Status WriteMatrix(Env* env, const std::string& name, const Matrix& m);
+Result<Matrix> ReadMatrix(Env* env, const std::string& name);
+Status WriteTensor(Env* env, const std::string& name, const DenseTensor& t);
+Result<DenseTensor> ReadTensor(Env* env, const std::string& name);
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_SERIALIZER_H_

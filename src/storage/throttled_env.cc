@@ -1,0 +1,57 @@
+#include "storage/throttled_env.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace tpcp {
+
+ThrottledEnv::ThrottledEnv(Env* delegate, double throughput_mb_per_sec,
+                           double latency_ms)
+    : delegate_(delegate),
+      bytes_per_second_(throughput_mb_per_sec * 1024.0 * 1024.0),
+      latency_seconds_(latency_ms / 1e3) {
+  TPCP_CHECK_GT(throughput_mb_per_sec, 0.0);
+  TPCP_CHECK_GE(latency_ms, 0.0);
+}
+
+void ThrottledEnv::Charge(uint64_t bytes) {
+  const double seconds =
+      latency_seconds_ + static_cast<double>(bytes) / bytes_per_second_;
+  throttled_seconds_ += seconds;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+Status ThrottledEnv::WriteFile(const std::string& name,
+                               const std::string& data) {
+  Charge(data.size());
+  TPCP_RETURN_IF_ERROR(delegate_->WriteFile(name, data));
+  stats_.RecordWrite(data.size());
+  return Status::OK();
+}
+
+Status ThrottledEnv::ReadFile(const std::string& name, std::string* out) {
+  TPCP_RETURN_IF_ERROR(delegate_->ReadFile(name, out));
+  Charge(out->size());
+  stats_.RecordRead(out->size());
+  return Status::OK();
+}
+
+bool ThrottledEnv::FileExists(const std::string& name) {
+  return delegate_->FileExists(name);
+}
+
+Status ThrottledEnv::DeleteFile(const std::string& name) {
+  return delegate_->DeleteFile(name);
+}
+
+Result<uint64_t> ThrottledEnv::FileSize(const std::string& name) {
+  return delegate_->FileSize(name);
+}
+
+std::vector<std::string> ThrottledEnv::ListFiles(const std::string& prefix) {
+  return delegate_->ListFiles(prefix);
+}
+
+}  // namespace tpcp

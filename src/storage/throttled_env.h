@@ -1,0 +1,46 @@
+// Env wrapper that models a storage device with finite throughput and
+// per-operation latency.
+//
+// The paper's weak configuration (Table II) runs on a desktop whose disk
+// makes a block swap cost ~3x the in-memory work on that block (Section
+// VIII footnote). This environment has no comparable disk, so ThrottledEnv
+// re-introduces the cost by sleeping `latency + bytes / throughput` on
+// every read and write — a documented substitution (DESIGN.md), calibrated
+// per bench.
+
+#ifndef TPCP_STORAGE_THROTTLED_ENV_H_
+#define TPCP_STORAGE_THROTTLED_ENV_H_
+
+#include "storage/env.h"
+
+namespace tpcp {
+
+/// Delegating Env that charges wall-clock time for data movement.
+class ThrottledEnv : public Env {
+ public:
+  /// `throughput_mb_per_sec` > 0; `latency_ms` >= 0 charged per operation.
+  ThrottledEnv(Env* delegate, double throughput_mb_per_sec,
+               double latency_ms);
+
+  Status WriteFile(const std::string& name, const std::string& data) override;
+  Status ReadFile(const std::string& name, std::string* out) override;
+  bool FileExists(const std::string& name) override;
+  Status DeleteFile(const std::string& name) override;
+  Result<uint64_t> FileSize(const std::string& name) override;
+  std::vector<std::string> ListFiles(const std::string& prefix) override;
+
+  /// Total wall-clock seconds spent throttling so far.
+  double throttled_seconds() const { return throttled_seconds_; }
+
+ private:
+  void Charge(uint64_t bytes);
+
+  Env* delegate_;
+  double bytes_per_second_;
+  double latency_seconds_;
+  double throttled_seconds_ = 0.0;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_THROTTLED_ENV_H_

@@ -1,0 +1,40 @@
+#include "tensor/khatri_rao.h"
+
+namespace tpcp {
+
+Matrix KhatriRao(const Matrix& a, const Matrix& b) {
+  TPCP_CHECK_EQ(a.cols(), b.cols());
+  const int64_t f = a.cols();
+  Matrix out(a.rows() * b.rows(), f);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      double* dst = out.row(i * b.rows() + j);
+      const double* arow = a.row(i);
+      const double* brow = b.row(j);
+      for (int64_t c = 0; c < f; ++c) dst[c] = arow[c] * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix KhatriRaoSkip(const std::vector<Matrix>& factors, int skip_mode) {
+  const int n = static_cast<int>(factors.size());
+  TPCP_CHECK(skip_mode >= 0 && skip_mode < n);
+  // Accumulate left-to-right over modes N-1 .. 0 (skipping skip_mode) so the
+  // final row ordering has mode-1 fastest: result = A(N) ⊙ ... ⊙ A(1).
+  Matrix result;
+  bool first = true;
+  for (int mode = n - 1; mode >= 0; --mode) {
+    if (mode == skip_mode) continue;
+    if (first) {
+      result = factors[static_cast<size_t>(mode)];
+      first = false;
+    } else {
+      result = KhatriRao(result, factors[static_cast<size_t>(mode)]);
+    }
+  }
+  TPCP_CHECK(!first);
+  return result;
+}
+
+}  // namespace tpcp

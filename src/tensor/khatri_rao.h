@@ -1,0 +1,22 @@
+// Khatri–Rao (column-wise Kronecker) products.
+
+#ifndef TPCP_TENSOR_KHATRI_RAO_H_
+#define TPCP_TENSOR_KHATRI_RAO_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tpcp {
+
+/// C = A ⊙ B: (I*J) x F from I x F and J x F; B's row index varies fastest.
+Matrix KhatriRao(const Matrix& a, const Matrix& b);
+
+/// KhatriRaoSkip(factors, n) = A(N) ⊙ ... ⊙ A(n+1) ⊙ A(n-1) ⊙ ... ⊙ A(1)
+/// (mode-1 rows vary fastest), the matrix that pairs with the mode-n
+/// unfolding in the CP normal equations.
+Matrix KhatriRaoSkip(const std::vector<Matrix>& factors, int skip_mode);
+
+}  // namespace tpcp
+
+#endif  // TPCP_TENSOR_KHATRI_RAO_H_

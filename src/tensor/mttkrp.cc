@@ -1,0 +1,76 @@
+#include "tensor/mttkrp.h"
+
+namespace tpcp {
+namespace {
+
+void CheckFactorShapes(const Shape& shape, const std::vector<Matrix>& factors,
+                       int mode) {
+  TPCP_CHECK_EQ(static_cast<int>(factors.size()), shape.num_modes());
+  TPCP_CHECK(mode >= 0 && mode < shape.num_modes());
+  const int64_t f = factors[0].cols();
+  for (int k = 0; k < shape.num_modes(); ++k) {
+    TPCP_CHECK_EQ(factors[static_cast<size_t>(k)].rows(), shape.dim(k));
+    TPCP_CHECK_EQ(factors[static_cast<size_t>(k)].cols(), f);
+  }
+}
+
+}  // namespace
+
+Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
+              int mode) {
+  const Shape& shape = tensor.shape();
+  CheckFactorShapes(shape, factors, mode);
+  const int n = shape.num_modes();
+  const int64_t f = factors[0].cols();
+  Matrix out(shape.dim(mode), f);
+
+  // Odometer over all cells (row-major: last mode fastest), with a running
+  // product buffer recomputed per cell. O(cells * N * F).
+  Index index(static_cast<size_t>(n), 0);
+  std::vector<double> prod(static_cast<size_t>(f));
+  const int64_t total = tensor.NumElements();
+  for (int64_t linear = 0; linear < total; ++linear) {
+    const double v = tensor.at_linear(linear);
+    if (v != 0.0) {
+      for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] = v;
+      for (int k = 0; k < n; ++k) {
+        if (k == mode) continue;
+        const double* row =
+            factors[static_cast<size_t>(k)].row(index[static_cast<size_t>(k)]);
+        for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] *= row[c];
+      }
+      double* dst = out.row(index[static_cast<size_t>(mode)]);
+      for (int64_t c = 0; c < f; ++c) dst[c] += prod[static_cast<size_t>(c)];
+    }
+    // Advance odometer.
+    for (int k = n - 1; k >= 0; --k) {
+      if (++index[static_cast<size_t>(k)] < shape.dim(k)) break;
+      index[static_cast<size_t>(k)] = 0;
+    }
+  }
+  return out;
+}
+
+Matrix Mttkrp(const SparseTensor& tensor, const std::vector<Matrix>& factors,
+              int mode) {
+  const Shape& shape = tensor.shape();
+  CheckFactorShapes(shape, factors, mode);
+  const int n = shape.num_modes();
+  const int64_t f = factors[0].cols();
+  Matrix out(shape.dim(mode), f);
+  std::vector<double> prod(static_cast<size_t>(f));
+  for (const SparseEntry& e : tensor.entries()) {
+    for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] = e.value;
+    for (int k = 0; k < n; ++k) {
+      if (k == mode) continue;
+      const double* row =
+          factors[static_cast<size_t>(k)].row(e.index[static_cast<size_t>(k)]);
+      for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] *= row[c];
+    }
+    double* dst = out.row(e.index[static_cast<size_t>(mode)]);
+    for (int64_t c = 0; c < f; ++c) dst[c] += prod[static_cast<size_t>(c)];
+  }
+  return out;
+}
+
+}  // namespace tpcp

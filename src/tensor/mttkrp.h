@@ -1,0 +1,27 @@
+// Matricized-Tensor Times Khatri-Rao Product: the computational core of
+// CP-ALS. M = X_(n) * KhatriRaoSkip(factors, n), computed directly without
+// materializing either the unfolding or the Khatri-Rao product.
+
+#ifndef TPCP_TENSOR_MTTKRP_H_
+#define TPCP_TENSOR_MTTKRP_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tpcp {
+
+/// Dense MTTKRP along `mode`. factors[k] must be dim(k) x F for every k.
+/// Returns a dim(mode) x F matrix.
+Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
+              int mode);
+
+/// Sparse MTTKRP along `mode` (iterates non-zeros).
+Matrix Mttkrp(const SparseTensor& tensor, const std::vector<Matrix>& factors,
+              int mode);
+
+}  // namespace tpcp
+
+#endif  // TPCP_TENSOR_MTTKRP_H_

@@ -1,0 +1,56 @@
+#include "tensor/norms.h"
+
+#include <cmath>
+
+#include "tensor/mttkrp.h"
+
+namespace tpcp {
+namespace {
+
+double InnerFromMttkrp(const Matrix& m, const KruskalTensor& k, int mode) {
+  const Matrix& a = k.factor(mode);
+  double acc = 0.0;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    double col = 0.0;
+    for (int64_t r = 0; r < a.rows(); ++r) col += m(r, c) * a(r, c);
+    acc += k.lambda()[static_cast<size_t>(c)] * col;
+  }
+  return acc;
+}
+
+double ResidualFromParts(double x_sq, double inner, double k_norm) {
+  const double resid_sq = x_sq - 2.0 * inner + k_norm * k_norm;
+  return std::sqrt(resid_sq > 0.0 ? resid_sq : 0.0);
+}
+
+}  // namespace
+
+double InnerProduct(const DenseTensor& x, const KruskalTensor& k) {
+  return InnerFromMttkrp(Mttkrp(x, k.factors(), 0), k, 0);
+}
+
+double InnerProduct(const SparseTensor& x, const KruskalTensor& k) {
+  return InnerFromMttkrp(Mttkrp(x, k.factors(), 0), k, 0);
+}
+
+double ResidualNorm(const DenseTensor& x, const KruskalTensor& k) {
+  return ResidualFromParts(x.SquaredNorm(), InnerProduct(x, k), k.Norm());
+}
+
+double ResidualNorm(const SparseTensor& x, const KruskalTensor& k) {
+  return ResidualFromParts(x.SquaredNorm(), InnerProduct(x, k), k.Norm());
+}
+
+double Fit(const DenseTensor& x, const KruskalTensor& k) {
+  const double norm = x.FrobeniusNorm();
+  if (norm == 0.0) return 1.0;
+  return 1.0 - ResidualNorm(x, k) / norm;
+}
+
+double Fit(const SparseTensor& x, const KruskalTensor& k) {
+  const double norm = x.FrobeniusNorm();
+  if (norm == 0.0) return 1.0;
+  return 1.0 - ResidualNorm(x, k) / norm;
+}
+
+}  // namespace tpcp

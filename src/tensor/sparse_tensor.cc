@@ -1,0 +1,36 @@
+#include "tensor/sparse_tensor.h"
+
+#include <cmath>
+
+namespace tpcp {
+
+void SparseTensor::Add(Index index, double value) {
+  TPCP_DCHECK(static_cast<int>(index.size()) == num_modes());
+  entries_.push_back(SparseEntry{std::move(index), value});
+}
+
+double SparseTensor::SquaredNorm() const {
+  double acc = 0.0;
+  for (const auto& e : entries_) acc += e.value * e.value;
+  return acc;
+}
+
+double SparseTensor::FrobeniusNorm() const { return std::sqrt(SquaredNorm()); }
+
+DenseTensor SparseTensor::ToDense() const {
+  DenseTensor out(shape_);
+  for (const auto& e : entries_) out.at(e.index) += e.value;
+  return out;
+}
+
+SparseTensor SparseTensor::FromDense(const DenseTensor& dense) {
+  SparseTensor out(dense.shape());
+  const int64_t n = dense.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = dense.at_linear(i);
+    if (v != 0.0) out.Add(dense.shape().MultiIndex(i), v);
+  }
+  return out;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,56 @@
+// Sparse N-mode tensor in coordinate (COO) format.
+
+#ifndef TPCP_TENSOR_SPARSE_TENSOR_H_
+#define TPCP_TENSOR_SPARSE_TENSOR_H_
+
+#include <vector>
+
+#include "tensor/dense_tensor.h"
+#include "tensor/shape.h"
+
+namespace tpcp {
+
+/// One non-zero cell.
+struct SparseEntry {
+  Index index;
+  double value;
+};
+
+/// Sparse N-mode tensor: unordered list of non-zero coordinates.
+class SparseTensor {
+ public:
+  SparseTensor() = default;
+  explicit SparseTensor(Shape shape) : shape_(std::move(shape)) {}
+
+  const Shape& shape() const { return shape_; }
+  int num_modes() const { return shape_.num_modes(); }
+  int64_t dim(int mode) const { return shape_.dim(mode); }
+
+  int64_t nnz() const { return static_cast<int64_t>(entries_.size()); }
+  double density() const {
+    return static_cast<double>(nnz()) /
+           static_cast<double>(shape_.NumElements());
+  }
+
+  const std::vector<SparseEntry>& entries() const { return entries_; }
+
+  /// Appends a non-zero (no dedup; callers own coordinate uniqueness).
+  void Add(Index index, double value);
+
+  double FrobeniusNorm() const;
+  double SquaredNorm() const;
+
+  /// Materializes to a dense tensor (duplicate coordinates accumulate).
+  DenseTensor ToDense() const;
+
+  /// Builds a sparse tensor from the non-zero cells of a dense one.
+  static SparseTensor FromDense(const DenseTensor& dense);
+
+ private:
+  Shape shape_;
+  std::vector<SparseEntry> entries_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_TENSOR_SPARSE_TENSOR_H_

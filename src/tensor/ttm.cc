@@ -1,0 +1,33 @@
+#include "tensor/ttm.h"
+
+#include "linalg/blas.h"
+#include "tensor/unfold.h"
+
+namespace tpcp {
+
+DenseTensor Ttm(const DenseTensor& x, const Matrix& m, int mode) {
+  const Shape& shape = x.shape();
+  TPCP_CHECK(mode >= 0 && mode < shape.num_modes());
+  TPCP_CHECK_EQ(m.cols(), shape.dim(mode));
+
+  std::vector<int64_t> out_dims = shape.dims();
+  out_dims[static_cast<size_t>(mode)] = m.rows();
+  const Shape out_shape(out_dims);
+
+  // Y_(n) = M * X_(n); fold back.
+  const Matrix unfolded = Unfold(x, mode);
+  Matrix product(m.rows(), unfolded.cols());
+  Gemm(Trans::kNo, m, Trans::kNo, unfolded, 1.0, 0.0, &product);
+  return Fold(product, out_shape, mode);
+}
+
+DenseTensor TtmAll(const DenseTensor& x, const std::vector<Matrix>& ms) {
+  TPCP_CHECK_EQ(static_cast<int>(ms.size()), x.num_modes());
+  DenseTensor out = x;
+  for (int mode = 0; mode < x.num_modes(); ++mode) {
+    out = Ttm(out, ms[static_cast<size_t>(mode)], mode);
+  }
+  return out;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,20 @@
+// Mode-n tensor-times-matrix product: Y = X ×_n M.
+
+#ifndef TPCP_TENSOR_TTM_H_
+#define TPCP_TENSOR_TTM_H_
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+
+namespace tpcp {
+
+/// Y = X ×_n M with M of shape (J x dim(n)): Y's mode-n extent becomes J,
+/// Y_(n) = M · X_(n). CHECK-fails on shape mismatch.
+DenseTensor Ttm(const DenseTensor& x, const Matrix& m, int mode);
+
+/// Applies one TTM per mode: [[X; M_1, ..., M_N]] (the Tucker product).
+DenseTensor TtmAll(const DenseTensor& x, const std::vector<Matrix>& ms);
+
+}  // namespace tpcp
+
+#endif  // TPCP_TENSOR_TTM_H_

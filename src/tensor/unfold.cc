@@ -1,0 +1,45 @@
+#include "tensor/unfold.h"
+
+namespace tpcp {
+
+int64_t UnfoldColumn(const Shape& shape, const Index& index, int mode) {
+  // Column = sum over k != mode of index[k] * stride_k where
+  // stride_k = prod of dims of modes m < k, m != mode (mode 1 fastest).
+  int64_t column = 0;
+  int64_t stride = 1;
+  for (int k = 0; k < shape.num_modes(); ++k) {
+    if (k == mode) continue;
+    column += index[static_cast<size_t>(k)] * stride;
+    stride *= shape.dim(k);
+  }
+  return column;
+}
+
+Matrix Unfold(const DenseTensor& tensor, int mode) {
+  const Shape& shape = tensor.shape();
+  TPCP_CHECK(mode >= 0 && mode < shape.num_modes());
+  Matrix out(shape.dim(mode), shape.NumElementsExcept(mode));
+  const int64_t n = tensor.NumElements();
+  for (int64_t linear = 0; linear < n; ++linear) {
+    const Index index = shape.MultiIndex(linear);
+    out(index[static_cast<size_t>(mode)], UnfoldColumn(shape, index, mode)) =
+        tensor.at_linear(linear);
+  }
+  return out;
+}
+
+DenseTensor Fold(const Matrix& unfolded, const Shape& shape, int mode) {
+  TPCP_CHECK(mode >= 0 && mode < shape.num_modes());
+  TPCP_CHECK_EQ(unfolded.rows(), shape.dim(mode));
+  TPCP_CHECK_EQ(unfolded.cols(), shape.NumElementsExcept(mode));
+  DenseTensor out(shape);
+  const int64_t n = out.NumElements();
+  for (int64_t linear = 0; linear < n; ++linear) {
+    const Index index = shape.MultiIndex(linear);
+    out.at_linear(linear) = unfolded(
+        index[static_cast<size_t>(mode)], UnfoldColumn(shape, index, mode));
+  }
+  return out;
+}
+
+}  // namespace tpcp

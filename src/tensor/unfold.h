@@ -1,0 +1,28 @@
+// Mode-n matricization (unfolding) and its inverse, in the Kolda–Bader
+// convention: X_(n) is I_n x (prod of the other dims) and, within a column
+// index, mode 1 varies fastest (mode N slowest), skipping mode n.
+//
+// This convention matches KhatriRaoSkip (tensor/khatri_rao.h) so that
+//   X = [[A(1),...,A(N)]]  <=>  X_(n) = A(n) * KhatriRaoSkip(factors, n)^T.
+
+#ifndef TPCP_TENSOR_UNFOLD_H_
+#define TPCP_TENSOR_UNFOLD_H_
+
+#include "linalg/matrix.h"
+#include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
+
+namespace tpcp {
+
+/// Returns the mode-n unfolding of a dense tensor.
+Matrix Unfold(const DenseTensor& tensor, int mode);
+
+/// Rebuilds a dense tensor of the given shape from its mode-n unfolding.
+DenseTensor Fold(const Matrix& unfolded, const Shape& shape, int mode);
+
+/// Column index of a cell in the mode-n unfolding (0-based).
+int64_t UnfoldColumn(const Shape& shape, const Index& index, int mode);
+
+}  // namespace tpcp
+
+#endif  // TPCP_TENSOR_UNFOLD_H_

@@ -1,0 +1,156 @@
+// Status / Result error model for fallible operations (RocksDB/Arrow idiom).
+//
+// Functions that can fail at runtime for environmental reasons (I/O, resource
+// exhaustion, corrupt persistent data) return a Status or a Result<T>.
+// Programming errors (shape mismatches, out-of-range indexes on in-memory
+// structures) are CHECK-failures instead; see util/logging.h.
+
+#ifndef TPCP_UTIL_STATUS_H_
+#define TPCP_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tpcp {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Human-readable name of a status code ("OK", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation) and carry a
+/// message string otherwise. All factory helpers are static:
+///
+///   Status s = Status::IOError("read failed on " + path);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error: the return type for fallible producers.
+///
+///   Result<Matrix> r = LoadMatrix(env, path);
+///   if (!r.ok()) return r.status();
+///   Matrix m = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return std::move(m);`.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error status. CHECK-fails on OK (an OK Result needs a
+  /// value).
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+      value_.reset();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ set
+};
+
+/// Propagates a non-OK status out of the calling function.
+#define TPCP_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::tpcp::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; assigns the value to `lhs` or returns
+/// the error. `lhs` must be a declaration or assignable lvalue.
+#define TPCP_ASSIGN_OR_RETURN(lhs, expr)       \
+  TPCP_ASSIGN_OR_RETURN_IMPL(                  \
+      TPCP_STATUS_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define TPCP_STATUS_CONCAT_INNER(a, b) a##b
+#define TPCP_STATUS_CONCAT(a, b) TPCP_STATUS_CONCAT_INNER(a, b)
+#define TPCP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+}  // namespace tpcp
+
+#endif  // TPCP_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for timing experiment phases.
+
+#ifndef TPCP_UTIL_STOPWATCH_H_
+#define TPCP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tpcp {
+
+/// Measures elapsed wall-clock time. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_UTIL_STOPWATCH_H_

@@ -1,0 +1,114 @@
+// Tests for the ablation schedules (snake, random) added on top of the
+// paper's four strategies.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "core/swap_simulator.h"
+#include "schedule/update_schedule.h"
+
+namespace tpcp {
+namespace {
+
+TEST(SnakeOrderTest, Names) {
+  EXPECT_STREQ(ScheduleTypeName(ScheduleType::kSnakeOrder), "SN");
+  EXPECT_STREQ(ScheduleTypeName(ScheduleType::kRandomOrder), "RND");
+}
+
+// The defining snake property: consecutive blocks are grid neighbours
+// (Manhattan distance 1) — like Hilbert, without the fractal structure.
+TEST(SnakeOrderTest, ConsecutiveBlocksAdjacent) {
+  for (int64_t parts : {2, 3, 4, 5, 8}) {
+    const GridPartition grid =
+        GridPartition::Uniform(Shape({40, 40, 40}), parts);
+    const auto order = OrderBlocksSnake(grid);
+    ASSERT_EQ(static_cast<int64_t>(order.size()), grid.NumBlocks());
+    for (size_t i = 1; i < order.size(); ++i) {
+      int64_t dist = 0;
+      for (size_t m = 0; m < order[i].size(); ++m) {
+        dist += std::abs(order[i][m] - order[i - 1][m]);
+      }
+      EXPECT_EQ(dist, 1) << "parts=" << parts << " step " << i;
+    }
+  }
+}
+
+TEST(SnakeOrderTest, VisitsEveryBlockOnce) {
+  const GridPartition grid(Shape({12, 10, 9}), {3, 2, 3});
+  const auto order = OrderBlocksSnake(grid);
+  std::set<BlockIndex> unique(order.begin(), order.end());
+  EXPECT_EQ(static_cast<int64_t>(unique.size()), grid.NumBlocks());
+}
+
+TEST(SnakeOrderTest, TwoDimensionalKnownPattern) {
+  const GridPartition grid(Shape({6, 6}), {3, 3});
+  const auto order = OrderBlocksSnake(grid);
+  const std::vector<BlockIndex> expected = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 2}, {1, 1}, {1, 0}, {2, 0}, {2, 1}, {2, 2}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(RandomOrderTest, VisitsEveryBlockOnceDeterministically) {
+  const GridPartition grid = GridPartition::Uniform(Shape({16, 16, 16}), 4);
+  const auto a = OrderBlocksRandom(grid, 7);
+  const auto b = OrderBlocksRandom(grid, 7);
+  EXPECT_EQ(a, b);  // same seed, same shuffle
+  std::set<BlockIndex> unique(a.begin(), a.end());
+  EXPECT_EQ(static_cast<int64_t>(unique.size()), grid.NumBlocks());
+  const auto c = OrderBlocksRandom(grid, 8);
+  EXPECT_NE(a, c);  // different seed, different shuffle
+}
+
+TEST(AblationScheduleTest, SchedulesAreTensorFilling) {
+  const GridPartition grid = GridPartition::Uniform(Shape({16, 16, 16}), 4);
+  for (ScheduleType type :
+       {ScheduleType::kSnakeOrder, ScheduleType::kRandomOrder}) {
+    const UpdateSchedule s = UpdateSchedule::Create(type, grid);
+    EXPECT_EQ(s.cycle_length(), grid.NumBlocks() * 3);
+    std::set<BlockIndex> unique(s.block_order().begin(),
+                                s.block_order().end());
+    EXPECT_EQ(static_cast<int64_t>(unique.size()), grid.NumBlocks())
+        << ScheduleTypeName(type);
+  }
+}
+
+// Locality ordering under LRU: snake (adjacent steps) must not lose to the
+// random order, which has no locality at all.
+TEST(AblationScheduleTest, SnakeBeatsRandomOnSwaps) {
+  SwapSimConfig config;
+  config.grid = GridPartition::Uniform(Shape({64, 64, 64}), 8);
+  config.rank = 4;
+  config.policy = PolicyType::kLru;
+  config.buffer_fraction = 1.0 / 3.0;
+  config.measure_virtual_iterations = 50;
+
+  config.schedule = ScheduleType::kSnakeOrder;
+  const double snake = SimulateSwaps(config).swaps_per_virtual_iteration;
+  config.schedule = ScheduleType::kRandomOrder;
+  const double random = SimulateSwaps(config).swaps_per_virtual_iteration;
+  EXPECT_LT(snake, random);
+}
+
+// Forward-looking replacement works for any fixed cyclic schedule,
+// including the ablation orders.
+TEST(AblationScheduleTest, ForwardNeverWorseOnAblationOrders) {
+  for (ScheduleType type :
+       {ScheduleType::kSnakeOrder, ScheduleType::kRandomOrder}) {
+    SwapSimConfig config;
+    config.grid = GridPartition::Uniform(Shape({32, 32, 32}), 4);
+    config.rank = 4;
+    config.schedule = type;
+    config.buffer_fraction = 0.5;
+    config.measure_virtual_iterations = 40;
+    config.policy = PolicyType::kLru;
+    const double lru = SimulateSwaps(config).swaps_per_virtual_iteration;
+    config.policy = PolicyType::kForward;
+    const double fwd = SimulateSwaps(config).swaps_per_virtual_iteration;
+    EXPECT_LE(fwd, lru) << ScheduleTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace tpcp

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "storage/compressed_env.h"
+#include "storage/double_codec.h"
+#include "storage/serializer.h"
+#include "storage/throttled_env.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace tpcp {
+namespace {
+
+void RoundTrip(const std::vector<double>& values) {
+  const std::string bytes = CompressDoubles(values.data(), values.size());
+  auto back = DecompressDoubles(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Bit-exact, including negative zero and non-finite patterns.
+    EXPECT_EQ(std::memcmp(&(*back)[i], &values[i], sizeof(double)), 0)
+        << "index " << i;
+  }
+}
+
+TEST(DoubleCodecTest, EmptyAndSingle) {
+  RoundTrip({});
+  RoundTrip({42.0});
+  RoundTrip({0.0});
+}
+
+TEST(DoubleCodecTest, ConstantRuns) {
+  RoundTrip(std::vector<double>(1000, 3.14));
+  // Constant runs compress to ~1 bit per value.
+  const std::vector<double> constant(1000, 3.14);
+  const std::string bytes =
+      CompressDoubles(constant.data(), constant.size());
+  EXPECT_LT(bytes.size(), 200u);
+}
+
+TEST(DoubleCodecTest, SmoothSeriesCompressWell) {
+  std::vector<double> smooth(4096);
+  for (size_t i = 0; i < smooth.size(); ++i) {
+    smooth[i] = 100.0 + std::sin(static_cast<double>(i) * 0.001);
+  }
+  const std::string bytes = CompressDoubles(smooth.data(), smooth.size());
+  EXPECT_LT(bytes.size(), smooth.size() * sizeof(double) * 0.8);
+  RoundTrip(smooth);
+}
+
+TEST(DoubleCodecTest, RandomDataRoundTripsEvenIfIncompressible) {
+  Rng rng(1);
+  std::vector<double> noise(2048);
+  for (double& v : noise) v = rng.NextGaussian() * 1e9;
+  RoundTrip(noise);
+}
+
+TEST(DoubleCodecTest, SpecialValues) {
+  RoundTrip({0.0, -0.0, 1e-308, -1e308,
+             std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::quiet_NaN(), 0.0});
+}
+
+TEST(DoubleCodecTest, ZeroRunsFromSparseBlocks) {
+  std::vector<double> sparse(1024, 0.0);
+  sparse[100] = 5.0;
+  sparse[900] = -2.5;
+  const std::string bytes = CompressDoubles(sparse.data(), sparse.size());
+  EXPECT_LT(bytes.size(), 300u);  // zeros cost ~1 bit each
+  RoundTrip(sparse);
+}
+
+TEST(DoubleCodecTest, DetectsTruncation) {
+  std::vector<double> values(100, 1.5);
+  std::string bytes = CompressDoubles(values.data(), values.size());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_TRUE(DecompressDoubles(bytes).status().IsCorruption());
+  EXPECT_TRUE(DecompressDoubles("").status().IsCorruption());
+}
+
+TEST(CompressedEnvTest, TransparentRoundTrip) {
+  auto base = NewMemEnv();
+  CompressedEnv env(base.get());
+  Rng rng(2);
+  std::string payload(8000, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(rng.NextUint64(256));
+  }
+  // Also a non-multiple-of-8 size to exercise the tail path.
+  payload.resize(8005);
+  ASSERT_TRUE(env.WriteFile("f", payload).ok());
+  std::string back;
+  ASSERT_TRUE(env.ReadFile("f", &back).ok());
+  EXPECT_EQ(back, payload);
+  EXPECT_EQ(env.FileSize("f").value(), payload.size());
+}
+
+TEST(CompressedEnvTest, CompressesSerializedMatrices) {
+  auto base = NewMemEnv();
+  CompressedEnv env(base.get());
+  // Smooth factor matrix: compresses substantially.
+  Matrix m(500, 16);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      m(r, c) = 10.0 + 0.001 * static_cast<double>(r + c);
+    }
+  }
+  ASSERT_TRUE(WriteMatrix(&env, "m", m).ok());
+  EXPECT_GT(env.CompressionRatio(), 1.3);
+  auto back = ReadMatrix(&env, "m");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == m);
+}
+
+TEST(CompressedEnvTest, MetadataOpsDelegate) {
+  auto base = NewMemEnv();
+  CompressedEnv env(base.get());
+  ASSERT_TRUE(env.WriteFile("a/b", "payload!").ok());
+  EXPECT_TRUE(env.FileExists("a/b"));
+  EXPECT_EQ(env.ListFiles("a/").size(), 1u);
+  EXPECT_TRUE(env.DeleteFile("a/b").ok());
+  EXPECT_FALSE(env.FileExists("a/b"));
+  std::string out;
+  EXPECT_TRUE(env.ReadFile("a/b", &out).IsNotFound());
+}
+
+TEST(CompressedEnvTest, CorruptStoredBytesDetected) {
+  auto base = NewMemEnv();
+  CompressedEnv env(base.get());
+  ASSERT_TRUE(env.WriteFile("f", std::string(64, 'x')).ok());
+  // Truncate the stored representation underneath the wrapper.
+  std::string stored;
+  ASSERT_TRUE(base->ReadFile("f", &stored).ok());
+  stored.resize(4);
+  ASSERT_TRUE(base->WriteFile("f", stored).ok());
+  std::string out;
+  EXPECT_TRUE(env.ReadFile("f", &out).IsCorruption());
+}
+
+TEST(ThrottledEnvTest, ChargesLatencyAndThroughput) {
+  auto base = NewMemEnv();
+  // 1 MiB/s + 10ms latency: a 10 KiB write costs ~19.7ms.
+  ThrottledEnv env(base.get(), 1.0, 10.0);
+  Stopwatch watch;
+  ASSERT_TRUE(env.WriteFile("f", std::string(10240, 'x')).ok());
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_GE(env.throttled_seconds(), 0.015);
+  std::string out;
+  ASSERT_TRUE(env.ReadFile("f", &out).ok());
+  EXPECT_EQ(out.size(), 10240u);
+  EXPECT_EQ(env.stats().reads(), 1u);
+  EXPECT_EQ(env.stats().writes(), 1u);
+}
+
+TEST(ThrottledEnvTest, DelegatesMetadataWithoutCharge) {
+  auto base = NewMemEnv();
+  ThrottledEnv env(base.get(), 100.0, 50.0);
+  ASSERT_TRUE(env.WriteFile("f", "abc").ok());
+  const double after_write = env.throttled_seconds();
+  EXPECT_TRUE(env.FileExists("f"));
+  EXPECT_EQ(env.FileSize("f").value(), 3u);
+  EXPECT_EQ(env.ListFiles("").size(), 1u);
+  EXPECT_EQ(env.throttled_seconds(), after_write);  // metadata is free
+}
+
+}  // namespace
+}  // namespace tpcp

@@ -1,0 +1,172 @@
+#include "cp/cp_als.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "tensor/norms.h"
+
+namespace tpcp {
+namespace {
+
+DenseTensor ExactLowRank(const Shape& shape, int64_t rank, uint64_t seed) {
+  LowRankSpec spec;
+  spec.shape = shape;
+  spec.rank = rank;
+  spec.noise_level = 0.0;
+  spec.density = 1.0;
+  spec.seed = seed;
+  return MakeLowRankTensor(spec);
+}
+
+TEST(CpAlsTest, RecoversExactLowRankTensor) {
+  const DenseTensor x = ExactLowRank(Shape({12, 10, 8}), 3, 1);
+  CpAlsOptions options;
+  options.rank = 3;
+  options.max_iterations = 200;
+  options.fit_tolerance = 1e-9;
+  options.seed = 7;
+  CpAlsReport report;
+  const KruskalTensor k = CpAls(x, options, &report);
+  EXPECT_GT(Fit(x, k), 0.999);
+  EXPECT_GT(report.iterations, 0);
+}
+
+TEST(CpAlsTest, FitTraceIsMonotoneNonDecreasing) {
+  const DenseTensor x = ExactLowRank(Shape({10, 9, 8}), 4, 2);
+  CpAlsOptions options;
+  options.rank = 4;
+  options.max_iterations = 40;
+  options.fit_tolerance = 0.0;  // run all iterations
+  CpAlsReport report;
+  CpAls(x, options, &report);
+  for (size_t i = 1; i < report.fit_trace.size(); ++i) {
+    EXPECT_GE(report.fit_trace[i], report.fit_trace[i - 1] - 1e-9)
+        << "iteration " << i;
+  }
+}
+
+TEST(CpAlsTest, ConvergesAndReports) {
+  const DenseTensor x = ExactLowRank(Shape({8, 8, 8}), 2, 3);
+  CpAlsOptions options;
+  options.rank = 2;
+  options.max_iterations = 200;
+  options.fit_tolerance = 1e-5;
+  CpAlsReport report;
+  CpAls(x, options, &report);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(report.iterations, 200);
+  EXPECT_NEAR(report.final_fit, report.fit_trace.back(), 1e-12);
+}
+
+TEST(CpAlsTest, ResultIsNormalized) {
+  const DenseTensor x = ExactLowRank(Shape({6, 6, 6}), 2, 4);
+  CpAlsOptions options;
+  options.rank = 2;
+  options.max_iterations = 20;
+  const KruskalTensor k = CpAls(x, options);
+  for (int m = 0; m < 3; ++m) {
+    for (int64_t c = 0; c < 2; ++c) {
+      double norm = 0.0;
+      for (int64_t r = 0; r < 6; ++r) {
+        norm += k.factor(m)(r, c) * k.factor(m)(r, c);
+      }
+      EXPECT_NEAR(norm, 1.0, 1e-8);
+    }
+  }
+}
+
+TEST(CpAlsTest, DeterministicUnderSeed) {
+  const DenseTensor x = ExactLowRank(Shape({7, 6, 5}), 2, 5);
+  CpAlsOptions options;
+  options.rank = 2;
+  options.max_iterations = 10;
+  options.seed = 123;
+  const KruskalTensor a = CpAls(x, options);
+  const KruskalTensor b = CpAls(x, options);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_TRUE(a.factor(m) == b.factor(m));
+  }
+}
+
+TEST(CpAlsTest, NoiseToleratedAtModerateLevel) {
+  LowRankSpec spec;
+  spec.shape = Shape({14, 12, 10});
+  spec.rank = 3;
+  spec.noise_level = 0.05;
+  spec.seed = 6;
+  const DenseTensor x = MakeLowRankTensor(spec);
+  CpAlsOptions options;
+  options.rank = 3;
+  options.max_iterations = 100;
+  const KruskalTensor k = CpAls(x, options);
+  EXPECT_GT(Fit(x, k), 0.8);
+}
+
+TEST(CpAlsTest, SparseTensorDecomposition) {
+  // Sparse version agrees with dense version run on the same data.
+  const DenseTensor dense = ExactLowRank(Shape({9, 8, 7}), 2, 7);
+  const SparseTensor sparse = SparseTensor::FromDense(dense);
+  CpAlsOptions options;
+  options.rank = 2;
+  options.max_iterations = 50;
+  options.seed = 9;
+  const KruskalTensor kd = CpAls(dense, options);
+  const KruskalTensor ks = CpAls(sparse, options);
+  EXPECT_NEAR(Fit(dense, kd), Fit(sparse, ks), 1e-8);
+}
+
+TEST(CpAlsTest, HosvdInitAtLeastAsGoodEarly) {
+  const DenseTensor x = ExactLowRank(Shape({15, 12, 9}), 3, 8);
+  CpAlsOptions rnd;
+  rnd.rank = 3;
+  rnd.max_iterations = 3;
+  rnd.fit_tolerance = 0.0;
+  CpAlsOptions hosvd = rnd;
+  hosvd.init = InitMethod::kHosvd;
+  CpAlsReport rnd_report, hosvd_report;
+  CpAls(x, rnd, &rnd_report);
+  CpAls(x, hosvd, &hosvd_report);
+  // HOSVD starts in the dominant subspace; after 3 sweeps it should not be
+  // meaningfully behind random init.
+  EXPECT_GE(hosvd_report.final_fit, rnd_report.final_fit - 0.05);
+}
+
+TEST(CpAlsTest, RankExceedingDimensionsIsHandled) {
+  // F=6 over a 4x4x4 tensor: Gram matrices are singular; the regularized
+  // solver must keep iterates finite.
+  const DenseTensor x = ExactLowRank(Shape({4, 4, 4}), 2, 10);
+  CpAlsOptions options;
+  options.rank = 6;
+  options.max_iterations = 15;
+  const KruskalTensor k = CpAls(x, options);
+  const double fit = Fit(x, k);
+  EXPECT_TRUE(std::isfinite(fit));
+  EXPECT_GT(fit, 0.5);
+}
+
+TEST(CpAlsTest, TwoModeTensorIsMatrixFactorization) {
+  const DenseTensor x = ExactLowRank(Shape({10, 8}), 2, 11);
+  CpAlsOptions options;
+  options.rank = 2;
+  options.max_iterations = 80;
+  const KruskalTensor k = CpAls(x, options);
+  EXPECT_GT(Fit(x, k), 0.999);
+}
+
+TEST(AlsFactorUpdateTest, SolvesNormalEquations) {
+  // With orthonormal-ish grams it reduces to M * S^{-1}.
+  Matrix m{{2, 4}, {6, 8}};
+  std::vector<Matrix> grams;
+  grams.push_back(Matrix{{1, 0}, {0, 1}});  // mode 0 (ignored)
+  grams.push_back(Matrix{{2, 0}, {0, 2}});
+  grams.push_back(Matrix{{1, 0}, {0, 1}});
+  const Matrix a = AlsFactorUpdate(m, grams, 0);
+  // S = gram1 ⊛ gram2 = diag(2,2) -> A = M / 2.
+  EXPECT_NEAR(a(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(a(1, 1), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tpcp

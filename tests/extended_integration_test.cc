@@ -1,0 +1,205 @@
+// Extended integration coverage: higher-mode tensors, and the full 2PCP
+// pipeline over the compressed and throttled storage wrappers.
+
+#include <gtest/gtest.h>
+
+#include "core/two_phase_cp.h"
+#include "data/synthetic.h"
+#include "storage/compressed_env.h"
+#include "storage/serializer.h"
+#include "storage/throttled_env.h"
+#include "tensor/norms.h"
+
+namespace tpcp {
+namespace {
+
+TEST(FourModeTest, EndToEndTwoPhaseDecomposition) {
+  // The engine is N-dimensional end to end, not just the curve machinery.
+  auto env = NewMemEnv();
+  GridPartition grid = GridPartition::Uniform(Shape({6, 6, 6, 6}), 2);
+  BlockTensorStore input(env.get(), "t", grid);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 1;
+  ASSERT_TRUE(GenerateLowRankIntoStore(spec, &input).ok());
+
+  BlockFactorStore factors(env.get(), "f", grid, 2);
+  TwoPhaseCpOptions options;
+  options.rank = 2;
+  options.schedule = ScheduleType::kHilbertOrder;
+  options.policy = PolicyType::kForward;
+  options.buffer_fraction = 1.0 / 3.0;
+  TwoPhaseCp engine(&input, &factors, options);
+  auto k = engine.Run();
+  ASSERT_TRUE(k.ok()) << k.status().ToString();
+  EXPECT_EQ(k->num_modes(), 4);
+  EXPECT_GT(Fit(MakeLowRankTensor(spec), *k), 0.85);
+}
+
+TEST(CompressedPipelineTest, TwoPhaseOverCompressedStorage) {
+  // Transparent compression must not change results: byte-identical
+  // factors versus the uncompressed run.
+  GridPartition grid = GridPartition::Uniform(Shape({10, 10, 10}), 2);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 2;
+  const DenseTensor tensor = MakeLowRankTensor(spec);
+
+  auto run = [&](Env* env) {
+    BlockTensorStore input(env, "t", grid);
+    TPCP_CHECK(input.ImportTensor(tensor).ok());
+    BlockFactorStore factors(env, "f", grid, 2);
+    TwoPhaseCpOptions options;
+    options.rank = 2;
+    options.max_virtual_iterations = 8;
+    options.fit_tolerance = -1.0;
+    TwoPhaseCp engine(&input, &factors, options);
+    auto k = engine.Run();
+    TPCP_CHECK(k.ok());
+    return *k;
+  };
+
+  auto plain = NewMemEnv();
+  const KruskalTensor expected = run(plain.get());
+
+  auto base = NewMemEnv();
+  CompressedEnv compressed(base.get());
+  const KruskalTensor actual = run(&compressed);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_TRUE(actual.factor(m) == expected.factor(m)) << "mode " << m;
+  }
+  // And the stored representation is genuinely smaller than the logical
+  // bytes for this smooth payload.
+  EXPECT_GT(compressed.CompressionRatio(), 1.0);
+}
+
+TEST(ThrottledPipelineTest, TwoPhaseOverThrottledStorage) {
+  // The throttled wrapper slows things down but never changes results.
+  GridPartition grid = GridPartition::Uniform(Shape({8, 8, 8}), 2);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 3;
+  const DenseTensor tensor = MakeLowRankTensor(spec);
+
+  auto base = NewMemEnv();
+  {
+    BlockTensorStore staging(base.get(), "t", grid);
+    ASSERT_TRUE(staging.ImportTensor(tensor).ok());
+  }
+  ThrottledEnv disk(base.get(), /*mb_per_sec=*/500.0, /*latency_ms=*/0.1);
+  BlockTensorStore input(&disk, "t", grid);
+  BlockFactorStore factors(&disk, "f", grid, 2);
+  TwoPhaseCpOptions options;
+  options.rank = 2;
+  TwoPhaseCp engine(&input, &factors, options);
+  auto k = engine.Run();
+  ASSERT_TRUE(k.ok()) << k.status().ToString();
+  EXPECT_GT(Fit(tensor, *k), 0.9);
+  EXPECT_GT(disk.throttled_seconds(), 0.0);
+}
+
+TEST(StackedWrappersTest, CompressionUnderThrottlingReducesChargedBytes) {
+  // Compressed-over-throttled: the throttled layer sees fewer bytes, so
+  // the charged time drops for compressible payloads — the Section VIII-C
+  // trade-off made measurable.
+  auto base = NewMemEnv();
+  ThrottledEnv slow_plain(base.get(), 50.0, 0.0);
+  ThrottledEnv slow_backing(base.get(), 50.0, 0.0);
+  CompressedEnv compressed(&slow_backing);
+
+  Matrix smooth(2000, 8);
+  for (int64_t r = 0; r < smooth.rows(); ++r) {
+    for (int64_t c = 0; c < smooth.cols(); ++c) {
+      smooth(r, c) = 1.0 + 1e-3 * static_cast<double>(r + c);
+    }
+  }
+  ASSERT_TRUE(WriteMatrix(&slow_plain, "plain", smooth).ok());
+  ASSERT_TRUE(WriteMatrix(&compressed, "packed", smooth).ok());
+  EXPECT_LT(slow_backing.throttled_seconds(),
+            slow_plain.throttled_seconds());
+  // Round trip still exact.
+  auto back = ReadMatrix(&compressed, "packed");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == smooth);
+}
+
+TEST(ResumeTest, SecondRunContinuesFromPersistedState) {
+  // Engine-level resume: a completed run's factors can seed a follow-up
+  // Phase 2 without redoing Phase 1 or losing the refined state.
+  auto env = NewMemEnv();
+  GridPartition grid = GridPartition::Uniform(Shape({10, 10, 10}), 2);
+  BlockTensorStore input(env.get(), "t", grid);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 11;
+  ASSERT_TRUE(GenerateLowRankIntoStore(spec, &input).ok());
+  BlockFactorStore factors(env.get(), "f", grid, 2);
+
+  TwoPhaseCpOptions options;
+  options.rank = 2;
+  options.max_virtual_iterations = 6;
+  options.fit_tolerance = -1.0;
+  double first_fit = 0.0;
+  {
+    TwoPhaseCp engine(&input, &factors, options);
+    ASSERT_TRUE(engine.RunPhase1().ok());
+    ASSERT_TRUE(engine.RunPhase2().ok());
+    first_fit = engine.result().surrogate_fit;
+  }
+  // Resume: no Phase 1, refinement picks up the persisted sub-factors.
+  options.resume_phase2 = true;
+  TwoPhaseCp engine(&input, &factors, options);
+  engine.AssumePhase1Factors();
+  ASSERT_TRUE(engine.RunPhase2().ok());
+  EXPECT_GE(engine.result().surrogate_fit, first_fit - 1e-4);
+  // The resumed run starts from the refined state: its very first recorded
+  // fit is already at the first run's final fit (up to the tiny proximal
+  // effect of the ridge, which trades a little unregularized fit for
+  // smaller factors).
+  ASSERT_FALSE(engine.result().fit_trace.empty());
+  EXPECT_GE(engine.result().fit_trace.front(), first_fit - 1e-4);
+}
+
+TEST(OptionsTest, ToStringAndBufferResolution) {
+  TwoPhaseCpOptions options;
+  options.rank = 7;
+  options.schedule = ScheduleType::kZOrder;
+  options.policy = PolicyType::kMru;
+  options.buffer_fraction = 0.25;
+  const std::string s = options.ToString();
+  EXPECT_NE(s.find("rank=7"), std::string::npos);
+  EXPECT_NE(s.find("ZO"), std::string::npos);
+  EXPECT_NE(s.find("MRU"), std::string::npos);
+  EXPECT_EQ(options.ResolveBufferBytes(1000), 250u);
+  options.buffer_bytes = 123;
+  EXPECT_EQ(options.ResolveBufferBytes(1000), 123u);
+  EXPECT_NE(options.ToString().find("123"), std::string::npos);
+}
+
+TEST(EngineValidationTest, MismatchedGridsDie) {
+  auto env = NewMemEnv();
+  GridPartition g1 = GridPartition::Uniform(Shape({8, 8, 8}), 2);
+  GridPartition g2 = GridPartition::Uniform(Shape({8, 8, 8}), 4);
+  BlockTensorStore input(env.get(), "t", g1);
+  BlockFactorStore factors(env.get(), "f", g2, 2);
+  TwoPhaseCpOptions options;
+  options.rank = 2;
+  EXPECT_DEATH(TwoPhaseCp(&input, &factors, options), "grid");
+}
+
+TEST(EngineValidationTest, MismatchedRankDies) {
+  auto env = NewMemEnv();
+  GridPartition grid = GridPartition::Uniform(Shape({8, 8, 8}), 2);
+  BlockTensorStore input(env.get(), "t", grid);
+  BlockFactorStore factors(env.get(), "f", grid, 3);
+  TwoPhaseCpOptions options;
+  options.rank = 2;  // != factor store rank
+  EXPECT_DEATH(TwoPhaseCp(&input, &factors, options), "rank");
+}
+
+}  // namespace
+}  // namespace tpcp

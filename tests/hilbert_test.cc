@@ -1,0 +1,112 @@
+#include "schedule/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <tuple>
+
+namespace tpcp {
+namespace {
+
+TEST(HilbertTest, Known2DOrder4) {
+  // The canonical 2x2 Hilbert curve visits a "U": each consecutive pair of
+  // positions is adjacent.
+  std::vector<std::vector<int64_t>> pts;
+  for (uint64_t h = 0; h < 4; ++h) pts.push_back(HilbertPoint(h, 2, 1));
+  std::set<std::pair<int64_t, int64_t>> unique;
+  for (const auto& p : pts) unique.insert({p[0], p[1]});
+  EXPECT_EQ(unique.size(), 4u);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const int64_t dist = std::abs(pts[i][0] - pts[i - 1][0]) +
+                         std::abs(pts[i][1] - pts[i - 1][1]);
+    EXPECT_EQ(dist, 1) << "step " << i;
+  }
+}
+
+class HilbertSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HilbertSweep, BijectiveOverTheGrid) {
+  const auto [dims, bits] = GetParam();
+  const int64_t side = int64_t{1} << bits;
+  int64_t total = 1;
+  for (int d = 0; d < dims; ++d) total *= side;
+
+  std::set<std::vector<int64_t>> seen_points;
+  for (int64_t h = 0; h < total; ++h) {
+    const std::vector<int64_t> p =
+        HilbertPoint(static_cast<uint64_t>(h), dims, bits);
+    for (int64_t c : p) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, side);
+    }
+    EXPECT_TRUE(seen_points.insert(p).second) << "duplicate point at h=" << h;
+    EXPECT_EQ(HilbertIndex(p, bits), static_cast<uint64_t>(h));
+  }
+  EXPECT_EQ(seen_points.size(), static_cast<size_t>(total));
+}
+
+// The defining Hilbert property: consecutive curve positions are grid
+// neighbours (Manhattan distance exactly 1). This is what gives HO
+// schedules their reuse advantage over ZO (Section VI-C-2).
+TEST_P(HilbertSweep, ConsecutivePositionsAreAdjacent) {
+  const auto [dims, bits] = GetParam();
+  int64_t total = 1;
+  for (int d = 0; d < dims; ++d) total *= int64_t{1} << bits;
+
+  std::vector<int64_t> prev = HilbertPoint(0, dims, bits);
+  for (int64_t h = 1; h < total; ++h) {
+    const std::vector<int64_t> cur =
+        HilbertPoint(static_cast<uint64_t>(h), dims, bits);
+    int64_t dist = 0;
+    for (int d = 0; d < dims; ++d) {
+      dist += std::abs(cur[static_cast<size_t>(d)] -
+                       prev[static_cast<size_t>(d)]);
+    }
+    EXPECT_EQ(dist, 1) << "jump at h=" << h;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, HilbertSweep,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(2, 2),
+                      std::make_tuple(2, 3), std::make_tuple(3, 1),
+                      std::make_tuple(3, 2), std::make_tuple(4, 1),
+                      std::make_tuple(4, 2)));
+
+TEST(HilbertTest, OriginMapsToZero) {
+  EXPECT_EQ(HilbertIndex({0, 0, 0}, 2), 0u);
+  EXPECT_EQ(HilbertPoint(0, 3, 2), (std::vector<int64_t>{0, 0, 0}));
+}
+
+TEST(HilbertTest, OneDimensionalIsIdentity) {
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(HilbertIndex({i}, 4), static_cast<uint64_t>(i));
+    EXPECT_EQ(HilbertPoint(static_cast<uint64_t>(i), 1, 4),
+              (std::vector<int64_t>{i}));
+  }
+}
+
+// Hilbert has no jumps; Z-order has some. Total travel distance along the
+// curve must therefore be strictly smaller for Hilbert on any 2^b grid.
+TEST(HilbertTest, SmallerTotalTravelThanZOrderIn2D) {
+  const int bits = 3;
+  auto travel = [bits](auto point_of) {
+    double total = 0.0;
+    std::vector<int64_t> prev = point_of(0);
+    for (uint64_t h = 1; h < 64; ++h) {
+      const std::vector<int64_t> cur = point_of(h);
+      total += std::abs(cur[0] - prev[0]) + std::abs(cur[1] - prev[1]);
+      prev = cur;
+    }
+    return total;
+  };
+  const double hilbert_travel =
+      travel([bits](uint64_t h) { return HilbertPoint(h, 2, bits); });
+  EXPECT_EQ(hilbert_travel, 63.0);  // every step adjacent
+}
+
+}  // namespace
+}  // namespace tpcp

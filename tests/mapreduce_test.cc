@@ -1,0 +1,183 @@
+#include "parallel/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+namespace tpcp {
+namespace {
+
+TEST(RecordCodecTest, RoundTrip) {
+  std::vector<Record> records = {{"k1", "v1"}, {"", "v2"}, {"k3", ""}};
+  auto back = DecodeRecords(EncodeRecords(records));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ((*back)[0].key, "k1");
+  EXPECT_EQ((*back)[1].key, "");
+  EXPECT_EQ((*back)[1].value, "v2");
+  EXPECT_EQ((*back)[2].value, "");
+}
+
+TEST(RecordCodecTest, EmptyList) {
+  auto back = DecodeRecords(EncodeRecords({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(RecordCodecTest, DetectsTruncation) {
+  std::string bytes = EncodeRecords({{"key", "value"}});
+  bytes.resize(bytes.size() - 2);
+  EXPECT_TRUE(DecodeRecords(bytes).status().IsCorruption());
+  EXPECT_TRUE(DecodeRecords("").status().IsCorruption());
+}
+
+class MapReduceTest : public ::testing::Test {
+ protected:
+  MapReduceTest() : env_(NewMemEnv()) {}
+
+  MapReduceEngine MakeEngine(int reducers = 3, int64_t heap_cap = 0) {
+    MapReduceOptions options;
+    options.num_reducers = reducers;
+    options.heap_cap_bytes = heap_cap;
+    return MapReduceEngine(env_.get(), options);
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(MapReduceTest, WordCount) {
+  std::vector<Record> input = {
+      {"1", "the quick brown fox"}, {"2", "the lazy dog"}, {"3", "the fox"}};
+  Mapper mapper = [](const Record& rec, const Emitter& emit) {
+    std::istringstream words(rec.value);
+    std::string w;
+    while (words >> w) emit(w, "1");
+  };
+  Reducer reducer = [](const std::string& key,
+                       const std::vector<std::string>& values,
+                       const Emitter& emit) {
+    emit(key, std::to_string(values.size()));
+  };
+  MapReduceEngine engine = MakeEngine();
+  auto out = engine.Run(mapper, reducer, input);
+  ASSERT_TRUE(out.ok());
+  std::map<std::string, std::string> counts;
+  for (const Record& r : *out) counts[r.key] = r.value;
+  EXPECT_EQ(counts["the"], "3");
+  EXPECT_EQ(counts["fox"], "2");
+  EXPECT_EQ(counts["dog"], "1");
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST_F(MapReduceTest, ShuffleGoesThroughEnv) {
+  Mapper mapper = [](const Record& rec, const Emitter& emit) {
+    emit(rec.key, rec.value);
+  };
+  Reducer reducer = [](const std::string& key,
+                       const std::vector<std::string>& values,
+                       const Emitter& emit) {
+    for (const auto& v : values) emit(key, v);
+  };
+  MapReduceEngine engine = MakeEngine();
+  env_->stats().Reset();
+  auto out = engine.Run(mapper, reducer, {{"a", "xyz"}, {"b", "uvw"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(env_->stats().bytes_written(), 0u);
+  EXPECT_GT(env_->stats().bytes_read(), 0u);
+  EXPECT_EQ(engine.stats().shuffle_records, 2u);
+  EXPECT_EQ(engine.stats().map_input_records, 2u);
+  EXPECT_EQ(engine.stats().output_records, 2u);
+  EXPECT_EQ(engine.stats().jobs_run, 1u);
+  // Spill files are deleted after consumption.
+  EXPECT_TRUE(env_->ListFiles("mr/").empty());
+}
+
+TEST_F(MapReduceTest, HeapCapFailsJob) {
+  Mapper mapper = [](const Record& rec, const Emitter& emit) {
+    // Every record lands on one key -> one reducer groups everything.
+    emit("hot", rec.value);
+  };
+  Reducer reducer = [](const std::string&, const std::vector<std::string>&,
+                       const Emitter&) {};
+  std::vector<Record> input;
+  for (int i = 0; i < 100; ++i) input.push_back({"k", std::string(100, 'x')});
+  MapReduceEngine engine = MakeEngine(2, /*heap_cap=*/512);
+  auto out = engine.Run(mapper, reducer, input);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsResourceExhausted());
+}
+
+TEST_F(MapReduceTest, HeapCapUnlimitedByDefault) {
+  Mapper mapper = [](const Record& rec, const Emitter& emit) {
+    emit("hot", rec.value);
+  };
+  Reducer reducer = [](const std::string& key,
+                       const std::vector<std::string>& values,
+                       const Emitter& emit) {
+    emit(key, std::to_string(values.size()));
+  };
+  std::vector<Record> input;
+  for (int i = 0; i < 100; ++i) input.push_back({"k", std::string(100, 'x')});
+  MapReduceEngine engine = MakeEngine(2, /*heap_cap=*/0);
+  auto out = engine.Run(mapper, reducer, input);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value, "100");
+}
+
+TEST_F(MapReduceTest, ParallelMapMatchesSerial) {
+  ThreadPool pool(4);
+  Mapper mapper = [](const Record& rec, const Emitter& emit) {
+    emit(rec.key, rec.value + "!");
+  };
+  Reducer reducer = [](const std::string& key,
+                       const std::vector<std::string>& values,
+                       const Emitter& emit) {
+    emit(key, values[0]);
+  };
+  std::vector<Record> input;
+  for (int i = 0; i < 50; ++i) {
+    input.push_back({std::to_string(i), std::to_string(i * i)});
+  }
+
+  MapReduceOptions options;
+  options.num_reducers = 4;
+  options.pool = &pool;
+  MapReduceEngine parallel_engine(env_.get(), options);
+  auto parallel_out = parallel_engine.Run(mapper, reducer, input);
+  ASSERT_TRUE(parallel_out.ok());
+
+  MapReduceEngine serial_engine = MakeEngine(4);
+  auto serial_out = serial_engine.Run(mapper, reducer, input);
+  ASSERT_TRUE(serial_out.ok());
+
+  auto to_map = [](const std::vector<Record>& records) {
+    std::map<std::string, std::string> m;
+    for (const Record& r : records) m[r.key] = r.value;
+    return m;
+  };
+  EXPECT_EQ(to_map(*parallel_out), to_map(*serial_out));
+}
+
+TEST_F(MapReduceTest, MultipleJobsIsolated) {
+  Mapper identity_map = [](const Record& rec, const Emitter& emit) {
+    emit(rec.key, rec.value);
+  };
+  Reducer identity_reduce = [](const std::string& key,
+                               const std::vector<std::string>& values,
+                               const Emitter& emit) {
+    for (const auto& v : values) emit(key, v);
+  };
+  MapReduceEngine engine = MakeEngine();
+  auto out1 = engine.Run(identity_map, identity_reduce, {{"a", "1"}});
+  auto out2 = engine.Run(identity_map, identity_reduce, {{"b", "2"}});
+  ASSERT_TRUE(out1.ok());
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ((*out1)[0].key, "a");
+  EXPECT_EQ((*out2)[0].key, "b");
+  EXPECT_EQ(engine.stats().jobs_run, 2u);
+}
+
+}  // namespace
+}  // namespace tpcp

@@ -1,0 +1,117 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace tpcp {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(MatrixTest, RowMajorLayout) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.data()[0], 1.0);
+  EXPECT_EQ(m.data()[1], 2.0);
+  EXPECT_EQ(m.data()[2], 3.0);
+  EXPECT_EQ(m.row(1)[1], 4.0);
+}
+
+TEST(MatrixTest, SetIdentity) {
+  Matrix m(3, 3, 9.0);
+  m.SetIdentity();
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t(0, 0), 1.0);
+  // Double transpose is identity.
+  EXPECT_TRUE(t.Transposed() == m);
+}
+
+TEST(MatrixTest, RowSliceAndSetRows) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  Matrix mid = m.RowSlice(1, 3);
+  EXPECT_EQ(mid.rows(), 2);
+  EXPECT_EQ(mid(0, 0), 3.0);
+
+  Matrix dst(3, 2);
+  dst.SetRows(1, mid);
+  EXPECT_EQ(dst(0, 0), 0.0);
+  EXPECT_EQ(dst(1, 0), 3.0);
+  EXPECT_EQ(dst(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 1}, {1, 1}};
+  a.Add(b);
+  EXPECT_EQ(a(1, 1), 5.0);
+  a.Sub(b);
+  EXPECT_EQ(a(1, 1), 4.0);
+  a.Scale(2.0);
+  EXPECT_EQ(a(0, 0), 2.0);
+}
+
+TEST(MatrixTest, MaxAbsDiffAndAlmostEqual) {
+  Matrix a{{1, 2}};
+  Matrix b{{1.1, 2}};
+  EXPECT_NEAR(Matrix::MaxAbsDiff(a, b), 0.1, 1e-12);
+  EXPECT_TRUE(Matrix::AlmostEqual(a, b, 0.2));
+  EXPECT_FALSE(Matrix::AlmostEqual(a, b, 0.05));
+  EXPECT_FALSE(Matrix::AlmostEqual(a, Matrix(1, 3), 10.0));  // shape mismatch
+}
+
+TEST(MatrixTest, ByteSize) {
+  Matrix m(10, 10);
+  EXPECT_EQ(m.ByteSize(), 800u);
+}
+
+TEST(MatrixTest, ToStringCapsOutput) {
+  Matrix m(100, 100, 1.0);
+  const std::string s = m.ToString(2, 2);
+  EXPECT_NE(s.find("Matrix 100x100"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpcp

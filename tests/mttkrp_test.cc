@@ -1,0 +1,127 @@
+#include "tensor/mttkrp.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "tensor/khatri_rao.h"
+#include "tensor/unfold.h"
+#include "util/random.h"
+
+namespace tpcp {
+namespace {
+
+DenseTensor RandomTensor(const Shape& shape, uint64_t seed,
+                         double zero_fraction = 0.0) {
+  Rng rng(seed);
+  DenseTensor t(shape);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    t.at_linear(i) =
+        rng.NextDouble() < zero_fraction ? 0.0 : rng.NextGaussian();
+  }
+  return t;
+}
+
+std::vector<Matrix> RandomFactorsFor(const Shape& shape, int64_t rank,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  for (int m = 0; m < shape.num_modes(); ++m) {
+    Matrix f(shape.dim(m), rank);
+    for (int64_t i = 0; i < f.size(); ++i) f.data()[i] = rng.NextGaussian();
+    factors.push_back(std::move(f));
+  }
+  return factors;
+}
+
+// Reference: M = X_(n) * KhatriRaoSkip(factors, n), fully materialized.
+Matrix ReferenceMttkrp(const DenseTensor& t, const std::vector<Matrix>& f,
+                       int mode) {
+  return MatMul(Unfold(t, mode), KhatriRaoSkip(f, mode));
+}
+
+TEST(MttkrpTest, MatchesUnfoldKhatriRaoReference) {
+  const Shape shape({4, 5, 3});
+  const DenseTensor t = RandomTensor(shape, 1);
+  const std::vector<Matrix> f = RandomFactorsFor(shape, 4, 2);
+  for (int mode = 0; mode < 3; ++mode) {
+    EXPECT_TRUE(Matrix::AlmostEqual(Mttkrp(t, f, mode),
+                                    ReferenceMttkrp(t, f, mode), 1e-10))
+        << "mode=" << mode;
+  }
+}
+
+TEST(MttkrpTest, FourModeReference) {
+  const Shape shape({3, 2, 4, 2});
+  const DenseTensor t = RandomTensor(shape, 3);
+  const std::vector<Matrix> f = RandomFactorsFor(shape, 3, 4);
+  for (int mode = 0; mode < 4; ++mode) {
+    EXPECT_TRUE(Matrix::AlmostEqual(Mttkrp(t, f, mode),
+                                    ReferenceMttkrp(t, f, mode), 1e-10))
+        << "mode=" << mode;
+  }
+}
+
+TEST(MttkrpTest, SparseAgreesWithDense) {
+  const Shape shape({6, 5, 4});
+  const DenseTensor dense = RandomTensor(shape, 5, /*zero_fraction=*/0.8);
+  const SparseTensor sparse = SparseTensor::FromDense(dense);
+  const std::vector<Matrix> f = RandomFactorsFor(shape, 5, 6);
+  for (int mode = 0; mode < 3; ++mode) {
+    EXPECT_TRUE(Matrix::AlmostEqual(Mttkrp(sparse, f, mode),
+                                    Mttkrp(dense, f, mode), 1e-10))
+        << "mode=" << mode;
+  }
+}
+
+TEST(MttkrpTest, ZeroTensorGivesZero) {
+  const Shape shape({3, 3, 3});
+  DenseTensor t(shape);
+  const std::vector<Matrix> f = RandomFactorsFor(shape, 2, 7);
+  const Matrix m = Mttkrp(t, f, 1);
+  EXPECT_EQ(m.FrobeniusNorm(), 0.0);
+}
+
+TEST(MttkrpTest, RankOneFactorsKnownResult) {
+  // With all-ones factors, M(i, 0) = sum of the mode-i slice of X.
+  const Shape shape({2, 3, 2});
+  const DenseTensor t = RandomTensor(shape, 8);
+  std::vector<Matrix> ones;
+  for (int m = 0; m < 3; ++m) ones.emplace_back(shape.dim(m), 1, 1.0);
+  const Matrix m0 = Mttkrp(t, ones, 0);
+  for (int64_t i = 0; i < 2; ++i) {
+    double expected = 0.0;
+    for (int64_t j = 0; j < 3; ++j) {
+      for (int64_t k = 0; k < 2; ++k) expected += t.at({i, j, k});
+    }
+    EXPECT_NEAR(m0(i, 0), expected, 1e-12);
+  }
+}
+
+struct MttkrpCase {
+  std::vector<int64_t> dims;
+  int64_t rank;
+};
+
+class MttkrpSweep : public ::testing::TestWithParam<MttkrpCase> {};
+
+TEST_P(MttkrpSweep, DenseMatchesReferenceEveryMode) {
+  const MttkrpCase& c = GetParam();
+  const Shape shape(c.dims);
+  const DenseTensor t = RandomTensor(shape, 11);
+  const std::vector<Matrix> f = RandomFactorsFor(shape, c.rank, 12);
+  for (int mode = 0; mode < shape.num_modes(); ++mode) {
+    EXPECT_TRUE(Matrix::AlmostEqual(Mttkrp(t, f, mode),
+                                    ReferenceMttkrp(t, f, mode), 1e-9))
+        << shape.ToString() << " mode=" << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MttkrpSweep,
+    ::testing::Values(MttkrpCase{{2, 2}, 1}, MttkrpCase{{5, 4}, 3},
+                      MttkrpCase{{2, 3, 4}, 2}, MttkrpCase{{7, 3, 2}, 6},
+                      MttkrpCase{{2, 2, 2, 2}, 3},
+                      MttkrpCase{{1, 6, 2}, 2}));
+
+}  // namespace
+}  // namespace tpcp

@@ -1,0 +1,189 @@
+#include "schedule/update_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "buffer/data_unit.h"
+#include "schedule/lookahead.h"
+#include "schedule/zorder.h"
+
+namespace tpcp {
+namespace {
+
+GridPartition CubicGrid(int64_t side, int64_t parts) {
+  return GridPartition::Uniform(Shape({side, side, side}), parts);
+}
+
+TEST(ScheduleTest, Names) {
+  EXPECT_STREQ(ScheduleTypeName(ScheduleType::kModeCentric), "MC");
+  EXPECT_STREQ(ScheduleTypeName(ScheduleType::kFiberOrder), "FO");
+  EXPECT_STREQ(ScheduleTypeName(ScheduleType::kZOrder), "ZO");
+  EXPECT_STREQ(ScheduleTypeName(ScheduleType::kHilbertOrder), "HO");
+}
+
+TEST(ScheduleTest, ModeCentricCycleStructure) {
+  const GridPartition grid = CubicGrid(8, 2);
+  const UpdateSchedule s =
+      UpdateSchedule::Create(ScheduleType::kModeCentric, grid);
+  // Cycle = Σ K_i steps; each unit exactly once per cycle.
+  EXPECT_EQ(s.cycle_length(), grid.SumParts());
+  EXPECT_EQ(s.virtual_iteration_length(), grid.SumParts());
+  std::set<std::pair<int, int64_t>> units;
+  for (const UpdateStep& step : s.cycle()) {
+    units.insert({step.unit().mode, step.unit().part});
+  }
+  EXPECT_EQ(static_cast<int64_t>(units.size()), grid.SumParts());
+  EXPECT_TRUE(s.block_order().empty());
+}
+
+TEST(ScheduleTest, BlockCentricCycleStructure) {
+  const GridPartition grid = CubicGrid(8, 2);
+  for (ScheduleType type : {ScheduleType::kFiberOrder, ScheduleType::kZOrder,
+                            ScheduleType::kHilbertOrder}) {
+    const UpdateSchedule s = UpdateSchedule::Create(type, grid);
+    EXPECT_EQ(s.cycle_length(), grid.NumBlocks() * grid.num_modes());
+    EXPECT_EQ(s.virtual_iteration_length(), grid.SumParts());
+    EXPECT_EQ(static_cast<int64_t>(s.block_order().size()), grid.NumBlocks());
+  }
+}
+
+// Definition 2 (tensor-filling): one cycle visits every block position
+// exactly once (block-centric), or every mode-partition exactly once (MC).
+TEST(ScheduleTest, BlockCentricCyclesAreTensorFilling) {
+  const GridPartition grid(Shape({12, 8, 10}), {3, 2, 2});
+  for (ScheduleType type : {ScheduleType::kFiberOrder, ScheduleType::kZOrder,
+                            ScheduleType::kHilbertOrder}) {
+    const UpdateSchedule s = UpdateSchedule::Create(type, grid);
+    std::set<BlockIndex> visited(s.block_order().begin(),
+                                 s.block_order().end());
+    EXPECT_EQ(static_cast<int64_t>(visited.size()), grid.NumBlocks())
+        << ScheduleTypeName(type);
+  }
+}
+
+// Per cycle, block-centric schedules update A^(i)_(ki) once per block in
+// its slab: Π_{j≠i} K_j times (Section V-A).
+TEST(ScheduleTest, BlockCentricUpdateMultiplicity) {
+  const GridPartition grid(Shape({8, 8, 8}), {2, 4, 2});
+  const UpdateSchedule s =
+      UpdateSchedule::Create(ScheduleType::kZOrder, grid);
+  std::map<std::pair<int, int64_t>, int64_t> counts;
+  for (const UpdateStep& step : s.cycle()) {
+    ++counts[{step.unit().mode, step.unit().part}];
+  }
+  for (const auto& [unit, count] : counts) {
+    EXPECT_EQ(count, grid.NumBlocks() / grid.parts(unit.first))
+        << "mode " << unit.first << " part " << unit.second;
+  }
+}
+
+TEST(ScheduleTest, StepsReferenceTheirOwnBlockCoordinates) {
+  const GridPartition grid = CubicGrid(8, 2);
+  const UpdateSchedule s =
+      UpdateSchedule::Create(ScheduleType::kFiberOrder, grid);
+  for (const UpdateStep& step : s.cycle()) {
+    EXPECT_EQ(step.unit().part,
+              step.block[static_cast<size_t>(step.mode)]);
+  }
+}
+
+TEST(ScheduleTest, FiberOrderLastModeVariesFastest) {
+  const GridPartition grid = CubicGrid(8, 2);
+  const auto order = OrderBlocksFiber(grid);
+  EXPECT_EQ(order[0], (BlockIndex{0, 0, 0}));
+  EXPECT_EQ(order[1], (BlockIndex{0, 0, 1}));
+  EXPECT_EQ(order[2], (BlockIndex{0, 1, 0}));
+}
+
+TEST(ScheduleTest, HilbertOrderAdjacentBlocks) {
+  const GridPartition grid = CubicGrid(16, 4);
+  const auto order = OrderBlocksHilbert(grid);
+  for (size_t i = 1; i < order.size(); ++i) {
+    int64_t dist = 0;
+    for (size_t m = 0; m < 3; ++m) {
+      dist += std::abs(order[i][m] - order[i - 1][m]);
+    }
+    EXPECT_EQ(dist, 1) << "jump at position " << i;
+  }
+}
+
+TEST(ScheduleTest, ZOrderMatchesZValueOrder) {
+  const GridPartition grid = CubicGrid(16, 4);
+  const auto order = OrderBlocksZOrder(grid);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const uint64_t z = ZValue(order[i], 2);
+    if (i > 0) EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+TEST(ScheduleTest, NonPowerOfTwoGridsStillFill) {
+  const GridPartition grid(Shape({9, 9, 9}), {3, 3, 3});
+  for (ScheduleType type : {ScheduleType::kZOrder,
+                            ScheduleType::kHilbertOrder}) {
+    const UpdateSchedule s = UpdateSchedule::Create(type, grid);
+    std::set<BlockIndex> visited(s.block_order().begin(),
+                                 s.block_order().end());
+    EXPECT_EQ(static_cast<int64_t>(visited.size()), 27)
+        << ScheduleTypeName(type);
+  }
+}
+
+TEST(ScheduleTest, StepAtWrapsCyclically) {
+  const GridPartition grid = CubicGrid(8, 2);
+  const UpdateSchedule s = UpdateSchedule::Create(ScheduleType::kZOrder, grid);
+  const int64_t len = s.cycle_length();
+  for (int64_t pos = 0; pos < 3 * len; ++pos) {
+    EXPECT_EQ(s.StepAt(pos).block, s.StepAt(pos % len).block);
+    EXPECT_EQ(s.StepAt(pos).mode, s.StepAt(pos % len).mode);
+  }
+}
+
+TEST(ScheduleTest, ToStringMentionsTypeAndSizes) {
+  const GridPartition grid = CubicGrid(8, 2);
+  const UpdateSchedule s = UpdateSchedule::Create(ScheduleType::kHilbertOrder,
+                                                  grid);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("HO"), std::string::npos);
+  EXPECT_NE(str.find("cycle=24"), std::string::npos);
+}
+
+// Brute-force reference for the lookahead oracle.
+int64_t BruteForceNextUse(const UpdateSchedule& s, const ModePartition& unit,
+                          int64_t current_pos) {
+  for (int64_t p = current_pos + 1; p <= current_pos + 2 * s.cycle_length();
+       ++p) {
+    if (s.StepAt(p).unit() == unit) return p;
+  }
+  return -1;
+}
+
+class LookaheadSweep : public ::testing::TestWithParam<ScheduleType> {};
+
+TEST_P(LookaheadSweep, MatchesBruteForce) {
+  const GridPartition grid(Shape({8, 8, 8}), {2, 2, 2});
+  const UpdateSchedule s = UpdateSchedule::Create(GetParam(), grid);
+  const ScheduleLookahead lookahead(s);
+  UnitCatalog catalog(grid, 4);
+  for (int64_t pos = 0; pos < 2 * s.cycle_length(); pos += 3) {
+    for (const ModePartition& unit : catalog.AllUnits()) {
+      EXPECT_EQ(lookahead.NextUse(unit, pos), BruteForceNextUse(s, unit, pos))
+          << ScheduleTypeName(GetParam()) << " pos=" << pos << " unit=("
+          << unit.mode << "," << unit.part << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, LookaheadSweep,
+                         ::testing::Values(ScheduleType::kModeCentric,
+                                           ScheduleType::kFiberOrder,
+                                           ScheduleType::kZOrder,
+                                           ScheduleType::kHilbertOrder));
+
+}  // namespace
+}  // namespace tpcp

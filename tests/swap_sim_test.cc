@@ -1,0 +1,150 @@
+#include "core/swap_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace tpcp {
+namespace {
+
+SwapSimConfig BaseConfig(int64_t parts) {
+  SwapSimConfig config;
+  config.grid = GridPartition::Uniform(Shape({64, 64, 64}), parts);
+  config.rank = 4;
+  config.measure_virtual_iterations = 30;
+  return config;
+}
+
+// Observation #4: with a cyclic MC trace and LRU under-capacity, every
+// access misses — Σ K_i swaps per virtual iteration.
+TEST(SwapSimTest, ModeCentricLruThrashesAtEveryBufferSize) {
+  for (double fraction : {1.0 / 3.0, 1.0 / 2.0, 2.0 / 3.0}) {
+    SwapSimConfig config = BaseConfig(8);
+    config.schedule = ScheduleType::kModeCentric;
+    config.policy = PolicyType::kLru;
+    config.buffer_fraction = fraction;
+    const SwapSimResult result = SimulateSwaps(config);
+    EXPECT_NEAR(result.swaps_per_virtual_iteration, 24.0, 1e-9)
+        << "fraction=" << fraction;
+  }
+}
+
+TEST(SwapSimTest, FullBufferNeverSwapsInSteadyState) {
+  for (ScheduleType type : {ScheduleType::kModeCentric,
+                            ScheduleType::kFiberOrder, ScheduleType::kZOrder,
+                            ScheduleType::kHilbertOrder}) {
+    SwapSimConfig config = BaseConfig(4);
+    config.schedule = type;
+    config.policy = PolicyType::kLru;
+    config.buffer_fraction = 1.0;
+    const SwapSimResult result = SimulateSwaps(config);
+    EXPECT_EQ(result.swaps_per_virtual_iteration, 0.0)
+        << ScheduleTypeName(type);
+  }
+}
+
+TEST(SwapSimTest, MruBeatsLruOnModeCentric) {
+  SwapSimConfig config = BaseConfig(8);
+  config.schedule = ScheduleType::kModeCentric;
+  config.buffer_fraction = 0.5;
+  config.policy = PolicyType::kLru;
+  const double lru = SimulateSwaps(config).swaps_per_virtual_iteration;
+  config.policy = PolicyType::kMru;
+  const double mru = SimulateSwaps(config).swaps_per_virtual_iteration;
+  EXPECT_LT(mru, lru);
+}
+
+TEST(SwapSimTest, HilbertForwardIsTheBestConfiguration) {
+  // The paper's headline: HO+FOR beats MC+LRU by an order of magnitude.
+  SwapSimConfig config = BaseConfig(8);
+  config.buffer_fraction = 1.0 / 3.0;
+
+  config.schedule = ScheduleType::kModeCentric;
+  config.policy = PolicyType::kLru;
+  const double worst = SimulateSwaps(config).swaps_per_virtual_iteration;
+
+  config.schedule = ScheduleType::kHilbertOrder;
+  config.policy = PolicyType::kForward;
+  const double best = SimulateSwaps(config).swaps_per_virtual_iteration;
+
+  EXPECT_LT(best, worst / 4.0);
+}
+
+TEST(SwapSimTest, SwapsDecreaseWithBufferSize) {
+  for (ScheduleType type : {ScheduleType::kFiberOrder, ScheduleType::kZOrder,
+                            ScheduleType::kHilbertOrder}) {
+    SwapSimConfig config = BaseConfig(8);
+    config.schedule = type;
+    config.policy = PolicyType::kForward;
+    double prev = 1e30;
+    for (double fraction : {1.0 / 3.0, 1.0 / 2.0, 2.0 / 3.0}) {
+      config.buffer_fraction = fraction;
+      const double swaps = SimulateSwaps(config).swaps_per_virtual_iteration;
+      EXPECT_LE(swaps, prev) << ScheduleTypeName(type) << " @" << fraction;
+      prev = swaps;
+    }
+  }
+}
+
+TEST(SwapSimTest, ResultBookkeepingConsistent) {
+  SwapSimConfig config = BaseConfig(4);
+  config.schedule = ScheduleType::kZOrder;
+  config.policy = PolicyType::kForward;
+  config.buffer_fraction = 0.5;
+  const SwapSimResult result = SimulateSwaps(config);
+  EXPECT_EQ(result.measured_virtual_iterations, 30);
+  EXPECT_EQ(result.measured_swaps, result.stats.swap_ins);
+  EXPECT_NEAR(result.swaps_per_virtual_iteration,
+              static_cast<double>(result.measured_swaps) / 30.0, 1e-12);
+  EXPECT_GT(result.total_requirement_bytes, 0u);
+  EXPECT_LE(result.buffer_bytes, result.total_requirement_bytes);
+}
+
+// Swap counts are data-independent (the paper runs one simulation for all
+// datasets): rank and tensor size scale all units uniformly, so the
+// per-iteration swap count for a fraction-based buffer must not change.
+TEST(SwapSimTest, SwapsIndependentOfRankAndSize) {
+  SwapSimConfig small = BaseConfig(4);
+  small.schedule = ScheduleType::kHilbertOrder;
+  small.policy = PolicyType::kForward;
+  small.buffer_fraction = 0.5;
+
+  SwapSimConfig big = small;
+  big.grid = GridPartition::Uniform(Shape({512, 512, 512}), 4);
+  big.rank = 32;
+
+  EXPECT_EQ(SimulateSwaps(small).swaps_per_virtual_iteration,
+            SimulateSwaps(big).swaps_per_virtual_iteration);
+}
+
+class PaperFig12Sweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+// Block-centric schedules with FOR must beat mode-centric with LRU in every
+// Figure-12 configuration.
+TEST_P(PaperFig12Sweep, BlockCentricForwardBeatsModeCentricLru) {
+  const auto [parts, fraction] = GetParam();
+  SwapSimConfig config = BaseConfig(parts);
+  config.buffer_fraction = fraction;
+
+  config.schedule = ScheduleType::kModeCentric;
+  config.policy = PolicyType::kLru;
+  const double mc_lru = SimulateSwaps(config).swaps_per_virtual_iteration;
+
+  for (ScheduleType type : {ScheduleType::kFiberOrder, ScheduleType::kZOrder,
+                            ScheduleType::kHilbertOrder}) {
+    config.schedule = type;
+    config.policy = PolicyType::kForward;
+    EXPECT_LT(SimulateSwaps(config).swaps_per_virtual_iteration, mc_lru)
+        << ScheduleTypeName(type) << " parts=" << parts
+        << " fraction=" << fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig12Grid, PaperFig12Sweep,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(1.0 / 3.0, 1.0 / 2.0, 2.0 / 3.0)));
+
+}  // namespace
+}  // namespace tpcp

@@ -1,0 +1,140 @@
+#include "tensor/unfold.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.h"
+#include "tensor/khatri_rao.h"
+#include "tensor/kruskal.h"
+#include "util/random.h"
+
+namespace tpcp {
+namespace {
+
+DenseTensor RandomTensor(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  DenseTensor t(shape);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    t.at_linear(i) = rng.NextGaussian();
+  }
+  return t;
+}
+
+TEST(UnfoldTest, ShapeOfUnfolding) {
+  const DenseTensor t = RandomTensor(Shape({3, 4, 5}), 1);
+  for (int mode = 0; mode < 3; ++mode) {
+    const Matrix u = Unfold(t, mode);
+    EXPECT_EQ(u.rows(), t.dim(mode));
+    EXPECT_EQ(u.cols(), t.NumElements() / t.dim(mode));
+  }
+}
+
+TEST(UnfoldTest, KnownSmallCase) {
+  // 2x2x2 tensor, mode-0 unfolding: columns ordered mode-1 fastest.
+  DenseTensor t{Shape({2, 2, 2})};
+  // Cell (i,j,k) = 100i + 10j + k.
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      for (int64_t k = 0; k < 2; ++k) t.at({i, j, k}) = 100.0 * i + 10.0 * j + k;
+    }
+  }
+  const Matrix u0 = Unfold(t, 0);
+  // Column index = j + 2k? No: skip mode 0, remaining modes (1,2) with
+  // mode 1 fastest: col = j * 1 + k * 2.
+  EXPECT_EQ(u0(0, 0), 0.0);    // (0,0,0)
+  EXPECT_EQ(u0(0, 1), 10.0);   // j=1,k=0
+  EXPECT_EQ(u0(0, 2), 1.0);    // j=0,k=1
+  EXPECT_EQ(u0(0, 3), 11.0);   // j=1,k=1
+  EXPECT_EQ(u0(1, 3), 111.0);
+}
+
+TEST(UnfoldTest, FoldInvertsUnfold) {
+  const Shape shape({3, 4, 2, 3});
+  const DenseTensor t = RandomTensor(shape, 2);
+  for (int mode = 0; mode < shape.num_modes(); ++mode) {
+    const DenseTensor back = Fold(Unfold(t, mode), shape, mode);
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+      EXPECT_EQ(back.at_linear(i), t.at_linear(i)) << "mode=" << mode;
+    }
+  }
+}
+
+TEST(UnfoldTest, UnfoldingPreservesNorm) {
+  const DenseTensor t = RandomTensor(Shape({4, 3, 5}), 3);
+  for (int mode = 0; mode < 3; ++mode) {
+    EXPECT_NEAR(Unfold(t, mode).FrobeniusNorm(), t.FrobeniusNorm(), 1e-12);
+  }
+}
+
+TEST(KhatriRaoTest, SmallKnownCase) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix kr = KhatriRao(a, b);
+  ASSERT_EQ(kr.rows(), 4);
+  ASSERT_EQ(kr.cols(), 2);
+  // Row (i*Jb + j) = a(i,:) * b(j,:) element-wise.
+  EXPECT_EQ(kr(0, 0), 5.0);   // a00*b00
+  EXPECT_EQ(kr(0, 1), 12.0);  // a01*b01
+  EXPECT_EQ(kr(1, 0), 7.0);   // a00*b10
+  EXPECT_EQ(kr(3, 1), 32.0);  // a11*b11
+}
+
+TEST(KhatriRaoTest, GramIdentity) {
+  // (A ⊙ B)^T (A ⊙ B) == (A^T A) ⊛ (B^T B).
+  Rng rng(4);
+  Matrix a(5, 3), b(4, 3);
+  for (int64_t i = 0; i < a.size(); ++i) a.data()[i] = rng.NextGaussian();
+  for (int64_t i = 0; i < b.size(); ++i) b.data()[i] = rng.NextGaussian();
+  const Matrix kr = KhatriRao(a, b);
+  Matrix expected = Gram(a);
+  const Matrix gb = Gram(b);
+  for (int64_t i = 0; i < expected.size(); ++i) {
+    expected.data()[i] *= gb.data()[i];
+  }
+  EXPECT_TRUE(Matrix::AlmostEqual(Gram(kr), expected, 1e-10));
+}
+
+// The load-bearing convention check: X = [[A,B,C]] implies
+// X_(n) == A(n) * KhatriRaoSkip(factors, n)^T for every mode.
+TEST(UnfoldTest, KruskalUnfoldingIdentity) {
+  Rng rng(5);
+  std::vector<Matrix> factors;
+  const Shape shape({3, 4, 2});
+  for (int m = 0; m < 3; ++m) {
+    Matrix f(shape.dim(m), 2);
+    for (int64_t i = 0; i < f.size(); ++i) f.data()[i] = rng.NextGaussian();
+    factors.push_back(std::move(f));
+  }
+  KruskalTensor k(factors);
+  const DenseTensor full = k.Full();
+  for (int mode = 0; mode < 3; ++mode) {
+    const Matrix lhs = Unfold(full, mode);
+    const Matrix rhs =
+        MatMulT(factors[static_cast<size_t>(mode)],
+                KhatriRaoSkip(factors, mode));
+    EXPECT_TRUE(Matrix::AlmostEqual(lhs, rhs, 1e-10)) << "mode=" << mode;
+  }
+}
+
+TEST(UnfoldTest, FourModeKruskalIdentity) {
+  Rng rng(6);
+  const Shape shape({2, 3, 2, 2});
+  std::vector<Matrix> factors;
+  for (int m = 0; m < 4; ++m) {
+    Matrix f(shape.dim(m), 3);
+    for (int64_t i = 0; i < f.size(); ++i) f.data()[i] = rng.NextGaussian();
+    factors.push_back(std::move(f));
+  }
+  KruskalTensor k(factors);
+  const DenseTensor full = k.Full();
+  for (int mode = 0; mode < 4; ++mode) {
+    EXPECT_TRUE(Matrix::AlmostEqual(
+        Unfold(full, mode),
+        MatMulT(factors[static_cast<size_t>(mode)],
+                KhatriRaoSkip(factors, mode)),
+        1e-10))
+        << "mode=" << mode;
+  }
+}
+
+}  // namespace
+}  // namespace tpcp

@@ -1,0 +1,96 @@
+#include "schedule/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace tpcp {
+namespace {
+
+TEST(BitsForTest, SmallValues) {
+  EXPECT_EQ(BitsFor(1), 1);
+  EXPECT_EQ(BitsFor(2), 1);
+  EXPECT_EQ(BitsFor(3), 2);
+  EXPECT_EQ(BitsFor(4), 2);
+  EXPECT_EQ(BitsFor(5), 3);
+  EXPECT_EQ(BitsFor(8), 3);
+  EXPECT_EQ(BitsFor(9), 4);
+}
+
+TEST(ZOrderTest, PaperWorkedExample) {
+  // Figure 9(b): block position [2, 3] has Z-value 001101_2 = 13.
+  EXPECT_EQ(ZValue({2, 3}, 3), 13u);
+}
+
+TEST(ZOrderTest, OriginIsZero) {
+  EXPECT_EQ(ZValue({0, 0, 0}, 4), 0u);
+}
+
+TEST(ZOrderTest, First2DCurveSteps) {
+  // The 2x2 Z traversal: (0,0), (0,1), (1,0), (1,1) for MSB-mode-0 layout.
+  EXPECT_EQ(ZValue({0, 0}, 1), 0u);
+  EXPECT_EQ(ZValue({0, 1}, 1), 1u);
+  EXPECT_EQ(ZValue({1, 0}, 1), 2u);
+  EXPECT_EQ(ZValue({1, 1}, 1), 3u);
+}
+
+class ZOrderSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ZOrderSweep, EncodeDecodeBijective) {
+  const auto [dims, bits] = GetParam();
+  const int64_t side = int64_t{1} << bits;
+  int64_t total = 1;
+  for (int d = 0; d < dims; ++d) total *= side;
+
+  std::set<uint64_t> seen;
+  std::vector<int64_t> point(static_cast<size_t>(dims), 0);
+  for (int64_t linear = 0; linear < total; ++linear) {
+    const uint64_t z = ZValue(point, bits);
+    EXPECT_LT(z, static_cast<uint64_t>(total));
+    EXPECT_TRUE(seen.insert(z).second) << "duplicate z " << z;
+    EXPECT_EQ(ZDecode(z, dims, bits), point);
+    for (int d = dims - 1; d >= 0; --d) {
+      if (++point[static_cast<size_t>(d)] < side) break;
+      point[static_cast<size_t>(d)] = 0;
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(total));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, ZOrderSweep,
+    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(2, 1),
+                      std::make_tuple(2, 3), std::make_tuple(3, 2),
+                      std::make_tuple(3, 3), std::make_tuple(4, 2)));
+
+TEST(ZOrderTest, SelfSimilarQuadrants) {
+  // In 2D with 2 bits, the second-level pattern repeats the first level:
+  // all of quadrant (0,*) x (0,*) comes before quadrant (0,1).
+  const uint64_t q00_max = std::max(
+      std::max(ZValue({0, 0}, 2), ZValue({0, 1}, 2)),
+      std::max(ZValue({1, 0}, 2), ZValue({1, 1}, 2)));
+  const uint64_t q01_min = std::min(
+      std::min(ZValue({0, 2}, 2), ZValue({0, 3}, 2)),
+      std::min(ZValue({1, 2}, 2), ZValue({1, 3}, 2)));
+  EXPECT_LT(q00_max, q01_min);
+}
+
+TEST(ZOrderTest, ClusteringBeatsRandomExpectation) {
+  // Average per-step coordinate jump along the 8x8 Z traversal must be far
+  // below the ~5.25 expected for a random permutation (it is 1 for most
+  // steps, with a few larger jumps).
+  const int bits = 3;
+  double total_jump = 0.0;
+  std::vector<int64_t> prev = ZDecode(0, 2, bits);
+  for (uint64_t z = 1; z < 64; ++z) {
+    const std::vector<int64_t> cur = ZDecode(z, 2, bits);
+    total_jump += std::abs(cur[0] - prev[0]) + std::abs(cur[1] - prev[1]);
+    prev = cur;
+  }
+  EXPECT_LT(total_jump / 63.0, 2.5);
+}
+
+}  // namespace
+}  // namespace tpcp

@@ -1,0 +1,229 @@
+// tpcp_tool — command-line driver for the 2PCP library.
+//
+//   tpcp_tool generate  <dir> <I> <J> <K> <parts> [rank] [density] [seed]
+//       Streams a synthetic low-rank dense tensor into a block store under
+//       <dir>/tensor, partitioned <parts> ways per mode.
+//
+//   tpcp_tool decompose <dir> <rank> [schedule] [policy] [buffer-fraction]
+//       Runs the two-phase decomposition over <dir>/tensor, writing factors
+//       to <dir>/factors and printing timings, fit and I/O statistics.
+//       schedule: mc | fo | zo | ho | sn | rnd   policy: lru | mru | for
+//
+//   tpcp_tool simulate  <parts> <buffer-fraction>
+//       Prints the exact per-virtual-iteration swap table for a cubic grid
+//       (no data needed — swap counts are configuration-determined).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/swap_simulator.h"
+#include "core/two_phase_cp.h"
+#include "data/synthetic.h"
+#include "storage/serializer.h"
+#include "util/format.h"
+
+using namespace tpcp;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s generate  <dir> <I> <J> <K> <parts> [rank=10] [density=1.0] "
+      "[seed=42]\n"
+      "  %s decompose <dir> <rank> [schedule=ho] [policy=for] "
+      "[buffer-fraction=0.5]\n"
+      "  %s simulate  <parts> <buffer-fraction>\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+bool ParseSchedule(const std::string& name, ScheduleType* out) {
+  if (name == "mc") *out = ScheduleType::kModeCentric;
+  else if (name == "fo") *out = ScheduleType::kFiberOrder;
+  else if (name == "zo") *out = ScheduleType::kZOrder;
+  else if (name == "ho") *out = ScheduleType::kHilbertOrder;
+  else if (name == "sn") *out = ScheduleType::kSnakeOrder;
+  else if (name == "rnd") *out = ScheduleType::kRandomOrder;
+  else return false;
+  return true;
+}
+
+bool ParsePolicy(const std::string& name, PolicyType* out) {
+  if (name == "lru") *out = PolicyType::kLru;
+  else if (name == "mru") *out = PolicyType::kMru;
+  else if (name == "for") *out = PolicyType::kForward;
+  else return false;
+  return true;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 7) return Usage(argv[0]);
+  const std::string dir = argv[2];
+  LowRankSpec spec;
+  spec.shape = Shape({std::atoll(argv[3]), std::atoll(argv[4]),
+                      std::atoll(argv[5])});
+  const int64_t parts = std::atoll(argv[6]);
+  spec.rank = argc > 7 ? std::atoll(argv[7]) : 10;
+  spec.density = argc > 8 ? std::atof(argv[8]) : 1.0;
+  spec.seed = argc > 9 ? static_cast<uint64_t>(std::atoll(argv[9])) : 42;
+  spec.noise_level = 0.05;
+
+  auto env = NewPosixEnv(dir);
+  GridPartition grid = GridPartition::Uniform(spec.shape, parts);
+  BlockTensorStore store(env.get(), "tensor", grid);
+  if (Status s = GenerateLowRankIntoStore(spec, &store); !s.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto bytes = store.TotalBytes();
+  std::printf("wrote %s tensor as %lld blocks (%s) under %s/tensor\n",
+              spec.shape.ToString().c_str(),
+              static_cast<long long>(grid.NumBlocks()),
+              bytes.ok() ? HumanBytes(*bytes).c_str() : "?",
+              dir.c_str());
+  return 0;
+}
+
+int Decompose(int argc, char** argv) {
+  if (argc < 4) return Usage(argv[0]);
+  const std::string dir = argv[2];
+  TwoPhaseCpOptions options;
+  options.rank = std::atoll(argv[3]);
+  if (argc > 4 && !ParseSchedule(argv[4], &options.schedule)) {
+    return Usage(argv[0]);
+  }
+  if (argc > 5 && !ParsePolicy(argv[5], &options.policy)) {
+    return Usage(argv[0]);
+  }
+  if (argc > 6) options.buffer_fraction = std::atof(argv[6]);
+
+  auto env = NewPosixEnv(dir);
+  // Recover the grid geometry from the stored block files.
+  const auto files = env->ListFiles("tensor/");
+  if (files.empty()) {
+    std::fprintf(stderr, "no tensor blocks under %s/tensor "
+                 "(run `generate` first)\n", dir.c_str());
+    return 1;
+  }
+  // Block files are named block_<k1>_<k2>_..._<kN>; the maximum index per
+  // position plus one gives the partition counts.
+  std::vector<int64_t> max_index;
+  for (const std::string& name : files) {
+    const size_t base = name.rfind("block_");
+    if (base == std::string::npos) continue;
+    std::vector<int64_t> coords;
+    const char* p = name.c_str() + base + 6;
+    while (*p != '\0') {
+      coords.push_back(std::strtoll(p, const_cast<char**>(&p), 10));
+      if (*p == '_') ++p;
+    }
+    if (max_index.empty()) max_index.assign(coords.size(), 0);
+    for (size_t i = 0; i < coords.size() && i < max_index.size(); ++i) {
+      max_index[i] = std::max(max_index[i], coords[i]);
+    }
+  }
+  std::vector<int64_t> parts;
+  for (int64_t m : max_index) parts.push_back(m + 1);
+  // Derive the tensor shape by summing block extents along each mode.
+  // Read one block per partition along each mode.
+  std::vector<int64_t> dims(parts.size(), 0);
+  {
+    // Probe blocks (k,0,...,0), (0,k,...,0), ... for their extents.
+    auto probe = [&](int mode, int64_t k) -> int64_t {
+      std::string name = "tensor/block";
+      for (size_t i = 0; i < parts.size(); ++i) {
+        name += "_";
+        name += std::to_string(i == static_cast<size_t>(mode) ? k : 0);
+      }
+      auto t = ReadTensor(env.get(), name);
+      if (!t.ok()) return -1;
+      return t->dim(mode);
+    };
+    for (size_t m = 0; m < parts.size(); ++m) {
+      for (int64_t k = 0; k < parts[m]; ++k) {
+        const int64_t extent = probe(static_cast<int>(m), k);
+        if (extent < 0) {
+          std::fprintf(stderr, "missing block while probing geometry\n");
+          return 1;
+        }
+        dims[m] += extent;
+      }
+    }
+  }
+
+  GridPartition grid(Shape(dims), parts);
+  BlockTensorStore input(env.get(), "tensor", grid);
+  BlockFactorStore factors(env.get(), "factors", grid, options.rank);
+  TwoPhaseCp engine(&input, &factors, options);
+  auto k = engine.Run();
+  if (!k.ok()) {
+    std::fprintf(stderr, "decompose failed: %s\n",
+                 k.status().ToString().c_str());
+    return 1;
+  }
+  const TwoPhaseCpResult& r = engine.result();
+  std::printf("decomposed %s (grid %s) at rank %lld [%s + %s]\n",
+              grid.tensor_shape().ToString().c_str(), grid.ToString().c_str(),
+              static_cast<long long>(options.rank),
+              ScheduleTypeName(options.schedule),
+              PolicyTypeName(options.policy));
+  std::printf("  phase 1: %.2fs over %lld blocks (mean block fit %.4f)\n",
+              r.phase1_seconds, static_cast<long long>(r.blocks_decomposed),
+              r.phase1_mean_block_fit);
+  std::printf("  phase 2: %.2fs, %d virtual iterations (%s), surrogate fit "
+              "%.4f\n",
+              r.phase2_seconds, r.virtual_iterations,
+              r.converged ? "converged" : "cap", r.surrogate_fit);
+  std::printf("  buffer:  %.2f swaps/virtual-iteration, hit rate %.1f%%\n",
+              r.swaps_per_virtual_iteration,
+              100.0 * r.buffer_stats.HitRate());
+  std::printf("  I/O:     %s\n", env->stats().ToString().c_str());
+  std::printf("factors written under %s/factors\n", dir.c_str());
+  return 0;
+}
+
+int Simulate(int argc, char** argv) {
+  if (argc < 4) return Usage(argv[0]);
+  const int64_t parts = std::atoll(argv[2]);
+  const double fraction = std::atof(argv[3]);
+  if (parts < 2 || fraction <= 0.0 || fraction > 1.0) return Usage(argv[0]);
+
+  std::printf("swaps per virtual iteration, %lld^3 partitions, buffer %.3f "
+              "of total requirement\n",
+              static_cast<long long>(parts), fraction);
+  std::printf("%-6s %10s %10s %10s\n", "sched", "LRU", "MRU", "FOR");
+  for (ScheduleType schedule :
+       {ScheduleType::kModeCentric, ScheduleType::kFiberOrder,
+        ScheduleType::kZOrder, ScheduleType::kHilbertOrder,
+        ScheduleType::kSnakeOrder, ScheduleType::kRandomOrder}) {
+    std::printf("%-6s", ScheduleTypeName(schedule));
+    for (PolicyType policy :
+         {PolicyType::kLru, PolicyType::kMru, PolicyType::kForward}) {
+      SwapSimConfig config;
+      config.grid = GridPartition::Uniform(Shape({64, 64, 64}), parts);
+      config.rank = 8;
+      config.schedule = schedule;
+      config.policy = policy;
+      config.buffer_fraction = fraction;
+      std::printf(" %10.2f",
+                  SimulateSwaps(config).swaps_per_virtual_iteration);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string command = argv[1];
+  if (command == "generate") return Generate(argc, argv);
+  if (command == "decompose") return Decompose(argc, argv);
+  if (command == "simulate") return Simulate(argc, argv);
+  return Usage(argv[0]);
+}
