@@ -7,11 +7,19 @@
 // Also prints the Section VIII-C-1 back-of-envelope: per-iteration data
 // exchange volume for a 100K x 100K x 100K tensor, 8x8x8 blocks, rank 100.
 
+// Finally, an overlap panel runs a real (small) Phase-2 refinement on a
+// ThrottledEnv and reports how much of the swap latency the asynchronous
+// prefetch pipeline hides: stall seconds, writeback seconds and prefetch
+// hits per depth — the wall-clock side of the same Figure-12 story.
+
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "core/cost_model.h"
 #include "core/swap_simulator.h"
+#include "core/two_phase_cp.h"
+#include "data/synthetic.h"
+#include "storage/throttled_env.h"
 #include "util/format.h"
 
 namespace tpcp {
@@ -60,6 +68,53 @@ void PrintPanel(double fraction, const char* label) {
   }
 }
 
+// One Phase-2 run over a throttled MemEnv at the given prefetch depth.
+TwoPhaseCpResult RunThrottled(int prefetch_depth) {
+  auto mem = NewMemEnv();
+  ThrottledEnv env(mem.get(), /*throughput_mb_per_sec=*/16.0,
+                   /*latency_ms=*/1.0);
+  GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  BlockTensorStore input(&env, "tensor", grid);
+  BlockFactorStore factors(&env, "factors", grid, 4);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 4;
+  spec.noise_level = 0.05;
+  spec.seed = 11;
+  DenseTensor tensor = MakeLowRankTensor(spec);
+  TPCP_CHECK(input.ImportTensor(tensor).ok());
+
+  TwoPhaseCpOptions options;
+  options.rank = 4;
+  options.buffer_fraction = 1.0 / 3.0;
+  options.max_virtual_iterations = 8;
+  options.fit_tolerance = -1.0;  // fixed work per depth
+  options.prefetch_depth = prefetch_depth;
+  options.io_threads = 3;
+  TwoPhaseCp engine(&input, &factors, options);
+  TPCP_CHECK(engine.Run().ok());
+  return engine.result();
+}
+
+void PrintOverlapPanel() {
+  std::printf("\nOverlap: Phase-2 on a throttled Env (16 MB/s, 1 ms/op), "
+              "24x24x24, 4x4x4 parts, rank 4, buffer 1/3\n");
+  bench::PrintRule(78);
+  std::printf("%-8s %10s %10s %12s %14s %10s\n", "depth", "phase2 s",
+              "stall s", "writeback s", "prefetch hits", "swaps/vi");
+  bench::PrintRule(78);
+  for (int depth : {0, 2, 8}) {
+    const TwoPhaseCpResult r = RunThrottled(depth);
+    std::printf("%-8d %10.2f %10.2f %12.2f %14llu %10.2f\n", depth,
+                r.phase2_seconds, r.buffer_stats.stall_seconds,
+                r.buffer_stats.writeback_seconds,
+                static_cast<unsigned long long>(r.buffer_stats.prefetch_hits),
+                r.swaps_per_virtual_iteration);
+  }
+  std::printf("Identical factors at every depth; only the stall time "
+              "changes.\n");
+}
+
 }  // namespace
 }  // namespace tpcp
 
@@ -99,5 +154,7 @@ int main() {
               HumanBytes(model.ExchangeBytesPerIteration(ho_for)).c_str());
   std::printf("Paper reference: ~6 GB (MC best case, 8.32 swaps) vs ~160 MB "
               "(HO+FOR, 0.22 swaps).\n");
+
+  PrintOverlapPanel();
   return 0;
 }

@@ -1,0 +1,244 @@
+#include "buffer/prefetch_pipeline.h"
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace tpcp {
+
+PrefetchPipeline::PrefetchPipeline(BufferPool* pool,
+                                   const UpdateSchedule* schedule,
+                                   BufferPool::LoadCallback load,
+                                   BufferPool::EvictCallback evict,
+                                   Options options)
+    : pool_(pool),
+      schedule_(schedule),
+      load_(std::move(load)),
+      evict_(std::move(evict)),
+      options_(options) {
+  TPCP_CHECK(pool_ != nullptr);
+  TPCP_CHECK(schedule_ != nullptr);
+  TPCP_CHECK(load_ != nullptr);
+  TPCP_CHECK(evict_ != nullptr);
+  TPCP_CHECK_GE(options_.depth, 1);
+  TPCP_CHECK_GE(options_.io_threads, 1);
+  io_pool_ = std::make_unique<ThreadPool>(options_.io_threads);
+}
+
+PrefetchPipeline::~PrefetchPipeline() {
+  // io_pool_ is the last member, so its destructor joins the workers (after
+  // running any still-queued tasks) before the state they use goes away.
+}
+
+Status PrefetchPipeline::FirstError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+double PrefetchPipeline::AwaitOp(const std::shared_ptr<AsyncOp>& op) {
+  Stopwatch watch;
+  std::unique_lock<std::mutex> lock(mu_);
+  op_done_.wait(lock, [&] { return op->done; });
+  return watch.ElapsedSeconds();
+}
+
+bool PrefetchPipeline::TryIssue(int64_t p, bool ahead) {
+  const ModePartition unit = schedule_->UnitAt(p);
+
+  if (pool_->IsResident(unit)) {
+    pool_->TouchResident(unit, p);
+    // The unit may still be loading for an earlier window slot; this step
+    // must then wait on the same load. A plain hit carries no ahead credit.
+    std::shared_ptr<AsyncOp> load;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = loads_.find(unit);
+      if (it != loads_.end()) load = it->second;
+    }
+    window_.push_back(WindowSlot{unit, std::move(load),
+                                 /*issued_ahead=*/false, /*was_hit=*/true,
+                                 /*counts_against_budget=*/false});
+    ++next_issue_;
+    return true;
+  }
+
+  // Ahead-of-time *miss* reservations are capped at half the buffer: each
+  // one pins a newly swapped-in unit, shrinking the replacement policy's
+  // choice of victims, and letting the prefetch window eat the whole
+  // budget trades cache quality (extra swaps) for overlap. Hits pass
+  // freely — pinning a unit the policy already kept costs no swap. The
+  // due step (ahead == false) always reserves: the window is empty then.
+  const uint64_t bytes = pool_->catalog().UnitBytes(unit);
+  if (ahead &&
+      window_load_bytes_ + bytes > pool_->capacity_bytes() / 2) {
+    return false;
+  }
+
+  std::vector<BufferPool::Eviction> evicted;
+  const Status reserve = pool_->Reserve(unit, p, &evicted);
+  if (reserve.IsResourceExhausted()) {
+    return false;  // pinned window fills the buffer; retry after a step
+  }
+  TPCP_CHECK(reserve.ok()) << reserve.ToString();
+
+  for (const auto& [victim, dirty] : evicted) {
+    {
+      // Victims are unpinned, so any load they had is long complete.
+      std::lock_guard<std::mutex> lock(mu_);
+      loads_.erase(victim);
+    }
+    if (dirty) {
+      auto wb = std::make_shared<AsyncOp>();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        writebacks_[victim] = wb;
+      }
+      io_pool_->Submit([this, victim, wb] {
+        Stopwatch watch;
+        const Status status = evict_(victim, /*dirty=*/true);
+        const double seconds = watch.ElapsedSeconds();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          wb->status = status;
+          wb->done = true;
+          if (!status.ok() && first_error_.ok()) first_error_ = status;
+          writeback_seconds_ += seconds;
+          auto it = writebacks_.find(victim);
+          if (it != writebacks_.end() && it->second == wb) {
+            writebacks_.erase(it);
+          }
+        }
+        op_done_.notify_all();
+      });
+    } else {
+      // Dropping a clean unit does no I/O; run it inline.
+      const Status status = evict_(victim, /*dirty=*/false);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_.ok()) first_error_ = status;
+      }
+    }
+  }
+
+  auto load = std::make_shared<AsyncOp>();
+  std::shared_ptr<AsyncOp> wb_dep;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = writebacks_.find(unit);
+    if (it != writebacks_.end()) wb_dep = it->second;
+    loads_[unit] = load;
+  }
+  io_pool_->Submit([this, unit, load, wb_dep] {
+    if (wb_dep != nullptr) {
+      // Write-then-read ordering for re-loads of a just-evicted unit. The
+      // writeback was submitted first, so it is never stuck behind us.
+      std::unique_lock<std::mutex> lock(mu_);
+      op_done_.wait(lock, [&] { return wb_dep->done; });
+      if (!wb_dep->status.ok()) {
+        load->status = wb_dep->status;
+        load->done = true;
+        lock.unlock();
+        op_done_.notify_all();
+        return;
+      }
+    }
+    const Status status = load_(unit);
+    {
+      // Load failures are not recorded in first_error_: they only matter
+      // if the step that needs the unit actually runs, and BeginStep
+      // reports them then. A speculative prefetch issued past the
+      // convergence point may fail without poisoning a finished run.
+      std::lock_guard<std::mutex> lock(mu_);
+      load->status = status;
+      load->done = true;
+    }
+    op_done_.notify_all();
+  });
+  window_.push_back(WindowSlot{unit, std::move(load), ahead,
+                               /*was_hit=*/false,
+                               /*counts_against_budget=*/true});
+  window_load_bytes_ += bytes;
+  ++next_issue_;
+  return true;
+}
+
+Status PrefetchPipeline::BeginStep(int64_t pos) {
+  TPCP_RETURN_IF_ERROR(FirstError());
+
+  // If the window has not reached `pos` (deferred reservations), issue the
+  // missing steps now. The window is empty in that case — every earlier
+  // step already ran and released its pin — so issuing cannot fail.
+  while (next_issue_ <= pos) {
+    TPCP_CHECK(TryIssue(next_issue_, /*ahead=*/false))
+        << "reservation failed with an empty window";
+  }
+
+  TPCP_CHECK(!window_.empty());
+  WindowSlot& slot = window_.front();
+  pool_->RecordAccess(slot.was_hit);
+  if (slot.load != nullptr) {
+    bool already_done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      already_done = slot.load->done;
+    }
+    if (already_done) {
+      if (slot.issued_ahead) pool_->RecordPrefetchHit();
+    } else {
+      pool_->RecordStall(AwaitOp(slot.load));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    TPCP_RETURN_IF_ERROR(slot.load->status);
+  }
+  // The step's own load is complete; it no longer occupies the in-flight
+  // budget, freeing a slot for the window to prefetch one more step ahead.
+  if (slot.counts_against_budget) {
+    window_load_bytes_ -= pool_->catalog().UnitBytes(slot.unit);
+    slot.counts_against_budget = false;
+  }
+  return Status::OK();
+}
+
+Status PrefetchPipeline::EndStep(int64_t pos) {
+  TPCP_CHECK(!window_.empty());
+  const WindowSlot slot = window_.front();
+  window_.pop_front();
+  pool_->Unpin(slot.unit);
+  // BeginStep already released this slot's in-flight budget.
+  TPCP_CHECK(!slot.counts_against_budget);
+  while (next_issue_ <= pos + options_.depth) {
+    if (!TryIssue(next_issue_, /*ahead=*/true)) break;
+  }
+  return FirstError();
+}
+
+Status PrefetchPipeline::Drain() {
+  io_pool_->Wait();
+  for (const WindowSlot& slot : window_) {
+    pool_->Unpin(slot.unit);
+  }
+  // Never-executed slots whose speculative load failed leave the pool
+  // claiming residency for a unit the load callback never materialized;
+  // drop that bookkeeping so a subsequent Flush does not evict a phantom.
+  // The failure itself is benign — the step never ran.
+  for (const WindowSlot& slot : window_) {
+    bool load_failed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      load_failed = slot.load != nullptr && !slot.load->status.ok();
+    }
+    if (load_failed && pool_->IsResident(slot.unit) &&
+        !pool_->IsPinned(slot.unit)) {
+      pool_->Discard(slot.unit);
+    }
+  }
+  window_.clear();
+  window_load_bytes_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  loads_.clear();
+  writebacks_.clear();
+  pool_->RecordWriteback(writeback_seconds_);
+  writeback_seconds_ = 0.0;
+  return first_error_;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,148 @@
+// Schedule-driven asynchronous swap pipeline for the Phase-2 refinement.
+//
+// Phase 2's entire unit-access trace is known in advance (the property the
+// forward-looking replacement policy already exploits), so data movement can
+// be overlapped with compute almost perfectly: while the compute thread
+// applies the update at schedule position p, worker threads load the units
+// for positions p+1..p+depth and write evicted dirty units back.
+//
+// Division of labor:
+//  - All BufferPool bookkeeping (reservations, evictions, pins, policy,
+//    stats) happens on the compute thread inside BeginStep/EndStep, so
+//    victim choice is deterministic and the pool needs no locking.
+//  - Worker threads only move bytes: they run the load callback for
+//    reserved units and the evict callback for dirty victims.
+//  - A load of a unit whose previous incarnation still has a writeback in
+//    flight waits for that writeback first (per-unit write-then-read
+//    ordering), so results are bit-identical to the synchronous engine.
+//
+// Reserved units stay pinned until their step completes, so a prefetched
+// unit can never be evicted before it is used. When pinned units fill the
+// buffer, the window simply stops growing and the pipeline degrades toward
+// synchronous operation — never deadlock.
+
+#ifndef TPCP_BUFFER_PREFETCH_PIPELINE_H_
+#define TPCP_BUFFER_PREFETCH_PIPELINE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "buffer/buffer_pool.h"
+#include "parallel/thread_pool.h"
+#include "schedule/update_schedule.h"
+
+namespace tpcp {
+
+/// Asynchronous load/writeback engine in front of a BufferPool.
+///
+/// Usage (compute thread only):
+///   PrefetchPipeline pipeline(&pool, &schedule, load_cb, evict_cb, opts);
+///   for (pos = 0; ...; ++pos) {
+///     TPCP_RETURN_IF_ERROR(pipeline.BeginStep(pos));   // unit resident now
+///     ... apply update, pool.MarkDirty(...) ...
+///     TPCP_RETURN_IF_ERROR(pipeline.EndStep(pos));     // top up the window
+///   }
+///   TPCP_RETURN_IF_ERROR(pipeline.Drain());            // join all I/O
+///   TPCP_RETURN_IF_ERROR(pool.Flush());                // sync writebacks
+class PrefetchPipeline {
+ public:
+  struct Options {
+    /// How many schedule steps beyond the current one to keep reserved and
+    /// loading (>= 1; depth 0 means "do not use a pipeline at all").
+    int depth = 4;
+    /// Worker threads moving bytes. I/O-bound, so a small number suffices.
+    int io_threads = 2;
+  };
+
+  /// `pool` must have no load callback installed for the pipeline's benefit
+  /// (the pipeline performs loads itself through `load`); an evict callback
+  /// on the pool is still honored by the final Flush. Steps must be
+  /// executed in increasing `pos` order starting at 0.
+  PrefetchPipeline(BufferPool* pool, const UpdateSchedule* schedule,
+                   BufferPool::LoadCallback load,
+                   BufferPool::EvictCallback evict, Options options);
+
+  /// Joins outstanding I/O. Call Drain() first for error reporting.
+  ~PrefetchPipeline();
+
+  PrefetchPipeline(const PrefetchPipeline&) = delete;
+  PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
+
+  /// Ensures the unit of the step at `pos` is resident with its load
+  /// complete, blocking if the prefetch has not caught up (the blocked time
+  /// is recorded as stall_seconds). Reports any background I/O error.
+  Status BeginStep(int64_t pos);
+
+  /// Releases the step's pin and extends the reservation window up to
+  /// `pos + depth` steps ahead.
+  Status EndStep(int64_t pos);
+
+  /// Waits for all in-flight loads and writebacks, releases the pins of
+  /// never-executed prefetches, flushes aggregated overlap stats into the
+  /// pool, and returns the first background error (if any). The pool is
+  /// left fully unpinned so BufferPool::Flush may run.
+  Status Drain();
+
+ private:
+  struct AsyncOp {
+    bool done = false;
+    Status status = Status::OK();
+  };
+  struct WindowSlot {
+    ModePartition unit;
+    // Load this slot's step must wait on (null when the unit was resident
+    // with no load in flight).
+    std::shared_ptr<AsyncOp> load;
+    // True when the load was issued before BeginStep reached the slot.
+    bool issued_ahead = false;
+    // True when the unit was already resident at reservation time; the
+    // step counts as a buffer hit when it executes.
+    bool was_hit = false;
+    // True while this slot's miss reservation still counts against the
+    // in-flight load budget (cleared once BeginStep observes completion).
+    bool counts_against_budget = false;
+  };
+
+  /// Reserves position `p`'s unit and starts its load. Returns false when
+  /// pinned units leave no room (the window cannot grow yet).
+  bool TryIssue(int64_t p, bool ahead);
+  /// Blocks until `op` completes; returns seconds waited.
+  double AwaitOp(const std::shared_ptr<AsyncOp>& op);
+  Status FirstError();
+
+  BufferPool* pool_;
+  const UpdateSchedule* schedule_;
+  BufferPool::LoadCallback load_;
+  BufferPool::EvictCallback evict_;
+  Options options_;
+
+  // Window of reserved-but-not-completed steps: front is the next step to
+  // execute, back is the furthest reservation (position next_issue_ - 1).
+  std::deque<WindowSlot> window_;
+  int64_t next_issue_ = 0;
+  // Bytes of in-window miss reservations (prefetch loads); capped at half
+  // the pool's capacity so the window cannot thrash the policy's working
+  // set (see TryIssue).
+  uint64_t window_load_bytes_ = 0;
+
+  // In-flight or completed loads / writebacks by unit. Entries are erased
+  // when the unit is evicted (loads) or when the writeback completes.
+  std::map<ModePartition, std::shared_ptr<AsyncOp>> loads_;
+  std::map<ModePartition, std::shared_ptr<AsyncOp>> writebacks_;
+
+  // Guards the AsyncOp states, error, and worker-side aggregates.
+  std::mutex mu_;
+  std::condition_variable op_done_;
+  Status first_error_;
+  double writeback_seconds_ = 0.0;
+
+  // Last member: destroyed (joined) before the state it uses.
+  std::unique_ptr<ThreadPool> io_pool_;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_BUFFER_PREFETCH_PIPELINE_H_

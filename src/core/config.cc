@@ -16,6 +16,10 @@ std::string TwoPhaseCpOptions::ToString() const {
     out += " buffer_fraction=" + Fixed(buffer_fraction, 3);
   }
   out += " max_virtual_iterations=" + std::to_string(max_virtual_iterations);
+  if (prefetch_depth > 0) {
+    out += " prefetch_depth=" + std::to_string(prefetch_depth);
+    out += " io_threads=" + std::to_string(io_threads);
+  }
   return out;
 }
 

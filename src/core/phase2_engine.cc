@@ -1,0 +1,155 @@
+#include "core/phase2_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "buffer/prefetch_pipeline.h"
+#include "core/refinement_state.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace tpcp {
+
+bool Phase2Converged(double fit, double prev_fit, double tolerance) {
+  // A NaN surrogate (degenerate solve) or a fit regression must keep the
+  // refinement running — only a genuine, finite improvement that has
+  // flattened out below the tolerance counts as convergence.
+  const double improvement = fit - prev_fit;
+  return std::isfinite(improvement) && improvement >= 0.0 &&
+         improvement < tolerance;
+}
+
+Phase2Engine::Phase2Engine(BlockFactorStore* factors,
+                           const TwoPhaseCpOptions& options)
+    : factors_(factors), options_(options) {
+  TPCP_CHECK(factors_ != nullptr);
+  TPCP_CHECK_GE(options_.prefetch_depth, 0);
+}
+
+Status Phase2Engine::Run(Phase2Result* result) {
+  TPCP_CHECK(result != nullptr);
+  Stopwatch watch;
+  const GridPartition& grid = factors_->grid();
+
+  RefinementState state(factors_, options_.refinement_ridge);
+  TPCP_RETURN_IF_ERROR(state.Initialize(options_.resume_phase2));
+
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(options_.schedule, grid);
+  UnitCatalog catalog(grid, options_.rank);
+  const uint64_t capacity = std::max(
+      options_.ResolveBufferBytes(catalog.TotalBytes()),
+      catalog.MaxUnitBytes());
+
+  BufferPool pool(capacity, catalog, NewPolicy(options_.policy, &schedule));
+  auto load = [&state](const ModePartition& unit) {
+    return state.LoadUnit(unit);
+  };
+  auto evict = [&state](const ModePartition& unit, bool dirty) {
+    return state.EvictUnit(unit, dirty);
+  };
+  // Synchronous evictions (the depth-0 path and the final Flush) charge
+  // their dirty writes to writeback_seconds so both data paths report
+  // comparable overlap accounting.
+  auto timed_evict = [&pool, evict](const ModePartition& unit, bool dirty) {
+    if (!dirty) return evict(unit, dirty);
+    Stopwatch w;
+    const Status s = evict(unit, dirty);
+    pool.RecordWriteback(w.ElapsedSeconds());
+    return s;
+  };
+
+  const bool async = options_.prefetch_depth > 0;
+  std::unique_ptr<PrefetchPipeline> pipeline;
+  if (async) {
+    // The pipeline moves all bytes itself; the pool's evict callback only
+    // serves the final Flush of reserved-but-unused prefetches.
+    pool.SetCallbacks(nullptr, timed_evict);
+    PrefetchPipeline::Options popts;
+    popts.depth = options_.prefetch_depth;
+    popts.io_threads = options_.io_threads;
+    pipeline = std::make_unique<PrefetchPipeline>(&pool, &schedule, load,
+                                                  evict, popts);
+  } else {
+    pool.SetCallbacks(load, timed_evict);
+  }
+
+  const int64_t vi_len = schedule.virtual_iteration_length();
+  double prev_fit = state.SurrogateFit();
+  result->fit_trace.clear();
+  result->converged = false;
+
+  Status loop_status = Status::OK();
+  int64_t pos = 0;
+  for (int vi = 0;
+       vi < options_.max_virtual_iterations && loop_status.ok(); ++vi) {
+    for (int64_t s = 0; s < vi_len; ++s, ++pos) {
+      const UpdateStep& step = schedule.StepAt(pos);
+      if (async) {
+        loop_status = pipeline->BeginStep(pos);
+        if (!loop_status.ok()) break;
+        state.ApplyUpdate(step);
+        pool.MarkDirty(step.unit());
+        loop_status = pipeline->EndStep(pos);
+        if (!loop_status.ok()) break;
+      } else {
+        Stopwatch access_watch;
+        const uint64_t swap_ins_before = pool.stats().swap_ins;
+        const double wb_before = pool.stats().writeback_seconds;
+        loop_status = pool.Access(step.unit(), pos);
+        if (!loop_status.ok()) break;
+        if (pool.stats().swap_ins > swap_ins_before) {
+          // A miss: the compute thread sat through the whole swap. Victim
+          // writebacks inside the Access are already charged to
+          // writeback_seconds by timed_evict; keep the two buckets
+          // disjoint so stall_seconds means load waits in both engines.
+          const double wb_during =
+              pool.stats().writeback_seconds - wb_before;
+          pool.RecordStall(
+              std::max(0.0, access_watch.ElapsedSeconds() - wb_during));
+        }
+        state.ApplyUpdate(step);
+        pool.MarkDirty(step.unit());
+      }
+    }
+    if (!loop_status.ok()) break;
+    const double fit = state.SurrogateFit();
+    result->fit_trace.push_back(fit);
+    result->virtual_iterations = vi + 1;
+    // Termination is evaluated once per virtual iteration (Definition 3),
+    // but never before one full tensor-filling cycle: early virtual
+    // iterations of a block-centric schedule may only touch a few blocks
+    // (possibly empty ones on sparse data), and their flat fit would fake
+    // convergence before every sub-factor has seen all block information.
+    const bool cycle_completed = pos >= schedule.cycle_length();
+    if (cycle_completed && vi > 0 &&
+        Phase2Converged(fit, prev_fit, options_.fit_tolerance)) {
+      prev_fit = fit;
+      result->converged = true;
+      break;
+    }
+    prev_fit = fit;
+  }
+
+  if (pipeline != nullptr) {
+    // Always drain, success or not: Flush needs every pin released, and a
+    // background error must surface instead of being silently dropped.
+    const Status drained = pipeline->Drain();
+    if (loop_status.ok()) loop_status = drained;
+  }
+  // On error, skip the Flush: a failed background load leaves the pool
+  // claiming residency for a unit the refinement state never materialized.
+  TPCP_RETURN_IF_ERROR(loop_status);
+
+  result->surrogate_fit = prev_fit;
+  TPCP_RETURN_IF_ERROR(pool.Flush());
+  result->buffer_stats = pool.stats();
+  result->swaps_per_virtual_iteration =
+      static_cast<double>(pool.stats().swap_ins) /
+      static_cast<double>(result->virtual_iterations);
+  result->seconds = watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace tpcp

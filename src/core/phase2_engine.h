@@ -1,0 +1,59 @@
+// The Phase-2 refinement execution engine (Algorithm 2's outer loop),
+// extracted from TwoPhaseCp so the data path can be swapped between the
+// synchronous Access loop and the asynchronous prefetch pipeline.
+//
+// The engine owns the schedule cursor, the buffer pool, the convergence
+// logic and the Phase-2 statistics; the factor data itself lives in a
+// RefinementState backed by the caller's BlockFactorStore.
+//
+// Both data paths execute the same update sequence on the compute thread,
+// so factors and fit traces are identical for every prefetch_depth; only
+// wall-clock behavior (and, for depth > 0, eviction timing) differs.
+
+#ifndef TPCP_CORE_PHASE2_ENGINE_H_
+#define TPCP_CORE_PHASE2_ENGINE_H_
+
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "core/block_factors.h"
+#include "core/config.h"
+
+namespace tpcp {
+
+/// Outcome of one Phase-2 run.
+struct Phase2Result {
+  double seconds = 0.0;
+  int virtual_iterations = 0;
+  bool converged = false;
+  double surrogate_fit = 0.0;
+  std::vector<double> fit_trace;  // surrogate fit per virtual iteration
+  BufferStats buffer_stats;
+  double swaps_per_virtual_iteration = 0.0;
+};
+
+/// Runs the schedule-driven iterative refinement under the buffer budget.
+class Phase2Engine {
+ public:
+  /// `factors` must already hold the Phase-1 block factors and outlive the
+  /// engine. Only the Phase-2 fields of `options` are consulted.
+  Phase2Engine(BlockFactorStore* factors, const TwoPhaseCpOptions& options);
+
+  /// Executes Phase 2 to convergence (or the virtual-iteration cap) and
+  /// fills `result`. Runs the synchronous data path when
+  /// options.prefetch_depth == 0, the asynchronous pipeline otherwise.
+  Status Run(Phase2Result* result);
+
+ private:
+  BlockFactorStore* factors_;
+  TwoPhaseCpOptions options_;
+};
+
+/// The convergence test applied once per virtual iteration: true when the
+/// fit improved by a finite, non-negative amount below `tolerance`. A fit
+/// regression or a NaN surrogate is never convergence.
+bool Phase2Converged(double fit, double prev_fit, double tolerance);
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_PHASE2_ENGINE_H_

@@ -73,7 +73,8 @@ Status RefinementState::Initialize(bool resume) {
 }
 
 Status RefinementState::LoadUnit(const ModePartition& unit) {
-  TPCP_CHECK_EQ(resident_.count(unit), 0u);
+  // All reads happen into a local before the map is touched, so concurrent
+  // loads of distinct units only contend on the brief insert.
   UnitData data;
   TPCP_ASSIGN_OR_RETURN(data.a,
                         store_->ReadSubFactor(unit.mode, unit.part));
@@ -83,26 +84,44 @@ Status RefinementState::LoadUnit(const ModePartition& unit) {
     TPCP_ASSIGN_OR_RETURN(Matrix u, store_->ReadBlockFactor(block, unit.mode));
     data.u.push_back(std::move(u));
   }
-  resident_.emplace(unit, std::move(data));
+  std::lock_guard<std::mutex> lock(resident_mu_);
+  const bool inserted = resident_.emplace(unit, std::move(data)).second;
+  TPCP_CHECK(inserted) << "LoadUnit on already-resident unit";
   return Status::OK();
 }
 
 Status RefinementState::EvictUnit(const ModePartition& unit, bool dirty) {
-  auto it = resident_.find(unit);
-  TPCP_CHECK(it != resident_.end());
-  if (dirty || it->second.dirty) {
-    TPCP_RETURN_IF_ERROR(
-        store_->WriteSubFactor(unit.mode, unit.part, it->second.a));
+  // Extract the payload under the lock, write it back outside: a slow
+  // writeback must not block concurrent loads of other units.
+  UnitData data;
+  bool write;
+  {
+    std::lock_guard<std::mutex> lock(resident_mu_);
+    auto it = resident_.find(unit);
+    TPCP_CHECK(it != resident_.end());
+    data = std::move(it->second);
+    write = dirty || data.dirty;
+    resident_.erase(it);
   }
-  resident_.erase(it);
+  if (write) {
+    TPCP_RETURN_IF_ERROR(
+        store_->WriteSubFactor(unit.mode, unit.part, data.a));
+  }
   return Status::OK();
 }
 
 void RefinementState::ApplyUpdate(const UpdateStep& step) {
   const ModePartition unit = step.unit();
-  auto it = resident_.find(unit);
-  TPCP_CHECK(it != resident_.end()) << "update on non-resident unit";
-  UnitData& data = it->second;
+  UnitData* data_ptr;
+  {
+    std::lock_guard<std::mutex> lock(resident_mu_);
+    auto it = resident_.find(unit);
+    TPCP_CHECK(it != resident_.end()) << "update on non-resident unit";
+    // Map references are stable across inserts/erases of other keys, and
+    // the pool's pin keeps this unit out of concurrent evictions.
+    data_ptr = &it->second;
+  }
+  UnitData& data = *data_ptr;
   const int n = grid_.num_modes();
   const int i = unit.mode;
   const std::vector<BlockIndex>& slab = slabs_.at(unit);

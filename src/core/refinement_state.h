@@ -18,6 +18,7 @@
 #define TPCP_CORE_REFINEMENT_STATE_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "core/block_factors.h"
@@ -42,9 +43,13 @@ class RefinementState {
   Status Initialize(bool resume = false);
 
   /// BufferPool load hook: materializes ⟨i,ki⟩ (A + U-slab) from the store.
+  /// Safe to call concurrently with LoadUnit/EvictUnit for *distinct* units
+  /// (the prefetch pipeline runs loads on worker threads); the store's Env
+  /// must be thread-safe.
   Status LoadUnit(const ModePartition& unit);
 
-  /// BufferPool evict hook: writes A back if dirty, drops the unit.
+  /// BufferPool evict hook: writes A back if dirty, drops the unit. Same
+  /// concurrency contract as LoadUnit.
   Status EvictUnit(const ModePartition& unit, bool dirty);
 
   /// Applies the update rule for `step` (unit must be resident):
@@ -60,6 +65,7 @@ class RefinementState {
   double SurrogateFit() const;
 
   bool IsResident(const ModePartition& unit) const {
+    std::lock_guard<std::mutex> lock(resident_mu_);
     return resident_.count(unit) > 0;
   }
 
@@ -80,6 +86,10 @@ class RefinementState {
   int64_t rank_;
   double ridge_;
 
+  // Guards the resident_ map's structure. Unit payloads are not covered:
+  // the compute thread only touches units no load/evict is in flight for
+  // (the buffer pool's pins enforce that), so per-unit data needs no lock.
+  mutable std::mutex resident_mu_;
   std::map<ModePartition, UnitData> resident_;
   // Slab block lists, precomputed per unit.
   std::map<ModePartition, std::vector<BlockIndex>> slabs_;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "core/phase2_engine.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -86,64 +87,16 @@ Status TwoPhaseCp::RunPhase1(ThreadPool* pool) {
 
 Status TwoPhaseCp::RunPhase2() {
   TPCP_CHECK(phase1_done_) << "RunPhase2 requires RunPhase1 first";
-  Stopwatch watch;
-  const GridPartition& grid = factors_->grid();
-
-  RefinementState state(factors_, options_.refinement_ridge);
-  TPCP_RETURN_IF_ERROR(state.Initialize(options_.resume_phase2));
-
-  const UpdateSchedule schedule =
-      UpdateSchedule::Create(options_.schedule, grid);
-  UnitCatalog catalog(grid, options_.rank);
-  const uint64_t capacity = std::max(
-      options_.ResolveBufferBytes(catalog.TotalBytes()),
-      catalog.MaxUnitBytes());
-
-  BufferPool pool(capacity, catalog, NewPolicy(options_.policy, &schedule));
-  pool.SetCallbacks(
-      [&state](const ModePartition& unit) { return state.LoadUnit(unit); },
-      [&state](const ModePartition& unit, bool dirty) {
-        return state.EvictUnit(unit, dirty);
-      });
-
-  const int64_t vi_len = schedule.virtual_iteration_length();
-  double prev_fit = state.SurrogateFit();
-  result_.fit_trace.clear();
-  result_.converged = false;
-
-  int64_t pos = 0;
-  for (int vi = 0; vi < options_.max_virtual_iterations; ++vi) {
-    for (int64_t s = 0; s < vi_len; ++s, ++pos) {
-      const UpdateStep& step = schedule.StepAt(pos);
-      TPCP_RETURN_IF_ERROR(pool.Access(step.unit(), pos));
-      state.ApplyUpdate(step);
-      pool.MarkDirty(step.unit());
-    }
-    const double fit = state.SurrogateFit();
-    result_.fit_trace.push_back(fit);
-    result_.virtual_iterations = vi + 1;
-    // Termination is evaluated once per virtual iteration (Definition 3),
-    // but never before one full tensor-filling cycle: early virtual
-    // iterations of a block-centric schedule may only touch a few blocks
-    // (possibly empty ones on sparse data), and their flat fit would fake
-    // convergence before every sub-factor has seen all block information.
-    const bool cycle_completed = pos >= schedule.cycle_length();
-    if (cycle_completed && vi > 0 &&
-        fit - prev_fit < options_.fit_tolerance) {
-      prev_fit = fit;
-      result_.converged = true;
-      break;
-    }
-    prev_fit = fit;
-  }
-
-  result_.surrogate_fit = prev_fit;
-  TPCP_RETURN_IF_ERROR(pool.Flush());
-  result_.buffer_stats = pool.stats();
-  result_.swaps_per_virtual_iteration =
-      static_cast<double>(pool.stats().swap_ins) /
-      static_cast<double>(result_.virtual_iterations);
-  result_.phase2_seconds = watch.ElapsedSeconds();
+  Phase2Engine engine(factors_, options_);
+  Phase2Result phase2;
+  TPCP_RETURN_IF_ERROR(engine.Run(&phase2));
+  result_.phase2_seconds = phase2.seconds;
+  result_.virtual_iterations = phase2.virtual_iterations;
+  result_.converged = phase2.converged;
+  result_.surrogate_fit = phase2.surrogate_fit;
+  result_.fit_trace = std::move(phase2.fit_trace);
+  result_.buffer_stats = phase2.buffer_stats;
+  result_.swaps_per_virtual_iteration = phase2.swaps_per_virtual_iteration;
   return Status::OK();
 }
 

@@ -53,7 +53,10 @@ class TwoPhaseCp {
   /// copied from another run). RunPhase2 may then be called directly.
   void AssumePhase1Factors() { phase1_done_ = true; }
 
-  /// Phase 2: schedule-driven iterative refinement under the buffer budget.
+  /// Phase 2: schedule-driven iterative refinement under the buffer budget,
+  /// delegated to Phase2Engine. With options.prefetch_depth > 0 the data
+  /// path runs asynchronously (see buffer/prefetch_pipeline.h); results are
+  /// identical either way.
   Status RunPhase2();
 
   /// Runs both phases and assembles the final KruskalTensor.

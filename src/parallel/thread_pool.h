@@ -16,16 +16,25 @@ namespace tpcp {
 
 /// Simple FIFO thread pool. Tasks are void() callables; exceptions must not
 /// escape tasks (CHECK-fail instead).
+///
+/// FIFO dequeue is part of the contract: tasks *start* in submission order
+/// (they may still finish out of order across workers). The prefetch
+/// pipeline relies on this — a unit's re-load is always submitted after
+/// that unit's writeback, so even a single-worker pool never starts the
+/// load first and a load that waits for its writeback can never occupy the
+/// only worker the writeback needs.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
   explicit ThreadPool(int num_threads);
+
+  /// Runs every already-queued task to completion, then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.
+  /// Enqueues a task. Tasks are started in submission order.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.

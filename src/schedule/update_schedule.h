@@ -87,6 +87,10 @@ class UpdateSchedule {
     return cycle_[static_cast<size_t>(pos % cycle_length())];
   }
 
+  /// The data unit the step at global position `pos` touches — the trace
+  /// the buffer manager and the prefetch pipeline consume.
+  ModePartition UnitAt(int64_t pos) const { return StepAt(pos).unit(); }
+
   /// The block traversal order underlying a block-centric cycle (empty for
   /// mode-centric). Exposed for tests and ablations.
   const std::vector<BlockIndex>& block_order() const { return block_order_; }

@@ -3,23 +3,33 @@
 namespace tpcp {
 
 Status FaultyEnv::WriteFile(const std::string& name, const std::string& data) {
-  if (writes_until_failure_ == 0) {
-    return Status::IOError("injected write failure: " + name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (writes_until_failure_ == 0) {
+      return Status::IOError("injected write failure: " + name);
+    }
+    if (writes_until_failure_ > 0) --writes_until_failure_;
   }
-  if (writes_until_failure_ > 0) --writes_until_failure_;
   return delegate_->WriteFile(name, data);
 }
 
 Status FaultyEnv::ReadFile(const std::string& name, std::string* out) {
-  if (reads_until_failure_ == 0) {
-    return Status::IOError("injected read failure: " + name);
+  bool corrupt;
+  bool truncate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reads_until_failure_ == 0) {
+      return Status::IOError("injected read failure: " + name);
+    }
+    if (reads_until_failure_ > 0) --reads_until_failure_;
+    corrupt = corrupt_reads_;
+    truncate = truncate_reads_;
   }
-  if (reads_until_failure_ > 0) --reads_until_failure_;
   TPCP_RETURN_IF_ERROR(delegate_->ReadFile(name, out));
-  if (corrupt_reads_ && !out->empty()) {
+  if (corrupt && !out->empty()) {
     (*out)[out->size() / 2] = static_cast<char>((*out)[out->size() / 2] ^ 0x5a);
   }
-  if (truncate_reads_) out->resize(out->size() / 2);
+  if (truncate) out->resize(out->size() / 2);
   return Status::OK();
 }
 

@@ -4,28 +4,43 @@
 #define TPCP_STORAGE_FAULTY_ENV_H_
 
 #include <memory>
+#include <mutex>
 
 #include "storage/env.h"
 
 namespace tpcp {
 
-/// Wraps a delegate Env and injects configurable faults.
+/// Wraps a delegate Env and injects configurable faults. Thread-safe when
+/// the delegate is (the async Phase-2 path reads through it from worker
+/// threads); the countdowns tick once per operation in arrival order.
 class FaultyEnv : public Env {
  public:
   explicit FaultyEnv(Env* delegate) : delegate_(delegate) {}
 
   /// After `n` more successful writes, every write fails with IOError
   /// (simulating a full disk). Negative disables.
-  void FailWritesAfter(int64_t n) { writes_until_failure_ = n; }
+  void FailWritesAfter(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    writes_until_failure_ = n;
+  }
 
   /// After `n` more successful reads, every read fails with IOError.
-  void FailReadsAfter(int64_t n) { reads_until_failure_ = n; }
+  void FailReadsAfter(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    reads_until_failure_ = n;
+  }
 
   /// Flip one byte in every subsequent read result (checksum tests).
-  void CorruptReads(bool enabled) { corrupt_reads_ = enabled; }
+  void CorruptReads(bool enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    corrupt_reads_ = enabled;
+  }
 
   /// Truncate every subsequent read result to half its size (short reads).
-  void TruncateReads(bool enabled) { truncate_reads_ = enabled; }
+  void TruncateReads(bool enabled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    truncate_reads_ = enabled;
+  }
 
   Status WriteFile(const std::string& name, const std::string& data) override;
   Status ReadFile(const std::string& name, std::string* out) override;
@@ -36,6 +51,7 @@ class FaultyEnv : public Env {
 
  private:
   Env* delegate_;
+  std::mutex mu_;
   int64_t writes_until_failure_ = -1;
   int64_t reads_until_failure_ = -1;
   bool corrupt_reads_ = false;

@@ -19,7 +19,8 @@ ThrottledEnv::ThrottledEnv(Env* delegate, double throughput_mb_per_sec,
 void ThrottledEnv::Charge(uint64_t bytes) {
   const double seconds =
       latency_seconds_ + static_cast<double>(bytes) / bytes_per_second_;
-  throttled_seconds_ += seconds;
+  throttled_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                             std::memory_order_relaxed);
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 

@@ -11,11 +11,15 @@
 #ifndef TPCP_STORAGE_THROTTLED_ENV_H_
 #define TPCP_STORAGE_THROTTLED_ENV_H_
 
+#include <atomic>
+
 #include "storage/env.h"
 
 namespace tpcp {
 
 /// Delegating Env that charges wall-clock time for data movement.
+/// Thread-safe when the delegate is (concurrent operations each sleep on
+/// their own thread, as independent disk queues would).
 class ThrottledEnv : public Env {
  public:
   /// `throughput_mb_per_sec` > 0; `latency_ms` >= 0 charged per operation.
@@ -29,8 +33,11 @@ class ThrottledEnv : public Env {
   Result<uint64_t> FileSize(const std::string& name) override;
   std::vector<std::string> ListFiles(const std::string& prefix) override;
 
-  /// Total wall-clock seconds spent throttling so far.
-  double throttled_seconds() const { return throttled_seconds_; }
+  /// Total wall-clock seconds spent throttling so far (summed across
+  /// threads; concurrent sleeps both count).
+  double throttled_seconds() const {
+    return static_cast<double>(throttled_nanos_.load()) / 1e9;
+  }
 
  private:
   void Charge(uint64_t bytes);
@@ -38,7 +45,7 @@ class ThrottledEnv : public Env {
   Env* delegate_;
   double bytes_per_second_;
   double latency_seconds_;
-  double throttled_seconds_ = 0.0;
+  std::atomic<uint64_t> throttled_nanos_{0};
 };
 
 }  // namespace tpcp

@@ -161,6 +161,95 @@ TEST(BufferPoolTest, ByteAccountingConsistent) {
   EXPECT_EQ(pool.stats().bytes_out, 1u * catalog.UnitBytes({0, 0}));
 }
 
+TEST(BufferPoolTest, ReservePinsAndReportsEvictionsWithoutCallbacks) {
+  const GridPartition grid = CubicGrid(8, 2);
+  UnitCatalog catalog(grid, 2);
+  BufferPool pool(2 * catalog.UnitBytes({0, 0}), catalog, NewLruPolicy());
+  int callback_evictions = 0;
+  pool.SetCallbacks(nullptr, [&callback_evictions](const ModePartition&,
+                                                   bool) {
+    ++callback_evictions;
+    return Status::OK();
+  });
+  ASSERT_TRUE(pool.Access({0, 0}, 0).ok());
+  pool.MarkDirty({0, 0});
+  ASSERT_TRUE(pool.Access({0, 1}, 1).ok());
+
+  std::vector<BufferPool::Eviction> evicted;
+  ASSERT_TRUE(pool.Reserve({1, 0}, 2, &evicted).ok());
+  // LRU victim {0,0} reported with its dirty bit, evict callback bypassed.
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first.mode, 0);
+  EXPECT_EQ(evicted[0].first.part, 0);
+  EXPECT_TRUE(evicted[0].second);
+  EXPECT_EQ(callback_evictions, 0);
+  EXPECT_TRUE(pool.IsResident({1, 0}));
+  EXPECT_TRUE(pool.IsPinned({1, 0}));
+  EXPECT_EQ(pool.stats().swap_ins, 3u);
+  EXPECT_EQ(pool.stats().swap_outs, 1u);
+  EXPECT_EQ(pool.stats().dirty_writebacks, 1u);
+}
+
+TEST(BufferPoolTest, ReserveFailsCleanlyWhenPinsBlockSpace) {
+  const GridPartition grid = CubicGrid(8, 2);
+  UnitCatalog catalog(grid, 2);
+  BufferPool pool(catalog.UnitBytes({0, 0}), catalog, NewLruPolicy());
+  std::vector<BufferPool::Eviction> evicted;
+  ASSERT_TRUE(pool.Reserve({0, 0}, 0, &evicted).ok());
+  EXPECT_TRUE(evicted.empty());
+
+  const BufferStats before = pool.stats();
+  const Status s = pool.Reserve({0, 1}, 1, &evicted);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  // Failure has no side effects.
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_TRUE(pool.IsResident({0, 0}));
+  EXPECT_FALSE(pool.IsResident({0, 1}));
+  EXPECT_EQ(pool.stats().accesses, before.accesses);
+  EXPECT_EQ(pool.stats().swap_outs, before.swap_outs);
+
+  // Releasing the pin makes the reservation possible again.
+  pool.Unpin({0, 0});
+  ASSERT_TRUE(pool.Reserve({0, 1}, 2, &evicted).ok());
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_FALSE(evicted[0].second);  // {0,0} was clean
+}
+
+TEST(BufferPoolTest, AccessNeverEvictsPinnedUnits) {
+  const GridPartition grid = CubicGrid(8, 2);
+  UnitCatalog catalog(grid, 2);
+  BufferPool pool(2 * catalog.UnitBytes({0, 0}), catalog, NewLruPolicy());
+  std::vector<BufferPool::Eviction> evicted;
+  ASSERT_TRUE(pool.Reserve({0, 0}, 0, &evicted).ok());  // pinned, oldest
+  ASSERT_TRUE(pool.Access({0, 1}, 1).ok());
+  ASSERT_TRUE(pool.Access({1, 0}, 2).ok());
+  // LRU would pick {0,0}; the pin forces {0,1} out instead.
+  EXPECT_TRUE(pool.IsResident({0, 0}));
+  EXPECT_FALSE(pool.IsResident({0, 1}));
+}
+
+TEST(BufferPoolTest, TouchResidentPinsAndRecordAccessCounts) {
+  const GridPartition grid = CubicGrid(8, 2);
+  UnitCatalog catalog(grid, 2);
+  BufferPool pool(2 * catalog.UnitBytes({0, 0}), catalog, NewLruPolicy());
+  std::vector<BufferPool::Eviction> evicted;
+  ASSERT_TRUE(pool.Reserve({0, 0}, 0, &evicted).ok());
+  pool.TouchResident({0, 0}, 1);
+  // Steps count when they execute, not when they are reserved.
+  EXPECT_EQ(pool.stats().accesses, 0u);
+  pool.RecordAccess(/*hit=*/false);
+  pool.RecordAccess(/*hit=*/true);
+  EXPECT_EQ(pool.stats().accesses, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  // Two pins are now held; both must be released before eviction.
+  pool.Unpin({0, 0});
+  EXPECT_TRUE(pool.IsPinned({0, 0}));
+  pool.Unpin({0, 0});
+  EXPECT_FALSE(pool.IsPinned({0, 0}));
+  ASSERT_TRUE(pool.Flush().ok());
+  EXPECT_EQ(pool.resident_units(), 0);
+}
+
 TEST(PolicyTest, Names) {
   EXPECT_STREQ(PolicyTypeName(PolicyType::kLru), "LRU");
   EXPECT_STREQ(PolicyTypeName(PolicyType::kMru), "MRU");

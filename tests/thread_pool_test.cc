@@ -47,6 +47,20 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+// The prefetch pipeline's per-unit write-then-read ordering rests on tasks
+// *starting* in submission order; pin that contract with a single worker,
+// where start order is completion order.
+TEST(ThreadPoolTest, SingleWorkerStartsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
 TEST(ParallelForTest, CoversRangeExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(50);

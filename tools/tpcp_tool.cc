@@ -5,9 +5,13 @@
 //       <dir>/tensor, partitioned <parts> ways per mode.
 //
 //   tpcp_tool decompose <dir> <rank> [schedule] [policy] [buffer-fraction]
+//                       [prefetch-depth] [io-threads]
 //       Runs the two-phase decomposition over <dir>/tensor, writing factors
 //       to <dir>/factors and printing timings, fit and I/O statistics.
 //       schedule: mc | fo | zo | ho | sn | rnd   policy: lru | mru | for
+//       prefetch-depth > 0 enables the asynchronous Phase-2 pipeline
+//       (loads issued that many steps ahead, writebacks in the background);
+//       0 keeps the synchronous engine. Results are identical either way.
 //
 //   tpcp_tool simulate  <parts> <buffer-fraction>
 //       Prints the exact per-virtual-iteration swap table for a cubic grid
@@ -35,7 +39,7 @@ int Usage(const char* argv0) {
       "  %s generate  <dir> <I> <J> <K> <parts> [rank=10] [density=1.0] "
       "[seed=42]\n"
       "  %s decompose <dir> <rank> [schedule=ho] [policy=for] "
-      "[buffer-fraction=0.5]\n"
+      "[buffer-fraction=0.5] [prefetch-depth=0] [io-threads=2]\n"
       "  %s simulate  <parts> <buffer-fraction>\n",
       argv0, argv0, argv0);
   return 2;
@@ -100,6 +104,9 @@ int Decompose(int argc, char** argv) {
     return Usage(argv[0]);
   }
   if (argc > 6) options.buffer_fraction = std::atof(argv[6]);
+  if (argc > 7) options.prefetch_depth = std::atoi(argv[7]);
+  if (argc > 8) options.io_threads = std::max(1, std::atoi(argv[8]));
+  if (options.prefetch_depth < 0) return Usage(argv[0]);
 
   auto env = NewPosixEnv(dir);
   // Recover the grid geometry from the stored block files.
@@ -181,6 +188,12 @@ int Decompose(int argc, char** argv) {
   std::printf("  buffer:  %.2f swaps/virtual-iteration, hit rate %.1f%%\n",
               r.swaps_per_virtual_iteration,
               100.0 * r.buffer_stats.HitRate());
+  std::printf("  overlap: prefetch depth %d, %llu prefetch hits, "
+              "%.2fs stalled, %.2fs writing back\n",
+              options.prefetch_depth,
+              static_cast<unsigned long long>(r.buffer_stats.prefetch_hits),
+              r.buffer_stats.stall_seconds,
+              r.buffer_stats.writeback_seconds);
   std::printf("  I/O:     %s\n", env->stats().ToString().c_str());
   std::printf("factors written under %s/factors\n", dir.c_str());
   return 0;
