@@ -14,12 +14,11 @@
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "bench/bench_util.h"
 #include "core/cost_model.h"
 #include "core/swap_simulator.h"
-#include "core/two_phase_cp.h"
 #include "data/synthetic.h"
-#include "storage/throttled_env.h"
 #include "util/format.h"
 
 namespace tpcp {
@@ -68,21 +67,20 @@ void PrintPanel(double fraction, const char* label) {
   }
 }
 
-// One Phase-2 run over a throttled MemEnv at the given prefetch depth.
-TwoPhaseCpResult RunThrottled(int prefetch_depth) {
-  auto mem = NewMemEnv();
-  ThrottledEnv env(mem.get(), /*throughput_mb_per_sec=*/16.0,
-                   /*latency_ms=*/1.0);
+// One Phase-2 run over a throttled MemEnv at the given prefetch depth,
+// wired through the Session API (the URI replaces hand-chained wrappers).
+SolveResult RunThrottled(int prefetch_depth) {
+  auto session = bench::CheckOk(
+      Session::Open({"throttled+mem://?mbps=16&latency_ms=1"}), "open");
   GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
-  BlockTensorStore input(&env, "tensor", grid);
-  BlockFactorStore factors(&env, "factors", grid, 4);
+  BlockTensorStore* input =
+      bench::CheckOk(session->CreateTensorStore(grid), "create store");
   LowRankSpec spec;
   spec.shape = grid.tensor_shape();
   spec.rank = 4;
   spec.noise_level = 0.05;
   spec.seed = 11;
-  DenseTensor tensor = MakeLowRankTensor(spec);
-  TPCP_CHECK(input.ImportTensor(tensor).ok());
+  bench::CheckOk(input->ImportTensor(MakeLowRankTensor(spec)), "import");
 
   TwoPhaseCpOptions options;
   options.rank = 4;
@@ -91,9 +89,7 @@ TwoPhaseCpResult RunThrottled(int prefetch_depth) {
   options.fit_tolerance = -1.0;  // fixed work per depth
   options.prefetch_depth = prefetch_depth;
   options.io_threads = 3;
-  TwoPhaseCp engine(&input, &factors, options);
-  TPCP_CHECK(engine.Run().ok());
-  return engine.result();
+  return bench::CheckOk(session->Decompose("2pcp", options), "2pcp");
 }
 
 void PrintOverlapPanel() {
@@ -104,7 +100,7 @@ void PrintOverlapPanel() {
               "stall s", "writeback s", "prefetch hits", "swaps/vi");
   bench::PrintRule(78);
   for (int depth : {0, 2, 8}) {
-    const TwoPhaseCpResult r = RunThrottled(depth);
+    const SolveResult r = RunThrottled(depth);
     std::printf("%-8d %10.2f %10.2f %12.2f %14llu %10.2f\n", depth,
                 r.phase2_seconds, r.buffer_stats.stall_seconds,
                 r.buffer_stats.writeback_seconds,

@@ -13,8 +13,8 @@
 #include <cstdio>
 #include <map>
 
+#include "api/session.h"
 #include "bench/bench_util.h"
-#include "core/two_phase_cp.h"
 #include "data/datasets.h"
 #include "tensor/norms.h"
 
@@ -53,11 +53,11 @@ DenseTensor MakeInput(PaperDataset dataset) {
 // `max_vi` virtual iterations.
 double RunAccuracy(const DenseTensor& tensor, int64_t parts,
                    ScheduleType schedule, int max_vi) {
-  auto env = NewMemEnv();
+  auto session = bench::CheckOk(Session::Open({"mem://"}), "open");
   GridPartition grid = GridPartition::Uniform(tensor.shape(), parts);
-  BlockTensorStore input(env.get(), "tensor", grid);
-  bench::CheckOk(input.ImportTensor(tensor), "import");
-  BlockFactorStore factors(env.get(), "factors", grid, kRank);
+  BlockTensorStore* input =
+      bench::CheckOk(session->CreateTensorStore(grid), "create store");
+  bench::CheckOk(input->ImportTensor(tensor), "import");
 
   TwoPhaseCpOptions options;
   options.rank = kRank;
@@ -67,9 +67,9 @@ double RunAccuracy(const DenseTensor& tensor, int64_t parts,
   options.buffer_fraction = 1.0 / 3.0;
   options.max_virtual_iterations = max_vi;
   options.fit_tolerance = 1e-2;  // the paper's stopping condition
-  TwoPhaseCp engine(&input, &factors, options);
-  const KruskalTensor k = bench::CheckOk(engine.Run(), "2PCP run");
-  return Fit(tensor, k);
+  const SolveResult r =
+      bench::CheckOk(session->Decompose("2pcp", options), "2PCP run");
+  return Fit(tensor, r.decomposition);
 }
 
 void PrintPanel(int max_vi, const char* label) {

@@ -11,9 +11,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "baselines/haten2_sim.h"
+#include "api/session.h"
 #include "bench/bench_util.h"
-#include "core/two_phase_cp.h"
 #include "data/synthetic.h"
 #include "tensor/norms.h"
 #include "util/format.h"
@@ -48,54 +47,41 @@ Row RunOne(int64_t side, int64_t paper_side) {
   spec.density = 0.2;
   spec.seed = 7;
 
-  // ---- 2PCP (2x2x2 partitioning, rank 10). ----
-  auto env = NewMemEnv();
+  // ---- 2PCP (2x2x2 partitioning, rank 10), via the Session API. ----
+  auto session = bench::CheckOk(Session::Open({"mem://"}), "open");
   GridPartition grid = GridPartition::Uniform(shape, 2);
-  BlockTensorStore input(env.get(), "tensor", grid);
-  bench::CheckOk(GenerateLowRankIntoStore(spec, &input), "generate");
+  BlockTensorStore* input =
+      bench::CheckOk(session->CreateTensorStore(grid), "create store");
+  bench::CheckOk(GenerateLowRankIntoStore(spec, input), "generate");
 
-  BlockFactorStore factors(env.get(), "factors", grid, 10);
   TwoPhaseCpOptions options;
   options.rank = 10;
   options.phase1_max_iterations = 10;
   options.max_virtual_iterations = 20;
   options.fit_tolerance = 1e-2;  // the paper's stopping condition
   options.buffer_fraction = 0.5;
-  TwoPhaseCp engine(&input, &factors, options);
   Stopwatch watch;
-  const KruskalTensor k = bench::CheckOk(engine.Run(), "2PCP");
+  const SolveResult k =
+      bench::CheckOk(session->Decompose("2pcp", options), "2PCP");
   row.tpcp_seconds = watch.ElapsedSeconds();
-  row.tpcp_fit = engine.result().surrogate_fit;
+  row.tpcp_fit = k.surrogate_fit;
 
-  // ---- HaTen2-sim (1 iteration, as in the paper). ----
-  // The tensor's non-zeros, in the COO form a Hadoop job ingests.
-  SparseTensor coo(shape);
-  for (const BlockIndex& block : grid.AllBlocks()) {
-    const DenseTensor chunk =
-        bench::CheckOk(input.ReadBlock(block), "read block");
-    const Index offsets = grid.BlockOffsets(block);
-    const int64_t n = chunk.NumElements();
-    for (int64_t linear = 0; linear < n; ++linear) {
-      const double v = chunk.at_linear(linear);
-      if (v == 0.0) continue;
-      Index idx = chunk.shape().MultiIndex(linear);
-      for (size_t m = 0; m < idx.size(); ++m) idx[m] += offsets[m];
-      coo.Add(std::move(idx), v);
-    }
-  }
-
-  Haten2Options haten2;
+  // ---- HaTen2-sim (1 iteration, as in the paper), same registry path.
+  // The solver lifts the block store's non-zeros into COO itself.
+  TwoPhaseCpOptions haten2;
   haten2.rank = 10;
-  haten2.iterations = 1;
-  haten2.num_reducers = 8;
+  haten2.max_virtual_iterations = 1;
   // 30.5 GB per node in the paper, scaled by the 1000x cell-count reduction
   // (tenfold per side): ~30 MB of grouped reducer state per reducer.
-  haten2.heap_cap_bytes = int64_t{30} << 20;
-  auto haten2_env = NewMemEnv();
-  const Haten2Result h = RunHaten2Sim(coo, haten2_env.get(), haten2);
+  const SolveResult h = bench::CheckOk(
+      session->Decompose(
+          "haten2", haten2,
+          {{"heap_cap_bytes", std::to_string(int64_t{30} << 20)},
+           {"num_reducers", "8"}}),
+      "haten2");
   row.haten2_failed = h.failed;
-  row.haten2_seconds = h.seconds;
-  row.haten2_fit = h.fit;
+  row.haten2_seconds = h.total_seconds;
+  row.haten2_fit = h.surrogate_fit;
   return row;
 }
 

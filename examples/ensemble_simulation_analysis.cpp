@@ -19,7 +19,7 @@
 #include <numeric>
 #include <vector>
 
-#include "core/two_phase_cp.h"
+#include "api/session.h"
 #include "tensor/norms.h"
 #include "util/format.h"
 
@@ -65,8 +65,21 @@ int main() {
   const Shape shape({kBeta, kGamma, kTime});
   GridPartition grid = GridPartition::Uniform(shape, 4);
 
-  auto env = NewMemEnv();
-  BlockTensorStore store(env.get(), "ensemble", grid);
+  SessionOptions session_options;
+  session_options.env_uri = "mem://";
+  session_options.tensor_prefix = "ensemble";
+  auto session = Session::Open(session_options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "open: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  auto created = (*session)->CreateTensorStore(grid);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  BlockTensorStore& store = **created;
   Status gen = store.Generate([&](const Index& idx) {
     const double beta = static_cast<double>(idx[0]) / (kBeta - 1);
     const double gamma = static_cast<double>(idx[1]) / (kGamma - 1);
@@ -84,46 +97,46 @@ int main() {
               static_cast<long long>(grid.NumBlocks()),
               HumanBytes(store.TotalBytes().value()).c_str());
 
-  // Decompose at rank 3 — one component per latent regime.
+  // Decompose at rank 3 — one component per latent regime — via the
+  // "2pcp" registry solver.
   TwoPhaseCpOptions options;
   options.rank = 3;
   options.schedule = ScheduleType::kHilbertOrder;
   options.policy = PolicyType::kForward;
   options.buffer_fraction = 0.5;
   options.phase1_max_iterations = 60;
-  BlockFactorStore factors(env.get(), "factors", grid, options.rank);
-  TwoPhaseCp engine(&store, &factors, options);
-  Result<KruskalTensor> k = engine.Run();
-  if (!k.ok()) {
-    std::fprintf(stderr, "decompose: %s\n", k.status().ToString().c_str());
+  auto result = (*session)->Decompose("2pcp", options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "decompose: %s\n",
+                 result.status().ToString().c_str());
     return 1;
   }
+  const KruskalTensor& k = result->decomposition;
 
   std::printf("rank-3 decomposition: surrogate fit %.4f after %d virtual "
               "iterations\n\n",
-              engine.result().surrogate_fit,
-              engine.result().virtual_iterations);
+              result->surrogate_fit, result->virtual_iterations);
 
   // Interpret the components: peak positions along each mode, sorted by
   // component weight.
   std::vector<int64_t> order(3);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-    return k->lambda()[static_cast<size_t>(a)] >
-           k->lambda()[static_cast<size_t>(b)];
+    return k.lambda()[static_cast<size_t>(a)] >
+           k.lambda()[static_cast<size_t>(b)];
   });
   std::printf("%-10s %10s %18s %18s %14s\n", "component", "weight",
               "peak transmission", "peak recovery", "peak time");
   for (int64_t c : order) {
     const double beta_peak =
-        static_cast<double>(ArgMaxRow(k->factor(0), c)) / (kBeta - 1);
+        static_cast<double>(ArgMaxRow(k.factor(0), c)) / (kBeta - 1);
     const double gamma_peak =
-        static_cast<double>(ArgMaxRow(k->factor(1), c)) / (kGamma - 1);
+        static_cast<double>(ArgMaxRow(k.factor(1), c)) / (kGamma - 1);
     const double t_peak =
-        static_cast<double>(ArgMaxRow(k->factor(2), c)) / (kTime - 1);
+        static_cast<double>(ArgMaxRow(k.factor(2), c)) / (kTime - 1);
     std::printf("%-10lld %10.1f %18.2f %18.2f %14.2f\n",
                 static_cast<long long>(c),
-                k->lambda()[static_cast<size_t>(c)], beta_peak, gamma_peak,
+                k.lambda()[static_cast<size_t>(c)], beta_peak, gamma_peak,
                 t_peak);
   }
   std::printf(

@@ -1,15 +1,18 @@
-// Quickstart: decompose a dense 3-mode tensor with 2PCP in ~40 lines.
+// Quickstart: decompose a dense 3-mode tensor with 2PCP through the
+// Session API in ~30 lines.
 //
-//   build/examples/quickstart
+//   build/examples/example_quickstart
 //
-// Builds a 60x60x60 rank-5 tensor on "disk" (an in-memory Env here; swap in
-// NewPosixEnv for real files), runs the two-phase decomposition with a
-// Hilbert-order schedule and forward-looking buffer replacement, and prints
-// fit and I/O statistics.
+// Builds a 60x60x60 rank-5 tensor on "disk" (mem:// here; change the URI
+// to posix:///tmp/tpcp_quickstart for real files, or chain wrappers like
+// compressed+posix:///tmp/tpcp_quickstart), runs the two-phase
+// decomposition via the "2pcp" registry solver with a Hilbert-order
+// schedule and forward-looking buffer replacement, and prints fit and I/O
+// statistics.
 
 #include <cstdio>
 
-#include "core/two_phase_cp.h"
+#include "api/session.h"
 #include "data/synthetic.h"
 #include "tensor/norms.h"
 #include "util/format.h"
@@ -17,20 +20,32 @@
 using namespace tpcp;
 
 int main() {
-  // 1. Describe the input: a dense rank-5 tensor with 1% noise, stored as
-  //    2x2x2 = 8 blocks so it never has to be memory-resident at once.
-  const Shape shape({60, 60, 60});
-  GridPartition grid = GridPartition::Uniform(shape, 2);
-
-  auto env = NewMemEnv();  // or: NewPosixEnv("/tmp/tpcp_quickstart")
-  BlockTensorStore input(env.get(), "tensor", grid);
-
+  // 1. Open a session on a storage URI and describe the input: a dense
+  //    rank-5 tensor with 1% noise, stored as 2x2x2 = 8 blocks so it never
+  //    has to be memory-resident at once.
+  auto session = Session::Open({"mem://"});  // or: "posix:///tmp/tpcp_qs"
+  if (!session.ok()) {
+    std::fprintf(stderr, "open: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
   LowRankSpec spec;
-  spec.shape = shape;
+  spec.shape = Shape({60, 60, 60});
   spec.rank = 5;
   spec.noise_level = 0.01;
   spec.seed = 42;
-  if (Status s = GenerateLowRankIntoStore(spec, &input); !s.ok()) {
+
+  auto grid = GridPartition::CreateUniform(spec.shape, 2);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  auto store = (*session)->CreateTensorStore(*grid);
+  if (!store.ok()) {
+    std::fprintf(stderr, "create store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = GenerateLowRankIntoStore(spec, *store); !s.ok()) {
     std::fprintf(stderr, "generate: %s\n", s.ToString().c_str());
     return 1;
   }
@@ -43,33 +58,34 @@ int main() {
   options.policy = PolicyType::kForward;
   options.buffer_fraction = 1.0 / 3.0;
 
-  BlockFactorStore factors(env.get(), "factors", grid, options.rank);
-  TwoPhaseCp engine(&input, &factors, options);
-
-  // 3. Run both phases and inspect the result.
-  Result<KruskalTensor> k = engine.Run();
-  if (!k.ok()) {
-    std::fprintf(stderr, "decompose: %s\n", k.status().ToString().c_str());
+  // 3. Run the registry solver and inspect the unified result. Swapping
+  //    "2pcp" for "naive-oocp" or "grid-parafac" compares baselines with
+  //    no other change.
+  auto r = (*session)->Decompose("2pcp", options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "decompose: %s\n", r.status().ToString().c_str());
     return 1;
   }
-  const TwoPhaseCpResult& r = engine.result();
-  std::printf("decomposed %s into rank-%lld factors\n",
-              shape.ToString().c_str(),
-              static_cast<long long>(k->rank()));
+  std::printf("decomposed %s into rank-%lld factors via %s\n",
+              spec.shape.ToString().c_str(),
+              static_cast<long long>(r->decomposition.rank()),
+              r->solver.c_str());
   std::printf("  phase 1: %lld blocks in %.2fs (mean block fit %.4f)\n",
-              static_cast<long long>(r.blocks_decomposed), r.phase1_seconds,
-              r.phase1_mean_block_fit);
+              static_cast<long long>(r->blocks_decomposed),
+              r->phase1_seconds, r->phase1_mean_block_fit);
   std::printf("  phase 2: %d virtual iterations in %.2fs (%s)\n",
-              r.virtual_iterations, r.phase2_seconds,
-              r.converged ? "converged" : "iteration cap");
+              r->virtual_iterations, r->phase2_seconds,
+              r->converged ? "converged" : "iteration cap");
   std::printf("  buffer:  %.2f swaps/virtual-iteration, hit rate %.1f%%\n",
-              r.swaps_per_virtual_iteration,
-              100.0 * r.buffer_stats.HitRate());
-  std::printf("  I/O:     %s\n", env->stats().ToString().c_str());
+              r->swaps_per_virtual_iteration,
+              100.0 * r->buffer_stats.HitRate());
+  std::printf("  I/O:     %s\n",
+              (*session)->env()->stats().ToString().c_str());
 
   // 4. Exact accuracy against the original tensor (cheap here because the
   //    example tensor is small enough to materialize).
   const DenseTensor reference = MakeLowRankTensor(spec);
-  std::printf("  accuracy(X, X~) = %.4f\n", Fit(reference, *k));
+  std::printf("  accuracy(X, X~) = %.4f\n",
+              Fit(reference, r->decomposition));
   return 0;
 }

@@ -10,12 +10,12 @@
 // for a large tensor.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "core/cost_model.h"
 #include "core/swap_simulator.h"
 #include "util/format.h"
+#include "util/parse.h"
 
 using namespace tpcp;
 
@@ -46,14 +46,18 @@ void PrintTraversalPreview(ScheduleType type, const GridPartition& grid) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int64_t parts = argc > 1 ? std::atoll(argv[1]) : 4;
-  const double fraction = argc > 2 ? std::atof(argv[2]) : 1.0 / 3.0;
-  if (parts < 2 || parts > 32 || fraction <= 0.0 || fraction > 1.0) {
+  const auto parts_arg = argc > 1 ? ParseInt64(argv[1]) : Result<int64_t>(4);
+  const auto fraction_arg =
+      argc > 2 ? ParseDouble(argv[2]) : Result<double>(1.0 / 3.0);
+  if (!parts_arg.ok() || !fraction_arg.ok() || *parts_arg < 2 ||
+      *parts_arg > 32 || *fraction_arg <= 0.0 || *fraction_arg > 1.0) {
     std::fprintf(stderr,
                  "usage: %s [parts-per-mode 2..32] [buffer-fraction 0..1]\n",
                  argv[0]);
     return 1;
   }
+  const int64_t parts = *parts_arg;
+  const double fraction = *fraction_arg;
 
   const GridPartition grid =
       GridPartition::Uniform(Shape({64, 64, 64}), parts);

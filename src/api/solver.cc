@@ -1,0 +1,50 @@
+#include "api/solver.h"
+
+#include "util/format.h"
+
+namespace tpcp {
+
+// Defined in builtin_solvers.cc; referenced here so the registration
+// translation unit is always linked in from the static library.
+void RegisterBuiltinSolvers(SolverRegistry* registry);
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    RegisterBuiltinSolvers(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<Solver>> SolverRegistry::Create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::vector<std::string> known;
+      for (const auto& [key, value] : factories_) known.push_back(key);
+      return Status::InvalidArgument("unknown solver '" + name +
+                                     "' (registered: " + Join(known, ", ") +
+                                     ")");
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace tpcp

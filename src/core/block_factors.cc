@@ -1,5 +1,6 @@
 #include "core/block_factors.h"
 
+#include "grid/manifest.h"
 #include "storage/serializer.h"
 
 namespace tpcp {
@@ -9,6 +10,48 @@ BlockFactorStore::BlockFactorStore(Env* env, std::string prefix,
     : env_(env), prefix_(std::move(prefix)), grid_(std::move(grid)),
       rank_(rank) {
   TPCP_CHECK_GE(rank_, 1);
+}
+
+Result<BlockFactorStore> BlockFactorStore::Create(Env* env,
+                                                  std::string prefix,
+                                                  GridPartition grid,
+                                                  int64_t rank) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("BlockFactorStore requires an Env");
+  }
+  if (prefix.empty()) {
+    return Status::InvalidArgument(
+        "BlockFactorStore requires a non-empty prefix");
+  }
+  if (grid.num_modes() < 1) {
+    return Status::InvalidArgument(
+        "BlockFactorStore requires a non-empty grid");
+  }
+  if (rank < 1) {
+    return Status::InvalidArgument("factor rank must be >= 1 (got " +
+                                   std::to_string(rank) + ")");
+  }
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = grid;
+  manifest.rank = rank;
+  TPCP_RETURN_IF_ERROR(WriteManifest(env, prefix, manifest));
+  return BlockFactorStore(env, std::move(prefix), std::move(grid), rank);
+}
+
+Result<BlockFactorStore> BlockFactorStore::Open(Env* env,
+                                                std::string prefix) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("BlockFactorStore requires an Env");
+  }
+  TPCP_ASSIGN_OR_RETURN(const StoreManifest manifest,
+                        ReadManifest(env, prefix));
+  if (manifest.kind != StoreManifest::kFactorsKind) {
+    return Status::InvalidArgument("store at '" + prefix + "' is a " +
+                                   manifest.kind + " store");
+  }
+  return BlockFactorStore(env, std::move(prefix), manifest.grid,
+                          manifest.rank);
 }
 
 std::string BlockFactorStore::BlockFactorName(const BlockIndex& block,

@@ -20,8 +20,21 @@ namespace tpcp {
 ///   <prefix>/A_<mode>_<part>               sub-factor A^(mode)_(part)
 class BlockFactorStore {
  public:
+  /// Legacy manifest-less construction (CHECK-fails on rank < 1) — prefer
+  /// Create/Open, which persist and recover the geometry.
   BlockFactorStore(Env* env, std::string prefix, GridPartition grid,
                    int64_t rank);
+
+  /// Creates a store and writes its versioned MANIFEST (kind "factors",
+  /// recording grid and rank). InvalidArgument on a null env, empty
+  /// prefix, empty grid, or rank < 1.
+  static Result<BlockFactorStore> Create(Env* env, std::string prefix,
+                                         GridPartition grid, int64_t rank);
+
+  /// Opens an existing factor store from its MANIFEST. NotFound when the
+  /// manifest is absent (factor stores have no legacy filename scan: rank
+  /// is not recoverable from block-factor names).
+  static Result<BlockFactorStore> Open(Env* env, std::string prefix);
 
   const GridPartition& grid() const { return grid_; }
   int64_t rank() const { return rank_; }

@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include "core/names.h"
 #include "util/format.h"
 
 namespace tpcp {
@@ -10,6 +11,8 @@ std::string TwoPhaseCpOptions::ToString() const {
   out += ScheduleTypeName(schedule);
   out += " policy=";
   out += PolicyTypeName(policy);
+  out += " init=";
+  out += InitMethodName(init);
   if (buffer_bytes > 0) {
     out += " buffer=" + HumanBytes(buffer_bytes);
   } else {

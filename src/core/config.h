@@ -12,6 +12,8 @@
 
 namespace tpcp {
 
+class ProgressObserver;
+
 /// Options controlling both phases of 2PCP.
 struct TwoPhaseCpOptions {
   /// Target decomposition rank F.
@@ -62,6 +64,16 @@ struct TwoPhaseCpOptions {
   /// Worker threads moving bytes for the prefetch pipeline (>= 1; only
   /// used when prefetch_depth > 0). I/O-bound, so a small number suffices.
   int io_threads = 2;
+
+  /// Wall-clock budget in seconds for solvers that support one (the
+  /// naive-oocp baseline reports `timed_out` when it is exceeded, as the
+  /// paper's ">12 hours" row does); 0 = unlimited. Ignored by 2PCP itself.
+  double max_seconds = 0.0;
+
+  /// Optional progress callbacks (core/progress_observer.h). Non-owning;
+  /// must outlive the run. Calls are serialized, so the observer itself
+  /// needs no locking.
+  ProgressObserver* observer = nullptr;
 
   /// Resolves the effective buffer capacity for a given total requirement.
   uint64_t ResolveBufferBytes(uint64_t total_requirement) const {

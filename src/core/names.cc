@@ -1,0 +1,65 @@
+#include "core/names.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tpcp {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+Result<ScheduleType> ScheduleTypeFromName(const std::string& name) {
+  const std::string key = Lower(name);
+  if (key == "mc") return ScheduleType::kModeCentric;
+  if (key == "fo") return ScheduleType::kFiberOrder;
+  if (key == "zo") return ScheduleType::kZOrder;
+  if (key == "ho") return ScheduleType::kHilbertOrder;
+  if (key == "sn") return ScheduleType::kSnakeOrder;
+  if (key == "rnd") return ScheduleType::kRandomOrder;
+  return Status::InvalidArgument("unknown schedule '" + name +
+                                 "' (expected one of " +
+                                 ScheduleTypeChoices() + ")");
+}
+
+Result<PolicyType> PolicyTypeFromName(const std::string& name) {
+  const std::string key = Lower(name);
+  if (key == "lru") return PolicyType::kLru;
+  if (key == "mru") return PolicyType::kMru;
+  if (key == "for") return PolicyType::kForward;
+  return Status::InvalidArgument("unknown policy '" + name +
+                                 "' (expected one of " + PolicyTypeChoices() +
+                                 ")");
+}
+
+Result<InitMethod> InitMethodFromName(const std::string& name) {
+  const std::string key = Lower(name);
+  if (key == "random") return InitMethod::kRandom;
+  if (key == "hosvd") return InitMethod::kHosvd;
+  return Status::InvalidArgument("unknown init method '" + name +
+                                 "' (expected one of " + InitMethodChoices() +
+                                 ")");
+}
+
+const char* InitMethodName(InitMethod method) {
+  switch (method) {
+    case InitMethod::kRandom:
+      return "random";
+    case InitMethod::kHosvd:
+      return "hosvd";
+  }
+  return "?";
+}
+
+std::string ScheduleTypeChoices() { return "mc, fo, zo, ho, sn, rnd"; }
+std::string PolicyTypeChoices() { return "lru, mru, for"; }
+std::string InitMethodChoices() { return "random, hosvd"; }
+
+}  // namespace tpcp

@@ -1,0 +1,46 @@
+// One place for every string <-> enum mapping of the public configuration
+// surface: schedules, replacement policies and init methods.
+//
+// The rendering side (ScheduleTypeName, PolicyTypeName) lives next to each
+// enum; this header re-exports it alongside the parsing direction so tools,
+// benches and the Session API share a single set of spellings instead of
+// growing per-binary parser copies.
+//
+// Accepted spellings are case-insensitive and match the canonical short
+// names the paper uses: "mc"/"fo"/"zo"/"ho"/"sn"/"rnd", "lru"/"mru"/"for",
+// "random"/"hosvd". Unknown names come back as InvalidArgument listing the
+// valid choices.
+
+#ifndef TPCP_CORE_NAMES_H_
+#define TPCP_CORE_NAMES_H_
+
+#include <string>
+
+#include "buffer/replacement_policy.h"
+#include "cp/init.h"
+#include "schedule/update_schedule.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// "mc" | "fo" | "zo" | "ho" | "sn" | "rnd" (case-insensitive).
+Result<ScheduleType> ScheduleTypeFromName(const std::string& name);
+
+/// "lru" | "mru" | "for" (case-insensitive).
+Result<PolicyType> PolicyTypeFromName(const std::string& name);
+
+/// "random" | "hosvd" (case-insensitive).
+Result<InitMethod> InitMethodFromName(const std::string& name);
+
+/// Rendering for InitMethod, mirroring ScheduleTypeName/PolicyTypeName.
+const char* InitMethodName(InitMethod method);
+
+/// Comma-separated lists of the accepted spellings, for usage strings and
+/// error messages.
+std::string ScheduleTypeChoices();
+std::string PolicyTypeChoices();
+std::string InitMethodChoices();
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_NAMES_H_

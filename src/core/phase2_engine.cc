@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "buffer/prefetch_pipeline.h"
+#include "core/progress_observer.h"
 #include "core/refinement_state.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -117,6 +118,10 @@ Status Phase2Engine::Run(Phase2Result* result) {
     const double fit = state.SurrogateFit();
     result->fit_trace.push_back(fit);
     result->virtual_iterations = vi + 1;
+    if (options_.observer != nullptr) {
+      options_.observer->OnVirtualIteration(vi + 1, fit,
+                                            pool.stats().swap_ins);
+    }
     // Termination is evaluated once per virtual iteration (Definition 3),
     // but never before one full tensor-filling cycle: early virtual
     // iterations of a block-centric schedule may only touch a few blocks
@@ -149,6 +154,11 @@ Status Phase2Engine::Run(Phase2Result* result) {
       static_cast<double>(pool.stats().swap_ins) /
       static_cast<double>(result->virtual_iterations);
   result->seconds = watch.ElapsedSeconds();
+  if (options_.observer != nullptr) {
+    options_.observer->OnPhase2Done(result->virtual_iterations,
+                                    result->converged, result->surrogate_fit,
+                                    result->buffer_stats);
+  }
   return Status::OK();
 }
 

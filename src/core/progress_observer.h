@@ -1,0 +1,72 @@
+// Progress callbacks for long-running decompositions.
+//
+// An observer is attached through TwoPhaseCpOptions::observer and threads
+// through TwoPhaseCp / Phase2Engine (and any Session-driven solver built on
+// them), so tools can show live progress and tests can introspect a run
+// without poking engine internals.
+//
+// Event order for a full two-phase run:
+//   OnPhase1BlockDone x blocks   (completion order; `done` is cumulative)
+//   OnPhase1Done
+//   OnVirtualIteration x iterations   (iteration numbers strictly increase)
+//   OnPhase2Done
+//
+// Callbacks fire on the engine's threads but are always serialized (Phase-1
+// block events are reported under the engine's result mutex even when
+// blocks decompose in parallel), so observers need no locking of their own.
+// Keep them cheap: the engine blocks while a callback runs.
+
+#ifndef TPCP_CORE_PROGRESS_OBSERVER_H_
+#define TPCP_CORE_PROGRESS_OBSERVER_H_
+
+#include <cstdint>
+
+#include "buffer/buffer_pool.h"
+
+namespace tpcp {
+
+/// Observer of decomposition progress. All methods default to no-ops so
+/// implementations override only what they need.
+class ProgressObserver {
+ public:
+  virtual ~ProgressObserver() = default;
+
+  /// Phase 1: one block's independent decomposition finished. `done` counts
+  /// finished blocks (1-based, cumulative), `total` is the block count and
+  /// `block_fit` the block's final ALS fit.
+  virtual void OnPhase1BlockDone(int64_t done, int64_t total,
+                                 double block_fit) {
+    (void)done;
+    (void)total;
+    (void)block_fit;
+  }
+
+  /// Phase 1 finished over all blocks.
+  virtual void OnPhase1Done(double seconds, double mean_block_fit) {
+    (void)seconds;
+    (void)mean_block_fit;
+  }
+
+  /// Phase 2: one virtual iteration finished. `swap_ins` is the cumulative
+  /// swap-in count, so deltas give the per-iteration swap rate.
+  virtual void OnVirtualIteration(int iteration, double surrogate_fit,
+                                  uint64_t swap_ins) {
+    (void)iteration;
+    (void)surrogate_fit;
+    (void)swap_ins;
+  }
+
+  /// Phase 2 finished; `stats` carries the buffer and prefetch/overlap
+  /// counters of the whole refinement.
+  virtual void OnPhase2Done(int virtual_iterations, bool converged,
+                            double surrogate_fit, const BufferStats& stats) {
+    (void)virtual_iterations;
+    (void)converged;
+    (void)surrogate_fit;
+    (void)stats;
+  }
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_CORE_PROGRESS_OBSERVER_H_

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "core/phase2_engine.h"
+#include "core/progress_observer.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -33,6 +34,7 @@ Status TwoPhaseCp::RunPhase1(ThreadPool* pool) {
   std::mutex mu;
   Status first_error = Status::OK();
   double fit_sum = 0.0;
+  int64_t blocks_done = 0;
 
   auto decompose_one = [&](int64_t i) {
     const BlockIndex& block = blocks[static_cast<size_t>(i)];
@@ -72,6 +74,14 @@ Status TwoPhaseCp::RunPhase1(ThreadPool* pool) {
     }
     std::lock_guard<std::mutex> lock(mu);
     fit_sum += report.final_fit;
+    ++blocks_done;
+    if (options_.observer != nullptr) {
+      // Under the mutex: observers see serialized calls even when blocks
+      // decompose on worker threads.
+      options_.observer->OnPhase1BlockDone(
+          blocks_done, static_cast<int64_t>(blocks.size()),
+          report.final_fit);
+    }
   };
 
   ParallelFor(pool, 0, static_cast<int64_t>(blocks.size()), decompose_one);
@@ -82,6 +92,10 @@ Status TwoPhaseCp::RunPhase1(ThreadPool* pool) {
   result_.phase1_mean_block_fit =
       fit_sum / static_cast<double>(blocks.size());
   phase1_done_ = true;
+  if (options_.observer != nullptr) {
+    options_.observer->OnPhase1Done(result_.phase1_seconds,
+                                    result_.phase1_mean_block_fit);
+  }
   return Status::OK();
 }
 

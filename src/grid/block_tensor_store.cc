@@ -1,5 +1,6 @@
 #include "grid/block_tensor_store.h"
 
+#include "grid/manifest.h"
 #include "storage/serializer.h"
 
 namespace tpcp {
@@ -7,6 +8,61 @@ namespace tpcp {
 BlockTensorStore::BlockTensorStore(Env* env, std::string prefix,
                                    GridPartition grid)
     : env_(env), prefix_(std::move(prefix)), grid_(std::move(grid)) {}
+
+Result<BlockTensorStore> BlockTensorStore::Create(Env* env,
+                                                  std::string prefix,
+                                                  GridPartition grid) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("BlockTensorStore requires an Env");
+  }
+  if (prefix.empty()) {
+    return Status::InvalidArgument(
+        "BlockTensorStore requires a non-empty prefix");
+  }
+  if (grid.num_modes() < 1) {
+    return Status::InvalidArgument(
+        "BlockTensorStore requires a non-empty grid");
+  }
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kTensorKind;
+  manifest.grid = grid;
+  TPCP_RETURN_IF_ERROR(WriteManifest(env, prefix, manifest));
+  return BlockTensorStore(env, std::move(prefix), std::move(grid));
+}
+
+Result<BlockTensorStore> BlockTensorStore::Open(Env* env,
+                                                std::string prefix) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("BlockTensorStore requires an Env");
+  }
+  if (prefix.empty()) {
+    return Status::InvalidArgument(
+        "BlockTensorStore requires a non-empty prefix");
+  }
+  auto manifest = ReadManifest(env, prefix);
+  if (manifest.ok()) {
+    if (manifest->kind != StoreManifest::kTensorKind) {
+      return Status::InvalidArgument("store at '" + prefix + "' is a " +
+                                     manifest->kind + " store");
+    }
+    return BlockTensorStore(env, std::move(prefix), manifest->grid);
+  }
+  if (!manifest.status().IsNotFound() && !manifest.status().IsCorruption()) {
+    // E.g. a transient IOError or a newer manifest version — not a legacy
+    // store; never fall back (the scan-then-heal path would clobber it).
+    return manifest.status();
+  }
+  // Pre-manifest store (or a damaged manifest): recover the geometry the
+  // legacy way, from the block files themselves, and heal the manifest so
+  // the next Open takes the happy path. Healing is best-effort — on
+  // read-only media the store still opens, just without a manifest.
+  TPCP_ASSIGN_OR_RETURN(GridPartition grid, ScanTensorGeometry(env, prefix));
+  StoreManifest healed;
+  healed.kind = StoreManifest::kTensorKind;
+  healed.grid = grid;
+  (void)WriteManifest(env, prefix, healed);
+  return BlockTensorStore(env, std::move(prefix), std::move(grid));
+}
 
 std::string BlockTensorStore::BlockFileName(const BlockIndex& block) const {
   std::string name = prefix_ + "/block";

@@ -20,8 +20,22 @@ namespace tpcp {
 /// Chunked dense tensor resident in an Env.
 class BlockTensorStore {
  public:
-  /// Store rooted at `prefix` inside `env`, laid out per `grid`.
+  /// Store rooted at `prefix` inside `env`, laid out per `grid`. Legacy
+  /// manifest-less construction — prefer Create/Open, which persist and
+  /// recover the geometry.
   BlockTensorStore(Env* env, std::string prefix, GridPartition grid);
+
+  /// Creates a store and writes its versioned MANIFEST so Open can recover
+  /// the geometry later. InvalidArgument on a null env, empty prefix or
+  /// empty grid.
+  static Result<BlockTensorStore> Create(Env* env, std::string prefix,
+                                         GridPartition grid);
+
+  /// Opens an existing store: geometry from `<prefix>/MANIFEST` on the
+  /// happy path, falling back to the legacy block-filename scan for
+  /// pre-manifest stores (and rewriting the manifest it recovered).
+  /// NotFound when neither a manifest nor block files exist.
+  static Result<BlockTensorStore> Open(Env* env, std::string prefix);
 
   const GridPartition& grid() const { return grid_; }
   Env* env() const { return env_; }

@@ -25,6 +25,44 @@ GridPartition GridPartition::Uniform(const Shape& shape,
                                   parts_per_mode));
 }
 
+Result<GridPartition> GridPartition::Create(Shape shape,
+                                            std::vector<int64_t> parts) {
+  if (shape.num_modes() < 1) {
+    return Status::InvalidArgument("grid requires a non-empty tensor shape");
+  }
+  if (static_cast<int>(parts.size()) != shape.num_modes()) {
+    return Status::InvalidArgument(
+        "partition list has " + std::to_string(parts.size()) +
+        " entries for a " + std::to_string(shape.num_modes()) +
+        "-mode tensor");
+  }
+  for (int m = 0; m < shape.num_modes(); ++m) {
+    const int64_t k = parts[static_cast<size_t>(m)];
+    if (k < 1) {
+      return Status::InvalidArgument("parts must be >= 1 (mode " +
+                                     std::to_string(m) + " has " +
+                                     std::to_string(k) + ")");
+    }
+    if (k > shape.dim(m)) {
+      return Status::InvalidArgument(
+          "mode " + std::to_string(m) + " of extent " +
+          std::to_string(shape.dim(m)) + " cannot be split " +
+          std::to_string(k) + " ways");
+    }
+  }
+  return GridPartition(std::move(shape), std::move(parts));
+}
+
+Result<GridPartition> GridPartition::CreateUniform(const Shape& shape,
+                                                   int64_t parts_per_mode) {
+  if (shape.num_modes() < 1) {
+    return Status::InvalidArgument("grid requires a non-empty tensor shape");
+  }
+  return Create(shape,
+                std::vector<int64_t>(static_cast<size_t>(shape.num_modes()),
+                                     parts_per_mode));
+}
+
 int64_t GridPartition::PartitionOffset(int mode, int64_t k) const {
   const int64_t dim = shape_.dim(mode);
   const int64_t parts = parts_[static_cast<size_t>(mode)];

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "tensor/shape.h"
+#include "util/status.h"
 
 namespace tpcp {
 
@@ -28,8 +29,18 @@ class GridPartition {
   /// parts[i] < 1 or parts[i] > dim(i).
   GridPartition(Shape shape, std::vector<int64_t> parts);
 
-  /// Uniform K partitions along every mode.
+  /// Uniform K partitions along every mode. CHECK-fails on invalid
+  /// arguments like the constructor; use CreateUniform for untrusted input.
   static GridPartition Uniform(const Shape& shape, int64_t parts_per_mode);
+
+  /// Validated construction for untrusted (CLI/URI/manifest) input: returns
+  /// InvalidArgument instead of CHECK-failing when the shape is empty, the
+  /// partition list does not match the mode count, or any parts[i] is < 1
+  /// or exceeds the mode's dimension.
+  static Result<GridPartition> Create(Shape shape,
+                                      std::vector<int64_t> parts);
+  static Result<GridPartition> CreateUniform(const Shape& shape,
+                                             int64_t parts_per_mode);
 
   const Shape& tensor_shape() const { return shape_; }
   int num_modes() const { return shape_.num_modes(); }

@@ -1,0 +1,67 @@
+// Versioned store manifests (the "dataset descriptor" every chunk store
+// keeps next to its chunks, as TensorDB/SciDB arrays do).
+//
+// A MANIFEST file at `<prefix>/MANIFEST` records the store's geometry so
+// consumers open it by name instead of reverse-engineering shape and grid
+// from block filenames:
+//
+//   tpcp-manifest 1
+//   kind tensor            (or: factors)
+//   shape 60 60 60
+//   parts 2 2 2
+//   rank 5                 (factor stores only)
+//
+// BlockTensorStore::Open prefers the manifest and falls back to the legacy
+// block-filename scan (ScanTensorGeometry) for stores written before
+// manifests existed.
+
+#ifndef TPCP_GRID_MANIFEST_H_
+#define TPCP_GRID_MANIFEST_H_
+
+#include <string>
+
+#include "grid/grid_partition.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// Geometry descriptor persisted per store.
+struct StoreManifest {
+  static constexpr int kVersion = 1;
+  static constexpr const char* kTensorKind = "tensor";
+  static constexpr const char* kFactorsKind = "factors";
+
+  std::string kind;    // kTensorKind or kFactorsKind
+  GridPartition grid;  // shape + partition counts
+  int64_t rank = 0;    // factor stores only (0 for tensor stores)
+
+  /// Renders the manifest file contents.
+  std::string Serialize() const;
+
+  /// Parses and validates manifest bytes. Corruption on a malformed or
+  /// version-incompatible manifest, including geometry that fails
+  /// GridPartition::Create validation.
+  static Result<StoreManifest> Parse(const std::string& bytes);
+};
+
+/// The manifest file name for a store rooted at `prefix`.
+std::string ManifestFileName(const std::string& prefix);
+
+/// Writes `manifest` for the store at `prefix`.
+Status WriteManifest(Env* env, const std::string& prefix,
+                     const StoreManifest& manifest);
+
+/// Reads the manifest for `prefix`. NotFound if absent, Corruption if
+/// unparsable.
+Result<StoreManifest> ReadManifest(Env* env, const std::string& prefix);
+
+/// Legacy geometry recovery: reconstructs the grid of a pre-manifest block
+/// tensor store by scanning `block_*` filenames for the partition counts
+/// and probing one block per partition for the extents. NotFound when no
+/// block files exist under `prefix`.
+Result<GridPartition> ScanTensorGeometry(Env* env, const std::string& prefix);
+
+}  // namespace tpcp
+
+#endif  // TPCP_GRID_MANIFEST_H_

@@ -1,0 +1,44 @@
+#include "util/parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace tpcp {
+
+Result<int64_t> ParseInt64(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected an integer, got an empty string");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("integer out of range: '" + text + "'");
+  }
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected a number, got an empty string");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  // Rejects both ERANGE overflow and literal "nan"/"inf": every consumer
+  // (buffer fractions, throughput, latencies) needs a finite value, and
+  // range guards like `x <= 0.0` are NaN-blind.
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("number is not finite: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace tpcp

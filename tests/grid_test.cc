@@ -80,6 +80,31 @@ DenseTensor RandomTensor(const Shape& shape, uint64_t seed) {
   return t;
 }
 
+TEST(GridPartitionTest, CreateValidatesArguments) {
+  // The validated factories return InvalidArgument where the legacy
+  // constructor CHECK-fails.
+  EXPECT_EQ(GridPartition::CreateUniform(Shape({8, 8, 8}), 0)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GridPartition::CreateUniform(Shape({8, 8, 8}), -2)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GridPartition::CreateUniform(Shape({4, 4, 4}), 5)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // parts > dim
+  EXPECT_EQ(GridPartition::CreateUniform(Shape(), 2).status().code(),
+            StatusCode::kInvalidArgument);  // empty shape
+  EXPECT_EQ(GridPartition::Create(Shape({8, 8}), {2, 2, 2}).status().code(),
+            StatusCode::kInvalidArgument);  // length mismatch
+
+  auto good = GridPartition::CreateUniform(Shape({8, 8, 8}), 2);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(*good == GridPartition::Uniform(Shape({8, 8, 8}), 2));
+}
+
 TEST(BlockTensorStoreTest, ImportExportRoundTrip) {
   auto env = NewMemEnv();
   GridPartition g(Shape({6, 9, 4}), {2, 3, 2});

@@ -1,0 +1,181 @@
+#include "grid/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "core/block_factors.h"
+#include "data/synthetic.h"
+#include "grid/block_tensor_store.h"
+
+namespace tpcp {
+namespace {
+
+GridPartition TestGrid() {
+  return GridPartition(Shape({10, 9, 7}), {3, 2, 2});
+}
+
+TEST(StoreManifestTest, RoundTrip) {
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kTensorKind;
+  manifest.grid = TestGrid();
+  auto parsed = StoreManifest::Parse(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, StoreManifest::kTensorKind);
+  EXPECT_TRUE(parsed->grid == manifest.grid);
+  EXPECT_EQ(parsed->rank, 0);
+}
+
+TEST(StoreManifestTest, FactorsRoundTripKeepsRank) {
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = TestGrid();
+  manifest.rank = 12;
+  auto parsed = StoreManifest::Parse(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, StoreManifest::kFactorsKind);
+  EXPECT_EQ(parsed->rank, 12);
+}
+
+TEST(StoreManifestTest, GarbageIsCorruption) {
+  for (const char* bytes :
+       {"", "not a manifest",
+        "tpcp-manifest 1\nkind tensor\n",           // missing geometry
+        "tpcp-manifest 1\nkind what\nshape 4\nparts 2\n",
+        "tpcp-manifest 1\nkind tensor\nshape 4 4\nparts 8 8\n",  // parts>dim
+        "tpcp-manifest 1\nkind factors\nshape 4 4\nparts 2 2\n",  // no rank
+        "tpcp-manifest 1\nkind tensor\nshape 4 4\nparts 2 2\nwat 1\n"}) {
+    auto parsed = StoreManifest::Parse(bytes);
+    EXPECT_FALSE(parsed.ok()) << "'" << bytes << "'";
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsCorruption()) << bytes;
+    }
+  }
+}
+
+TEST(StoreManifestTest, NewerVersionIsIncompatibleNotCorrupt) {
+  auto parsed = StoreManifest::Parse("tpcp-manifest 2\nkind tensor\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BlockTensorStoreManifestTest, NewerManifestIsNeverClobbered) {
+  auto env = NewMemEnv();
+  const std::string future = "tpcp-manifest 2\nkind tensor\nfrobnicate 7\n";
+  ASSERT_TRUE(env->WriteFile("t/MANIFEST", future).ok());
+  auto opened = BlockTensorStore::Open(env.get(), "t");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kFailedPrecondition);
+  // The future-version manifest survives untouched — no scan-and-heal.
+  std::string bytes;
+  ASSERT_TRUE(env->ReadFile("t/MANIFEST", &bytes).ok());
+  EXPECT_EQ(bytes, future);
+}
+
+TEST(BlockTensorStoreManifestTest, CreateWritesOpenReads) {
+  auto env = NewMemEnv();
+  const GridPartition grid = TestGrid();
+  auto created = BlockTensorStore::Create(env.get(), "t", grid);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_TRUE(env->FileExists("t/MANIFEST"));
+
+  auto opened = BlockTensorStore::Open(env.get(), "t");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->grid() == grid);
+}
+
+TEST(BlockTensorStoreManifestTest, OpenUsesManifestWithoutScanning) {
+  auto env = NewMemEnv();
+  const GridPartition grid = TestGrid();
+  ASSERT_TRUE(BlockTensorStore::Create(env.get(), "t", grid).ok());
+  // No blocks exist; a filename scan would fail, so a successful Open
+  // proves the manifest is the happy path.
+  auto opened = BlockTensorStore::Open(env.get(), "t");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->grid() == grid);
+}
+
+TEST(BlockTensorStoreManifestTest, MissingManifestFallsBackToScan) {
+  auto env = NewMemEnv();
+  const GridPartition grid = TestGrid();
+  // A legacy store: blocks written through the manifest-less constructor.
+  BlockTensorStore legacy(env.get(), "t", grid);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 5;
+  ASSERT_TRUE(legacy.ImportTensor(MakeLowRankTensor(spec)).ok());
+  ASSERT_FALSE(env->FileExists("t/MANIFEST"));
+
+  auto opened = BlockTensorStore::Open(env.get(), "t");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->grid() == grid);
+  // The recovered geometry is healed into a manifest for the next Open.
+  EXPECT_TRUE(env->FileExists("t/MANIFEST"));
+}
+
+TEST(BlockTensorStoreManifestTest, CorruptManifestFallsBackToScan) {
+  auto env = NewMemEnv();
+  const GridPartition grid = TestGrid();
+  BlockTensorStore legacy(env.get(), "t", grid);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 5;
+  ASSERT_TRUE(legacy.ImportTensor(MakeLowRankTensor(spec)).ok());
+  ASSERT_TRUE(env->WriteFile("t/MANIFEST", "scribbled over").ok());
+
+  auto opened = BlockTensorStore::Open(env.get(), "t");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->grid() == grid);
+}
+
+TEST(BlockTensorStoreManifestTest, OpenOfNothingIsNotFound) {
+  auto env = NewMemEnv();
+  auto opened = BlockTensorStore::Open(env.get(), "empty");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsNotFound());
+}
+
+TEST(BlockTensorStoreManifestTest, CreateValidatesArguments) {
+  auto env = NewMemEnv();
+  EXPECT_EQ(BlockTensorStore::Create(nullptr, "t", TestGrid())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BlockTensorStore::Create(env.get(), "", TestGrid())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BlockTensorStore::Create(env.get(), "t", GridPartition())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BlockFactorStoreManifestTest, CreateOpenRoundTrip) {
+  auto env = NewMemEnv();
+  const GridPartition grid = TestGrid();
+  auto created = BlockFactorStore::Create(env.get(), "f", grid, 4);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto opened = BlockFactorStore::Open(env.get(), "f");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->grid() == grid);
+  EXPECT_EQ(opened->rank(), 4);
+}
+
+TEST(BlockFactorStoreManifestTest, CreateValidatesRank) {
+  auto env = NewMemEnv();
+  auto bad = BlockFactorStore::Create(env.get(), "f", TestGrid(), 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockFactorStoreManifestTest, OpenRejectsTensorStore) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(BlockTensorStore::Create(env.get(), "t", TestGrid()).ok());
+  auto opened = BlockFactorStore::Open(env.get(), "t");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tpcp

@@ -2,7 +2,9 @@
 
 #include <set>
 
+#include "core/names.h"
 #include "util/format.h"
+#include "util/parse.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -163,6 +165,75 @@ TEST(FormatTest, JoinAndDims) {
 TEST(FormatTest, Fixed) {
   EXPECT_EQ(Fixed(3.14159, 2), "3.14");
   EXPECT_EQ(Fixed(-1.0, 1), "-1.0");
+}
+
+TEST(ParseTest, ParseInt64AcceptsWholeIntegers) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64("9000000000"), 9000000000LL);
+}
+
+TEST(ParseTest, ParseInt64RejectsGarbage) {
+  // atoll would silently return 0 for every one of these.
+  for (const char* text :
+       {"", "abc", "12abc", "1.5", " 7 ", "7 ", "0x10",
+        "99999999999999999999999999"}) {
+    auto r = ParseInt64(text);
+    EXPECT_FALSE(r.ok()) << "'" << text << "'";
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(ParseTest, ParseDoubleAcceptsNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 1e-3);
+}
+
+TEST(ParseTest, ParseDoubleRejectsGarbage) {
+  // Non-finite spellings are rejected too: range guards like `x <= 0.0`
+  // downstream are NaN-blind.
+  for (const char* text : {"", "abc", "0.5x", "1..2", "--3", "1e", "3,5",
+                           "nan", "inf", "-inf", "infinity", "1e999"}) {
+    auto r = ParseDouble(text);
+    EXPECT_FALSE(r.ok()) << "'" << text << "'";
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(NamesTest, RoundTripsEveryEnum) {
+  for (ScheduleType type :
+       {ScheduleType::kModeCentric, ScheduleType::kFiberOrder,
+        ScheduleType::kZOrder, ScheduleType::kHilbertOrder,
+        ScheduleType::kSnakeOrder, ScheduleType::kRandomOrder}) {
+    auto parsed = ScheduleTypeFromName(ScheduleTypeName(type));
+    ASSERT_TRUE(parsed.ok()) << ScheduleTypeName(type);
+    EXPECT_EQ(*parsed, type);
+  }
+  for (PolicyType type :
+       {PolicyType::kLru, PolicyType::kMru, PolicyType::kForward}) {
+    auto parsed = PolicyTypeFromName(PolicyTypeName(type));
+    ASSERT_TRUE(parsed.ok()) << PolicyTypeName(type);
+    EXPECT_EQ(*parsed, type);
+  }
+  for (InitMethod method : {InitMethod::kRandom, InitMethod::kHosvd}) {
+    auto parsed = InitMethodFromName(InitMethodName(method));
+    ASSERT_TRUE(parsed.ok()) << InitMethodName(method);
+    EXPECT_EQ(*parsed, method);
+  }
+}
+
+TEST(NamesTest, UnknownNamesListChoices) {
+  auto schedule = ScheduleTypeFromName("spiral");
+  ASSERT_FALSE(schedule.ok());
+  EXPECT_EQ(schedule.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(schedule.status().message().find("ho"), std::string::npos);
+  EXPECT_FALSE(PolicyTypeFromName("belady").ok());
+  EXPECT_FALSE(InitMethodFromName("zeros").ok());
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -1,32 +1,55 @@
-// tpcp_tool — command-line driver for the 2PCP library.
+// tpcp_tool — command-line driver for the 2PCP library, built on the
+// Session API (api/session.h).
 //
-//   tpcp_tool generate  <dir> <I> <J> <K> <parts> [rank] [density] [seed]
-//       Streams a synthetic low-rank dense tensor into a block store under
-//       <dir>/tensor, partitioned <parts> ways per mode.
+//   tpcp_tool generate  <dir|uri> <I> <J> <K> <parts> [rank] [density] [seed]
+//       Streams a synthetic low-rank dense tensor into a manifest-backed
+//       block store under <dir>/tensor, partitioned <parts> ways per mode.
 //
-//   tpcp_tool decompose <dir> <rank> [schedule] [policy] [buffer-fraction]
-//                       [prefetch-depth] [io-threads]
-//       Runs the two-phase decomposition over <dir>/tensor, writing factors
-//       to <dir>/factors and printing timings, fit and I/O statistics.
-//       schedule: mc | fo | zo | ho | sn | rnd   policy: lru | mru | for
-//       prefetch-depth > 0 enables the asynchronous Phase-2 pipeline
-//       (loads issued that many steps ahead, writebacks in the background);
-//       0 keeps the synchronous engine. Results are identical either way.
+//   tpcp_tool decompose <dir|uri> <rank> [schedule] [policy]
+//                       [buffer-fraction] [prefetch-depth] [io-threads]
+//       Decomposes <dir>/tensor with the solver named by --solver
+//       (default 2pcp), writing factors to <dir>/factors and printing
+//       timings, fit and I/O statistics.
 //
 //   tpcp_tool simulate  <parts> <buffer-fraction>
 //       Prints the exact per-virtual-iteration swap table for a cubic grid
 //       (no data needed — swap counts are configuration-determined).
+//
+//   tpcp_tool solvers
+//       Lists the registered solvers and storage schemes/wrappers.
+//
+// <dir|uri> is either a plain directory (shorthand for posix://<dir>) or a
+// storage URI: mem://, posix:///path, compressed+posix:///path?level=3,
+// throttled+mem://?mbps=50&latency_ms=1, faulty+..., and any registered
+// extension scheme.
+//
+// Optional settings are flags (accepted anywhere after the subcommand):
+//   --solver=2pcp|naive-oocp|grid-parafac|haten2
+//   --schedule=mc|fo|zo|ho|sn|rnd      --policy=lru|mru|for
+//   --init=random|hosvd                --buffer-fraction=F
+//   --prefetch-depth=N --io-threads=N  --threads=N (Phase-1 workers)
+//   --max-vi=N --max-seconds=S --seed=N
+//   --param=key=value                  (solver-specific, repeatable)
+//   --progress                         (live per-block / per-iteration lines
+//                                       on stderr)
+// The bare positional forms of the pre-Session tool keep working; every
+// numeric argument is parsed checked — garbage is an error, not a zero.
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "api/session.h"
+#include "core/names.h"
+#include "core/progress_observer.h"
 #include "core/swap_simulator.h"
-#include "core/two_phase_cp.h"
 #include "data/synthetic.h"
-#include "storage/serializer.h"
 #include "util/format.h"
+#include "util/parse.h"
 
 using namespace tpcp;
 
@@ -36,173 +59,357 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  %s generate  <dir> <I> <J> <K> <parts> [rank=10] [density=1.0] "
+      "  %s generate  <dir|uri> <I> <J> <K> <parts> [rank=10] [density=1.0] "
       "[seed=42]\n"
-      "  %s decompose <dir> <rank> [schedule=ho] [policy=for] "
+      "  %s decompose <dir|uri> <rank> [schedule=ho] [policy=for] "
       "[buffer-fraction=0.5] [prefetch-depth=0] [io-threads=2]\n"
-      "  %s simulate  <parts> <buffer-fraction>\n",
-      argv0, argv0, argv0);
+      "             [--solver=2pcp] [--init=random] [--threads=1] "
+      "[--max-vi=100] [--max-seconds=0] [--seed=1]\n"
+      "             [--param=key=value ...] [--progress]\n"
+      "  %s simulate  <parts> <buffer-fraction>\n"
+      "  %s solvers\n"
+      "schedules: %s   policies: %s\n",
+      argv0, argv0, argv0, argv0, ScheduleTypeChoices().c_str(),
+      PolicyTypeChoices().c_str());
   return 2;
 }
 
-bool ParseSchedule(const std::string& name, ScheduleType* out) {
-  if (name == "mc") *out = ScheduleType::kModeCentric;
-  else if (name == "fo") *out = ScheduleType::kFiberOrder;
-  else if (name == "zo") *out = ScheduleType::kZOrder;
-  else if (name == "ho") *out = ScheduleType::kHilbertOrder;
-  else if (name == "sn") *out = ScheduleType::kSnakeOrder;
-  else if (name == "rnd") *out = ScheduleType::kRandomOrder;
-  else return false;
+/// Command line split into positionals and --key[=value] flags.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  std::map<std::string, std::string> params;  // from repeated --param=k=v
+};
+
+bool SplitArgs(int argc, char** argv, int first, Args* out) {
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out->positional.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(2, eq == std::string::npos
+                                              ? std::string::npos
+                                              : eq - 2);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key.empty()) {
+      std::fprintf(stderr, "malformed flag '%s'\n", arg.c_str());
+      return false;
+    }
+    if (key == "param") {
+      const size_t peq = value.find('=');
+      if (peq == std::string::npos || peq == 0) {
+        std::fprintf(stderr, "--param expects key=value, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      out->params[value.substr(0, peq)] = value.substr(peq + 1);
+    } else {
+      out->flags[key] = value;
+    }
+  }
   return true;
 }
 
-bool ParsePolicy(const std::string& name, PolicyType* out) {
-  if (name == "lru") *out = PolicyType::kLru;
-  else if (name == "mru") *out = PolicyType::kMru;
-  else if (name == "for") *out = PolicyType::kForward;
-  else return false;
-  return true;
+/// A plain directory is shorthand for posix://<dir>.
+std::string ToStorageUri(const std::string& dir_or_uri) {
+  if (dir_or_uri.find("://") != std::string::npos) return dir_or_uri;
+  return "posix://" + dir_or_uri;
 }
+
+bool ReportBad(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return false;
+}
+
+/// Flag/positional accessors with checked parsing. `pos` is the index into
+/// the positional list a legacy caller would have used (-1: flag-only).
+class OptionReader {
+ public:
+  OptionReader(const Args& args, size_t first_positional)
+      : args_(args), next_(first_positional) {}
+
+  bool ok() const { return ok_; }
+
+  /// Call after reading every known option: a flag nobody consumed is a
+  /// typo, and silently ignoring it would run a different configuration
+  /// than the user asked for.
+  bool NoUnknownFlags() {
+    for (const auto& [key, value] : args_.flags) {
+      if (consumed_.find(key) == consumed_.end()) {
+        std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+        ok_ = false;
+      }
+    }
+    return ok_;
+  }
+
+  std::string Text(const char* flag, const std::string& fallback) {
+    const std::string* raw = Raw(flag, /*consumes_positional=*/true);
+    return raw != nullptr ? *raw : fallback;
+  }
+
+  int64_t Int(const char* flag, int64_t fallback, bool positional_too = true,
+              int64_t min = std::numeric_limits<int64_t>::min(),
+              int64_t max = std::numeric_limits<int64_t>::max()) {
+    const std::string* raw = Raw(flag, positional_too);
+    if (raw == nullptr) return fallback;
+    auto value = ParseInt64(*raw);
+    if (!value.ok()) {
+      ok_ = ReportBad(flag, value.status());
+      return fallback;
+    }
+    if (*value < min || *value > max) {
+      ok_ = ReportBad(flag, Status::InvalidArgument(
+                                *raw + " is outside [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "]"));
+      return fallback;
+    }
+    return *value;
+  }
+
+  double Double(const char* flag, double fallback, bool positional_too,
+                double min, double max) {
+    const std::string* raw = Raw(flag, positional_too);
+    if (raw == nullptr) return fallback;
+    auto value = ParseDouble(*raw);
+    if (!value.ok()) {
+      ok_ = ReportBad(flag, value.status());
+      return fallback;
+    }
+    if (*value < min || *value > max) {
+      ok_ = ReportBad(flag, Status::InvalidArgument(
+                                *raw + " is outside [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "]"));
+      return fallback;
+    }
+    return *value;
+  }
+
+  bool Present(const char* flag) {
+    consumed_.insert(flag);
+    return args_.flags.find(flag) != args_.flags.end();
+  }
+
+ private:
+  /// The flag value if set, else the next unconsumed positional (when
+  /// `consumes_positional`), else nullptr.
+  const std::string* Raw(const char* flag, bool consumes_positional) {
+    consumed_.insert(flag);
+    const auto it = args_.flags.find(flag);
+    if (it != args_.flags.end()) return &it->second;
+    if (consumes_positional && next_ < args_.positional.size()) {
+      return &args_.positional[next_++];
+    }
+    return nullptr;
+  }
+
+  const Args& args_;
+  size_t next_;
+  bool ok_ = true;
+  std::set<std::string> consumed_;
+};
+
+/// --progress: live lines on stderr, kept off stdout so the summary stays
+/// grep-able.
+class StderrProgress : public ProgressObserver {
+ public:
+  void OnPhase1BlockDone(int64_t done, int64_t total,
+                         double block_fit) override {
+    std::fprintf(stderr, "phase1: block %lld/%lld fit %.4f\n",
+                 static_cast<long long>(done), static_cast<long long>(total),
+                 block_fit);
+  }
+  void OnPhase1Done(double seconds, double mean_block_fit) override {
+    std::fprintf(stderr, "phase1: done in %.2fs (mean block fit %.4f)\n",
+                 seconds, mean_block_fit);
+  }
+  void OnVirtualIteration(int iteration, double surrogate_fit,
+                          uint64_t swap_ins) override {
+    std::fprintf(stderr, "phase2: vi %d fit %.4f (%llu swap-ins)\n",
+                 iteration, surrogate_fit,
+                 static_cast<unsigned long long>(swap_ins));
+  }
+  void OnPhase2Done(int virtual_iterations, bool converged,
+                    double surrogate_fit, const BufferStats& stats) override {
+    std::fprintf(stderr,
+                 "phase2: done after %d vi (%s), fit %.4f, "
+                 "%llu prefetch hits, %.2fs stalled\n",
+                 virtual_iterations, converged ? "converged" : "cap",
+                 surrogate_fit,
+                 static_cast<unsigned long long>(stats.prefetch_hits),
+                 stats.stall_seconds);
+  }
+};
 
 int Generate(int argc, char** argv) {
-  if (argc < 7) return Usage(argv[0]);
-  const std::string dir = argv[2];
-  LowRankSpec spec;
-  spec.shape = Shape({std::atoll(argv[3]), std::atoll(argv[4]),
-                      std::atoll(argv[5])});
-  const int64_t parts = std::atoll(argv[6]);
-  spec.rank = argc > 7 ? std::atoll(argv[7]) : 10;
-  spec.density = argc > 8 ? std::atof(argv[8]) : 1.0;
-  spec.seed = argc > 9 ? static_cast<uint64_t>(std::atoll(argv[9])) : 42;
-  spec.noise_level = 0.05;
+  Args args;
+  if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+  if (args.positional.size() < 5) return Usage(argv[0]);
 
-  auto env = NewPosixEnv(dir);
-  GridPartition grid = GridPartition::Uniform(spec.shape, parts);
-  BlockTensorStore store(env.get(), "tensor", grid);
-  if (Status s = GenerateLowRankIntoStore(spec, &store); !s.ok()) {
-    std::fprintf(stderr, "generate failed: %s\n", s.ToString().c_str());
-    return 1;
+  OptionReader opts(args, 1);
+  const int64_t i = opts.Int("I", 0, true, 1);
+  const int64_t j = opts.Int("J", 0, true, 1);
+  const int64_t k = opts.Int("K", 0, true, 1);
+  const int64_t parts = opts.Int("parts", 0, true, 1);
+  LowRankSpec spec;
+  spec.rank = opts.Int("rank", 10, true, 1);
+  spec.density = opts.Double("density", 1.0, true, 0.0, 1.0);
+  spec.seed = static_cast<uint64_t>(opts.Int("seed", 42, true, 0));
+  spec.noise_level = 0.05;
+  if (!opts.NoUnknownFlags()) return 2;
+  spec.shape = Shape({i, j, k});
+
+  auto grid = GridPartition::CreateUniform(spec.shape, parts);
+  if (!grid.ok()) return ReportBad("generate", grid.status()), 1;
+
+  auto session = Session::Open({ToStorageUri(args.positional[0])});
+  if (!session.ok()) return ReportBad("open storage", session.status()), 1;
+  auto store = (*session)->CreateTensorStore(*grid);
+  if (!store.ok()) return ReportBad("create store", store.status()), 1;
+  if (Status s = GenerateLowRankIntoStore(spec, *store); !s.ok()) {
+    return ReportBad("generate", s), 1;
   }
-  auto bytes = store.TotalBytes();
-  std::printf("wrote %s tensor as %lld blocks (%s) under %s/tensor\n",
+  auto bytes = (*store)->TotalBytes();
+  std::printf("wrote %s tensor as %lld blocks (%s) under %s\n",
               spec.shape.ToString().c_str(),
-              static_cast<long long>(grid.NumBlocks()),
+              static_cast<long long>(grid->NumBlocks()),
               bytes.ok() ? HumanBytes(*bytes).c_str() : "?",
-              dir.c_str());
+              args.positional[0].c_str());
   return 0;
 }
 
 int Decompose(int argc, char** argv) {
-  if (argc < 4) return Usage(argv[0]);
-  const std::string dir = argv[2];
+  Args args;
+  if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+  if (args.positional.empty() ||
+      (args.positional.size() < 2 && args.flags.count("rank") == 0)) {
+    return Usage(argv[0]);
+  }
+
   TwoPhaseCpOptions options;
-  options.rank = std::atoll(argv[3]);
-  if (argc > 4 && !ParseSchedule(argv[4], &options.schedule)) {
-    return Usage(argv[0]);
-  }
-  if (argc > 5 && !ParsePolicy(argv[5], &options.policy)) {
-    return Usage(argv[0]);
-  }
-  if (argc > 6) options.buffer_fraction = std::atof(argv[6]);
-  if (argc > 7) options.prefetch_depth = std::atoi(argv[7]);
-  if (argc > 8) options.io_threads = std::max(1, std::atoi(argv[8]));
-  if (options.prefetch_depth < 0) return Usage(argv[0]);
+  OptionReader opts(args, 1);
+  options.rank = opts.Int("rank", 10, true, 1);
+  const std::string schedule = opts.Text("schedule", "ho");
+  const std::string policy = opts.Text("policy", "for");
+  options.buffer_fraction =
+      opts.Double("buffer-fraction", 0.5, true, 1e-6, 1.0);
+  constexpr int64_t kIntMax = std::numeric_limits<int>::max();
+  options.prefetch_depth =
+      static_cast<int>(opts.Int("prefetch-depth", 0, true, 0, kIntMax));
+  options.io_threads =
+      static_cast<int>(opts.Int("io-threads", 2, true, 1, kIntMax));
+  const std::string solver = opts.Text("solver", "2pcp");
+  const std::string init = opts.Text("init", "random");
+  options.num_threads =
+      static_cast<int>(opts.Int("threads", 1, false, 1, kIntMax));
+  options.max_virtual_iterations =
+      static_cast<int>(opts.Int("max-vi", 100, false, 1, kIntMax));
+  options.max_seconds =
+      opts.Double("max-seconds", 0.0, false, 0.0, 1e9);
+  options.seed = static_cast<uint64_t>(opts.Int("seed", 1, false, 0));
+  if (!opts.ok()) return 2;
 
-  auto env = NewPosixEnv(dir);
-  // Recover the grid geometry from the stored block files.
-  const auto files = env->ListFiles("tensor/");
-  if (files.empty()) {
-    std::fprintf(stderr, "no tensor blocks under %s/tensor "
-                 "(run `generate` first)\n", dir.c_str());
-    return 1;
+  if (auto parsed = ScheduleTypeFromName(schedule); parsed.ok()) {
+    options.schedule = *parsed;
+  } else {
+    return ReportBad("--schedule", parsed.status()), 2;
   }
-  // Block files are named block_<k1>_<k2>_..._<kN>; the maximum index per
-  // position plus one gives the partition counts.
-  std::vector<int64_t> max_index;
-  for (const std::string& name : files) {
-    const size_t base = name.rfind("block_");
-    if (base == std::string::npos) continue;
-    std::vector<int64_t> coords;
-    const char* p = name.c_str() + base + 6;
-    while (*p != '\0') {
-      coords.push_back(std::strtoll(p, const_cast<char**>(&p), 10));
-      if (*p == '_') ++p;
-    }
-    if (max_index.empty()) max_index.assign(coords.size(), 0);
-    for (size_t i = 0; i < coords.size() && i < max_index.size(); ++i) {
-      max_index[i] = std::max(max_index[i], coords[i]);
-    }
+  if (auto parsed = PolicyTypeFromName(policy); parsed.ok()) {
+    options.policy = *parsed;
+  } else {
+    return ReportBad("--policy", parsed.status()), 2;
   }
-  std::vector<int64_t> parts;
-  for (int64_t m : max_index) parts.push_back(m + 1);
-  // Derive the tensor shape by summing block extents along each mode.
-  // Read one block per partition along each mode.
-  std::vector<int64_t> dims(parts.size(), 0);
-  {
-    // Probe blocks (k,0,...,0), (0,k,...,0), ... for their extents.
-    auto probe = [&](int mode, int64_t k) -> int64_t {
-      std::string name = "tensor/block";
-      for (size_t i = 0; i < parts.size(); ++i) {
-        name += "_";
-        name += std::to_string(i == static_cast<size_t>(mode) ? k : 0);
-      }
-      auto t = ReadTensor(env.get(), name);
-      if (!t.ok()) return -1;
-      return t->dim(mode);
-    };
-    for (size_t m = 0; m < parts.size(); ++m) {
-      for (int64_t k = 0; k < parts[m]; ++k) {
-        const int64_t extent = probe(static_cast<int>(m), k);
-        if (extent < 0) {
-          std::fprintf(stderr, "missing block while probing geometry\n");
-          return 1;
-        }
-        dims[m] += extent;
-      }
-    }
+  if (auto parsed = InitMethodFromName(init); parsed.ok()) {
+    options.init = *parsed;
+  } else {
+    return ReportBad("--init", parsed.status()), 2;
   }
 
-  GridPartition grid(Shape(dims), parts);
-  BlockTensorStore input(env.get(), "tensor", grid);
-  BlockFactorStore factors(env.get(), "factors", grid, options.rank);
-  TwoPhaseCp engine(&input, &factors, options);
-  auto k = engine.Run();
-  if (!k.ok()) {
-    std::fprintf(stderr, "decompose failed: %s\n",
-                 k.status().ToString().c_str());
+  StderrProgress progress;
+  if (opts.Present("progress")) options.observer = &progress;
+  if (!opts.NoUnknownFlags()) return 2;
+
+  auto session = Session::Open({ToStorageUri(args.positional[0])});
+  if (!session.ok()) return ReportBad("open storage", session.status()), 1;
+  auto store = (*session)->OpenTensorStore();
+  if (!store.ok()) {
+    ReportBad("open tensor store", store.status());
+    std::fprintf(stderr, "(run `generate` first?)\n");
     return 1;
   }
-  const TwoPhaseCpResult& r = engine.result();
-  std::printf("decomposed %s (grid %s) at rank %lld [%s + %s]\n",
+  const GridPartition& grid = (*store)->grid();
+
+  auto result = (*session)->Decompose(solver, options, args.params);
+  if (!result.ok()) return ReportBad("decompose", result.status()), 1;
+  const SolveResult& r = *result;
+
+  std::printf("decomposed %s (grid %s) at rank %lld via %s [%s + %s]\n",
               grid.tensor_shape().ToString().c_str(), grid.ToString().c_str(),
-              static_cast<long long>(options.rank),
+              static_cast<long long>(options.rank), r.solver.c_str(),
               ScheduleTypeName(options.schedule),
               PolicyTypeName(options.policy));
-  std::printf("  phase 1: %.2fs over %lld blocks (mean block fit %.4f)\n",
-              r.phase1_seconds, static_cast<long long>(r.blocks_decomposed),
-              r.phase1_mean_block_fit);
-  std::printf("  phase 2: %.2fs, %d virtual iterations (%s), surrogate fit "
-              "%.4f\n",
-              r.phase2_seconds, r.virtual_iterations,
-              r.converged ? "converged" : "cap", r.surrogate_fit);
-  std::printf("  buffer:  %.2f swaps/virtual-iteration, hit rate %.1f%%\n",
-              r.swaps_per_virtual_iteration,
-              100.0 * r.buffer_stats.HitRate());
-  std::printf("  overlap: prefetch depth %d, %llu prefetch hits, "
-              "%.2fs stalled, %.2fs writing back\n",
-              options.prefetch_depth,
-              static_cast<unsigned long long>(r.buffer_stats.prefetch_hits),
-              r.buffer_stats.stall_seconds,
-              r.buffer_stats.writeback_seconds);
-  std::printf("  I/O:     %s\n", env->stats().ToString().c_str());
-  std::printf("factors written under %s/factors\n", dir.c_str());
+  if (r.failed) {
+    std::printf("  FAILED (expected baseline failure): %s\n",
+                r.failure.c_str());
+    return 0;
+  }
+  if (r.blocks_decomposed > 0) {
+    std::printf("  phase 1: %.2fs over %lld blocks (mean block fit %.4f)\n",
+                r.phase1_seconds,
+                static_cast<long long>(r.blocks_decomposed),
+                r.phase1_mean_block_fit);
+    std::printf("  phase 2: %.2fs, %d virtual iterations (%s), surrogate "
+                "fit %.4f\n",
+                r.phase2_seconds, r.virtual_iterations,
+                r.converged ? "converged" : "cap", r.surrogate_fit);
+    std::printf("  buffer:  %.2f swaps/virtual-iteration, hit rate %.1f%%\n",
+                r.swaps_per_virtual_iteration,
+                100.0 * r.buffer_stats.HitRate());
+    std::printf("  overlap: prefetch depth %d, %llu prefetch hits, "
+                "%.2fs stalled, %.2fs writing back\n",
+                options.prefetch_depth,
+                static_cast<unsigned long long>(
+                    r.buffer_stats.prefetch_hits),
+                r.buffer_stats.stall_seconds,
+                r.buffer_stats.writeback_seconds);
+  } else {
+    std::printf("  %d iterations (%s%s), fit %.4f in %.2fs\n",
+                r.virtual_iterations,
+                r.converged ? "converged" : "cap",
+                r.timed_out ? ", timed out" : "", r.surrogate_fit,
+                r.total_seconds);
+    if (r.bytes_streamed > 0) {
+      std::printf("  streamed %s of tensor data\n",
+                  HumanBytes(r.bytes_streamed).c_str());
+    }
+    if (r.mapreduce_jobs > 0) {
+      std::printf("  %llu MapReduce jobs, %s shuffled (%llu records)\n",
+                  static_cast<unsigned long long>(r.mapreduce_jobs),
+                  HumanBytes(r.shuffle_bytes).c_str(),
+                  static_cast<unsigned long long>(r.shuffle_records));
+    }
+  }
+  std::printf("  I/O:     %s\n", (*session)->env()->stats().ToString().c_str());
+  if ((*session)->factor_store() != nullptr) {
+    std::printf("factors written under %s\n", args.positional[0].c_str());
+  }
   return 0;
 }
 
 int Simulate(int argc, char** argv) {
-  if (argc < 4) return Usage(argv[0]);
-  const int64_t parts = std::atoll(argv[2]);
-  const double fraction = std::atof(argv[3]);
+  Args args;
+  if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+  if (args.positional.size() < 2) return Usage(argv[0]);
+  OptionReader opts(args, 0);
+  const int64_t parts = opts.Int("parts", 0, true, 2, 64);
+  const double fraction =
+      opts.Double("buffer-fraction", 0.0, true, 1e-6, 1.0);
+  if (!opts.NoUnknownFlags()) return 2;
   if (parts < 2 || fraction <= 0.0 || fraction > 1.0) return Usage(argv[0]);
 
   std::printf("swaps per virtual iteration, %lld^3 partitions, buffer %.3f "
@@ -230,6 +437,23 @@ int Simulate(int argc, char** argv) {
   return 0;
 }
 
+int Solvers() {
+  std::printf("solvers:");
+  for (const std::string& name : Session::Solvers()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nstorage schemes:");
+  for (const std::string& name : EnvFactoryRegistry::Global().Schemes()) {
+    std::printf(" %s://", name.c_str());
+  }
+  std::printf("\nstorage wrappers:");
+  for (const std::string& name : EnvFactoryRegistry::Global().Wrappers()) {
+    std::printf(" %s+", name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,5 +462,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(argc, argv);
   if (command == "decompose") return Decompose(argc, argv);
   if (command == "simulate") return Simulate(argc, argv);
+  if (command == "solvers") return Solvers();
   return Usage(argv[0]);
 }
