@@ -3,8 +3,11 @@
 #ifndef TPCP_BENCH_BENCH_UTIL_H_
 #define TPCP_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "storage/env.h"
 #include "util/status.h"
@@ -47,6 +50,98 @@ inline void CopyPrefix(Env* env, const std::string& src_prefix,
 inline void PrintRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+// ---- --json=<path> machine-readable output --------------------------------
+//
+// The paper-figure benches emit their tables as BENCH_*.json records so CI
+// and dashboards can track the perf trajectory without scraping stdout.
+// The vocabulary below is deliberately tiny: flat objects, arrays of
+// objects, no nesting beyond what the benches need.
+
+/// Accumulates one JSON object literal, key by key.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    return AddRaw(key, "\"" + escaped + "\"");
+  }
+  JsonObject& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonObject& Add(const std::string& key, double value) {
+    // JSON has no NaN/Infinity literals; a degenerate measurement must
+    // not make the whole file unparsable.
+    if (!std::isfinite(value)) return AddRaw(key, "null");
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return AddRaw(key, buffer);
+  }
+  JsonObject& Add(const std::string& key, int64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObject& Add(const std::string& key, uint64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObject& Add(const std::string& key, int value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonObject& Add(const std::string& key, bool value) {
+    return AddRaw(key, value ? "true" : "false");
+  }
+  /// `raw` must already be valid JSON (a rendered object or array).
+  JsonObject& AddRaw(const std::string& key, const std::string& raw) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + raw;
+    return *this;
+  }
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Renders pre-rendered JSON values as an array literal.
+inline std::string JsonArray(const std::vector<std::string>& items) {
+  std::string body;
+  for (const std::string& item : items) {
+    if (!body.empty()) body += ", ";
+    body += item;
+  }
+  return "[" + body + "]";
+}
+
+/// Writes `content` (a rendered JSON value) to `path`; aborts the bench on
+/// I/O failure like every other CheckOk.
+inline void WriteJsonFile(const std::string& path,
+                          const std::string& content) {
+  std::ofstream out(path);
+  out << content << "\n";
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write JSON to '%s'\n", path.c_str());
+    std::abort();
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Parses the benches' shared command line: `--json=<path>` enables the
+/// machine-readable dump. Returns false (after printing usage) on any
+/// other argument.
+inline bool ParseBenchArgs(int argc, char** argv, std::string* json_path) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0 && arg.size() > 7) {
+      *json_path = arg.substr(7);
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s [--json=<path>]\n", argv[0]);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace bench

@@ -13,6 +13,8 @@
 // hits per depth — the wall-clock side of the same Figure-12 story.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "api/session.h"
 #include "bench/bench_util.h"
@@ -44,7 +46,8 @@ double Simulate(int64_t parts, double fraction, ScheduleType schedule,
   return SimulateSwaps(config).swaps_per_virtual_iteration;
 }
 
-void PrintPanel(double fraction, const char* label) {
+void PrintPanel(double fraction, const char* label,
+                std::vector<std::string>* records) {
   std::printf("\nFigure 12%s: per-(virtual)iteration data swaps, buffer = "
               "%s of total requirement\n",
               label, Fixed(fraction, 3).c_str());
@@ -59,7 +62,15 @@ void PrintPanel(double fraction, const char* label) {
                   static_cast<long long>(parts),
                   ScheduleTypeName(schedule));
       for (PolicyType policy : kPolicies) {
-        std::printf(" %10.2f", Simulate(parts, fraction, schedule, policy));
+        const double swaps = Simulate(parts, fraction, schedule, policy);
+        std::printf(" %10.2f", swaps);
+        records->push_back(bench::JsonObject()
+                               .Add("buffer_fraction", fraction)
+                               .Add("parts", parts)
+                               .Add("schedule", ScheduleTypeName(schedule))
+                               .Add("policy", PolicyTypeName(policy))
+                               .Add("swaps_per_vi", swaps)
+                               .Render());
       }
       std::printf("\n");
     }
@@ -92,7 +103,7 @@ SolveResult RunThrottled(int prefetch_depth) {
   return bench::CheckOk(session->Decompose("2pcp", options), "2pcp");
 }
 
-void PrintOverlapPanel() {
+void PrintOverlapPanel(std::vector<std::string>* records) {
   std::printf("\nOverlap: Phase-2 on a throttled Env (16 MB/s, 1 ms/op), "
               "24x24x24, 4x4x4 parts, rank 4, buffer 1/3\n");
   bench::PrintRule(78);
@@ -106,6 +117,15 @@ void PrintOverlapPanel() {
                 r.buffer_stats.writeback_seconds,
                 static_cast<unsigned long long>(r.buffer_stats.prefetch_hits),
                 r.swaps_per_virtual_iteration);
+    records->push_back(
+        bench::JsonObject()
+            .Add("prefetch_depth", depth)
+            .Add("phase2_seconds", r.phase2_seconds)
+            .Add("stall_seconds", r.buffer_stats.stall_seconds)
+            .Add("writeback_seconds", r.buffer_stats.writeback_seconds)
+            .Add("prefetch_hits", r.buffer_stats.prefetch_hits)
+            .Add("swaps_per_vi", r.swaps_per_virtual_iteration)
+            .Render());
   }
   std::printf("Identical factors at every depth; only the stall time "
               "changes.\n");
@@ -114,15 +134,19 @@ void PrintOverlapPanel() {
 }  // namespace
 }  // namespace tpcp
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpcp;
+  std::string json_path;
+  if (!bench::ParseBenchArgs(argc, argv, &json_path)) return 2;
 
+  std::vector<std::string> swap_records;
+  std::vector<std::string> overlap_records;
   std::printf(
       "Figure 12: data swaps per virtual iteration "
       "(exact replay; independent of data, as in the paper)\n");
-  PrintPanel(1.0 / 3.0, "(a)");
-  PrintPanel(1.0 / 2.0, "(b)");
-  PrintPanel(2.0 / 3.0, "(c)");
+  PrintPanel(1.0 / 3.0, "(a)", &swap_records);
+  PrintPanel(1.0 / 2.0, "(b)", &swap_records);
+  PrintPanel(2.0 / 3.0, "(c)", &swap_records);
 
   std::printf(
       "Paper reference: MC is worst everywhere (up to ~24 swaps/iter at "
@@ -151,6 +175,25 @@ int main() {
   std::printf("Paper reference: ~6 GB (MC best case, 8.32 swaps) vs ~160 MB "
               "(HO+FOR, 0.22 swaps).\n");
 
-  PrintOverlapPanel();
+  PrintOverlapPanel(&overlap_records);
+
+  if (!json_path.empty()) {
+    bench::WriteJsonFile(
+        json_path,
+        bench::JsonObject()
+            .Add("bench", "fig12_data_swaps")
+            .AddRaw("swaps", bench::JsonArray(swap_records))
+            .AddRaw("exchange",
+                    bench::JsonObject()
+                        .Add("mc_mru_swaps_per_vi", mc_mru)
+                        .Add("mc_mru_bytes_per_vi",
+                             model.ExchangeBytesPerIteration(mc_mru))
+                        .Add("ho_for_swaps_per_vi", ho_for)
+                        .Add("ho_for_bytes_per_vi",
+                             model.ExchangeBytesPerIteration(ho_for))
+                        .Render())
+            .AddRaw("overlap", bench::JsonArray(overlap_records))
+            .Render());
+  }
   return 0;
 }

@@ -88,8 +88,10 @@ Row RunOne(int64_t side, int64_t paper_side) {
 }  // namespace
 }  // namespace tpcp
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpcp;
+  std::string json_path;
+  if (!bench::ParseBenchArgs(argc, argv, &json_path)) return 2;
 
   std::printf(
       "Table I: execution times on dense tensors "
@@ -139,5 +141,26 @@ int main() {
       "\nPaper reference: 92.9 / 441.5 / 1513.9 sec for 2PCP; 2380.2 / "
       "11764.9 / FAILS for HaTen2;\n2PCP fit 0.077 vs HaTen2 fit 0.0011 at "
       "the smallest size.\n");
+
+  if (!json_path.empty()) {
+    std::vector<std::string> records;
+    for (const Row& r : rows) {
+      records.push_back(
+          bench::JsonObject()
+              .Add("side", r.side)
+              .Add("nnz_billions_paper_scale", r.nnz_billions_paper_scale)
+              .Add("tpcp_seconds", r.tpcp_seconds)
+              .Add("tpcp_fit", r.tpcp_fit)
+              .Add("haten2_failed", r.haten2_failed)
+              .Add("haten2_seconds", r.haten2_seconds)
+              .Add("haten2_fit", r.haten2_fit)
+              .Render());
+    }
+    bench::WriteJsonFile(json_path,
+                         bench::JsonObject()
+                             .Add("bench", "table1_strong_scaling")
+                             .AddRaw("rows", bench::JsonArray(records))
+                             .Render());
+  }
   return 0;
 }

@@ -1,11 +1,14 @@
 // Social trust-network analysis over a sparse <user, item, category>
-// tensor — the Epinions/Ciao workload from the paper's evaluation.
+// tensor — the Epinions/Ciao workload from the paper's evaluation, run
+// through the Session API like any other out-of-core dataset.
 //
-//   build/examples/social_trust_analysis
+//   build/examples/example_social_trust_analysis
 //
-// Builds an Epinions-shaped sparse rating tensor, decomposes it with
-// CP-ALS, and reads the factors as soft co-clusters: each component ties a
-// group of users to the items and categories they rate together.
+// Builds an Epinions-shaped sparse rating tensor, stages it into a
+// session-managed block store (mem:// here; swap the URI for real files),
+// decomposes it with the "2pcp" registry solver, and reads the factors as
+// soft co-clusters: each component ties a group of users to the items and
+// categories they rate together.
 
 #include <algorithm>
 #include <cmath>
@@ -14,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "cp/cp_als.h"
+#include "api/session.h"
 #include "data/datasets.h"
 #include "tensor/norms.h"
 #include "util/format.h"
@@ -55,18 +58,50 @@ int main() {
               ratings.shape().ToString().c_str(),
               static_cast<long long>(ratings.nnz()), ratings.density());
 
-  // Rank-4 CP decomposition of the sparse tensor.
-  CpAlsOptions options;
+  // Stage the ratings into a session-managed block store, 2 partitions
+  // per mode, and decompose out-of-core at rank 4.
+  auto session = Session::Open({"mem://"});
+  if (!session.ok()) {
+    std::fprintf(stderr, "open: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  auto grid = GridPartition::CreateUniform(ratings.shape(), 2);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "grid: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  auto store = (*session)->CreateTensorStore(*grid);
+  if (!store.ok()) {
+    std::fprintf(stderr, "create store: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  const DenseTensor dense = ratings.ToDense();
+  if (Status s = (*store)->ImportTensor(dense); !s.ok()) {
+    std::fprintf(stderr, "import: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  TwoPhaseCpOptions options;
   options.rank = 4;
-  options.max_iterations = 80;
-  options.fit_tolerance = 1e-6;
+  options.phase1_max_iterations = 80;
+  options.phase1_fit_tolerance = 1e-6;
+  options.schedule = ScheduleType::kHilbertOrder;
+  options.policy = PolicyType::kForward;
+  options.buffer_fraction = 0.5;
   options.seed = 7;
-  CpAlsReport report;
-  const KruskalTensor k = CpAls(ratings, options, &report);
-  std::printf("rank-%lld CP-ALS: fit %.4f after %d iterations (%s)\n\n",
-              static_cast<long long>(k.rank()), report.final_fit,
-              report.iterations,
-              report.converged ? "converged" : "iteration cap");
+  auto result = (*session)->Decompose("2pcp", options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "decompose: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const KruskalTensor& k = result->decomposition;
+  std::printf("rank-%lld 2PCP: surrogate fit %.4f after %d virtual "
+              "iterations (%s)\n\n",
+              static_cast<long long>(k.rank()), result->surrogate_fit,
+              result->virtual_iterations,
+              result->converged ? "converged" : "iteration cap");
 
   // Each component is a soft (users, items, categories) co-cluster.
   for (int64_t c = 0; c < k.rank(); ++c) {
@@ -81,7 +116,6 @@ int main() {
   }
 
   // Sparse and dense evaluation agree on the same decomposition.
-  const DenseTensor dense = ratings.ToDense();
   std::printf("\nfit (sparse eval) = %.6f, fit (dense eval) = %.6f\n",
               Fit(ratings, k), Fit(dense, k));
   return 0;

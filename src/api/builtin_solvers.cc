@@ -55,6 +55,7 @@ void CopyTwoPhaseResult(const TwoPhaseCpResult& from, SolveResult* to) {
   to->fit_trace = from.fit_trace;
   to->buffer_stats = from.buffer_stats;
   to->swaps_per_virtual_iteration = from.swaps_per_virtual_iteration;
+  to->phase2_start_iteration = from.phase2_start_iteration;
 }
 
 /// "2pcp": the two-phase engine. "grid-parafac" reuses it with the
@@ -68,6 +69,13 @@ class TwoPhaseSolver : public Solver {
   }
 
   bool WritesFactorStore() const override { return true; }
+
+  void NormalizeOptions(TwoPhaseCpOptions* options) const override {
+    if (grid_parafac_) {
+      options->schedule = ScheduleType::kModeCentric;
+      options->policy = PolicyType::kLru;
+    }
+  }
 
   Status Prepare(const SolverContext& context) override {
     TPCP_RETURN_IF_ERROR(RequireInput(context, name()));
@@ -97,10 +105,7 @@ class TwoPhaseSolver : public Solver {
     result_.solver = name();
     Stopwatch watch;
     TwoPhaseCpOptions options = context_.options;
-    if (grid_parafac_) {
-      options.schedule = ScheduleType::kModeCentric;
-      options.policy = PolicyType::kLru;
-    }
+    NormalizeOptions(&options);
     TwoPhaseCp engine(context_.input, context_.factors, options);
     auto k = engine.Run(context_.pool);
     if (!k.ok()) return k.status();

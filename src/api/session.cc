@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "api/job_service.h"
 #include "grid/manifest.h"
 
 namespace tpcp {
@@ -42,6 +43,50 @@ Result<BlockTensorStore*> Session::OpenTensorStore() {
 Result<SolveResult> Session::Decompose(
     const std::string& solver_name, const TwoPhaseCpOptions& options,
     const std::map<std::string, std::string>& params) {
+  // A caller-provided cancellation token must keep working on the
+  // blocking path, but the job layer owns its tokens (JobService::Cancel
+  // is the control surface there); run the synchronous engine inline in
+  // that case — the results are identical either way.
+  if (options.cancel != nullptr) {
+    return RunSolver(solver_name, options, params);
+  }
+  // Preflight the tensor store so a missing dataset surfaces on the
+  // calling thread, exactly as the pre-job synchronous API did. (Rank and
+  // solver validation happen synchronously inside Submit.)
+  if (!tensor_.has_value()) {
+    TPCP_RETURN_IF_ERROR(OpenTensorStore().status());
+  }
+
+  JobServiceOptions service_options;
+  service_options.num_workers = 1;
+  JobService service(service_options);
+  JobSpec spec;
+  spec.session.env = env();
+  spec.session.tensor_prefix = options_.tensor_prefix;
+  spec.session.factor_prefix = options_.factor_prefix;
+  spec.solver = solver_name;
+  spec.options = options;
+  spec.params = params;
+  // Resuming stays an explicit opt-in (options.resume_phase2) on the
+  // blocking path; only JobService resubmissions auto-detect checkpoints.
+  spec.auto_resume = false;
+  TPCP_ASSIGN_OR_RETURN(const JobId id, service.Submit(std::move(spec)));
+  TPCP_ASSIGN_OR_RETURN(JobInfo info, service.Await(id));
+
+  factors_.reset();
+  if (info.state != JobState::kSucceeded) return info.status;
+  if (info.result.factors_persisted) {
+    TPCP_ASSIGN_OR_RETURN(
+        BlockFactorStore store,
+        BlockFactorStore::Open(env(), options_.factor_prefix));
+    factors_.emplace(std::move(store));
+  }
+  return std::move(info.result);
+}
+
+Result<SolveResult> Session::RunSolver(
+    const std::string& solver_name, const TwoPhaseCpOptions& options,
+    const std::map<std::string, std::string>& params) {
   if (!tensor_.has_value()) {
     TPCP_RETURN_IF_ERROR(OpenTensorStore().status());
   }
@@ -56,12 +101,16 @@ Result<SolveResult> Session::Decompose(
   // the store of an earlier two-phase run. The manifest itself is written
   // only after the run succeeds: while the solver is rewriting factor
   // blocks the store is in flux, and a failed run must not leave a
-  // manifest describing blocks that were never (fully) written.
+  // manifest describing blocks that were never (fully) written. The one
+  // exception is a resume: the interrupted run's manifest carries the
+  // Phase-2 checkpoint, which must survive into the engine.
   factors_.reset();
   if (solver->WritesFactorStore()) {
-    const Status stale =
-        env()->DeleteFile(ManifestFileName(options_.factor_prefix));
-    if (!stale.ok() && !stale.IsNotFound()) return stale;
+    if (!options.resume_phase2) {
+      const Status stale =
+          env()->DeleteFile(ManifestFileName(options_.factor_prefix));
+      if (!stale.ok() && !stale.IsNotFound()) return stale;
+    }
     factors_.emplace(env(), options_.factor_prefix, tensor_->grid(),
                      options.rank);
   }
@@ -80,6 +129,7 @@ Result<SolveResult> Session::Decompose(
   context.params = params;
   TPCP_RETURN_IF_ERROR(solver->Prepare(context));
   TPCP_RETURN_IF_ERROR(solver->Run());
+  SolveResult result = solver->result();
   if (factors_.has_value()) {
     StoreManifest manifest;
     manifest.kind = StoreManifest::kFactorsKind;
@@ -87,8 +137,9 @@ Result<SolveResult> Session::Decompose(
     manifest.rank = options.rank;
     TPCP_RETURN_IF_ERROR(
         WriteManifest(env(), options_.factor_prefix, manifest));
+    result.factors_persisted = true;
   }
-  return solver->result();
+  return result;
 }
 
 std::vector<std::string> Session::Solvers() {

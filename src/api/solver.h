@@ -83,6 +83,12 @@ struct SolveResult {
   std::vector<double> fit_trace;
   BufferStats buffer_stats;
   double swaps_per_virtual_iteration = 0.0;
+  /// First Phase-2 virtual iteration of this run; > 0 when the refinement
+  /// resumed from the checkpoint of a cancelled/interrupted run.
+  int phase2_start_iteration = 0;
+  /// The run persisted a factor store (with manifest) at the session's
+  /// factor prefix; false for one-shot baselines.
+  bool factors_persisted = false;
 
   // ---- Streaming / shuffle accounting ----
   uint64_t bytes_streamed = 0;   // naive-oocp: tensor bytes re-read
@@ -104,6 +110,14 @@ class Solver {
   /// this returns true, so one-shot baselines leave no empty factor store
   /// behind.
   virtual bool WritesFactorStore() const { return false; }
+
+  /// Canonicalizes `options` to what Run will actually execute (e.g.
+  /// "grid-parafac" pins the mode-centric + LRU configuration). The job
+  /// layer normalizes a spec before comparing it against a Phase-2
+  /// checkpoint, so pinned-configuration solvers resume correctly.
+  virtual void NormalizeOptions(TwoPhaseCpOptions* options) const {
+    (void)options;
+  }
 
   /// Validates and binds the context. InvalidArgument when a required
   /// piece (input store, factor store, parameter) is missing or malformed.

@@ -14,7 +14,8 @@ PrefetchPipeline::PrefetchPipeline(BufferPool* pool,
       schedule_(schedule),
       load_(std::move(load)),
       evict_(std::move(evict)),
-      options_(options) {
+      options_(options),
+      next_issue_(options.start_pos) {
   TPCP_CHECK(pool_ != nullptr);
   TPCP_CHECK(schedule_ != nullptr);
   TPCP_CHECK(load_ != nullptr);
@@ -42,6 +43,12 @@ double PrefetchPipeline::AwaitOp(const std::shared_ptr<AsyncOp>& op) {
 }
 
 bool PrefetchPipeline::TryIssue(int64_t p, bool ahead) {
+  // A cancelled run will never execute steps past the one in flight, so
+  // speculative loads are wasted I/O; due steps (ahead == false) must
+  // still be honored for the engine's final BeginStep.
+  if (ahead && options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return false;
+  }
   const ModePartition unit = schedule_->UnitAt(p);
 
   if (pool_->IsResident(unit)) {

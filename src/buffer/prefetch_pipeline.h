@@ -31,6 +31,7 @@
 #include <mutex>
 
 #include "buffer/buffer_pool.h"
+#include "core/cancellation.h"
 #include "parallel/thread_pool.h"
 #include "schedule/update_schedule.h"
 
@@ -55,12 +56,19 @@ class PrefetchPipeline {
     int depth = 4;
     /// Worker threads moving bytes. I/O-bound, so a small number suffices.
     int io_threads = 2;
+    /// Optional cancellation token (non-owning). Once it fires, the window
+    /// stops growing — no new speculative loads are issued — so a
+    /// cancelling engine drains faster. In-flight I/O still completes.
+    const CancellationToken* cancel = nullptr;
+    /// First schedule position that will be executed (> 0 when a resumed
+    /// refinement continues from a checkpoint cursor).
+    int64_t start_pos = 0;
   };
 
   /// `pool` must have no load callback installed for the pipeline's benefit
   /// (the pipeline performs loads itself through `load`); an evict callback
   /// on the pool is still honored by the final Flush. Steps must be
-  /// executed in increasing `pos` order starting at 0.
+  /// executed in increasing `pos` order starting at options.start_pos.
   PrefetchPipeline(BufferPool* pool, const UpdateSchedule* schedule,
                    BufferPool::LoadCallback load,
                    BufferPool::EvictCallback evict, Options options);
@@ -122,7 +130,7 @@ class PrefetchPipeline {
   // Window of reserved-but-not-completed steps: front is the next step to
   // execute, back is the furthest reservation (position next_issue_ - 1).
   std::deque<WindowSlot> window_;
-  int64_t next_issue_ = 0;
+  int64_t next_issue_;
   // Bytes of in-window miss reservations (prefetch loads); capped at half
   // the pool's capacity so the window cannot thrash the policy's working
   // set (see TryIssue).

@@ -39,6 +39,7 @@ class BlockFactorStore {
   const GridPartition& grid() const { return grid_; }
   int64_t rank() const { return rank_; }
   Env* env() const { return env_; }
+  const std::string& prefix() const { return prefix_; }
 
   /// Writes U^(mode)_block; shape must be (block's mode-extent) x rank.
   Status WriteBlockFactor(const BlockIndex& block, int mode, const Matrix& u);

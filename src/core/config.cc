@@ -1,9 +1,43 @@
 #include "core/config.h"
 
+#include <cstring>
+
 #include "core/names.h"
 #include "util/format.h"
 
 namespace tpcp {
+
+namespace {
+
+/// FNV-1a over a 64-bit word.
+uint64_t HashWord(uint64_t hash, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t HashDouble(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return HashWord(hash, bits);
+}
+
+}  // namespace
+
+uint64_t TwoPhaseCpOptions::ResumeFingerprint() const {
+  uint64_t hash = 14695981039346656037ull;
+  hash = HashWord(hash, static_cast<uint64_t>(rank));
+  hash = HashWord(hash, seed);
+  hash = HashWord(hash, static_cast<uint64_t>(init));
+  hash = HashWord(hash, static_cast<uint64_t>(schedule));
+  hash = HashWord(hash, static_cast<uint64_t>(phase1_max_iterations));
+  hash = HashDouble(hash, phase1_fit_tolerance);
+  hash = HashDouble(hash, phase1_ridge);
+  hash = HashDouble(hash, refinement_ridge);
+  return hash;
+}
 
 std::string TwoPhaseCpOptions::ToString() const {
   std::string out = "rank=" + std::to_string(rank);

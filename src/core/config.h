@@ -7,6 +7,7 @@
 #include <string>
 
 #include "buffer/replacement_policy.h"
+#include "core/cancellation.h"
 #include "cp/cp_als.h"
 #include "schedule/update_schedule.h"
 
@@ -75,12 +76,28 @@ struct TwoPhaseCpOptions {
   /// needs no locking.
   ProgressObserver* observer = nullptr;
 
+  /// Optional cooperative cancellation (core/cancellation.h). Non-owning;
+  /// must outlive the run. Engines poll it at Phase-1 block and Phase-2
+  /// schedule-step boundaries and return Status::Cancelled, leaving the
+  /// factor store resumable (dirty units flushed, Phase-2 checkpoint
+  /// recorded in the store manifest).
+  CancellationToken* cancel = nullptr;
+
   /// Resolves the effective buffer capacity for a given total requirement.
   uint64_t ResolveBufferBytes(uint64_t total_requirement) const {
     if (buffer_bytes > 0) return buffer_bytes;
     return static_cast<uint64_t>(buffer_fraction *
                                  static_cast<double>(total_requirement));
   }
+
+  /// Fingerprint of every option that shapes the *numbers* a run produces
+  /// (rank, seed, init, Phase-1 solve parameters, refinement ridge,
+  /// schedule) — deliberately excluding I/O-only knobs (policy, buffer,
+  /// prefetch) and run-length knobs (max iterations, tolerances), which
+  /// may legitimately differ between a run and its resume. Recorded in
+  /// Phase-2 checkpoints so auto-resume only continues a run the new spec
+  /// would actually have produced.
+  uint64_t ResumeFingerprint() const;
 
   std::string ToString() const;
 };

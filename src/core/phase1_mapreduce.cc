@@ -35,7 +35,8 @@ bool DecodeCell(const std::string& bytes, int n, Index* local,
 }  // namespace
 
 Status Phase1ViaMapReduce(const DenseTensor& tensor, BlockFactorStore* out,
-                          MapReduceEngine* engine, const CpAlsOptions& als) {
+                          MapReduceEngine* engine, const CpAlsOptions& als,
+                          const CancellationToken* cancel) {
   const GridPartition& grid = out->grid();
   if (tensor.shape() != grid.tensor_shape()) {
     return Status::InvalidArgument("tensor shape does not match factor grid");
@@ -74,6 +75,13 @@ Status Phase1ViaMapReduce(const DenseTensor& tensor, BlockFactorStore* out,
   Reducer reducer = [&](const std::string& key,
                         const std::vector<std::string>& values,
                         const Emitter& emit) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) {
+        first_error = Status::Cancelled("phase-1 MapReduce cancelled");
+      }
+      return;
+    }
     const int64_t flat = std::stoll(key);
     const BlockIndex block = grid.UnflattenBlock(flat);
     DenseTensor chunk{Shape(grid.BlockSizes(block))};

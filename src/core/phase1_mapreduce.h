@@ -11,6 +11,7 @@
 #define TPCP_CORE_PHASE1_MAPREDUCE_H_
 
 #include "core/block_factors.h"
+#include "core/cancellation.h"
 #include "cp/cp_als.h"
 #include "grid/block_tensor_store.h"
 #include "parallel/mapreduce.h"
@@ -21,8 +22,13 @@ namespace tpcp {
 /// sub-factors into `out` (lambda spread evenly across modes, matching
 /// TwoPhaseCp::RunPhase1). Cells are shuffled as <block, cell> records —
 /// the full tensor crosses the shuffle once.
+///
+/// `cancel` (optional, non-owning) is polled before each reduce task's
+/// block ALS — the expensive part; a fired token skips the remaining
+/// blocks and surfaces Status::Cancelled after the job drains.
 Status Phase1ViaMapReduce(const DenseTensor& tensor, BlockFactorStore* out,
-                          MapReduceEngine* engine, const CpAlsOptions& als);
+                          MapReduceEngine* engine, const CpAlsOptions& als,
+                          const CancellationToken* cancel = nullptr);
 
 }  // namespace tpcp
 

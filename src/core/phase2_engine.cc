@@ -3,14 +3,30 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 
 #include "buffer/prefetch_pipeline.h"
 #include "core/progress_observer.h"
 #include "core/refinement_state.h"
+#include "grid/manifest.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace tpcp {
+namespace {
+
+/// The factor-store manifest for `factors`, carrying `checkpoint` when set.
+StoreManifest FactorManifest(const BlockFactorStore& factors,
+                             std::optional<Phase2Checkpoint> checkpoint) {
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = factors.grid();
+  manifest.rank = factors.rank();
+  manifest.checkpoint = std::move(checkpoint);
+  return manifest;
+}
+
+}  // namespace
 
 bool Phase2Converged(double fit, double prev_fit, double tolerance) {
   // A NaN surrogate (degenerate solve) or a fit regression must keep the
@@ -42,6 +58,43 @@ Status Phase2Engine::Run(Phase2Result* result) {
   const uint64_t capacity = std::max(
       options_.ResolveBufferBytes(catalog.TotalBytes()),
       catalog.MaxUnitBytes());
+  const int64_t vi_len = schedule.virtual_iteration_length();
+
+  // An interrupted run left a checkpoint in the store manifest; pick its
+  // cursor and fit trace up so the refinement continues exactly where it
+  // stopped. A resume without a checkpoint (pre-checkpoint stores, or a
+  // completed run being extended) starts a fresh schedule pass over the
+  // persisted sub-factors, as before.
+  int64_t pos = 0;
+  int start_vi = 0;
+  bool from_checkpoint = false;
+  result->fit_trace.clear();
+  if (options_.resume_phase2) {
+    auto manifest = ReadManifest(factors_->env(), factors_->prefix());
+    if (manifest.ok() && manifest->checkpoint.has_value()) {
+      const Phase2Checkpoint& ckpt = *manifest->checkpoint;
+      if (!(manifest->grid == grid) || manifest->rank != factors_->rank()) {
+        return Status::FailedPrecondition(
+            "checkpoint manifest does not describe this factor store");
+      }
+      if (ckpt.schedule != ScheduleTypeName(options_.schedule)) {
+        return Status::FailedPrecondition(
+            "checkpoint was cut under schedule '" + ckpt.schedule +
+            "', not '" + ScheduleTypeName(options_.schedule) +
+            "'; resume with the same schedule");
+      }
+      if (ckpt.cursor / vi_len != ckpt.iteration) {
+        return Status::Corruption(
+            "checkpoint cursor disagrees with its iteration count");
+      }
+      pos = ckpt.cursor;
+      start_vi = ckpt.iteration;
+      from_checkpoint = true;
+      result->fit_trace = ckpt.fit_trace;
+    } else if (!manifest.ok() && !manifest.status().IsNotFound()) {
+      return manifest.status();
+    }
+  }
 
   BufferPool pool(capacity, catalog, NewPolicy(options_.policy, &schedule));
   auto load = [&state](const ModePartition& unit) {
@@ -70,22 +123,33 @@ Status Phase2Engine::Run(Phase2Result* result) {
     PrefetchPipeline::Options popts;
     popts.depth = options_.prefetch_depth;
     popts.io_threads = options_.io_threads;
+    popts.cancel = options_.cancel;
+    popts.start_pos = pos;
     pipeline = std::make_unique<PrefetchPipeline>(&pool, &schedule, load,
                                                   evict, popts);
   } else {
     pool.SetCallbacks(load, timed_evict);
   }
 
-  const int64_t vi_len = schedule.virtual_iteration_length();
-  double prev_fit = state.SurrogateFit();
-  result->fit_trace.clear();
+  double prev_fit =
+      result->fit_trace.empty() ? state.SurrogateFit()
+                                : result->fit_trace.back();
+  result->start_iteration = start_vi;
+  result->virtual_iterations = start_vi;
   result->converged = false;
 
+  bool cancelled = false;
   Status loop_status = Status::OK();
-  int64_t pos = 0;
-  for (int vi = 0;
+  for (int vi = start_vi;
        vi < options_.max_virtual_iterations && loop_status.ok(); ++vi) {
-    for (int64_t s = 0; s < vi_len; ++s, ++pos) {
+    // Resuming mid-iteration: the first pass starts at the checkpoint
+    // cursor's offset within the virtual iteration, later passes at 0.
+    for (int64_t s = pos - static_cast<int64_t>(vi) * vi_len; s < vi_len;
+         ++s, ++pos) {
+      if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+        cancelled = true;
+        break;
+      }
       const UpdateStep& step = schedule.StepAt(pos);
       if (async) {
         loop_status = pipeline->BeginStep(pos);
@@ -114,7 +178,7 @@ Status Phase2Engine::Run(Phase2Result* result) {
         pool.MarkDirty(step.unit());
       }
     }
-    if (!loop_status.ok()) break;
+    if (cancelled || !loop_status.ok()) break;
     const double fit = state.SurrogateFit();
     result->fit_trace.push_back(fit);
     result->virtual_iterations = vi + 1;
@@ -143,16 +207,47 @@ Status Phase2Engine::Run(Phase2Result* result) {
     const Status drained = pipeline->Drain();
     if (loop_status.ok()) loop_status = drained;
   }
+
+  if (cancelled && loop_status.ok()) {
+    // Clean wind-down: persist every dirty unit, then cut a checkpoint so
+    // a resubmission with resume_phase2 continues from this exact step.
+    // (Unlike the error path below, all in-flight loads completed, so the
+    // pool's residency claims are sound and Flush is safe.)
+    TPCP_RETURN_IF_ERROR(pool.Flush());
+    Phase2Checkpoint ckpt;
+    ckpt.schedule = ScheduleTypeName(options_.schedule);
+    ckpt.iteration = result->virtual_iterations;
+    ckpt.cursor = pos;
+    ckpt.fit_trace = result->fit_trace;
+    ckpt.options_fingerprint = options_.ResumeFingerprint();
+    TPCP_RETURN_IF_ERROR(WriteManifest(
+        factors_->env(), factors_->prefix(),
+        FactorManifest(*factors_, std::move(ckpt))));
+    result->surrogate_fit = prev_fit;
+    result->buffer_stats = pool.stats();
+    result->seconds = watch.ElapsedSeconds();
+    return Status::Cancelled("phase 2 cancelled at virtual iteration " +
+                             std::to_string(result->virtual_iterations) +
+                             ", schedule position " + std::to_string(pos));
+  }
   // On error, skip the Flush: a failed background load leaves the pool
   // claiming residency for a unit the refinement state never materialized.
   TPCP_RETURN_IF_ERROR(loop_status);
 
   result->surrogate_fit = prev_fit;
   TPCP_RETURN_IF_ERROR(pool.Flush());
+  if (from_checkpoint) {
+    // The run completed; retire the checkpoint so a later resume starts a
+    // fresh pass instead of replaying a stale cursor.
+    TPCP_RETURN_IF_ERROR(WriteManifest(factors_->env(), factors_->prefix(),
+                                       FactorManifest(*factors_,
+                                                      std::nullopt)));
+  }
   result->buffer_stats = pool.stats();
   result->swaps_per_virtual_iteration =
       static_cast<double>(pool.stats().swap_ins) /
-      static_cast<double>(result->virtual_iterations);
+      static_cast<double>(std::max(
+          1, result->virtual_iterations - result->start_iteration));
   result->seconds = watch.ElapsedSeconds();
   if (options_.observer != nullptr) {
     options_.observer->OnPhase2Done(result->virtual_iterations,

@@ -30,6 +30,9 @@ struct Phase2Result {
   std::vector<double> fit_trace;  // surrogate fit per virtual iteration
   BufferStats buffer_stats;
   double swaps_per_virtual_iteration = 0.0;
+  /// First virtual iteration of this run (> 0 when resumed from a
+  /// checkpoint; fit_trace then carries the checkpointed prefix too).
+  int start_iteration = 0;
 };
 
 /// Runs the schedule-driven iterative refinement under the buffer budget.
@@ -42,6 +45,13 @@ class Phase2Engine {
   /// Executes Phase 2 to convergence (or the virtual-iteration cap) and
   /// fills `result`. Runs the synchronous data path when
   /// options.prefetch_depth == 0, the asynchronous pipeline otherwise.
+  ///
+  /// With options.cancel set, the token is polled once per schedule step;
+  /// on cancellation the engine flushes every dirty unit, records a
+  /// Phase2Checkpoint in the factor store's manifest and returns
+  /// Status::Cancelled. A later run with options.resume_phase2 picks the
+  /// checkpoint up and continues bit-identically to an uninterrupted run
+  /// (factors and fit trace; buffer statistics restart).
   Status Run(Phase2Result* result);
 
  private:

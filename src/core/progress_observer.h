@@ -11,6 +11,11 @@
 //   OnVirtualIteration x iterations   (iteration numbers strictly increase)
 //   OnPhase2Done
 //
+// A cancelled run (TwoPhaseCpOptions::cancel) stops the stream at the
+// boundary where the token landed; OnPhase2Done only fires for runs that
+// finish. A resumed run's OnVirtualIteration numbers continue from the
+// checkpoint iteration rather than restarting at 1.
+//
 // Callbacks fire on the engine's threads but are always serialized (Phase-1
 // block events are reported under the engine's result mutex even when
 // blocks decompose in parallel), so observers need no locking of their own.

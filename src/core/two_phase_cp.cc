@@ -38,6 +38,13 @@ Status TwoPhaseCp::RunPhase1(ThreadPool* pool) {
 
   auto decompose_one = [&](int64_t i) {
     const BlockIndex& block = blocks[static_cast<size_t>(i)];
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) {
+        first_error = Status::Cancelled("phase 1 cancelled");
+      }
+      return;
+    }
     {
       std::lock_guard<std::mutex> lock(mu);
       if (!first_error.ok()) return;
@@ -103,7 +110,11 @@ Status TwoPhaseCp::RunPhase2() {
   TPCP_CHECK(phase1_done_) << "RunPhase2 requires RunPhase1 first";
   Phase2Engine engine(factors_, options_);
   Phase2Result phase2;
-  TPCP_RETURN_IF_ERROR(engine.Run(&phase2));
+  const Status status = engine.Run(&phase2);
+  if (!status.ok() && !status.IsCancelled()) return status;
+  // Copy the phase's outcome on success AND on cancellation: a cancelled
+  // run reports its partial trace (alongside Status::Cancelled) so callers
+  // can show where the checkpoint was cut.
   result_.phase2_seconds = phase2.seconds;
   result_.virtual_iterations = phase2.virtual_iterations;
   result_.converged = phase2.converged;
@@ -111,7 +122,8 @@ Status TwoPhaseCp::RunPhase2() {
   result_.fit_trace = std::move(phase2.fit_trace);
   result_.buffer_stats = phase2.buffer_stats;
   result_.swaps_per_virtual_iteration = phase2.swaps_per_virtual_iteration;
-  return Status::OK();
+  result_.phase2_start_iteration = phase2.start_iteration;
+  return status;
 }
 
 Status TwoPhaseCp::AssembleResult() {
@@ -128,7 +140,13 @@ Status TwoPhaseCp::AssembleResult() {
 }
 
 Result<KruskalTensor> TwoPhaseCp::Run(ThreadPool* pool) {
-  TPCP_RETURN_IF_ERROR(RunPhase1(pool));
+  if (options_.resume_phase2) {
+    // The block factors of the interrupted (or completed) earlier run are
+    // already in the store; redoing Phase 1 would only recompute them.
+    AssumePhase1Factors();
+  } else {
+    TPCP_RETURN_IF_ERROR(RunPhase1(pool));
+  }
   TPCP_RETURN_IF_ERROR(RunPhase2());
   TPCP_RETURN_IF_ERROR(AssembleResult());
   return result_.decomposition;

@@ -35,6 +35,9 @@ struct TwoPhaseCpResult {
   std::vector<double> fit_trace;  // surrogate fit per virtual iteration
   BufferStats buffer_stats;
   double swaps_per_virtual_iteration = 0.0;
+  /// First Phase-2 virtual iteration of this run (> 0 when the refinement
+  /// resumed from a checkpoint left by a cancelled run).
+  int phase2_start_iteration = 0;
 };
 
 /// Orchestrates the two phases over Env-resident block data.
@@ -46,6 +49,9 @@ class TwoPhaseCp {
              TwoPhaseCpOptions options);
 
   /// Phase 1: decompose every block independently (optionally in parallel).
+  /// With options.cancel set, the token is polled between blocks and the
+  /// phase returns Status::Cancelled; already-written block factors are
+  /// simply rewritten (deterministically) by the next attempt.
   Status RunPhase1(ThreadPool* pool = nullptr);
 
   /// Marks Phase 1 as already completed — the block factors were staged
@@ -59,7 +65,10 @@ class TwoPhaseCp {
   /// identical either way.
   Status RunPhase2();
 
-  /// Runs both phases and assembles the final KruskalTensor.
+  /// Runs both phases and assembles the final KruskalTensor. With
+  /// options.resume_phase2 set, Phase 1 is skipped — the block factors
+  /// persisted by the interrupted (or completed) earlier run are reused —
+  /// and Phase 2 continues from its manifest checkpoint if one exists.
   Result<KruskalTensor> Run(ThreadPool* pool = nullptr);
 
   const TwoPhaseCpResult& result() const { return result_; }

@@ -20,6 +20,16 @@ std::string StoreManifest::Serialize() const {
   for (int m = 0; m < grid.num_modes(); ++m) out << " " << grid.parts(m);
   out << "\n";
   if (kind == kFactorsKind) out << "rank " << rank << "\n";
+  if (checkpoint.has_value()) {
+    out << "ckpt_schedule " << checkpoint->schedule << "\n";
+    out << "ckpt_iteration " << checkpoint->iteration << "\n";
+    out << "ckpt_cursor " << checkpoint->cursor << "\n";
+    out << "ckpt_fingerprint " << checkpoint->options_fingerprint << "\n";
+    out << "ckpt_fit";
+    out.precision(17);  // bit-exact double round trip
+    for (double fit : checkpoint->fit_trace) out << " " << fit;
+    out << "\n";
+  }
   return out.str();
 }
 
@@ -30,7 +40,7 @@ Result<StoreManifest> StoreManifest::Parse(const std::string& bytes) {
   if (!(in >> magic >> version) || magic != "tpcp-manifest") {
     return Status::Corruption("not a tpcp manifest");
   }
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     // Not Corruption: a well-formed manifest from a newer release must
     // surface as an incompatibility, never trigger legacy-scan "healing"
     // that would clobber it.
@@ -41,6 +51,9 @@ Result<StoreManifest> StoreManifest::Parse(const std::string& bytes) {
   StoreManifest manifest;
   std::vector<int64_t> dims;
   std::vector<int64_t> parts;
+  Phase2Checkpoint ckpt;
+  bool has_ckpt = false;
+  bool has_ckpt_fit = false;
   std::string key;
   while (in >> key) {
     if (key == "kind") {
@@ -61,9 +74,40 @@ Result<StoreManifest> StoreManifest::Parse(const std::string& bytes) {
       if (!(in >> manifest.rank)) {
         return Status::Corruption("manifest rank is malformed");
       }
+    } else if (version >= 2 && key == "ckpt_schedule") {
+      if (!(in >> ckpt.schedule)) {
+        return Status::Corruption("manifest ckpt_schedule is malformed");
+      }
+      has_ckpt = true;
+    } else if (version >= 2 && key == "ckpt_iteration") {
+      if (!(in >> ckpt.iteration) || ckpt.iteration < 0) {
+        return Status::Corruption("manifest ckpt_iteration is malformed");
+      }
+      has_ckpt = true;
+    } else if (version >= 2 && key == "ckpt_cursor") {
+      if (!(in >> ckpt.cursor) || ckpt.cursor < 0) {
+        return Status::Corruption("manifest ckpt_cursor is malformed");
+      }
+      has_ckpt = true;
+    } else if (version >= 2 && key == "ckpt_fingerprint") {
+      if (!(in >> ckpt.options_fingerprint)) {
+        return Status::Corruption("manifest ckpt_fingerprint is malformed");
+      }
+      has_ckpt = true;
+    } else if (version >= 2 && key == "ckpt_fit") {
+      std::string line;
+      std::getline(in, line);
+      std::istringstream fields(line);
+      double value = 0.0;
+      while (fields >> value) ckpt.fit_trace.push_back(value);
+      if (!fields.eof()) {
+        return Status::Corruption("manifest ckpt_fit line is malformed");
+      }
+      has_ckpt = true;
+      has_ckpt_fit = true;
     } else {
-      // Unknown keys are a corruption signal at version 1; future versions
-      // bump kVersion instead of sneaking fields in.
+      // Unknown keys are a corruption signal within a known version;
+      // future formats bump kVersion instead of sneaking fields in.
       return Status::Corruption("unknown manifest key '" + key + "'");
     }
   }
@@ -83,6 +127,20 @@ Result<StoreManifest> StoreManifest::Parse(const std::string& bytes) {
   manifest.grid = std::move(grid).value();
   if (manifest.kind == kFactorsKind && manifest.rank < 1) {
     return Status::Corruption("factor manifest requires rank >= 1");
+  }
+  if (has_ckpt) {
+    // A checkpoint is all-or-nothing: the resume path needs every field.
+    if (manifest.kind != kFactorsKind) {
+      return Status::Corruption("checkpoint on a non-factor manifest");
+    }
+    if (ckpt.schedule.empty() || !has_ckpt_fit) {
+      return Status::Corruption("manifest checkpoint is incomplete");
+    }
+    if (static_cast<size_t>(ckpt.iteration) != ckpt.fit_trace.size()) {
+      return Status::Corruption(
+          "checkpoint fit trace does not match its iteration count");
+    }
+    manifest.checkpoint = std::move(ckpt);
   }
   return manifest;
 }

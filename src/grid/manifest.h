@@ -5,12 +5,22 @@
 // consumers open it by name instead of reverse-engineering shape and grid
 // from block filenames:
 //
-//   tpcp-manifest 1
+//   tpcp-manifest 2
 //   kind tensor            (or: factors)
 //   shape 60 60 60
 //   parts 2 2 2
 //   rank 5                 (factor stores only)
 //
+// Factor-store manifests of a cancelled (or crashed-after-checkpoint)
+// Phase-2 refinement additionally carry a checkpoint record, so a
+// resubmitted job resumes mid-refinement instead of restarting:
+//
+//   ckpt_schedule zo       (schedule the cursor indexes into)
+//   ckpt_iteration 3       (completed virtual iterations)
+//   ckpt_cursor 57         (next schedule position to execute)
+//   ckpt_fit 0.81 0.86 0.88   (surrogate fit trace, one per iteration)
+//
+// Version 1 manifests (no checkpoint vocabulary) parse unchanged.
 // BlockTensorStore::Open prefers the manifest and falls back to the legacy
 // block-filename scan (ScanTensorGeometry) for stores written before
 // manifests existed.
@@ -18,7 +28,9 @@
 #ifndef TPCP_GRID_MANIFEST_H_
 #define TPCP_GRID_MANIFEST_H_
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "grid/grid_partition.h"
 #include "storage/env.h"
@@ -26,21 +38,41 @@
 
 namespace tpcp {
 
+/// Mid-refinement state of an interrupted Phase 2, sufficient (together
+/// with the persisted sub-factors) to continue the run bit-identically.
+struct Phase2Checkpoint {
+  /// Name of the update schedule the cursor indexes into (core/names.h);
+  /// resuming under a different schedule is rejected.
+  std::string schedule;
+  /// Completed virtual iterations (== fit_trace.size()).
+  int iteration = 0;
+  /// Next schedule position to execute (may be mid-iteration).
+  int64_t cursor = 0;
+  /// Surrogate fit after each completed virtual iteration.
+  std::vector<double> fit_trace;
+  /// TwoPhaseCpOptions::ResumeFingerprint() of the interrupted run, so
+  /// auto-resume only continues runs whose math-shaping options match the
+  /// resubmitted spec (0: not recorded).
+  uint64_t options_fingerprint = 0;
+};
+
 /// Geometry descriptor persisted per store.
 struct StoreManifest {
-  static constexpr int kVersion = 1;
+  static constexpr int kVersion = 2;
   static constexpr const char* kTensorKind = "tensor";
   static constexpr const char* kFactorsKind = "factors";
 
   std::string kind;    // kTensorKind or kFactorsKind
   GridPartition grid;  // shape + partition counts
   int64_t rank = 0;    // factor stores only (0 for tensor stores)
+  /// Present only on factor stores holding an interrupted Phase 2.
+  std::optional<Phase2Checkpoint> checkpoint;
 
   /// Renders the manifest file contents.
   std::string Serialize() const;
 
-  /// Parses and validates manifest bytes. Corruption on a malformed or
-  /// version-incompatible manifest, including geometry that fails
+  /// Parses and validates manifest bytes (versions 1 and 2). Corruption on
+  /// a malformed manifest, including geometry that fails
   /// GridPartition::Create validation.
   static Result<StoreManifest> Parse(const std::string& bytes);
 };

@@ -26,6 +26,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kCancelled = 9,
 };
 
 /// Human-readable name of a status code ("OK", "IOError", ...).
@@ -68,6 +69,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -79,6 +83,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

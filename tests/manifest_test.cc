@@ -52,14 +52,92 @@ TEST(StoreManifestTest, GarbageIsCorruption) {
 }
 
 TEST(StoreManifestTest, NewerVersionIsIncompatibleNotCorrupt) {
-  auto parsed = StoreManifest::Parse("tpcp-manifest 2\nkind tensor\n");
+  auto parsed = StoreManifest::Parse("tpcp-manifest 3\nkind tensor\n");
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(StoreManifestTest, Version1StillParses) {
+  auto parsed = StoreManifest::Parse(
+      "tpcp-manifest 1\nkind factors\nshape 10 9 7\nparts 3 2 2\nrank 4\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->rank, 4);
+  EXPECT_FALSE(parsed->checkpoint.has_value());
+  // The checkpoint vocabulary did not exist at version 1.
+  auto v1_ckpt = StoreManifest::Parse(
+      "tpcp-manifest 1\nkind factors\nshape 4 4\nparts 2 2\nrank 2\n"
+      "ckpt_cursor 3\n");
+  ASSERT_FALSE(v1_ckpt.ok());
+  EXPECT_TRUE(v1_ckpt.status().IsCorruption());
+}
+
+TEST(StoreManifestTest, CheckpointRoundTrip) {
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = TestGrid();
+  manifest.rank = 5;
+  Phase2Checkpoint ckpt;
+  ckpt.schedule = "ho";
+  ckpt.iteration = 3;
+  ckpt.cursor = 23;
+  ckpt.fit_trace = {0.5123456789012345, 0.75, 0.8000000000000007};
+  manifest.checkpoint = ckpt;
+
+  auto parsed = StoreManifest::Parse(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->checkpoint.has_value());
+  EXPECT_EQ(parsed->checkpoint->schedule, "ho");
+  EXPECT_EQ(parsed->checkpoint->iteration, 3);
+  EXPECT_EQ(parsed->checkpoint->cursor, 23);
+  // Bit-exact doubles: resume must replay the same trace.
+  EXPECT_EQ(parsed->checkpoint->fit_trace, ckpt.fit_trace);
+}
+
+TEST(StoreManifestTest, EmptyFitTraceCheckpointRoundTrips) {
+  // A job cancelled inside its first virtual iteration has a cursor but
+  // no completed-iteration fits yet.
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = TestGrid();
+  manifest.rank = 2;
+  Phase2Checkpoint ckpt;
+  ckpt.schedule = "zo";
+  ckpt.iteration = 0;
+  ckpt.cursor = 2;
+  manifest.checkpoint = ckpt;
+  auto parsed = StoreManifest::Parse(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->checkpoint.has_value());
+  EXPECT_EQ(parsed->checkpoint->cursor, 2);
+  EXPECT_TRUE(parsed->checkpoint->fit_trace.empty());
+}
+
+TEST(StoreManifestTest, MalformedCheckpointIsCorruption) {
+  const std::string base =
+      "tpcp-manifest 2\nkind factors\nshape 4 4\nparts 2 2\nrank 2\n";
+  for (const std::string& extra :
+       {std::string("ckpt_cursor 3\n"),  // no schedule / fit line
+        std::string("ckpt_schedule zo\nckpt_iteration 2\nckpt_cursor 9\n"
+                    "ckpt_fit 0.5\n"),   // trace size != iteration
+        std::string("ckpt_schedule zo\nckpt_iteration -1\nckpt_cursor 0\n"
+                    "ckpt_fit\n"),
+        std::string("ckpt_schedule zo\nckpt_iteration 0\nckpt_cursor 0\n"
+                    "ckpt_fit wat\n")}) {
+    auto parsed = StoreManifest::Parse(base + extra);
+    EXPECT_FALSE(parsed.ok()) << extra;
+    if (!parsed.ok()) EXPECT_TRUE(parsed.status().IsCorruption()) << extra;
+  }
+  // Checkpoints belong to factor stores only.
+  auto tensor_ckpt = StoreManifest::Parse(
+      "tpcp-manifest 2\nkind tensor\nshape 4 4\nparts 2 2\n"
+      "ckpt_schedule zo\nckpt_iteration 0\nckpt_cursor 0\nckpt_fit\n");
+  ASSERT_FALSE(tensor_ckpt.ok());
+  EXPECT_TRUE(tensor_ckpt.status().IsCorruption());
+}
+
 TEST(BlockTensorStoreManifestTest, NewerManifestIsNeverClobbered) {
   auto env = NewMemEnv();
-  const std::string future = "tpcp-manifest 2\nkind tensor\nfrobnicate 7\n";
+  const std::string future = "tpcp-manifest 3\nkind tensor\nfrobnicate 7\n";
   ASSERT_TRUE(env->WriteFile("t/MANIFEST", future).ok());
   auto opened = BlockTensorStore::Open(env.get(), "t");
   ASSERT_FALSE(opened.ok());

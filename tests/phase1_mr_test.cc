@@ -39,6 +39,24 @@ TEST(Phase1MapReduceTest, ProducesFactorsForEveryBlockAndMode) {
   EXPECT_GT(engine.stats().shuffle_bytes, 0u);
 }
 
+TEST(Phase1MapReduceTest, CancelledTokenSurfacesAsCancelled) {
+  auto env = NewMemEnv();
+  GridPartition grid = GridPartition::Uniform(Shape({8, 8, 8}), 2);
+  BlockFactorStore factors(env.get(), "factors", grid, 2);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 1;
+  MapReduceEngine engine(env.get(), MapReduceOptions());
+  CpAlsOptions als;
+  als.rank = 2;
+  CancellationToken token;
+  token.Cancel();
+  const Status status = Phase1ViaMapReduce(MakeLowRankTensor(spec), &factors,
+                                           &engine, als, &token);
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+}
+
 TEST(Phase1MapReduceTest, MatchesDirectPhase1Exactly) {
   // Same per-block ALS seeds -> the MapReduce formulation must produce
   // byte-identical factors to TwoPhaseCp::RunPhase1.

@@ -11,6 +11,14 @@
 //       (default 2pcp), writing factors to <dir>/factors and printing
 //       timings, fit and I/O statistics.
 //
+//   tpcp_tool jobs      <specfile> [--workers] [--cancel-at-vi=IDX:VI,...]
+//       Submits a batch of decompositions to a JobService — one job per
+//       non-comment line of <specfile>, each line in `decompose` argument
+//       syntax — runs them concurrently, renders live per-job progress on
+//       stderr and prints one grep-able summary line per job. Cancelled
+//       jobs leave a checkpoint; rerunning the same spec file resumes
+//       them (shown as "resumed at vi N").
+//
 //   tpcp_tool simulate  <parts> <buffer-fraction>
 //       Prints the exact per-virtual-iteration swap table for a cubic grid
 //       (no data needed — swap counts are configuration-determined).
@@ -29,6 +37,9 @@
 //   --init=random|hosvd                --buffer-fraction=F
 //   --prefetch-depth=N --io-threads=N  --threads=N (Phase-1 workers)
 //   --max-vi=N --max-seconds=S --seed=N
+//   --fit-tolerance=T                  (Phase-2 stop; negative = never)
+//   --resume                           (continue from the persisted factor
+//                                       store / Phase-2 checkpoint)
 //   --param=key=value                  (solver-specific, repeatable)
 //   --progress                         (live per-block / per-iteration lines
 //                                       on stderr)
@@ -36,13 +47,19 @@
 // numeric argument is parsed checked — garbage is an error, not a zero.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "api/job_service.h"
 #include "api/session.h"
 #include "core/names.h"
 #include "core/progress_observer.h"
@@ -65,11 +82,15 @@ int Usage(const char* argv0) {
       "[buffer-fraction=0.5] [prefetch-depth=0] [io-threads=2]\n"
       "             [--solver=2pcp] [--init=random] [--threads=1] "
       "[--max-vi=100] [--max-seconds=0] [--seed=1]\n"
-      "             [--param=key=value ...] [--progress]\n"
+      "             [--fit-tolerance=0.01] [--resume] "
+      "[--param=key=value ...] [--progress]\n"
+      "  %s jobs      <specfile> [--workers=2] [--total-threads=0]\n"
+      "             [--cancel-at-vi=IDX:VI,...] [--quiet]\n"
+      "             (each specfile line: decompose arguments; # comments)\n"
       "  %s simulate  <parts> <buffer-fraction>\n"
       "  %s solvers\n"
       "schedules: %s   policies: %s\n",
-      argv0, argv0, argv0, argv0, ScheduleTypeChoices().c_str(),
+      argv0, argv0, argv0, argv0, argv0, ScheduleTypeChoices().c_str(),
       PolicyTypeChoices().c_str());
   return 2;
 }
@@ -81,9 +102,8 @@ struct Args {
   std::map<std::string, std::string> params;  // from repeated --param=k=v
 };
 
-bool SplitArgs(int argc, char** argv, int first, Args* out) {
-  for (int i = first; i < argc; ++i) {
-    const std::string arg = argv[i];
+bool SplitTokens(const std::vector<std::string>& tokens, Args* out) {
+  for (const std::string& arg : tokens) {
     if (arg.rfind("--", 0) != 0) {
       out->positional.push_back(arg);
       continue;
@@ -111,6 +131,13 @@ bool SplitArgs(int argc, char** argv, int first, Args* out) {
     }
   }
   return true;
+}
+
+bool SplitArgs(int argc, char** argv, int first, Args* out) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<size_t>(argc - first));
+  for (int i = first; i < argc; ++i) tokens.push_back(argv[i]);
+  return SplitTokens(tokens, out);
 }
 
 /// A plain directory is shorthand for posix://<dir>.
@@ -283,15 +310,26 @@ int Generate(int argc, char** argv) {
   return 0;
 }
 
-int Decompose(int argc, char** argv) {
-  Args args;
-  if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+/// One decomposition request: the shared vocabulary of the `decompose`
+/// subcommand and of every line of a `jobs` spec file.
+struct DecomposeConfig {
+  std::string uri;
+  std::string solver = "2pcp";
+  TwoPhaseCpOptions options;
+  std::map<std::string, std::string> params;
+  bool progress = false;
+};
+
+/// Parses "<dir|uri> <rank> [schedule] [policy] [buffer-fraction]
+/// [prefetch-depth] [io-threads]" plus the shared flags. Returns false
+/// (with the problem reported on stderr) on any malformed piece.
+bool ParseDecomposeConfig(const Args& args, DecomposeConfig* config) {
   if (args.positional.empty() ||
       (args.positional.size() < 2 && args.flags.count("rank") == 0)) {
-    return Usage(argv[0]);
+    std::fprintf(stderr, "decompose needs <dir|uri> and a rank\n");
+    return false;
   }
-
-  TwoPhaseCpOptions options;
+  TwoPhaseCpOptions& options = config->options;
   OptionReader opts(args, 1);
   options.rank = opts.Int("rank", 10, true, 1);
   const std::string schedule = opts.Text("schedule", "ho");
@@ -303,7 +341,7 @@ int Decompose(int argc, char** argv) {
       static_cast<int>(opts.Int("prefetch-depth", 0, true, 0, kIntMax));
   options.io_threads =
       static_cast<int>(opts.Int("io-threads", 2, true, 1, kIntMax));
-  const std::string solver = opts.Text("solver", "2pcp");
+  config->solver = opts.Text("solver", "2pcp");
   const std::string init = opts.Text("init", "random");
   options.num_threads =
       static_cast<int>(opts.Int("threads", 1, false, 1, kIntMax));
@@ -311,30 +349,47 @@ int Decompose(int argc, char** argv) {
       static_cast<int>(opts.Int("max-vi", 100, false, 1, kIntMax));
   options.max_seconds =
       opts.Double("max-seconds", 0.0, false, 0.0, 1e9);
+  options.fit_tolerance =
+      opts.Double("fit-tolerance", options.fit_tolerance, false, -1.0, 1.0);
   options.seed = static_cast<uint64_t>(opts.Int("seed", 1, false, 0));
-  if (!opts.ok()) return 2;
+  options.resume_phase2 = opts.Present("resume");
+  config->progress = opts.Present("progress");
+  if (!opts.ok()) return false;
 
   if (auto parsed = ScheduleTypeFromName(schedule); parsed.ok()) {
     options.schedule = *parsed;
   } else {
-    return ReportBad("--schedule", parsed.status()), 2;
+    return ReportBad("--schedule", parsed.status());
   }
   if (auto parsed = PolicyTypeFromName(policy); parsed.ok()) {
     options.policy = *parsed;
   } else {
-    return ReportBad("--policy", parsed.status()), 2;
+    return ReportBad("--policy", parsed.status());
   }
   if (auto parsed = InitMethodFromName(init); parsed.ok()) {
     options.init = *parsed;
   } else {
-    return ReportBad("--init", parsed.status()), 2;
+    return ReportBad("--init", parsed.status());
   }
+  if (!opts.NoUnknownFlags()) return false;
+  config->uri = ToStorageUri(args.positional[0]);
+  config->params = args.params;
+  return true;
+}
+
+int Decompose(int argc, char** argv) {
+  Args args;
+  if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+
+  DecomposeConfig config;
+  if (!ParseDecomposeConfig(args, &config)) return 2;
+  TwoPhaseCpOptions& options = config.options;
+  const std::string& solver = config.solver;
 
   StderrProgress progress;
-  if (opts.Present("progress")) options.observer = &progress;
-  if (!opts.NoUnknownFlags()) return 2;
+  if (config.progress) options.observer = &progress;
 
-  auto session = Session::Open({ToStorageUri(args.positional[0])});
+  auto session = Session::Open({config.uri});
   if (!session.ok()) return ReportBad("open storage", session.status()), 1;
   auto store = (*session)->OpenTensorStore();
   if (!store.ok()) {
@@ -344,7 +399,7 @@ int Decompose(int argc, char** argv) {
   }
   const GridPartition& grid = (*store)->grid();
 
-  auto result = (*session)->Decompose(solver, options, args.params);
+  auto result = (*session)->Decompose(solver, options, config.params);
   if (!result.ok()) return ReportBad("decompose", result.status()), 1;
   const SolveResult& r = *result;
 
@@ -357,6 +412,10 @@ int Decompose(int argc, char** argv) {
     std::printf("  FAILED (expected baseline failure): %s\n",
                 r.failure.c_str());
     return 0;
+  }
+  if (r.phase2_start_iteration > 0) {
+    std::printf("  resumed at vi %d (phase 1 skipped)\n",
+                r.phase2_start_iteration);
   }
   if (r.blocks_decomposed > 0) {
     std::printf("  phase 1: %.2fs over %lld blocks (mean block fit %.4f)\n",
@@ -437,6 +496,225 @@ int Simulate(int argc, char** argv) {
   return 0;
 }
 
+/// Cancels its job once the refinement reaches a target virtual
+/// iteration — deterministic cancellation for tests and demos, driven by
+/// the engine's own progress events (JobService forwards them without
+/// holding its lock, so calling Cancel from here is safe).
+class CancelAtVi : public ProgressObserver {
+ public:
+  CancelAtVi(JobService* service, JobId id, int vi)
+      : service_(service), id_(id), vi_(vi) {}
+
+  void OnVirtualIteration(int iteration, double surrogate_fit,
+                          uint64_t swap_ins) override {
+    (void)surrogate_fit;
+    (void)swap_ins;
+    if (iteration >= vi_ && !fired_.exchange(true)) {
+      const Status s = service_->Cancel(id_);
+      if (!s.ok()) ReportBad("cancel-at-vi", s);
+    }
+  }
+
+ private:
+  JobService* service_;
+  JobId id_;
+  int vi_;
+  std::atomic<bool> fired_{false};
+};
+
+/// "IDX:VI[,IDX:VI...]" — 1-based job line index to cancel at iteration VI.
+bool ParseCancelList(const std::string& value,
+                     std::map<int64_t, int>* cancel_at) {
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const size_t colon = item.find(':');
+    auto idx = ParseInt64(item.substr(0, colon));
+    auto vi = colon == std::string::npos
+                  ? Result<int64_t>(Status::InvalidArgument("missing ':'"))
+                  : ParseInt64(item.substr(colon + 1));
+    if (!idx.ok() || !vi.ok() || *idx < 1 || *vi < 1) {
+      std::fprintf(stderr,
+                   "--cancel-at-vi expects IDX:VI pairs (1-based), got "
+                   "'%s'\n",
+                   item.c_str());
+      return false;
+    }
+    (*cancel_at)[*idx] = static_cast<int>(*vi);
+  }
+  return true;
+}
+
+int Jobs(int argc, char** argv) {
+  Args args;
+  if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+  if (args.positional.empty()) return Usage(argv[0]);
+  OptionReader opts(args, 1);
+  constexpr int64_t kIntMax = std::numeric_limits<int>::max();
+  JobServiceOptions service_options;
+  service_options.num_workers =
+      static_cast<int>(opts.Int("workers", 2, false, 1, 64));
+  service_options.total_threads =
+      static_cast<int>(opts.Int("total-threads", 0, false, 0, kIntMax));
+  const bool quiet = opts.Present("quiet");
+  std::map<int64_t, int> cancel_at;
+  if (opts.Present("cancel-at-vi") &&
+      !ParseCancelList(args.flags.at("cancel-at-vi"), &cancel_at)) {
+    return 2;
+  }
+  if (!opts.ok() || !opts.NoUnknownFlags()) return 2;
+
+  // One job per non-comment line, in `decompose` argument syntax.
+  const std::string& spec_path = args.positional[0];
+  std::ifstream file(spec_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read spec file '%s'\n", spec_path.c_str());
+    return 1;
+  }
+  std::vector<DecomposeConfig> configs;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) tokens.push_back(token);
+    if (tokens.empty() || tokens.front()[0] == '#') continue;
+    Args job_args;
+    DecomposeConfig config;
+    if (!SplitTokens(tokens, &job_args) ||
+        !ParseDecomposeConfig(job_args, &config)) {
+      std::fprintf(stderr, "%s:%lld: bad job line\n", spec_path.c_str(),
+                   static_cast<long long>(line_number));
+      return 2;
+    }
+    configs.push_back(std::move(config));
+  }
+  if (configs.empty()) {
+    std::fprintf(stderr, "spec file '%s' has no jobs\n", spec_path.c_str());
+    return 1;
+  }
+  for (const auto& [idx, vi] : cancel_at) {
+    if (idx > static_cast<int64_t>(configs.size())) {
+      std::fprintf(stderr, "--cancel-at-vi=%lld:... but only %zu jobs\n",
+                   static_cast<long long>(idx), configs.size());
+      return 2;
+    }
+  }
+
+  // Declared before the service: workers may still invoke these observers
+  // while the service shuts down on an early-error return below.
+  std::vector<std::unique_ptr<CancelAtVi>> cancellers;
+  JobService service(service_options);
+  std::vector<JobId> ids;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    DecomposeConfig& config = configs[i];
+    if (config.progress) {
+      std::fprintf(stderr,
+                   "note: --progress is ignored in jobs mode (per-job "
+                   "progress is rendered below)\n");
+    }
+    JobSpec spec;
+    spec.session.env_uri = config.uri;
+    spec.solver = config.solver;
+    spec.options = config.options;
+    spec.params = config.params;
+    // JobIds are dense from 1 in submission order (api/job.h), so the
+    // canceller can be armed with its id before Submit races it.
+    const JobId expected_id = static_cast<JobId>(i) + 1;
+    if (const auto it = cancel_at.find(expected_id); it != cancel_at.end()) {
+      cancellers.push_back(
+          std::make_unique<CancelAtVi>(&service, expected_id, it->second));
+      spec.options.observer = cancellers.back().get();
+    }
+    auto id = service.Submit(std::move(spec));
+    if (!id.ok()) return ReportBad("submit", id.status()), 1;
+    if (*id != expected_id) {
+      std::fprintf(stderr, "internal: unexpected job id\n");
+      return 1;
+    }
+    ids.push_back(*id);
+    if (!quiet) {
+      std::fprintf(stderr, "job %lld: submitted %s via %s (rank %lld)\n",
+                   static_cast<long long>(*id), config.uri.c_str(),
+                   config.solver.c_str(),
+                   static_cast<long long>(config.options.rank));
+    }
+  }
+
+  // Render loop: one stderr line per observable change, until every job
+  // is terminal.
+  std::map<JobId, std::string> last_rendered;
+  for (;;) {
+    bool all_terminal = true;
+    for (const JobInfo& info : service.List()) {
+      char buffer[160];
+      std::snprintf(buffer, sizeof(buffer),
+                    "job %lld [%-9s] phase1 %lld/%lld%s | vi %d fit %.4f "
+                    "(%llu swap-ins)",
+                    static_cast<long long>(info.id),
+                    JobStateName(info.state),
+                    static_cast<long long>(info.progress.phase1_blocks_done),
+                    static_cast<long long>(info.progress.phase1_blocks_total),
+                    info.progress.phase1_done ? " done" : "",
+                    info.progress.virtual_iteration, info.progress.fit,
+                    static_cast<unsigned long long>(info.progress.swap_ins));
+      std::string& last = last_rendered[info.id];
+      if (!quiet && last != buffer) {
+        last = buffer;
+        std::fprintf(stderr, "%s\n", buffer);
+      }
+      if (!IsTerminal(info.state)) all_terminal = false;
+    }
+    if (all_terminal) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Grep-able summary, one line per job, in submission order.
+  bool any_failed = false;
+  for (JobId id : ids) {
+    const JobInfo info = service.Poll(id).value();
+    switch (info.state) {
+      case JobState::kSucceeded: {
+        const SolveResult& r = info.result;
+        std::printf("job %lld: succeeded fit %.4f after %d vi%s "
+                    "(wait %.2fs run %.2fs)\n",
+                    static_cast<long long>(id), r.surrogate_fit,
+                    r.virtual_iterations,
+                    r.phase2_start_iteration > 0
+                        ? (" resumed at vi " +
+                           std::to_string(r.phase2_start_iteration))
+                              .c_str()
+                        : "",
+                    info.wait_seconds, info.run_seconds);
+        break;
+      }
+      case JobState::kCancelled:
+        // A Phase-2 checkpoint only exists once the refinement started;
+        // queued or mid-Phase-1 cancellations restart from scratch.
+        std::printf("job %lld: cancelled at vi %d%s\n",
+                    static_cast<long long>(id),
+                    info.progress.virtual_iteration,
+                    info.progress.phase1_done
+                        ? " (checkpointed, resubmit to resume)"
+                        : " (before refinement; resubmit restarts)");
+        break;
+      case JobState::kFailed:
+        any_failed = true;
+        std::printf("job %lld: failed: %s\n", static_cast<long long>(id),
+                    info.status.ToString().c_str());
+        break;
+      default:
+        any_failed = true;
+        std::printf("job %lld: internal: non-terminal after drain\n",
+                    static_cast<long long>(id));
+        break;
+    }
+  }
+  return any_failed ? 1 : 0;
+}
+
 int Solvers() {
   std::printf("solvers:");
   for (const std::string& name : Session::Solvers()) {
@@ -461,6 +739,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "generate") return Generate(argc, argv);
   if (command == "decompose") return Decompose(argc, argv);
+  if (command == "jobs") return Jobs(argc, argv);
   if (command == "simulate") return Simulate(argc, argv);
   if (command == "solvers") return Solvers();
   return Usage(argv[0]);
