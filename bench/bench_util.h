@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -129,19 +130,34 @@ inline void WriteJsonFile(const std::string& path,
 }
 
 /// Parses the benches' shared command line: `--json=<path>` enables the
-/// machine-readable dump. Returns false (after printing usage) on any
-/// other argument.
-inline bool ParseBenchArgs(int argc, char** argv, std::string* json_path) {
+/// machine-readable dump. With `extra_flags` non-null, any other
+/// `--key=value` / `--key` argument is collected there (value "" for the
+/// bare form) for the bench to interpret; without it — or on a positional
+/// argument — prints usage and returns false.
+inline bool ParseBenchArgs(int argc, char** argv, std::string* json_path,
+                           std::map<std::string, std::string>* extra_flags) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0 && arg.size() > 7) {
       *json_path = arg.substr(7);
       continue;
     }
+    if (extra_flags != nullptr && arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      const std::string key =
+          arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+      (*extra_flags)[key] =
+          eq == std::string::npos ? "" : arg.substr(eq + 1);
+      continue;
+    }
     std::fprintf(stderr, "usage: %s [--json=<path>]\n", argv[0]);
     return false;
   }
   return true;
+}
+
+inline bool ParseBenchArgs(int argc, char** argv, std::string* json_path) {
+  return ParseBenchArgs(argc, argv, json_path, nullptr);
 }
 
 }  // namespace bench

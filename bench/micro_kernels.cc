@@ -5,6 +5,7 @@
 #include "cp/cp_als.h"
 #include "linalg/blas.h"
 #include "linalg/cholesky.h"
+#include "linalg/elementwise.h"
 #include "schedule/hilbert.h"
 #include "schedule/zorder.h"
 #include "storage/serializer.h"
@@ -53,6 +54,26 @@ void BM_GramTallSkinny(benchmark::State& state) {
 }
 BENCHMARK(BM_GramTallSkinny)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_MatTMulTallSkinny(benchmark::State& state) {
+  // A^T B with two tall-skinny operands — ApplyUpdate's metadata-refresh
+  // shape (M^(i)_l = U^T A), served by the strided Trans::kYes kernel
+  // without materializing a transposed copy.
+  const int64_t rows = state.range(0);
+  const int64_t f = state.range(1);
+  const Matrix a = RandomMatrix(rows, f, 11);
+  const Matrix b = RandomMatrix(rows, f, 12);
+  for (auto _ : state) {
+    Matrix c = MatTMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rows * f * f);
+}
+BENCHMARK(BM_MatTMulTallSkinny)
+    ->Args({1000, 16})
+    ->Args({10000, 16})
+    ->Args({100000, 16})
+    ->Args({10000, 64});
+
 void BM_CholeskySolve(benchmark::State& state) {
   const int64_t f = state.range(0);
   const Matrix base = RandomMatrix(f + 8, f, 4);
@@ -65,6 +86,76 @@ void BM_CholeskySolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CholeskySolve)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_SparseMttkrp3(benchmark::State& state) {
+  // The specialized 3-mode sparse inner loop on a ~1% dense tensor.
+  const int64_t side = state.range(0);
+  const Shape shape({side, side, side});
+  SparseTensor t(shape);
+  Rng rng(13);
+  const int64_t nnz = shape.NumElements() / 100;
+  for (int64_t i = 0; i < nnz; ++i) {
+    t.Add({static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(side))),
+           static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(side))),
+           static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(side)))},
+          rng.NextGaussian());
+  }
+  std::vector<Matrix> factors;
+  for (int m = 0; m < 3; ++m) {
+    factors.push_back(RandomMatrix(side, 16, 21 + m));
+  }
+  for (auto _ : state) {
+    Matrix m = Mttkrp(t, factors, 0);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.nnz());
+}
+BENCHMARK(BM_SparseMttkrp3)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ApplyUpdateChain(benchmark::State& state) {
+  // The Eq.-3 update-rule shape (core/refinement_state.cc ApplyUpdate):
+  // per slab block, two F x F Hadamard chains, a tall-skinny GEMM
+  // accumulation T += U_l W, then the metadata refresh M = U^T A — the
+  // exact kernel mix one Phase-2 step spends its time in.
+  const int64_t block_rows = state.range(0);
+  const int64_t f = state.range(1);
+  const int64_t slab_blocks = 16;
+  std::vector<Matrix> u, m_meta, g_meta;
+  for (int64_t j = 0; j < slab_blocks; ++j) {
+    u.push_back(RandomMatrix(block_rows, f, 31 + j));
+    m_meta.push_back(RandomMatrix(f, f, 131 + j));
+    g_meta.push_back(RandomMatrix(f, f, 231 + j));
+  }
+  const Matrix a = RandomMatrix(block_rows, f, 77);
+  Matrix t(block_rows, f);
+  Matrix w(f, f);
+  Matrix sw(f, f);
+  Matrix s(f, f);
+  for (auto _ : state) {
+    t.Fill(0.0);
+    s.Fill(0.0);
+    for (int64_t j = 0; j < slab_blocks; ++j) {
+      w.Fill(1.0);
+      sw.Fill(1.0);
+      for (int rep = 0; rep < 2; ++rep) {  // N-1 = 2 skipped modes
+        HadamardInPlace(&w, m_meta[static_cast<size_t>(j)]);
+        HadamardInPlace(&sw, g_meta[static_cast<size_t>(j)]);
+      }
+      Gemm(Trans::kNo, u[static_cast<size_t>(j)], Trans::kNo, w, 1.0, 1.0,
+           &t);
+      s.Add(sw);
+    }
+    for (int64_t j = 0; j < slab_blocks; ++j) {
+      Matrix m = MatTMul(u[static_cast<size_t>(j)], a);
+      benchmark::DoNotOptimize(m.data());
+    }
+    benchmark::DoNotOptimize(t.data());
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * slab_blocks *
+                          (2 * block_rows * f * f + f * f) * 2);
+}
+BENCHMARK(BM_ApplyUpdateChain)->Args({1000, 16})->Args({4000, 32});
 
 void BM_MttkrpDense(benchmark::State& state) {
   const int64_t side = state.range(0);

@@ -9,6 +9,9 @@
 // in the same place: the two smaller tensors complete, the largest FAILS.
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "api/session.h"
@@ -16,6 +19,7 @@
 #include "data/synthetic.h"
 #include "tensor/norms.h"
 #include "util/format.h"
+#include "util/parse.h"
 #include "util/stopwatch.h"
 
 namespace tpcp {
@@ -85,14 +89,135 @@ Row RunOne(int64_t side, int64_t paper_side) {
   return row;
 }
 
+// ---- Phase-2 compute-threads sweep ----------------------------------------
+//
+// Strong scaling of the refinement *math*: a mode-centric schedule (the
+// round-robin order whose conflict-free batches are K_i wide — block-
+// centric orders interleave modes and stay serial) on a 4x4x4 grid, rank
+// 48, fixed virtual-iteration count. Factors and fit traces must be
+// bit-identical at every thread count; only phase2 wall-clock may move.
+
+struct SweepRow {
+  int compute_threads;
+  double phase2_seconds;
+  double fit;
+  double speedup_vs_serial;  // phase2 time at 1 thread / this row's
+  bool identical_to_serial;  // exact fit-trace match with the 1-thread run
+};
+
+std::vector<SweepRow> RunComputeSweep(const std::vector<int>& thread_counts) {
+  std::vector<SweepRow> rows;
+  std::vector<double> serial_trace;
+  double serial_seconds = 0.0;
+  for (const int threads : thread_counts) {
+    const Shape shape({120, 120, 120});
+    LowRankSpec spec;
+    spec.shape = shape;
+    spec.rank = 8;
+    spec.noise_level = 0.1;
+    spec.density = 0.2;
+    spec.seed = 21;
+
+    auto session = bench::CheckOk(Session::Open({"mem://"}), "open");
+    GridPartition grid = GridPartition::Uniform(shape, 4);
+    BlockTensorStore* input =
+        bench::CheckOk(session->CreateTensorStore(grid), "create store");
+    bench::CheckOk(GenerateLowRankIntoStore(spec, input), "generate");
+
+    TwoPhaseCpOptions options;
+    options.rank = 48;
+    options.schedule = ScheduleType::kModeCentric;
+    options.policy = PolicyType::kForward;
+    options.buffer_fraction = 0.6;
+    options.phase1_max_iterations = 3;
+    options.num_threads = 4;  // Phase 1 setup speed; not what is measured
+    options.max_virtual_iterations = 8;
+    options.fit_tolerance = -1.0;  // fixed work across thread counts
+    options.prefetch_depth = 2;
+    options.compute_threads = threads;
+    const SolveResult r =
+        bench::CheckOk(session->Decompose("2pcp", options), "2PCP sweep");
+
+    SweepRow row;
+    row.compute_threads = threads;
+    row.phase2_seconds = r.phase2_seconds;
+    row.fit = r.surrogate_fit;
+    if (rows.empty()) {
+      // First entry is the serial baseline (callers pass 1 first).
+      serial_trace = r.fit_trace;
+      serial_seconds = r.phase2_seconds;
+    }
+    row.identical_to_serial = r.fit_trace == serial_trace;
+    row.speedup_vs_serial =
+        r.phase2_seconds > 0.0 ? serial_seconds / r.phase2_seconds : 0.0;
+    if (!row.identical_to_serial) {
+      // Parallel batches must not change a single bit; a drift here is a
+      // correctness bug, not a measurement artifact.
+      std::fprintf(stderr,
+                   "bench: compute_threads=%d fit trace diverged from the "
+                   "serial run\n",
+                   threads);
+      std::abort();
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// "1,2,4" -> {1, 2, 4}. False (with the bad entry reported on stderr) on
+/// any empty or non-integer entry — a usage error, not a crash.
+bool ParseThreadList(const std::string& list, std::vector<int>* out) {
+  out->clear();
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    const size_t comma = list.find(',', begin);
+    const std::string item =
+        list.substr(begin, comma == std::string::npos ? std::string::npos
+                                                      : comma - begin);
+    const Result<int64_t> value = ParseInt64(item);
+    if (!value.ok() || *value < 1 || *value > 1024) {
+      std::fprintf(stderr, "bench: bad --sweep-threads entry '%s'\n",
+                   item.c_str());
+      return false;
+    }
+    out->push_back(static_cast<int>(*value));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace tpcp
 
 int main(int argc, char** argv) {
   using namespace tpcp;
   std::string json_path;
-  if (!bench::ParseBenchArgs(argc, argv, &json_path)) return 2;
+  std::map<std::string, std::string> flags;
+  if (!bench::ParseBenchArgs(argc, argv, &json_path, &flags)) return 2;
+  std::vector<int> sweep_threads = {1, 2, 4};
+  bool sweep_only = false;
+  for (const auto& [key, value] : flags) {
+    if (key == "sweep-threads") {
+      if (!ParseThreadList(value, &sweep_threads)) return 2;
+    } else if (key == "sweep-only") {
+      sweep_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json=<path>] [--sweep-threads=1,2,4] "
+                   "[--sweep-only]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!sweep_threads.empty() && sweep_threads.front() != 1) {
+    std::fprintf(stderr, "--sweep-threads must start at 1 (the serial "
+                         "baseline the sweep compares against)\n");
+    return 2;
+  }
 
+  std::vector<Row> rows;
+  if (!sweep_only) {
   std::printf(
       "Table I: execution times on dense tensors "
       "(density 0.2, rank 10, 2x2x2 for 2PCP; 1 HaTen2 iteration)\n");
@@ -106,7 +231,6 @@ int main(int argc, char** argv) {
 
   const std::vector<std::pair<int64_t, int64_t>> sizes = {
       {50, 500}, {100, 1000}, {150, 1500}};
-  std::vector<Row> rows;
   for (const auto& [side, paper_side] : sizes) {
     rows.push_back(RunOne(side, paper_side));
     const Row& r = rows.back();
@@ -141,6 +265,30 @@ int main(int argc, char** argv) {
       "\nPaper reference: 92.9 / 441.5 / 1513.9 sec for 2PCP; 2380.2 / "
       "11764.9 / FAILS for HaTen2;\n2PCP fit 0.077 vs HaTen2 fit 0.0011 at "
       "the smallest size.\n");
+  }  // !sweep_only
+
+  // ---- Phase-2 compute-threads strong scaling -----------------------------
+  std::vector<SweepRow> sweep;
+  if (!sweep_threads.empty()) {
+    std::printf(
+        "\nPhase-2 compute scaling: 120^3, 4x4x4 grid, rank 48, MC "
+        "schedule,\nprefetch depth 2 — identical factors/fit at every "
+        "thread count (asserted)\n");
+    bench::PrintRule();
+    std::printf("%-16s %16s %10s %12s\n", "compute-threads", "phase2 (sec)",
+                "speedup", "fit");
+    bench::PrintRule();
+    sweep = RunComputeSweep(sweep_threads);
+    for (const SweepRow& s : sweep) {
+      std::printf("%-16d %16.2f %9.2fx %12.4f\n", s.compute_threads,
+                  s.phase2_seconds, s.speedup_vs_serial, s.fit);
+    }
+    bench::PrintRule();
+    std::printf("compute-threads sweep: fit traces identical across %zu "
+                "thread counts, speedup at %d threads %.2fx\n",
+                sweep.size(), sweep.back().compute_threads,
+                sweep.back().speedup_vs_serial);
+  }
 
   if (!json_path.empty()) {
     std::vector<std::string> records;
@@ -156,11 +304,24 @@ int main(int argc, char** argv) {
               .Add("haten2_fit", r.haten2_fit)
               .Render());
     }
-    bench::WriteJsonFile(json_path,
-                         bench::JsonObject()
-                             .Add("bench", "table1_strong_scaling")
-                             .AddRaw("rows", bench::JsonArray(records))
-                             .Render());
+    std::vector<std::string> sweep_records;
+    for (const SweepRow& s : sweep) {
+      sweep_records.push_back(
+          bench::JsonObject()
+              .Add("compute_threads", s.compute_threads)
+              .Add("phase2_seconds", s.phase2_seconds)
+              .Add("speedup_vs_serial", s.speedup_vs_serial)
+              .Add("fit", s.fit)
+              .Add("identical_to_serial", s.identical_to_serial)
+              .Render());
+    }
+    bench::WriteJsonFile(
+        json_path,
+        bench::JsonObject()
+            .Add("bench", "table1_strong_scaling")
+            .AddRaw("rows", bench::JsonArray(records))
+            .AddRaw("compute_scaling", bench::JsonArray(sweep_records))
+            .Render());
   }
   return 0;
 }

@@ -250,6 +250,10 @@ void JobService::Execute(Job* job) {
     const int share =
         std::max(1, options_.total_threads / options_.num_workers);
     spec.options.num_threads = std::min(spec.options.num_threads, share);
+    // The same share bounds the Phase-2 compute pool: the two pools never
+    // run at the same time within one job, so one cap covers both phases.
+    spec.options.compute_threads =
+        std::min(spec.options.compute_threads, share);
   }
   if (options_.total_buffer_bytes > 0) {
     const uint64_t share =

@@ -45,9 +45,10 @@ namespace tpcp {
 struct JobServiceOptions {
   /// Worker threads, i.e. how many jobs run concurrently.
   int num_workers = 2;
-  /// Shared Phase-1 thread budget: each running job's options.num_threads
-  /// is capped at max(1, total_threads / num_workers). 0 leaves per-job
-  /// settings untouched.
+  /// Shared thread budget: each running job's options.num_threads
+  /// (Phase-1 workers) and options.compute_threads (Phase-2 refinement
+  /// math) are capped at max(1, total_threads / num_workers). 0 leaves
+  /// per-job settings untouched.
   int total_threads = 0;
   /// Shared buffer budget: each running job's Phase-2 buffer is capped at
   /// total_buffer_bytes / num_workers (overriding buffer_fraction when it

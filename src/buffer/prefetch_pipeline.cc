@@ -1,5 +1,7 @@
 #include "buffer/prefetch_pipeline.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -45,7 +47,7 @@ double PrefetchPipeline::AwaitOp(const std::shared_ptr<AsyncOp>& op) {
 bool PrefetchPipeline::TryIssue(int64_t p, bool ahead) {
   // A cancelled run will never execute steps past the one in flight, so
   // speculative loads are wasted I/O; due steps (ahead == false) must
-  // still be honored for the engine's final BeginStep.
+  // still be honored for the engine's final BeginBatch.
   if (ahead && options_.cancel != nullptr && options_.cancel->cancelled()) {
     return false;
   }
@@ -151,7 +153,7 @@ bool PrefetchPipeline::TryIssue(int64_t p, bool ahead) {
     const Status status = load_(unit);
     {
       // Load failures are not recorded in first_error_: they only matter
-      // if the step that needs the unit actually runs, and BeginStep
+      // if the step that needs the unit actually runs, and BeginBatch
       // reports them then. A speculative prefetch issued past the
       // convergence point may fail without poisoning a finished run.
       std::lock_guard<std::mutex> lock(mu_);
@@ -168,7 +170,10 @@ bool PrefetchPipeline::TryIssue(int64_t p, bool ahead) {
   return true;
 }
 
-Status PrefetchPipeline::BeginStep(int64_t pos) {
+Status PrefetchPipeline::BeginBatch(int64_t pos, int64_t max_count,
+                                    int64_t* acquired) {
+  TPCP_CHECK(acquired != nullptr);
+  TPCP_CHECK_GE(max_count, 1);
   TPCP_RETURN_IF_ERROR(FirstError());
 
   // If the window has not reached `pos` (deferred reservations), issue the
@@ -178,41 +183,57 @@ Status PrefetchPipeline::BeginStep(int64_t pos) {
     TPCP_CHECK(TryIssue(next_issue_, /*ahead=*/false))
         << "reservation failed with an empty window";
   }
+  // Grow the window over the rest of the batch. These are due steps, but
+  // unlike the first they may fail to reserve (pinned batch mates and
+  // prefetches shrink the pool) — the batch then simply splits here and
+  // the remainder is acquired next call. The ahead=true path also keeps
+  // the miss-budget cap, so a wide batch of misses cannot pin more than
+  // half the buffer at once.
+  while (next_issue_ < pos + max_count) {
+    if (!TryIssue(next_issue_, /*ahead=*/true)) break;
+  }
+  const int64_t have = std::min<int64_t>(max_count, next_issue_ - pos);
+  TPCP_CHECK_GE(have, 1);
 
-  TPCP_CHECK(!window_.empty());
-  WindowSlot& slot = window_.front();
-  pool_->RecordAccess(slot.was_hit);
-  if (slot.load != nullptr) {
-    bool already_done;
-    {
+  for (int64_t i = 0; i < have; ++i) {
+    WindowSlot& slot = window_[static_cast<size_t>(i)];
+    pool_->RecordAccess(slot.was_hit);
+    if (slot.load != nullptr) {
+      bool already_done;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        already_done = slot.load->done;
+      }
+      if (already_done) {
+        if (slot.issued_ahead) pool_->RecordPrefetchHit();
+      } else {
+        pool_->RecordStall(AwaitOp(slot.load));
+      }
       std::lock_guard<std::mutex> lock(mu_);
-      already_done = slot.load->done;
+      TPCP_RETURN_IF_ERROR(slot.load->status);
     }
-    if (already_done) {
-      if (slot.issued_ahead) pool_->RecordPrefetchHit();
-    } else {
-      pool_->RecordStall(AwaitOp(slot.load));
+    // The step's own load is complete; it no longer occupies the in-flight
+    // budget, freeing a slot for the window to prefetch further ahead.
+    if (slot.counts_against_budget) {
+      window_load_bytes_ -= pool_->catalog().UnitBytes(slot.unit);
+      slot.counts_against_budget = false;
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    TPCP_RETURN_IF_ERROR(slot.load->status);
   }
-  // The step's own load is complete; it no longer occupies the in-flight
-  // budget, freeing a slot for the window to prefetch one more step ahead.
-  if (slot.counts_against_budget) {
-    window_load_bytes_ -= pool_->catalog().UnitBytes(slot.unit);
-    slot.counts_against_budget = false;
-  }
+  *acquired = have;
   return Status::OK();
 }
 
-Status PrefetchPipeline::EndStep(int64_t pos) {
-  TPCP_CHECK(!window_.empty());
-  const WindowSlot slot = window_.front();
-  window_.pop_front();
-  pool_->Unpin(slot.unit);
-  // BeginStep already released this slot's in-flight budget.
-  TPCP_CHECK(!slot.counts_against_budget);
-  while (next_issue_ <= pos + options_.depth) {
+Status PrefetchPipeline::EndBatch(int64_t pos, int64_t count) {
+  TPCP_CHECK_GE(count, 1);
+  for (int64_t i = 0; i < count; ++i) {
+    TPCP_CHECK(!window_.empty());
+    const WindowSlot slot = window_.front();
+    window_.pop_front();
+    pool_->Unpin(slot.unit);
+    // BeginBatch already released this slot's in-flight budget.
+    TPCP_CHECK(!slot.counts_against_budget);
+  }
+  while (next_issue_ <= pos + count - 1 + options_.depth) {
     if (!TryIssue(next_issue_, /*ahead=*/true)) break;
   }
   return FirstError();

@@ -8,7 +8,7 @@
 //
 // Division of labor:
 //  - All BufferPool bookkeeping (reservations, evictions, pins, policy,
-//    stats) happens on the compute thread inside BeginStep/EndStep, so
+//    stats) happens on the compute thread inside BeginBatch/EndBatch, so
 //    victim choice is deterministic and the pool needs no locking.
 //  - Worker threads only move bytes: they run the load callback for
 //    reserved units and the evict callback for dirty victims.
@@ -39,12 +39,13 @@ namespace tpcp {
 
 /// Asynchronous load/writeback engine in front of a BufferPool.
 ///
-/// Usage (compute thread only):
+/// Usage (compute thread only; `n` is 1 for serial compute, up to a
+/// conflict-free batch for the parallel engine):
 ///   PrefetchPipeline pipeline(&pool, &schedule, load_cb, evict_cb, opts);
-///   for (pos = 0; ...; ++pos) {
-///     TPCP_RETURN_IF_ERROR(pipeline.BeginStep(pos));   // unit resident now
-///     ... apply update, pool.MarkDirty(...) ...
-///     TPCP_RETURN_IF_ERROR(pipeline.EndStep(pos));     // top up the window
+///   for (pos = 0; ...; pos += n) {
+///     TPCP_RETURN_IF_ERROR(pipeline.BeginBatch(pos, want, &n));  // resident
+///     ... apply updates, pool.MarkDirty(...) ...
+///     TPCP_RETURN_IF_ERROR(pipeline.EndBatch(pos, n));  // top up the window
 ///   }
 ///   TPCP_RETURN_IF_ERROR(pipeline.Drain());            // join all I/O
 ///   TPCP_RETURN_IF_ERROR(pool.Flush());                // sync writebacks
@@ -79,14 +80,22 @@ class PrefetchPipeline {
   PrefetchPipeline(const PrefetchPipeline&) = delete;
   PrefetchPipeline& operator=(const PrefetchPipeline&) = delete;
 
-  /// Ensures the unit of the step at `pos` is resident with its load
-  /// complete, blocking if the prefetch has not caught up (the blocked time
-  /// is recorded as stall_seconds). Reports any background I/O error.
-  Status BeginStep(int64_t pos);
+  /// Acquires the steps at positions [pos, pos + max_count) — resident,
+  /// pinned, loads complete — blocking if the prefetch has not caught up
+  /// (the blocked time is recorded as stall_seconds) and stopping early
+  /// when pinned units leave no room (or the ahead-of-time miss budget is
+  /// spent). Reports how many steps it actually acquired in `*acquired`
+  /// (>= 1 on OK; the due step always fits) and any background I/O error.
+  /// The caller runs the acquired steps in any order/concurrently — they
+  /// must be conflict-free for max_count > 1 — then releases them with
+  /// EndBatch(pos, *acquired). max_count == 1 is the serial engine's
+  /// step-at-a-time case.
+  Status BeginBatch(int64_t pos, int64_t max_count, int64_t* acquired);
 
-  /// Releases the step's pin and extends the reservation window up to
-  /// `pos + depth` steps ahead.
-  Status EndStep(int64_t pos);
+  /// Releases the pins of the `count` steps acquired by BeginBatch and
+  /// extends the reservation window up to depth steps past the batch
+  /// (the window stops growing once the cancellation token fires).
+  Status EndBatch(int64_t pos, int64_t count);
 
   /// Waits for all in-flight loads and writebacks, releases the pins of
   /// never-executed prefetches, flushes aggregated overlap stats into the
@@ -104,13 +113,13 @@ class PrefetchPipeline {
     // Load this slot's step must wait on (null when the unit was resident
     // with no load in flight).
     std::shared_ptr<AsyncOp> load;
-    // True when the load was issued before BeginStep reached the slot.
+    // True when the load was issued before BeginBatch reached the slot.
     bool issued_ahead = false;
     // True when the unit was already resident at reservation time; the
     // step counts as a buffer hit when it executes.
     bool was_hit = false;
     // True while this slot's miss reservation still counts against the
-    // in-flight load budget (cleared once BeginStep observes completion).
+    // in-flight load budget (cleared once BeginBatch observes completion).
     bool counts_against_budget = false;
   };
 

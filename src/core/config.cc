@@ -57,6 +57,9 @@ std::string TwoPhaseCpOptions::ToString() const {
     out += " prefetch_depth=" + std::to_string(prefetch_depth);
     out += " io_threads=" + std::to_string(io_threads);
   }
+  if (compute_threads > 1) {
+    out += " compute_threads=" + std::to_string(compute_threads);
+  }
   return out;
 }
 

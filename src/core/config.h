@@ -65,6 +65,16 @@ struct TwoPhaseCpOptions {
   /// Worker threads moving bytes for the prefetch pipeline (>= 1; only
   /// used when prefetch_depth > 0). I/O-bound, so a small number suffices.
   int io_threads = 2;
+  /// Worker threads for the Phase-2 refinement *math* (>= 1). The engine
+  /// segments the schedule into conflict-free step batches
+  /// (schedule/conflict.h) and runs each batch's updates concurrently;
+  /// steps in a batch touch disjoint state and commute exactly, so factors
+  /// and fit traces are bit-identical for every thread count (and to the
+  /// serial engine). Mode-centric schedules expose batches of width K_i;
+  /// block-centric schedules (FO/ZO/HO) interleave modes and degrade to
+  /// serial steps. Deliberately NOT part of ResumeFingerprint: like
+  /// prefetch_depth, it changes timing, never numbers.
+  int compute_threads = 1;
 
   /// Wall-clock budget in seconds for solvers that support one (the
   /// naive-oocp baseline reports `timed_out` when it is exceeded, as the

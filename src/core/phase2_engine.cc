@@ -9,11 +9,30 @@
 #include "core/progress_observer.h"
 #include "core/refinement_state.h"
 #include "grid/manifest.h"
+#include "parallel/thread_pool.h"
+#include "schedule/conflict.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace tpcp {
 namespace {
+
+/// Applies the `count` conflict-free steps at [pos, pos+count) — across
+/// the compute pool when one is given, serially (in schedule order)
+/// otherwise. The steps commute exactly (schedule/conflict.h), so both
+/// paths produce bit-identical state.
+void RunBatch(RefinementState* state, const UpdateSchedule& schedule,
+              int64_t pos, int64_t count, ThreadPool* compute_pool) {
+  if (compute_pool == nullptr || count == 1) {
+    for (int64_t i = 0; i < count; ++i) {
+      state->ApplyUpdate(schedule.StepAt(pos + i));
+    }
+    return;
+  }
+  ParallelFor(compute_pool, 0, count, [&](int64_t i) {
+    state->ApplyUpdate(schedule.StepAt(pos + i));
+  });
+}
 
 /// The factor-store manifest for `factors`, carrying `checkpoint` when set.
 StoreManifest FactorManifest(const BlockFactorStore& factors,
@@ -42,6 +61,7 @@ Phase2Engine::Phase2Engine(BlockFactorStore* factors,
     : factors_(factors), options_(options) {
   TPCP_CHECK(factors_ != nullptr);
   TPCP_CHECK_GE(options_.prefetch_depth, 0);
+  TPCP_CHECK_GE(options_.compute_threads, 1);
 }
 
 Status Phase2Engine::Run(Phase2Result* result) {
@@ -49,11 +69,21 @@ Status Phase2Engine::Run(Phase2Result* result) {
   Stopwatch watch;
   const GridPartition& grid = factors_->grid();
 
-  RefinementState state(factors_, options_.refinement_ridge);
+  // Shared compute pool for batch updates and the full-grid passes
+  // (Initialize pass 2, SurrogateFit). With one compute thread everything
+  // runs inline on this thread, exactly like the serial engine.
+  std::unique_ptr<ThreadPool> compute_pool;
+  if (options_.compute_threads > 1) {
+    compute_pool = std::make_unique<ThreadPool>(options_.compute_threads);
+  }
+
+  RefinementState state(factors_, options_.refinement_ridge,
+                        compute_pool.get());
   TPCP_RETURN_IF_ERROR(state.Initialize(options_.resume_phase2));
 
   const UpdateSchedule schedule =
       UpdateSchedule::Create(options_.schedule, grid);
+  const ConflictAnalysis conflicts(schedule);
   UnitCatalog catalog(grid, options_.rank);
   const uint64_t capacity = std::max(
       options_.ResolveBufferBytes(catalog.TotalBytes()),
@@ -142,41 +172,80 @@ Status Phase2Engine::Run(Phase2Result* result) {
   Status loop_status = Status::OK();
   for (int vi = start_vi;
        vi < options_.max_virtual_iterations && loop_status.ok(); ++vi) {
-    // Resuming mid-iteration: the first pass starts at the checkpoint
-    // cursor's offset within the virtual iteration, later passes at 0.
-    for (int64_t s = pos - static_cast<int64_t>(vi) * vi_len; s < vi_len;
-         ++s, ++pos) {
+    // The iteration executes [pos, vi_end) in conflict-free waves. When
+    // resuming mid-iteration the first wave starts at the checkpoint
+    // cursor — possibly mid-batch, which only shortens the first wave.
+    const int64_t vi_end = static_cast<int64_t>(vi + 1) * vi_len;
+    while (pos < vi_end) {
+      // Cancellation polls at wave boundaries, so the checkpoint cursor
+      // always lands between waves and a resume — with any compute/buffer
+      // configuration — replays the remaining steps bit-identically.
       if (options_.cancel != nullptr && options_.cancel->cancelled()) {
         cancelled = true;
         break;
       }
-      const UpdateStep& step = schedule.StepAt(pos);
+      // The widest wave worth attempting: the rest of the conflict-free
+      // batch, clipped to the virtual iteration (the fit is evaluated at
+      // vi boundaries, so no wave may cross one). Serial compute gains
+      // nothing from multi-step waves and keeps the serial engine's exact
+      // buffer behavior by staying step-at-a-time.
+      const int64_t want =
+          compute_pool == nullptr
+              ? 1
+              : std::min(conflicts.BatchEndAfter(pos), vi_end) - pos;
+      int64_t count = 0;
       if (async) {
-        loop_status = pipeline->BeginStep(pos);
+        loop_status = pipeline->BeginBatch(pos, want, &count);
         if (!loop_status.ok()) break;
-        state.ApplyUpdate(step);
-        pool.MarkDirty(step.unit());
-        loop_status = pipeline->EndStep(pos);
+        RunBatch(&state, schedule, pos, count, compute_pool.get());
+        for (int64_t i = 0; i < count; ++i) {
+          pool.MarkDirty(schedule.UnitAt(pos + i));
+        }
+        loop_status = pipeline->EndBatch(pos, count);
         if (!loop_status.ok()) break;
       } else {
-        Stopwatch access_watch;
-        const uint64_t swap_ins_before = pool.stats().swap_ins;
-        const double wb_before = pool.stats().writeback_seconds;
-        loop_status = pool.Access(step.unit(), pos);
-        if (!loop_status.ok()) break;
-        if (pool.stats().swap_ins > swap_ins_before) {
-          // A miss: the compute thread sat through the whole swap. Victim
-          // writebacks inside the Access are already charged to
-          // writeback_seconds by timed_evict; keep the two buckets
-          // disjoint so stall_seconds means load waits in both engines.
-          const double wb_during =
-              pool.stats().writeback_seconds - wb_before;
-          pool.RecordStall(
-              std::max(0.0, access_watch.ElapsedSeconds() - wb_during));
+        // Synchronous path: bring each unit of the wave in with Access —
+        // charging miss waits to stall_seconds exactly like the serial
+        // engine — and pin it until the wave's updates complete. Wave
+        // growth stops when pinned units would leave no reclaimable room
+        // for the next miss; the first step always fits (nothing is
+        // pinned between waves).
+        while (count < want) {
+          const ModePartition unit = schedule.UnitAt(pos + count);
+          if (count > 0 && !pool.IsResident(unit) &&
+              pool.capacity_bytes() - pool.pinned_bytes() <
+                  pool.catalog().UnitBytes(unit)) {
+            break;
+          }
+          Stopwatch access_watch;
+          const uint64_t swap_ins_before = pool.stats().swap_ins;
+          const double wb_before = pool.stats().writeback_seconds;
+          loop_status = pool.Access(unit, pos + count);
+          if (!loop_status.ok()) break;
+          if (pool.stats().swap_ins > swap_ins_before) {
+            // A miss: the compute thread sat through the whole swap.
+            // Victim writebacks inside the Access are already charged to
+            // writeback_seconds by timed_evict; keep the two buckets
+            // disjoint so stall_seconds means load waits in both engines.
+            const double wb_during =
+                pool.stats().writeback_seconds - wb_before;
+            pool.RecordStall(
+                std::max(0.0, access_watch.ElapsedSeconds() - wb_during));
+          }
+          pool.Pin(unit);
+          ++count;
         }
-        state.ApplyUpdate(step);
-        pool.MarkDirty(step.unit());
+        if (loop_status.ok()) {
+          RunBatch(&state, schedule, pos, count, compute_pool.get());
+        }
+        for (int64_t i = 0; i < count; ++i) {
+          const ModePartition unit = schedule.UnitAt(pos + i);
+          if (loop_status.ok()) pool.MarkDirty(unit);
+          pool.Unpin(unit);
+        }
+        if (!loop_status.ok()) break;
       }
+      pos += count;
     }
     if (cancelled || !loop_status.ok()) break;
     const double fit = state.SurrogateFit();

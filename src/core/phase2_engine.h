@@ -6,9 +6,19 @@
 // logic and the Phase-2 statistics; the factor data itself lives in a
 // RefinementState backed by the caller's BlockFactorStore.
 //
-// Both data paths execute the same update sequence on the compute thread,
-// so factors and fit traces are identical for every prefetch_depth; only
-// wall-clock behavior (and, for depth > 0, eviction timing) differs.
+// Both data paths execute the same update sequence, so factors and fit
+// traces are identical for every prefetch_depth; only wall-clock behavior
+// (and, for depth > 0, eviction timing) differs.
+//
+// With options.compute_threads > 1 the engine additionally runs the
+// refinement math in parallel: the schedule is segmented into
+// conflict-free step batches (schedule/conflict.h), each wave of a batch
+// is pinned whole in the buffer pool (as much as fits), and its updates
+// are dispatched onto a shared compute ThreadPool. Steps of a batch
+// commute exactly — same mode, disjoint partitions — and the full-grid
+// passes (RefinementState::Initialize pass 2, SurrogateFit) shard by
+// block with an in-order reduction, so factors and fit traces stay
+// bit-identical for every compute_threads value on both data paths.
 
 #ifndef TPCP_CORE_PHASE2_ENGINE_H_
 #define TPCP_CORE_PHASE2_ENGINE_H_
@@ -44,10 +54,13 @@ class Phase2Engine {
 
   /// Executes Phase 2 to convergence (or the virtual-iteration cap) and
   /// fills `result`. Runs the synchronous data path when
-  /// options.prefetch_depth == 0, the asynchronous pipeline otherwise.
+  /// options.prefetch_depth == 0, the asynchronous pipeline otherwise;
+  /// options.compute_threads > 1 executes conflict-free batches of steps
+  /// concurrently on either path (bit-identical results).
   ///
-  /// With options.cancel set, the token is polled once per schedule step;
-  /// on cancellation the engine flushes every dirty unit, records a
+  /// With options.cancel set, the token is polled once per step wave
+  /// (every step when compute_threads == 1); on cancellation the engine
+  /// flushes every dirty unit, records a
   /// Phase2Checkpoint in the factor store's manifest and returns
   /// Status::Cancelled. A later run with options.resume_phase2 picks the
   /// checkpoint up and continues bit-identically to an uninterrupted run

@@ -9,9 +9,10 @@
 
 namespace tpcp {
 
-RefinementState::RefinementState(BlockFactorStore* store, double ridge)
+RefinementState::RefinementState(BlockFactorStore* store, double ridge,
+                                 ThreadPool* compute_pool)
     : store_(store), grid_(store->grid()), rank_(store->rank()),
-      ridge_(ridge) {
+      ridge_(ridge), compute_pool_(compute_pool) {
   for (int mode = 0; mode < grid_.num_modes(); ++mode) {
     for (int64_t part = 0; part < grid_.parts(mode); ++part) {
       slabs_[ModePartition{mode, part}] = store_->SlabBlocks(mode, part);
@@ -52,22 +53,41 @@ Status RefinementState::Initialize(bool resume) {
     a_init[unit] = std::move(seed);
   }
 
-  // Pass 2: per block, compute M^(h)_l and the surrogate norm n_l.
-  for (const BlockIndex& block : grid_.AllBlocks()) {
-    const int64_t flat = grid_.FlattenBlock(block);
-    Matrix norm_acc(rank_, rank_, 1.0);
-    for (int h = 0; h < n; ++h) {
-      TPCP_ASSIGN_OR_RETURN(Matrix u, store_->ReadBlockFactor(block, h));
-      const ModePartition unit{h, block[static_cast<size_t>(h)]};
-      m_[static_cast<size_t>(flat)][static_cast<size_t>(h)] =
-          MatTMul(u, a_init.at(unit));
-      HadamardInPlace(&norm_acc, Gram(u));
-    }
-    double norm_sq = 0.0;
-    for (int64_t i = 0; i < norm_acc.size(); ++i) {
-      norm_sq += norm_acc.data()[i];
-    }
-    block_norm_sq_[static_cast<size_t>(flat)] = norm_sq > 0.0 ? norm_sq : 0.0;
+  // Pass 2: per block, compute M^(h)_l and the surrogate norm n_l. Blocks
+  // are independent (each writes only its own m_ row and norm slot and
+  // reads the now-frozen a_init), so the pass shards across the compute
+  // pool; per-block results don't depend on the sharding, keeping the
+  // metadata bit-identical to a serial pass. Statuses collect per block
+  // and the first failure (in block order) is reported, like the serial
+  // loop would.
+  const std::vector<BlockIndex> blocks = grid_.AllBlocks();
+  std::vector<Status> block_status(blocks.size());
+  ParallelFor(
+      compute_pool_, 0, static_cast<int64_t>(blocks.size()),
+      [&](int64_t b) {
+        const BlockIndex& block = blocks[static_cast<size_t>(b)];
+        const int64_t flat = grid_.FlattenBlock(block);
+        Matrix norm_acc(rank_, rank_, 1.0);
+        for (int h = 0; h < n; ++h) {
+          auto u = store_->ReadBlockFactor(block, h);
+          if (!u.ok()) {
+            block_status[static_cast<size_t>(b)] = u.status();
+            return;
+          }
+          const ModePartition unit{h, block[static_cast<size_t>(h)]};
+          m_[static_cast<size_t>(flat)][static_cast<size_t>(h)] =
+              MatTMul(*u, a_init.at(unit));
+          HadamardInPlace(&norm_acc, Gram(*u));
+        }
+        double norm_sq = 0.0;
+        for (int64_t i = 0; i < norm_acc.size(); ++i) {
+          norm_sq += norm_acc.data()[i];
+        }
+        block_norm_sq_[static_cast<size_t>(flat)] =
+            norm_sq > 0.0 ? norm_sq : 0.0;
+      });
+  for (const Status& status : block_status) {
+    TPCP_RETURN_IF_ERROR(status);
   }
   return Status::OK();
 }
@@ -152,38 +172,56 @@ void RefinementState::ApplyUpdate(const UpdateStep& step) {
   data.a = std::move(a_new);
   data.dirty = true;
 
-  // In-place metadata refresh (the paper's P/Q revision step).
-  g_[unit] = Gram(data.a);
+  // In-place metadata refresh (the paper's P/Q revision step). Assign
+  // through the existing g_ node (every key exists after Initialize): the
+  // map structure stays fixed, so concurrent batch mates reading other
+  // nodes — they never read mode-i metadata — race with nothing.
+  auto g_it = g_.find(unit);
+  TPCP_CHECK(g_it != g_.end());
+  g_it->second = Gram(data.a);
   for (size_t j = 0; j < slab.size(); ++j) {
     const int64_t flat = grid_.FlattenBlock(slab[j]);
     m_[static_cast<size_t>(flat)][static_cast<size_t>(i)] =
         MatTMul(data.u[j], data.a);
   }
-  ++updates_applied_;
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
 }
 
 double RefinementState::SurrogateFit() const {
   const int n = grid_.num_modes();
+  // Map: per-block partial sums, sharded across the compute pool (each
+  // block touches only frozen metadata and its own output slot).
+  const std::vector<BlockIndex> blocks = grid_.AllBlocks();
+  std::vector<double> sum_p(blocks.size());
+  std::vector<double> sum_q(blocks.size());
+  ParallelFor(
+      compute_pool_, 0, static_cast<int64_t>(blocks.size()),
+      [&](int64_t b) {
+        const BlockIndex& block = blocks[static_cast<size_t>(b)];
+        const int64_t flat = grid_.FlattenBlock(block);
+        Matrix p(rank_, rank_, 1.0);
+        Matrix q(rank_, rank_, 1.0);
+        for (int h = 0; h < n; ++h) {
+          HadamardInPlace(
+              &p, m_[static_cast<size_t>(flat)][static_cast<size_t>(h)]);
+          HadamardInPlace(&q, GramOf(h, block[static_cast<size_t>(h)]));
+        }
+        double sp = 0.0;
+        double sq = 0.0;
+        for (int64_t e = 0; e < p.size(); ++e) sp += p.data()[e];
+        for (int64_t e = 0; e < q.size(); ++e) sq += q.data()[e];
+        sum_p[static_cast<size_t>(b)] = sp;
+        sum_q[static_cast<size_t>(b)] = sq;
+      });
+  // Reduce: in block order on this thread — the same accumulation order
+  // as the serial pass, so the fit is bit-identical at any thread count.
   double total_norm_sq = 0.0;
   double residual_sq = 0.0;
-  Matrix p(rank_, rank_);
-  Matrix q(rank_, rank_);
-  for (const BlockIndex& block : grid_.AllBlocks()) {
-    const int64_t flat = grid_.FlattenBlock(block);
-    p.Fill(1.0);
-    q.Fill(1.0);
-    for (int h = 0; h < n; ++h) {
-      HadamardInPlace(&p,
-                      m_[static_cast<size_t>(flat)][static_cast<size_t>(h)]);
-      HadamardInPlace(&q, GramOf(h, block[static_cast<size_t>(h)]));
-    }
-    double sum_p = 0.0;
-    double sum_q = 0.0;
-    for (int64_t e = 0; e < p.size(); ++e) sum_p += p.data()[e];
-    for (int64_t e = 0; e < q.size(); ++e) sum_q += q.data()[e];
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const int64_t flat = grid_.FlattenBlock(blocks[b]);
     const double n_l = block_norm_sq_[static_cast<size_t>(flat)];
     total_norm_sq += n_l;
-    residual_sq += n_l - 2.0 * sum_p + sum_q;
+    residual_sq += n_l - 2.0 * sum_p[b] + sum_q[b];
   }
   if (total_norm_sq <= 0.0) return 1.0;
   residual_sq = residual_sq > 0.0 ? residual_sq : 0.0;

@@ -13,15 +13,32 @@
 // Bulk data (the units ⟨i,ki⟩ = {A^(i)_(ki); U^(i)-slab}) moves through the
 // BufferPool; this class provides the load/evict callbacks and the update
 // rule that runs against resident units.
+//
+// Concurrency model (the Phase-2 parallel compute engine):
+//  - LoadUnit/EvictUnit are safe concurrently for distinct units (the
+//    prefetch pipeline runs them on I/O workers); only the residency map's
+//    structure is locked.
+//  - ApplyUpdate is safe concurrently for steps of one conflict-free batch
+//    (schedule/conflict.h: same mode, distinct partitions). Such steps
+//    write disjoint sub-factors, disjoint mode-i columns of m_, and
+//    disjoint mode-i Gram entries, and read only mode-h (h != i) metadata
+//    no step of the batch writes — so no lock guards m_/g_ payloads at
+//    all, and any interleaving is bit-identical to schedule order.
+//  - Initialize and SurrogateFit shard their full-grid passes over an
+//    optional compute pool; per-block work is self-contained and the
+//    reduction runs in block order on the calling thread, so results are
+//    bit-identical to the serial pass for every thread count.
 
 #ifndef TPCP_CORE_REFINEMENT_STATE_H_
 #define TPCP_CORE_REFINEMENT_STATE_H_
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <vector>
 
 #include "core/block_factors.h"
+#include "parallel/thread_pool.h"
 #include "schedule/update_schedule.h"
 
 namespace tpcp {
@@ -30,8 +47,12 @@ namespace tpcp {
 class RefinementState {
  public:
   /// `ridge` is the relative L2 regularization applied to every Eq.-3
-  /// solve (see TwoPhaseCpOptions::refinement_ridge).
-  explicit RefinementState(BlockFactorStore* store, double ridge = 0.0);
+  /// solve (see TwoPhaseCpOptions::refinement_ridge). `compute_pool`
+  /// (optional, non-owning, must outlive the state) parallelizes the
+  /// full-grid passes of Initialize and SurrogateFit; it must not be
+  /// shared with a concurrent ParallelFor user while either runs.
+  explicit RefinementState(BlockFactorStore* store, double ridge = 0.0,
+                           ThreadPool* compute_pool = nullptr);
 
   /// Seeds every sub-factor A^(i)_(ki) and computes the M/G/norm
   /// metadata, reading every block factor once. With `resume` false the
@@ -39,7 +60,9 @@ class RefinementState {
   /// and are persisted; with `resume` true the sub-factors already in the
   /// store are used as-is, which restarts an interrupted refinement from
   /// its last persisted state (everything else in Phase 2 is derivable
-  /// from {A, U}).
+  /// from {A, U}). The per-block metadata pass is sharded across the
+  /// compute pool (block results are independent — bit-identical at any
+  /// thread count).
   Status Initialize(bool resume = false);
 
   /// BufferPool load hook: materializes ⟨i,ki⟩ (A + U-slab) from the store.
@@ -57,11 +80,17 @@ class RefinementState {
   ///   S = Σ_{l: l_i=ki} ⊛_{h≠i} G^(h)_(l_h)
   ///   A^(i)_(ki) <- T S^{-1}
   /// then refreshes G^(i)_(ki) and the slab's M^(i)_l in place.
+  /// Safe to call concurrently for the steps of one conflict-free batch
+  /// (see the file comment); no load/evict of the touched units may be in
+  /// flight (the buffer pool's pins enforce that).
   void ApplyUpdate(const UpdateStep& step);
 
   /// Estimated accuracy of the current stitched decomposition against the
   /// Phase-1 surrogate (X_l ≈ [[U_l]]), computable without I/O:
   ///   1 - sqrt(Σ_l (n_l - 2·sum(P_l) + sum(Q_l))) / sqrt(Σ_l n_l).
+  /// Block terms are computed across the compute pool and reduced in
+  /// block order on the calling thread (bit-identical at any thread
+  /// count). Must not run concurrently with ApplyUpdate.
   double SurrogateFit() const;
 
   bool IsResident(const ModePartition& unit) const {
@@ -70,7 +99,9 @@ class RefinementState {
   }
 
   /// Number of update-rule applications so far.
-  int64_t updates_applied() const { return updates_applied_; }
+  int64_t updates_applied() const {
+    return updates_applied_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct UnitData {
@@ -85,22 +116,27 @@ class RefinementState {
   const GridPartition& grid_;
   int64_t rank_;
   double ridge_;
+  ThreadPool* compute_pool_;
 
   // Guards the resident_ map's structure. Unit payloads are not covered:
-  // the compute thread only touches units no load/evict is in flight for
-  // (the buffer pool's pins enforce that), so per-unit data needs no lock.
+  // a thread only touches units no load/evict is in flight for (the
+  // buffer pool's pins enforce that) and concurrent updates only run on
+  // conflict-free batches, so per-unit data needs no lock.
   mutable std::mutex resident_mu_;
   std::map<ModePartition, UnitData> resident_;
-  // Slab block lists, precomputed per unit.
+  // Slab block lists, precomputed per unit. Read-only after construction.
   std::map<ModePartition, std::vector<BlockIndex>> slabs_;
-  // m_[flat_block][mode] = M^(mode)_block.
+  // m_[flat_block][mode] = M^(mode)_block. The structure is fixed after
+  // construction; concurrent batch updates write disjoint entries.
   std::vector<std::vector<Matrix>> m_;
-  // G per mode-partition.
+  // G per mode-partition. Every key is inserted by Initialize; updates
+  // assign through the existing node, so the map structure never changes
+  // while batches run and concurrent reads of other nodes are safe.
   std::map<ModePartition, Matrix> g_;
-  // n_l per flat block.
+  // n_l per flat block. Read-only after Initialize.
   std::vector<double> block_norm_sq_;
 
-  int64_t updates_applied_ = 0;
+  std::atomic<int64_t> updates_applied_{0};
 };
 
 }  // namespace tpcp

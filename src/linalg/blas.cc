@@ -30,6 +30,30 @@ void MicroKernel(const double* a, int64_t lda, const double* b, int64_t ldb,
   }
 }
 
+// Strided-A kernel for C += alpha * A^T * B with A (kb x mb) and B
+// (kb x nb) row-major: the outer loop streams rows of A and B once, so a
+// tall-skinny A^T B (Gram, MatTMul — the Eq.-3 metadata-refresh shape)
+// never materializes a transposed copy of A. For fixed (i, j) the k-index
+// ascends exactly as in MicroKernel over a pre-transposed A, and the
+// alpha-scaled zero-skip matches scaling A up front, so results are
+// bit-identical to the copying path this replaces.
+void MicroKernelTN(const double* a, int64_t lda, const double* b,
+                   int64_t ldb, double* c, int64_t ldc, int64_t mb,
+                   int64_t nb, int64_t kb, double alpha) {
+  for (int64_t p = 0; p < kb; ++p) {
+    const double* a_row = a + p * lda;
+    const double* b_row = b + p * ldb;
+    for (int64_t i = 0; i < mb; ++i) {
+      const double aip = alpha * a_row[i];
+      if (aip == 0.0) continue;
+      double* c_row = c + i * ldc;
+      for (int64_t j = 0; j < nb; ++j) {
+        c_row[j] += aip * b_row[j];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void Gemm(Trans trans_a, const Matrix& a, Trans trans_b, const Matrix& b,
@@ -51,8 +75,34 @@ void Gemm(Trans trans_a, const Matrix& a, Trans trans_b, const Matrix& b,
   }
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
 
+  if (trans_a == Trans::kYes && trans_b == Trans::kNo) {
+    // A^T * B without materializing A^T: MicroKernelTN streams rows of A
+    // and B directly. This is the hot shape of Gram and MatTMul (Eq.-3
+    // metadata refresh: tall-skinny A and B, tiny C), where the
+    // transposed copy used to cost a full extra pass over A per call.
+    // k-tiles advance in the outer loop, so for every C element the
+    // accumulation order matches the copying path bit for bit.
+    const int64_t lda = a.cols();
+    const int64_t ldb = b.cols();
+    const int64_t ldc = c->cols();
+    for (int64_t p0 = 0; p0 < k; p0 += kTileK) {
+      const int64_t kb = std::min(kTileK, k - p0);
+      for (int64_t i0 = 0; i0 < m; i0 += kTileM) {
+        const int64_t mb = std::min(kTileM, m - i0);
+        for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
+          const int64_t nb = std::min(kTileN, n - j0);
+          MicroKernelTN(a.data() + p0 * lda + i0, lda,
+                        b.data() + p0 * ldb + j0, ldb,
+                        c->data() + i0 * ldc + j0, ldc, mb, nb, kb, alpha);
+        }
+      }
+    }
+    return;
+  }
+
   // Materialize transposed operands once: simpler and faster than strided
-  // access for the operand shapes CP-ALS uses (tall-skinny times small).
+  // access for the remaining transposed shapes (A^T B^T, A B^T), which
+  // are rare in CP-ALS.
   Matrix at, bt;
   const Matrix* ap = &a;
   const Matrix* bp = &b;

@@ -25,15 +25,29 @@ Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
   Matrix out(shape.dim(mode), f);
 
   // Odometer over all cells (row-major: last mode fastest), with a running
-  // product buffer recomputed per cell. O(cells * N * F).
+  // product buffer per cell. O(cells * N * F). The buffer is seeded fused
+  // with the first skipped-mode factor (prod = v * row_first), saving one
+  // full write pass per non-zero over the seed-then-multiply form with
+  // identical rounding: v, then *= row, is exactly v * row.
   Index index(static_cast<size_t>(n), 0);
   std::vector<double> prod(static_cast<size_t>(f));
+  // With a single mode there is no skipped-mode factor to fuse with; the
+  // product degenerates to the value itself.
+  const int first = n == 1 ? -1 : (mode == 0 ? 1 : 0);
   const int64_t total = tensor.NumElements();
   for (int64_t linear = 0; linear < total; ++linear) {
     const double v = tensor.at_linear(linear);
     if (v != 0.0) {
-      for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] = v;
-      for (int k = 0; k < n; ++k) {
+      if (first < 0) {
+        for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] = v;
+      } else {
+        const double* first_row = factors[static_cast<size_t>(first)].row(
+            index[static_cast<size_t>(first)]);
+        for (int64_t c = 0; c < f; ++c) {
+          prod[static_cast<size_t>(c)] = v * first_row[c];
+        }
+      }
+      for (int k = first + 1; k < n; ++k) {
         if (k == mode) continue;
         const double* row =
             factors[static_cast<size_t>(k)].row(index[static_cast<size_t>(k)]);
@@ -58,10 +72,45 @@ Matrix Mttkrp(const SparseTensor& tensor, const std::vector<Matrix>& factors,
   const int n = shape.num_modes();
   const int64_t f = factors[0].cols();
   Matrix out(shape.dim(mode), f);
+
+  if (n == 3) {
+    // Specialized 3-mode inner loop — the common dataset shape. The two
+    // skipped-mode factors are known up front, so each non-zero is a
+    // single fused pass with no product buffer at all. The multiply order
+    // (v, then the lower-indexed skipped mode, then the higher) matches
+    // the generic loop's ascending-k order, keeping results bit-identical.
+    const int k1 = mode == 0 ? 1 : 0;
+    const int k2 = mode == 2 ? 1 : 2;
+    const Matrix& f1 = factors[static_cast<size_t>(k1)];
+    const Matrix& f2 = factors[static_cast<size_t>(k2)];
+    for (const SparseEntry& e : tensor.entries()) {
+      const double v = e.value;
+      const double* r1 = f1.row(e.index[static_cast<size_t>(k1)]);
+      const double* r2 = f2.row(e.index[static_cast<size_t>(k2)]);
+      double* dst = out.row(e.index[static_cast<size_t>(mode)]);
+      for (int64_t c = 0; c < f; ++c) {
+        dst[c] += v * r1[c] * r2[c];
+      }
+    }
+    return out;
+  }
+
+  // Generic N-mode fallback, with the product buffer seeded fused with the
+  // first skipped-mode factor (see the dense kernel).
   std::vector<double> prod(static_cast<size_t>(f));
+  const int first = n == 1 ? -1 : (mode == 0 ? 1 : 0);
   for (const SparseEntry& e : tensor.entries()) {
-    for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] = e.value;
-    for (int k = 0; k < n; ++k) {
+    if (first < 0) {
+      for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] = e.value;
+    } else {
+      const double* first_row =
+          factors[static_cast<size_t>(first)].row(
+              e.index[static_cast<size_t>(first)]);
+      for (int64_t c = 0; c < f; ++c) {
+        prod[static_cast<size_t>(c)] = e.value * first_row[c];
+      }
+    }
+    for (int k = first + 1; k < n; ++k) {
       if (k == mode) continue;
       const double* row =
           factors[static_cast<size_t>(k)].row(e.index[static_cast<size_t>(k)]);

@@ -73,6 +73,20 @@ TEST(MttkrpTest, SparseAgreesWithDense) {
   }
 }
 
+TEST(MttkrpTest, SparseFourModeTakesGenericPath) {
+  // 3 modes run the specialized fused inner loop; anything else must hit
+  // the generic N-mode fallback and agree with the dense kernel.
+  const Shape shape({4, 3, 3, 2});
+  const DenseTensor dense = RandomTensor(shape, 9, /*zero_fraction=*/0.7);
+  const SparseTensor sparse = SparseTensor::FromDense(dense);
+  const std::vector<Matrix> f = RandomFactorsFor(shape, 9, 5);
+  for (int mode = 0; mode < 4; ++mode) {
+    EXPECT_TRUE(Matrix::AlmostEqual(Mttkrp(sparse, f, mode),
+                                    Mttkrp(dense, f, mode), 1e-10))
+        << "mode=" << mode;
+  }
+}
+
 TEST(MttkrpTest, ZeroTensorGivesZero) {
   const Shape shape({3, 3, 3});
   DenseTensor t(shape);

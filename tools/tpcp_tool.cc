@@ -36,6 +36,7 @@
 //   --schedule=mc|fo|zo|ho|sn|rnd      --policy=lru|mru|for
 //   --init=random|hosvd                --buffer-fraction=F
 //   --prefetch-depth=N --io-threads=N  --threads=N (Phase-1 workers)
+//   --compute-threads=N                (Phase-2 parallel refinement math)
 //   --max-vi=N --max-seconds=S --seed=N
 //   --fit-tolerance=T                  (Phase-2 stop; negative = never)
 //   --resume                           (continue from the persisted factor
@@ -81,7 +82,7 @@ int Usage(const char* argv0) {
       "  %s decompose <dir|uri> <rank> [schedule=ho] [policy=for] "
       "[buffer-fraction=0.5] [prefetch-depth=0] [io-threads=2]\n"
       "             [--solver=2pcp] [--init=random] [--threads=1] "
-      "[--max-vi=100] [--max-seconds=0] [--seed=1]\n"
+      "[--compute-threads=1] [--max-vi=100] [--max-seconds=0] [--seed=1]\n"
       "             [--fit-tolerance=0.01] [--resume] "
       "[--param=key=value ...] [--progress]\n"
       "  %s jobs      <specfile> [--workers=2] [--total-threads=0]\n"
@@ -341,6 +342,8 @@ bool ParseDecomposeConfig(const Args& args, DecomposeConfig* config) {
       static_cast<int>(opts.Int("prefetch-depth", 0, true, 0, kIntMax));
   options.io_threads =
       static_cast<int>(opts.Int("io-threads", 2, true, 1, kIntMax));
+  options.compute_threads =
+      static_cast<int>(opts.Int("compute-threads", 1, false, 1, kIntMax));
   config->solver = opts.Text("solver", "2pcp");
   const std::string init = opts.Text("init", "random");
   options.num_threads =
