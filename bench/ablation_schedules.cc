@@ -12,13 +12,21 @@
 //     bounds the cost of ignoring locality entirely.
 //  F. On-disk compression (Section VIII-C mentions compressed storage):
 //     ratio and codec throughput on factor payloads.
+//  G. Conflict-aware reordering parity: the execution planner's reordered
+//     FO/ZO/HO cycles must never exceed the source order's swap count
+//     (the planner's certification gate, re-verified here independently);
+//     rows land in the BENCH json with --json=<path>.
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/swap_simulator.h"
+#include "schedule/planner.h"
 #include "storage/compressed_env.h"
 #include "storage/serializer.h"
 #include "util/random.h"
@@ -222,10 +230,85 @@ void Compression() {
   }
 }
 
+// [G] The swap-parity check for the execution planner's conflict-aware
+// reordering. For each block-centric schedule and buffer fraction, build
+// the plan with reordering on and *independently* re-simulate both the
+// source and the executed order; abort the bench if the executed order
+// ever swaps more — that would mean the certification gate leaked a
+// parity violation into a plan. Emits one BENCH json row per cell.
+void ReorderParity(std::vector<std::string>* json_rows) {
+  std::printf("\n[G] Conflict-aware reordering: swap parity and widened "
+              "waves (8x8x8, FOR policy)\n");
+  bench::PrintRule(78);
+  std::printf("%-6s %-8s %9s %12s %12s %8s %8s\n", "Sched", "Buffer",
+              "reorder", "swaps/vi-src", "swaps/vi-plan", "width",
+              "window");
+  bench::PrintRule(78);
+  const GridPartition grid = GridPartition::Uniform(Shape({64, 64, 64}), 8);
+  UnitCatalog catalog(grid, 8);
+  bool all_parity_ok = true;
+  for (ScheduleType type : {ScheduleType::kFiberOrder, ScheduleType::kZOrder,
+                            ScheduleType::kHilbertOrder}) {
+    const UpdateSchedule schedule = UpdateSchedule::Create(type, grid);
+    for (double fraction : {1.0 / 3.0, 0.5, 2.0 / 3.0}) {
+      PlannerOptions options;
+      options.rank = 8;
+      options.policy = PolicyType::kForward;
+      options.buffer_bytes = std::max(
+          static_cast<uint64_t>(fraction *
+                                static_cast<double>(catalog.TotalBytes())),
+          catalog.MaxUnitBytes());
+      options.reorder = true;
+      const ExecutionPlan plan = Planner::Build(schedule, options);
+      // Independent re-verification, cycle-aligned (see
+      // SimulateSteadyStateSwapsPerVi) and over a longer window than the
+      // planner's own certification.
+      const double src = SimulateSteadyStateSwapsPerVi(
+          schedule, options.rank, options.policy, options.buffer_bytes, 2,
+          4);
+      const double planned = SimulateSteadyStateSwapsPerVi(
+          plan.schedule(), options.rank, options.policy,
+          options.buffer_bytes, 2, 4);
+      if (planned > src + 1e-9) {
+        all_parity_ok = false;
+        std::fprintf(stderr,
+                     "bench: SWAP PARITY VIOLATED for %s at %.2f: "
+                     "%.2f -> %.2f\n",
+                     ScheduleTypeName(type), fraction, src, planned);
+      }
+      std::printf("%-6s %-8s %9s %12.2f %12.2f %8lld %8lld\n",
+                  ScheduleTypeName(type), Fixed(fraction, 2).c_str(),
+                  plan.stats().reorder_applied ? "yes" : "rejected", src,
+                  planned,
+                  static_cast<long long>(plan.max_wave_width()),
+                  static_cast<long long>(plan.stats().reorder_window));
+      if (json_rows != nullptr) {
+        bench::JsonObject row;
+        row.Add("section", "reorder_parity")
+            .Add("schedule", ScheduleTypeName(type))
+            .Add("buffer_fraction", fraction)
+            .Add("reorder_applied", plan.stats().reorder_applied)
+            .Add("reorder_window", plan.stats().reorder_window)
+            .Add("swaps_per_vi_source", src)
+            .Add("swaps_per_vi_planned", planned)
+            .Add("max_wave_width", plan.max_wave_width())
+            .Add("parity_ok", planned <= src + 1e-9);
+        json_rows->push_back(row.Render());
+      }
+    }
+  }
+  if (!all_parity_ok) std::abort();
+  // The grep-able assertion line CI keys on.
+  std::printf("reorder parity: OK (reordered cycles never exceed the "
+              "source swap count)\n");
+}
+
 }  // namespace
 }  // namespace tpcp
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (!tpcp::bench::ParseBenchArgs(argc, argv, &json_path)) return 2;
   std::printf("Ablation benches over the 2PCP design choices\n");
   tpcp::BufferSweep();
   tpcp::Locality();
@@ -233,5 +316,13 @@ int main() {
   tpcp::FourModes();
   tpcp::SnakeAndRandom();
   tpcp::Compression();
+  std::vector<std::string> json_rows;
+  tpcp::ReorderParity(json_path.empty() ? nullptr : &json_rows);
+  if (!json_path.empty()) {
+    tpcp::bench::JsonObject root;
+    root.Add("bench", "ablation_schedules");
+    root.AddRaw("reorder_parity", tpcp::bench::JsonArray(json_rows));
+    tpcp::bench::WriteJsonFile(json_path, root.Render());
+  }
   return 0;
 }

@@ -254,6 +254,11 @@ void JobService::Execute(Job* job) {
     // run at the same time within one job, so one cap covers both phases.
     spec.options.compute_threads =
         std::min(spec.options.compute_threads, share);
+    // I/O workers come out of the same budget — they run concurrently
+    // with the compute pool, so a worker's share caps them too. Safe for
+    // the plan identity: like compute_threads, io_threads shapes timing
+    // only, never the planned step order.
+    spec.options.io_threads = std::min(spec.options.io_threads, share);
   }
   if (options_.total_buffer_bytes > 0) {
     const uint64_t share =

@@ -46,9 +46,12 @@ struct JobServiceOptions {
   /// Worker threads, i.e. how many jobs run concurrently.
   int num_workers = 2;
   /// Shared thread budget: each running job's options.num_threads
-  /// (Phase-1 workers) and options.compute_threads (Phase-2 refinement
-  /// math) are capped at max(1, total_threads / num_workers). 0 leaves
-  /// per-job settings untouched.
+  /// (Phase-1 workers), options.compute_threads (Phase-2 refinement math)
+  /// and options.io_threads (prefetch-pipeline byte movers) are capped at
+  /// max(1, total_threads / num_workers). Capping never changes a job's
+  /// numbers: the execution plan's step order and shard chunks are
+  /// thread-count-independent, so a budget-limited run stays bit-identical
+  /// to an unlimited one. 0 leaves per-job settings untouched.
   int total_threads = 0;
   /// Shared buffer budget: each running job's Phase-2 buffer is capped at
   /// total_buffer_bytes / num_workers (overriding buffer_fraction when it

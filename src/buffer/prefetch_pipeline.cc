@@ -8,21 +8,21 @@
 namespace tpcp {
 
 PrefetchPipeline::PrefetchPipeline(BufferPool* pool,
-                                   const UpdateSchedule* schedule,
+                                   const ExecutionPlan* plan,
                                    BufferPool::LoadCallback load,
                                    BufferPool::EvictCallback evict,
                                    Options options)
     : pool_(pool),
-      schedule_(schedule),
+      plan_(plan),
       load_(std::move(load)),
       evict_(std::move(evict)),
       options_(options),
       next_issue_(options.start_pos) {
   TPCP_CHECK(pool_ != nullptr);
-  TPCP_CHECK(schedule_ != nullptr);
+  TPCP_CHECK(plan_ != nullptr);
   TPCP_CHECK(load_ != nullptr);
   TPCP_CHECK(evict_ != nullptr);
-  TPCP_CHECK_GE(options_.depth, 1);
+  TPCP_CHECK_GE(plan_->prefetch_depth(), 1);
   TPCP_CHECK_GE(options_.io_threads, 1);
   io_pool_ = std::make_unique<ThreadPool>(options_.io_threads);
 }
@@ -51,7 +51,7 @@ bool PrefetchPipeline::TryIssue(int64_t p, bool ahead) {
   if (ahead && options_.cancel != nullptr && options_.cancel->cancelled()) {
     return false;
   }
-  const ModePartition unit = schedule_->UnitAt(p);
+  const ModePartition unit = plan_->UnitAt(p);
 
   if (pool_->IsResident(unit)) {
     pool_->TouchResident(unit, p);
@@ -233,7 +233,11 @@ Status PrefetchPipeline::EndBatch(int64_t pos, int64_t count) {
     // BeginBatch already released this slot's in-flight budget.
     TPCP_CHECK(!slot.counts_against_budget);
   }
-  while (next_issue_ <= pos + count - 1 + options_.depth) {
+  // Keep the reservation window the plan's depth ahead of the last
+  // *executed* step (never of the wave end: a buffer-split wave's tail
+  // has not run yet, and overreaching past it would pin units early).
+  const int64_t target = pos + count - 1 + plan_->prefetch_depth();
+  while (next_issue_ <= target) {
     if (!TryIssue(next_issue_, /*ahead=*/true)) break;
   }
   return FirstError();

@@ -33,15 +33,18 @@
 #include "buffer/buffer_pool.h"
 #include "core/cancellation.h"
 #include "parallel/thread_pool.h"
-#include "schedule/update_schedule.h"
+#include "schedule/execution_plan.h"
 
 namespace tpcp {
 
-/// Asynchronous load/writeback engine in front of a BufferPool.
+/// Asynchronous load/writeback engine in front of a BufferPool, driven by
+/// an ExecutionPlan: units are reserved in the plan's (possibly
+/// reordered) step order, the plan's prefetch_depth() steps ahead of the
+/// step in flight.
 ///
-/// Usage (compute thread only; `n` is 1 for serial compute, up to a
-/// conflict-free batch for the parallel engine):
-///   PrefetchPipeline pipeline(&pool, &schedule, load_cb, evict_cb, opts);
+/// Usage (compute thread only; `n` is 1 for serial compute, up to a plan
+/// wave for the parallel engine):
+///   PrefetchPipeline pipeline(&pool, &plan, load_cb, evict_cb, opts);
 ///   for (pos = 0; ...; pos += n) {
 ///     TPCP_RETURN_IF_ERROR(pipeline.BeginBatch(pos, want, &n));  // resident
 ///     ... apply updates, pool.MarkDirty(...) ...
@@ -52,16 +55,13 @@ namespace tpcp {
 class PrefetchPipeline {
  public:
   struct Options {
-    /// How many schedule steps beyond the current one to keep reserved and
-    /// loading (>= 1; depth 0 means "do not use a pipeline at all").
-    int depth = 4;
     /// Worker threads moving bytes. I/O-bound, so a small number suffices.
     int io_threads = 2;
     /// Optional cancellation token (non-owning). Once it fires, the window
     /// stops growing — no new speculative loads are issued — so a
     /// cancelling engine drains faster. In-flight I/O still completes.
     const CancellationToken* cancel = nullptr;
-    /// First schedule position that will be executed (> 0 when a resumed
+    /// First plan position that will be executed (> 0 when a resumed
     /// refinement continues from a checkpoint cursor).
     int64_t start_pos = 0;
   };
@@ -70,7 +70,10 @@ class PrefetchPipeline {
   /// (the pipeline performs loads itself through `load`); an evict callback
   /// on the pool is still honored by the final Flush. Steps must be
   /// executed in increasing `pos` order starting at options.start_pos.
-  PrefetchPipeline(BufferPool* pool, const UpdateSchedule* schedule,
+  /// `plan` (non-owning, must outlive the pipeline) supplies the step
+  /// order and the prefetch directives; plan->prefetch_depth() must be
+  /// >= 1 (depth 0 means "do not use a pipeline at all").
+  PrefetchPipeline(BufferPool* pool, const ExecutionPlan* plan,
                    BufferPool::LoadCallback load,
                    BufferPool::EvictCallback evict, Options options);
 
@@ -93,8 +96,9 @@ class PrefetchPipeline {
   Status BeginBatch(int64_t pos, int64_t max_count, int64_t* acquired);
 
   /// Releases the pins of the `count` steps acquired by BeginBatch and
-  /// extends the reservation window up to depth steps past the batch
-  /// (the window stops growing once the cancellation token fires).
+  /// extends the reservation window to the plan's depth past the last
+  /// executed step (the window stops growing once the cancellation token
+  /// fires).
   Status EndBatch(int64_t pos, int64_t count);
 
   /// Waits for all in-flight loads and writebacks, releases the pins of
@@ -131,7 +135,7 @@ class PrefetchPipeline {
   Status FirstError();
 
   BufferPool* pool_;
-  const UpdateSchedule* schedule_;
+  const ExecutionPlan* plan_;
   BufferPool::LoadCallback load_;
   BufferPool::EvictCallback evict_;
   Options options_;

@@ -57,8 +57,10 @@ class RecencyPolicy : public ReplacementPolicy {
 
 class ForwardPolicy : public ReplacementPolicy {
  public:
-  explicit ForwardPolicy(const UpdateSchedule& schedule)
-      : lookahead_(schedule) {}
+  explicit ForwardPolicy(std::shared_ptr<const ScheduleLookahead> lookahead)
+      : lookahead_(std::move(lookahead)) {
+    TPCP_CHECK(lookahead_ != nullptr);
+  }
 
   PolicyType type() const override { return PolicyType::kForward; }
 
@@ -71,9 +73,9 @@ class ForwardPolicy : public ReplacementPolicy {
     TPCP_CHECK(!candidates.empty());
     // Evict the least urgent unit: next use furthest in the future.
     ModePartition victim = candidates.front();
-    int64_t victim_next = lookahead_.NextUse(victim, pos);
+    int64_t victim_next = lookahead_->NextUse(victim, pos);
     for (const ModePartition& unit : candidates) {
-      const int64_t next = lookahead_.NextUse(unit, pos);
+      const int64_t next = lookahead_->NextUse(unit, pos);
       if (next > victim_next) {
         victim = unit;
         victim_next = next;
@@ -83,7 +85,7 @@ class ForwardPolicy : public ReplacementPolicy {
   }
 
  private:
-  ScheduleLookahead lookahead_;
+  std::shared_ptr<const ScheduleLookahead> lookahead_;
 };
 
 }  // namespace
@@ -110,17 +112,25 @@ std::unique_ptr<ReplacementPolicy> NewMruPolicy() {
 
 std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
     const UpdateSchedule& schedule) {
-  return std::make_unique<ForwardPolicy>(schedule);
+  return std::make_unique<ForwardPolicy>(
+      std::make_shared<ScheduleLookahead>(schedule));
 }
 
-std::unique_ptr<ReplacementPolicy> NewPolicy(PolicyType type,
-                                             const UpdateSchedule* schedule) {
+std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
+    std::shared_ptr<const ScheduleLookahead> lookahead) {
+  return std::make_unique<ForwardPolicy>(std::move(lookahead));
+}
+
+std::unique_ptr<ReplacementPolicy> NewPolicy(
+    PolicyType type, const UpdateSchedule* schedule,
+    std::shared_ptr<const ScheduleLookahead> lookahead) {
   switch (type) {
     case PolicyType::kLru:
       return NewLruPolicy();
     case PolicyType::kMru:
       return NewMruPolicy();
     case PolicyType::kForward:
+      if (lookahead != nullptr) return NewForwardPolicy(std::move(lookahead));
       TPCP_CHECK(schedule != nullptr);
       return NewForwardPolicy(*schedule);
   }

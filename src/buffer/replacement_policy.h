@@ -54,9 +54,18 @@ std::unique_ptr<ReplacementPolicy> NewMruPolicy();
 std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
     const UpdateSchedule& schedule);
 
-/// Factory from the enum; `schedule` is only required for kForward.
-std::unique_ptr<ReplacementPolicy> NewPolicy(PolicyType type,
-                                             const UpdateSchedule* schedule);
+/// Forward policy over a prebuilt next-use oracle — the execution plan
+/// computes the oracle once (over its possibly-reordered order) and shares
+/// it here, so victim choice and the plan's eviction hints agree by
+/// construction instead of each rebuilding a table from the schedule.
+std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
+    std::shared_ptr<const ScheduleLookahead> lookahead);
+
+/// Factory from the enum; `schedule` is only required for kForward, and a
+/// non-null `lookahead` replaces the table kForward would otherwise build.
+std::unique_ptr<ReplacementPolicy> NewPolicy(
+    PolicyType type, const UpdateSchedule* schedule,
+    std::shared_ptr<const ScheduleLookahead> lookahead = nullptr);
 
 }  // namespace tpcp
 

@@ -36,6 +36,20 @@ uint64_t TwoPhaseCpOptions::ResumeFingerprint() const {
   hash = HashDouble(hash, phase1_fit_tolerance);
   hash = HashDouble(hash, phase1_ridge);
   hash = HashDouble(hash, refinement_ridge);
+  // Planner knobs shape the executed step order and the shard chunking —
+  // the numbers, not just the timing — so they are part of the identity.
+  // Hashed only when consumed: default-plan runs keep the exact
+  // fingerprint value pre-planner binaries recorded (so their checkpoints
+  // still auto-resume after an upgrade), and the reorder window — which
+  // the planner reads only when reordering is on — never separates two
+  // specs that produce identical runs.
+  if (plan_reorder || shard_slab_blocks != 0) {
+    hash = HashWord(hash, plan_reorder ? 1u : 0u);
+    hash = HashWord(hash, plan_reorder
+                              ? static_cast<uint64_t>(plan_reorder_window)
+                              : 0u);
+    hash = HashWord(hash, static_cast<uint64_t>(shard_slab_blocks));
+  }
   return hash;
 }
 
@@ -59,6 +73,15 @@ std::string TwoPhaseCpOptions::ToString() const {
   }
   if (compute_threads > 1) {
     out += " compute_threads=" + std::to_string(compute_threads);
+  }
+  if (plan_reorder) {
+    out += " plan_reorder=1";
+    if (plan_reorder_window > 0) {
+      out += " plan_reorder_window=" + std::to_string(plan_reorder_window);
+    }
+  }
+  if (shard_slab_blocks > 0) {
+    out += " shard_slab_blocks=" + std::to_string(shard_slab_blocks);
   }
   return out;
 }

@@ -76,6 +76,31 @@ struct TwoPhaseCpOptions {
   /// prefetch_depth, it changes timing, never numbers.
   int compute_threads = 1;
 
+  // ---- Phase-2 execution planner (schedule/planner.h) ----
+  /// Conflict-aware reordering: the planner permutes each schedule cycle
+  /// within a sliding window, hoisting same-mode steps on distinct
+  /// partitions into wider conflict-free waves — the pass that lets
+  /// block-centric schedules (FO/ZO/HO), whose native cycles segment into
+  /// singleton batches, parallelize across steps. The reordered cycle is
+  /// adopted only when the swap simulator certifies its swap count does
+  /// not exceed the original's under this run's policy and buffer budget.
+  /// Math-shaping: a reordered plan is a *different* (deterministic)
+  /// update order with its own factors/fit trace — bit-identical across
+  /// compute_threads and prefetch_depth, fingerprinted for resume, and
+  /// part of ResumeFingerprint. Note that with reordering on, the buffer
+  /// budget and policy become math-shaping too (through the certification
+  /// outcome); a resume under a different budget is caught by the plan
+  /// fingerprint recorded in the checkpoint.
+  bool plan_reorder = false;
+  /// Reordering window in schedule steps (0 = one virtual iteration).
+  int64_t plan_reorder_window = 0;
+  /// Intra-step sharding: slab blocks per shard for the Eq.-3 slab
+  /// accumulation of steps in singleton waves (0 = off). Chunk partials
+  /// reduce in slab order, so results are identical for every
+  /// compute_threads value — but differ from the unsharded accumulation,
+  /// making this math-shaping (fingerprinted) as well.
+  int64_t shard_slab_blocks = 0;
+
   /// Wall-clock budget in seconds for solvers that support one (the
   /// naive-oocp baseline reports `timed_out` when it is exceeded, as the
   /// paper's ">12 hours" row does); 0 = unlimited. Ignored by 2PCP itself.

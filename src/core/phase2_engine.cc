@@ -10,27 +10,32 @@
 #include "core/refinement_state.h"
 #include "grid/manifest.h"
 #include "parallel/thread_pool.h"
-#include "schedule/conflict.h"
+#include "schedule/planner.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace tpcp {
 namespace {
 
-/// Applies the `count` conflict-free steps at [pos, pos+count) — across
-/// the compute pool when one is given, serially (in schedule order)
-/// otherwise. The steps commute exactly (schedule/conflict.h), so both
-/// paths produce bit-identical state.
-void RunBatch(RefinementState* state, const UpdateSchedule& schedule,
+/// Applies the `count` conflict-free steps at plan positions
+/// [pos, pos+count) — across the compute pool when one is given, serially
+/// (in plan order) otherwise. The steps commute exactly
+/// (schedule/conflict.h), so both paths produce bit-identical state.
+/// Shard chunks come from the plan (per plan wave, never per split), so a
+/// resumed or buffer-split wave shards identically.
+void RunBatch(RefinementState* state, const ExecutionPlan& plan,
               int64_t pos, int64_t count, ThreadPool* compute_pool) {
   if (compute_pool == nullptr || count == 1) {
     for (int64_t i = 0; i < count; ++i) {
-      state->ApplyUpdate(schedule.StepAt(pos + i));
+      state->ApplyUpdate(plan.StepAt(pos + i), plan.ShardBlocksAt(pos + i));
     }
     return;
   }
+  // Multi-step waves fan out across the pool; their steps never shard
+  // (the plan shards only singleton waves — nesting a shard fan-out in a
+  // step fan-out would deadlock the shared pool), so pass 0 explicitly.
   ParallelFor(compute_pool, 0, count, [&](int64_t i) {
-    state->ApplyUpdate(schedule.StepAt(pos + i));
+    state->ApplyUpdate(plan.StepAt(pos + i), /*shard_blocks=*/0);
   });
 }
 
@@ -46,6 +51,25 @@ StoreManifest FactorManifest(const BlockFactorStore& factors,
 }
 
 }  // namespace
+
+PlannerOptions Phase2PlannerOptions(const TwoPhaseCpOptions& options,
+                                    const GridPartition& grid) {
+  UnitCatalog catalog(grid, options.rank);
+  PlannerOptions planner_options;
+  planner_options.rank = options.rank;
+  planner_options.policy = options.policy;
+  planner_options.buffer_bytes =
+      std::max(options.ResolveBufferBytes(catalog.TotalBytes()),
+               catalog.MaxUnitBytes());
+  planner_options.reorder = options.plan_reorder;
+  planner_options.reorder_window = options.plan_reorder_window;
+  planner_options.shard_chunk_blocks = options.shard_slab_blocks;
+  planner_options.prefetch_depth = options.prefetch_depth;
+  // Certification (two simulated cycle replays) is only paid when the
+  // reordering pass needs its parity gate.
+  planner_options.certify = options.plan_reorder;
+  return planner_options;
+}
 
 bool Phase2Converged(double fit, double prev_fit, double tolerance) {
   // A NaN surrogate (degenerate solve) or a fit regression must keep the
@@ -81,13 +105,20 @@ Status Phase2Engine::Run(Phase2Result* result) {
                         compute_pool.get());
   TPCP_RETURN_IF_ERROR(state.Initialize(options_.resume_phase2));
 
-  const UpdateSchedule schedule =
+  const UpdateSchedule source_schedule =
       UpdateSchedule::Create(options_.schedule, grid);
-  const ConflictAnalysis conflicts(schedule);
   UnitCatalog catalog(grid, options_.rank);
-  const uint64_t capacity = std::max(
-      options_.ResolveBufferBytes(catalog.TotalBytes()),
-      catalog.MaxUnitBytes());
+
+  // One plan up front; every consumer below (wave loop, prefetch pipeline,
+  // forward policy, shard chunks) executes it instead of re-deriving
+  // structure from the schedule. With the planner knobs at their defaults
+  // this is the identity plan — the source order, unsharded — so default
+  // runs are bit-identical to the pre-planner engine.
+  const PlannerOptions planner_options =
+      Phase2PlannerOptions(options_, grid);
+  const uint64_t capacity = planner_options.buffer_bytes;
+  const ExecutionPlan plan = Planner::Build(source_schedule, planner_options);
+  const UpdateSchedule& schedule = plan.schedule();
   const int64_t vi_len = schedule.virtual_iteration_length();
 
   // An interrupted run left a checkpoint in the store manifest; pick its
@@ -117,6 +148,30 @@ Status Phase2Engine::Run(Phase2Result* result) {
         return Status::Corruption(
             "checkpoint cursor disagrees with its iteration count");
       }
+      // The cursor indexes the *plan* order. A plan rebuilt from different
+      // reorder/shard options — or a buffer/policy change that flipped the
+      // reordering certification — would replay the cursor against a
+      // different step sequence; refuse instead of silently diverging.
+      // (0: checkpoint predates the planner; the identity contract then
+      // rests on the schedule name check above.)
+      if (ckpt.plan_fingerprint != 0 &&
+          ckpt.plan_fingerprint != plan.fingerprint()) {
+        return Status::FailedPrecondition(
+            "checkpoint was cut under a different execution plan "
+            "(reordering/sharding options or buffer geometry differ); "
+            "resume with the original plan options");
+      }
+      // A pre-planner (v2) checkpoint records no plan fingerprint, but
+      // its cursor indexes the source order, unsharded — the identity
+      // plan. Resuming it under a non-identity plan would silently
+      // replay the cursor against a different step sequence.
+      if (ckpt.plan_fingerprint == 0 &&
+          (plan.stats().reorder_applied || plan.shard_chunk_blocks() > 0)) {
+        return Status::FailedPrecondition(
+            "checkpoint predates the execution planner and can only "
+            "resume under the identity plan; resume with the planner "
+            "knobs off");
+      }
       pos = ckpt.cursor;
       start_vi = ckpt.iteration;
       from_checkpoint = true;
@@ -126,7 +181,10 @@ Status Phase2Engine::Run(Phase2Result* result) {
     }
   }
 
-  BufferPool pool(capacity, catalog, NewPolicy(options_.policy, &schedule));
+  // The forward policy shares the plan's next-use oracle, so victim
+  // choice follows the plan's (possibly reordered) trace by construction.
+  BufferPool pool(capacity, catalog,
+                  NewPolicy(options_.policy, &schedule, plan.lookahead()));
   auto load = [&state](const ModePartition& unit) {
     return state.LoadUnit(unit);
   };
@@ -151,11 +209,10 @@ Status Phase2Engine::Run(Phase2Result* result) {
     // serves the final Flush of reserved-but-unused prefetches.
     pool.SetCallbacks(nullptr, timed_evict);
     PrefetchPipeline::Options popts;
-    popts.depth = options_.prefetch_depth;
     popts.io_threads = options_.io_threads;
     popts.cancel = options_.cancel;
     popts.start_pos = pos;
-    pipeline = std::make_unique<PrefetchPipeline>(&pool, &schedule, load,
+    pipeline = std::make_unique<PrefetchPipeline>(&pool, &plan, load,
                                                   evict, popts);
   } else {
     pool.SetCallbacks(load, timed_evict);
@@ -184,20 +241,20 @@ Status Phase2Engine::Run(Phase2Result* result) {
         cancelled = true;
         break;
       }
-      // The widest wave worth attempting: the rest of the conflict-free
-      // batch, clipped to the virtual iteration (the fit is evaluated at
-      // vi boundaries, so no wave may cross one). Serial compute gains
+      // The widest wave worth attempting: the rest of the plan wave,
+      // clipped to the virtual iteration (the fit is evaluated at vi
+      // boundaries, so no wave may cross one). Serial compute gains
       // nothing from multi-step waves and keeps the serial engine's exact
       // buffer behavior by staying step-at-a-time.
       const int64_t want =
           compute_pool == nullptr
               ? 1
-              : std::min(conflicts.BatchEndAfter(pos), vi_end) - pos;
+              : std::min(plan.WaveEndAfter(pos), vi_end) - pos;
       int64_t count = 0;
       if (async) {
         loop_status = pipeline->BeginBatch(pos, want, &count);
         if (!loop_status.ok()) break;
-        RunBatch(&state, schedule, pos, count, compute_pool.get());
+        RunBatch(&state, plan, pos, count, compute_pool.get());
         for (int64_t i = 0; i < count; ++i) {
           pool.MarkDirty(schedule.UnitAt(pos + i));
         }
@@ -236,7 +293,7 @@ Status Phase2Engine::Run(Phase2Result* result) {
           ++count;
         }
         if (loop_status.ok()) {
-          RunBatch(&state, schedule, pos, count, compute_pool.get());
+          RunBatch(&state, plan, pos, count, compute_pool.get());
         }
         for (int64_t i = 0; i < count; ++i) {
           const ModePartition unit = schedule.UnitAt(pos + i);
@@ -289,6 +346,7 @@ Status Phase2Engine::Run(Phase2Result* result) {
     ckpt.cursor = pos;
     ckpt.fit_trace = result->fit_trace;
     ckpt.options_fingerprint = options_.ResumeFingerprint();
+    ckpt.plan_fingerprint = plan.fingerprint();
     TPCP_RETURN_IF_ERROR(WriteManifest(
         factors_->env(), factors_->prefix(),
         FactorManifest(*factors_, std::move(ckpt))));

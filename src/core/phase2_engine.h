@@ -10,15 +10,20 @@
 // traces are identical for every prefetch_depth; only wall-clock behavior
 // (and, for depth > 0, eviction timing) differs.
 //
-// With options.compute_threads > 1 the engine additionally runs the
-// refinement math in parallel: the schedule is segmented into
-// conflict-free step batches (schedule/conflict.h), each wave of a batch
-// is pinned whole in the buffer pool (as much as fits), and its updates
-// are dispatched onto a shared compute ThreadPool. Steps of a batch
-// commute exactly — same mode, disjoint partitions — and the full-grid
-// passes (RefinementState::Initialize pass 2, SurrogateFit) shard by
-// block with an in-order reduction, so factors and fit traces stay
-// bit-identical for every compute_threads value on both data paths.
+// Execution is plan-driven: the engine builds one ExecutionPlan up front
+// (schedule/planner.h — optional conflict-aware reordering with
+// swap-parity certification, conflict-free waves, prefetch directives,
+// per-step shard chunks) and executes it verbatim. With
+// options.compute_threads > 1 each plan wave is pinned whole in the
+// buffer pool (as much as fits) and its updates dispatch onto a shared
+// compute ThreadPool; steps of a wave commute exactly — same mode,
+// disjoint partitions. Singleton waves (the block-centric FO/ZO/HO case)
+// shard their slab accumulation per the plan's chunk instead, and the
+// full-grid passes (RefinementState::Initialize pass 2, SurrogateFit)
+// shard by block with an in-order reduction — so factors and fit traces
+// stay bit-identical for every compute_threads × prefetch_depth value of
+// one plan, on both data paths, including across cancel→resume (the plan
+// fingerprint in the checkpoint guarantees the same plan is replayed).
 
 #ifndef TPCP_CORE_PHASE2_ENGINE_H_
 #define TPCP_CORE_PHASE2_ENGINE_H_
@@ -28,8 +33,18 @@
 #include "buffer/buffer_pool.h"
 #include "core/block_factors.h"
 #include "core/config.h"
+#include "schedule/planner.h"
 
 namespace tpcp {
+
+/// The planner inputs Phase2Engine::Run derives from `options` over
+/// `grid` — including the resolved buffer capacity (buffer_bytes) the
+/// engine's pool will use. The single source of truth for the plan a run
+/// executes: the tool's `plan` subcommand and the tests reuse it so they
+/// describe the exact same plan (the tool additionally forces `certify`
+/// on so summaries always carry predicted swaps).
+PlannerOptions Phase2PlannerOptions(const TwoPhaseCpOptions& options,
+                                    const GridPartition& grid);
 
 /// Outcome of one Phase-2 run.
 struct Phase2Result {

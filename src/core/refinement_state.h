@@ -83,7 +83,21 @@ class RefinementState {
   /// Safe to call concurrently for the steps of one conflict-free batch
   /// (see the file comment); no load/evict of the touched units may be in
   /// flight (the buffer pool's pins enforce that).
-  void ApplyUpdate(const UpdateStep& step);
+  ///
+  /// With `shard_blocks` > 0 the slab accumulation shards: the slab is cut
+  /// into fixed chunks of `shard_blocks` blocks, chunk partials are
+  /// computed across the compute pool (each accumulated internally in slab
+  /// order) and reduced in chunk order on the calling thread. The chunk
+  /// structure is a pure function of (slab length, shard_blocks) — never
+  /// of the thread count — so a sharded step produces identical bits at
+  /// every compute_threads value (including serial execution); it differs
+  /// from the unsharded (shard_blocks == 0) accumulation, which is why the
+  /// execution plan fingerprints the shard chunk. The slab's M^(i)_l
+  /// refresh also fans out per block (block results are independent —
+  /// identical at any thread count). Sharded calls must not run
+  /// concurrently with other ApplyUpdate calls or ParallelFor users of the
+  /// pool (the planner shards only singleton waves, which guarantees it).
+  void ApplyUpdate(const UpdateStep& step, int64_t shard_blocks = 0);
 
   /// Estimated accuracy of the current stitched decomposition against the
   /// Phase-1 surrogate (X_l ≈ [[U_l]]), computable without I/O:

@@ -3,47 +3,85 @@
 #include <algorithm>
 
 namespace tpcp {
+namespace {
 
-SwapSimResult SimulateSwaps(const SwapSimConfig& config) {
-  const UpdateSchedule schedule =
-      UpdateSchedule::Create(config.schedule, config.grid);
-  UnitCatalog catalog(config.grid, config.rank);
-
-  SwapSimResult result;
-  result.total_requirement_bytes = catalog.TotalBytes();
-  result.buffer_bytes = std::max<uint64_t>(
-      static_cast<uint64_t>(config.buffer_fraction *
-                            static_cast<double>(result.total_requirement_bytes)),
-      catalog.MaxUnitBytes());
-
-  BufferPool pool(result.buffer_bytes, catalog,
-                  NewPolicy(config.policy, &schedule));
-
+/// The one replay loop both entry points share: a `buffer_bytes` pool
+/// (clamped up to the largest unit) warmed over `warmup_steps` accesses,
+/// then measured over `measure_steps` more. Returns the measured stats.
+BufferStats ReplaySteps(const UpdateSchedule& schedule, int64_t rank,
+                        PolicyType policy, uint64_t buffer_bytes,
+                        int64_t warmup_steps, int64_t measure_steps,
+                        uint64_t* effective_buffer_bytes = nullptr) {
+  UnitCatalog catalog(schedule.grid(), rank);
+  const uint64_t capacity =
+      std::max(buffer_bytes, catalog.MaxUnitBytes());
+  if (effective_buffer_bytes != nullptr) {
+    *effective_buffer_bytes = capacity;
+  }
+  BufferPool pool(capacity, catalog, NewPolicy(policy, &schedule));
   int64_t pos = 0;
-  const int64_t warmup_steps =
-      static_cast<int64_t>(config.warmup_cycles) * schedule.cycle_length();
   for (; pos < warmup_steps; ++pos) {
     const Status s = pool.Access(schedule.StepAt(pos).unit(), pos);
     TPCP_CHECK(s.ok()) << s.ToString();
   }
   pool.ResetStats();
-
-  const int64_t measure_steps =
-      static_cast<int64_t>(config.measure_virtual_iterations) *
-      schedule.virtual_iteration_length();
   const int64_t end = pos + measure_steps;
   for (; pos < end; ++pos) {
     const Status s = pool.Access(schedule.StepAt(pos).unit(), pos);
     TPCP_CHECK(s.ok()) << s.ToString();
   }
+  return pool.stats();
+}
 
-  result.stats = pool.stats();
+}  // namespace
+
+SwapSimResult SimulateSwapsForSchedule(const UpdateSchedule& schedule,
+                                       int64_t rank, PolicyType policy,
+                                       uint64_t buffer_bytes,
+                                       int warmup_cycles,
+                                       int measure_virtual_iterations) {
+  SwapSimResult result;
+  result.total_requirement_bytes =
+      UnitCatalog(schedule.grid(), rank).TotalBytes();
+  result.stats = ReplaySteps(
+      schedule, rank, policy, buffer_bytes,
+      static_cast<int64_t>(warmup_cycles) * schedule.cycle_length(),
+      static_cast<int64_t>(measure_virtual_iterations) *
+          schedule.virtual_iteration_length(),
+      &result.buffer_bytes);
   result.measured_swaps = result.stats.swap_ins;
-  result.measured_virtual_iterations = config.measure_virtual_iterations;
+  result.measured_virtual_iterations = measure_virtual_iterations;
   result.swaps_per_virtual_iteration =
       static_cast<double>(result.measured_swaps) /
-      static_cast<double>(config.measure_virtual_iterations);
+      static_cast<double>(measure_virtual_iterations);
   return result;
+}
+
+double SimulateSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
+                                     int64_t rank, PolicyType policy,
+                                     uint64_t buffer_bytes,
+                                     int warmup_cycles, int measure_cycles) {
+  const int64_t measure_steps =
+      static_cast<int64_t>(measure_cycles) * schedule.cycle_length();
+  const BufferStats stats = ReplaySteps(
+      schedule, rank, policy, buffer_bytes,
+      static_cast<int64_t>(warmup_cycles) * schedule.cycle_length(),
+      measure_steps);
+  return static_cast<double>(stats.swap_ins) *
+         static_cast<double>(schedule.virtual_iteration_length()) /
+         static_cast<double>(measure_steps);
+}
+
+SwapSimResult SimulateSwaps(const SwapSimConfig& config) {
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(config.schedule, config.grid);
+  UnitCatalog catalog(config.grid, config.rank);
+  const uint64_t buffer_bytes = static_cast<uint64_t>(
+      config.buffer_fraction *
+      static_cast<double>(catalog.TotalBytes()));
+  return SimulateSwapsForSchedule(schedule, config.rank, config.policy,
+                                  buffer_bytes, config.warmup_cycles,
+                                  config.measure_virtual_iterations);
 }
 
 }  // namespace tpcp

@@ -43,6 +43,31 @@ struct SwapSimResult {
 /// Replays the configured schedule and returns steady-state swap counts.
 SwapSimResult SimulateSwaps(const SwapSimConfig& config);
 
+/// Replays an *explicit* schedule — e.g. the execution planner's reordered
+/// cycle — against a `buffer_bytes`-sized pool (clamped up to the largest
+/// unit) and returns steady-state swap counts. SimulateSwaps is this with
+/// the schedule built from the config; the planner uses it directly to
+/// certify that a reordered cycle's swap count does not exceed the
+/// original's (swap parity).
+SwapSimResult SimulateSwapsForSchedule(const UpdateSchedule& schedule,
+                                       int64_t rank, PolicyType policy,
+                                       uint64_t buffer_bytes,
+                                       int warmup_cycles,
+                                       int measure_virtual_iterations);
+
+/// Steady-state swaps per virtual iteration of `schedule`, measured over
+/// `measure_cycles` *whole* cycles (after `warmup_cycles`) and averaged as
+/// swaps · vi_len / steps. The replayed trace is cycle-periodic, so a
+/// cycle-aligned window is exact regardless of whether the
+/// virtual-iteration length divides the cycle — a vi-aligned window is
+/// not, and two orders certified equal on one vi window could differ on
+/// another. Swap-parity comparisons (planner certification, parity
+/// benches) must use this.
+double SimulateSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
+                                     int64_t rank, PolicyType policy,
+                                     uint64_t buffer_bytes,
+                                     int warmup_cycles, int measure_cycles);
+
 }  // namespace tpcp
 
 #endif  // TPCP_CORE_SWAP_SIMULATOR_H_

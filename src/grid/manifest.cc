@@ -25,6 +25,7 @@ std::string StoreManifest::Serialize() const {
     out << "ckpt_iteration " << checkpoint->iteration << "\n";
     out << "ckpt_cursor " << checkpoint->cursor << "\n";
     out << "ckpt_fingerprint " << checkpoint->options_fingerprint << "\n";
+    out << "ckpt_plan " << checkpoint->plan_fingerprint << "\n";
     out << "ckpt_fit";
     out.precision(17);  // bit-exact double round trip
     for (double fit : checkpoint->fit_trace) out << " " << fit;
@@ -40,7 +41,7 @@ Result<StoreManifest> StoreManifest::Parse(const std::string& bytes) {
   if (!(in >> magic >> version) || magic != "tpcp-manifest") {
     return Status::Corruption("not a tpcp manifest");
   }
-  if (version != 1 && version != kVersion) {
+  if (version < 1 || version > kVersion) {
     // Not Corruption: a well-formed manifest from a newer release must
     // surface as an incompatibility, never trigger legacy-scan "healing"
     // that would clobber it.
@@ -92,6 +93,11 @@ Result<StoreManifest> StoreManifest::Parse(const std::string& bytes) {
     } else if (version >= 2 && key == "ckpt_fingerprint") {
       if (!(in >> ckpt.options_fingerprint)) {
         return Status::Corruption("manifest ckpt_fingerprint is malformed");
+      }
+      has_ckpt = true;
+    } else if (version >= 3 && key == "ckpt_plan") {
+      if (!(in >> ckpt.plan_fingerprint)) {
+        return Status::Corruption("manifest ckpt_plan is malformed");
       }
       has_ckpt = true;
     } else if (version >= 2 && key == "ckpt_fit") {

@@ -5,7 +5,7 @@
 // consumers open it by name instead of reverse-engineering shape and grid
 // from block filenames:
 //
-//   tpcp-manifest 2
+//   tpcp-manifest 3
 //   kind tensor            (or: factors)
 //   shape 60 60 60
 //   parts 2 2 2
@@ -18,9 +18,11 @@
 //   ckpt_schedule zo       (schedule the cursor indexes into)
 //   ckpt_iteration 3       (completed virtual iterations)
 //   ckpt_cursor 57         (next schedule position to execute)
+//   ckpt_plan 1234567      (execution-plan fingerprint, v3; 0 = absent)
 //   ckpt_fit 0.81 0.86 0.88   (surrogate fit trace, one per iteration)
 //
-// Version 1 manifests (no checkpoint vocabulary) parse unchanged.
+// Version 1 manifests (no checkpoint vocabulary) and version 2 manifests
+// (no ckpt_plan) parse unchanged.
 // BlockTensorStore::Open prefers the manifest and falls back to the legacy
 // block-filename scan (ScanTensorGeometry) for stores written before
 // manifests existed.
@@ -54,11 +56,18 @@ struct Phase2Checkpoint {
   /// auto-resume only continues runs whose math-shaping options match the
   /// resubmitted spec (0: not recorded).
   uint64_t options_fingerprint = 0;
+  /// ExecutionPlan::fingerprint() of the interrupted run — the identity of
+  /// the (possibly reordered, possibly sharded) step order the cursor
+  /// indexes into. A resume whose rebuilt plan fingerprints differently
+  /// (changed reorder/shard options, or a budget/policy change that
+  /// flipped the certification outcome) is rejected instead of replaying
+  /// the cursor against a different order (0: not recorded / pre-planner).
+  uint64_t plan_fingerprint = 0;
 };
 
 /// Geometry descriptor persisted per store.
 struct StoreManifest {
-  static constexpr int kVersion = 2;
+  static constexpr int kVersion = 3;
   static constexpr const char* kTensorKind = "tensor";
   static constexpr const char* kFactorsKind = "factors";
 

@@ -56,6 +56,13 @@ class ConflictAnalysis {
   /// [pos, BatchEndAfter(pos)) are pairwise conflict-free — a tail of a
   /// conflict-free batch is conflict-free, so a resume cursor landing
   /// mid-batch simply starts with a shorter batch.
+  ///
+  /// Cycle-boundary contract: a cursor at exactly k·cycle_length is the
+  /// *first step of cycle k* and therefore belongs to that cycle's first
+  /// batch — the result is k·cycle_length + first_batch_end, strictly
+  /// greater than `pos`. It never refers back to the completed batch that
+  /// *ended* at `pos`, so a run resuming from a checkpoint cut at a cycle
+  /// boundary executes a real (non-empty) batch, not a stale tail.
   int64_t BatchEndAfter(int64_t pos) const;
 
   /// Width of the widest batch — the schedule's peak step parallelism.

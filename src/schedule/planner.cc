@@ -1,0 +1,138 @@
+#include "schedule/planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/swap_simulator.h"
+#include "schedule/conflict.h"
+#include "util/logging.h"
+
+namespace tpcp {
+
+std::vector<UpdateStep> ReorderCycleForWidth(
+    const std::vector<UpdateStep>& cycle, int64_t window) {
+  TPCP_CHECK_GE(window, 1);
+  const int64_t n = static_cast<int64_t>(cycle.size());
+  std::vector<bool> used(cycle.size(), false);
+  std::vector<UpdateStep> out;
+  out.reserve(cycle.size());
+  int64_t next = 0;  // earliest unconsumed source position
+  while (static_cast<int64_t>(out.size()) < n) {
+    while (used[static_cast<size_t>(next)]) ++next;
+    // Start a run at the earliest unconsumed step, then hoist every
+    // same-mode step on a partition the run has not touched yet from the
+    // following `window` source positions. Scanning in source order keeps
+    // same-mode steps — and so every per-unit access sequence — in their
+    // original relative order; only cross-mode order changes, which is
+    // exactly the freedom a different (deterministic) plan may take.
+    const int64_t start = next;
+    const int mode = cycle[static_cast<size_t>(start)].mode;
+    std::set<int64_t> parts;
+    parts.insert(cycle[static_cast<size_t>(start)].unit().part);
+    out.push_back(cycle[static_cast<size_t>(start)]);
+    used[static_cast<size_t>(start)] = true;
+    const int64_t scan_end = std::min(n, start + window);
+    for (int64_t j = start + 1; j < scan_end; ++j) {
+      if (used[static_cast<size_t>(j)]) continue;
+      const UpdateStep& step = cycle[static_cast<size_t>(j)];
+      if (step.mode == mode && parts.insert(step.unit().part).second) {
+        out.push_back(step);
+        used[static_cast<size_t>(j)] = true;
+      }
+    }
+  }
+  return out;
+}
+
+ExecutionPlan Planner::Build(const UpdateSchedule& schedule,
+                             const PlannerOptions& options) {
+  TPCP_CHECK_GE(options.shard_chunk_blocks, 0);
+  TPCP_CHECK_GE(options.prefetch_depth, 0);
+
+  PlanStats stats;
+  stats.reorder_requested = options.reorder;
+  stats.max_width_before = ConflictAnalysis(schedule).max_batch_size();
+  stats.certified = options.certify && options.buffer_bytes > 0;
+
+  auto simulate = [&](const UpdateSchedule& s) {
+    return SimulateSteadyStateSwapsPerVi(s, options.rank, options.policy,
+                                         options.buffer_bytes,
+                                         options.certify_warmup_cycles,
+                                         options.certify_measure_cycles);
+  };
+  if (stats.certified) stats.swaps_before = simulate(schedule);
+
+  UpdateSchedule exec = schedule;
+  if (options.reorder) {
+    // Window ladder: the requested window first, then halvings down to
+    // the mode count. Wider windows hoist wider waves but concentrate
+    // more distinct units, so a tight buffer may fail their parity gate
+    // while a narrower window still passes — the ladder adopts the widest
+    // certified candidate instead of giving up outright. Deterministic:
+    // fixed ladder, first passing candidate wins.
+    const int64_t num_modes = schedule.grid().num_modes();
+    // Clamp up to num_modes + 1: a window of `num_modes` or fewer steps
+    // cannot hoist anything past a block visit, and silently evaluating
+    // zero candidates would misreport "rejected" when nothing was tried.
+    const int64_t requested =
+        std::max(options.reorder_window > 0
+                     ? options.reorder_window
+                     : schedule.virtual_iteration_length(),
+                 num_modes + 1);
+    for (int64_t window = requested; window > num_modes; window /= 2) {
+      UpdateSchedule candidate = UpdateSchedule::Reordered(
+          schedule, ReorderCycleForWidth(schedule.cycle(), window));
+      const int64_t width = ConflictAnalysis(candidate).max_batch_size();
+      if (width <= stats.max_width_before) continue;  // no parallelism gain
+      if (stats.certified) {
+        stats.swaps_after = simulate(candidate);
+        // Parity gate: adopt the wider order only when it swaps no more
+        // than the source order under this run's policy and budget.
+        if (stats.swaps_after > stats.swaps_before) continue;
+      }
+      exec = std::move(candidate);
+      stats.reorder_applied = true;
+      stats.reorder_window = window;
+      break;
+    }
+  } else {
+    stats.swaps_after = stats.swaps_before;
+  }
+
+  const ConflictAnalysis conflicts(exec);
+  stats.max_width_after = conflicts.max_batch_size();
+  auto lookahead = std::make_shared<ScheduleLookahead>(exec);
+
+  const GridPartition& grid = exec.grid();
+  const int64_t vi_len = exec.virtual_iteration_length();
+  std::vector<PlanWave> waves;
+  waves.reserve(conflicts.batches().size());
+  for (const StepBatch& batch : conflicts.batches()) {
+    PlanWave wave;
+    wave.begin = batch.begin;
+    wave.end = batch.end;
+    wave.mode = exec.StepAt(batch.begin).mode;
+    // Eviction hints: wave units whose next plan-order use is at least a
+    // virtual iteration past the wave — dead for the near future. The
+    // forward policy, reading the same oracle, will pick exactly these as
+    // victims first; the hints make that visible in plan summaries.
+    for (int64_t p = batch.begin; p < batch.end; ++p) {
+      const ModePartition unit = exec.UnitAt(p);
+      if (lookahead->NextUse(unit, batch.end - 1) - batch.end >= vi_len) {
+        wave.evict_hints.push_back(unit);
+      }
+    }
+    if (options.shard_chunk_blocks > 0 && wave.size() == 1) {
+      const int64_t slab_blocks =
+          grid.NumBlocks() / grid.parts(wave.mode);
+      if (slab_blocks > options.shard_chunk_blocks) ++stats.sharded_steps;
+    }
+    waves.push_back(std::move(wave));
+  }
+
+  return ExecutionPlan(std::move(exec), std::move(waves),
+                       options.shard_chunk_blocks, options.prefetch_depth,
+                       std::move(lookahead), stats);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,95 @@
+// The Phase-2 execution planner: maps (schedule × buffer budget × plan
+// options) to an ExecutionPlan (schedule/execution_plan.h).
+//
+// Planning runs three passes:
+//
+//  1. Conflict-aware reordering (optional). Within a sliding window over
+//     the cycle, same-mode steps on pairwise-distinct partitions are
+//     hoisted into contiguous runs — the widened conflict-free waves that
+//     let block-centric schedules (FO/ZO/HO), whose native cycles
+//     interleave modes and segment into singletons, finally parallelize
+//     across steps. The pass preserves the per-mode (hence per-unit)
+//     relative order of steps and the per-cycle step multiset, so the
+//     reordered sequence is still a tensor-filling cyclic schedule.
+//  2. Swap-parity certification (optional). A reordered cycle is only
+//     adopted when an exact replay through the swap simulator
+//     (core/swap_simulator.h) shows its steady-state swap count does not
+//     exceed the source order's under the run's own policy and buffer
+//     budget — reordering widens parallelism without giving up the
+//     swap-optimality that motivated the block-centric schedules. Wider
+//     waves concentrate more distinct units, so a tight buffer may fail
+//     the widest window; the planner then ladders down through halved
+//     windows and adopts the widest certified candidate, falling back to
+//     the source order when none passes (the evaluated candidate's
+//     numbers stay in PlanStats for reporting).
+//  3. Wave assembly. The (possibly reordered) cycle is segmented into
+//     maximal conflict-free waves (schedule/conflict.h); each wave gets
+//     its prefetch directive (last step + prefetch depth) and eviction
+//     hints (units whose next use is at least one virtual iteration out),
+//     both derived from one shared next-use oracle. Singleton waves get
+//     the intra-step shard chunk.
+//
+// Everything here is deterministic: two Build calls with equal inputs
+// return plans with equal fingerprints, which is what makes checkpointed
+// cancel→resume replay exact.
+
+#ifndef TPCP_SCHEDULE_PLANNER_H_
+#define TPCP_SCHEDULE_PLANNER_H_
+
+#include "buffer/replacement_policy.h"
+#include "schedule/execution_plan.h"
+
+namespace tpcp {
+
+/// Inputs that shape a plan. Math-shaping fields (reorder, reorder_window,
+/// shard_chunk_blocks, and — through certification — rank/policy/
+/// buffer_bytes) select the step order and shard structure; prefetch_depth
+/// only shapes the waves' prefetch directives.
+struct PlannerOptions {
+  /// Rank used to size data units for the certification replay.
+  int64_t rank = 10;
+  /// Replacement policy the run will use (certification replays it).
+  PolicyType policy = PolicyType::kForward;
+  /// Effective buffer capacity in bytes (>= the largest unit). Required
+  /// for certification; 0 disables it.
+  uint64_t buffer_bytes = 0;
+
+  /// Run the conflict-aware reordering pass.
+  bool reorder = false;
+  /// Sliding-window length in steps (0 = one virtual iteration; clamped
+  /// up to num_modes + 1, the smallest window that can hoist anything).
+  int64_t reorder_window = 0;
+  /// Slab blocks per shard for singleton-wave steps (0 = sharding off).
+  int64_t shard_chunk_blocks = 0;
+
+  /// Prefetch depth of the run (0 = synchronous data path).
+  int prefetch_depth = 0;
+
+  /// Simulate swap counts (fills PlanStats; gates reordering). Skipping
+  /// certification adopts a requested reorder unverified — benches and
+  /// tests only. Certification replays whole cycles: the trace is
+  /// cycle-periodic, so cycle-aligned windows measure the true steady
+  /// state (vi-aligned windows would not when vi_len ∤ cycle_length).
+  bool certify = true;
+  int certify_warmup_cycles = 2;
+  int certify_measure_cycles = 2;
+};
+
+class Planner {
+ public:
+  /// Builds the plan for `schedule` under `options`. Deterministic: equal
+  /// inputs yield plans with equal fingerprints.
+  static ExecutionPlan Build(const UpdateSchedule& schedule,
+                             const PlannerOptions& options);
+};
+
+/// The reordering pass alone (exposed for tests and benches): permutes
+/// `cycle` by hoisting, within each leading window of `window` steps,
+/// same-mode steps on distinct partitions into contiguous runs. Preserves
+/// the relative order of same-mode steps.
+std::vector<UpdateStep> ReorderCycleForWidth(
+    const std::vector<UpdateStep>& cycle, int64_t window);
+
+}  // namespace tpcp
+
+#endif  // TPCP_SCHEDULE_PLANNER_H_

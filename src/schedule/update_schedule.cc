@@ -4,6 +4,7 @@
 
 #include "schedule/hilbert.h"
 #include "schedule/zorder.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace tpcp {
@@ -155,6 +156,14 @@ UpdateSchedule UpdateSchedule::Create(ScheduleType type,
     }
   }
   return UpdateSchedule(type, grid, std::move(cycle), std::move(block_order));
+}
+
+UpdateSchedule UpdateSchedule::Reordered(const UpdateSchedule& base,
+                                         std::vector<UpdateStep> cycle) {
+  TPCP_CHECK_EQ(static_cast<int64_t>(cycle.size()), base.cycle_length())
+      << "a reordered cycle must be a permutation of the base cycle";
+  return UpdateSchedule(base.type(), base.grid(), std::move(cycle),
+                        base.block_order());
 }
 
 std::string UpdateSchedule::ToString() const {

@@ -70,6 +70,14 @@ class UpdateSchedule {
   /// Builds the cycle for `type` over `grid`.
   static UpdateSchedule Create(ScheduleType type, const GridPartition& grid);
 
+  /// A schedule that executes `cycle` — a permutation of `base.cycle()`,
+  /// e.g. the execution planner's conflict-aware reordering — in place of
+  /// the base order. Type, grid and block order are inherited from `base`;
+  /// only the step sequence changes. CHECK-fails if `cycle` is not the
+  /// same length as the base cycle.
+  static UpdateSchedule Reordered(const UpdateSchedule& base,
+                                  std::vector<UpdateStep> cycle);
+
   ScheduleType type() const { return type_; }
   const GridPartition& grid() const { return grid_; }
 

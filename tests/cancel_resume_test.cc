@@ -186,6 +186,49 @@ TEST(CancellationTest, ResumeUnderDifferentScheduleIsRejected) {
       << resume_status.ToString();
 }
 
+TEST(CancellationTest, ResumeUnderDifferentPlanOptionsIsRejected) {
+  // The checkpoint cursor indexes the execution plan's step order; a
+  // resume whose rebuilt plan fingerprints differently (here: sharding
+  // turned off) must be refused instead of replaying the cursor against a
+  // different accumulation structure.
+  auto env = NewMemEnv();
+  CancellationToken token;
+  CancelAtIteration canceller(&token, 2);
+  TwoPhaseCpOptions options = TestOptions();
+  options.shard_slab_blocks = 2;
+  options.cancel = &token;
+  options.observer = &canceller;
+  Status status;
+  RunTwoPhase(env.get(), options, &status);
+  ASSERT_TRUE(status.IsCancelled());
+  auto manifest = ReadManifest(env.get(), "f");
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(manifest->checkpoint.has_value());
+  EXPECT_NE(manifest->checkpoint->plan_fingerprint, 0u);
+
+  TwoPhaseCpOptions wrong_plan = TestOptions();  // shard_slab_blocks = 0
+  wrong_plan.resume_phase2 = true;
+  Status resume_status;
+  RunTwoPhase(env.get(), wrong_plan, &resume_status);
+  ASSERT_FALSE(resume_status.ok());
+  EXPECT_EQ(resume_status.code(), StatusCode::kFailedPrecondition)
+      << resume_status.ToString();
+
+  // With the original plan options the resume goes through and matches an
+  // uninterrupted sharded run bit for bit.
+  TwoPhaseCpOptions right_plan = TestOptions();
+  right_plan.shard_slab_blocks = 2;
+  right_plan.resume_phase2 = true;
+  const TwoPhaseCpResult resumed = RunTwoPhase(env.get(), right_plan);
+
+  auto ref_env = NewMemEnv();
+  TwoPhaseCpOptions uninterrupted = TestOptions();
+  uninterrupted.shard_slab_blocks = 2;
+  const TwoPhaseCpResult reference =
+      RunTwoPhase(ref_env.get(), uninterrupted);
+  EXPECT_EQ(resumed.fit_trace, reference.fit_trace);
+}
+
 TEST(CancellationTest, SessionDecomposeHonoursCallerToken) {
   // The blocking convenience path must still respect a caller-provided
   // token, even though the job path manages its own.

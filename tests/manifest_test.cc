@@ -52,7 +52,7 @@ TEST(StoreManifestTest, GarbageIsCorruption) {
 }
 
 TEST(StoreManifestTest, NewerVersionIsIncompatibleNotCorrupt) {
-  auto parsed = StoreManifest::Parse("tpcp-manifest 3\nkind tensor\n");
+  auto parsed = StoreManifest::Parse("tpcp-manifest 4\nkind tensor\n");
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -69,6 +69,41 @@ TEST(StoreManifestTest, Version1StillParses) {
       "ckpt_cursor 3\n");
   ASSERT_FALSE(v1_ckpt.ok());
   EXPECT_TRUE(v1_ckpt.status().IsCorruption());
+}
+
+TEST(StoreManifestTest, PlanFingerprintRoundTripsAndV2Defaults) {
+  // v3 serializes the execution-plan fingerprint bit for bit.
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = TestGrid();
+  manifest.rank = 3;
+  Phase2Checkpoint ckpt;
+  ckpt.schedule = "fo";
+  ckpt.iteration = 1;
+  ckpt.cursor = 9;
+  ckpt.fit_trace = {0.25};
+  ckpt.plan_fingerprint = 0xdeadbeefcafef00dull;
+  manifest.checkpoint = ckpt;
+  auto parsed = StoreManifest::Parse(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->checkpoint.has_value());
+  EXPECT_EQ(parsed->checkpoint->plan_fingerprint, 0xdeadbeefcafef00dull);
+
+  // A v2 checkpoint (pre-planner) parses with "not recorded" (0).
+  auto v2 = StoreManifest::Parse(
+      "tpcp-manifest 2\nkind factors\nshape 4 4\nparts 2 2\nrank 2\n"
+      "ckpt_schedule zo\nckpt_iteration 1\nckpt_cursor 4\nckpt_fit 0.5\n");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ASSERT_TRUE(v2->checkpoint.has_value());
+  EXPECT_EQ(v2->checkpoint->plan_fingerprint, 0u);
+
+  // The ckpt_plan vocabulary did not exist at version 2.
+  auto v2_plan = StoreManifest::Parse(
+      "tpcp-manifest 2\nkind factors\nshape 4 4\nparts 2 2\nrank 2\n"
+      "ckpt_schedule zo\nckpt_iteration 0\nckpt_cursor 0\nckpt_plan 7\n"
+      "ckpt_fit\n");
+  ASSERT_FALSE(v2_plan.ok());
+  EXPECT_TRUE(v2_plan.status().IsCorruption());
 }
 
 TEST(StoreManifestTest, CheckpointRoundTrip) {
@@ -137,7 +172,7 @@ TEST(StoreManifestTest, MalformedCheckpointIsCorruption) {
 
 TEST(BlockTensorStoreManifestTest, NewerManifestIsNeverClobbered) {
   auto env = NewMemEnv();
-  const std::string future = "tpcp-manifest 3\nkind tensor\nfrobnicate 7\n";
+  const std::string future = "tpcp-manifest 4\nkind tensor\nfrobnicate 7\n";
   ASSERT_TRUE(env->WriteFile("t/MANIFEST", future).ok());
   auto opened = BlockTensorStore::Open(env.get(), "t");
   ASSERT_FALSE(opened.ok());

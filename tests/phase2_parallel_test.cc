@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 
@@ -16,6 +17,7 @@
 #include "data/synthetic.h"
 #include "grid/manifest.h"
 #include "schedule/conflict.h"
+#include "schedule/planner.h"
 #include "storage/env.h"
 
 namespace tpcp {
@@ -195,6 +197,71 @@ TEST(Phase2ParallelTest, BlockCentricScheduleStaysBitIdentical) {
   }
 }
 
+// ---- Reordered + sharded plans ---------------------------------------------
+
+/// The reordered-plan configuration used below: ZO (block-centric, native
+/// singleton batches) with conflict-aware reordering and intra-step
+/// sharding, at a buffer where the parity gate adopts the reorder.
+TwoPhaseCpOptions ReorderedOptions(int compute_threads, int prefetch_depth) {
+  TwoPhaseCpOptions options =
+      ParallelOptions(ScheduleType::kZOrder, compute_threads, prefetch_depth);
+  options.buffer_fraction = 0.5;
+  options.plan_reorder = true;
+  options.shard_slab_blocks = 2;
+  return options;
+}
+
+/// The exact plan the engine will build for `options` over the test grid
+/// (Phase2PlannerOptions is the engine's own input mapping).
+ExecutionPlan PlanFor(const TwoPhaseCpOptions& options) {
+  const GridPartition grid = GridPartition::Uniform(ParallelSpec().shape, 4);
+  return Planner::Build(UpdateSchedule::Create(options.schedule, grid),
+                        Phase2PlannerOptions(options, grid));
+}
+
+// Documents the precondition of the suite below: at this buffer the
+// parity gate really adopts the ZO reorder (width > 1) and singleton
+// waves shard — otherwise the tests would silently exercise the identity
+// plan.
+TEST(Phase2ReorderedPlanTest, ReorderIsAdoptedForThisConfiguration) {
+  const ExecutionPlan plan = PlanFor(ReorderedOptions(1, 0));
+  ASSERT_TRUE(plan.stats().certified);
+  EXPECT_TRUE(plan.stats().reorder_applied);
+  EXPECT_GT(plan.max_wave_width(), 1);
+  EXPECT_LE(plan.stats().swaps_after, plan.stats().swaps_before + 1e-9);
+  EXPECT_GT(plan.stats().sharded_steps, 0);
+}
+
+// The tentpole guarantee on the *reordered, sharded* plan: factors and
+// fit traces are bit-identical across compute_threads ∈ {1, 2, 4} ×
+// prefetch_depth ∈ {0, 2} — and the plan really is a different update
+// order than the source ZO schedule (different fit trace).
+TEST(Phase2ReorderedPlanTest, BitIdenticalAcrossThreadsAndDepths) {
+  auto ref_env = NewMemEnv();
+  const RunOutput reference =
+      RunParallel(ref_env.get(), ReorderedOptions(1, 0));
+  ASSERT_FALSE(reference.trace.empty());
+
+  for (int depth : {0, 2}) {
+    for (int threads : {1, 2, 4}) {
+      if (depth == 0 && threads == 1) continue;  // the reference itself
+      auto env = NewMemEnv();
+      const RunOutput run =
+          RunParallel(env.get(), ReorderedOptions(threads, depth));
+      ExpectBitIdentical(run, reference,
+                         "reordered threads " + std::to_string(threads) +
+                             " depth " + std::to_string(depth));
+    }
+  }
+
+  // A genuinely different plan: the reordered trajectory diverges from
+  // the source-order ZO run (same seed, same tensor).
+  auto plain_env = NewMemEnv();
+  const RunOutput plain = RunParallel(
+      plain_env.get(), ParallelOptions(ScheduleType::kZOrder, 1, 0));
+  EXPECT_NE(plain.trace, reference.trace);
+}
+
 /// Env wrapper that fires a cancellation token after `n` more reads — a
 /// deterministic *mid-virtual-iteration* cancel trigger for the sync data
 /// path (all reads run on the compute thread, so the countdown is exact).
@@ -338,6 +405,74 @@ TEST(Phase2ParallelTest, CancelThenResumeAcrossThreadCountsIsBitIdentical) {
     const RunOutput run = RunParallel(env.get(), resumed);
     ExpectBitIdentical(run, reference,
                        "resume threads " + std::to_string(resume_threads));
+  }
+}
+
+// Mid-wave cancel→resume under the *reordered* plan, the satellite
+// matrix: resume with prefetch_depth ∈ {0, 2} × compute_threads ∈ {1, 4}.
+// The cancelled run executes serially (step-at-a-time waves), so the
+// deterministic read countdown can land the checkpoint cursor strictly
+// inside a reordered multi-step wave; every resume variant must replay
+// the wave tail — and its sharded singleton steps — bit-identically.
+TEST(Phase2ReorderedPlanTest, MidWaveCancelResumeBitIdenticalAcrossMatrix) {
+  const TwoPhaseCpOptions base = ReorderedOptions(1, 0);
+  const ExecutionPlan plan = PlanFor(base);
+  ASSERT_TRUE(plan.stats().reorder_applied);
+
+  auto ref_env = NewMemEnv();
+  const RunOutput reference = RunParallel(ref_env.get(), base);
+
+  // Scan the deterministic read countdown for a cancel whose checkpoint
+  // cursor lands strictly inside a multi-step plan wave. The step is
+  // fine-grained: most refinement misses sit at wave tails (the hoisted
+  // "new" units), so mid-wave cursors appear only at specific counts.
+  int64_t mid_wave_reads = -1;
+  for (int64_t reads = 250; reads < 800 && mid_wave_reads < 0;
+       reads += 7) {
+    auto mem = NewMemEnv();
+    CancellationToken token;
+    CancelAfterReadsEnv env(mem.get(), &token);
+    TwoPhaseCpOptions interrupted = base;
+    interrupted.cancel = &token;
+    env.CancelAfterReads(reads);
+    Status status;
+    RunParallel(&env, interrupted, &status);
+    if (!status.IsCancelled()) continue;
+    auto manifest = ReadManifest(mem.get(), "f");
+    if (!manifest.ok() || !manifest->checkpoint.has_value()) continue;
+    const int64_t cursor = manifest->checkpoint->cursor;
+    const PlanWave& wave = plan.WaveAt(cursor);
+    if (wave.size() < 2 || cursor % plan.cycle_length() == wave.begin) {
+      continue;  // wave boundary or singleton: not mid-wave
+    }
+    EXPECT_EQ(manifest->checkpoint->plan_fingerprint, plan.fingerprint());
+    mid_wave_reads = reads;
+  }
+  ASSERT_GT(mid_wave_reads, 0)
+      << "no scanned cancel point produced a mid-wave cursor";
+
+  for (int depth : {0, 2}) {
+    for (int threads : {1, 4}) {
+      // Reproduce the mid-wave cancel deterministically, then resume with
+      // this matrix point's execution knobs.
+      auto mem = NewMemEnv();
+      CancellationToken token;
+      CancelAfterReadsEnv env(mem.get(), &token);
+      TwoPhaseCpOptions interrupted = base;
+      interrupted.cancel = &token;
+      env.CancelAfterReads(mid_wave_reads);
+      Status status;
+      RunParallel(&env, interrupted, &status);
+      ASSERT_TRUE(status.IsCancelled()) << status.ToString();
+
+      TwoPhaseCpOptions resumed = ReorderedOptions(threads, depth);
+      resumed.resume_phase2 = true;
+      const RunOutput run = RunParallel(&env, resumed);
+      ExpectBitIdentical(run, reference,
+                         "mid-wave resume threads " +
+                             std::to_string(threads) + " depth " +
+                             std::to_string(depth));
+    }
   }
 }
 

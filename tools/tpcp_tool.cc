@@ -19,6 +19,13 @@
 //       jobs leave a checkpoint; rerunning the same spec file resumes
 //       them (shown as "resumed at vi N").
 //
+//   tpcp_tool plan      <dir|uri> <rank> [schedule] [policy]
+//                       [buffer-fraction] [--plan-reorder] [...]
+//       Prints the Phase-2 execution plan for the stored tensor's grid —
+//       waves, batch widths, shard counts, predicted swaps before/after
+//       conflict-aware reordering — without decomposing anything. Every
+//       line is prefixed "plan:" so CI can grep it.
+//
 //   tpcp_tool simulate  <parts> <buffer-fraction>
 //       Prints the exact per-virtual-iteration swap table for a cubic grid
 //       (no data needed — swap counts are configuration-determined).
@@ -39,6 +46,12 @@
 //   --compute-threads=N                (Phase-2 parallel refinement math)
 //   --max-vi=N --max-seconds=S --seed=N
 //   --fit-tolerance=T                  (Phase-2 stop; negative = never)
+//   --plan-reorder                     (conflict-aware reordering, adopted
+//                                       only under certified swap parity)
+//   --reorder-window=N                 (reorder window in steps; 0 = one
+//                                       virtual iteration)
+//   --shard-blocks=N                   (slab blocks per shard for
+//                                       singleton-wave steps; 0 = off)
 //   --resume                           (continue from the persisted factor
 //                                       store / Phase-2 checkpoint)
 //   --param=key=value                  (solver-specific, repeatable)
@@ -65,7 +78,9 @@
 #include "core/names.h"
 #include "core/progress_observer.h"
 #include "core/swap_simulator.h"
+#include "core/phase2_engine.h"
 #include "data/synthetic.h"
+#include "schedule/planner.h"
 #include "util/format.h"
 #include "util/parse.h"
 
@@ -88,11 +103,16 @@ int Usage(const char* argv0) {
       "  %s jobs      <specfile> [--workers=2] [--total-threads=0]\n"
       "             [--cancel-at-vi=IDX:VI,...] [--quiet]\n"
       "             (each specfile line: decompose arguments; # comments)\n"
+      "  %s plan      <dir|uri> <rank> [schedule=ho] [policy=for] "
+      "[buffer-fraction=0.5]\n"
+      "             [--plan-reorder] [--reorder-window=0] "
+      "[--shard-blocks=0]\n"
+      "             [--prefetch-depth=0] [--plan-waves=8]\n"
       "  %s simulate  <parts> <buffer-fraction>\n"
       "  %s solvers\n"
       "schedules: %s   policies: %s\n",
-      argv0, argv0, argv0, argv0, argv0, ScheduleTypeChoices().c_str(),
-      PolicyTypeChoices().c_str());
+      argv0, argv0, argv0, argv0, argv0, argv0,
+      ScheduleTypeChoices().c_str(), PolicyTypeChoices().c_str());
   return 2;
 }
 
@@ -355,6 +375,11 @@ bool ParseDecomposeConfig(const Args& args, DecomposeConfig* config) {
   options.fit_tolerance =
       opts.Double("fit-tolerance", options.fit_tolerance, false, -1.0, 1.0);
   options.seed = static_cast<uint64_t>(opts.Int("seed", 1, false, 0));
+  options.plan_reorder = opts.Present("plan-reorder");
+  options.plan_reorder_window =
+      opts.Int("reorder-window", 0, false, 0, kIntMax);
+  options.shard_slab_blocks =
+      opts.Int("shard-blocks", 0, false, 0, kIntMax);
   options.resume_phase2 = opts.Present("resume");
   config->progress = opts.Present("progress");
   if (!opts.ok()) return false;
@@ -460,6 +485,59 @@ int Decompose(int argc, char** argv) {
   if ((*session)->factor_store() != nullptr) {
     std::printf("factors written under %s\n", args.positional[0].c_str());
   }
+  return 0;
+}
+
+/// `plan` — print the Phase-2 execution plan for a stored tensor's grid.
+/// Shares `decompose`'s argument vocabulary (the plan is exactly what a
+/// decompose run with these arguments would execute) plus --plan-waves=N
+/// to bound the per-wave listing. Certification always runs here so the
+/// summary carries predicted swaps even when reordering is off.
+int Plan(int argc, char** argv) {
+  Args args;
+  if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+  const int64_t plan_waves = [&]() -> int64_t {
+    // Peel the one plan-only flag off before the shared parser (which
+    // rejects unknown flags).
+    auto it = args.flags.find("plan-waves");
+    if (it == args.flags.end()) return 8;
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.ok() || *parsed < 0) return -1;
+    args.flags.erase(it);
+    return *parsed;
+  }();
+  if (plan_waves < 0) {
+    std::fprintf(stderr, "--plan-waves expects a non-negative integer\n");
+    return 2;
+  }
+  DecomposeConfig config;
+  if (!ParseDecomposeConfig(args, &config)) return 2;
+  const TwoPhaseCpOptions& options = config.options;
+
+  auto session = Session::Open({config.uri});
+  if (!session.ok()) return ReportBad("open storage", session.status()), 1;
+  auto store = (*session)->OpenTensorStore();
+  if (!store.ok()) {
+    ReportBad("open tensor store", store.status());
+    std::fprintf(stderr, "(run `generate` first?)\n");
+    return 1;
+  }
+  const GridPartition& grid = (*store)->grid();
+
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(options.schedule, grid);
+  // The exact planner inputs a decompose run with these arguments would
+  // use — with certification forced on so the summary always carries
+  // predicted swaps, reordering requested or not.
+  PlannerOptions planner_options = Phase2PlannerOptions(options, grid);
+  planner_options.certify = true;
+  const ExecutionPlan plan = Planner::Build(schedule, planner_options);
+  std::printf("plan: tensor=%s buffer=%s (of %s total)\n",
+              grid.tensor_shape().ToString().c_str(),
+              HumanBytes(planner_options.buffer_bytes).c_str(),
+              HumanBytes(UnitCatalog(grid, options.rank).TotalBytes())
+                  .c_str());
+  std::fputs(plan.Summary(plan_waves).c_str(), stdout);
   return 0;
 }
 
@@ -743,6 +821,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return Generate(argc, argv);
   if (command == "decompose") return Decompose(argc, argv);
   if (command == "jobs") return Jobs(argc, argv);
+  if (command == "plan") return Plan(argc, argv);
   if (command == "simulate") return Simulate(argc, argv);
   if (command == "solvers") return Solvers();
   return Usage(argv[0]);
