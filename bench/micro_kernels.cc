@@ -1,14 +1,25 @@
-// google-benchmark microbenchmarks for the numeric and scheduling kernels.
+// Micro-kernel benchmark: the vectorized inner loops (linalg/kernels.h)
+// against their scalar reference forms, self-timed (no external benchmark
+// dependency).
+//
+//   bench_micro_kernels [--json=BENCH_micro_kernels.json]
+//
+// Each kernel is measured in both variants on identical inputs; the SIMD
+// row carries its speedup over the scalar row. Note the scalar baseline is
+// whatever the compiler makes of the plain loops — in an -mavx2 build that
+// baseline is itself auto-vectorized, so the reported speedups understate
+// the gap to a truly scalar (-DTPCP_FORCE_SCALAR) build.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "cp/cp_als.h"
+#include "bench/bench_util.h"
 #include "linalg/blas.h"
-#include "linalg/cholesky.h"
-#include "linalg/elementwise.h"
-#include "schedule/hilbert.h"
-#include "schedule/zorder.h"
-#include "storage/serializer.h"
+#include "linalg/kernels.h"
+#include "tensor/csf_tensor.h"
 #include "tensor/mttkrp.h"
 #include "util/random.h"
 
@@ -22,206 +33,198 @@ Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
   return m;
 }
 
-DenseTensor RandomTensor(const Shape& shape, uint64_t seed) {
+DenseTensor RandomSparseTensor(const Shape& shape, double density,
+                               uint64_t seed) {
   Rng rng(seed);
   DenseTensor t(shape);
   for (int64_t i = 0; i < t.NumElements(); ++i) {
-    t.at_linear(i) = rng.NextGaussian();
+    t.at_linear(i) = rng.NextDouble() < density ? rng.NextGaussian() : 0.0;
   }
   return t;
 }
 
-void BM_Gemm(benchmark::State& state) {
-  const int64_t n = state.range(0);
-  const Matrix a = RandomMatrix(n, n, 1);
-  const Matrix b = RandomMatrix(n, n, 2);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    Gemm(Trans::kNo, a, Trans::kNo, b, 1.0, 0.0, &c);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+// Defeats dead-code elimination without perturbing the measured loop.
+volatile double g_sink = 0.0;
 
-void BM_GramTallSkinny(benchmark::State& state) {
-  // The ALS hot shape: tall factor matrix, small rank.
-  const Matrix a = RandomMatrix(state.range(0), 16, 3);
-  for (auto _ : state) {
-    Matrix g = Gram(a);
-    benchmark::DoNotOptimize(g.data());
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times `op` (one logical kernel invocation per call): calibrates a
+/// repetition count targeting tens of milliseconds, then reports the best
+/// of three samples in ns per invocation.
+template <typename Op>
+double TimeNsPerOp(Op&& op) {
+  op();  // warm caches and page in buffers
+  int64_t reps = 1;
+  for (;;) {
+    const int64_t start = NowNs();
+    for (int64_t i = 0; i < reps; ++i) op();
+    const int64_t elapsed = NowNs() - start;
+    if (elapsed >= 20'000'000 || reps >= (int64_t{1} << 30)) break;
+    reps *= 4;
+  }
+  double best = 1e300;
+  for (int sample = 0; sample < 3; ++sample) {
+    const int64_t start = NowNs();
+    for (int64_t i = 0; i < reps; ++i) op();
+    const double per_op =
+        static_cast<double>(NowNs() - start) / static_cast<double>(reps);
+    if (per_op < best) best = per_op;
+  }
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  std::string variant;
+  double ns_per_op = 0.0;
+  double bytes_per_s = 0.0;
+  double speedup_vs_scalar = 0.0;  // simd rows only
+};
+
+std::vector<Row> g_rows;
+
+/// Measures `op(variant)` under both variants. `bytes_per_op` is the
+/// kernel's effective traffic (operands touched once per invocation).
+template <typename Op>
+void BenchKernel(const std::string& name, double bytes_per_op, Op&& op) {
+  double scalar_ns = 0.0;
+  for (KernelVariant variant :
+       {KernelVariant::kScalar, KernelVariant::kSimd}) {
+    const double ns = TimeNsPerOp([&] { op(variant); });
+    Row row;
+    row.kernel = name;
+    row.variant = KernelVariantName(variant);
+    row.ns_per_op = ns;
+    row.bytes_per_s = bytes_per_op / (ns * 1e-9);
+    if (variant == KernelVariant::kScalar) {
+      scalar_ns = ns;
+    } else {
+      row.speedup_vs_scalar = scalar_ns / ns;
+    }
+    g_rows.push_back(row);
+    std::printf("%-22s %-7s %12.1f ns/op %9.2f GB/s", name.c_str(),
+                row.variant.c_str(), ns, row.bytes_per_s / 1e9);
+    if (variant == KernelVariant::kSimd) {
+      std::printf("   %5.2fx vs scalar", row.speedup_vs_scalar);
+    }
+    std::printf("\n");
   }
 }
-BENCHMARK(BM_GramTallSkinny)->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_MatTMulTallSkinny(benchmark::State& state) {
-  // A^T B with two tall-skinny operands — ApplyUpdate's metadata-refresh
-  // shape (M^(i)_l = U^T A), served by the strided Trans::kYes kernel
-  // without materializing a transposed copy.
-  const int64_t rows = state.range(0);
-  const int64_t f = state.range(1);
-  const Matrix a = RandomMatrix(rows, f, 11);
-  const Matrix b = RandomMatrix(rows, f, 12);
-  for (auto _ : state) {
-    Matrix c = MatTMul(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * rows * f * f);
-}
-BENCHMARK(BM_MatTMulTallSkinny)
-    ->Args({1000, 16})
-    ->Args({10000, 16})
-    ->Args({100000, 16})
-    ->Args({10000, 64});
+void RunAll() {
+  std::printf("micro-kernels (simd target: %s, compiled: %s)\n",
+              SimdTargetName(), SimdCompiled() ? "yes" : "no");
+  bench::PrintRule();
 
-void BM_CholeskySolve(benchmark::State& state) {
-  const int64_t f = state.range(0);
-  const Matrix base = RandomMatrix(f + 8, f, 4);
-  Matrix s = Gram(base);
-  const Matrix t = RandomMatrix(256, f, 5);
-  for (auto _ : state) {
-    Matrix x;
-    SolveGramSystem(t, s, &x);
-    benchmark::DoNotOptimize(x.data());
-  }
-}
-BENCHMARK(BM_CholeskySolve)->Arg(10)->Arg(50)->Arg(100);
+  // The Gemm tile shape (linalg/blas.cc kTileM/N/K).
+  constexpr int64_t kTile = 64;
+  const Matrix a = RandomMatrix(kTile, kTile, 1);
+  const Matrix b = RandomMatrix(kTile, kTile, 2);
+  Matrix c(kTile, kTile);
+  const double tile_bytes =
+      static_cast<double>(3 * kTile * kTile) * sizeof(double);
+  BenchKernel("gemm_tile_nn", tile_bytes, [&](KernelVariant v) {
+    MicroKernelNN(a.data(), kTile, b.data(), kTile, c.data(), kTile, kTile,
+                  kTile, kTile, v, KernelArith::kExact);
+    g_sink += c.data()[0];
+  });
+  BenchKernel("gemm_tile_tn", tile_bytes, [&](KernelVariant v) {
+    MicroKernelTN(a.data(), kTile, b.data(), kTile, c.data(), kTile, kTile,
+                  kTile, kTile, 1.0, v, KernelArith::kExact);
+    g_sink += c.data()[0];
+  });
+  BenchKernel("gemm_tile_tn_fma", tile_bytes, [&](KernelVariant v) {
+    MicroKernelTN(a.data(), kTile, b.data(), kTile, c.data(), kTile, kTile,
+                  kTile, kTile, 1.0, v, KernelArith::kFma);
+    g_sink += c.data()[0];
+  });
 
-void BM_SparseMttkrp3(benchmark::State& state) {
-  // The specialized 3-mode sparse inner loop on a ~1% dense tensor.
-  const int64_t side = state.range(0);
-  const Shape shape({side, side, side});
-  SparseTensor t(shape);
-  Rng rng(13);
-  const int64_t nnz = shape.NumElements() / 100;
-  for (int64_t i = 0; i < nnz; ++i) {
-    t.Add({static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(side))),
-           static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(side))),
-           static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(side)))},
-          rng.NextGaussian());
-  }
+  // The refinement's Gram shape: tall-skinny factor, small rank.
+  const int64_t gram_rows = 4096, gram_rank = 32;
+  const Matrix tall = RandomMatrix(gram_rows, gram_rank, 3);
+  Matrix gram_out(gram_rank, gram_rank);
+  const double gram_bytes =
+      static_cast<double>(gram_rows * gram_rank +
+                          2 * gram_rank * gram_rank) *
+      sizeof(double);
+  BenchKernel("gram", gram_bytes, [&](KernelVariant v) {
+    GemmVariant(Trans::kYes, tall, Trans::kNo, tall, 1.0, 0.0, &gram_out, v,
+                KernelArith::kExact);
+    g_sink += gram_out.data()[0];
+  });
+
+  const int64_t had_n = 1 << 16;
+  Matrix had_a = RandomMatrix(had_n, 1, 4);
+  const Matrix had_b = RandomMatrix(had_n, 1, 5);
+  BenchKernel("hadamard", static_cast<double>(3 * had_n) * sizeof(double),
+              [&](KernelVariant v) {
+                HadamardKernel(had_a.data(), had_b.data(), had_n, v);
+                g_sink += had_a.data()[0];
+              });
+
+  // MTTKRP over a 3-mode block at the refinement's rank scale.
+  const int64_t rank = 16;
+  const Shape cube({48, 48, 48});
+  const DenseTensor dense = RandomSparseTensor(cube, 0.05, 6);
+  const SparseTensor coo = SparseTensor::FromDense(dense);
+  const CsfTensor csf = CsfTensor::FromDense(dense);
   std::vector<Matrix> factors;
   for (int m = 0; m < 3; ++m) {
-    factors.push_back(RandomMatrix(side, 16, 21 + m));
+    factors.push_back(
+        RandomMatrix(cube.dim(m), rank, static_cast<uint64_t>(10 + m)));
   }
-  for (auto _ : state) {
-    Matrix m = Mttkrp(t, factors, 0);
-    benchmark::DoNotOptimize(m.data());
-  }
-  state.SetItemsProcessed(state.iterations() * t.nnz());
+  // Per non-zero: the value, one factor row per skipped mode, and an
+  // output-row update.
+  const double nnz_bytes = static_cast<double>(coo.nnz()) *
+                           static_cast<double>(1 + 3 * rank) *
+                           sizeof(double);
+  BenchKernel("sparse_mttkrp_coo", nnz_bytes, [&](KernelVariant v) {
+    Matrix m = MttkrpVariant(coo, factors, 1, v);
+    g_sink += m.data()[0];
+  });
+  BenchKernel("sparse_mttkrp_csf", nnz_bytes, [&](KernelVariant v) {
+    Matrix m = MttkrpVariant(csf, factors, 1, v);
+    g_sink += m.data()[0];
+  });
+  const double dense_bytes = static_cast<double>(cube.NumElements()) *
+                             static_cast<double>(1 + 3 * rank) *
+                             sizeof(double);
+  BenchKernel("dense_mttkrp", dense_bytes, [&](KernelVariant v) {
+    Matrix m = MttkrpVariant(dense, factors, 1, v);
+    g_sink += m.data()[0];
+  });
 }
-BENCHMARK(BM_SparseMttkrp3)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_ApplyUpdateChain(benchmark::State& state) {
-  // The Eq.-3 update-rule shape (core/refinement_state.cc ApplyUpdate):
-  // per slab block, two F x F Hadamard chains, a tall-skinny GEMM
-  // accumulation T += U_l W, then the metadata refresh M = U^T A — the
-  // exact kernel mix one Phase-2 step spends its time in.
-  const int64_t block_rows = state.range(0);
-  const int64_t f = state.range(1);
-  const int64_t slab_blocks = 16;
-  std::vector<Matrix> u, m_meta, g_meta;
-  for (int64_t j = 0; j < slab_blocks; ++j) {
-    u.push_back(RandomMatrix(block_rows, f, 31 + j));
-    m_meta.push_back(RandomMatrix(f, f, 131 + j));
-    g_meta.push_back(RandomMatrix(f, f, 231 + j));
-  }
-  const Matrix a = RandomMatrix(block_rows, f, 77);
-  Matrix t(block_rows, f);
-  Matrix w(f, f);
-  Matrix sw(f, f);
-  Matrix s(f, f);
-  for (auto _ : state) {
-    t.Fill(0.0);
-    s.Fill(0.0);
-    for (int64_t j = 0; j < slab_blocks; ++j) {
-      w.Fill(1.0);
-      sw.Fill(1.0);
-      for (int rep = 0; rep < 2; ++rep) {  // N-1 = 2 skipped modes
-        HadamardInPlace(&w, m_meta[static_cast<size_t>(j)]);
-        HadamardInPlace(&sw, g_meta[static_cast<size_t>(j)]);
-      }
-      Gemm(Trans::kNo, u[static_cast<size_t>(j)], Trans::kNo, w, 1.0, 1.0,
-           &t);
-      s.Add(sw);
-    }
-    for (int64_t j = 0; j < slab_blocks; ++j) {
-      Matrix m = MatTMul(u[static_cast<size_t>(j)], a);
-      benchmark::DoNotOptimize(m.data());
-    }
-    benchmark::DoNotOptimize(t.data());
-    benchmark::DoNotOptimize(s.data());
-  }
-  state.SetItemsProcessed(state.iterations() * slab_blocks *
-                          (2 * block_rows * f * f + f * f) * 2);
-}
-BENCHMARK(BM_ApplyUpdateChain)->Args({1000, 16})->Args({4000, 32});
-
-void BM_MttkrpDense(benchmark::State& state) {
-  const int64_t side = state.range(0);
-  const Shape shape({side, side, side});
-  const DenseTensor t = RandomTensor(shape, 6);
-  std::vector<Matrix> factors;
-  for (int m = 0; m < 3; ++m) factors.push_back(RandomMatrix(side, 16, 7 + m));
-  for (auto _ : state) {
-    Matrix m = Mttkrp(t, factors, 0);
-    benchmark::DoNotOptimize(m.data());
-  }
-  state.SetItemsProcessed(state.iterations() * shape.NumElements());
-}
-BENCHMARK(BM_MttkrpDense)->Arg(16)->Arg(32)->Arg(64);
-
-void BM_CpAlsIteration(benchmark::State& state) {
-  const int64_t side = state.range(0);
-  const DenseTensor t = RandomTensor(Shape({side, side, side}), 8);
-  CpAlsOptions options;
-  options.rank = 8;
-  options.max_iterations = 1;
-  options.fit_tolerance = -1.0;
-  for (auto _ : state) {
-    KruskalTensor k = CpAls(t, options);
-    benchmark::DoNotOptimize(k.factors().data());
-  }
-}
-BENCHMARK(BM_CpAlsIteration)->Arg(16)->Arg(32);
-
-void BM_ZValue(benchmark::State& state) {
-  std::vector<int64_t> point = {5, 3, 7};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ZValue(point, 3));
-  }
-}
-BENCHMARK(BM_ZValue);
-
-void BM_HilbertIndex(benchmark::State& state) {
-  std::vector<int64_t> point = {5, 3, 7};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(HilbertIndex(point, 3));
-  }
-}
-BENCHMARK(BM_HilbertIndex);
-
-void BM_SerializeMatrix(benchmark::State& state) {
-  const Matrix m = RandomMatrix(state.range(0), 16, 9);
-  for (auto _ : state) {
-    std::string bytes = SerializeMatrix(m);
-    benchmark::DoNotOptimize(bytes.data());
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0) * 16 * 8);
-}
-BENCHMARK(BM_SerializeMatrix)->Arg(1000)->Arg(10000);
-
-void BM_DeserializeMatrix(benchmark::State& state) {
-  const std::string bytes = SerializeMatrix(RandomMatrix(state.range(0), 16, 10));
-  for (auto _ : state) {
-    auto m = DeserializeMatrix(bytes);
-    benchmark::DoNotOptimize(m->data());
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0) * 16 * 8);
-}
-BENCHMARK(BM_DeserializeMatrix)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace tpcp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (!tpcp::bench::ParseBenchArgs(argc, argv, &json_path)) return 2;
+  tpcp::RunAll();
+  if (!json_path.empty()) {
+    std::vector<std::string> rows;
+    for (const tpcp::Row& row : tpcp::g_rows) {
+      tpcp::bench::JsonObject obj;
+      obj.Add("kernel", row.kernel)
+          .Add("variant", row.variant)
+          .Add("ns_per_op", row.ns_per_op)
+          .Add("bytes_per_s", row.bytes_per_s);
+      if (row.variant == "simd") {
+        obj.Add("speedup_vs_scalar", row.speedup_vs_scalar);
+      }
+      rows.push_back(obj.Render());
+    }
+    tpcp::bench::JsonObject top;
+    top.Add("bench", "micro_kernels")
+        .Add("simd_target", tpcp::SimdTargetName())
+        .Add("simd_compiled", tpcp::SimdCompiled())
+        .AddRaw("rows", tpcp::bench::JsonArray(rows));
+    tpcp::bench::WriteJsonFile(json_path, top.Render());
+  }
+  return 0;
+}

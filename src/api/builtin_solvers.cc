@@ -210,20 +210,20 @@ class Haten2Solver : public Solver {
     result_.solver = name();
 
     // A Hadoop pipeline ingests COO records; lift the block store's
-    // non-zeros into that form.
+    // non-zeros into that form. ReadBlockSparse decodes sparse slabs
+    // without densifying and scans dense ones — entries arrive in
+    // lexicographic order either way, so the lifted COO is identical
+    // across slab formats.
     const GridPartition& grid = context_.input->grid();
     SparseTensor coo(grid.tensor_shape());
     for (const BlockIndex& block : grid.AllBlocks()) {
-      auto chunk = context_.input->ReadBlock(block);
+      auto chunk = context_.input->ReadBlockSparse(block);
       if (!chunk.ok()) return chunk.status();
       const Index offsets = grid.BlockOffsets(block);
-      const int64_t n = chunk->NumElements();
-      for (int64_t linear = 0; linear < n; ++linear) {
-        const double v = chunk->at_linear(linear);
-        if (v == 0.0) continue;
-        Index idx = chunk->shape().MultiIndex(linear);
+      for (const SparseEntry& entry : chunk->entries()) {
+        Index idx = entry.index;
         for (size_t m = 0; m < idx.size(); ++m) idx[m] += offsets[m];
-        coo.Add(std::move(idx), v);
+        coo.Add(std::move(idx), entry.value);
       }
     }
 

@@ -24,10 +24,10 @@ Result<std::unique_ptr<Session>> Session::Open(SessionOptions options) {
 }
 
 Result<BlockTensorStore*> Session::CreateTensorStore(
-    const GridPartition& grid) {
+    const GridPartition& grid, SlabFormat format) {
   TPCP_ASSIGN_OR_RETURN(
       BlockTensorStore store,
-      BlockTensorStore::Create(env(), options_.tensor_prefix, grid));
+      BlockTensorStore::Create(env(), options_.tensor_prefix, grid, format));
   tensor_.emplace(std::move(store));
   return &*tensor_;
 }

@@ -66,8 +66,11 @@ class Session {
   }
 
   /// Creates the session's tensor store for `grid`, writing its MANIFEST.
-  /// The returned pointer is owned by the session.
-  Result<BlockTensorStore*> CreateTensorStore(const GridPartition& grid);
+  /// `format` selects the block encoding (grid/slab_format.h); every
+  /// solver reads every format, so this is a storage choice, not a math
+  /// one. The returned pointer is owned by the session.
+  Result<BlockTensorStore*> CreateTensorStore(
+      const GridPartition& grid, SlabFormat format = SlabFormat::kDense);
 
   /// Opens the existing tensor store: geometry from the MANIFEST, with the
   /// legacy block-filename scan as fallback for pre-manifest stores.

@@ -7,11 +7,19 @@
 namespace tpcp {
 namespace {
 
-// Shared bookkeeping for the recency-based policies.
+// Shared bookkeeping for the recency-based policies. With advice set,
+// candidates the oracle declares dead for at least `advice_horizon` steps
+// form the preferred victim pool (the plan's eviction-hint rule); the
+// recency order decides within it and decides alone when it is empty.
 class RecencyPolicy : public ReplacementPolicy {
  public:
-  explicit RecencyPolicy(bool evict_least_recent)
-      : evict_least_recent_(evict_least_recent) {}
+  explicit RecencyPolicy(bool evict_least_recent,
+                         std::shared_ptr<const ScheduleLookahead> advice =
+                             nullptr,
+                         int64_t advice_horizon = 0)
+      : evict_least_recent_(evict_least_recent),
+        advice_(std::move(advice)),
+        advice_horizon_(advice_horizon) {}
 
   PolicyType type() const override {
     return evict_least_recent_ ? PolicyType::kLru : PolicyType::kMru;
@@ -28,8 +36,23 @@ class RecencyPolicy : public ReplacementPolicy {
   }
 
   ModePartition ChooseVictim(const std::vector<ModePartition>& candidates,
-                             int64_t /*pos*/) override {
+                             int64_t pos) override {
     TPCP_CHECK(!candidates.empty());
+    if (advice_ != nullptr) {
+      std::vector<ModePartition> dead;
+      for (const ModePartition& unit : candidates) {
+        if (advice_->NextUse(unit, pos) - pos >= advice_horizon_) {
+          dead.push_back(unit);
+        }
+      }
+      if (!dead.empty()) return PickByRecency(dead);
+    }
+    return PickByRecency(candidates);
+  }
+
+ private:
+  ModePartition PickByRecency(
+      const std::vector<ModePartition>& candidates) const {
     ModePartition victim = candidates.front();
     int64_t victim_time = TimeOf(victim);
     for (const ModePartition& unit : candidates) {
@@ -44,7 +67,6 @@ class RecencyPolicy : public ReplacementPolicy {
     return victim;
   }
 
- private:
   int64_t TimeOf(const ModePartition& unit) const {
     auto it = last_access_.find(unit);
     TPCP_CHECK(it != last_access_.end());
@@ -52,6 +74,8 @@ class RecencyPolicy : public ReplacementPolicy {
   }
 
   bool evict_least_recent_;
+  std::shared_ptr<const ScheduleLookahead> advice_;
+  int64_t advice_horizon_;
   std::map<ModePartition, int64_t> last_access_;
 };
 
@@ -110,6 +134,18 @@ std::unique_ptr<ReplacementPolicy> NewMruPolicy() {
   return std::make_unique<RecencyPolicy>(/*evict_least_recent=*/false);
 }
 
+std::unique_ptr<ReplacementPolicy> NewLruPolicy(
+    std::shared_ptr<const ScheduleLookahead> advice, int64_t advice_horizon) {
+  return std::make_unique<RecencyPolicy>(/*evict_least_recent=*/true,
+                                         std::move(advice), advice_horizon);
+}
+
+std::unique_ptr<ReplacementPolicy> NewMruPolicy(
+    std::shared_ptr<const ScheduleLookahead> advice, int64_t advice_horizon) {
+  return std::make_unique<RecencyPolicy>(/*evict_least_recent=*/false,
+                                         std::move(advice), advice_horizon);
+}
+
 std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
     const UpdateSchedule& schedule) {
   return std::make_unique<ForwardPolicy>(
@@ -123,7 +159,21 @@ std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
 
 std::unique_ptr<ReplacementPolicy> NewPolicy(
     PolicyType type, const UpdateSchedule* schedule,
-    std::shared_ptr<const ScheduleLookahead> lookahead) {
+    std::shared_ptr<const ScheduleLookahead> lookahead, bool victim_hints) {
+  if (victim_hints &&
+      (type == PolicyType::kLru || type == PolicyType::kMru)) {
+    TPCP_CHECK(schedule != nullptr || lookahead != nullptr);
+    if (lookahead == nullptr) {
+      lookahead = std::make_shared<ScheduleLookahead>(*schedule);
+    }
+    // The horizon that makes a unit an eviction hint in the execution
+    // plan: not used again within one virtual iteration.
+    TPCP_CHECK(schedule != nullptr);
+    const int64_t horizon = schedule->virtual_iteration_length();
+    return type == PolicyType::kLru
+               ? NewLruPolicy(std::move(lookahead), horizon)
+               : NewMruPolicy(std::move(lookahead), horizon);
+  }
   switch (type) {
     case PolicyType::kLru:
       return NewLruPolicy();

@@ -49,6 +49,18 @@ std::unique_ptr<ReplacementPolicy> NewLruPolicy();
 /// Most-recently-used (temporal a-locality of looping traversals).
 std::unique_ptr<ReplacementPolicy> NewMruPolicy();
 
+/// LRU/MRU with victim advice from a next-use oracle: candidates whose
+/// next use lies at least `advice_horizon` steps out (one virtual
+/// iteration — exactly the units the execution plan lists as eviction
+/// hints, PlanWave::evict_hints) are preferred as victims, the recency
+/// rule choosing among them; when no candidate is that dead, plain
+/// recency applies. The backward-looking policies stay backward-looking
+/// for ordering and only borrow the plan's "dead for this vi" judgement.
+std::unique_ptr<ReplacementPolicy> NewLruPolicy(
+    std::shared_ptr<const ScheduleLookahead> advice, int64_t advice_horizon);
+std::unique_ptr<ReplacementPolicy> NewMruPolicy(
+    std::shared_ptr<const ScheduleLookahead> advice, int64_t advice_horizon);
+
 /// Forward-looking, schedule-aware (Belady on the known trace): evicts the
 /// unit whose next use is furthest in the future.
 std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
@@ -63,9 +75,13 @@ std::unique_ptr<ReplacementPolicy> NewForwardPolicy(
 
 /// Factory from the enum; `schedule` is only required for kForward, and a
 /// non-null `lookahead` replaces the table kForward would otherwise build.
+/// With `victim_hints` true, LRU/MRU take the lookahead (built from
+/// `schedule` when null) as victim advice with a one-virtual-iteration
+/// horizon; kForward ignores the flag (it already reads the oracle).
 std::unique_ptr<ReplacementPolicy> NewPolicy(
     PolicyType type, const UpdateSchedule* schedule,
-    std::shared_ptr<const ScheduleLookahead> lookahead = nullptr);
+    std::shared_ptr<const ScheduleLookahead> lookahead = nullptr,
+    bool victim_hints = false);
 
 }  // namespace tpcp
 

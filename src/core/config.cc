@@ -50,6 +50,12 @@ uint64_t TwoPhaseCpOptions::ResumeFingerprint() const {
                               : 0u);
     hash = HashWord(hash, static_cast<uint64_t>(shard_slab_blocks));
   }
+  // Fused-multiply-add kernels change every Phase-2 rounding sequence.
+  // Hashed only when enabled, like the planner knobs, so checkpoints cut
+  // by pre-FMA binaries keep their fingerprints.
+  if (kernel_fma) {
+    hash = HashWord(hash, 0x666d61u);  // "fma"
+  }
   return hash;
 }
 
@@ -83,6 +89,8 @@ std::string TwoPhaseCpOptions::ToString() const {
   if (shard_slab_blocks > 0) {
     out += " shard_slab_blocks=" + std::to_string(shard_slab_blocks);
   }
+  if (kernel_fma) out += " kernel_fma=1";
+  if (policy_victim_hints) out += " policy_victim_hints=1";
   return out;
 }
 

@@ -101,6 +101,27 @@ struct TwoPhaseCpOptions {
   /// making this math-shaping (fingerprinted) as well.
   int64_t shard_slab_blocks = 0;
 
+  // ---- Kernel arithmetic (linalg/kernels.h) ----
+  /// Run the Phase-2 refinement math (Eq.-3 accumulation, Gram / metadata
+  /// refresh) with fused multiply-add kernels: one rounding per update
+  /// instead of two. Faster on FMA hardware but a *different* rounding
+  /// sequence — math-shaping, so it is part of ResumeFingerprint (hashed
+  /// only when enabled, preserving pre-FMA checkpoint fingerprints) and a
+  /// mismatched resume is rejected. Results are identical across scalar
+  /// and SIMD builds either way (std::fma == hardware FMA).
+  bool kernel_fma = false;
+
+  /// Let the backward-looking policies (LRU/MRU) consult the execution
+  /// plan's next-use oracle as victim advice: units that are dead for at
+  /// least one virtual iteration — exactly the plan's eviction hints — are
+  /// evicted first, the recency rule breaking ties. I/O-shaping like the
+  /// policy choice itself: swap counts change, numbers never do (and the
+  /// swap simulator models the same advice, so measured swap counts stay
+  /// equal to simulated ones). With plan_reorder on it feeds the
+  /// certification replay, where a flipped adoption is caught by the plan
+  /// fingerprint, again like the policy.
+  bool policy_victim_hints = false;
+
   /// Wall-clock budget in seconds for solvers that support one (the
   /// naive-oocp baseline reports `timed_out` when it is exceeded, as the
   /// paper's ">12 hours" row does); 0 = unlimited. Ignored by 2PCP itself.

@@ -65,6 +65,7 @@ PlannerOptions Phase2PlannerOptions(const TwoPhaseCpOptions& options,
   planner_options.reorder_window = options.plan_reorder_window;
   planner_options.shard_chunk_blocks = options.shard_slab_blocks;
   planner_options.prefetch_depth = options.prefetch_depth;
+  planner_options.victim_hints = options.policy_victim_hints;
   // Certification (two simulated cycle replays) is only paid when the
   // reordering pass needs its parity gate.
   planner_options.certify = options.plan_reorder;
@@ -102,7 +103,9 @@ Status Phase2Engine::Run(Phase2Result* result) {
   }
 
   RefinementState state(factors_, options_.refinement_ridge,
-                        compute_pool.get());
+                        compute_pool.get(),
+                        options_.kernel_fma ? KernelArith::kFma
+                                            : KernelArith::kExact);
   TPCP_RETURN_IF_ERROR(state.Initialize(options_.resume_phase2));
 
   const UpdateSchedule source_schedule =
@@ -144,6 +147,16 @@ Status Phase2Engine::Run(Phase2Result* result) {
             "', not '" + ScheduleTypeName(options_.schedule) +
             "'; resume with the same schedule");
       }
+      // Math-shaping options (rank, seed, init, solve parameters, FMA
+      // kernels, planner knobs) are hashed into the checkpoint; resuming
+      // under different ones would splice two runs no single spec
+      // produces. (0: checkpoint predates fingerprinting.)
+      if (ckpt.options_fingerprint != 0 &&
+          ckpt.options_fingerprint != options_.ResumeFingerprint()) {
+        return Status::FailedPrecondition(
+            "checkpoint was cut under different math-shaping options "
+            "(fingerprint mismatch); resume with the original options");
+      }
       if (ckpt.cursor / vi_len != ckpt.iteration) {
         return Status::Corruption(
             "checkpoint cursor disagrees with its iteration count");
@@ -183,8 +196,11 @@ Status Phase2Engine::Run(Phase2Result* result) {
 
   // The forward policy shares the plan's next-use oracle, so victim
   // choice follows the plan's (possibly reordered) trace by construction.
+  // With policy_victim_hints on, LRU/MRU read the same oracle as victim
+  // advice (the plan's eviction hints), recency only breaking ties.
   BufferPool pool(capacity, catalog,
-                  NewPolicy(options_.policy, &schedule, plan.lookahead()));
+                  NewPolicy(options_.policy, &schedule, plan.lookahead(),
+                            options_.policy_victim_hints));
   auto load = [&state](const ModePartition& unit) {
     return state.LoadUnit(unit);
   };

@@ -11,9 +11,9 @@
 namespace tpcp {
 
 RefinementState::RefinementState(BlockFactorStore* store, double ridge,
-                                 ThreadPool* compute_pool)
+                                 ThreadPool* compute_pool, KernelArith arith)
     : store_(store), grid_(store->grid()), rank_(store->rank()),
-      ridge_(ridge), compute_pool_(compute_pool) {
+      ridge_(ridge), compute_pool_(compute_pool), arith_(arith) {
   for (int mode = 0; mode < grid_.num_modes(); ++mode) {
     for (int64_t part = 0; part < grid_.parts(mode); ++part) {
       slabs_[ModePartition{mode, part}] = store_->SlabBlocks(mode, part);
@@ -50,7 +50,7 @@ Status RefinementState::Initialize(bool resume) {
       TPCP_RETURN_IF_ERROR(
           store_->WriteSubFactor(unit.mode, unit.part, seed));
     }
-    g_[unit] = Gram(seed);
+    g_[unit] = Gram(seed, arith_);
     a_init[unit] = std::move(seed);
   }
 
@@ -77,8 +77,8 @@ Status RefinementState::Initialize(bool resume) {
           }
           const ModePartition unit{h, block[static_cast<size_t>(h)]};
           m_[static_cast<size_t>(flat)][static_cast<size_t>(h)] =
-              MatTMul(*u, a_init.at(unit));
-          HadamardInPlace(&norm_acc, Gram(*u));
+              MatTMul(*u, a_init.at(unit), arith_);
+          HadamardInPlace(&norm_acc, Gram(*u, arith_));
         }
         double norm_sq = 0.0;
         for (int64_t i = 0; i < norm_acc.size(); ++i) {
@@ -171,7 +171,7 @@ void RefinementState::ApplyUpdate(const UpdateStep& step,
       }
       // T += U_l W
       Gemm(Trans::kNo, data.u[static_cast<size_t>(j)], Trans::kNo, w, 1.0,
-           1.0, t_acc);
+           1.0, t_acc, arith_);
       s_acc->Add(sw);
     }
   };
@@ -215,12 +215,12 @@ void RefinementState::ApplyUpdate(const UpdateStep& step,
   // nodes — they never read mode-i metadata — race with nothing.
   auto g_it = g_.find(unit);
   TPCP_CHECK(g_it != g_.end());
-  g_it->second = Gram(data.a);
+  g_it->second = Gram(data.a, arith_);
   if (!sharded) {
     for (size_t j = 0; j < slab.size(); ++j) {
       const int64_t flat = grid_.FlattenBlock(slab[j]);
       m_[static_cast<size_t>(flat)][static_cast<size_t>(i)] =
-          MatTMul(data.u[j], data.a);
+          MatTMul(data.u[j], data.a, arith_);
     }
   } else {
     // Sharded steps fan the M refresh out too: each block's M^(i)_l is
@@ -229,7 +229,7 @@ void RefinementState::ApplyUpdate(const UpdateStep& step,
     ParallelFor(compute_pool_, 0, slab_len, [&](int64_t j) {
       const int64_t flat = grid_.FlattenBlock(slab[static_cast<size_t>(j)]);
       m_[static_cast<size_t>(flat)][static_cast<size_t>(i)] =
-          MatTMul(data.u[static_cast<size_t>(j)], data.a);
+          MatTMul(data.u[static_cast<size_t>(j)], data.a, arith_);
     });
   }
   updates_applied_.fetch_add(1, std::memory_order_relaxed);

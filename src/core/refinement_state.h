@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/block_factors.h"
+#include "linalg/kernels.h"
 #include "parallel/thread_pool.h"
 #include "schedule/update_schedule.h"
 
@@ -51,8 +52,12 @@ class RefinementState {
   /// (optional, non-owning, must outlive the state) parallelizes the
   /// full-grid passes of Initialize and SurrogateFit; it must not be
   /// shared with a concurrent ParallelFor user while either runs.
+  /// `arith` selects the accumulation arithmetic of the refinement's
+  /// Gemm/Gram/MatTMul calls (TwoPhaseCpOptions::kernel_fma — a
+  /// fingerprinted, math-shaping choice).
   explicit RefinementState(BlockFactorStore* store, double ridge = 0.0,
-                           ThreadPool* compute_pool = nullptr);
+                           ThreadPool* compute_pool = nullptr,
+                           KernelArith arith = KernelArith::kExact);
 
   /// Seeds every sub-factor A^(i)_(ki) and computes the M/G/norm
   /// metadata, reading every block factor once. With `resume` false the
@@ -131,6 +136,7 @@ class RefinementState {
   int64_t rank_;
   double ridge_;
   ThreadPool* compute_pool_;
+  KernelArith arith_;
 
   // Guards the resident_ map's structure. Unit payloads are not covered:
   // a thread only touches units no load/evict is in flight for (the

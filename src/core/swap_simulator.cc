@@ -11,6 +11,7 @@ namespace {
 BufferStats ReplaySteps(const UpdateSchedule& schedule, int64_t rank,
                         PolicyType policy, uint64_t buffer_bytes,
                         int64_t warmup_steps, int64_t measure_steps,
+                        bool victim_hints,
                         uint64_t* effective_buffer_bytes = nullptr) {
   UnitCatalog catalog(schedule.grid(), rank);
   const uint64_t capacity =
@@ -18,7 +19,8 @@ BufferStats ReplaySteps(const UpdateSchedule& schedule, int64_t rank,
   if (effective_buffer_bytes != nullptr) {
     *effective_buffer_bytes = capacity;
   }
-  BufferPool pool(capacity, catalog, NewPolicy(policy, &schedule));
+  BufferPool pool(capacity, catalog,
+                  NewPolicy(policy, &schedule, nullptr, victim_hints));
   int64_t pos = 0;
   for (; pos < warmup_steps; ++pos) {
     const Status s = pool.Access(schedule.StepAt(pos).unit(), pos);
@@ -39,7 +41,8 @@ SwapSimResult SimulateSwapsForSchedule(const UpdateSchedule& schedule,
                                        int64_t rank, PolicyType policy,
                                        uint64_t buffer_bytes,
                                        int warmup_cycles,
-                                       int measure_virtual_iterations) {
+                                       int measure_virtual_iterations,
+                                       bool victim_hints) {
   SwapSimResult result;
   result.total_requirement_bytes =
       UnitCatalog(schedule.grid(), rank).TotalBytes();
@@ -48,7 +51,7 @@ SwapSimResult SimulateSwapsForSchedule(const UpdateSchedule& schedule,
       static_cast<int64_t>(warmup_cycles) * schedule.cycle_length(),
       static_cast<int64_t>(measure_virtual_iterations) *
           schedule.virtual_iteration_length(),
-      &result.buffer_bytes);
+      victim_hints, &result.buffer_bytes);
   result.measured_swaps = result.stats.swap_ins;
   result.measured_virtual_iterations = measure_virtual_iterations;
   result.swaps_per_virtual_iteration =
@@ -60,13 +63,14 @@ SwapSimResult SimulateSwapsForSchedule(const UpdateSchedule& schedule,
 double SimulateSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
                                      int64_t rank, PolicyType policy,
                                      uint64_t buffer_bytes,
-                                     int warmup_cycles, int measure_cycles) {
+                                     int warmup_cycles, int measure_cycles,
+                                     bool victim_hints) {
   const int64_t measure_steps =
       static_cast<int64_t>(measure_cycles) * schedule.cycle_length();
   const BufferStats stats = ReplaySteps(
       schedule, rank, policy, buffer_bytes,
       static_cast<int64_t>(warmup_cycles) * schedule.cycle_length(),
-      measure_steps);
+      measure_steps, victim_hints);
   return static_cast<double>(stats.swap_ins) *
          static_cast<double>(schedule.virtual_iteration_length()) /
          static_cast<double>(measure_steps);
@@ -81,7 +85,8 @@ SwapSimResult SimulateSwaps(const SwapSimConfig& config) {
       static_cast<double>(catalog.TotalBytes()));
   return SimulateSwapsForSchedule(schedule, config.rank, config.policy,
                                   buffer_bytes, config.warmup_cycles,
-                                  config.measure_virtual_iterations);
+                                  config.measure_virtual_iterations,
+                                  config.victim_hints);
 }
 
 }  // namespace tpcp

@@ -28,6 +28,10 @@ struct SwapSimConfig {
   /// Full schedule cycles replayed before measuring (the replayed trace is
   /// periodic, so steady state is reached within one cycle).
   int warmup_cycles = 2;
+  /// Model LRU/MRU with the plan's eviction hints as victim advice — the
+  /// same NewPolicy flag the engine sets for policy_victim_hints runs, so
+  /// the simulated and measured policies agree.
+  bool victim_hints = false;
 };
 
 /// Simulation outcome.
@@ -53,7 +57,8 @@ SwapSimResult SimulateSwapsForSchedule(const UpdateSchedule& schedule,
                                        int64_t rank, PolicyType policy,
                                        uint64_t buffer_bytes,
                                        int warmup_cycles,
-                                       int measure_virtual_iterations);
+                                       int measure_virtual_iterations,
+                                       bool victim_hints = false);
 
 /// Steady-state swaps per virtual iteration of `schedule`, measured over
 /// `measure_cycles` *whole* cycles (after `warmup_cycles`) and averaged as
@@ -66,7 +71,8 @@ SwapSimResult SimulateSwapsForSchedule(const UpdateSchedule& schedule,
 double SimulateSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
                                      int64_t rank, PolicyType policy,
                                      uint64_t buffer_bytes,
-                                     int warmup_cycles, int measure_cycles);
+                                     int warmup_cycles, int measure_cycles,
+                                     bool victim_hints = false);
 
 }  // namespace tpcp
 

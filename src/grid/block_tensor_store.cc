@@ -6,12 +6,16 @@
 namespace tpcp {
 
 BlockTensorStore::BlockTensorStore(Env* env, std::string prefix,
-                                   GridPartition grid)
-    : env_(env), prefix_(std::move(prefix)), grid_(std::move(grid)) {}
+                                   GridPartition grid, SlabFormat format)
+    : env_(env),
+      prefix_(std::move(prefix)),
+      grid_(std::move(grid)),
+      format_(format) {}
 
 Result<BlockTensorStore> BlockTensorStore::Create(Env* env,
                                                   std::string prefix,
-                                                  GridPartition grid) {
+                                                  GridPartition grid,
+                                                  SlabFormat format) {
   if (env == nullptr) {
     return Status::InvalidArgument("BlockTensorStore requires an Env");
   }
@@ -26,8 +30,9 @@ Result<BlockTensorStore> BlockTensorStore::Create(Env* env,
   StoreManifest manifest;
   manifest.kind = StoreManifest::kTensorKind;
   manifest.grid = grid;
+  manifest.format = format;
   TPCP_RETURN_IF_ERROR(WriteManifest(env, prefix, manifest));
-  return BlockTensorStore(env, std::move(prefix), std::move(grid));
+  return BlockTensorStore(env, std::move(prefix), std::move(grid), format);
 }
 
 Result<BlockTensorStore> BlockTensorStore::Open(Env* env,
@@ -45,7 +50,8 @@ Result<BlockTensorStore> BlockTensorStore::Open(Env* env,
       return Status::InvalidArgument("store at '" + prefix + "' is a " +
                                      manifest->kind + " store");
     }
-    return BlockTensorStore(env, std::move(prefix), manifest->grid);
+    return BlockTensorStore(env, std::move(prefix), manifest->grid,
+                            manifest->format);
   }
   if (!manifest.status().IsNotFound() && !manifest.status().IsCorruption()) {
     // E.g. a transient IOError or a newer manifest version — not a legacy
@@ -60,8 +66,23 @@ Result<BlockTensorStore> BlockTensorStore::Open(Env* env,
   StoreManifest healed;
   healed.kind = StoreManifest::kTensorKind;
   healed.grid = grid;
+  // Recover the slab format from the first block's record kind, so a
+  // sparse store with a damaged manifest heals to a sparse manifest.
+  {
+    std::string name = prefix + "/block";
+    for (int m = 0; m < grid.num_modes(); ++m) name += "_0";
+    std::string bytes;
+    if (env->ReadFile(name, &bytes).ok()) {
+      Result<uint8_t> kind = PeekRecordKind(bytes);
+      if (kind.ok()) {
+        if (kind.value() == 3) healed.format = SlabFormat::kCoo;
+        if (kind.value() == 4) healed.format = SlabFormat::kCsf;
+      }
+    }
+  }
   (void)WriteManifest(env, prefix, healed);
-  return BlockTensorStore(env, std::move(prefix), std::move(grid));
+  return BlockTensorStore(env, std::move(prefix), std::move(grid),
+                          healed.format);
 }
 
 std::string BlockTensorStore::BlockFileName(const BlockIndex& block) const {
@@ -80,11 +101,33 @@ Status BlockTensorStore::WriteBlock(const BlockIndex& block,
     return Status::InvalidArgument(
         "block shape " + data.shape().ToString() + " does not match grid");
   }
-  return WriteTensor(env_, BlockFileName(block), data);
+  const std::string name = BlockFileName(block);
+  switch (format_) {
+    case SlabFormat::kDense:
+      return WriteTensor(env_, name, data);
+    case SlabFormat::kCoo:
+      return WriteSparseCoo(env_, name, SparseTensor::FromDense(data));
+    case SlabFormat::kCsf:
+      return WriteSparseCsf(env_, name, CsfTensor::FromDense(data));
+  }
+  return Status::InvalidArgument("unknown slab format");
 }
 
 Result<DenseTensor> BlockTensorStore::ReadBlock(const BlockIndex& block) const {
-  return ReadTensor(env_, BlockFileName(block));
+  return ReadTensorAny(env_, BlockFileName(block));
+}
+
+Result<SparseTensor> BlockTensorStore::ReadBlockSparse(
+    const BlockIndex& block) const {
+  std::string bytes;
+  TPCP_RETURN_IF_ERROR(env_->ReadFile(BlockFileName(block), &bytes));
+  Result<SparseTensor> sparse = DeserializeSparse(bytes);
+  if (sparse.ok()) return sparse;
+  // Dense record: scan its non-zero cells (linear scan == lexicographic
+  // order, matching the sparse decodings).
+  Result<DenseTensor> dense = DeserializeTensor(bytes);
+  if (!dense.ok()) return dense.status();
+  return SparseTensor::FromDense(dense.value());
 }
 
 bool BlockTensorStore::HasBlock(const BlockIndex& block) const {

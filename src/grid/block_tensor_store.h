@@ -1,8 +1,14 @@
-// On-disk chunked dense tensor store (the TensorDB/SciDB chunk-store role).
+// On-disk chunked tensor store (the TensorDB/SciDB chunk-store role).
 //
-// A BlockTensorStore holds one serialized DenseTensor file per grid block.
+// A BlockTensorStore holds one serialized tensor file per grid block.
 // Large tensors never need to exist contiguously in memory: producers write
 // blocks one at a time, consumers (Phase 1) read them back one at a time.
+//
+// Blocks are encoded per the store's SlabFormat (dense row-major, sparse
+// COO, or compressed sparse fiber) — a store-wide property recorded in the
+// manifest. Reads auto-detect the record kind, so any consumer opens any
+// format and ReadBlock always materializes the same dense bits regardless
+// of encoding.
 
 #ifndef TPCP_GRID_BLOCK_TENSOR_STORE_H_
 #define TPCP_GRID_BLOCK_TENSOR_STORE_H_
@@ -11,8 +17,10 @@
 #include <string>
 
 #include "grid/grid_partition.h"
+#include "grid/slab_format.h"
 #include "storage/env.h"
 #include "tensor/dense_tensor.h"
+#include "tensor/sparse_tensor.h"
 #include "util/status.h"
 
 namespace tpcp {
@@ -23,13 +31,15 @@ class BlockTensorStore {
   /// Store rooted at `prefix` inside `env`, laid out per `grid`. Legacy
   /// manifest-less construction — prefer Create/Open, which persist and
   /// recover the geometry.
-  BlockTensorStore(Env* env, std::string prefix, GridPartition grid);
+  BlockTensorStore(Env* env, std::string prefix, GridPartition grid,
+                   SlabFormat format = SlabFormat::kDense);
 
   /// Creates a store and writes its versioned MANIFEST so Open can recover
   /// the geometry later. InvalidArgument on a null env, empty prefix or
   /// empty grid.
-  static Result<BlockTensorStore> Create(Env* env, std::string prefix,
-                                         GridPartition grid);
+  static Result<BlockTensorStore> Create(
+      Env* env, std::string prefix, GridPartition grid,
+      SlabFormat format = SlabFormat::kDense);
 
   /// Opens an existing store: geometry from `<prefix>/MANIFEST` on the
   /// happy path, falling back to the legacy block-filename scan for
@@ -39,12 +49,24 @@ class BlockTensorStore {
 
   const GridPartition& grid() const { return grid_; }
   Env* env() const { return env_; }
+  SlabFormat format() const { return format_; }
 
-  /// Writes one block (shape must match the grid geometry for `block`).
+  /// Writes one block (shape must match the grid geometry for `block`),
+  /// encoded per the store's format.
   Status WriteBlock(const BlockIndex& block, const DenseTensor& data);
 
-  /// Reads one block back.
+  /// Reads one block back as a dense tensor, whatever its encoding. The
+  /// sparse decodings visit non-zeros in lexicographic order — the same
+  /// cells the dense record stores — so the returned bits are identical
+  /// across formats.
   Result<DenseTensor> ReadBlock(const BlockIndex& block) const;
+
+  /// Reads one block as a COO tensor without densifying: sparse records
+  /// decode directly (CSF expands in lexicographic order), dense records
+  /// scan their non-zero cells — in both cases entries arrive in
+  /// lexicographic order, so consumers see one canonical entry order
+  /// regardless of the store's format.
+  Result<SparseTensor> ReadBlockSparse(const BlockIndex& block) const;
 
   /// True if the block has been written.
   bool HasBlock(const BlockIndex& block) const;
@@ -70,6 +92,7 @@ class BlockTensorStore {
   Env* env_;
   std::string prefix_;
   GridPartition grid_;
+  SlabFormat format_;
 };
 
 }  // namespace tpcp

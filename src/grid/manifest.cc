@@ -20,6 +20,9 @@ std::string StoreManifest::Serialize() const {
   for (int m = 0; m < grid.num_modes(); ++m) out << " " << grid.parts(m);
   out << "\n";
   if (kind == kFactorsKind) out << "rank " << rank << "\n";
+  if (format != SlabFormat::kDense) {
+    out << "format " << SlabFormatName(format) << "\n";
+  }
   if (checkpoint.has_value()) {
     out << "ckpt_schedule " << checkpoint->schedule << "\n";
     out << "ckpt_iteration " << checkpoint->iteration << "\n";
@@ -74,6 +77,12 @@ Result<StoreManifest> StoreManifest::Parse(const std::string& bytes) {
     } else if (key == "rank") {
       if (!(in >> manifest.rank)) {
         return Status::Corruption("manifest rank is malformed");
+      }
+    } else if (version >= 4 && key == "format") {
+      std::string name;
+      if (!(in >> name) ||
+          !SlabFormatFromName(name.c_str(), &manifest.format)) {
+        return Status::Corruption("manifest format is malformed");
       }
     } else if (version >= 2 && key == "ckpt_schedule") {
       if (!(in >> ckpt.schedule)) {
@@ -224,7 +233,7 @@ Result<GridPartition> ScanTensorGeometry(Env* env,
         name += "_";
         name += std::to_string(i == mode ? k : 0);
       }
-      auto block = ReadTensor(env, name);
+      auto block = ReadTensorAny(env, name);
       if (!block.ok()) {
         return Status::Corruption("geometry scan of '" + prefix +
                                   "' failed probing " + name + ": " +

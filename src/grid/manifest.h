@@ -5,11 +5,12 @@
 // consumers open it by name instead of reverse-engineering shape and grid
 // from block filenames:
 //
-//   tpcp-manifest 3
+//   tpcp-manifest 4
 //   kind tensor            (or: factors)
 //   shape 60 60 60
 //   parts 2 2 2
 //   rank 5                 (factor stores only)
+//   format csf             (tensor stores; omitted = dense, v4)
 //
 // Factor-store manifests of a cancelled (or crashed-after-checkpoint)
 // Phase-2 refinement additionally carry a checkpoint record, so a
@@ -21,8 +22,9 @@
 //   ckpt_plan 1234567      (execution-plan fingerprint, v3; 0 = absent)
 //   ckpt_fit 0.81 0.86 0.88   (surrogate fit trace, one per iteration)
 //
-// Version 1 manifests (no checkpoint vocabulary) and version 2 manifests
-// (no ckpt_plan) parse unchanged.
+// Version 1 manifests (no checkpoint vocabulary), version 2 manifests
+// (no ckpt_plan), and version 3 manifests (no format key) parse
+// unchanged; an absent format key means dense.
 // BlockTensorStore::Open prefers the manifest and falls back to the legacy
 // block-filename scan (ScanTensorGeometry) for stores written before
 // manifests existed.
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "grid/grid_partition.h"
+#include "grid/slab_format.h"
 #include "storage/env.h"
 #include "util/status.h"
 
@@ -67,13 +70,16 @@ struct Phase2Checkpoint {
 
 /// Geometry descriptor persisted per store.
 struct StoreManifest {
-  static constexpr int kVersion = 3;
+  static constexpr int kVersion = 4;
   static constexpr const char* kTensorKind = "tensor";
   static constexpr const char* kFactorsKind = "factors";
 
   std::string kind;    // kTensorKind or kFactorsKind
   GridPartition grid;  // shape + partition counts
   int64_t rank = 0;    // factor stores only (0 for tensor stores)
+  /// Block encoding of a tensor store (dense when the key is absent —
+  /// every pre-v4 store). Serialized only when non-dense.
+  SlabFormat format = SlabFormat::kDense;
   /// Present only on factor stores holding an interrupted Phase 2.
   std::optional<Phase2Checkpoint> checkpoint;
 

@@ -1,0 +1,45 @@
+// On-disk block ("slab") encodings a tensor store can use.
+
+#ifndef TPCP_GRID_SLAB_FORMAT_H_
+#define TPCP_GRID_SLAB_FORMAT_H_
+
+#include <string_view>
+
+namespace tpcp {
+
+/// How a BlockTensorStore encodes its blocks. A store-wide property
+/// recorded in the manifest; the read path auto-detects per record, so any
+/// consumer opens any format.
+enum class SlabFormat {
+  kDense,  // row-major f64 payload (the original format)
+  kCoo,    // non-zeros as coordinate/value pairs
+  kCsf,    // compressed sparse fiber hierarchy, delta-coded indices
+};
+
+inline const char* SlabFormatName(SlabFormat format) {
+  switch (format) {
+    case SlabFormat::kDense:
+      return "dense";
+    case SlabFormat::kCoo:
+      return "coo";
+    case SlabFormat::kCsf:
+      return "csf";
+  }
+  return "?";
+}
+
+/// Parses a format name; returns false on an unknown name.
+inline bool SlabFormatFromName(const char* name, SlabFormat* format) {
+  for (SlabFormat f :
+       {SlabFormat::kDense, SlabFormat::kCoo, SlabFormat::kCsf}) {
+    if (std::string_view(name) == SlabFormatName(f)) {
+      *format = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tpcp
+
+#endif  // TPCP_GRID_SLAB_FORMAT_H_

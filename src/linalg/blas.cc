@@ -2,62 +2,24 @@
 
 #include <algorithm>
 
+#include "linalg/kernels.h"
+
 namespace tpcp {
 namespace {
 
 // Cache-blocking tile sizes (bytes: 64x64 doubles = 32 KiB per operand tile,
-// comfortably inside L2 alongside the C tile).
+// comfortably inside L2 alongside the C tile). The inner tiles run through
+// the variant-selectable microkernels in linalg/kernels.h — register-blocked
+// SIMD on the default dispatch, the original scalar loops as the reference.
 constexpr int64_t kTileM = 64;
 constexpr int64_t kTileN = 64;
 constexpr int64_t kTileK = 64;
 
-// Inner kernel: C[mb x nb] += A[mb x kb] * B[kb x nb], all dense row-major
-// with leading dimensions lda/ldb/ldc. B is traversed row-wise so the inner
-// loop is a unit-stride SAXPY over C's row — autovectorizes well.
-void MicroKernel(const double* a, int64_t lda, const double* b, int64_t ldb,
-                 double* c, int64_t ldc, int64_t mb, int64_t nb, int64_t kb) {
-  for (int64_t i = 0; i < mb; ++i) {
-    const double* a_row = a + i * lda;
-    double* c_row = c + i * ldc;
-    for (int64_t p = 0; p < kb; ++p) {
-      const double aip = a_row[p];
-      if (aip == 0.0) continue;
-      const double* b_row = b + p * ldb;
-      for (int64_t j = 0; j < nb; ++j) {
-        c_row[j] += aip * b_row[j];
-      }
-    }
-  }
-}
-
-// Strided-A kernel for C += alpha * A^T * B with A (kb x mb) and B
-// (kb x nb) row-major: the outer loop streams rows of A and B once, so a
-// tall-skinny A^T B (Gram, MatTMul — the Eq.-3 metadata-refresh shape)
-// never materializes a transposed copy of A. For fixed (i, j) the k-index
-// ascends exactly as in MicroKernel over a pre-transposed A, and the
-// alpha-scaled zero-skip matches scaling A up front, so results are
-// bit-identical to the copying path this replaces.
-void MicroKernelTN(const double* a, int64_t lda, const double* b,
-                   int64_t ldb, double* c, int64_t ldc, int64_t mb,
-                   int64_t nb, int64_t kb, double alpha) {
-  for (int64_t p = 0; p < kb; ++p) {
-    const double* a_row = a + p * lda;
-    const double* b_row = b + p * ldb;
-    for (int64_t i = 0; i < mb; ++i) {
-      const double aip = alpha * a_row[i];
-      if (aip == 0.0) continue;
-      double* c_row = c + i * ldc;
-      for (int64_t j = 0; j < nb; ++j) {
-        c_row[j] += aip * b_row[j];
-      }
-    }
-  }
-}
-
 }  // namespace
 
-void Gemm(Trans trans_a, const Matrix& a, Trans trans_b, const Matrix& b,
-          double alpha, double beta, Matrix* c) {
+void GemmVariant(Trans trans_a, const Matrix& a, Trans trans_b,
+                 const Matrix& b, double alpha, double beta, Matrix* c,
+                 KernelVariant variant, KernelArith arith) {
   const int64_t m = trans_a == Trans::kNo ? a.rows() : a.cols();
   const int64_t k = trans_a == Trans::kNo ? a.cols() : a.rows();
   const int64_t kb2 = trans_b == Trans::kNo ? b.rows() : b.cols();
@@ -93,7 +55,8 @@ void Gemm(Trans trans_a, const Matrix& a, Trans trans_b, const Matrix& b,
           const int64_t nb = std::min(kTileN, n - j0);
           MicroKernelTN(a.data() + p0 * lda + i0, lda,
                         b.data() + p0 * ldb + j0, ldb,
-                        c->data() + i0 * ldc + j0, ldc, mb, nb, kb, alpha);
+                        c->data() + i0 * ldc + j0, ldc, mb, nb, kb, alpha,
+                        variant, arith);
         }
       }
     }
@@ -132,12 +95,19 @@ void Gemm(Trans trans_a, const Matrix& a, Trans trans_b, const Matrix& b,
       const int64_t kb = std::min(kTileK, k - p0);
       for (int64_t j0 = 0; j0 < n; j0 += kTileN) {
         const int64_t nb = std::min(kTileN, n - j0);
-        MicroKernel(ap->data() + i0 * lda + p0, lda,
-                    bp->data() + p0 * ldb + j0, ldb,
-                    c->data() + i0 * ldc + j0, ldc, mb, nb, kb);
+        MicroKernelNN(ap->data() + i0 * lda + p0, lda,
+                      bp->data() + p0 * ldb + j0, ldb,
+                      c->data() + i0 * ldc + j0, ldc, mb, nb, kb, variant,
+                      arith);
       }
     }
   }
+}
+
+void Gemm(Trans trans_a, const Matrix& a, Trans trans_b, const Matrix& b,
+          double alpha, double beta, Matrix* c, KernelArith arith) {
+  GemmVariant(trans_a, a, trans_b, b, alpha, beta, c, KernelVariant::kSimd,
+              arith);
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
@@ -146,9 +116,9 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix MatTMul(const Matrix& a, const Matrix& b) {
+Matrix MatTMul(const Matrix& a, const Matrix& b, KernelArith arith) {
   Matrix c(a.cols(), b.cols());
-  Gemm(Trans::kYes, a, Trans::kNo, b, 1.0, 0.0, &c);
+  Gemm(Trans::kYes, a, Trans::kNo, b, 1.0, 0.0, &c, arith);
   return c;
 }
 
@@ -158,7 +128,9 @@ Matrix MatMulT(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-Matrix Gram(const Matrix& a) { return MatTMul(a, a); }
+Matrix Gram(const Matrix& a, KernelArith arith) {
+  return MatTMul(a, a, arith);
+}
 
 void Gemv(const Matrix& a, const Matrix& x, double alpha, double beta,
           Matrix* y) {

@@ -58,7 +58,8 @@ ExecutionPlan Planner::Build(const UpdateSchedule& schedule,
     return SimulateSteadyStateSwapsPerVi(s, options.rank, options.policy,
                                          options.buffer_bytes,
                                          options.certify_warmup_cycles,
-                                         options.certify_measure_cycles);
+                                         options.certify_measure_cycles,
+                                         options.victim_hints);
   };
   if (stats.certified) stats.swaps_before = simulate(schedule);
 

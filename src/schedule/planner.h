@@ -65,6 +65,12 @@ struct PlannerOptions {
   /// Prefetch depth of the run (0 = synchronous data path).
   int prefetch_depth = 0;
 
+  /// Give LRU/MRU the schedule's next-use oracle as victim advice
+  /// (TwoPhaseCpOptions::policy_victim_hints). Certification replays the
+  /// same advised policy, so the parity gate models the run's real
+  /// eviction behavior.
+  bool victim_hints = false;
+
   /// Simulate swap counts (fills PlanStats; gates reordering). Skipping
   /// certification adopts a requested reorder unverified — benches and
   /// tests only. Certification replays whole cycles: the trace is

@@ -14,10 +14,38 @@ void CheckFactorShapes(const Shape& shape, const std::vector<Matrix>& factors,
   }
 }
 
+// The per-non-zero body shared by every sparse layout and the dense
+// odometer: seed the product buffer fused with the first skipped-mode
+// factor (prod = v * row_first — identical rounding to seed-then-multiply,
+// one pass cheaper), multiply the remaining skipped modes in ascending-k
+// order, accumulate into the output row. All three inner loops run through
+// the variant-selectable kernels (linalg/kernels.h).
+inline void AccumulateEntry(const Index& index, double v,
+                            const std::vector<Matrix>& factors, int mode,
+                            int first, int n, int64_t f, double* prod,
+                            Matrix* out, KernelVariant variant) {
+  if (first < 0) {
+    for (int64_t c = 0; c < f; ++c) prod[c] = v;
+  } else {
+    const double* first_row =
+        factors[static_cast<size_t>(first)].row(
+            index[static_cast<size_t>(first)]);
+    MttkrpSeed(prod, v, first_row, f, variant);
+  }
+  for (int k = first + 1; k < n; ++k) {
+    if (k == mode) continue;
+    const double* row =
+        factors[static_cast<size_t>(k)].row(index[static_cast<size_t>(k)]);
+    HadamardKernel(prod, row, f, variant);
+  }
+  MttkrpAccum(out->row(index[static_cast<size_t>(mode)]), prod, f, variant);
+}
+
 }  // namespace
 
-Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
-              int mode) {
+Matrix MttkrpVariant(const DenseTensor& tensor,
+                     const std::vector<Matrix>& factors, int mode,
+                     KernelVariant variant) {
   const Shape& shape = tensor.shape();
   CheckFactorShapes(shape, factors, mode);
   const int n = shape.num_modes();
@@ -25,10 +53,7 @@ Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
   Matrix out(shape.dim(mode), f);
 
   // Odometer over all cells (row-major: last mode fastest), with a running
-  // product buffer per cell. O(cells * N * F). The buffer is seeded fused
-  // with the first skipped-mode factor (prod = v * row_first), saving one
-  // full write pass per non-zero over the seed-then-multiply form with
-  // identical rounding: v, then *= row, is exactly v * row.
+  // product buffer per cell. O(cells * N * F).
   Index index(static_cast<size_t>(n), 0);
   std::vector<double> prod(static_cast<size_t>(f));
   // With a single mode there is no skipped-mode factor to fuse with; the
@@ -38,23 +63,8 @@ Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
   for (int64_t linear = 0; linear < total; ++linear) {
     const double v = tensor.at_linear(linear);
     if (v != 0.0) {
-      if (first < 0) {
-        for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] = v;
-      } else {
-        const double* first_row = factors[static_cast<size_t>(first)].row(
-            index[static_cast<size_t>(first)]);
-        for (int64_t c = 0; c < f; ++c) {
-          prod[static_cast<size_t>(c)] = v * first_row[c];
-        }
-      }
-      for (int k = first + 1; k < n; ++k) {
-        if (k == mode) continue;
-        const double* row =
-            factors[static_cast<size_t>(k)].row(index[static_cast<size_t>(k)]);
-        for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] *= row[c];
-      }
-      double* dst = out.row(index[static_cast<size_t>(mode)]);
-      for (int64_t c = 0; c < f; ++c) dst[c] += prod[static_cast<size_t>(c)];
+      AccumulateEntry(index, v, factors, mode, first, n, f, prod.data(),
+                      &out, variant);
     }
     // Advance odometer.
     for (int k = n - 1; k >= 0; --k) {
@@ -65,8 +75,9 @@ Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
   return out;
 }
 
-Matrix Mttkrp(const SparseTensor& tensor, const std::vector<Matrix>& factors,
-              int mode) {
+Matrix MttkrpVariant(const SparseTensor& tensor,
+                     const std::vector<Matrix>& factors, int mode,
+                     KernelVariant variant) {
   const Shape& shape = tensor.shape();
   CheckFactorShapes(shape, factors, mode);
   const int n = shape.num_modes();
@@ -84,42 +95,69 @@ Matrix Mttkrp(const SparseTensor& tensor, const std::vector<Matrix>& factors,
     const Matrix& f1 = factors[static_cast<size_t>(k1)];
     const Matrix& f2 = factors[static_cast<size_t>(k2)];
     for (const SparseEntry& e : tensor.entries()) {
-      const double v = e.value;
-      const double* r1 = f1.row(e.index[static_cast<size_t>(k1)]);
-      const double* r2 = f2.row(e.index[static_cast<size_t>(k2)]);
-      double* dst = out.row(e.index[static_cast<size_t>(mode)]);
-      for (int64_t c = 0; c < f; ++c) {
-        dst[c] += v * r1[c] * r2[c];
-      }
+      MttkrpRow3(out.row(e.index[static_cast<size_t>(mode)]), e.value,
+                 f1.row(e.index[static_cast<size_t>(k1)]),
+                 f2.row(e.index[static_cast<size_t>(k2)]), f, variant);
     }
     return out;
   }
 
-  // Generic N-mode fallback, with the product buffer seeded fused with the
-  // first skipped-mode factor (see the dense kernel).
+  // Generic N-mode fallback.
   std::vector<double> prod(static_cast<size_t>(f));
   const int first = n == 1 ? -1 : (mode == 0 ? 1 : 0);
   for (const SparseEntry& e : tensor.entries()) {
-    if (first < 0) {
-      for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] = e.value;
-    } else {
-      const double* first_row =
-          factors[static_cast<size_t>(first)].row(
-              e.index[static_cast<size_t>(first)]);
-      for (int64_t c = 0; c < f; ++c) {
-        prod[static_cast<size_t>(c)] = e.value * first_row[c];
-      }
-    }
-    for (int k = first + 1; k < n; ++k) {
-      if (k == mode) continue;
-      const double* row =
-          factors[static_cast<size_t>(k)].row(e.index[static_cast<size_t>(k)]);
-      for (int64_t c = 0; c < f; ++c) prod[static_cast<size_t>(c)] *= row[c];
-    }
-    double* dst = out.row(e.index[static_cast<size_t>(mode)]);
-    for (int64_t c = 0; c < f; ++c) dst[c] += prod[static_cast<size_t>(c)];
+    AccumulateEntry(e.index, e.value, factors, mode, first, n, f,
+                    prod.data(), &out, variant);
   }
   return out;
+}
+
+Matrix MttkrpVariant(const CsfTensor& tensor,
+                     const std::vector<Matrix>& factors, int mode,
+                     KernelVariant variant) {
+  const Shape& shape = tensor.shape();
+  CheckFactorShapes(shape, factors, mode);
+  const int n = shape.num_modes();
+  const int64_t f = factors[0].cols();
+  Matrix out(shape.dim(mode), f);
+
+  if (n == 3) {
+    // Fiber-streaming 3-mode path: same per-entry expression as the COO
+    // specialization, entries visited in lexicographic order.
+    const int k1 = mode == 0 ? 1 : 0;
+    const int k2 = mode == 2 ? 1 : 2;
+    const Matrix& f1 = factors[static_cast<size_t>(k1)];
+    const Matrix& f2 = factors[static_cast<size_t>(k2)];
+    tensor.ForEachEntry([&](const Index& index, double v) {
+      MttkrpRow3(out.row(index[static_cast<size_t>(mode)]), v,
+                 f1.row(index[static_cast<size_t>(k1)]),
+                 f2.row(index[static_cast<size_t>(k2)]), f, variant);
+    });
+    return out;
+  }
+
+  std::vector<double> prod(static_cast<size_t>(f));
+  const int first = n == 1 ? -1 : (mode == 0 ? 1 : 0);
+  tensor.ForEachEntry([&](const Index& index, double v) {
+    AccumulateEntry(index, v, factors, mode, first, n, f, prod.data(), &out,
+                    variant);
+  });
+  return out;
+}
+
+Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
+              int mode) {
+  return MttkrpVariant(tensor, factors, mode, KernelVariant::kSimd);
+}
+
+Matrix Mttkrp(const SparseTensor& tensor, const std::vector<Matrix>& factors,
+              int mode) {
+  return MttkrpVariant(tensor, factors, mode, KernelVariant::kSimd);
+}
+
+Matrix Mttkrp(const CsfTensor& tensor, const std::vector<Matrix>& factors,
+              int mode) {
+  return MttkrpVariant(tensor, factors, mode, KernelVariant::kSimd);
 }
 
 }  // namespace tpcp

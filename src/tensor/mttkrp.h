@@ -7,7 +7,9 @@
 
 #include <vector>
 
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
+#include "tensor/csf_tensor.h"
 #include "tensor/dense_tensor.h"
 #include "tensor/sparse_tensor.h"
 
@@ -21,6 +23,26 @@ Matrix Mttkrp(const DenseTensor& tensor, const std::vector<Matrix>& factors,
 /// Sparse MTTKRP along `mode` (iterates non-zeros).
 Matrix Mttkrp(const SparseTensor& tensor, const std::vector<Matrix>& factors,
               int mode);
+
+/// Sparse MTTKRP over the compressed fiber layout, streaming fibers in
+/// lexicographic order. Bit-identical to the COO kernel over the same
+/// non-zeros sorted lexicographically (per-entry products accumulate in
+/// ascending mode order either way).
+Matrix Mttkrp(const CsfTensor& tensor, const std::vector<Matrix>& factors,
+              int mode);
+
+/// Explicit-kernel-variant forms (linalg/kernels.h) — the hooks the
+/// bit-identity tests and micro-kernel bench use to compare scalar against
+/// SIMD inner loops. The plain overloads above dispatch kSimd.
+Matrix MttkrpVariant(const DenseTensor& tensor,
+                     const std::vector<Matrix>& factors, int mode,
+                     KernelVariant variant);
+Matrix MttkrpVariant(const SparseTensor& tensor,
+                     const std::vector<Matrix>& factors, int mode,
+                     KernelVariant variant);
+Matrix MttkrpVariant(const CsfTensor& tensor,
+                     const std::vector<Matrix>& factors, int mode,
+                     KernelVariant variant);
 
 }  // namespace tpcp
 

@@ -269,6 +269,71 @@ TEST(ForwardPolicyTest, EvictsFurthestNextUse) {
   EXPECT_EQ(victim.part, 1);
 }
 
+TEST(AdvisedPolicyTest, LruPrefersAdvisedDeadUnitsOverRecency) {
+  const GridPartition grid = CubicGrid(16, 2);
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(ScheduleType::kFiberOrder, grid);
+  auto lookahead = std::make_shared<ScheduleLookahead>(schedule);
+  const int64_t horizon = schedule.virtual_iteration_length();
+  // Find, at position 0, one unit the plan would call dead (next use at
+  // least a virtual iteration out) and one it would not.
+  ModePartition dead{-1, -1}, live{-1, -1};
+  for (int mode = 0; mode < 3; ++mode) {
+    for (int64_t part = 0; part < grid.parts(mode); ++part) {
+      const ModePartition unit{mode, part};
+      const int64_t next = lookahead->NextUse(unit, 0);
+      if (next >= horizon && dead.mode < 0) dead = unit;
+      if (next < horizon && live.mode < 0) live = unit;
+    }
+  }
+  ASSERT_GE(dead.mode, 0);
+  ASSERT_GE(live.mode, 0);
+
+  // The live unit is the *least recent*: plain LRU evicts it, while the
+  // advised policy must override recency and pick the dead unit.
+  auto plain = NewLruPolicy();
+  plain->OnInsert(live, 0);
+  plain->OnInsert(dead, 1);
+  EXPECT_EQ(plain->ChooseVictim({live, dead}, 2), live);
+
+  auto advised = NewLruPolicy(lookahead, horizon);
+  advised->OnInsert(live, 0);
+  advised->OnInsert(dead, 1);
+  EXPECT_EQ(advised->ChooseVictim({live, dead}, 2), dead);
+
+  // With no advised-dead candidate, recency decides exactly as before.
+  EXPECT_EQ(advised->ChooseVictim({live}, 2), live);
+}
+
+TEST(AdvisedPolicyTest, RecencyBreaksTiesWithinTheAdvisedSet) {
+  const GridPartition grid = CubicGrid(16, 2);
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(ScheduleType::kFiberOrder, grid);
+  auto lookahead = std::make_shared<ScheduleLookahead>(schedule);
+  const int64_t horizon = schedule.virtual_iteration_length();
+  // Select units that are still advised-dead at the position the victim is
+  // chosen (pos 2), matching the policy's `NextUse(unit, pos) - pos` test.
+  const int64_t pos = 2;
+  std::vector<ModePartition> dead;
+  for (int mode = 0; mode < 3 && dead.size() < 2; ++mode) {
+    for (int64_t part = 0; part < grid.parts(mode) && dead.size() < 2;
+         ++part) {
+      if (lookahead->NextUse({mode, part}, pos) - pos >= horizon) {
+        dead.push_back({mode, part});
+      }
+    }
+  }
+  ASSERT_EQ(dead.size(), 2u);
+  auto lru = NewLruPolicy(lookahead, horizon);
+  lru->OnInsert(dead[0], 0);
+  lru->OnInsert(dead[1], 1);
+  EXPECT_EQ(lru->ChooseVictim({dead[0], dead[1]}, pos), dead[0]);
+  auto mru = NewMruPolicy(lookahead, horizon);
+  mru->OnInsert(dead[0], 0);
+  mru->OnInsert(dead[1], 1);
+  EXPECT_EQ(mru->ChooseVictim({dead[0], dead[1]}, pos), dead[1]);
+}
+
 // The FORWARD policy is Belady's algorithm on the known cyclic trace, so on
 // every (schedule, buffer) configuration it must incur no more swaps than
 // LRU or MRU. This is the property Figure 12 rests on.

@@ -229,6 +229,53 @@ TEST(CancellationTest, ResumeUnderDifferentPlanOptionsIsRejected) {
   EXPECT_EQ(resumed.fit_trace, reference.fit_trace);
 }
 
+TEST(CancellationTest, ResumeUnderDifferentKernelArithIsRejected) {
+  // kernel_fma changes the rounding sequence of every accumulation, so it
+  // is part of the resume fingerprint: a checkpoint written by an FMA run
+  // must refuse to continue under exact arithmetic (and vice versa) —
+  // silently mixing the two would splice incompatible number streams into
+  // one trajectory.
+  auto env = NewMemEnv();
+  CancellationToken token;
+  CancelAtIteration canceller(&token, 2);
+  TwoPhaseCpOptions options = TestOptions();
+  options.kernel_fma = true;
+  options.cancel = &token;
+  options.observer = &canceller;
+  Status status;
+  RunTwoPhase(env.get(), options, &status);
+  ASSERT_TRUE(status.IsCancelled());
+
+  TwoPhaseCpOptions exact = TestOptions();  // kernel_fma = false
+  exact.resume_phase2 = true;
+  Status resume_status;
+  RunTwoPhase(env.get(), exact, &resume_status);
+  ASSERT_FALSE(resume_status.ok());
+  EXPECT_EQ(resume_status.code(), StatusCode::kFailedPrecondition)
+      << resume_status.ToString();
+
+  // Under the original arithmetic the resume continues and replays an
+  // uninterrupted FMA run exactly.
+  TwoPhaseCpOptions fma = TestOptions();
+  fma.kernel_fma = true;
+  fma.resume_phase2 = true;
+  const TwoPhaseCpResult resumed = RunTwoPhase(env.get(), fma);
+
+  auto ref_env = NewMemEnv();
+  TwoPhaseCpOptions uninterrupted = TestOptions();
+  uninterrupted.kernel_fma = true;
+  const TwoPhaseCpResult reference =
+      RunTwoPhase(ref_env.get(), uninterrupted);
+  EXPECT_EQ(resumed.fit_trace, reference.fit_trace);
+
+  // And the fingerprint is not vacuous: FMA and exact runs genuinely
+  // produce different trajectories on this data.
+  auto exact_env = NewMemEnv();
+  const TwoPhaseCpResult exact_run =
+      RunTwoPhase(exact_env.get(), TestOptions());
+  EXPECT_NE(exact_run.fit_trace, reference.fit_trace);
+}
+
 TEST(CancellationTest, SessionDecomposeHonoursCallerToken) {
   // The blocking convenience path must still respect a caller-provided
   // token, even though the job path manages its own.

@@ -35,9 +35,10 @@ TwoPhaseCpOptions TestOptions() {
 }
 
 /// Stages the seed-`seed` test tensor into `env` under "tensor".
-void Stage(Env* env, uint64_t seed) {
+void Stage(Env* env, uint64_t seed,
+           SlabFormat format = SlabFormat::kDense) {
   GridPartition grid = GridPartition::Uniform(TestSpec(seed).shape, 2);
-  auto store = BlockTensorStore::Create(env, "tensor", grid);
+  auto store = BlockTensorStore::Create(env, "tensor", grid, format);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   ASSERT_TRUE(GenerateLowRankIntoStore(TestSpec(seed), &*store).ok());
 }
@@ -280,6 +281,66 @@ TEST(JobServiceTest, CancelRunningJobCheckpointsAndResubmitResumes) {
 
   auto ref_factors = BlockFactorStore::Open(ref_env.get(), "factors");
   auto factors = BlockFactorStore::Open(env.get(), "factors");
+  ASSERT_TRUE(ref_factors.ok());
+  ASSERT_TRUE(factors.ok());
+  const GridPartition& grid = ref_factors->grid();
+  for (int mode = 0; mode < grid.num_modes(); ++mode) {
+    for (int64_t part = 0; part < grid.parts(mode); ++part) {
+      auto lhs = ref_factors->ReadSubFactor(mode, part);
+      auto rhs = factors->ReadSubFactor(mode, part);
+      ASSERT_TRUE(lhs.ok());
+      ASSERT_TRUE(rhs.ok());
+      EXPECT_TRUE(*lhs == *rhs) << "mode " << mode << " part " << part;
+    }
+  }
+}
+
+TEST(JobServiceTest, CsfStoreDecomposesAndResumesLikeDense) {
+  // A CSF-slab store is a drop-in for a dense one through the whole job
+  // lifecycle: decompose, cancel at a checkpoint, auto-resume on
+  // resubmission — and every fit along the way matches the dense store's
+  // bit for bit (the read path densifies to identical blocks).
+  auto csf_env = NewMemEnv();
+  auto dense_env = NewMemEnv();
+  Stage(csf_env.get(), 43, SlabFormat::kCsf);
+  Stage(dense_env.get(), 43);
+
+  JobServiceOptions service_options;
+  service_options.num_workers = 1;
+  JobService service(service_options);
+
+  // Dense reference, uninterrupted.
+  auto ref_id = service.Submit(SpecFor(dense_env.get()));
+  ASSERT_TRUE(ref_id.ok());
+  auto reference = service.Await(*ref_id);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference->state, JobState::kSucceeded);
+
+  // CSF run, cancelled at iteration 3...
+  CancelSelfAtVi canceller(&service, 3);
+  JobSpec spec = SpecFor(csf_env.get());
+  spec.options.observer = &canceller;
+  canceller.set_id(*ref_id + 1);
+  auto id = service.Submit(spec);
+  ASSERT_TRUE(id.ok());
+  auto cancelled = service.Await(*id);
+  ASSERT_TRUE(cancelled.ok());
+  ASSERT_EQ(cancelled->state, JobState::kCancelled);
+
+  // ...resumes from the checkpoint and lands exactly on the dense
+  // reference.
+  auto resumed_id = service.Submit(SpecFor(csf_env.get()));
+  ASSERT_TRUE(resumed_id.ok());
+  auto resumed = service.Await(*resumed_id);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_EQ(resumed->state, JobState::kSucceeded)
+      << resumed->status.ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->result.phase2_start_iteration, 3);
+  EXPECT_EQ(resumed->result.fit_trace, reference->result.fit_trace);
+
+  auto ref_factors = BlockFactorStore::Open(dense_env.get(), "factors");
+  auto factors = BlockFactorStore::Open(csf_env.get(), "factors");
   ASSERT_TRUE(ref_factors.ok());
   ASSERT_TRUE(factors.ok());
   const GridPartition& grid = ref_factors->grid();

@@ -52,7 +52,7 @@ TEST(StoreManifestTest, GarbageIsCorruption) {
 }
 
 TEST(StoreManifestTest, NewerVersionIsIncompatibleNotCorrupt) {
-  auto parsed = StoreManifest::Parse("tpcp-manifest 4\nkind tensor\n");
+  auto parsed = StoreManifest::Parse("tpcp-manifest 5\nkind tensor\n");
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -69,6 +69,42 @@ TEST(StoreManifestTest, Version1StillParses) {
       "ckpt_cursor 3\n");
   ASSERT_FALSE(v1_ckpt.ok());
   EXPECT_TRUE(v1_ckpt.status().IsCorruption());
+}
+
+TEST(StoreManifestTest, SlabFormatRoundTripsAtV4) {
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kTensorKind;
+  manifest.grid = TestGrid();
+  for (SlabFormat format :
+       {SlabFormat::kDense, SlabFormat::kCoo, SlabFormat::kCsf}) {
+    manifest.format = format;
+    const std::string bytes = manifest.Serialize();
+    // Dense is the implicit default: no key, so v<4 readers of dense
+    // stores are unaffected by the version bump.
+    EXPECT_EQ(bytes.find("format") != std::string::npos,
+              format != SlabFormat::kDense);
+    auto parsed = StoreManifest::Parse(bytes);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->format, format);
+  }
+}
+
+TEST(StoreManifestTest, SlabFormatUnknownToOlderVersionsIsCorruption) {
+  // The key only exists from v4 on; a v3 manifest carrying it is as
+  // malformed as any other unknown key.
+  auto parsed = StoreManifest::Parse(
+      "tpcp-manifest 3\nkind tensor\nshape 10 9 7\nparts 3 2 2\n"
+      "format csf\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
+}
+
+TEST(StoreManifestTest, BadSlabFormatValueIsCorruption) {
+  auto parsed = StoreManifest::Parse(
+      "tpcp-manifest 4\nkind tensor\nshape 10 9 7\nparts 3 2 2\n"
+      "format lzma\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
 }
 
 TEST(StoreManifestTest, PlanFingerprintRoundTripsAndV2Defaults) {
@@ -172,7 +208,7 @@ TEST(StoreManifestTest, MalformedCheckpointIsCorruption) {
 
 TEST(BlockTensorStoreManifestTest, NewerManifestIsNeverClobbered) {
   auto env = NewMemEnv();
-  const std::string future = "tpcp-manifest 4\nkind tensor\nfrobnicate 7\n";
+  const std::string future = "tpcp-manifest 5\nkind tensor\nfrobnicate 7\n";
   ASSERT_TRUE(env->WriteFile("t/MANIFEST", future).ok());
   auto opened = BlockTensorStore::Open(env.get(), "t");
   ASSERT_FALSE(opened.ok());
@@ -239,6 +275,100 @@ TEST(BlockTensorStoreManifestTest, CorruptManifestFallsBackToScan) {
   auto opened = BlockTensorStore::Open(env.get(), "t");
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   EXPECT_TRUE(opened->grid() == grid);
+}
+
+TEST(BlockTensorStoreManifestTest, SparseFormatsReadBackBitIdentical) {
+  auto env = NewMemEnv();
+  const GridPartition grid = TestGrid();
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 5;
+  const DenseTensor tensor = MakeLowRankTensor(spec);
+
+  auto dense = BlockTensorStore::Create(env.get(), "d", grid);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(dense->ImportTensor(tensor).ok());
+  for (SlabFormat format : {SlabFormat::kCoo, SlabFormat::kCsf}) {
+    const std::string prefix =
+        format == SlabFormat::kCoo ? "coo" : "csf";
+    auto store = BlockTensorStore::Create(env.get(), prefix, grid, format);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(store->format(), format);
+    ASSERT_TRUE(store->ImportTensor(tensor).ok());
+    // Reopen through the manifest: the format must survive the round
+    // trip, and every block must decode to the dense store's bits.
+    auto opened = BlockTensorStore::Open(env.get(), prefix);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    EXPECT_EQ(opened->format(), format);
+    for (const BlockIndex& block : grid.AllBlocks()) {
+      auto want = dense->ReadBlock(block);
+      auto got = opened->ReadBlock(block);
+      ASSERT_TRUE(want.ok() && got.ok());
+      ASSERT_EQ(want->NumElements(), got->NumElements());
+      for (int64_t i = 0; i < want->NumElements(); ++i) {
+        ASSERT_EQ(want->at_linear(i), got->at_linear(i))
+            << prefix << " block i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BlockTensorStoreManifestTest, ReadBlockSparseWorksOnEveryFormat) {
+  auto env = NewMemEnv();
+  const GridPartition grid = TestGrid();
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 7;
+  const DenseTensor tensor = MakeLowRankTensor(spec);
+  const BlockIndex block = grid.AllBlocks().front();
+  std::vector<SparseEntry> reference;
+  for (SlabFormat format :
+       {SlabFormat::kDense, SlabFormat::kCoo, SlabFormat::kCsf}) {
+    const std::string prefix = SlabFormatName(format);
+    auto store = BlockTensorStore::Create(env.get(), prefix, grid, format);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->ImportTensor(tensor).ok());
+    auto sparse = store->ReadBlockSparse(block);
+    ASSERT_TRUE(sparse.ok()) << sparse.status().ToString();
+    if (reference.empty()) {
+      reference = sparse->entries();
+      ASSERT_FALSE(reference.empty());
+    } else {
+      // Same entries in the same lexicographic order on every format.
+      ASSERT_EQ(sparse->entries().size(), reference.size()) << prefix;
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(sparse->entries()[i].index, reference[i].index);
+        ASSERT_EQ(sparse->entries()[i].value, reference[i].value);
+      }
+    }
+  }
+}
+
+TEST(BlockTensorStoreManifestTest, ScanHealRecoversCsfFormat) {
+  auto env = NewMemEnv();
+  const GridPartition grid = TestGrid();
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = 2;
+  spec.seed = 9;
+  {
+    auto store =
+        BlockTensorStore::Create(env.get(), "t", grid, SlabFormat::kCsf);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->ImportTensor(MakeLowRankTensor(spec)).ok());
+  }
+  // A pre-manifest layout of a CSF store: the healed manifest must carry
+  // the format sniffed from the block records, or the next writer would
+  // silently demote the store to dense slabs.
+  ASSERT_TRUE(env->DeleteFile("t/MANIFEST").ok());
+  auto opened = BlockTensorStore::Open(env.get(), "t");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->format(), SlabFormat::kCsf);
+  std::string healed;
+  ASSERT_TRUE(env->ReadFile("t/MANIFEST", &healed).ok());
+  EXPECT_NE(healed.find("format csf"), std::string::npos);
 }
 
 TEST(BlockTensorStoreManifestTest, OpenOfNothingIsNotFound) {

@@ -87,6 +87,59 @@ TEST(MttkrpTest, SparseFourModeTakesGenericPath) {
   }
 }
 
+TEST(MttkrpTest, CsfAgreesWithCooBitwiseThreeMode) {
+  // CSF streams the same non-zeros in the same lexicographic order as the
+  // sorted COO path, so the fused 3-mode kernel must match bit-for-bit,
+  // not just within tolerance.
+  const Shape shape({6, 5, 4});
+  const DenseTensor dense = RandomTensor(shape, 15, /*zero_fraction=*/0.8);
+  const SparseTensor coo = SparseTensor::FromDense(dense);
+  const CsfTensor csf = CsfTensor::FromSparse(coo);
+  EXPECT_EQ(csf.nnz(), coo.nnz());
+  const std::vector<Matrix> f = RandomFactorsFor(shape, 5, 16);
+  for (int mode = 0; mode < 3; ++mode) {
+    const Matrix from_coo = Mttkrp(coo, f, mode);
+    const Matrix from_csf = Mttkrp(csf, f, mode);
+    ASSERT_EQ(from_coo.rows(), from_csf.rows());
+    for (int64_t i = 0; i < from_coo.size(); ++i) {
+      ASSERT_EQ(from_coo.data()[i], from_csf.data()[i])
+          << "mode=" << mode << " i=" << i;
+    }
+  }
+}
+
+TEST(MttkrpTest, CsfFourModeTakesGenericPath) {
+  // Four modes exit the fused kernel into the generic fiber walk; it must
+  // still agree with dense (within tolerance) and with COO (bitwise).
+  const Shape shape({4, 3, 3, 2});
+  const DenseTensor dense = RandomTensor(shape, 17, /*zero_fraction=*/0.7);
+  const SparseTensor coo = SparseTensor::FromDense(dense);
+  const CsfTensor csf = CsfTensor::FromDense(dense);
+  const std::vector<Matrix> f = RandomFactorsFor(shape, 6, 18);
+  for (int mode = 0; mode < 4; ++mode) {
+    const Matrix from_csf = Mttkrp(csf, f, mode);
+    EXPECT_TRUE(
+        Matrix::AlmostEqual(from_csf, Mttkrp(dense, f, mode), 1e-10))
+        << "mode=" << mode;
+    const Matrix from_coo = Mttkrp(coo, f, mode);
+    for (int64_t i = 0; i < from_coo.size(); ++i) {
+      ASSERT_EQ(from_coo.data()[i], from_csf.data()[i])
+          << "mode=" << mode << " i=" << i;
+    }
+  }
+}
+
+TEST(MttkrpTest, CsfRoundTripPreservesEntries) {
+  const Shape shape({5, 1, 6, 2, 3});
+  const DenseTensor dense = RandomTensor(shape, 19, /*zero_fraction=*/0.85);
+  const CsfTensor csf = CsfTensor::FromDense(dense);
+  const DenseTensor back = csf.ToDense();
+  ASSERT_EQ(back.NumElements(), dense.NumElements());
+  for (int64_t i = 0; i < dense.NumElements(); ++i) {
+    ASSERT_EQ(back.at_linear(i), dense.at_linear(i)) << "i=" << i;
+  }
+}
+
 TEST(MttkrpTest, ZeroTensorGivesZero) {
   const Shape shape({3, 3, 3});
   DenseTensor t(shape);

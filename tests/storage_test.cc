@@ -175,6 +175,130 @@ TEST(SerializerTest, EnvWrappers) {
   EXPECT_TRUE(ReadMatrix(env.get(), "nope").status().IsNotFound());
 }
 
+SparseTensor ClusteredSparse(uint64_t seed) {
+  // Non-zeros clustered into fibers: the case CSF's shared prefixes and
+  // tiny leaf deltas are built for.
+  Rng rng(seed);
+  SparseTensor t(Shape({20, 18, 16}));
+  for (int64_t i = 0; i < 20; i += 2) {
+    for (int64_t j = 0; j < 6; ++j) {
+      for (int64_t k = 3; k < 11; ++k) {
+        t.Add({i, j, k}, rng.NextGaussian());
+      }
+    }
+  }
+  return t;
+}
+
+TEST(SerializerTest, SparseCooRoundTrip) {
+  const SparseTensor t = ClusteredSparse(6);
+  auto back = DeserializeSparse(SerializeSparseCoo(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->nnz(), t.nnz());
+  for (int64_t i = 0; i < t.nnz(); ++i) {
+    const SparseEntry& a = t.entries()[static_cast<size_t>(i)];
+    const SparseEntry& b = back->entries()[static_cast<size_t>(i)];
+    ASSERT_EQ(a.index, b.index);
+    ASSERT_EQ(a.value, b.value);
+  }
+}
+
+TEST(SerializerTest, SparseCsfRoundTrip) {
+  const CsfTensor t = CsfTensor::FromSparse(ClusteredSparse(7));
+  const std::string bytes = SerializeSparseCsf(t);
+  auto back = DeserializeSparseCsf(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->nnz(), t.nnz());
+  for (int level = 0; level < t.num_modes(); ++level) {
+    ASSERT_EQ(back->idx(level), t.idx(level)) << "level=" << level;
+    if (level + 1 < t.num_modes()) {
+      ASSERT_EQ(back->ptr(level), t.ptr(level)) << "level=" << level;
+    }
+  }
+  ASSERT_EQ(back->values(), t.values());
+  // Also decodable straight to COO and to dense through the auto paths.
+  auto coo = DeserializeSparse(bytes);
+  ASSERT_TRUE(coo.ok());
+  EXPECT_EQ(coo->nnz(), t.nnz());
+  auto dense = DeserializeTensorAny(bytes);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->shape(), t.shape());
+}
+
+TEST(SerializerTest, CsfDeltaCodingBeatsCooOnClusteredData) {
+  const SparseTensor coo = ClusteredSparse(8);
+  const std::string coo_bytes = SerializeSparseCoo(coo);
+  const std::string csf_bytes =
+      SerializeSparseCsf(CsfTensor::FromSparse(coo));
+  EXPECT_LT(csf_bytes.size(), coo_bytes.size() / 2)
+      << "csf=" << csf_bytes.size() << " coo=" << coo_bytes.size();
+}
+
+TEST(SerializerTest, PeekRecordKindDistinguishesAllKinds) {
+  DenseTensor dense{Shape({2, 3})};
+  dense.at_linear(1) = 4.0;
+  const SparseTensor coo = SparseTensor::FromDense(dense);
+  auto kind = PeekRecordKind(SerializeTensor(dense));
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, 2);
+  kind = PeekRecordKind(SerializeSparseCoo(coo));
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, 3);
+  kind = PeekRecordKind(SerializeSparseCsf(CsfTensor::FromSparse(coo)));
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, 4);
+  EXPECT_TRUE(PeekRecordKind("junk").status().IsCorruption());
+}
+
+TEST(SerializerTest, DeserializeTensorAnyMatchesAcrossKinds) {
+  Rng rng(9);
+  DenseTensor dense{Shape({4, 3, 5})};
+  for (int64_t i = 0; i < dense.NumElements(); ++i) {
+    dense.at_linear(i) = rng.NextDouble() < 0.3 ? rng.NextGaussian() : 0.0;
+  }
+  const std::string as_dense = SerializeTensor(dense);
+  const std::string as_coo =
+      SerializeSparseCoo(SparseTensor::FromDense(dense));
+  const std::string as_csf =
+      SerializeSparseCsf(CsfTensor::FromDense(dense));
+  for (const std::string* bytes : {&as_dense, &as_coo, &as_csf}) {
+    auto back = DeserializeTensorAny(*bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back->shape(), dense.shape());
+    for (int64_t i = 0; i < dense.NumElements(); ++i) {
+      ASSERT_EQ(back->at_linear(i), dense.at_linear(i)) << "i=" << i;
+    }
+  }
+}
+
+TEST(SerializerTest, SparseRecordsDetectCorruptionAndTruncation) {
+  for (std::string bytes :
+       {SerializeSparseCoo(ClusteredSparse(10)),
+        SerializeSparseCsf(CsfTensor::FromSparse(ClusteredSparse(10)))}) {
+    std::string flipped = bytes;
+    flipped[flipped.size() / 3] ^= 0x10;
+    EXPECT_TRUE(DeserializeSparse(flipped).status().IsCorruption());
+    bytes.resize(bytes.size() / 2);
+    EXPECT_TRUE(DeserializeSparse(bytes).status().IsCorruption());
+  }
+}
+
+TEST(SerializerTest, SparseEnvWrappers) {
+  auto env = NewMemEnv();
+  const SparseTensor t = ClusteredSparse(11);
+  ASSERT_TRUE(WriteSparseCoo(env.get(), "coo", t).ok());
+  ASSERT_TRUE(
+      WriteSparseCsf(env.get(), "csf", CsfTensor::FromSparse(t)).ok());
+  for (const char* name : {"coo", "csf"}) {
+    auto back = ReadSparse(env.get(), name);
+    ASSERT_TRUE(back.ok()) << name;
+    EXPECT_EQ(back->nnz(), t.nnz()) << name;
+    auto dense = ReadTensorAny(env.get(), name);
+    ASSERT_TRUE(dense.ok()) << name;
+  }
+  EXPECT_TRUE(ReadSparse(env.get(), "nope").status().IsNotFound());
+}
+
 TEST(FaultyEnvTest, InjectsWriteFailures) {
   auto base = NewMemEnv();
   FaultyEnv env(base.get());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <tuple>
 
 namespace tpcp {
@@ -13,6 +15,59 @@ SwapSimConfig BaseConfig(int64_t parts) {
   config.rank = 4;
   config.measure_virtual_iterations = 30;
   return config;
+}
+
+TEST(SwapSimTest, VictimHintsReplayMatchesExplicitAdvisedPool) {
+  // The simulator's victim_hints flag must model *exactly* the advised
+  // policy a hinted engine run constructs — same oracle, same horizon —
+  // or planner certification would gate reorders against the wrong
+  // eviction behavior. Replay the identical trace by hand against an
+  // explicitly advised pool and demand equal swap counts.
+  const GridPartition grid = GridPartition::Uniform(Shape({64, 64, 64}), 4);
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(ScheduleType::kFiberOrder, grid);
+  const int64_t rank = 4;
+  UnitCatalog catalog(grid, rank);
+  const uint64_t buffer_bytes = catalog.TotalBytes() / 3;
+  const int warmup_cycles = 2, measure_vis = 30;
+
+  for (const bool use_mru : {false, true}) {
+    const PolicyType type = use_mru ? PolicyType::kMru : PolicyType::kLru;
+    const SwapSimResult simulated = SimulateSwapsForSchedule(
+        schedule, rank, type, buffer_bytes, warmup_cycles, measure_vis,
+        /*victim_hints=*/true);
+
+    auto lookahead = std::make_shared<ScheduleLookahead>(schedule);
+    const int64_t horizon = schedule.virtual_iteration_length();
+    BufferPool pool(
+        std::max(buffer_bytes, catalog.MaxUnitBytes()), catalog,
+        use_mru ? NewMruPolicy(lookahead, horizon)
+                : NewLruPolicy(lookahead, horizon));
+    int64_t pos = 0;
+    for (; pos < warmup_cycles * schedule.cycle_length(); ++pos) {
+      ASSERT_TRUE(pool.Access(schedule.StepAt(pos).unit(), pos).ok());
+    }
+    pool.ResetStats();
+    const int64_t end =
+        pos + measure_vis * schedule.virtual_iteration_length();
+    for (; pos < end; ++pos) {
+      ASSERT_TRUE(pool.Access(schedule.StepAt(pos).unit(), pos).ok());
+    }
+    EXPECT_EQ(simulated.measured_swaps, pool.stats().swap_ins)
+        << PolicyTypeName(type);
+  }
+}
+
+TEST(SwapSimTest, VictimHintsAreANoOpForForward) {
+  // FOR already consults the full oracle; the hint flag must not perturb
+  // it.
+  SwapSimConfig config = BaseConfig(4);
+  config.schedule = ScheduleType::kHilbertOrder;
+  config.policy = PolicyType::kForward;
+  config.buffer_fraction = 1.0 / 3.0;
+  const double plain = SimulateSwaps(config).swaps_per_virtual_iteration;
+  config.victim_hints = true;
+  EXPECT_EQ(SimulateSwaps(config).swaps_per_virtual_iteration, plain);
 }
 
 // Observation #4: with a cyclic MC trace and LRU under-capacity, every

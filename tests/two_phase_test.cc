@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "core/cost_model.h"
+#include "core/swap_simulator.h"
 #include "data/synthetic.h"
 #include "tensor/norms.h"
 
@@ -128,6 +129,61 @@ TEST(TwoPhaseCpTest, BufferStatsPopulated) {
   EXPECT_GT(stats.accesses, 0u);
   EXPECT_GT(stats.swap_ins, 0u);
   EXPECT_GT(engine.result().swaps_per_virtual_iteration, 0.0);
+}
+
+TEST(TwoPhaseCpTest, VictimHintsMeasuredSwapsMatchSimulator) {
+  // With policy_victim_hints on, the engine's LRU takes the plan's
+  // eviction advice; the swap simulator models the identical advised
+  // policy, so a cold-start replay over the same number of virtual
+  // iterations predicts the measured swap count exactly.
+  Fixture f = MakeFixture(Shape({16, 16, 16}), 4, 2);
+  TwoPhaseCpOptions options = BaseOptions(2);
+  options.schedule = ScheduleType::kFiberOrder;
+  options.policy = PolicyType::kLru;
+  options.policy_victim_hints = true;
+  options.buffer_fraction = 1.0 / 3.0;
+  options.max_virtual_iterations = 6;
+  options.fit_tolerance = -1.0;  // fixed work
+  TwoPhaseCp engine(f.input.get(), f.factors.get(), options);
+  ASSERT_TRUE(engine.Run().ok());
+  const uint64_t measured = engine.result().buffer_stats.swap_ins;
+
+  const GridPartition& grid = f.input->grid();
+  const UpdateSchedule schedule =
+      UpdateSchedule::Create(options.schedule, grid);
+  UnitCatalog catalog(grid, options.rank);
+  const SwapSimResult simulated = SimulateSwapsForSchedule(
+      schedule, options.rank,  options.policy,
+      options.ResolveBufferBytes(catalog.TotalBytes()),
+      /*warmup_cycles=*/0, options.max_virtual_iterations,
+      /*victim_hints=*/true);
+  EXPECT_EQ(measured, simulated.measured_swaps);
+
+  // Parity must also hold with hints off — same engine, same simulator,
+  // both running the plain recency policy.
+  Fixture g = MakeFixture(Shape({16, 16, 16}), 4, 2);
+  TwoPhaseCpOptions plain = options;
+  plain.policy_victim_hints = false;
+  TwoPhaseCp unhinted(g.input.get(), g.factors.get(), plain);
+  ASSERT_TRUE(unhinted.Run().ok());
+  const SwapSimResult plain_sim = SimulateSwapsForSchedule(
+      schedule, options.rank, options.policy,
+      options.ResolveBufferBytes(catalog.TotalBytes()),
+      /*warmup_cycles=*/0, options.max_virtual_iterations,
+      /*victim_hints=*/false);
+  EXPECT_EQ(unhinted.result().buffer_stats.swap_ins,
+            plain_sim.measured_swaps);
+
+  // Hints shape I/O only: the factors are bit-identical either way.
+  for (int m = 0; m < 3; ++m) {
+    for (const BlockIndex& b : grid.AllBlocks()) {
+      auto lhs = f.factors->ReadBlockFactor(b, m);
+      auto rhs = g.factors->ReadBlockFactor(b, m);
+      ASSERT_TRUE(lhs.ok());
+      ASSERT_TRUE(rhs.ok());
+      EXPECT_TRUE(*lhs == *rhs);
+    }
+  }
 }
 
 TEST(TwoPhaseCpTest, DirtySubFactorsArePersisted) {

@@ -4,6 +4,8 @@
 //   tpcp_tool generate  <dir|uri> <I> <J> <K> <parts> [rank] [density] [seed]
 //       Streams a synthetic low-rank dense tensor into a manifest-backed
 //       block store under <dir>/tensor, partitioned <parts> ways per mode.
+//       --slab-format=dense|coo|csf selects the block encoding (default
+//       dense); every consumer reads every format.
 //
 //   tpcp_tool decompose <dir|uri> <rank> [schedule] [policy]
 //                       [buffer-fraction] [prefetch-depth] [io-threads]
@@ -52,6 +54,11 @@
 //                                       virtual iteration)
 //   --shard-blocks=N                   (slab blocks per shard for
 //                                       singleton-wave steps; 0 = off)
+//   --kernel-fma                       (fused-multiply-add refinement
+//                                       kernels; fingerprinted — resumes
+//                                       must keep the same setting)
+//   --policy-hints                     (LRU/MRU take the plan's eviction
+//                                       hints as victim advice)
 //   --resume                           (continue from the persisted factor
 //                                       store / Phase-2 checkpoint)
 //   --param=key=value                  (solver-specific, repeatable)
@@ -93,7 +100,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage:\n"
       "  %s generate  <dir|uri> <I> <J> <K> <parts> [rank=10] [density=1.0] "
-      "[seed=42]\n"
+      "[seed=42] [--slab-format=dense|coo|csf]\n"
       "  %s decompose <dir|uri> <rank> [schedule=ho] [policy=for] "
       "[buffer-fraction=0.5] [prefetch-depth=0] [io-threads=2]\n"
       "             [--solver=2pcp] [--init=random] [--threads=1] "
@@ -309,7 +316,15 @@ int Generate(int argc, char** argv) {
   spec.density = opts.Double("density", 1.0, true, 0.0, 1.0);
   spec.seed = static_cast<uint64_t>(opts.Int("seed", 42, true, 0));
   spec.noise_level = 0.05;
+  const std::string format_name = opts.Text("slab-format", "dense");
   if (!opts.NoUnknownFlags()) return 2;
+  SlabFormat format = SlabFormat::kDense;
+  if (!SlabFormatFromName(format_name.c_str(), &format)) {
+    std::fprintf(stderr,
+                 "--slab-format expects dense, coo or csf, got '%s'\n",
+                 format_name.c_str());
+    return 2;
+  }
   spec.shape = Shape({i, j, k});
 
   auto grid = GridPartition::CreateUniform(spec.shape, parts);
@@ -317,15 +332,16 @@ int Generate(int argc, char** argv) {
 
   auto session = Session::Open({ToStorageUri(args.positional[0])});
   if (!session.ok()) return ReportBad("open storage", session.status()), 1;
-  auto store = (*session)->CreateTensorStore(*grid);
+  auto store = (*session)->CreateTensorStore(*grid, format);
   if (!store.ok()) return ReportBad("create store", store.status()), 1;
   if (Status s = GenerateLowRankIntoStore(spec, *store); !s.ok()) {
     return ReportBad("generate", s), 1;
   }
   auto bytes = (*store)->TotalBytes();
-  std::printf("wrote %s tensor as %lld blocks (%s) under %s\n",
+  std::printf("wrote %s tensor as %lld %s blocks (%s) under %s\n",
               spec.shape.ToString().c_str(),
               static_cast<long long>(grid->NumBlocks()),
+              SlabFormatName(format),
               bytes.ok() ? HumanBytes(*bytes).c_str() : "?",
               args.positional[0].c_str());
   return 0;
@@ -380,6 +396,8 @@ bool ParseDecomposeConfig(const Args& args, DecomposeConfig* config) {
       opts.Int("reorder-window", 0, false, 0, kIntMax);
   options.shard_slab_blocks =
       opts.Int("shard-blocks", 0, false, 0, kIntMax);
+  options.kernel_fma = opts.Present("kernel-fma");
+  options.policy_victim_hints = opts.Present("policy-hints");
   options.resume_phase2 = opts.Present("resume");
   config->progress = opts.Present("progress");
   if (!opts.ok()) return false;
