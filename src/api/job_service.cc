@@ -1,6 +1,7 @@
 #include "api/job_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/progress_observer.h"
@@ -171,30 +172,69 @@ Result<JobInfo> JobService::Await(JobId id) {
   return Snapshot(*job);
 }
 
-std::vector<JobInfo> JobService::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<JobInfo> infos;
-  infos.reserve(jobs_.size());
-  for (const auto& [id, job] : jobs_) infos.push_back(Snapshot(*job));
-  return infos;
-}
-
-Status JobService::Cancel(JobId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+Result<JobInfo> JobService::Await(JobId id, double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return Status::NotFound("no job " + std::to_string(id));
   }
   Job* job = it->second.get();
-  if (job->state == JobState::kQueued) {
-    job->state = JobState::kCancelled;
-    job->status = Status::Cancelled("cancelled while queued");
-    job->wait_seconds = job->since_submit.ElapsedSeconds();
-    done_cv_.notify_all();
-  } else if (job->state == JobState::kRunning) {
-    job->token.Cancel();
+  if (timeout_seconds > 0.0) {
+    done_cv_.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds)),
+        [job] { return IsTerminal(job->state); });
   }
-  // Terminal states: idempotent no-op.
+  // Terminal or timed out: either way the caller gets the live snapshot.
+  return Snapshot(*job);
+}
+
+std::vector<JobInfo> JobService::List() const {
+  return ListFiltered(std::nullopt);
+}
+
+std::vector<JobInfo> JobService::List(JobState state) const {
+  return ListFiltered(state);
+}
+
+std::vector<JobInfo> JobService::ListFiltered(
+    std::optional<JobState> filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobInfo> infos;
+  infos.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    if (filter.has_value() && job->state != *filter) continue;
+    infos.push_back(Snapshot(*job));
+  }
+  return infos;
+}
+
+void JobService::NotifyTransition(const JobInfo& info) {
+  if (options_.on_transition) options_.on_transition(info);
+}
+
+Status JobService::Cancel(JobId id) {
+  std::optional<JobInfo> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job " + std::to_string(id));
+    }
+    Job* job = it->second.get();
+    if (job->state == JobState::kQueued) {
+      job->state = JobState::kCancelled;
+      job->status = Status::Cancelled("cancelled while queued");
+      job->wait_seconds = job->since_submit.ElapsedSeconds();
+      retired = Snapshot(*job);
+      done_cv_.notify_all();
+    } else if (job->state == JobState::kRunning) {
+      job->token.Cancel();
+    }
+    // Terminal states: idempotent no-op.
+  }
+  if (retired.has_value()) NotifyTransition(*retired);
   return Status::OK();
 }
 
@@ -212,6 +252,7 @@ void JobService::CancelAll() {
 void JobService::WorkerLoop() {
   for (;;) {
     Job* job = nullptr;
+    JobInfo started;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -231,9 +272,17 @@ void JobService::WorkerLoop() {
       }
       job->state = JobState::kRunning;
       job->wait_seconds = job->since_submit.ElapsedSeconds();
+      started = Snapshot(*job);
     }
+    NotifyTransition(started);
     Execute(job);
     done_cv_.notify_all();
+    JobInfo finished;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished = Snapshot(*job);
+    }
+    NotifyTransition(finished);
   }
 }
 

@@ -28,9 +28,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -57,6 +59,15 @@ struct JobServiceOptions {
   /// total_buffer_bytes / num_workers (overriding buffer_fraction when it
   /// would exceed the share). 0 leaves per-job settings untouched.
   uint64_t total_buffer_bytes = 0;
+  /// State-change callback, invoked with a snapshot after every observable
+  /// transition (queued→running, running→terminal, queued→cancelled) with
+  /// no service lock held. Called from worker threads and from whichever
+  /// thread retired a queued job via Cancel; calls are not globally
+  /// ordered across jobs. The callback may call Submit/Poll/List/Cancel on
+  /// this service, but not Await (it could be running on the worker whose
+  /// job the wait needs). Must outlive the service; note that the
+  /// destructor's CancelAll still fires it.
+  std::function<void(const JobInfo&)> on_transition;
 };
 
 /// Runs decomposition jobs on a fixed worker pool. Thread-safe; all
@@ -89,8 +100,19 @@ class JobService {
   /// snapshot. NotFound for an unknown id.
   Result<JobInfo> Await(JobId id);
 
+  /// Bounded wait: blocks until the job is terminal or `timeout_seconds`
+  /// elapses, then returns the job's current snapshot either way — the
+  /// caller distinguishes the outcomes with IsTerminal(info.state). A
+  /// non-positive timeout polls (returns the snapshot immediately).
+  /// NotFound for an unknown id. This is the scheduler-loop shape: wait a
+  /// bounded slice, reassess, never busy-poll.
+  Result<JobInfo> Await(JobId id, double timeout_seconds);
+
   /// Snapshots of every job, in submission order.
   std::vector<JobInfo> List() const;
+
+  /// Snapshots of the jobs currently in `state`, in submission order.
+  std::vector<JobInfo> List(JobState state) const;
 
   /// Requests cancellation: a queued job is retired immediately
   /// (kCancelled); a running job's token fires and the engine winds down
@@ -125,6 +147,11 @@ class JobService {
   void Execute(Job* job);
   /// Builds the public snapshot; callers hold mu_.
   JobInfo Snapshot(const Job& job) const;
+  /// List() with an optional state filter; takes mu_.
+  std::vector<JobInfo> ListFiltered(std::optional<JobState> filter) const;
+  /// Invokes options_.on_transition (if set) with `info`. Callers must NOT
+  /// hold mu_.
+  void NotifyTransition(const JobInfo& info);
 
   const JobServiceOptions options_;
 

@@ -43,9 +43,13 @@ uint64_t TwoPhaseCpOptions::ResumeFingerprint() const {
   // still auto-resume after an upgrade), and the reorder window — which
   // the planner reads only when reordering is on — never separates two
   // specs that produce identical runs.
-  if (plan_reorder || shard_slab_blocks != 0) {
-    hash = HashWord(hash, plan_reorder ? 1u : 0u);
-    hash = HashWord(hash, plan_reorder
+  // The *effective* decision is hashed: with the block-centric auto
+  // default on, a default FO/ZO/HO run and an explicit --plan-reorder run
+  // of the same spec execute the same plan and must resume each other.
+  const bool reorder = EffectivePlanReorder();
+  if (reorder || shard_slab_blocks != 0) {
+    hash = HashWord(hash, reorder ? 1u : 0u);
+    hash = HashWord(hash, reorder
                               ? static_cast<uint64_t>(plan_reorder_window)
                               : 0u);
     hash = HashWord(hash, static_cast<uint64_t>(shard_slab_blocks));
@@ -80,8 +84,8 @@ std::string TwoPhaseCpOptions::ToString() const {
   if (compute_threads > 1) {
     out += " compute_threads=" + std::to_string(compute_threads);
   }
-  if (plan_reorder) {
-    out += " plan_reorder=1";
+  if (EffectivePlanReorder()) {
+    out += plan_reorder ? " plan_reorder=1" : " plan_reorder=auto";
     if (plan_reorder_window > 0) {
       out += " plan_reorder_window=" + std::to_string(plan_reorder_window);
     }

@@ -61,14 +61,14 @@ PlannerOptions Phase2PlannerOptions(const TwoPhaseCpOptions& options,
   planner_options.buffer_bytes =
       std::max(options.ResolveBufferBytes(catalog.TotalBytes()),
                catalog.MaxUnitBytes());
-  planner_options.reorder = options.plan_reorder;
+  planner_options.reorder = options.EffectivePlanReorder();
   planner_options.reorder_window = options.plan_reorder_window;
   planner_options.shard_chunk_blocks = options.shard_slab_blocks;
   planner_options.prefetch_depth = options.prefetch_depth;
   planner_options.victim_hints = options.policy_victim_hints;
   // Certification (two simulated cycle replays) is only paid when the
   // reordering pass needs its parity gate.
-  planner_options.certify = options.plan_reorder;
+  planner_options.certify = options.EffectivePlanReorder();
   return planner_options;
 }
 

@@ -27,6 +27,10 @@ const char* ScheduleTypeName(ScheduleType type) {
   return "?";
 }
 
+bool IsBlockCentric(ScheduleType type) {
+  return type != ScheduleType::kModeCentric;
+}
+
 std::vector<BlockIndex> OrderBlocksFiber(const GridPartition& grid) {
   // Row-major order: the last mode varies fastest — a fiber at a time.
   return grid.AllBlocks();

@@ -36,6 +36,12 @@ enum class ScheduleType {
 
 const char* ScheduleTypeName(ScheduleType type);
 
+/// True for the Algorithm-2 family (FO/ZO/HO and the SN/RND ablations):
+/// cycles that visit blocks and interleave modes, whose native conflict
+/// segmentation degrades to singleton waves. Mode-centric is the one
+/// schedule whose cycle is already mode-contiguous.
+bool IsBlockCentric(ScheduleType type);
+
 /// A mode-partition pair ⟨i, ki⟩ — the unit of data access (Definition 4).
 struct ModePartition {
   int mode = 0;

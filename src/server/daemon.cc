@@ -1,0 +1,802 @@
+#include "server/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "api/session.h"
+#include "data/synthetic.h"
+#include "util/format.h"
+
+namespace tpcp {
+
+namespace {
+
+constexpr const char* kJobPrefix = "jobs/";
+
+std::string JobFileName(int64_t id) {
+  return kJobPrefix + std::to_string(id);
+}
+
+std::string TensorPrefix(int64_t id) {
+  return "job-" + std::to_string(id) + "/tensor";
+}
+
+std::string FactorPrefix(int64_t id) {
+  return "job-" + std::to_string(id) + "/factors";
+}
+
+/// A protocol number rendered as the option-map string ApplyOption reads.
+Result<std::string> JsonOptionToString(const std::string& key,
+                                       const JsonValue& value) {
+  if (value.is_string()) return value.string_value();
+  if (value.is_bool()) return std::string(value.bool_value() ? "1" : "0");
+  if (value.is_int()) return std::to_string(value.int_value());
+  if (value.kind() == JsonValue::Kind::kDouble) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value.number_value());
+    return std::string(buf);
+  }
+  return Status::InvalidArgument("option '" + key +
+                                 "' must be a scalar (string/number/bool)");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Tpcpd>> Tpcpd::Start(TpcpdOptions options) {
+  std::unique_ptr<Tpcpd> daemon(new Tpcpd());
+  TPCP_RETURN_IF_ERROR(daemon->Init(std::move(options)));
+  return daemon;
+}
+
+Status Tpcpd::Init(TpcpdOptions options) {
+  options_ = std::move(options);
+  if (options_.max_running_jobs < 1 || options_.total_threads < 1 ||
+      options_.total_buffer_bytes == 0) {
+    return Status::InvalidArgument(
+        "daemon totals (buffer/threads/max_running_jobs) must be positive");
+  }
+  TPCP_ASSIGN_OR_RETURN(state_env_, OpenEnv(options_.state_uri));
+  for (TenantConfig& config : options_.tenants) {
+    if (config.name.empty()) {
+      return Status::InvalidArgument("tenant name must not be empty");
+    }
+    if (tenants_.count(config.name) != 0) {
+      return Status::InvalidArgument("duplicate tenant '" + config.name +
+                                     "'");
+    }
+    Tenant tenant;
+    tenant.config = config;
+    TPCP_ASSIGN_OR_RETURN(tenant.env, OpenEnv(config.storage_uri));
+    tenants_[config.name] = std::move(tenant);
+  }
+  if (tenants_.empty()) {
+    return Status::InvalidArgument("tpcpd needs at least one tenant");
+  }
+
+  Recover();
+
+  JobServiceOptions service_options;
+  service_options.num_workers = options_.max_running_jobs;
+  service_options.on_transition = [this](const JobInfo& info) {
+    OnServiceTransition(info);
+  };
+  service_ = std::make_unique<JobService>(service_options);
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+  LogLine("tpcpd: serving " + std::to_string(tenants_.size()) +
+          " tenant(s), totals " + HumanBytes(options_.total_buffer_bytes) +
+          " / " + std::to_string(options_.total_threads) + " threads / " +
+          std::to_string(options_.max_running_jobs) + " jobs");
+  return Status::OK();
+}
+
+Tpcpd::~Tpcpd() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  sched_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  // The service destructor cancels running jobs; each winds down at its
+  // next vi boundary with a checkpoint, and OnServiceTransition (seeing
+  // shutdown_) re-queues it as preempted in the persisted state.
+  service_.reset();
+  LogLine("tpcpd: stopped");
+}
+
+void Tpcpd::Recover() {
+  const std::vector<std::string> files = state_env_->ListFiles(kJobPrefix);
+  int64_t recovered = 0;
+  for (const std::string& file : files) {
+    std::string text;
+    if (!state_env_->ReadFile(file, &text).ok()) continue;
+    const Result<ServerJobRecord> decoded = DecodeServerJobRecord(text);
+    if (!decoded.ok()) {
+      LogLine("tpcpd: skipping corrupt job record " + file + ": " +
+              decoded.status().ToString());
+      continue;
+    }
+    ServerJobRecord record = *decoded;
+    next_id_ = std::max(next_id_, record.id + 1);
+    next_seq_ = std::max(next_seq_, record.seq + 1);
+    if (tenants_.count(record.tenant) == 0) {
+      LogLine("tpcpd: job " + std::to_string(record.id) +
+              " names unregistered tenant '" + record.tenant +
+              "', leaving on disk");
+      continue;
+    }
+    if (!IsTerminal(record.state)) {
+      // A record still marked running means the previous daemon died with
+      // the job in flight; its store holds the last checkpoint, so it
+      // re-enters the queue as preempted and auto-resumes.
+      if (record.state == ServerJobState::kRunning) {
+        record.state = ServerJobState::kPreempted;
+        PersistRecord(record);
+      }
+      ++recovered;
+      LogLine("tpcpd: recovered job " + std::to_string(record.id) +
+              " (tenant " + record.tenant + ", " +
+              ServerJobStateName(record.state) + ")");
+    }
+    ServerJob job;
+    job.record = std::move(record);
+    job.budget.buffer_bytes = job.record.budget_buffer_bytes;
+    job.budget.threads = job.record.budget_threads;
+    jobs_[job.record.id] = std::move(job);
+  }
+  recovered_ = recovered;
+  if (recovered > 0) {
+    LogLine("tpcpd: recovered " + std::to_string(recovered) +
+            " job(s) from persisted queue");
+  }
+}
+
+void Tpcpd::PersistRecord(const ServerJobRecord& record) {
+  const Status status = state_env_->WriteFile(JobFileName(record.id),
+                                              EncodeServerJobRecord(record));
+  if (!status.ok()) {
+    LogLine("tpcpd: failed to persist job " + std::to_string(record.id) +
+            ": " + status.ToString());
+  }
+}
+
+void Tpcpd::LogLine(const std::string& line) const {
+  if (options_.log) options_.log(line);
+}
+
+Status Tpcpd::GenerateInput(const SubmitRequest& request, Tenant* tenant,
+                            int64_t job_id) {
+  if (request.gen_dims.empty()) {
+    return Status::InvalidArgument("generate needs a non-empty dims list");
+  }
+  SessionOptions session_options;
+  session_options.env = tenant->env.get();
+  session_options.tensor_prefix = TensorPrefix(job_id);
+  session_options.factor_prefix = FactorPrefix(job_id);
+  TPCP_ASSIGN_OR_RETURN(auto session, Session::Open(session_options));
+  TPCP_ASSIGN_OR_RETURN(
+      const GridPartition grid,
+      GridPartition::CreateUniform(Shape(request.gen_dims),
+                                   request.gen_parts));
+  TPCP_ASSIGN_OR_RETURN(BlockTensorStore * store,
+                        session->CreateTensorStore(grid));
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = request.gen_rank;
+  spec.noise_level = request.gen_noise;
+  spec.seed = request.gen_seed;
+  return GenerateLowRankIntoStore(spec, store);
+}
+
+Result<int64_t> Tpcpd::Submit(const SubmitRequest& request) {
+  const auto tenant_it = tenants_.find(request.tenant);
+  if (tenant_it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + request.tenant + "'");
+  }
+  Tenant* tenant = &tenant_it->second;
+  if (request.options.rank < 1) {
+    return Status::InvalidArgument("rank must be >= 1");
+  }
+  const std::vector<std::string> solvers = Session::Solvers();
+  if (std::find(solvers.begin(), solvers.end(), request.solver) ==
+      solvers.end()) {
+    return Status::InvalidArgument("unknown solver '" + request.solver +
+                                   "'");
+  }
+  const JobBudget budget =
+      ComputeJobBudget(request.options, tenant->config.quota);
+  if (!BudgetFitsQuota(budget, tenant->config.quota)) {
+    return Status::ResourceExhausted(
+        "job budget (" + HumanBytes(budget.buffer_bytes) + ", " +
+        std::to_string(budget.threads) + " threads) exceeds tenant '" +
+        request.tenant + "' quota (" +
+        HumanBytes(tenant->config.quota.buffer_bytes) + ", " +
+        std::to_string(tenant->config.quota.threads) + " threads)");
+  }
+  if (budget.buffer_bytes > options_.total_buffer_bytes ||
+      budget.threads > options_.total_threads) {
+    return Status::ResourceExhausted(
+        "job budget exceeds the daemon totals");
+  }
+
+  int64_t id = 0;
+  int64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::FailedPrecondition("daemon stopping");
+    id = next_id_++;
+    seq = next_seq_++;
+  }
+  if (request.generate) {
+    TPCP_RETURN_IF_ERROR(GenerateInput(request, tenant, id));
+  }
+
+  ServerJob job;
+  job.record.id = id;
+  job.record.tenant = request.tenant;
+  job.record.name = request.name;
+  job.record.priority = request.priority;
+  job.record.seq = seq;
+  job.record.state = ServerJobState::kQueued;
+  job.record.solver = request.solver;
+  job.record.session_uri =
+      tenant->config.storage_uri + "#job-" + std::to_string(id);
+  job.record.budget_buffer_bytes = budget.buffer_bytes;
+  job.record.budget_threads = budget.threads;
+  job.record.options = OptionsToMap(request.options);
+  job.record.params = request.params;
+  job.budget = budget;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PersistRecord(job.record);
+    LogLine("tpcpd: job " + std::to_string(id) + " (tenant " +
+            request.tenant + ", prio " + std::to_string(request.priority) +
+            ") admitted");
+    jobs_[id] = std::move(job);
+  }
+  sched_cv_.notify_all();
+  return id;
+}
+
+Result<ServerJobRecord> Tpcpd::Poll(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  return it->second.record;
+}
+
+Result<JobProgress> Tpcpd::Progress(int64_t id) const {
+  JobId service_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job " + std::to_string(id));
+    }
+    service_id = it->second.service_id;
+  }
+  if (service_id == 0) {
+    return Status::FailedPrecondition("job " + std::to_string(id) +
+                                      " is not running");
+  }
+  TPCP_ASSIGN_OR_RETURN(const JobInfo info, service_->Poll(service_id));
+  return info.progress;
+}
+
+Result<ServerJobRecord> Tpcpd::Await(int64_t id, double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  if (timeout_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    done_cv_.wait_until(lock, deadline, [&] {
+      return IsTerminal(it->second.record.state) || shutdown_;
+    });
+  }
+  return it->second.record;
+}
+
+std::vector<ServerJobRecord> Tpcpd::List(const std::string& tenant,
+                                         const std::string& state) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServerJobRecord> out;
+  for (const auto& [id, job] : jobs_) {
+    if (!tenant.empty() && job.record.tenant != tenant) continue;
+    if (!state.empty() &&
+        state != ServerJobStateName(job.record.state)) {
+      continue;
+    }
+    out.push_back(job.record);
+  }
+  return out;
+}
+
+Status Tpcpd::Cancel(int64_t id) {
+  JobId service_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job " + std::to_string(id));
+    }
+    ServerJob& job = it->second;
+    if (IsTerminal(job.record.state)) return Status::OK();
+    job.cancel_requested = true;
+    if (job.service_id != 0) {
+      service_id = job.service_id;  // running: cancel lands within one vi
+    } else {
+      job.record.state = ServerJobState::kCancelled;
+      job.record.detail = "cancelled before running";
+      PersistRecord(job.record);
+      LogLine("tpcpd: job " + std::to_string(id) + " cancelled (queued)");
+    }
+  }
+  if (service_id != 0) {
+    TPCP_RETURN_IF_ERROR(service_->Cancel(service_id));
+  }
+  done_cv_.notify_all();
+  sched_cv_.notify_all();
+  return Status::OK();
+}
+
+std::vector<TenantStats> Tpcpd::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantStats> out;
+  for (const auto& [name, tenant] : tenants_) {
+    TenantStats stats;
+    stats.config = tenant.config;
+    stats.usage = tenant.usage;
+    for (const auto& [id, job] : jobs_) {
+      if (job.record.tenant == name &&
+          (job.record.state == ServerJobState::kQueued ||
+           job.record.state == ServerJobState::kPreempted)) {
+        ++stats.waiting_jobs;
+      }
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+uint64_t Tpcpd::peak_buffer_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_buffer_bytes_;
+}
+int Tpcpd::peak_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_threads_;
+}
+int Tpcpd::peak_running_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_running_jobs_;
+}
+int64_t Tpcpd::preemption_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return preemptions_;
+}
+int64_t Tpcpd::recovered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+// ---- scheduler -------------------------------------------------------------
+
+void Tpcpd::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    SchedulePass(lock);
+    sched_cv_.wait(lock);
+  }
+}
+
+void Tpcpd::StartJob(ServerJob* job, Tenant* tenant) {
+  const Result<TwoPhaseCpOptions> options =
+      OptionsFromMap(job->record.options);
+  if (!options.ok()) {
+    job->record.state = ServerJobState::kFailed;
+    job->record.detail = options.status().ToString();
+    PersistRecord(job->record);
+    return;
+  }
+  JobSpec spec;
+  spec.session.env = tenant->env.get();
+  spec.session.tensor_prefix = TensorPrefix(job->record.id);
+  spec.session.factor_prefix = FactorPrefix(job->record.id);
+  spec.solver = job->record.solver;
+  spec.options = *options;
+  spec.params = job->record.params;
+  spec.auto_resume = true;
+  const Result<JobId> submitted = service_->Submit(std::move(spec));
+  if (!submitted.ok()) {
+    job->record.state = ServerJobState::kFailed;
+    job->record.detail = submitted.status().ToString();
+    PersistRecord(job->record);
+    return;
+  }
+  const bool resuming = job->record.state == ServerJobState::kPreempted;
+  job->service_id = *submitted;
+  service_to_job_[*submitted] = job->record.id;
+  job->record.state = ServerJobState::kRunning;
+  PersistRecord(job->record);
+  tenant->usage.Charge(job->budget);
+  total_usage_.Charge(job->budget);
+  peak_buffer_bytes_ = std::max(peak_buffer_bytes_, total_usage_.buffer_bytes);
+  peak_threads_ = std::max(peak_threads_, total_usage_.threads);
+  peak_running_jobs_ = std::max(peak_running_jobs_, total_usage_.running_jobs);
+  LogLine("tpcpd: job " + std::to_string(job->record.id) +
+          (resuming ? " resumes (" : " starts (") +
+          HumanBytes(job->budget.buffer_bytes) + ", " +
+          std::to_string(job->budget.threads) + " threads)");
+}
+
+void Tpcpd::SchedulePass(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held for the whole pass
+  const TenantQuota global_quota{options_.total_buffer_bytes,
+                                 options_.total_threads,
+                                 options_.max_running_jobs};
+  for (;;) {
+    // Waiting jobs, per tenant, best (priority desc, seq asc) first.
+    std::map<std::string, ServerJob*> best;
+    int top_priority = 0;
+    bool any = false;
+    for (auto& [id, job] : jobs_) {
+      if (job.service_id != 0 || job.cancel_requested) continue;
+      if (job.record.state != ServerJobState::kQueued &&
+          job.record.state != ServerJobState::kPreempted) {
+        continue;
+      }
+      ServerJob*& slot = best[job.record.tenant];
+      if (slot == nullptr ||
+          job.record.priority > slot->record.priority ||
+          (job.record.priority == slot->record.priority &&
+           job.record.seq < slot->record.seq)) {
+        slot = &job;
+      }
+      if (!any || job.record.priority > top_priority) {
+        top_priority = job.record.priority;
+        any = true;
+      }
+    }
+    if (!any) return;
+
+    // Fair-share rotation at the top priority: the first tenant after the
+    // cursor with a best candidate at that priority goes first.
+    std::vector<std::string> ring;
+    for (const auto& [name, candidate] : best) {
+      if (candidate->record.priority == top_priority) ring.push_back(name);
+    }
+    std::sort(ring.begin(), ring.end());
+    std::rotate(ring.begin(),
+                std::upper_bound(ring.begin(), ring.end(), rr_cursor_),
+                ring.end());
+
+    bool started = false;
+    for (const std::string& name : ring) {
+      ServerJob* candidate = best[name];
+      Tenant* tenant = &tenants_[name];
+      if (CanStart(candidate->budget, tenant->usage, tenant->config.quota) &&
+          CanStart(candidate->budget, total_usage_, global_quota)) {
+        StartJob(candidate, tenant);
+        rr_cursor_ = name;
+        started = true;
+        break;
+      }
+      // Blocked. See whether evicting strictly-lower-priority running
+      // jobs would make room; count preemptions already in flight as
+      // pending room first.
+      ResourceUsage tenant_sim = tenant->usage;
+      ResourceUsage total_sim = total_usage_;
+      for (const auto& [id, job] : jobs_) {
+        if (job.service_id != 0 &&
+            (job.preempt_requested || job.cancel_requested)) {
+          total_sim.Release(job.budget);
+          if (job.record.tenant == name) tenant_sim.Release(job.budget);
+        }
+      }
+      if (CanStart(candidate->budget, tenant_sim, tenant->config.quota) &&
+          CanStart(candidate->budget, total_sim, global_quota)) {
+        // Enough room is already on its way; wait for it to land.
+        return;
+      }
+      // Victims: running, lower priority, youngest first.
+      std::vector<ServerJob*> victims;
+      for (auto& [id, job] : jobs_) {
+        if (job.service_id == 0 || job.preempt_requested ||
+            job.cancel_requested) {
+          continue;
+        }
+        if (job.record.priority < candidate->record.priority) {
+          victims.push_back(&job);
+        }
+      }
+      std::sort(victims.begin(), victims.end(),
+                [](const ServerJob* a, const ServerJob* b) {
+                  if (a->record.priority != b->record.priority) {
+                    return a->record.priority < b->record.priority;
+                  }
+                  return a->record.seq > b->record.seq;
+                });
+      std::vector<ServerJob*> chosen;
+      for (ServerJob* victim : victims) {
+        total_sim.Release(victim->budget);
+        if (victim->record.tenant == name) tenant_sim.Release(victim->budget);
+        chosen.push_back(victim);
+        if (CanStart(candidate->budget, tenant_sim, tenant->config.quota) &&
+            CanStart(candidate->budget, total_sim, global_quota)) {
+          break;
+        }
+      }
+      if (!chosen.empty() &&
+          CanStart(candidate->budget, tenant_sim, tenant->config.quota) &&
+          CanStart(candidate->budget, total_sim, global_quota)) {
+        for (ServerJob* victim : chosen) {
+          victim->preempt_requested = true;
+          LogLine("tpcpd: job " + std::to_string(candidate->record.id) +
+                  " (prio " + std::to_string(candidate->record.priority) +
+                  ") preempts job " + std::to_string(victim->record.id) +
+                  " (prio " + std::to_string(victim->record.priority) +
+                  ")");
+          service_->Cancel(victim->service_id);
+        }
+      }
+      // Strict priority: while the top-priority candidate is blocked, do
+      // not backfill lower-priority work behind it.
+      return;
+    }
+    if (!started) return;
+  }
+}
+
+void Tpcpd::OnServiceTransition(const JobInfo& info) {
+  if (!IsTerminal(info.state)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto map_it = service_to_job_.find(info.id);
+    if (map_it == service_to_job_.end()) return;
+    const int64_t id = map_it->second;
+    service_to_job_.erase(map_it);
+    const auto job_it = jobs_.find(id);
+    if (job_it == jobs_.end()) return;
+    ServerJob& job = job_it->second;
+    job.service_id = 0;
+    Tenant& tenant = tenants_[job.record.tenant];
+    tenant.usage.Release(job.budget);
+    total_usage_.Release(job.budget);
+    job.record.resumed = info.resumed;
+    job.record.fit = info.progress.fit;
+    switch (info.state) {
+      case JobState::kSucceeded:
+        job.record.state = ServerJobState::kSucceeded;
+        job.record.fit = info.result.surrogate_fit;
+        LogLine("tpcpd: job " + std::to_string(id) + " succeeded (fit " +
+                std::to_string(info.result.surrogate_fit) + ", vi " +
+                std::to_string(info.result.virtual_iterations) +
+                (info.resumed ? ", resumed)" : ")"));
+        break;
+      case JobState::kFailed:
+        job.record.state = ServerJobState::kFailed;
+        job.record.detail = info.status.ToString();
+        LogLine("tpcpd: job " + std::to_string(id) + " failed: " +
+                info.status.ToString());
+        break;
+      case JobState::kCancelled:
+        if (job.cancel_requested) {
+          job.record.state = ServerJobState::kCancelled;
+          job.record.detail = "cancelled";
+          LogLine("tpcpd: job " + std::to_string(id) + " cancelled");
+        } else if (job.preempt_requested) {
+          job.preempt_requested = false;
+          job.record.state = ServerJobState::kPreempted;
+          ++job.record.preemptions;
+          ++preemptions_;
+          LogLine("tpcpd: job " + std::to_string(id) +
+                  " preempted at vi " +
+                  std::to_string(info.progress.virtual_iteration) +
+                  " (checkpoint persisted)");
+        } else {
+          // Shutdown path: the service cancelled it on our behalf; park
+          // it as preempted so a restarted daemon resumes it.
+          job.record.state = ServerJobState::kPreempted;
+          LogLine("tpcpd: job " + std::to_string(id) +
+                  " parked for restart (checkpoint persisted)");
+        }
+        break;
+      default:
+        break;
+    }
+    PersistRecord(job.record);
+  }
+  done_cv_.notify_all();
+  sched_cv_.notify_all();
+}
+
+// ---- protocol --------------------------------------------------------------
+
+JsonValue Tpcpd::RecordToJson(const ServerJobRecord& record) const {
+  JsonValue out = JsonValue::Object();
+  out.Set("id", record.id);
+  out.Set("tenant", record.tenant);
+  out.Set("name", record.name);
+  out.Set("priority", record.priority);
+  out.Set("seq", record.seq);
+  out.Set("state", ServerJobStateName(record.state));
+  out.Set("preemptions", record.preemptions);
+  out.Set("resumed", record.resumed);
+  out.Set("fit", record.fit);
+  out.Set("solver", record.solver);
+  out.Set("session_uri", record.session_uri);
+  out.Set("budget_buffer_bytes", record.budget_buffer_bytes);
+  out.Set("budget_threads", record.budget_threads);
+  if (!record.detail.empty()) out.Set("detail", record.detail);
+  return out;
+}
+
+Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
+  if (!request.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  TPCP_ASSIGN_OR_RETURN(const std::string cmd, GetString(request, "cmd"));
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", true);
+
+  if (cmd == "submit") {
+    SubmitRequest submit;
+    TPCP_ASSIGN_OR_RETURN(submit.tenant, GetString(request, "tenant"));
+    TPCP_ASSIGN_OR_RETURN(submit.name, GetStringOr(request, "name", ""));
+    TPCP_ASSIGN_OR_RETURN(const int64_t priority,
+                          GetIntOr(request, "priority", 0));
+    submit.priority = static_cast<int>(priority);
+    TPCP_ASSIGN_OR_RETURN(submit.solver,
+                          GetStringOr(request, "solver", "2pcp"));
+    if (const JsonValue* options = request.Find("options")) {
+      if (!options->is_object()) {
+        return Status::InvalidArgument("field 'options' must be an object");
+      }
+      for (const auto& [key, value] : options->object_items()) {
+        TPCP_ASSIGN_OR_RETURN(const std::string text,
+                              JsonOptionToString(key, value));
+        TPCP_RETURN_IF_ERROR(ApplyOption(key, text, &submit.options));
+      }
+    }
+    if (const JsonValue* params = request.Find("params")) {
+      if (!params->is_object()) {
+        return Status::InvalidArgument("field 'params' must be an object");
+      }
+      for (const auto& [key, value] : params->object_items()) {
+        if (!value.is_string()) {
+          return Status::InvalidArgument("param '" + key +
+                                         "' must be a string");
+        }
+        submit.params[key] = value.string_value();
+      }
+    }
+    if (const JsonValue* generate = request.Find("generate")) {
+      if (!generate->is_object()) {
+        return Status::InvalidArgument(
+            "field 'generate' must be an object");
+      }
+      submit.generate = true;
+      const JsonValue* dims = generate->Find("dims");
+      if (dims == nullptr || !dims->is_array()) {
+        return Status::InvalidArgument(
+            "field 'generate.dims' must be an array of integers");
+      }
+      for (const JsonValue& dim : dims->array_items()) {
+        if (!dim.is_int()) {
+          return Status::InvalidArgument(
+              "field 'generate.dims' must be an array of integers");
+        }
+        submit.gen_dims.push_back(dim.int_value());
+      }
+      TPCP_ASSIGN_OR_RETURN(submit.gen_parts,
+                            GetIntOr(*generate, "parts", 2));
+      TPCP_ASSIGN_OR_RETURN(submit.gen_rank, GetIntOr(*generate, "rank", 4));
+      TPCP_ASSIGN_OR_RETURN(submit.gen_noise,
+                            GetDoubleOr(*generate, "noise", 0.05));
+      TPCP_ASSIGN_OR_RETURN(const int64_t seed,
+                            GetIntOr(*generate, "seed", 1));
+      submit.gen_seed = static_cast<uint64_t>(seed);
+    }
+    TPCP_ASSIGN_OR_RETURN(const int64_t id, Submit(submit));
+    response.Set("job", id);
+    return response;
+  }
+
+  if (cmd == "poll") {
+    TPCP_ASSIGN_OR_RETURN(const int64_t id, GetInt(request, "job"));
+    TPCP_ASSIGN_OR_RETURN(const ServerJobRecord record, Poll(id));
+    response.Set("job", RecordToJson(record));
+    if (const Result<JobProgress> progress = Progress(id); progress.ok()) {
+      JsonValue live = JsonValue::Object();
+      live.Set("phase1_blocks_done", progress->phase1_blocks_done);
+      live.Set("phase1_blocks_total", progress->phase1_blocks_total);
+      live.Set("phase1_done", progress->phase1_done);
+      live.Set("virtual_iteration", progress->virtual_iteration);
+      live.Set("fit", progress->fit);
+      response.Set("progress", std::move(live));
+    }
+    return response;
+  }
+
+  if (cmd == "await") {
+    TPCP_ASSIGN_OR_RETURN(const int64_t id, GetInt(request, "job"));
+    TPCP_ASSIGN_OR_RETURN(double timeout,
+                          GetDoubleOr(request, "timeout_seconds", 10.0));
+    timeout = std::min(timeout, 3600.0);
+    TPCP_ASSIGN_OR_RETURN(const ServerJobRecord record, Await(id, timeout));
+    response.Set("job", RecordToJson(record));
+    response.Set("terminal", IsTerminal(record.state));
+    return response;
+  }
+
+  if (cmd == "list") {
+    TPCP_ASSIGN_OR_RETURN(const std::string tenant,
+                          GetStringOr(request, "tenant", ""));
+    TPCP_ASSIGN_OR_RETURN(const std::string state,
+                          GetStringOr(request, "state", ""));
+    if (!state.empty()) {
+      TPCP_RETURN_IF_ERROR(ServerJobStateFromName(state).status());
+    }
+    if (!tenant.empty() && tenants_.count(tenant) == 0) {
+      return Status::NotFound("unknown tenant '" + tenant + "'");
+    }
+    JsonValue array = JsonValue::Array();
+    for (const ServerJobRecord& record : List(tenant, state)) {
+      array.Append(RecordToJson(record));
+    }
+    response.Set("jobs", std::move(array));
+    return response;
+  }
+
+  if (cmd == "cancel") {
+    TPCP_ASSIGN_OR_RETURN(const int64_t id, GetInt(request, "job"));
+    TPCP_RETURN_IF_ERROR(Cancel(id));
+    return response;
+  }
+
+  if (cmd == "tenant-stats") {
+    JsonValue array = JsonValue::Array();
+    for (const TenantStats& stats : Stats()) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", stats.config.name);
+      entry.Set("storage_uri", stats.config.storage_uri);
+      JsonValue quota = JsonValue::Object();
+      quota.Set("buffer_bytes", stats.config.quota.buffer_bytes);
+      quota.Set("threads", stats.config.quota.threads);
+      quota.Set("max_concurrent_jobs",
+                stats.config.quota.max_concurrent_jobs);
+      entry.Set("quota", std::move(quota));
+      JsonValue usage = JsonValue::Object();
+      usage.Set("buffer_bytes", stats.usage.buffer_bytes);
+      usage.Set("threads", stats.usage.threads);
+      usage.Set("running_jobs", stats.usage.running_jobs);
+      entry.Set("usage", std::move(usage));
+      entry.Set("waiting_jobs", stats.waiting_jobs);
+      array.Append(std::move(entry));
+    }
+    response.Set("tenants", std::move(array));
+    return response;
+  }
+
+  return Status::InvalidArgument("unknown command '" + cmd + "'");
+}
+
+std::string Tpcpd::HandleRequest(const std::string& payload) {
+  const Result<JsonValue> parsed = JsonValue::Parse(payload);
+  Result<JsonValue> response =
+      parsed.ok() ? Dispatch(*parsed) : Result<JsonValue>(parsed.status());
+  if (response.ok()) return response->Serialize();
+  JsonValue error = JsonValue::Object();
+  error.Set("ok", false);
+  error.Set("error", response.status().ToString());
+  return error.Serialize();
+}
+
+}  // namespace tpcp

@@ -1,0 +1,189 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/wire.h"
+
+namespace tpcp {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// write() until everything is out (or the peer is gone).
+Status WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- server ----------------------------------------------------------------
+
+Result<std::unique_ptr<TpcpdServer>> TpcpdServer::Listen(Tpcpd* daemon,
+                                                         int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Errno("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  std::unique_ptr<TpcpdServer> server(new TpcpdServer());
+  server->daemon_ = daemon;
+  server->listen_fd_ = fd;
+  server->bound_port_ = static_cast<int>(ntohs(addr.sin_port));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+TpcpdServer::~TpcpdServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Unblock the accept loop and every connection read.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  ::close(listen_fd_);
+}
+
+void TpcpdServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TpcpdServer::ServeConnection(int fd) {
+  FrameDecoder decoder;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed (a trailing partial frame is simply dropped)
+    }
+    if (!decoder.Feed(buf, static_cast<size_t>(n)).ok()) {
+      // The stream cannot be resynced; answer once, then hang up.
+      JsonValue error = JsonValue::Object();
+      error.Set("ok", false);
+      error.Set("error", decoder.error().ToString());
+      const Result<std::string> frame = EncodeFrame(error.Serialize());
+      if (frame.ok()) WriteAll(fd, *frame);
+      break;
+    }
+    std::string payload;
+    bool alive = true;
+    while (decoder.Next(&payload)) {
+      const std::string response = daemon_->HandleRequest(payload);
+      const Result<std::string> frame = EncodeFrame(response);
+      if (!frame.ok() || !WriteAll(fd, *frame).ok()) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) break;
+  }
+  ::close(fd);
+}
+
+// ---- client ----------------------------------------------------------------
+
+Result<std::unique_ptr<TpcpdClient>> TpcpdClient::Connect(
+    const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<TpcpdClient>(new TpcpdClient(fd));
+}
+
+TpcpdClient::~TpcpdClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<JsonValue> TpcpdClient::Call(const JsonValue& request) {
+  TPCP_ASSIGN_OR_RETURN(const std::string frame,
+                        EncodeFrame(request.Serialize()));
+  TPCP_RETURN_IF_ERROR(WriteAll(fd_, frame));
+  FrameDecoder decoder;
+  char buf[4096];
+  std::string payload;
+  while (!decoder.Next(&payload)) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("connection closed mid-response");
+    }
+    TPCP_RETURN_IF_ERROR(decoder.Feed(buf, static_cast<size_t>(n)));
+  }
+  return JsonValue::Parse(payload);
+}
+
+}  // namespace tpcp

@@ -1,0 +1,86 @@
+// Socket front door for tpcpd, and the matching thin client.
+//
+// TpcpdServer owns a listening TCP socket on 127.0.0.1 and a
+// thread-per-connection accept loop; each connection speaks the frame
+// codec (server/wire.h) and hands every decoded payload to
+// Tpcpd::HandleRequest. All protocol logic lives in the daemon — this
+// layer only moves frames, which is why the protocol tests don't need it.
+//
+// A malformed frame (bad length prefix) poisons the connection: the
+// server sends one final error frame and closes. A malformed *payload*
+// (bad JSON, unknown command) is an ordinary error response and the
+// connection stays usable.
+
+#ifndef TPCP_SERVER_NET_H_
+#define TPCP_SERVER_NET_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/daemon.h"
+#include "server/json.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+class TpcpdServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see
+  /// bound_port()) and starts accepting. `daemon` must outlive the
+  /// server.
+  static Result<std::unique_ptr<TpcpdServer>> Listen(Tpcpd* daemon,
+                                                     int port);
+
+  /// Stops accepting, closes every connection and joins all threads.
+  ~TpcpdServer();
+
+  TpcpdServer(const TpcpdServer&) = delete;
+  TpcpdServer& operator=(const TpcpdServer&) = delete;
+
+  int bound_port() const { return bound_port_; }
+
+ private:
+  TpcpdServer() = default;
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Tpcpd* daemon_ = nullptr;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+  std::thread accept_thread_;
+};
+
+/// Blocking client: one Call is one request frame out, one response
+/// frame back. Not thread-safe; use one client per thread.
+class TpcpdClient {
+ public:
+  static Result<std::unique_ptr<TpcpdClient>> Connect(
+      const std::string& host, int port);
+  ~TpcpdClient();
+
+  TpcpdClient(const TpcpdClient&) = delete;
+  TpcpdClient& operator=(const TpcpdClient&) = delete;
+
+  /// Sends `request` and returns the parsed response object. IOError when
+  /// the connection drops; InvalidArgument when the server's response is
+  /// not valid protocol (never expected).
+  Result<JsonValue> Call(const JsonValue& request);
+
+ private:
+  explicit TpcpdClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace tpcp
+
+#endif  // TPCP_SERVER_NET_H_

@@ -1,0 +1,85 @@
+#include "server/tenant.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/parse.h"
+
+namespace tpcp {
+
+JobBudget ComputeJobBudget(const TwoPhaseCpOptions& options,
+                           const TenantQuota& quota) {
+  JobBudget budget;
+  budget.buffer_bytes =
+      options.buffer_bytes > 0 ? options.buffer_bytes : quota.buffer_bytes;
+  const int phase2_threads =
+      options.compute_threads +
+      (options.prefetch_depth > 0 ? options.io_threads : 0);
+  budget.threads = std::max(std::max(options.num_threads, phase2_threads), 1);
+  return budget;
+}
+
+bool BudgetFitsQuota(const JobBudget& budget, const TenantQuota& quota) {
+  return budget.buffer_bytes <= quota.buffer_bytes &&
+         budget.threads <= quota.threads && quota.max_concurrent_jobs >= 1;
+}
+
+bool CanStart(const JobBudget& budget, const ResourceUsage& usage,
+              const TenantQuota& quota) {
+  return usage.running_jobs < quota.max_concurrent_jobs &&
+         usage.buffer_bytes + budget.buffer_bytes <= quota.buffer_bytes &&
+         usage.threads + budget.threads <= quota.threads;
+}
+
+Result<TenantConfig> ParseTenantSpec(const std::string& spec) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = spec.find(',', start);
+    parts.push_back(spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (parts.size() < 2 || parts[0].empty() || parts[1].empty()) {
+    return Status::InvalidArgument(
+        "tenant spec must be name,storage_uri[,key=value...]: '" + spec +
+        "'");
+  }
+  TenantConfig config;
+  config.name = parts[0];
+  config.storage_uri = parts[1];
+  for (size_t i = 2; i < parts.size(); ++i) {
+    const size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("tenant spec option '" + parts[i] +
+                                     "' is not key=value");
+    }
+    const std::string key = parts[i].substr(0, eq);
+    const std::string value = parts[i].substr(eq + 1);
+    TPCP_ASSIGN_OR_RETURN(const int64_t number, ParseInt64(value));
+    if (key == "buffer_mb") {
+      if (number <= 0) {
+        return Status::InvalidArgument("tenant buffer_mb must be positive");
+      }
+      config.quota.buffer_bytes = static_cast<uint64_t>(number) << 20;
+    } else if (key == "threads") {
+      if (number <= 0) {
+        return Status::InvalidArgument("tenant threads must be positive");
+      }
+      config.quota.threads = static_cast<int>(number);
+    } else if (key == "max_jobs") {
+      if (number <= 0) {
+        return Status::InvalidArgument("tenant max_jobs must be positive");
+      }
+      config.quota.max_concurrent_jobs = static_cast<int>(number);
+    } else {
+      return Status::InvalidArgument(
+          "unknown tenant spec option '" + key +
+          "' (choices: buffer_mb, threads, max_jobs)");
+    }
+  }
+  return config;
+}
+
+}  // namespace tpcp

@@ -1,0 +1,63 @@
+#include "server/wire.h"
+
+namespace tpcp {
+
+Result<std::string> EncodeFrame(const std::string& payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("cannot encode an empty frame");
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+        "-byte limit");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame += payload;
+  return frame;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t size) {
+  if (!error_.ok()) return error_;
+  buffer_.append(data, size);
+  // Peel off every complete frame currently buffered.
+  while (buffer_.size() >= 4) {
+    const uint32_t length =
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[0]))
+         << 24) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[1]))
+         << 16) |
+        (static_cast<uint32_t>(static_cast<unsigned char>(buffer_[2]))
+         << 8) |
+        static_cast<uint32_t>(static_cast<unsigned char>(buffer_[3]));
+    if (length == 0) {
+      error_ = Status::InvalidArgument("zero-length frame");
+      return error_;
+    }
+    if (length > kMaxFrameBytes) {
+      error_ = Status::InvalidArgument(
+          "frame length " + std::to_string(length) + " exceeds the " +
+          std::to_string(kMaxFrameBytes) + "-byte limit");
+      return error_;
+    }
+    if (buffer_.size() < 4 + static_cast<size_t>(length)) break;
+    ready_.push_back(buffer_.substr(4, length));
+    buffer_.erase(0, 4 + static_cast<size_t>(length));
+  }
+  return Status::OK();
+}
+
+bool FrameDecoder::Next(std::string* payload) {
+  if (ready_.empty()) return false;
+  *payload = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return true;
+}
+
+}  // namespace tpcp

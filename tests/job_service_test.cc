@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "core/progress_observer.h"
 #include "data/synthetic.h"
@@ -454,6 +456,115 @@ TEST(JobServiceTest, SharedBudgetsCapPerJobSettings) {
   // The submitted spec is reported verbatim — the cap is applied to the
   // worker's private copy, not leaked into the record.
   EXPECT_EQ(info->spec.options.num_threads, 16);
+}
+
+TEST(JobServiceTest, BoundedAwaitReturnsNonTerminalSnapshotOnTimeout) {
+  auto env = NewMemEnv();
+  Stage(env.get(), 71);
+  GateObserver gate;
+  JobServiceOptions service_options;
+  service_options.num_workers = 1;
+  JobService service(service_options);
+  JobSpec spec = SpecFor(env.get());
+  spec.options.observer = &gate;
+  auto id = service.Submit(spec);
+  ASSERT_TRUE(id.ok());
+  gate.AwaitStarted();
+  // The job is parked inside the observer: a bounded wait must come back
+  // with the live (non-terminal) snapshot instead of blocking forever.
+  auto running = service.Await(*id, 0.05);
+  ASSERT_TRUE(running.ok());
+  EXPECT_FALSE(IsTerminal(running->state));
+  // Non-positive timeout is a poll.
+  auto polled = service.Await(*id, 0.0);
+  ASSERT_TRUE(polled.ok());
+  EXPECT_FALSE(IsTerminal(polled->state));
+  EXPECT_TRUE(service.Await(999, 0.01).status().IsNotFound());
+  gate.Release();
+  auto done = service.Await(*id, 30.0);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, JobState::kSucceeded) << done->status.ToString();
+}
+
+TEST(JobServiceTest, ListFiltersByState) {
+  auto env = NewMemEnv();
+  Stage(env.get(), 72);
+  GateObserver gate;
+  JobServiceOptions service_options;
+  service_options.num_workers = 1;
+  JobService service(service_options);
+  JobSpec running = SpecFor(env.get());
+  running.options.observer = &gate;
+  auto first = service.Submit(running);
+  ASSERT_TRUE(first.ok());
+  gate.AwaitStarted();
+  auto second = service.Submit(SpecFor(env.get()));  // stays queued
+  ASSERT_TRUE(second.ok());
+
+  const auto running_jobs = service.List(JobState::kRunning);
+  ASSERT_EQ(running_jobs.size(), 1u);
+  EXPECT_EQ(running_jobs[0].id, *first);
+  const auto queued_jobs = service.List(JobState::kQueued);
+  ASSERT_EQ(queued_jobs.size(), 1u);
+  EXPECT_EQ(queued_jobs[0].id, *second);
+  EXPECT_TRUE(service.List(JobState::kFailed).empty());
+  EXPECT_EQ(service.List().size(), 2u);
+
+  gate.Release();
+  ASSERT_TRUE(service.Await(*first).ok());
+  ASSERT_TRUE(service.Await(*second).ok());
+  EXPECT_EQ(service.List(JobState::kSucceeded).size(), 2u);
+}
+
+TEST(JobServiceTest, TransitionCallbackSeesEveryLifecycleEdge) {
+  auto env = NewMemEnv();
+  Stage(env.get(), 73);
+  std::mutex mu;
+  std::vector<std::pair<JobId, JobState>> transitions;
+  JobServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.on_transition = [&](const JobInfo& info) {
+    std::lock_guard<std::mutex> lock(mu);
+    transitions.emplace_back(info.id, info.state);
+  };
+  JobService service(service_options);
+  auto id = service.Submit(SpecFor(env.get()));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Await(*id).ok());
+  // A queued job that never runs still reports its retirement.
+  GateObserver gate;
+  JobSpec blocker = SpecFor(env.get());
+  blocker.options.observer = &gate;
+  auto third = service.Submit(blocker);
+  ASSERT_TRUE(third.ok());
+  gate.AwaitStarted();
+  auto retired = service.Submit(SpecFor(env.get()));
+  ASSERT_TRUE(retired.ok());
+  ASSERT_TRUE(service.Cancel(*retired).ok());
+  gate.Release();
+  ASSERT_TRUE(service.Await(*third).ok());
+
+  const auto count = [&](JobId job, JobState state) {
+    std::lock_guard<std::mutex> lock(mu);
+    int n = 0;
+    for (const auto& [id_, state_] : transitions) {
+      if (id_ == job && state_ == state) ++n;
+    }
+    return n;
+  };
+  // Await is signalled by the state change itself; the terminal callback
+  // may still be in flight for a moment after it returns.
+  for (int spin = 0; spin < 500 && count(*third, JobState::kSucceeded) == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(count(*id, JobState::kRunning), 1);
+  EXPECT_EQ(count(*id, JobState::kSucceeded), 1);
+  EXPECT_EQ(count(*third, JobState::kRunning), 1);
+  EXPECT_EQ(count(*third, JobState::kSucceeded), 1);
+  // The retired job went queued -> cancelled without ever running.
+  EXPECT_EQ(count(*retired, JobState::kRunning), 0);
+  EXPECT_EQ(count(*retired, JobState::kCancelled), 1);
 }
 
 }  // namespace

@@ -1,0 +1,473 @@
+// Tenancy, scheduling and survivability of the tpcpd daemon:
+//
+//   * admission control rejects over-quota submits and provably bounds
+//     aggregate running usage under concurrent multi-tenant load,
+//   * a higher-priority job preempts a running lower-priority one within
+//     one virtual iteration, and the victim later resumes bit-identically
+//     to an uninterrupted run,
+//   * the persisted queue survives a daemon restart: backlog re-admits,
+//     the interrupted job auto-resumes from its checkpoint,
+//   * the job-record and options codecs round-trip exactly (the property
+//     the resume fingerprint depends on).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/names.h"
+#include "core/two_phase_cp.h"
+#include "data/synthetic.h"
+#include "grid/block_tensor_store.h"
+#include "grid/grid_partition.h"
+#include "server/daemon.h"
+#include "server/job_record.h"
+#include "server/tenant.h"
+#include "storage/env_uri.h"
+
+namespace tpcp {
+namespace {
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kParts = 2;
+constexpr int kRank = 3;
+constexpr uint64_t kGenSeed = 29;
+
+/// Collects daemon log lines; the preemption tests assert on them.
+struct LogCapture {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  std::function<void(const std::string&)> Sink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(line);
+    };
+  }
+  bool Contains(const std::string& needle) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::string& line : lines) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+/// The submit used throughout: a generated low-rank cube. `long_run`
+/// pins a large fixed iteration count so the job is guaranteed to still
+/// be running when the scheduler comes for it.
+SubmitRequest CubeSubmit(const std::string& tenant, int priority,
+                         bool long_run) {
+  SubmitRequest request;
+  request.tenant = tenant;
+  request.priority = priority;
+  request.options.rank = kRank;
+  request.options.phase1_max_iterations = 10;
+  request.options.max_virtual_iterations = long_run ? 400 : 6;
+  request.options.fit_tolerance = -1.0;  // fixed work: never converge early
+  request.options.buffer_fraction = 0.5;
+  request.generate = true;
+  request.gen_dims = {kDim, kDim, kDim};
+  request.gen_parts = kParts;
+  request.gen_rank = kRank;
+  request.gen_seed = kGenSeed;
+  return request;
+}
+
+/// Uninterrupted reference run of the same job on a private mem Env,
+/// mirroring the daemon's input generation exactly.
+TwoPhaseCpResult ReferenceRun(Env* env, const TwoPhaseCpOptions& options) {
+  auto grid = GridPartition::CreateUniform(Shape({kDim, kDim, kDim}), kParts);
+  EXPECT_TRUE(grid.ok());
+  BlockTensorStore input(env, "t", *grid);
+  LowRankSpec spec;
+  spec.shape = grid->tensor_shape();
+  spec.rank = kRank;
+  spec.noise_level = 0.05;
+  spec.seed = kGenSeed;
+  EXPECT_TRUE(GenerateLowRankIntoStore(spec, &input).ok());
+  BlockFactorStore factors(env, "f", *grid, options.rank);
+  TwoPhaseCp engine(&input, &factors, options);
+  EXPECT_TRUE(engine.Run().ok());
+  return engine.result();
+}
+
+/// Byte-for-byte factor comparison between the reference store ("f" in
+/// `ref_env`) and the daemon job's store (`job-<id>/factors` in the
+/// tenant root at `tenant_uri`).
+void ExpectFactorsBitIdentical(Env* ref_env, const std::string& tenant_uri,
+                               int64_t job_id) {
+  auto grid = GridPartition::CreateUniform(Shape({kDim, kDim, kDim}), kParts);
+  ASSERT_TRUE(grid.ok());
+  auto tenant_env = OpenEnv(tenant_uri);
+  ASSERT_TRUE(tenant_env.ok()) << tenant_env.status().ToString();
+  BlockFactorStore ref_factors(ref_env, "f", *grid, kRank);
+  BlockFactorStore job_factors(tenant_env->get(),
+                               "job-" + std::to_string(job_id) + "/factors",
+                               *grid, kRank);
+  for (int mode = 0; mode < 3; ++mode) {
+    for (int64_t part = 0; part < grid->parts(mode); ++part) {
+      auto lhs = ref_factors.ReadSubFactor(mode, part);
+      auto rhs = job_factors.ReadSubFactor(mode, part);
+      ASSERT_TRUE(lhs.ok()) << lhs.status().ToString();
+      ASSERT_TRUE(rhs.ok()) << rhs.status().ToString();
+      EXPECT_TRUE(*lhs == *rhs) << "mode " << mode << " part " << part;
+    }
+  }
+}
+
+/// Polls until the job's record reaches `state` (~30 s cap).
+bool AwaitState(Tpcpd* daemon, int64_t id, ServerJobState state) {
+  for (int spin = 0; spin < 30000; ++spin) {
+    const auto record = daemon->Poll(id);
+    if (record.ok() && record->state == state) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+/// Polls until the running job has completed at least `vi` Phase-2
+/// virtual iterations — i.e. it has a live checkpoint cursor, so a
+/// preemption landing now exercises checkpoint resume, not a fresh
+/// restart after an interrupted Phase 1.
+bool AwaitVirtualIteration(Tpcpd* daemon, int64_t id, int vi) {
+  for (int spin = 0; spin < 30000; ++spin) {
+    const auto progress = daemon->Progress(id);
+    if (progress.ok() && progress->virtual_iteration >= vi) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(TpcpdAdmissionTest, RejectsWhatCanNeverFit) {
+  TpcpdOptions options;
+  TenantConfig tenant;
+  tenant.name = "alice";
+  tenant.quota.buffer_bytes = 4ull << 20;
+  tenant.quota.threads = 2;
+  options.tenants.push_back(tenant);
+  options.total_buffer_bytes = 64ull << 20;
+  options.total_threads = 8;
+  auto daemon = Tpcpd::Start(std::move(options));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  SubmitRequest request = CubeSubmit("alice", 0, false);
+  request.options.buffer_bytes = 8ull << 20;  // twice the tenant quota
+  auto over_buffer = (*daemon)->Submit(request);
+  ASSERT_FALSE(over_buffer.ok());
+  EXPECT_TRUE(over_buffer.status().IsResourceExhausted())
+      << over_buffer.status().ToString();
+
+  request = CubeSubmit("alice", 0, false);
+  request.options.num_threads = 3;  // over the tenant's 2-thread quota
+  auto over_threads = (*daemon)->Submit(request);
+  ASSERT_FALSE(over_threads.ok());
+  EXPECT_TRUE(over_threads.status().IsResourceExhausted());
+
+  request = CubeSubmit("nobody", 0, false);
+  EXPECT_TRUE((*daemon)->Submit(request).status().IsNotFound());
+
+  request = CubeSubmit("alice", 0, false);
+  request.solver = "no-such-solver";
+  EXPECT_FALSE((*daemon)->Submit(request).ok());
+
+  // A fitting submit still goes through after all the rejections.
+  request = CubeSubmit("alice", 0, false);
+  request.options.buffer_bytes = 1ull << 20;
+  auto id = (*daemon)->Submit(request);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto record = (*daemon)->Await(*id, 120.0);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->state, ServerJobState::kSucceeded);
+}
+
+TEST(TpcpdAdmissionTest, AggregateUsageStaysBoundedUnderConcurrentLoad) {
+  TpcpdOptions options;
+  for (const char* name : {"alice", "bob"}) {
+    TenantConfig tenant;
+    tenant.name = name;
+    tenant.quota.buffer_bytes = 2ull << 20;
+    tenant.quota.threads = 2;
+    tenant.quota.max_concurrent_jobs = 2;
+    options.tenants.push_back(tenant);
+  }
+  options.total_buffer_bytes = 2ull << 20;
+  options.total_threads = 2;
+  options.max_running_jobs = 2;
+  auto daemon = Tpcpd::Start(std::move(options));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  // Two submitter threads race 3 jobs each into their tenant; every job
+  // charges 1 MiB / 1 thread, so at most two may ever run at once.
+  std::vector<int64_t> ids;
+  std::mutex ids_mu;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  for (const char* name : {"alice", "bob"}) {
+    submitters.emplace_back([&, name] {
+      for (int i = 0; i < 3; ++i) {
+        SubmitRequest request = CubeSubmit(name, 0, false);
+        request.options.buffer_bytes = 1ull << 20;
+        auto id = (*daemon)->Submit(request);
+        if (!id.ok()) {
+          ++failures;
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(ids_mu);
+        ids.push_back(*id);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_EQ(ids.size(), 6u);
+  for (const int64_t id : ids) {
+    auto record = (*daemon)->Await(id, 120.0);
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record->state, ServerJobState::kSucceeded)
+        << "job " << id << ": " << record->detail;
+  }
+
+  // The acceptance bound: the sum of running budgets never exceeded the
+  // daemon totals at any point.
+  EXPECT_LE((*daemon)->peak_buffer_bytes(), 2ull << 20);
+  EXPECT_LE((*daemon)->peak_threads(), 2);
+  EXPECT_LE((*daemon)->peak_running_jobs(), 2);
+  // And the machine was actually contended, not accidentally serial.
+  EXPECT_GE((*daemon)->peak_running_jobs(), 2);
+}
+
+TEST(TpcpdPreemptionTest, HighPriorityPreemptsAndVictimResumesBitIdentical) {
+  const std::string root = ::testing::TempDir() + "tpcpd_preempt";
+  LogCapture log;
+  TpcpdOptions options;
+  for (const char* name : {"alice", "bob"}) {
+    TenantConfig tenant;
+    tenant.name = name;
+    tenant.storage_uri = "posix://" + root + "/" + name;
+    options.tenants.push_back(tenant);
+  }
+  options.total_buffer_bytes = 256ull << 20;
+  options.total_threads = 8;
+  options.max_running_jobs = 1;  // one slot: priority must evict
+  options.log = log.Sink();
+  const std::string alice_uri = options.tenants[0].storage_uri;
+  auto daemon = Tpcpd::Start(std::move(options));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  // Low priority long-runner takes the only slot...
+  auto low = (*daemon)->Submit(CubeSubmit("alice", 0, true));
+  ASSERT_TRUE(low.ok()) << low.status().ToString();
+  ASSERT_TRUE(AwaitState(daemon->get(), *low, ServerJobState::kRunning));
+  ASSERT_TRUE(AwaitVirtualIteration(daemon->get(), *low, 2));
+
+  // ...then a high-priority job arrives and must take it over.
+  auto high = (*daemon)->Submit(CubeSubmit("bob", 10, false));
+  ASSERT_TRUE(high.ok()) << high.status().ToString();
+  auto high_record = (*daemon)->Await(*high, 120.0);
+  ASSERT_TRUE(high_record.ok());
+  EXPECT_EQ(high_record->state, ServerJobState::kSucceeded);
+
+  auto low_record = (*daemon)->Await(*low, 120.0);
+  ASSERT_TRUE(low_record.ok());
+  EXPECT_EQ(low_record->state, ServerJobState::kSucceeded);
+  EXPECT_EQ(low_record->preemptions, 1);
+  EXPECT_TRUE(low_record->resumed)
+      << "the victim must continue from its checkpoint, not restart";
+  EXPECT_EQ((*daemon)->preemption_count(), 1);
+  EXPECT_TRUE(log.Contains("preempts job"));
+  // The cancel landed mid-run on a checkpoint (within one vi), not after
+  // the victim had quietly finished.
+  EXPECT_TRUE(log.Contains("preempted at vi"));
+  EXPECT_TRUE(log.Contains("resumes"));
+
+  // Preempt + resume must reproduce the uninterrupted run byte for byte.
+  auto ref_env = NewMemEnv();
+  const TwoPhaseCpResult reference =
+      ReferenceRun(ref_env.get(), CubeSubmit("alice", 0, true).options);
+  EXPECT_NEAR(low_record->fit, reference.surrogate_fit, 0.0);
+  ExpectFactorsBitIdentical(ref_env.get(), alice_uri, *low);
+}
+
+TEST(TpcpdRestartTest, PersistedQueueSurvivesRestartAndResumes) {
+  const std::string root = ::testing::TempDir() + "tpcpd_restart";
+  TpcpdOptions options;
+  options.state_uri = "posix://" + root + "/state";
+  TenantConfig tenant;
+  tenant.name = "alice";
+  tenant.storage_uri = "posix://" + root + "/alice";
+  options.tenants.push_back(tenant);
+  options.max_running_jobs = 1;
+  const std::string alice_uri = tenant.storage_uri;
+  const TpcpdOptions options_copy = options;
+
+  int64_t interrupted = 0;
+  int64_t queued = 0;
+  {
+    LogCapture log;
+    TpcpdOptions first_options = options_copy;
+    first_options.log = log.Sink();
+    auto daemon = Tpcpd::Start(std::move(first_options));
+    ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+    auto a = (*daemon)->Submit(CubeSubmit("alice", 0, true));
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    interrupted = *a;
+    ASSERT_TRUE(AwaitState(daemon->get(), *a, ServerJobState::kRunning));
+    ASSERT_TRUE(AwaitVirtualIteration(daemon->get(), *a, 2));
+    auto b = (*daemon)->Submit(CubeSubmit("alice", 0, false));
+    ASSERT_TRUE(b.ok());
+    queued = *b;
+    // Daemon goes down with one job mid-flight and one queued.
+    daemon->reset();
+    EXPECT_TRUE(log.Contains("parked for restart"));
+  }
+
+  LogCapture log;
+  TpcpdOptions second_options = options_copy;
+  second_options.log = log.Sink();
+  auto daemon = Tpcpd::Start(std::move(second_options));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  EXPECT_EQ((*daemon)->recovered_count(), 2);
+  EXPECT_TRUE(log.Contains("recovered 2 job(s)"));
+
+  auto a_record = (*daemon)->Await(interrupted, 120.0);
+  ASSERT_TRUE(a_record.ok());
+  EXPECT_EQ(a_record->state, ServerJobState::kSucceeded)
+      << a_record->detail;
+  EXPECT_TRUE(a_record->resumed)
+      << "the restarted daemon must resume, not rerun, the parked job";
+  auto b_record = (*daemon)->Await(queued, 120.0);
+  ASSERT_TRUE(b_record.ok());
+  EXPECT_EQ(b_record->state, ServerJobState::kSucceeded)
+      << b_record->detail;
+
+  // Resume across a process boundary is still bit-identical.
+  auto ref_env = NewMemEnv();
+  ReferenceRun(ref_env.get(), CubeSubmit("alice", 0, true).options);
+  ExpectFactorsBitIdentical(ref_env.get(), alice_uri, interrupted);
+}
+
+// ---- codecs ----------------------------------------------------------------
+
+TEST(JobRecordTest, EncodeDecodeRoundTripsEveryField) {
+  ServerJobRecord record;
+  record.id = 42;
+  record.tenant = "team a";  // space: exercises the %-escaping
+  record.name = "nightly 100% run\nwith newline";
+  record.priority = -3;
+  record.seq = 17;
+  record.state = ServerJobState::kPreempted;
+  record.preemptions = 2;
+  record.resumed = true;
+  record.detail = "made\troom";
+  record.fit = 0.875;
+  record.session_uri = "posix:///data/team%20a#job-42";
+  record.budget_buffer_bytes = 123456789;
+  record.budget_threads = 5;
+  record.options["rank"] = "7";
+  record.options["schedule"] = "sn";
+  record.params["grid"] = "4 4 4";
+
+  const std::string text = EncodeServerJobRecord(record);
+  auto decoded = DecodeServerJobRecord(text);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, record.id);
+  EXPECT_EQ(decoded->tenant, record.tenant);
+  EXPECT_EQ(decoded->name, record.name);
+  EXPECT_EQ(decoded->priority, record.priority);
+  EXPECT_EQ(decoded->seq, record.seq);
+  EXPECT_EQ(decoded->state, record.state);
+  EXPECT_EQ(decoded->preemptions, record.preemptions);
+  EXPECT_EQ(decoded->resumed, record.resumed);
+  EXPECT_EQ(decoded->detail, record.detail);
+  EXPECT_EQ(decoded->fit, record.fit);
+  EXPECT_EQ(decoded->session_uri, record.session_uri);
+  EXPECT_EQ(decoded->budget_buffer_bytes, record.budget_buffer_bytes);
+  EXPECT_EQ(decoded->budget_threads, record.budget_threads);
+  EXPECT_EQ(decoded->options, record.options);
+  EXPECT_EQ(decoded->params, record.params);
+}
+
+TEST(JobRecordTest, RejectsCorruptRecords) {
+  ServerJobRecord record;
+  record.id = 1;
+  record.tenant = "alice";
+  const std::string text = EncodeServerJobRecord(record);
+
+  // Truncated write: the `end` trailer is gone.
+  const std::string truncated = text.substr(0, text.size() - 4);
+  EXPECT_FALSE(DecodeServerJobRecord(truncated).ok());
+  // Wrong header.
+  EXPECT_FALSE(DecodeServerJobRecord("not-a-job 1\nend\n").ok());
+  EXPECT_FALSE(DecodeServerJobRecord("").ok());
+  // Required identity fields must be present.
+  EXPECT_FALSE(DecodeServerJobRecord("tpcpd-job 1\nend\n").ok());
+}
+
+TEST(JobRecordTest, OptionsMapRoundTripsTheResumeFingerprint) {
+  TwoPhaseCpOptions options;
+  options.rank = 7;
+  options.phase1_max_iterations = 11;
+  options.phase1_fit_tolerance = 3e-5;
+  options.phase1_ridge = 2e-3;
+  options.seed = 987654321;
+  options.num_threads = 3;
+  const auto schedule = ScheduleTypeFromName("sn");
+  ASSERT_TRUE(schedule.ok());
+  options.schedule = *schedule;
+  options.buffer_fraction = 0.375;
+  options.buffer_bytes = 9999999;
+  options.max_virtual_iterations = 55;
+  options.fit_tolerance = 1.25e-3;
+  options.refinement_ridge = 7e-4;
+  options.prefetch_depth = 2;
+  options.io_threads = 3;
+  options.compute_threads = 2;
+  options.plan_reorder = true;
+  options.plan_reorder_auto = false;
+
+  const auto map = OptionsToMap(options);
+  const auto round = OptionsFromMap(map);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->rank, options.rank);
+  EXPECT_EQ(round->phase1_max_iterations, options.phase1_max_iterations);
+  EXPECT_EQ(round->phase1_fit_tolerance, options.phase1_fit_tolerance);
+  EXPECT_EQ(round->phase1_ridge, options.phase1_ridge);
+  EXPECT_EQ(round->seed, options.seed);
+  EXPECT_EQ(round->num_threads, options.num_threads);
+  EXPECT_EQ(round->schedule, options.schedule);
+  EXPECT_EQ(round->buffer_fraction, options.buffer_fraction);
+  EXPECT_EQ(round->buffer_bytes, options.buffer_bytes);
+  EXPECT_EQ(round->max_virtual_iterations, options.max_virtual_iterations);
+  EXPECT_EQ(round->fit_tolerance, options.fit_tolerance);
+  EXPECT_EQ(round->refinement_ridge, options.refinement_ridge);
+  EXPECT_EQ(round->prefetch_depth, options.prefetch_depth);
+  EXPECT_EQ(round->io_threads, options.io_threads);
+  EXPECT_EQ(round->compute_threads, options.compute_threads);
+  EXPECT_EQ(round->plan_reorder, options.plan_reorder);
+  EXPECT_EQ(round->plan_reorder_auto, options.plan_reorder_auto);
+  // The property everything above exists for: a record-recovered job
+  // fingerprints identically, so its checkpoint is honoured.
+  EXPECT_EQ(round->ResumeFingerprint(), options.ResumeFingerprint());
+
+  EXPECT_FALSE(ApplyOption("no_such_option", "1", &options).ok());
+  EXPECT_FALSE(ApplyOption("rank", "lots", &options).ok());
+}
+
+TEST(TenantTest, ParseTenantSpecReadsQuotaOverrides) {
+  auto spec =
+      ParseTenantSpec("alice,mem://,buffer_mb=16,threads=3,max_jobs=5");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "alice");
+  EXPECT_EQ(spec->storage_uri, "mem://");
+  EXPECT_EQ(spec->quota.buffer_bytes, 16ull << 20);
+  EXPECT_EQ(spec->quota.threads, 3);
+  EXPECT_EQ(spec->quota.max_concurrent_jobs, 5);
+  EXPECT_FALSE(ParseTenantSpec("").ok());
+  EXPECT_FALSE(ParseTenantSpec("alice,mem://,bogus=1").ok());
+}
+
+}  // namespace
+}  // namespace tpcp

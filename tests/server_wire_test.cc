@@ -1,0 +1,281 @@
+// The tpcpd wire protocol: JSON value model, frame codec, and the
+// daemon's protocol dispatch. The invariant under test everywhere:
+// malformed input of any shape — truncated length prefix, oversized
+// frame, invalid JSON, unknown command, wrong-type fields — produces a
+// clean protocol error, never a crash, hang, or half-applied request.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/daemon.h"
+#include "server/json.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace tpcp {
+namespace {
+
+// ---- JSON ------------------------------------------------------------------
+
+TEST(JsonTest, ParseSerializeRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,true,null,\"s\"],\"b\":{\"c\":-7},\"d\":\"q\\\"e\\n\"}";
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Compact + sorted keys makes serialization canonical.
+  EXPECT_EQ(parsed->Serialize(), text);
+  auto reparsed = JsonValue::Parse(parsed->Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Serialize(), text);
+}
+
+TEST(JsonTest, IntegersKeepTheirIdentity) {
+  auto parsed = JsonValue::Parse("{\"seed\":9007199254740993,\"x\":1.5}");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* seed = parsed->Find("seed");
+  ASSERT_NE(seed, nullptr);
+  ASSERT_TRUE(seed->is_int());
+  // 2^53 + 1 survives exactly — a double would have rounded it.
+  EXPECT_EQ(seed->int_value(), 9007199254740993ll);
+  const JsonValue* x = parsed->Find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_FALSE(x->is_int());
+  EXPECT_TRUE(x->is_number());
+}
+
+TEST(JsonTest, StrictParserRejectsMalformedInput) {
+  const char* bad[] = {
+      "",
+      "   ",
+      "{",
+      "[1,2",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "{\"a\" 1}",
+      "{'a':1}",
+      "\"unterminated",
+      "\"bad \\q escape\"",
+      "\"trunc \\u12",
+      "1 2",            // trailing bytes
+      "{\"a\":1} x",    // trailing bytes
+      "nul",
+      "-",
+      "+1",
+      "1e",
+      "99999999999999999999",  // integer out of range
+  };
+  for (const char* text : bad) {
+    const auto parsed = JsonValue::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: '" << text << "'";
+  }
+  // Nesting deeper than the limit is rejected rather than recursed into.
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "[";
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, TypedAccessorsNameTheField) {
+  auto object = JsonValue::Parse("{\"n\":3,\"s\":\"x\",\"f\":1.5}");
+  ASSERT_TRUE(object.ok());
+  EXPECT_EQ(*GetInt(*object, "n"), 3);
+  EXPECT_EQ(*GetString(*object, "s"), "x");
+  EXPECT_EQ(*GetIntOr(*object, "missing", 7), 7);
+  EXPECT_EQ(*GetStringOr(*object, "missing", "d"), "d");
+  EXPECT_EQ(*GetDoubleOr(*object, "f", 0.0), 1.5);
+  EXPECT_EQ(*GetDoubleOr(*object, "n", 0.0), 3.0);  // ints widen
+
+  const auto missing = GetString(*object, "nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("nope"), std::string::npos);
+  const auto wrong_type = GetInt(*object, "s");
+  ASSERT_FALSE(wrong_type.ok());
+  EXPECT_NE(wrong_type.status().ToString().find("'s'"), std::string::npos);
+  // A 1.5 is not silently truncated to 1.
+  EXPECT_FALSE(GetInt(*object, "f").ok());
+}
+
+// ---- frame codec -----------------------------------------------------------
+
+TEST(WireTest, EncodeDecodeRoundTrip) {
+  const auto frame = EncodeFrame("{\"cmd\":\"list\"}");
+  ASSERT_TRUE(frame.ok());
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(*frame).ok());
+  std::string payload;
+  ASSERT_TRUE(decoder.Next(&payload));
+  EXPECT_EQ(payload, "{\"cmd\":\"list\"}");
+  EXPECT_FALSE(decoder.Next(&payload));
+  EXPECT_FALSE(decoder.has_partial());
+}
+
+TEST(WireTest, DecoderHandlesArbitrarySplitsAndBackToBackFrames) {
+  const auto a = EncodeFrame("first");
+  const auto b = EncodeFrame("second payload");
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::string stream = *a + *b;
+  // Feed byte by byte: boundaries must not matter.
+  FrameDecoder decoder;
+  std::vector<std::string> out;
+  for (const char c : stream) {
+    ASSERT_TRUE(decoder.Feed(&c, 1).ok());
+    std::string payload;
+    while (decoder.Next(&payload)) out.push_back(payload);
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "first");
+  EXPECT_EQ(out[1], "second payload");
+}
+
+TEST(WireTest, TruncatedPrefixIsAPartialFrameNotAnError) {
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed("\x00\x00", 2).ok());
+  std::string payload;
+  EXPECT_FALSE(decoder.Next(&payload));
+  EXPECT_TRUE(decoder.has_partial());
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(WireTest, OversizedAndZeroLengthFramesLatchAnError) {
+  {
+    FrameDecoder decoder;
+    // 0xFFFFFFFF length prefix: hostile allocation request.
+    EXPECT_FALSE(decoder.Feed("\xff\xff\xff\xff", 4).ok());
+    EXPECT_TRUE(decoder.failed());
+    // The error latches: further feeds stay rejected.
+    EXPECT_FALSE(decoder.Feed("more", 4).ok());
+  }
+  {
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.Feed(std::string(4, '\0')).ok());
+    EXPECT_TRUE(decoder.failed());
+  }
+  EXPECT_FALSE(EncodeFrame("").ok());
+  EXPECT_FALSE(EncodeFrame(std::string(kMaxFrameBytes + 1, 'x')).ok());
+  EXPECT_TRUE(EncodeFrame(std::string(kMaxFrameBytes, 'x')).ok());
+}
+
+// ---- protocol dispatch -----------------------------------------------------
+
+std::unique_ptr<Tpcpd> TestDaemon() {
+  TpcpdOptions options;
+  TenantConfig tenant;
+  tenant.name = "alice";
+  tenant.storage_uri = "mem://";
+  options.tenants.push_back(tenant);
+  options.total_buffer_bytes = 8ull << 20;
+  options.total_threads = 2;
+  options.max_running_jobs = 1;
+  auto daemon = Tpcpd::Start(std::move(options));
+  EXPECT_TRUE(daemon.ok()) << daemon.status().ToString();
+  return daemon.ok() ? std::move(*daemon) : nullptr;
+}
+
+/// The response must always be a well-formed {"ok":false,...} object whose
+/// error mentions `needle`.
+void ExpectProtocolError(Tpcpd* daemon, const std::string& payload,
+                         const std::string& needle) {
+  const std::string response = daemon->HandleRequest(payload);
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << "unparsable response: " << response;
+  const JsonValue* ok = parsed->Find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->bool_value()) << response;
+  const JsonValue* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr) << response;
+  EXPECT_NE(error->string_value().find(needle), std::string::npos)
+      << "error '" << error->string_value() << "' does not mention '"
+      << needle << "'";
+}
+
+TEST(ProtocolTest, MalformedPayloadsGetCleanErrors) {
+  auto daemon = TestDaemon();
+  ASSERT_NE(daemon, nullptr);
+  ExpectProtocolError(daemon.get(), "not json at all", "JSON parse error");
+  ExpectProtocolError(daemon.get(), "{\"cmd\":\"list\"", "JSON parse error");
+  ExpectProtocolError(daemon.get(), "[1,2,3]", "must be a JSON object");
+  ExpectProtocolError(daemon.get(), "{}", "cmd");
+  ExpectProtocolError(daemon.get(), "{\"cmd\":\"frobnicate\"}",
+                      "unknown command");
+  ExpectProtocolError(daemon.get(), "{\"cmd\":7}", "'cmd'");
+  // Wrong-type and unknown fields are named, and nothing is half-applied.
+  ExpectProtocolError(daemon.get(), "{\"cmd\":\"submit\"}", "tenant");
+  ExpectProtocolError(daemon.get(),
+                      "{\"cmd\":\"submit\",\"tenant\":\"nobody\"}",
+                      "unknown tenant");
+  ExpectProtocolError(daemon.get(),
+                      "{\"cmd\":\"submit\",\"tenant\":\"alice\","
+                      "\"priority\":\"high\"}",
+                      "priority");
+  ExpectProtocolError(daemon.get(),
+                      "{\"cmd\":\"submit\",\"tenant\":\"alice\","
+                      "\"options\":{\"no_such_option\":1}}",
+                      "no_such_option");
+  ExpectProtocolError(daemon.get(),
+                      "{\"cmd\":\"submit\",\"tenant\":\"alice\","
+                      "\"options\":{\"rank\":\"lots\"}}",
+                      "rank");
+  ExpectProtocolError(daemon.get(),
+                      "{\"cmd\":\"submit\",\"tenant\":\"alice\","
+                      "\"options\":[1]}",
+                      "options");
+  ExpectProtocolError(daemon.get(), "{\"cmd\":\"poll\"}", "job");
+  ExpectProtocolError(daemon.get(), "{\"cmd\":\"poll\",\"job\":1.5}",
+                      "job");
+  ExpectProtocolError(daemon.get(), "{\"cmd\":\"poll\",\"job\":42}",
+                      "no job 42");
+  ExpectProtocolError(daemon.get(), "{\"cmd\":\"cancel\",\"job\":42}",
+                      "no job 42");
+  ExpectProtocolError(daemon.get(),
+                      "{\"cmd\":\"list\",\"state\":\"sideways\"}",
+                      "unknown job state");
+  ExpectProtocolError(daemon.get(),
+                      "{\"cmd\":\"list\",\"tenant\":\"nobody\"}",
+                      "unknown tenant");
+  // After all that abuse the daemon still answers a good request.
+  const std::string response =
+      daemon->HandleRequest("{\"cmd\":\"tenant-stats\"}");
+  auto parsed = JsonValue::Parse(response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("ok")->bool_value()) << response;
+}
+
+TEST(ProtocolTest, SocketFrontDoorSurvivesGarbageAndServesNextClient) {
+  auto daemon = TestDaemon();
+  ASSERT_NE(daemon, nullptr);
+  auto server = TpcpdServer::Listen(daemon.get(), 0);
+  if (!server.ok()) {
+    GTEST_SKIP() << "sockets unavailable: " << server.status().ToString();
+  }
+  const int port = (*server)->bound_port();
+  ASSERT_GT(port, 0);
+
+  {
+    // Baseline: a healthy round trip through the socket layer.
+    auto client = TpcpdClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    JsonValue request = JsonValue::Object();
+    request.Set("cmd", "tenant-stats");
+    auto response = (*client)->Call(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->Find("ok")->bool_value());
+  }
+  {
+    // Well-formed frame, malformed payload: connection stays usable.
+    auto client = TpcpdClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    JsonValue bad = JsonValue::Object();
+    bad.Set("cmd", "frobnicate");
+    auto response = (*client)->Call(bad);
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->Find("ok")->bool_value());
+    JsonValue good = JsonValue::Object();
+    good.Set("cmd", "list");
+    response = (*client)->Call(good);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->Find("ok")->bool_value());
+  }
+}
+
+}  // namespace
+}  // namespace tpcp

@@ -139,6 +139,10 @@ TEST(TwoPhaseCpTest, VictimHintsMeasuredSwapsMatchSimulator) {
   Fixture f = MakeFixture(Shape({16, 16, 16}), 4, 2);
   TwoPhaseCpOptions options = BaseOptions(2);
   options.schedule = ScheduleType::kFiberOrder;
+  // Pin the source order: this test replays the *native* FO cycle through
+  // the simulator, so the engine must not adopt the block-centric
+  // reordering default.
+  options.plan_reorder_auto = false;
   options.policy = PolicyType::kLru;
   options.policy_victim_hints = true;
   options.buffer_fraction = 1.0 / 3.0;

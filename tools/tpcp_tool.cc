@@ -35,6 +35,12 @@
 //   tpcp_tool solvers
 //       Lists the registered solvers and storage schemes/wrappers.
 //
+//   tpcp_tool client <verb> [--host=127.0.0.1] [--port=7214] [...]
+//       Thin client for a running tpcpd daemon (tools/tpcpd.cc): submit /
+//       poll / await / list / cancel / tenant-stats over the
+//       length-prefixed JSON wire protocol; prints the raw response.
+//       `tpcp_tool client` alone shows the verb flags.
+//
 // <dir|uri> is either a plain directory (shorthand for posix://<dir>) or a
 // storage URI: mem://, posix:///path, compressed+posix:///path?level=3,
 // throttled+mem://?mbps=50&latency_ms=1, faulty+..., and any registered
@@ -49,7 +55,11 @@
 //   --max-vi=N --max-seconds=S --seed=N
 //   --fit-tolerance=T                  (Phase-2 stop; negative = never)
 //   --plan-reorder                     (conflict-aware reordering, adopted
-//                                       only under certified swap parity)
+//                                       only under certified swap parity;
+//                                       the default for block-centric
+//                                       schedules — see --no-plan-reorder)
+//   --no-plan-reorder                  (pin the source order: disable the
+//                                       block-centric reordering default)
 //   --reorder-window=N                 (reorder window in steps; 0 = one
 //                                       virtual iteration)
 //   --shard-blocks=N                   (slab blocks per shard for
@@ -88,6 +98,8 @@
 #include "core/phase2_engine.h"
 #include "data/synthetic.h"
 #include "schedule/planner.h"
+#include "server/json.h"
+#include "server/net.h"
 #include "util/format.h"
 #include "util/parse.h"
 
@@ -392,6 +404,16 @@ bool ParseDecomposeConfig(const Args& args, DecomposeConfig* config) {
       opts.Double("fit-tolerance", options.fit_tolerance, false, -1.0, 1.0);
   options.seed = static_cast<uint64_t>(opts.Int("seed", 1, false, 0));
   options.plan_reorder = opts.Present("plan-reorder");
+  // --no-plan-reorder pins the source order: block-centric schedules
+  // otherwise reorder by default (plan_reorder_auto).
+  if (opts.Present("no-plan-reorder")) {
+    if (options.plan_reorder) {
+      std::fprintf(stderr,
+                   "--plan-reorder and --no-plan-reorder conflict\n");
+      return false;
+    }
+    options.plan_reorder_auto = false;
+  }
   options.plan_reorder_window =
       opts.Int("reorder-window", 0, false, 0, kIntMax);
   options.shard_slab_blocks =
@@ -814,6 +836,157 @@ int Jobs(int argc, char** argv) {
   return any_failed ? 1 : 0;
 }
 
+// Thin tpcpd client: one verb, one frame round-trip, raw JSON response on
+// stdout. Exit 0 when the server answered {"ok":true}.
+int Client(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(
+        stderr,
+        "usage: %s client <verb> [--host=127.0.0.1] [--port=7214] ...\n"
+        "verbs:\n"
+        "  submit --tenant=NAME [--name=LABEL] [--priority=N]\n"
+        "         [--solver=2pcp] [--opt=key=value ...] [--param=k=v ...]\n"
+        "         [--generate=IxJxK] [--parts=N] [--gen-rank=N]\n"
+        "         [--noise=F] [--gen-seed=N]\n"
+        "  poll --job=N | await --job=N [--timeout=S] | cancel --job=N\n"
+        "  list [--tenant=NAME] [--state=queued|running|preempted|...]\n"
+        "  tenant-stats\n",
+        argv[0]);
+    return 2;
+  }
+  const std::string verb = argv[2];
+  std::string host = "127.0.0.1";
+  int64_t port = 7214;
+  JsonValue request = JsonValue::Object();
+  request.Set("cmd", verb);
+  JsonValue options = JsonValue::Object();
+  JsonValue params = JsonValue::Object();
+  JsonValue generate = JsonValue::Object();
+  bool has_options = false, has_params = false, has_generate = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "client flags are --key=value, got '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    const auto kv = [&]() -> Result<std::pair<std::string, std::string>> {
+      const size_t peq = value.find('=');
+      if (peq == std::string::npos || peq == 0) {
+        return Status::InvalidArgument("--" + key +
+                                       " expects key=value, got '" + value +
+                                       "'");
+      }
+      return std::make_pair(value.substr(0, peq), value.substr(peq + 1));
+    };
+    if (key == "host") {
+      host = value;
+    } else if (key == "port") {
+      const auto parsed = ParseInt64(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --port '%s'\n", value.c_str());
+        return 2;
+      }
+      port = *parsed;
+    } else if (key == "tenant" || key == "name" || key == "solver" ||
+               key == "state") {
+      request.Set(key, value);
+    } else if (key == "priority" || key == "job" || key == "parts" ||
+               key == "gen-rank" || key == "gen-seed") {
+      const auto parsed = ParseInt64(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --%s '%s'\n", key.c_str(), value.c_str());
+        return 2;
+      }
+      if (key == "parts") {
+        generate.Set("parts", *parsed);
+        has_generate = true;
+      } else if (key == "gen-rank") {
+        generate.Set("rank", *parsed);
+        has_generate = true;
+      } else if (key == "gen-seed") {
+        generate.Set("seed", *parsed);
+        has_generate = true;
+      } else {
+        request.Set(key, *parsed);
+      }
+    } else if (key == "timeout") {
+      const auto parsed = ParseDouble(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --timeout '%s'\n", value.c_str());
+        return 2;
+      }
+      request.Set("timeout_seconds", *parsed);
+    } else if (key == "noise") {
+      const auto parsed = ParseDouble(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --noise '%s'\n", value.c_str());
+        return 2;
+      }
+      generate.Set("noise", *parsed);
+      has_generate = true;
+    } else if (key == "opt") {
+      const auto pair = kv();
+      if (!pair.ok()) {
+        std::fprintf(stderr, "%s\n", pair.status().ToString().c_str());
+        return 2;
+      }
+      options.Set(pair->first, pair->second);
+      has_options = true;
+    } else if (key == "param") {
+      const auto pair = kv();
+      if (!pair.ok()) {
+        std::fprintf(stderr, "%s\n", pair.status().ToString().c_str());
+        return 2;
+      }
+      params.Set(pair->first, pair->second);
+      has_params = true;
+    } else if (key == "generate") {
+      // IxJxK dims list.
+      JsonValue dims = JsonValue::Array();
+      size_t start = 0;
+      while (start <= value.size()) {
+        const size_t x = value.find('x', start);
+        const std::string piece = value.substr(
+            start, x == std::string::npos ? std::string::npos : x - start);
+        const auto parsed = ParseInt64(piece);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "bad --generate dims '%s'\n", value.c_str());
+          return 2;
+        }
+        dims.Append(*parsed);
+        if (x == std::string::npos) break;
+        start = x + 1;
+      }
+      generate.Set("dims", std::move(dims));
+      has_generate = true;
+    } else {
+      std::fprintf(stderr, "unknown client flag --%s\n", key.c_str());
+      return 2;
+    }
+  }
+  if (has_options) request.Set("options", std::move(options));
+  if (has_params) request.Set("params", std::move(params));
+  if (has_generate) request.Set("generate", std::move(generate));
+
+  auto client = TpcpdClient::Connect(host, static_cast<int>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  const auto response = (*client)->Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->Serialize().c_str());
+  const JsonValue* ok = response->Find("ok");
+  return (ok != nullptr && ok->is_bool() && ok->bool_value()) ? 0 : 1;
+}
+
 int Solvers() {
   std::printf("solvers:");
   for (const std::string& name : Session::Solvers()) {
@@ -842,5 +1015,6 @@ int main(int argc, char** argv) {
   if (command == "plan") return Plan(argc, argv);
   if (command == "simulate") return Simulate(argc, argv);
   if (command == "solvers") return Solvers();
+  if (command == "client") return Client(argc, argv);
   return Usage(argv[0]);
 }
