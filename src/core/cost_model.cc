@@ -1,5 +1,8 @@
 #include "core/cost_model.h"
 
+#include <sstream>
+
+#include "core/swap_simulator.h"
 #include "util/format.h"
 
 namespace tpcp {
@@ -16,6 +19,65 @@ std::string CostModel::ToString() const {
   return "mem_total=" + HumanBytes(TotalRefinementBytes()) +
          " mem_MP=" + HumanBytes(PerModePartitionBytes()) +
          " naive_swaps/iter=" + std::to_string(NaiveSwapsPerIteration());
+}
+
+std::string ClusterWorkerCost::ToString() const {
+  std::ostringstream out;
+  out << "cluster: worker " << worker << " swaps/vi=" << swaps_per_vi
+      << " xchg_up/vi=" << xchg_up_bytes_per_vi
+      << " xchg_down/vi=" << xchg_down_bytes_per_vi
+      << " persist/vi=" << persist_bytes_per_vi
+      << " transfer_s/vi=" << transfer_seconds_per_vi;
+  return out.str();
+}
+
+std::vector<ClusterWorkerCost> SimulateCluster(const DistributedPlan& dplan,
+                                               int64_t rank,
+                                               const ClusterSimConfig& config) {
+  const ExecutionPlan& plan = dplan.plan();
+  const UpdateSchedule& schedule = plan.schedule();
+  const int64_t cycle = plan.cycle_length();
+  const int64_t vi_len = plan.virtual_iteration_length();
+  const double vi_scale =
+      static_cast<double>(vi_len) / static_cast<double>(cycle);
+  // Persist windows repeat with period lcm(vi, cycle); averaging the first
+  // ⌈cycle/vi⌉ windows covers every cycle position at least once and stays
+  // cheap for plans whose lcm is large.
+  const int64_t persist_windows = (cycle + vi_len - 1) / vi_len;
+
+  std::vector<ClusterWorkerCost> costs;
+  costs.reserve(static_cast<size_t>(config.num_workers));
+  for (int worker = 0; worker < config.num_workers; ++worker) {
+    ClusterWorkerCost cost;
+    cost.worker = worker;
+    cost.swaps_per_vi = SimulateOwnedSteadyStateSwapsPerVi(
+        schedule, rank, config.policy, config.buffer_bytes,
+        config.warmup_cycles, config.measure_cycles, config.victim_hints,
+        worker, config.num_workers);
+    const WorkerTraffic traffic = dplan.TrafficForRange(worker, 0, cycle);
+    cost.xchg_up_bytes_per_vi =
+        static_cast<double>(traffic.up_bytes) * vi_scale;
+    cost.xchg_down_bytes_per_vi =
+        static_cast<double>(traffic.down_bytes) * vi_scale;
+    cost.messages_per_vi =
+        static_cast<double>(traffic.up_messages + traffic.down_messages) *
+        vi_scale;
+    uint64_t persist_total = 0;
+    for (int64_t k = 0; k < persist_windows; ++k) {
+      persist_total +=
+          dplan.PersistBytesForRange(worker, k * vi_len, (k + 1) * vi_len);
+    }
+    cost.persist_bytes_per_vi = static_cast<double>(persist_total) /
+                                static_cast<double>(persist_windows);
+    // A persist is one more message per vi from this worker.
+    cost.transfer_seconds_per_vi = config.link.TransferSeconds(
+        static_cast<uint64_t>(cost.xchg_up_bytes_per_vi +
+                              cost.xchg_down_bytes_per_vi +
+                              cost.persist_bytes_per_vi),
+        static_cast<int64_t>(cost.messages_per_vi) + 1);
+    costs.push_back(cost);
+  }
+  return costs;
 }
 
 }  // namespace tpcp

@@ -5,8 +5,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "buffer/data_unit.h"
+#include "buffer/replacement_policy.h"
+#include "schedule/planner.h"
 
 namespace tpcp {
 
@@ -47,6 +50,59 @@ class CostModel {
  private:
   UnitCatalog catalog_;
 };
+
+/// One network link's price, the composable-resource way: a transfer of
+/// `bytes` split over `messages` costs messages·latency + bytes/bandwidth
+/// seconds. Defaults approximate loopback-ish 10 GbE.
+struct ClusterLink {
+  double latency_seconds = 100e-6;
+  double bandwidth_bytes_per_second = 1.25e9;
+
+  double TransferSeconds(uint64_t bytes, int64_t messages) const {
+    return static_cast<double>(messages) * latency_seconds +
+           static_cast<double>(bytes) / bandwidth_bytes_per_second;
+  }
+};
+
+/// Inputs of one cluster simulation: each worker runs the plan's owned
+/// slice against its own `buffer_bytes` pool and talks to the coordinator
+/// over `link`.
+struct ClusterSimConfig {
+  int num_workers = 2;
+  PolicyType policy = PolicyType::kForward;
+  /// Per-worker buffer capacity (clamped up to the largest unit).
+  uint64_t buffer_bytes = 0;
+  bool victim_hints = false;
+  int warmup_cycles = 2;
+  int measure_cycles = 2;
+  ClusterLink link;
+};
+
+/// Predicted per-virtual-iteration costs of one worker: local disk swaps
+/// (ownership-filtered replay through the swap simulator) plus network
+/// exchange (metadata up/down per step, sub-factor persist per vi), priced
+/// through the link model. Byte figures are cycle-exact averages — the
+/// cycle's integer totals scaled by vi_len/cycle_len — except
+/// persist_bytes, which is averaged over the first ⌈cycle/vi⌉ persist
+/// windows (which windows a vi covers varies when vi_len ∤ cycle_len).
+struct ClusterWorkerCost {
+  int worker = 0;
+  double swaps_per_vi = 0.0;
+  double xchg_up_bytes_per_vi = 0.0;
+  double xchg_down_bytes_per_vi = 0.0;
+  double messages_per_vi = 0.0;
+  double persist_bytes_per_vi = 0.0;
+  double transfer_seconds_per_vi = 0.0;
+
+  /// One grep-able "cluster:" line.
+  std::string ToString() const;
+};
+
+/// The cluster simulator: prices a DistributedPlan per worker. `rank`
+/// must match the rank the DistributedPlan was built with.
+std::vector<ClusterWorkerCost> SimulateCluster(const DistributedPlan& dplan,
+                                               int64_t rank,
+                                               const ClusterSimConfig& config);
 
 }  // namespace tpcp
 

@@ -276,4 +276,56 @@ double RefinementState::SurrogateFit() const {
   return 1.0 - std::sqrt(residual_sq) / std::sqrt(total_norm_sq);
 }
 
+RefinementState::ExchangeImage RefinementState::ExportExchange(
+    const ModePartition& unit) const {
+  ExchangeImage image;
+  auto g_it = g_.find(unit);
+  TPCP_CHECK(g_it != g_.end());
+  image.gram = g_it->second;
+  auto slab_it = slabs_.find(unit);
+  TPCP_CHECK(slab_it != slabs_.end());
+  image.slab_m.reserve(slab_it->second.size());
+  for (const BlockIndex& block : slab_it->second) {
+    const int64_t flat = grid_.FlattenBlock(block);
+    image.slab_m.emplace_back(
+        flat,
+        m_[static_cast<size_t>(flat)][static_cast<size_t>(unit.mode)]);
+  }
+  return image;
+}
+
+Status RefinementState::AbsorbExchange(const ModePartition& unit,
+                                       const ExchangeImage& image) {
+  auto g_it = g_.find(unit);
+  if (g_it == g_.end()) {
+    return Status::InvalidArgument("absorb: unknown unit");
+  }
+  if (image.gram.rows() != rank_ || image.gram.cols() != rank_) {
+    return Status::InvalidArgument("absorb: bad gram shape");
+  }
+  auto slab_it = slabs_.find(unit);
+  if (image.slab_m.size() != slab_it->second.size()) {
+    return Status::InvalidArgument("absorb: bad slab length");
+  }
+  g_it->second = image.gram;
+  for (const auto& [flat, m] : image.slab_m) {
+    if (flat < 0 || flat >= grid_.NumBlocks() || m.rows() != rank_ ||
+        m.cols() != rank_) {
+      return Status::InvalidArgument("absorb: bad slab entry");
+    }
+    m_[static_cast<size_t>(flat)][static_cast<size_t>(unit.mode)] = m;
+  }
+  return Status::OK();
+}
+
+Result<Matrix> RefinementState::CurrentSubFactor(
+    const ModePartition& unit) const {
+  {
+    std::lock_guard<std::mutex> lock(resident_mu_);
+    auto it = resident_.find(unit);
+    if (it != resident_.end()) return it->second.a;
+  }
+  return store_->ReadSubFactor(unit.mode, unit.part);
+}
+
 }  // namespace tpcp

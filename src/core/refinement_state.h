@@ -117,6 +117,28 @@ class RefinementState {
     return resident_.count(unit) > 0;
   }
 
+  /// Metadata image of `unit` for the distributed exchange: the pair
+  /// (G^(i)_(ki), slab M^(i)_l keyed by flat block index) an ApplyUpdate
+  /// on the unit refreshes. The image fully describes the update's effect
+  /// on every *other* worker's state — non-owners never need the unit's A.
+  /// Must not run concurrently with ApplyUpdate on the same unit.
+  struct ExchangeImage {
+    Matrix gram;
+    std::vector<std::pair<int64_t, Matrix>> slab_m;  // (flat block, M)
+  };
+  ExchangeImage ExportExchange(const ModePartition& unit) const;
+
+  /// Installs a metadata image received from the unit's owner, assigning
+  /// through the existing g_/m_ nodes. Within one conflict-free wave the
+  /// images touch disjoint entries, so absorb order is irrelevant; callers
+  /// serialize absorbs against ApplyUpdate/SurrogateFit.
+  Status AbsorbExchange(const ModePartition& unit, const ExchangeImage& image);
+
+  /// The unit's current sub-factor A: the resident copy when loaded, the
+  /// store's otherwise. Used by workers to upload dirty sub-factors at
+  /// persist boundaries without forcing an eviction.
+  Result<Matrix> CurrentSubFactor(const ModePartition& unit) const;
+
   /// Number of update-rule applications so far.
   int64_t updates_applied() const {
     return updates_applied_.load(std::memory_order_relaxed);

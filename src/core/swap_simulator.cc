@@ -76,6 +76,41 @@ double SimulateSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
          static_cast<double>(measure_steps);
 }
 
+double SimulateOwnedSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
+                                          int64_t rank, PolicyType policy,
+                                          uint64_t buffer_bytes,
+                                          int warmup_cycles,
+                                          int measure_cycles,
+                                          bool victim_hints, int worker,
+                                          int num_workers) {
+  UnitCatalog catalog(schedule.grid(), rank);
+  const uint64_t capacity = std::max(buffer_bytes, catalog.MaxUnitBytes());
+  BufferPool pool(capacity, catalog,
+                  NewPolicy(policy, &schedule, nullptr, victim_hints));
+  const int64_t warmup_steps =
+      static_cast<int64_t>(warmup_cycles) * schedule.cycle_length();
+  const int64_t measure_steps =
+      static_cast<int64_t>(measure_cycles) * schedule.cycle_length();
+  int64_t pos = 0;
+  for (; pos < warmup_steps; ++pos) {
+    const ModePartition unit = schedule.UnitAt(pos);
+    if (unit.part % num_workers != worker) continue;
+    const Status s = pool.Access(unit, pos);
+    TPCP_CHECK(s.ok()) << s.ToString();
+  }
+  pool.ResetStats();
+  const int64_t end = pos + measure_steps;
+  for (; pos < end; ++pos) {
+    const ModePartition unit = schedule.UnitAt(pos);
+    if (unit.part % num_workers != worker) continue;
+    const Status s = pool.Access(unit, pos);
+    TPCP_CHECK(s.ok()) << s.ToString();
+  }
+  return static_cast<double>(pool.stats().swap_ins) *
+         static_cast<double>(schedule.virtual_iteration_length()) /
+         static_cast<double>(measure_steps);
+}
+
 SwapSimResult SimulateSwaps(const SwapSimConfig& config) {
   const UpdateSchedule schedule =
       UpdateSchedule::Create(config.schedule, config.grid);

@@ -74,6 +74,22 @@ double SimulateSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
                                      int warmup_cycles, int measure_cycles,
                                      bool victim_hints = false);
 
+/// Per-worker variant for the cluster simulator: replays only the plan
+/// positions the worker owns (unit.part % num_workers == worker) against a
+/// worker-local pool of the same budget, keeping the *global* position for
+/// each access so the next-use oracle sees the plan's real clock. Returns
+/// steady-state swaps per virtual iteration of that worker's slice,
+/// normalized over the same cycle-aligned window as the single-node
+/// function (so Σ over workers of a 1-worker split equals the global
+/// number).
+double SimulateOwnedSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
+                                          int64_t rank, PolicyType policy,
+                                          uint64_t buffer_bytes,
+                                          int warmup_cycles,
+                                          int measure_cycles,
+                                          bool victim_hints, int worker,
+                                          int num_workers);
+
 }  // namespace tpcp
 
 #endif  // TPCP_CORE_SWAP_SIMULATOR_H_

@@ -1,0 +1,475 @@
+#include "dist/coordinator.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/names.h"
+#include "dist/exchange.h"
+#include "grid/manifest.h"
+#include "util/stopwatch.h"
+
+namespace tpcp {
+namespace {
+
+/// The factor-store manifest for `factors`, carrying `checkpoint` when set
+/// (same shape Phase2Engine and the tool write).
+StoreManifest FactorManifest(const BlockFactorStore& factors,
+                             std::optional<Phase2Checkpoint> checkpoint) {
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = factors.grid();
+  manifest.rank = factors.rank();
+  manifest.checkpoint = std::move(checkpoint);
+  return manifest;
+}
+
+/// Channel errors get the worker's name attached: a killed worker shows up
+/// here as its socket closing, and the caller needs to know which one.
+Status Annotate(int worker, const Status& s) {
+  if (s.ok()) return s;
+  return Status::IOError("dist worker " + std::to_string(worker) + ": " +
+                         s.ToString());
+}
+
+/// Logical bytes of one xchg/absorb frame — matrix payload bytes
+/// (rows*cols*8 per matrix), the same definition
+/// DistributedPlan::StepExchangeBytes predicts with. Read from the chunk
+/// headers, not by decoding payloads.
+Status XchgFrameBytes(const JsonValue& msg, uint64_t* bytes, bool* last) {
+  *bytes = 0;
+  if (const JsonValue* g = msg.Find("g")) {
+    TPCP_ASSIGN_OR_RETURN(const int64_t r, GetInt(*g, "r"));
+    TPCP_ASSIGN_OR_RETURN(const int64_t c, GetInt(*g, "c"));
+    *bytes += static_cast<uint64_t>(r * c) * sizeof(double);
+  }
+  const JsonValue* entries = msg.Find("m");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::InvalidArgument("xchg frame: missing m");
+  }
+  for (const JsonValue& entry : entries->array_items()) {
+    if (!entry.is_array() || entry.array_items().size() != 2) {
+      return Status::InvalidArgument("xchg frame: bad m entry");
+    }
+    const JsonValue& m = entry.array_items()[1];
+    TPCP_ASSIGN_OR_RETURN(const int64_t r, GetInt(m, "r"));
+    TPCP_ASSIGN_OR_RETURN(const int64_t c, GetInt(m, "c"));
+    *bytes += static_cast<uint64_t>(r * c) * sizeof(double);
+  }
+  TPCP_ASSIGN_OR_RETURN(*last, GetBoolOr(msg, "last", true));
+  return Status::OK();
+}
+
+/// One collected exchange chunk awaiting relay.
+struct RelayFrame {
+  int owner = 0;
+  uint64_t bytes = 0;
+  bool last = false;
+  JsonValue msg;
+};
+
+struct ListenGuard {
+  int fd;
+  ~ListenGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+Status RunDistributedPhase2(BlockFactorStore* factors,
+                            const TwoPhaseCpOptions& options,
+                            const DistributedRunOptions& dopts,
+                            DistributedRunResult* result) {
+  if (factors == nullptr || result == nullptr) {
+    return Status::InvalidArgument("dist: null factors/result");
+  }
+  if (dopts.num_workers < 1) {
+    return Status::InvalidArgument("dist: num_workers must be >= 1");
+  }
+  if (!dopts.spawn_worker) {
+    return Status::InvalidArgument("dist: spawn_worker callback is required");
+  }
+  const int num_workers = dopts.num_workers;
+  Stopwatch watch;
+  const GridPartition& grid = factors->grid();
+
+  // The coordinator's plan is the run's identity; every worker rebuilds it
+  // from the init options and must fingerprint identically.
+  const UpdateSchedule source_schedule =
+      UpdateSchedule::Create(options.schedule, grid);
+  const PlannerOptions planner_options = Phase2PlannerOptions(options, grid);
+  const ExecutionPlan plan = Planner::Build(source_schedule, planner_options);
+  const UpdateSchedule& schedule = plan.schedule();
+  const int64_t vi_len = schedule.virtual_iteration_length();
+  const DistributedPlan dplan(&plan, options.rank, num_workers);
+
+  // Checkpoint-resume validation, mirrored verbatim from Phase2Engine::Run
+  // — a store the engine would refuse to resume is refused here for the
+  // same reasons, and vice versa.
+  int64_t pos = 0;
+  int start_vi = 0;
+  result->phase2 = Phase2Result();
+  if (options.resume_phase2) {
+    auto manifest = ReadManifest(factors->env(), factors->prefix());
+    if (manifest.ok() && manifest->checkpoint.has_value()) {
+      const Phase2Checkpoint& ckpt = *manifest->checkpoint;
+      if (!(manifest->grid == grid) || manifest->rank != factors->rank()) {
+        return Status::FailedPrecondition(
+            "checkpoint manifest does not describe this factor store");
+      }
+      if (ckpt.schedule != ScheduleTypeName(options.schedule)) {
+        return Status::FailedPrecondition(
+            "checkpoint was cut under schedule '" + ckpt.schedule +
+            "', not '" + ScheduleTypeName(options.schedule) +
+            "'; resume with the same schedule");
+      }
+      if (ckpt.options_fingerprint != 0 &&
+          ckpt.options_fingerprint != options.ResumeFingerprint()) {
+        return Status::FailedPrecondition(
+            "checkpoint was cut under different math-shaping options "
+            "(fingerprint mismatch); resume with the original options");
+      }
+      if (ckpt.cursor / vi_len != ckpt.iteration) {
+        return Status::Corruption(
+            "checkpoint cursor disagrees with its iteration count");
+      }
+      if (ckpt.plan_fingerprint != 0 &&
+          ckpt.plan_fingerprint != plan.fingerprint()) {
+        return Status::FailedPrecondition(
+            "checkpoint was cut under a different execution plan "
+            "(reordering/sharding options or buffer geometry differ); "
+            "resume with the original plan options");
+      }
+      if (ckpt.plan_fingerprint == 0 &&
+          (plan.stats().reorder_applied || plan.shard_chunk_blocks() > 0)) {
+        return Status::FailedPrecondition(
+            "checkpoint predates the execution planner and can only "
+            "resume under the identity plan; resume with the planner "
+            "knobs off");
+      }
+      pos = ckpt.cursor;
+      start_vi = ckpt.iteration;
+      result->phase2.fit_trace = ckpt.fit_trace;
+    } else if (!manifest.ok() && !manifest.status().IsNotFound()) {
+      return manifest.status();
+    }
+  } else {
+    // Fresh run: seed every sub-factor exactly as
+    // RefinementState::Initialize(false) would — same source block, same
+    // write order — so the workers (which always initialize in resume
+    // mode) read the state a single-process fresh run would have written.
+    for (int mode = 0; mode < grid.num_modes(); ++mode) {
+      for (int64_t part = 0; part < grid.parts(mode); ++part) {
+        const std::vector<BlockIndex> slab = factors->SlabBlocks(mode, part);
+        if (slab.empty()) {
+          return Status::Internal("dist: empty slab for mode " +
+                                  std::to_string(mode) + " part " +
+                                  std::to_string(part));
+        }
+        TPCP_ASSIGN_OR_RETURN(const Matrix seed,
+                              factors->ReadBlockFactor(slab.front(), mode));
+        TPCP_RETURN_IF_ERROR(factors->WriteSubFactor(mode, part, seed));
+      }
+    }
+  }
+
+  // Fleet formation: listen, launch, collect one hello per worker id.
+  int port = dopts.listen_port;
+  TPCP_ASSIGN_OR_RETURN(const int listen_fd, DistListen(&port));
+  ListenGuard listen_guard{listen_fd};
+  for (int w = 0; w < num_workers; ++w) {
+    TPCP_RETURN_IF_ERROR(dopts.spawn_worker(port, w));
+  }
+  std::vector<std::unique_ptr<DistChannel>> channels(
+      static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    TPCP_ASSIGN_OR_RETURN(std::unique_ptr<DistChannel> channel,
+                          DistAccept(listen_fd, dopts.accept_timeout_ms));
+    JsonValue hello;
+    TPCP_RETURN_IF_ERROR(channel->Recv(&hello));
+    TPCP_ASSIGN_OR_RETURN(const std::string tag, GetString(hello, "t"));
+    if (tag != "hello") {
+      return Status::InvalidArgument("dist: expected hello, got '" + tag +
+                                     "'");
+    }
+    TPCP_ASSIGN_OR_RETURN(const int64_t w, GetInt(hello, "worker"));
+    if (w < 0 || w >= num_workers) {
+      return Status::InvalidArgument("dist: worker id " + std::to_string(w) +
+                                     " out of range");
+    }
+    if (channels[static_cast<size_t>(w)] != nullptr) {
+      return Status::InvalidArgument("dist: duplicate worker id " +
+                                     std::to_string(w));
+    }
+    channels[static_cast<size_t>(w)] = std::move(channel);
+  }
+
+  auto send = [&channels](int w, const JsonValue& msg) {
+    return Annotate(w, channels[static_cast<size_t>(w)]->Send(msg));
+  };
+  auto recv = [&channels](int w, JsonValue* msg) {
+    return Annotate(w, channels[static_cast<size_t>(w)]->Recv(msg));
+  };
+
+  JsonValue init = JsonValue::Object();
+  init.Set("t", "init");
+  init.Set("workers", static_cast<int64_t>(num_workers));
+  init.Set("resume", options.resume_phase2);
+  init.Set("grid", EncodeGrid(grid));
+  init.Set("options", EncodeOptions(options));
+  for (int w = 0; w < num_workers; ++w) {
+    TPCP_RETURN_IF_ERROR(send(w, init));
+  }
+
+  // Readiness: every worker must have built the coordinator's exact plan
+  // and options, and every worker's initial surrogate fit must agree
+  // bitwise — they initialized from the same persisted state.
+  int64_t init_fit_bits = 0;
+  for (int w = 0; w < num_workers; ++w) {
+    JsonValue ready;
+    TPCP_RETURN_IF_ERROR(recv(w, &ready));
+    TPCP_ASSIGN_OR_RETURN(const std::string tag, GetString(ready, "t"));
+    if (tag != "ready") {
+      return Status::Internal("dist worker " + std::to_string(w) +
+                              ": expected ready, got '" + tag + "'");
+    }
+    TPCP_ASSIGN_OR_RETURN(const int64_t plan_fp, GetInt(ready, "plan_fp"));
+    if (static_cast<uint64_t>(plan_fp) != plan.fingerprint()) {
+      return Status::Internal("dist worker " + std::to_string(w) +
+                              " built a different execution plan "
+                              "(fingerprint mismatch)");
+    }
+    TPCP_ASSIGN_OR_RETURN(const int64_t opts_fp, GetInt(ready, "opts_fp"));
+    if (static_cast<uint64_t>(opts_fp) != options.ResumeFingerprint()) {
+      return Status::Internal("dist worker " + std::to_string(w) +
+                              " decoded different math-shaping options "
+                              "(fingerprint mismatch)");
+    }
+    TPCP_ASSIGN_OR_RETURN(const int64_t fit_bits, GetInt(ready, "fit"));
+    if (w == 0) {
+      init_fit_bits = fit_bits;
+    } else if (fit_bits != init_fit_bits) {
+      return Status::Internal(
+          "dist: initial surrogate fit diverges across workers");
+    }
+  }
+
+  double prev_fit = result->phase2.fit_trace.empty()
+                        ? BitsToDouble(init_fit_bits)
+                        : result->phase2.fit_trace.back();
+  result->phase2.start_iteration = start_vi;
+  result->phase2.virtual_iterations = start_vi;
+  result->plan_fingerprint = plan.fingerprint();
+  result->measured.assign(static_cast<size_t>(num_workers), WorkerTraffic{});
+  result->predicted.assign(static_cast<size_t>(num_workers),
+                           WorkerTraffic{});
+  result->measured_persist_bytes.assign(static_cast<size_t>(num_workers), 0);
+  result->predicted_persist_bytes.assign(static_cast<size_t>(num_workers),
+                                         0);
+
+  for (int vi = start_vi; vi < options.max_virtual_iterations; ++vi) {
+    const int64_t vi_end = static_cast<int64_t>(vi + 1) * vi_len;
+    const int64_t window_begin = pos;
+    while (pos < vi_end) {
+      // One plan wave (clipped to the virtual iteration), executed by all
+      // owners concurrently — the steps commute exactly, so ownership
+      // partitioning cannot change the math.
+      const int64_t wave_end = std::min(plan.WaveEndAfter(pos), vi_end);
+      JsonValue wave = JsonValue::Object();
+      wave.Set("t", "wave");
+      wave.Set("pos", pos);
+      wave.Set("end", wave_end);
+      for (int w = 0; w < num_workers; ++w) {
+        TPCP_RETURN_IF_ERROR(send(w, wave));
+      }
+      // Collect the owners' metadata images in worker-id order — a
+      // deterministic relay order, so every worker absorbs the same
+      // sequence on every run.
+      std::vector<RelayFrame> frames;
+      for (int w = 0; w < num_workers; ++w) {
+        for (;;) {
+          JsonValue msg;
+          TPCP_RETURN_IF_ERROR(recv(w, &msg));
+          TPCP_ASSIGN_OR_RETURN(const std::string tag, GetString(msg, "t"));
+          if (tag == "wave_done") break;
+          if (tag != "xchg") {
+            return Status::Internal("dist worker " + std::to_string(w) +
+                                    ": expected xchg/wave_done, got '" +
+                                    tag + "'");
+          }
+          RelayFrame frame;
+          frame.owner = w;
+          TPCP_RETURN_IF_ERROR(
+              XchgFrameBytes(msg, &frame.bytes, &frame.last));
+          frame.msg = std::move(msg);
+          result->measured[static_cast<size_t>(w)].up_bytes += frame.bytes;
+          if (frame.last) {
+            ++result->measured[static_cast<size_t>(w)].up_messages;
+          }
+          frames.push_back(std::move(frame));
+        }
+      }
+      for (RelayFrame& frame : frames) {
+        frame.msg.Set("t", "absorb");
+        for (int v = 0; v < num_workers; ++v) {
+          if (v == frame.owner) continue;
+          TPCP_RETURN_IF_ERROR(send(v, frame.msg));
+          result->measured[static_cast<size_t>(v)].down_bytes += frame.bytes;
+          if (frame.last) {
+            ++result->measured[static_cast<size_t>(v)].down_messages;
+          }
+        }
+      }
+      // Commit barrier: no worker starts the next wave before every worker
+      // absorbed this one's images.
+      JsonValue commit = JsonValue::Object();
+      commit.Set("t", "wave_commit");
+      for (int w = 0; w < num_workers; ++w) {
+        TPCP_RETURN_IF_ERROR(send(w, commit));
+      }
+      for (int w = 0; w < num_workers; ++w) {
+        JsonValue ack;
+        TPCP_RETURN_IF_ERROR(recv(w, &ack));
+        TPCP_ASSIGN_OR_RETURN(const std::string tag, GetString(ack, "t"));
+        if (tag != "wave_ack") {
+          return Status::Internal("dist worker " + std::to_string(w) +
+                                  ": expected wave_ack, got '" + tag + "'");
+        }
+      }
+      for (int v = 0; v < num_workers; ++v) {
+        result->predicted[static_cast<size_t>(v)] +=
+            dplan.TrafficForRange(v, pos, wave_end);
+      }
+      pos = wave_end;
+    }
+
+    // Virtual-iteration boundary: every worker evaluates the surrogate fit
+    // over its (identical) full state; bitwise disagreement means the
+    // exchange protocol failed and must never be papered over.
+    JsonValue vi_msg = JsonValue::Object();
+    vi_msg.Set("t", "vi_end");
+    for (int w = 0; w < num_workers; ++w) {
+      TPCP_RETURN_IF_ERROR(send(w, vi_msg));
+    }
+    int64_t fit_bits = 0;
+    for (int w = 0; w < num_workers; ++w) {
+      JsonValue fit_msg;
+      TPCP_RETURN_IF_ERROR(recv(w, &fit_msg));
+      TPCP_ASSIGN_OR_RETURN(const std::string tag, GetString(fit_msg, "t"));
+      if (tag != "fit") {
+        return Status::Internal("dist worker " + std::to_string(w) +
+                                ": expected fit, got '" + tag + "'");
+      }
+      TPCP_ASSIGN_OR_RETURN(const int64_t bits, GetInt(fit_msg, "fit"));
+      if (w == 0) {
+        fit_bits = bits;
+      } else if (bits != fit_bits) {
+        return Status::Internal(
+            "dist: surrogate fit diverges across workers at virtual "
+            "iteration " +
+            std::to_string(vi + 1));
+      }
+    }
+    const double fit = BitsToDouble(fit_bits);
+    result->phase2.fit_trace.push_back(fit);
+    result->phase2.virtual_iterations = vi + 1;
+
+    // Persist boundary: collect every worker's dirty sub-factors, write
+    // them to the base store in sorted unit order, then cut the
+    // checkpoint. The base store advances atomically with respect to
+    // worker crashes — a kill at any point leaves it exactly at the
+    // previous checkpoint.
+    JsonValue persist = JsonValue::Object();
+    persist.Set("t", "persist");
+    for (int w = 0; w < num_workers; ++w) {
+      TPCP_RETURN_IF_ERROR(send(w, persist));
+    }
+    std::map<ModePartition, Matrix> staged;
+    for (int w = 0; w < num_workers; ++w) {
+      for (;;) {
+        JsonValue msg;
+        TPCP_RETURN_IF_ERROR(recv(w, &msg));
+        TPCP_ASSIGN_OR_RETURN(const std::string tag, GetString(msg, "t"));
+        if (tag == "persist_done") break;
+        if (tag != "subfactor") {
+          return Status::Internal("dist worker " + std::to_string(w) +
+                                  ": expected subfactor/persist_done, got '" +
+                                  tag + "'");
+        }
+        TPCP_ASSIGN_OR_RETURN(const int64_t mode, GetInt(msg, "mode"));
+        TPCP_ASSIGN_OR_RETURN(const int64_t part, GetInt(msg, "part"));
+        const ModePartition unit{static_cast<int>(mode), part};
+        if (dplan.OwnerOf(unit) != w) {
+          return Status::Internal("dist worker " + std::to_string(w) +
+                                  " uploaded a sub-factor it does not own");
+        }
+        const JsonValue* a = msg.Find("a");
+        if (a == nullptr) {
+          return Status::InvalidArgument("subfactor frame: missing a");
+        }
+        TPCP_ASSIGN_OR_RETURN(const int64_t chunk_rows, GetInt(*a, "rc"));
+        TPCP_ASSIGN_OR_RETURN(const int64_t cols, GetInt(*a, "c"));
+        result->measured_persist_bytes[static_cast<size_t>(w)] +=
+            static_cast<uint64_t>(chunk_rows * cols) * sizeof(double);
+        TPCP_RETURN_IF_ERROR(DecodeMatrixRowsInto(*a, &staged[unit]));
+      }
+    }
+    for (const auto& [unit, a] : staged) {
+      TPCP_RETURN_IF_ERROR(factors->WriteSubFactor(unit.mode, unit.part, a));
+    }
+    for (int v = 0; v < num_workers; ++v) {
+      result->predicted_persist_bytes[static_cast<size_t>(v)] +=
+          dplan.PersistBytesForRange(v, window_begin, pos);
+    }
+    Phase2Checkpoint ckpt;
+    ckpt.schedule = ScheduleTypeName(options.schedule);
+    ckpt.iteration = result->phase2.virtual_iterations;
+    ckpt.cursor = pos;
+    ckpt.fit_trace = result->phase2.fit_trace;
+    ckpt.options_fingerprint = options.ResumeFingerprint();
+    ckpt.plan_fingerprint = plan.fingerprint();
+    TPCP_RETURN_IF_ERROR(WriteManifest(factors->env(), factors->prefix(),
+                                       FactorManifest(*factors,
+                                                      std::move(ckpt))));
+
+    const bool cycle_completed = pos >= schedule.cycle_length();
+    if (cycle_completed && vi > 0 &&
+        Phase2Converged(fit, prev_fit, options.fit_tolerance)) {
+      prev_fit = fit;
+      result->phase2.converged = true;
+      break;
+    }
+    prev_fit = fit;
+  }
+
+  for (int w = 0; w < num_workers; ++w) {
+    JsonValue finish = JsonValue::Object();
+    finish.Set("t", "finish");
+    TPCP_RETURN_IF_ERROR(send(w, finish));
+    JsonValue bye;
+    TPCP_RETURN_IF_ERROR(recv(w, &bye));
+    TPCP_ASSIGN_OR_RETURN(const std::string tag, GetString(bye, "t"));
+    if (tag != "bye") {
+      return Status::Internal("dist worker " + std::to_string(w) +
+                              ": expected bye, got '" + tag + "'");
+    }
+  }
+
+  // The run completed: retire the checkpoint. The store now carries the
+  // plain factors manifest — the same bytes a single-process run's store
+  // holds.
+  TPCP_RETURN_IF_ERROR(WriteManifest(factors->env(), factors->prefix(),
+                                     FactorManifest(*factors, std::nullopt)));
+  result->phase2.surrogate_fit = prev_fit;
+  result->phase2.seconds = watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+}  // namespace tpcp

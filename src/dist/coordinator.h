@@ -1,0 +1,99 @@
+// Distributed Phase-2 coordinator: executes one ExecutionPlan across N
+// worker processes (dist/worker.h) and keeps the run bit-identical to a
+// single-process Phase2Engine run of the same fingerprinted plan.
+//
+// Responsibilities, in protocol order:
+//
+//  - Builds the plan exactly as Phase2Engine::Run would (same
+//    Phase2PlannerOptions), mirrors its checkpoint-resume validation, and
+//    seeds fresh runs' sub-factors precisely as
+//    RefinementState::Initialize(false) would — so workers can always
+//    initialize in resume mode against the persisted state.
+//  - Drives the wave loop: broadcasts each conflict-free wave, collects
+//    the owners' metadata images (in worker-id order), relays them to
+//    every non-owner, and barriers on wave_commit/wave_ack.
+//  - At each virtual-iteration boundary collects every worker's surrogate
+//    fit and requires them bitwise equal (a divergence is an Internal
+//    error, never silently averaged), then applies the engine's exact
+//    convergence rule.
+//  - Alone writes the base factor store: collects all workers' dirty
+//    sub-factors at the persist boundary, writes them in sorted unit
+//    order, then cuts a Phase2Checkpoint manifest. The base store never
+//    gets ahead of the checkpoint cursor, so a worker killed at any
+//    instant leaves a store a single-process resume_phase2 run continues
+//    bit-identically.
+//  - Accounts every relayed byte (logical matrix bytes, the
+//    DistributedPlan definition) so tests can assert measured == predicted
+//    exactly against schedule/planner.h's cluster traffic model.
+//
+// Any worker channel failure (a killed worker closes its socket) aborts
+// the run with a clean error naming the worker — no hang, no partial
+// base-store write.
+
+#ifndef TPCP_DIST_COORDINATOR_H_
+#define TPCP_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/block_factors.h"
+#include "core/config.h"
+#include "core/phase2_engine.h"
+#include "schedule/planner.h"
+#include "util/status.h"
+
+namespace tpcp {
+
+/// How RunDistributedPhase2 forms its worker fleet.
+struct DistributedRunOptions {
+  /// Worker processes (>= 1). Ownership: worker w runs the steps whose
+  /// unit has part % num_workers == w.
+  int num_workers = 2;
+  /// Coordinator listen port (0 = ephemeral).
+  int listen_port = 0;
+  /// How long to wait for each worker to connect before declaring the
+  /// spawn dead.
+  int accept_timeout_ms = 30000;
+  /// Launches worker `worker`, which must call ServeDistWorker against
+  /// 127.0.0.1:`port`. Required. The callback returns once the worker is
+  /// *launched* (forked / thread started), not once it connects.
+  std::function<Status(int port, int worker)> spawn_worker;
+};
+
+/// Outcome of a distributed run: the engine-equivalent Phase-2 result plus
+/// the exchange-byte ledger (measured on the wire vs predicted by
+/// DistributedPlan — equal by construction, asserted in tests).
+struct DistributedRunResult {
+  /// fit_trace / virtual_iterations / converged / surrogate_fit /
+  /// start_iteration / seconds are filled exactly as Phase2Engine would;
+  /// buffer_stats and swap counts stay zero (pools live in the workers).
+  Phase2Result phase2;
+  uint64_t plan_fingerprint = 0;
+  /// Per worker, metadata bytes/messages actually relayed (up: worker ->
+  /// coordinator, down: coordinator -> worker).
+  std::vector<WorkerTraffic> measured;
+  /// Per worker, DistributedPlan::TrafficForRange over the executed
+  /// positions.
+  std::vector<WorkerTraffic> predicted;
+  /// Per worker, sub-factor bytes uploaded at persist boundaries.
+  std::vector<uint64_t> measured_persist_bytes;
+  /// Per worker, DistributedPlan::PersistBytesForRange over the executed
+  /// persist windows.
+  std::vector<uint64_t> predicted_persist_bytes;
+};
+
+/// Runs Phase 2 of the decomposition in `factors` across
+/// `dopts.num_workers` workers. `factors` must already hold the Phase-1
+/// block factors (and, when options.resume_phase2 is set, whatever
+/// sub-factor state the previous run persisted). On success the store
+/// holds the final sub-factors and a plain (checkpoint-free) manifest,
+/// byte-identical to a single-process run of the same plan.
+Status RunDistributedPhase2(BlockFactorStore* factors,
+                            const TwoPhaseCpOptions& options,
+                            const DistributedRunOptions& dopts,
+                            DistributedRunResult* result);
+
+}  // namespace tpcp
+
+#endif  // TPCP_DIST_COORDINATOR_H_

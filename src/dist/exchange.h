@@ -1,0 +1,99 @@
+// Wire vocabulary of the distributed Phase-2 executor (dist/coordinator.h,
+// dist/worker.h): a blocking framed-JSON channel over a localhost socket
+// plus bit-exact codecs for the values the protocol moves.
+//
+// The protocol reuses the tpcpd stack — server/json values inside
+// server/wire length-prefixed frames — but runs its own message grammar
+// ("t"-tagged objects). Two encoding rules keep the distributed run
+// bit-identical to a single-process one:
+//
+//  - Matrices travel as base64 of their raw little-endian double bytes.
+//    JSON number round-trips are not bit-faithful for doubles; raw bytes
+//    are.
+//  - Scalar doubles that must compare bitwise (surrogate fits, option
+//    fields feeding ResumeFingerprint) travel as their IEEE-754 bit
+//    pattern in an int64 (JSON integers round-trip exactly).
+//
+// Large payloads (sub-factors, long slab-M lists) are chunked by the
+// callers so every frame stays under server/wire's 1 MiB ceiling.
+
+#ifndef TPCP_DIST_EXCHANGE_H_
+#define TPCP_DIST_EXCHANGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/config.h"
+#include "grid/grid_partition.h"
+#include "linalg/matrix.h"
+#include "server/json.h"
+#include "server/wire.h"
+
+namespace tpcp {
+
+/// Matrix payload bytes per frame chunk. Well under kMaxFrameBytes even
+/// after base64 (4/3) and JSON framing overhead.
+constexpr uint64_t kDistChunkBytes = 256u * 1024u;
+
+/// Bit-faithful double <-> int64 (IEEE-754 bit pattern).
+int64_t DoubleBits(double value);
+double BitsToDouble(int64_t bits);
+
+/// Whole matrix as {"r","c","d"} with d = base64(raw LE doubles).
+JsonValue EncodeMatrix(const Matrix& m);
+Result<Matrix> DecodeMatrix(const JsonValue& v);
+
+/// Row slice [row0, row0+row_count) of `m` as {"r","c","r0","rc","d"} —
+/// the chunked form for matrices larger than one frame.
+JsonValue EncodeMatrixRows(const Matrix& m, int64_t row0, int64_t row_count);
+/// Installs a row-slice chunk into `*out` (resized to r x c on first use).
+Status DecodeMatrixRowsInto(const JsonValue& v, Matrix* out);
+
+/// Grid geometry as {"dims","parts"}.
+JsonValue EncodeGrid(const GridPartition& grid);
+Result<GridPartition> DecodeGrid(const JsonValue& v);
+
+/// Every scalar field of TwoPhaseCpOptions (observer/cancel excluded), so
+/// a worker rebuilds options whose ResumeFingerprint and Phase-2 planner
+/// inputs equal the coordinator's exactly.
+JsonValue EncodeOptions(const TwoPhaseCpOptions& options);
+Result<TwoPhaseCpOptions> DecodeOptions(const JsonValue& v);
+
+/// Blocking framed-JSON channel over a connected socket. Not thread-safe;
+/// the dist protocol is strictly request/response per channel. Writes use
+/// MSG_NOSIGNAL so a dead peer surfaces as a Status, never SIGPIPE.
+class DistChannel {
+ public:
+  explicit DistChannel(int fd) : fd_(fd) {}
+  ~DistChannel() { Close(); }
+  DistChannel(const DistChannel&) = delete;
+  DistChannel& operator=(const DistChannel&) = delete;
+
+  Status Send(const JsonValue& message);
+  /// Blocks for the next frame. IOError("peer closed") on clean EOF.
+  Status Recv(JsonValue* message);
+
+  void Close();
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+/// Listening socket on 127.0.0.1:`*port` (0 = ephemeral; *port is updated
+/// to the bound port).
+Result<int> DistListen(int* port);
+/// Blocks for one inbound connection on `listen_fd`. With a non-negative
+/// `timeout_ms`, returns IOError("accept timed out") when no worker
+/// connects in time — a spawn that died before connecting must surface as
+/// an error, not a hang.
+Result<std::unique_ptr<DistChannel>> DistAccept(int listen_fd,
+                                                int timeout_ms = -1);
+/// Connects to 127.0.0.1:`port`.
+Result<std::unique_ptr<DistChannel>> DistConnect(int port);
+
+}  // namespace tpcp
+
+#endif  // TPCP_DIST_EXCHANGE_H_

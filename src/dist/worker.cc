@@ -1,0 +1,259 @@
+#include "dist/worker.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "core/phase2_engine.h"
+#include "core/refinement_state.h"
+#include "dist/exchange.h"
+#include "schedule/planner.h"
+#include "storage/overlay_env.h"
+
+namespace tpcp {
+namespace {
+
+/// Sends one owned step's metadata image as chunked "xchg" frames: the
+/// Gram rides in the first chunk, slab-M entries fill chunks up to the
+/// logical byte budget, and the final chunk carries "last":true.
+Status SendExchange(DistChannel* channel, int64_t pos,
+                    const ModePartition& unit,
+                    const RefinementState::ExchangeImage& image) {
+  const uint64_t entry_bytes =
+      static_cast<uint64_t>(image.gram.size()) * sizeof(double);
+  const size_t entries_per_chunk = static_cast<size_t>(
+      std::max<uint64_t>(1, kDistChunkBytes / std::max<uint64_t>(
+                                                  1, entry_bytes)));
+  size_t next = 0;
+  bool first = true;
+  do {
+    JsonValue msg = JsonValue::Object();
+    msg.Set("t", "xchg");
+    msg.Set("pos", pos);
+    msg.Set("mode", unit.mode);
+    msg.Set("part", unit.part);
+    if (first) msg.Set("g", EncodeMatrix(image.gram));
+    JsonValue entries = JsonValue::Array();
+    const size_t stop =
+        std::min(image.slab_m.size(), next + entries_per_chunk);
+    for (; next < stop; ++next) {
+      JsonValue entry = JsonValue::Array();
+      entry.Append(image.slab_m[next].first);
+      entry.Append(EncodeMatrix(image.slab_m[next].second));
+      entries.Append(std::move(entry));
+    }
+    msg.Set("m", std::move(entries));
+    msg.Set("last", next == image.slab_m.size());
+    TPCP_RETURN_IF_ERROR(channel->Send(msg));
+    first = false;
+  } while (next < image.slab_m.size());
+  return Status::OK();
+}
+
+/// Accumulates chunked "absorb" frames until "last", then installs the
+/// complete image.
+class AbsorbBuffer {
+ public:
+  Status Add(RefinementState* state, const JsonValue& msg) {
+    TPCP_ASSIGN_OR_RETURN(const int64_t mode, GetInt(msg, "mode"));
+    TPCP_ASSIGN_OR_RETURN(const int64_t part, GetInt(msg, "part"));
+    TPCP_ASSIGN_OR_RETURN(const int64_t pos, GetInt(msg, "pos"));
+    TPCP_ASSIGN_OR_RETURN(const bool last, GetBoolOr(msg, "last", true));
+    RefinementState::ExchangeImage& image = pending_[pos];
+    if (const JsonValue* g = msg.Find("g")) {
+      TPCP_ASSIGN_OR_RETURN(image.gram, DecodeMatrix(*g));
+    }
+    const JsonValue* entries = msg.Find("m");
+    if (entries == nullptr || !entries->is_array()) {
+      return Status::InvalidArgument("absorb: missing m");
+    }
+    for (const JsonValue& entry : entries->array_items()) {
+      if (!entry.is_array() || entry.array_items().size() != 2) {
+        return Status::InvalidArgument("absorb: bad m entry");
+      }
+      if (!entry.array_items()[0].is_int()) {
+        return Status::InvalidArgument("absorb: bad m entry key");
+      }
+      TPCP_ASSIGN_OR_RETURN(Matrix m,
+                            DecodeMatrix(entry.array_items()[1]));
+      image.slab_m.emplace_back(entry.array_items()[0].int_value(),
+                                std::move(m));
+    }
+    if (!last) return Status::OK();
+    const ModePartition unit{static_cast<int>(mode), part};
+    const Status s = state->AbsorbExchange(unit, image);
+    pending_.erase(pos);
+    return s;
+  }
+
+ private:
+  std::map<int64_t, RefinementState::ExchangeImage> pending_;
+};
+
+/// Sends one dirty sub-factor as row-sliced "subfactor" frames.
+Status SendSubFactor(DistChannel* channel, const ModePartition& unit,
+                     const Matrix& a) {
+  const int64_t rows_per_chunk = std::max<int64_t>(
+      1, static_cast<int64_t>(kDistChunkBytes /
+                              std::max<int64_t>(
+                                  1, a.cols() *
+                                         static_cast<int64_t>(
+                                             sizeof(double)))));
+  for (int64_t row0 = 0; row0 < a.rows(); row0 += rows_per_chunk) {
+    const int64_t count = std::min(rows_per_chunk, a.rows() - row0);
+    JsonValue msg = JsonValue::Object();
+    msg.Set("t", "subfactor");
+    msg.Set("mode", unit.mode);
+    msg.Set("part", unit.part);
+    msg.Set("a", EncodeMatrixRows(a, row0, count));
+    TPCP_RETURN_IF_ERROR(channel->Send(msg));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
+                       int port, int worker_id,
+                       const DistWorkerHooks& hooks) {
+  TPCP_ASSIGN_OR_RETURN(std::unique_ptr<DistChannel> channel,
+                        DistConnect(port));
+  JsonValue hello = JsonValue::Object();
+  hello.Set("t", "hello");
+  hello.Set("worker", worker_id);
+  TPCP_RETURN_IF_ERROR(channel->Send(hello));
+
+  JsonValue init;
+  TPCP_RETURN_IF_ERROR(channel->Recv(&init));
+  TPCP_ASSIGN_OR_RETURN(const std::string init_tag, GetString(init, "t"));
+  if (init_tag != "init") {
+    return Status::InvalidArgument("dist worker: expected init, got " +
+                                   init_tag);
+  }
+  TPCP_ASSIGN_OR_RETURN(const int64_t num_workers,
+                        GetInt(init, "workers"));
+  if (worker_id < 0 || worker_id >= num_workers) {
+    return Status::InvalidArgument("dist worker: id out of range");
+  }
+  const JsonValue* grid_json = init.Find("grid");
+  const JsonValue* options_json = init.Find("options");
+  if (grid_json == nullptr || options_json == nullptr) {
+    return Status::InvalidArgument("dist worker: init missing grid/options");
+  }
+  TPCP_ASSIGN_OR_RETURN(const GridPartition grid, DecodeGrid(*grid_json));
+  TPCP_ASSIGN_OR_RETURN(const TwoPhaseCpOptions options,
+                        DecodeOptions(*options_json));
+
+  // All worker-side writes (pool evictions of dirty sub-factors) stay in
+  // the overlay; the base store is the coordinator's to write.
+  std::unique_ptr<Env> overlay = NewOverlayEnv(base_env);
+  BlockFactorStore store(overlay.get(), factor_prefix, grid, options.rank);
+
+  std::unique_ptr<ThreadPool> compute_pool;
+  if (options.compute_threads > 1) {
+    compute_pool = std::make_unique<ThreadPool>(options.compute_threads);
+  }
+  RefinementState state(&store, options.refinement_ridge,
+                        compute_pool.get(),
+                        options.kernel_fma ? KernelArith::kFma
+                                           : KernelArith::kExact);
+  // Always "resume": fresh runs were seeded by the coordinator before
+  // init, so the persisted sub-factors are the run's true current state.
+  TPCP_RETURN_IF_ERROR(state.Initialize(/*resume=*/true));
+
+  const UpdateSchedule source_schedule =
+      UpdateSchedule::Create(options.schedule, grid);
+  const PlannerOptions planner_options =
+      Phase2PlannerOptions(options, grid);
+  const ExecutionPlan plan =
+      Planner::Build(source_schedule, planner_options);
+  const UpdateSchedule& schedule = plan.schedule();
+  const DistributedPlan dplan(&plan, options.rank,
+                              static_cast<int>(num_workers));
+
+  UnitCatalog catalog(grid, options.rank);
+  BufferPool pool(planner_options.buffer_bytes, catalog,
+                  NewPolicy(options.policy, &schedule, plan.lookahead(),
+                            options.policy_victim_hints));
+  pool.SetCallbacks(
+      [&state](const ModePartition& unit) { return state.LoadUnit(unit); },
+      [&state](const ModePartition& unit, bool dirty) {
+        return state.EvictUnit(unit, dirty);
+      });
+
+  JsonValue ready = JsonValue::Object();
+  ready.Set("t", "ready");
+  ready.Set("plan_fp", static_cast<int64_t>(plan.fingerprint()));
+  ready.Set("opts_fp", static_cast<int64_t>(options.ResumeFingerprint()));
+  ready.Set("fit", DoubleBits(state.SurrogateFit()));
+  TPCP_RETURN_IF_ERROR(channel->Send(ready));
+
+  AbsorbBuffer absorbs;
+  std::set<ModePartition> pending_persist;
+
+  for (;;) {
+    JsonValue msg;
+    TPCP_RETURN_IF_ERROR(channel->Recv(&msg));
+    TPCP_ASSIGN_OR_RETURN(const std::string tag, GetString(msg, "t"));
+
+    if (tag == "wave") {
+      TPCP_ASSIGN_OR_RETURN(const int64_t begin, GetInt(msg, "pos"));
+      TPCP_ASSIGN_OR_RETURN(const int64_t end, GetInt(msg, "end"));
+      for (int64_t pos = begin; pos < end; ++pos) {
+        if (dplan.OwnerAt(pos) != worker_id) continue;
+        if (hooks.crash_at_step == pos) {
+          channel->Close();
+          return Status::Internal("dist worker crash hook at step " +
+                                  std::to_string(pos));
+        }
+        const ModePartition unit = plan.UnitAt(pos);
+        TPCP_RETURN_IF_ERROR(pool.Access(unit, pos));
+        state.ApplyUpdate(plan.StepAt(pos), plan.ShardBlocksAt(pos));
+        pool.MarkDirty(unit);
+        pending_persist.insert(unit);
+        TPCP_RETURN_IF_ERROR(SendExchange(channel.get(), pos, unit,
+                                          state.ExportExchange(unit)));
+      }
+      JsonValue done = JsonValue::Object();
+      done.Set("t", "wave_done");
+      TPCP_RETURN_IF_ERROR(channel->Send(done));
+    } else if (tag == "absorb") {
+      TPCP_RETURN_IF_ERROR(absorbs.Add(&state, msg));
+    } else if (tag == "wave_commit") {
+      JsonValue ack = JsonValue::Object();
+      ack.Set("t", "wave_ack");
+      TPCP_RETURN_IF_ERROR(channel->Send(ack));
+    } else if (tag == "vi_end") {
+      JsonValue fit = JsonValue::Object();
+      fit.Set("t", "fit");
+      fit.Set("fit", DoubleBits(state.SurrogateFit()));
+      TPCP_RETURN_IF_ERROR(channel->Send(fit));
+    } else if (tag == "persist") {
+      // Deterministic (mode, part) order: pending_persist is an ordered
+      // set, so the coordinator's byte accounting and write order never
+      // depend on update timing.
+      for (const ModePartition& unit : pending_persist) {
+        TPCP_ASSIGN_OR_RETURN(const Matrix a, state.CurrentSubFactor(unit));
+        TPCP_RETURN_IF_ERROR(SendSubFactor(channel.get(), unit, a));
+      }
+      pending_persist.clear();
+      JsonValue done = JsonValue::Object();
+      done.Set("t", "persist_done");
+      TPCP_RETURN_IF_ERROR(channel->Send(done));
+    } else if (tag == "finish") {
+      JsonValue bye = JsonValue::Object();
+      bye.Set("t", "bye");
+      TPCP_RETURN_IF_ERROR(channel->Send(bye));
+      return Status::OK();
+    } else {
+      return Status::InvalidArgument("dist worker: unknown message '" +
+                                     tag + "'");
+    }
+  }
+}
+
+}  // namespace tpcp

@@ -2,12 +2,93 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "core/swap_simulator.h"
 #include "schedule/conflict.h"
 #include "util/logging.h"
 
 namespace tpcp {
+
+DistributedPlan::DistributedPlan(const ExecutionPlan* plan, int64_t rank,
+                                 int num_workers)
+    : plan_(plan),
+      catalog_(plan->schedule().grid(), rank),
+      num_workers_(num_workers) {
+  TPCP_CHECK_GE(num_workers_, 1);
+  const uint64_t gram_bytes =
+      static_cast<uint64_t>(rank) * static_cast<uint64_t>(rank) *
+      sizeof(double);
+  step_bytes_.reserve(static_cast<size_t>(plan_->cycle_length()));
+  for (int64_t pos = 0; pos < plan_->cycle_length(); ++pos) {
+    const int mode = plan_->StepAt(pos).mode;
+    // G^(i)_(ki) plus one M^(i)_l per slab block.
+    step_bytes_.push_back(
+        gram_bytes *
+        (1 + static_cast<uint64_t>(catalog_.SlabBlocks(mode))));
+  }
+}
+
+uint64_t DistributedPlan::StepExchangeBytes(int64_t pos) const {
+  return step_bytes_[static_cast<size_t>(pos % plan_->cycle_length())];
+}
+
+WorkerTraffic DistributedPlan::TrafficForRange(int worker, int64_t begin,
+                                               int64_t end) const {
+  WorkerTraffic traffic;
+  for (int64_t pos = begin; pos < end; ++pos) {
+    const uint64_t bytes = StepExchangeBytes(pos);
+    if (OwnerAt(pos) == worker) {
+      traffic.up_bytes += bytes;
+      ++traffic.up_messages;
+    } else {
+      traffic.down_bytes += bytes;
+      ++traffic.down_messages;
+    }
+  }
+  return traffic;
+}
+
+uint64_t DistributedPlan::PersistBytesForRange(int worker, int64_t begin,
+                                               int64_t end) const {
+  std::set<ModePartition> units;
+  // A window of at least one cycle updates every unit; no need to walk
+  // more than one cycle's worth of positions.
+  const int64_t stop = std::min(end, begin + plan_->cycle_length());
+  for (int64_t pos = begin; pos < stop; ++pos) {
+    const ModePartition unit = plan_->UnitAt(pos);
+    if (OwnerOf(unit) == worker) units.insert(unit);
+  }
+  uint64_t bytes = 0;
+  for (const ModePartition& unit : units) {
+    bytes += catalog_.FactorBytes(unit);
+  }
+  return bytes;
+}
+
+std::string DistributedPlan::Summary() const {
+  std::ostringstream out;
+  const int64_t cycle = plan_->cycle_length();
+  out << "dist: workers=" << num_workers_ << " cycle=" << cycle
+      << " vi=" << plan_->virtual_iteration_length() << "\n";
+  for (int worker = 0; worker < num_workers_; ++worker) {
+    int64_t owned_steps = 0;
+    std::set<ModePartition> owned_units;
+    for (int64_t pos = 0; pos < cycle; ++pos) {
+      const ModePartition unit = plan_->UnitAt(pos);
+      if (OwnerOf(unit) == worker) {
+        ++owned_steps;
+        owned_units.insert(unit);
+      }
+    }
+    const WorkerTraffic traffic = TrafficForRange(worker, 0, cycle);
+    out << "dist: worker " << worker << " units=" << owned_units.size()
+        << " steps/cycle=" << owned_steps
+        << " xchg_up/cycle=" << traffic.up_bytes
+        << " xchg_down/cycle=" << traffic.down_bytes << "\n";
+  }
+  return out.str();
+}
 
 std::vector<UpdateStep> ReorderCycleForWidth(
     const std::vector<UpdateStep>& cycle, int64_t window) {

@@ -36,6 +36,7 @@
 #ifndef TPCP_SCHEDULE_PLANNER_H_
 #define TPCP_SCHEDULE_PLANNER_H_
 
+#include "buffer/data_unit.h"
 #include "buffer/replacement_policy.h"
 #include "schedule/execution_plan.h"
 
@@ -87,6 +88,88 @@ class Planner {
   /// inputs yield plans with equal fingerprints.
   static ExecutionPlan Build(const UpdateSchedule& schedule,
                              const PlannerOptions& options);
+};
+
+/// Exchange traffic of one worker over a span of plan positions, counted
+/// in logical matrix bytes (8 bytes per entry; framing and base64 overhead
+/// excluded, so the executor's own logical counters can match exactly).
+struct WorkerTraffic {
+  /// Bytes this worker uploads to the coordinator (metadata images of its
+  /// owned steps, plus sub-factor persists when accounted separately).
+  uint64_t up_bytes = 0;
+  /// Bytes the coordinator relays down to this worker (metadata images of
+  /// every step it does not own).
+  uint64_t down_bytes = 0;
+  /// Exchange messages: one per owned step (up) ...
+  int64_t up_messages = 0;
+  /// ... and one per non-owned step (down).
+  int64_t down_messages = 0;
+
+  WorkerTraffic& operator+=(const WorkerTraffic& other) {
+    up_bytes += other.up_bytes;
+    down_bytes += other.down_bytes;
+    up_messages += other.up_messages;
+    down_messages += other.down_messages;
+    return *this;
+  }
+};
+
+/// The distribution layer over one ExecutionPlan: a deterministic, disjoint
+/// ownership map (worker = partition mod N, so every worker owns units of
+/// every mode) plus the exchange-message schedule it implies.
+///
+/// The dist executor's contract falls out of the update's data flow: a step
+/// on ⟨i,ki⟩ writes its own A and U-slab (bulk data only its owner ever
+/// touches) and refreshes metadata every worker mirrors — the Gram matrix
+/// G^(i)_(ki) and the slab's M^(i)_l = U_lᵀ A_l products, all F×F. So after
+/// each wave the owner of each step uploads that step's metadata image and
+/// the coordinator relays it to every other worker; sub-factors themselves
+/// travel only at persist (checkpoint) boundaries, owner → coordinator.
+/// This class prices both flows exactly, which is what lets the cluster
+/// cost model's predicted bytes equal the executor's measured counters.
+class DistributedPlan {
+ public:
+  /// `plan` must outlive this object. `rank` sizes the exchanged matrices
+  /// (the plan itself is rank-agnostic); `num_workers` >= 1.
+  DistributedPlan(const ExecutionPlan* plan, int64_t rank, int num_workers);
+
+  int num_workers() const { return num_workers_; }
+  const ExecutionPlan& plan() const { return *plan_; }
+
+  /// Owner of a data unit: round-robin over partitions within each mode.
+  int OwnerOf(const ModePartition& unit) const {
+    return static_cast<int>(unit.part % num_workers_);
+  }
+  /// Owner of the step at plan position `pos`.
+  int OwnerAt(int64_t pos) const { return OwnerOf(plan_->UnitAt(pos)); }
+
+  /// Logical bytes of the metadata image the step at `pos` publishes:
+  /// G (F×F) plus one M (F×F) per slab block of the step's mode.
+  uint64_t StepExchangeBytes(int64_t pos) const;
+
+  /// Logical bytes of the sub-factor A of `unit` (a persist upload).
+  uint64_t FactorBytes(const ModePartition& unit) const {
+    return catalog_.FactorBytes(unit);
+  }
+
+  /// Metadata exchange traffic of `worker` over plan positions
+  /// [begin, end): one upload per owned step, one download per non-owned
+  /// step. Persist uploads are priced separately by PersistBytesForRange.
+  WorkerTraffic TrafficForRange(int worker, int64_t begin, int64_t end) const;
+
+  /// Sub-factor bytes `worker` uploads at a persist boundary covering plan
+  /// positions [begin, end): each owned unit updated in the range, once.
+  uint64_t PersistBytesForRange(int worker, int64_t begin, int64_t end) const;
+
+  /// Grep-able per-worker summary ("dist:" lines).
+  std::string Summary() const;
+
+ private:
+  const ExecutionPlan* plan_;
+  UnitCatalog catalog_;
+  int num_workers_;
+  /// Metadata-image bytes per cycle position (cycle-periodic).
+  std::vector<uint64_t> step_bytes_;
 };
 
 /// The reordering pass alone (exposed for tests and benches): permutes

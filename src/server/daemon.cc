@@ -353,6 +353,7 @@ std::vector<TenantStats> Tpcpd::Stats() const {
     TenantStats stats;
     stats.config = tenant.config;
     stats.usage = tenant.usage;
+    stats.consumed_seconds = tenant.consumed_seconds;
     for (const auto& [id, job] : jobs_) {
       if (job.record.tenant == name &&
           (job.record.state == ServerJobState::kQueued ||
@@ -422,6 +423,7 @@ void Tpcpd::StartJob(ServerJob* job, Tenant* tenant) {
   }
   const bool resuming = job->record.state == ServerJobState::kPreempted;
   job->service_id = *submitted;
+  job->started_at = std::chrono::steady_clock::now();
   service_to_job_[*submitted] = job->record.id;
   job->record.state = ServerJobState::kRunning;
   PersistRecord(job->record);
@@ -466,16 +468,26 @@ void Tpcpd::SchedulePass(std::unique_lock<std::mutex>& lock) {
     }
     if (!any) return;
 
-    // Fair-share rotation at the top priority: the first tenant after the
-    // cursor with a best candidate at that priority goes first.
+    // Fair share at the top priority: the tenant that has consumed the
+    // least recent batch time goes first, so turn length — not turn
+    // count — is what equalizes. Ties (e.g. all-fresh tenants) break by
+    // fewest running jobs, then name, keeping the pass deterministic.
     std::vector<std::string> ring;
     for (const auto& [name, candidate] : best) {
       if (candidate->record.priority == top_priority) ring.push_back(name);
     }
-    std::sort(ring.begin(), ring.end());
-    std::rotate(ring.begin(),
-                std::upper_bound(ring.begin(), ring.end(), rr_cursor_),
-                ring.end());
+    std::sort(ring.begin(), ring.end(),
+              [this](const std::string& a, const std::string& b) {
+                const Tenant& ta = tenants_.at(a);
+                const Tenant& tb = tenants_.at(b);
+                if (ta.consumed_seconds != tb.consumed_seconds) {
+                  return ta.consumed_seconds < tb.consumed_seconds;
+                }
+                if (ta.usage.running_jobs != tb.usage.running_jobs) {
+                  return ta.usage.running_jobs < tb.usage.running_jobs;
+                }
+                return a < b;
+              });
 
     bool started = false;
     for (const std::string& name : ring) {
@@ -484,7 +496,6 @@ void Tpcpd::SchedulePass(std::unique_lock<std::mutex>& lock) {
       if (CanStart(candidate->budget, tenant->usage, tenant->config.quota) &&
           CanStart(candidate->budget, total_usage_, global_quota)) {
         StartJob(candidate, tenant);
-        rr_cursor_ = name;
         started = true;
         break;
       }
@@ -569,6 +580,16 @@ void Tpcpd::OnServiceTransition(const JobInfo& info) {
     Tenant& tenant = tenants_[job.record.tenant];
     tenant.usage.Release(job.budget);
     total_usage_.Release(job.budget);
+    // Fair-share accounting: charge this batch's wall time to the tenant
+    // with geometric decay of older history. Every terminal transition —
+    // success, failure, cancel, preempt — pays; a preempted job that keeps
+    // getting restarted keeps paying per batch, which is exactly what lets
+    // a short-job tenant slip in between its slices.
+    const double run_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job.started_at)
+            .count();
+    tenant.consumed_seconds = tenant.consumed_seconds * 0.5 + run_seconds;
     job.record.resumed = info.resumed;
     job.record.fit = info.progress.fit;
     switch (info.state) {
@@ -779,6 +800,7 @@ Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
       usage.Set("running_jobs", stats.usage.running_jobs);
       entry.Set("usage", std::move(usage));
       entry.Set("waiting_jobs", stats.waiting_jobs);
+      entry.Set("consumed_seconds", stats.consumed_seconds);
       array.Append(std::move(entry));
     }
     response.Set("tenants", std::move(array));

@@ -12,7 +12,11 @@
 //     Cancel. The victim checkpoints (within one vi), re-queues as
 //     kPreempted with its admission seq intact, and later resumes
 //     bit-identically from its Phase-2 checkpoint. Equal priorities
-//     rotate fair-share across tenants.
+//     share fairly across tenants by recent consumption: the tenant
+//     that has burned the least batch time lately starts first, so a
+//     tenant running long jobs cannot starve one running short jobs the
+//     way plain round-robin (one turn each, regardless of duration)
+//     would.
 //   * A survivable queue (server/job_record.h): every job's record is
 //     rewritten on each transition into the daemon's state Env; a
 //     restarted daemon re-admits the non-terminal backlog and running
@@ -25,6 +29,7 @@
 #ifndef TPCP_SERVER_DAEMON_H_
 #define TPCP_SERVER_DAEMON_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -84,6 +89,9 @@ struct TenantStats {
   TenantConfig config;
   ResourceUsage usage;
   int64_t waiting_jobs = 0;
+  /// Decayed batch-seconds this tenant's finished runs have consumed —
+  /// the fair-share weight (lowest goes first at equal priority).
+  double consumed_seconds = 0.0;
 };
 
 class Tpcpd {
@@ -149,11 +157,20 @@ class Tpcpd {
     /// The scheduler cancelled this run to make room (vs. a user Cancel).
     bool preempt_requested = false;
     bool cancel_requested = false;
+    /// When the current service run started (valid while service_id != 0);
+    /// its elapsed time is charged to the tenant's fair-share weight.
+    std::chrono::steady_clock::time_point started_at;
   };
   struct Tenant {
     TenantConfig config;
     OpenedEnv env;
     ResourceUsage usage;
+    /// Fair-share weight: decayed sum of this tenant's run durations.
+    /// Each finished or preempted batch charges
+    ///   consumed = consumed * 0.5 + run_seconds
+    /// so history fades geometrically and one long job long ago cannot
+    /// penalize a tenant forever.
+    double consumed_seconds = 0.0;
   };
 
   Tpcpd() = default;
@@ -181,9 +198,6 @@ class Tpcpd {
   TpcpdOptions options_;
   OpenedEnv state_env_;
   std::map<std::string, Tenant> tenants_;
-  /// Fair-share rotation cursor: tenant name that starts the next
-  /// equal-priority scan.
-  std::string rr_cursor_;
 
   mutable std::mutex mu_;
   std::condition_variable sched_cv_;  // scheduler: work may have appeared

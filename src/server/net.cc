@@ -32,6 +32,30 @@ Status WriteAll(int fd, const std::string& data) {
   return Status::OK();
 }
 
+/// Recognizes the connection hello (see net.h) and builds its reply.
+/// Returns true when `payload` was a hello — the caller answers with
+/// `*response` (always a plain frame: the peer cannot decode deflate
+/// until it has read the grant) and, when `*grant` is set, switches the
+/// connection to deflate for everything after it.
+bool MaybeHandleHello(const std::string& payload, std::string* response,
+                      bool* grant) {
+  const Result<JsonValue> request = JsonValue::Parse(payload);
+  if (!request.ok() || !request->is_object()) return false;
+  const JsonValue* cmd = request->Find("cmd");
+  if (cmd == nullptr || !cmd->is_string() ||
+      cmd->string_value() != "hello") {
+    return false;
+  }
+  const JsonValue* compress = request->Find("compress");
+  *grant = compress != nullptr && compress->is_string() &&
+           compress->string_value() == "deflate" && DeflateSupported();
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", true);
+  reply.Set("compress", *grant ? "deflate" : "none");
+  *response = reply.Serialize();
+  return true;
+}
+
 }  // namespace
 
 // ---- server ----------------------------------------------------------------
@@ -110,6 +134,7 @@ void TpcpdServer::AcceptLoop() {
 
 void TpcpdServer::ServeConnection(int fd) {
   FrameDecoder decoder;
+  bool compress = false;
   char buf[4096];
   for (;;) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -129,11 +154,22 @@ void TpcpdServer::ServeConnection(int fd) {
     std::string payload;
     bool alive = true;
     while (decoder.Next(&payload)) {
-      const std::string response = daemon_->HandleRequest(payload);
-      const Result<std::string> frame = EncodeFrame(response);
+      std::string response;
+      bool grant = false;
+      const bool hello = MaybeHandleHello(payload, &response, &grant);
+      if (!hello) response = daemon_->HandleRequest(payload);
+      // The hello reply itself always ships plain — the client enables
+      // its decoder only after reading the grant.
+      const Result<std::string> frame =
+          (compress && !hello) ? EncodeFrameDeflate(response)
+                               : EncodeFrame(response);
       if (!frame.ok() || !WriteAll(fd, *frame).ok()) {
         alive = false;
         break;
+      }
+      if (hello && grant && !compress) {
+        compress = true;
+        decoder.EnableDeflate();
       }
     }
     if (!alive) break;
@@ -170,20 +206,39 @@ TpcpdClient::~TpcpdClient() {
 
 Result<JsonValue> TpcpdClient::Call(const JsonValue& request) {
   TPCP_ASSIGN_OR_RETURN(const std::string frame,
-                        EncodeFrame(request.Serialize()));
+                        compress_ ? EncodeFrameDeflate(request.Serialize())
+                                  : EncodeFrame(request.Serialize()));
   TPCP_RETURN_IF_ERROR(WriteAll(fd_, frame));
-  FrameDecoder decoder;
   char buf[4096];
   std::string payload;
-  while (!decoder.Next(&payload)) {
+  while (!decoder_.Next(&payload)) {
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return Status::IOError("connection closed mid-response");
     }
-    TPCP_RETURN_IF_ERROR(decoder.Feed(buf, static_cast<size_t>(n)));
+    TPCP_RETURN_IF_ERROR(decoder_.Feed(buf, static_cast<size_t>(n)));
   }
   return JsonValue::Parse(payload);
+}
+
+Result<bool> TpcpdClient::NegotiateCompression() {
+  if (compress_) return true;
+  if (!DeflateSupported()) return false;  // nothing to offer
+  JsonValue hello = JsonValue::Object();
+  hello.Set("cmd", "hello");
+  hello.Set("compress", "deflate");
+  TPCP_ASSIGN_OR_RETURN(const JsonValue reply, Call(hello));
+  // A pre-hello server answers with an unknown-command error; any reply
+  // without an explicit deflate grant means "keep speaking plain".
+  const JsonValue* granted = reply.Find("compress");
+  if (granted == nullptr || !granted->is_string() ||
+      granted->string_value() != "deflate") {
+    return false;
+  }
+  compress_ = true;
+  decoder_.EnableDeflate();
+  return true;
 }
 
 }  // namespace tpcp

@@ -10,6 +10,17 @@
 // server sends one final error frame and closes. A malformed *payload*
 // (bad JSON, unknown command) is an ordinary error response and the
 // connection stays usable.
+//
+// Frame compression is negotiated per connection: a client may open with
+//   {"cmd":"hello","compress":"deflate"}
+// which the connection layer answers itself (it never reaches the
+// daemon) with {"ok":true,"compress":"deflate"} when this build carries
+// zlib — from then on both directions may send deflate frames
+// (server/wire.h) for payloads above the size threshold — or
+// {"ok":true,"compress":"none"} otherwise. Clients that never say hello,
+// and servers that predate it (they answer with an unknown-command
+// error), keep speaking plain frames: the negotiation is strictly
+// opt-in on both ends.
 
 #ifndef TPCP_SERVER_NET_H_
 #define TPCP_SERVER_NET_H_
@@ -22,6 +33,7 @@
 
 #include "server/daemon.h"
 #include "server/json.h"
+#include "server/wire.h"
 #include "util/status.h"
 
 namespace tpcp {
@@ -75,10 +87,22 @@ class TpcpdClient {
   /// not valid protocol (never expected).
   Result<JsonValue> Call(const JsonValue& request);
 
+  /// Offers the server deflate frame compression (the hello above).
+  /// Returns true when granted — large frames then travel compressed in
+  /// both directions. False (no error) when the server declined or
+  /// predates the hello. Call at most once, before other traffic.
+  Result<bool> NegotiateCompression();
+
+  bool compression_enabled() const { return compress_; }
+
  private:
   explicit TpcpdClient(int fd) : fd_(fd) {}
 
   int fd_ = -1;
+  /// Persistent across Calls: with compression on, response bytes buffered
+  /// past one frame boundary must not be dropped between calls.
+  FrameDecoder decoder_;
+  bool compress_ = false;
 };
 
 }  // namespace tpcp

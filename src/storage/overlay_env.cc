@@ -1,0 +1,107 @@
+#include "storage/overlay_env.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tpcp {
+namespace {
+
+class OverlayEnv : public Env {
+ public:
+  explicit OverlayEnv(Env* base) : base_(base) {}
+
+  Status WriteFile(const std::string& name, const std::string& data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[name] = data;
+    deleted_.erase(name);
+    stats_.RecordWrite(data.size());
+    return Status::OK();
+  }
+
+  Status ReadFile(const std::string& name, std::string* out) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (deleted_.count(name) > 0) {
+        return Status::NotFound("overlay: deleted file: " + name);
+      }
+      auto it = files_.find(name);
+      if (it != files_.end()) {
+        *out = it->second;
+        stats_.RecordRead(out->size());
+        return Status::OK();
+      }
+    }
+    return base_->ReadFile(name, out);
+  }
+
+  bool FileExists(const std::string& name) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (deleted_.count(name) > 0) return false;
+      if (files_.count(name) > 0) return true;
+    }
+    return base_->FileExists(name);
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool in_overlay = files_.erase(name) > 0;
+    const bool in_base = base_->FileExists(name);
+    if (!in_overlay && (!in_base || deleted_.count(name) > 0)) {
+      return Status::NotFound("overlay: no such file: " + name);
+    }
+    if (in_base) deleted_.insert(name);
+    return Status::OK();
+  }
+
+  Result<uint64_t> FileSize(const std::string& name) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (deleted_.count(name) > 0) {
+        return Status::NotFound("overlay: deleted file: " + name);
+      }
+      auto it = files_.find(name);
+      if (it != files_.end()) {
+        return static_cast<uint64_t>(it->second.size());
+      }
+    }
+    return base_->FileSize(name);
+  }
+
+  std::vector<std::string> ListFiles(const std::string& prefix) override {
+    std::set<std::string> names;
+    for (const std::string& name : base_->ListFiles(prefix)) {
+      names.insert(name);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& entry : files_) {
+        if (entry.first.compare(0, prefix.size(), prefix) == 0) {
+          names.insert(entry.first);
+        }
+      }
+      for (const std::string& name : deleted_) {
+        names.erase(name);
+      }
+    }
+    return std::vector<std::string>(names.begin(), names.end());
+  }
+
+ private:
+  Env* const base_;
+  std::mutex mu_;
+  std::map<std::string, std::string> files_;
+  std::set<std::string> deleted_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewOverlayEnv(Env* base) {
+  return std::make_unique<OverlayEnv>(base);
+}
+
+}  // namespace tpcp

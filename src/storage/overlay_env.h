@@ -1,0 +1,27 @@
+// Copy-on-write overlay over a base Env.
+//
+// Reads fall through to the base environment until a file is written (or
+// deleted) through the overlay; from then on the overlay's in-memory copy
+// wins. The base Env is never mutated. Distributed Phase-2 workers run
+// their buffer pool against an overlay so sub-factor evictions stay local:
+// only the coordinator ever writes the shared base store, which is what
+// keeps a worker crash from moving the persisted factors past the last
+// checkpoint.
+
+#ifndef TPCP_STORAGE_OVERLAY_ENV_H_
+#define TPCP_STORAGE_OVERLAY_ENV_H_
+
+#include <memory>
+
+#include "storage/env.h"
+
+namespace tpcp {
+
+/// Returns an Env whose writes and deletes land in memory while reads of
+/// untouched files pass through to `base`. `base` must outlive the overlay
+/// and is only read, never written.
+std::unique_ptr<Env> NewOverlayEnv(Env* base);
+
+}  // namespace tpcp
+
+#endif  // TPCP_STORAGE_OVERLAY_ENV_H_

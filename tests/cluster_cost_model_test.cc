@@ -1,0 +1,282 @@
+// The network-aware cluster cost model behind `tpcp_tool plan --workers`
+// and the dist executor's accounting contract:
+//
+//   * DistributedPlan's ownership map is a disjoint, exhaustive partition
+//     of the data units, and its per-step exchange bytes follow the
+//     metadata-image formula rank²·8·(1 + slab blocks) exactly,
+//   * TrafficForRange / PersistBytesForRange do the arithmetic the
+//     coordinator's measured counters are later compared against, checked
+//     here on hand-built 2- and 3-worker plans,
+//   * the link model prices transfers as messages·latency + bytes/bw,
+//   * SimulateCluster's per-vi figures are the cycle totals rescaled.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "buffer/data_unit.h"
+#include "core/cost_model.h"
+#include "schedule/planner.h"
+
+namespace tpcp {
+namespace {
+
+constexpr int64_t kRank = 4;
+
+ExecutionPlan BuildPlan(const GridPartition& grid, ScheduleType type) {
+  PlannerOptions options;
+  options.rank = kRank;
+  options.certify = false;  // structure only; no swap replay needed here
+  return Planner::Build(UpdateSchedule::Create(type, grid), options);
+}
+
+// ---- ownership and per-step bytes ------------------------------------------
+
+TEST(DistributedPlanTest, OwnershipIsADisjointExhaustivePartition) {
+  const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kModeCentric);
+  for (const int workers : {1, 2, 3, 4, 5}) {
+    const DistributedPlan dplan(&plan, kRank, workers);
+    const UnitCatalog catalog(grid, kRank);
+    std::map<int, std::set<ModePartition>> owned;
+    for (const ModePartition& unit : catalog.AllUnits()) {
+      const int owner = dplan.OwnerOf(unit);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, workers);
+      owned[owner].insert(unit);
+    }
+    size_t total = 0;
+    for (const auto& [worker, units] : owned) total += units.size();
+    // Disjoint by construction (each unit maps to exactly one owner);
+    // exhaustive because every unit landed somewhere.
+    EXPECT_EQ(total, catalog.AllUnits().size());
+    // part % workers: every worker owns units of every mode when there
+    // are at least as many partitions as workers.
+    if (workers <= 4) {
+      for (int w = 0; w < workers; ++w) {
+        std::set<int> modes;
+        for (const ModePartition& unit : owned[w]) modes.insert(unit.mode);
+        EXPECT_EQ(modes.size(), 3u) << "worker " << w << " of " << workers;
+      }
+    }
+    // OwnerAt is OwnerOf of the step's unit.
+    for (int64_t pos = 0; pos < plan.cycle_length(); ++pos) {
+      EXPECT_EQ(dplan.OwnerAt(pos), dplan.OwnerOf(plan.UnitAt(pos)));
+    }
+  }
+}
+
+TEST(DistributedPlanTest, StepBytesFollowTheMetadataImageFormula) {
+  const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kFiberOrder);
+  const DistributedPlan dplan(&plan, kRank, 2);
+  const UnitCatalog catalog(grid, kRank);
+  const uint64_t gram = kRank * kRank * sizeof(double);
+  for (int64_t pos = 0; pos < plan.cycle_length(); ++pos) {
+    const int mode = plan.StepAt(pos).mode;
+    // One Gram matrix plus one M per slab block, all F×F.
+    EXPECT_EQ(dplan.StepExchangeBytes(pos),
+              gram * (1 + static_cast<uint64_t>(catalog.SlabBlocks(mode))))
+        << "pos " << pos;
+    // Cycle-periodic.
+    EXPECT_EQ(dplan.StepExchangeBytes(pos + plan.cycle_length()),
+              dplan.StepExchangeBytes(pos));
+  }
+}
+
+// ---- traffic accounting ----------------------------------------------------
+
+TEST(DistributedPlanTest, TwoWorkerTrafficAccountsEveryStepExactlyOnce) {
+  const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kModeCentric);
+  const DistributedPlan dplan(&plan, kRank, 2);
+  const int64_t cycle = plan.cycle_length();
+
+  uint64_t all_step_bytes = 0;
+  for (int64_t pos = 0; pos < cycle; ++pos) {
+    all_step_bytes += dplan.StepExchangeBytes(pos);
+  }
+
+  WorkerTraffic total;
+  for (int w = 0; w < 2; ++w) {
+    const WorkerTraffic traffic = dplan.TrafficForRange(w, 0, cycle);
+    // Every step is either an upload (owned) or a download (not owned).
+    EXPECT_EQ(traffic.up_messages + traffic.down_messages, cycle);
+    EXPECT_EQ(traffic.up_bytes + traffic.down_bytes, all_step_bytes);
+    total += traffic;
+  }
+  // Across 2 workers each step uploads once and downloads once.
+  EXPECT_EQ(total.up_messages, cycle);
+  EXPECT_EQ(total.down_messages, cycle);
+  EXPECT_EQ(total.up_bytes, all_step_bytes);
+  EXPECT_EQ(total.down_bytes, all_step_bytes);
+
+  // Uniform 4-part grid, 2 workers: each owns 2 of 4 partitions per mode,
+  // so per-cycle upload volume splits evenly.
+  EXPECT_EQ(dplan.TrafficForRange(0, 0, cycle).up_bytes,
+            dplan.TrafficForRange(1, 0, cycle).up_bytes);
+
+  // Sub-ranges compose: [0,k) + [k,cycle) == [0,cycle).
+  const int64_t k = cycle / 3;
+  WorkerTraffic split = dplan.TrafficForRange(0, 0, k);
+  split += dplan.TrafficForRange(0, k, cycle);
+  const WorkerTraffic whole = dplan.TrafficForRange(0, 0, cycle);
+  EXPECT_EQ(split.up_bytes, whole.up_bytes);
+  EXPECT_EQ(split.down_bytes, whole.down_bytes);
+  EXPECT_EQ(split.up_messages, whole.up_messages);
+  EXPECT_EQ(split.down_messages, whole.down_messages);
+}
+
+TEST(DistributedPlanTest, ThreeWorkerTrafficMatchesHandCounts) {
+  // 4 partitions over 3 workers: worker 0 owns parts {0,3}, workers 1 and
+  // 2 own one part each per mode — deliberately asymmetric.
+  const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kModeCentric);
+  const DistributedPlan dplan(&plan, kRank, 3);
+  const int64_t cycle = plan.cycle_length();
+
+  // Hand count per worker: walk the cycle once with the ownership rule
+  // part % 3 and the byte formula, independently of TrafficForRange's
+  // own loop.
+  const UnitCatalog catalog(grid, kRank);
+  const uint64_t gram = kRank * kRank * sizeof(double);
+  std::vector<WorkerTraffic> expected(3);
+  for (int64_t pos = 0; pos < cycle; ++pos) {
+    const ModePartition unit = plan.UnitAt(pos);
+    const uint64_t bytes =
+        gram * (1 + static_cast<uint64_t>(catalog.SlabBlocks(unit.mode)));
+    for (int w = 0; w < 3; ++w) {
+      if (unit.part % 3 == w) {
+        expected[w].up_bytes += bytes;
+        ++expected[w].up_messages;
+      } else {
+        expected[w].down_bytes += bytes;
+        ++expected[w].down_messages;
+      }
+    }
+  }
+  for (int w = 0; w < 3; ++w) {
+    const WorkerTraffic traffic = dplan.TrafficForRange(w, 0, cycle);
+    EXPECT_EQ(traffic.up_bytes, expected[w].up_bytes) << "worker " << w;
+    EXPECT_EQ(traffic.down_bytes, expected[w].down_bytes) << "worker " << w;
+    EXPECT_EQ(traffic.up_messages, expected[w].up_messages) << "worker " << w;
+    EXPECT_EQ(traffic.down_messages, expected[w].down_messages)
+        << "worker " << w;
+  }
+  // Worker 0 owns two partitions per mode, so it uploads twice as much.
+  EXPECT_EQ(dplan.TrafficForRange(0, 0, cycle).up_bytes,
+            2 * dplan.TrafficForRange(1, 0, cycle).up_bytes);
+}
+
+TEST(DistributedPlanTest, PersistBytesCountEachOwnedUpdatedUnitOnce) {
+  const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kModeCentric);
+  const UnitCatalog catalog(grid, kRank);
+  for (const int workers : {2, 3}) {
+    const DistributedPlan dplan(&plan, kRank, workers);
+    const int64_t cycle = plan.cycle_length();
+    // A full cycle updates every unit: the persist volume is each owned
+    // unit's A sub-factor, once, regardless of how many steps touched it.
+    uint64_t total = 0;
+    for (int w = 0; w < workers; ++w) {
+      uint64_t expected = 0;
+      for (const ModePartition& unit : catalog.AllUnits()) {
+        if (dplan.OwnerOf(unit) == w) expected += catalog.FactorBytes(unit);
+      }
+      EXPECT_EQ(dplan.PersistBytesForRange(w, 0, cycle), expected)
+          << workers << " workers, worker " << w;
+      total += expected;
+    }
+    // Across all workers: every A sub-factor exactly once.
+    uint64_t all_factors = 0;
+    for (const ModePartition& unit : catalog.AllUnits()) {
+      all_factors += catalog.FactorBytes(unit);
+    }
+    EXPECT_EQ(total, all_factors);
+
+    // A window longer than a cycle adds nothing (no unit updates twice
+    // without persisting in between)...
+    EXPECT_EQ(dplan.PersistBytesForRange(0, 0, 3 * cycle),
+              dplan.PersistBytesForRange(0, 0, cycle));
+    // ...and a partial window counts only units actually updated in it.
+    const int64_t short_end = cycle / 4;
+    std::set<ModePartition> touched;
+    for (int64_t pos = 0; pos < short_end; ++pos) {
+      const ModePartition unit = plan.UnitAt(pos);
+      if (dplan.OwnerOf(unit) == 0) touched.insert(unit);
+    }
+    uint64_t partial = 0;
+    for (const ModePartition& unit : touched) {
+      partial += catalog.FactorBytes(unit);
+    }
+    EXPECT_EQ(dplan.PersistBytesForRange(0, 0, short_end), partial);
+  }
+}
+
+// ---- link pricing and the simulator ----------------------------------------
+
+TEST(ClusterLinkTest, PricesLatencyPlusBandwidth) {
+  ClusterLink link;
+  link.latency_seconds = 1e-3;
+  link.bandwidth_bytes_per_second = 1e6;
+  // 10 messages of 1e6 bytes total: 10 ms latency + 1 s of wire time.
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(1000000, 10), 0.010 + 1.0);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(0, 0), 0.0);
+  // Pure-latency and pure-bandwidth components are independent.
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(0, 7), 7e-3);
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(500000, 0), 0.5);
+}
+
+TEST(SimulateClusterTest, PerViFiguresAreCycleTotalsRescaled) {
+  const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kModeCentric);
+  const DistributedPlan dplan(&plan, kRank, 2);
+  const UnitCatalog catalog(grid, kRank);
+
+  ClusterSimConfig config;
+  config.num_workers = 2;
+  config.buffer_bytes = catalog.TotalBytes();  // everything fits: no swaps
+  const std::vector<ClusterWorkerCost> costs =
+      SimulateCluster(dplan, kRank, config);
+  ASSERT_EQ(costs.size(), 2u);
+
+  const double scale =
+      static_cast<double>(plan.virtual_iteration_length()) /
+      static_cast<double>(plan.cycle_length());
+  for (int w = 0; w < 2; ++w) {
+    const ClusterWorkerCost& cost = costs[static_cast<size_t>(w)];
+    EXPECT_EQ(cost.worker, w);
+    const WorkerTraffic traffic =
+        dplan.TrafficForRange(w, 0, plan.cycle_length());
+    EXPECT_DOUBLE_EQ(cost.xchg_up_bytes_per_vi,
+                     static_cast<double>(traffic.up_bytes) * scale);
+    EXPECT_DOUBLE_EQ(cost.xchg_down_bytes_per_vi,
+                     static_cast<double>(traffic.down_bytes) * scale);
+    EXPECT_DOUBLE_EQ(
+        cost.messages_per_vi,
+        static_cast<double>(traffic.up_messages + traffic.down_messages) *
+            scale);
+    // Everything resident: the ownership-filtered replay swaps nothing.
+    EXPECT_DOUBLE_EQ(cost.swaps_per_vi, 0.0);
+    EXPECT_GT(cost.persist_bytes_per_vi, 0.0);
+    EXPECT_GT(cost.transfer_seconds_per_vi, 0.0);
+    // The line the plan subcommand greps for.
+    EXPECT_NE(cost.ToString().find("cluster: worker"), std::string::npos);
+  }
+
+  // Halving the bandwidth strictly raises the transfer price, all else
+  // equal — the knob `plan --link-bandwidth-mbps` turns.
+  ClusterSimConfig slow = config;
+  slow.link.bandwidth_bytes_per_second /= 2.0;
+  const std::vector<ClusterWorkerCost> slow_costs =
+      SimulateCluster(dplan, kRank, slow);
+  for (int w = 0; w < 2; ++w) {
+    EXPECT_GT(slow_costs[static_cast<size_t>(w)].transfer_seconds_per_vi,
+              costs[static_cast<size_t>(w)].transfer_seconds_per_vi);
+  }
+}
+
+}  // namespace
+}  // namespace tpcp

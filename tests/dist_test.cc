@@ -1,0 +1,287 @@
+// Distributed Phase 2 (dist/coordinator.h + dist/worker.h). The claims
+// under test are the subsystem's whole contract:
+//
+//   * a 2- and a 4-worker run produce factors, fit traces and convergence
+//     outcomes bit-identical to a single-process Phase2Engine run of the
+//     same fingerprinted plan,
+//   * the coordinator's measured exchange-byte ledger equals the cluster
+//     traffic model's prediction exactly (bytes and messages, up, down
+//     and persist) — the property `plan --workers` summaries rely on,
+//   * a worker crash mid-wave surfaces as a clean coordinator error (no
+//     hang, worker named), leaves the base store exactly at the last
+//     checkpoint, and a single-process resume completes bit-identically
+//     to an uninterrupted run.
+//
+// Workers run as in-process threads here (ServeDistWorker is the exact
+// code path the spawned `tpcp_tool dist-worker` processes execute); the
+// tool-level fork/exec path is exercised by the CI dist-smoke job.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/phase2_engine.h"
+#include "core/two_phase_cp.h"
+#include "data/synthetic.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "grid/block_tensor_store.h"
+#include "grid/grid_partition.h"
+#include "grid/manifest.h"
+#include "schedule/planner.h"
+#include "storage/env_uri.h"
+
+namespace tpcp {
+namespace {
+
+constexpr int64_t kDim = 16;
+constexpr int64_t kParts = 4;
+constexpr uint64_t kGenSeed = 31;
+
+TwoPhaseCpOptions DistOptions() {
+  TwoPhaseCpOptions options;
+  options.rank = 3;
+  options.phase1_max_iterations = 8;
+  options.seed = kGenSeed;
+  // Mode-centric: multi-step conflict-free waves, so the wave relay and
+  // the absorb path actually carry several owners' images per wave.
+  options.schedule = ScheduleType::kModeCentric;
+  options.buffer_fraction = 0.5;  // workers must actually swap
+  options.max_virtual_iterations = 4;
+  options.fit_tolerance = -1.0;  // fixed work: never converge early
+  return options;
+}
+
+GridPartition TestGrid() {
+  auto grid = GridPartition::CreateUniform(Shape({kDim, kDim, kDim}), kParts);
+  EXPECT_TRUE(grid.ok());
+  return *grid;
+}
+
+/// Generates the synthetic input tensor into `env` and runs Phase 1, so
+/// the factor store at "f" holds the block factors every Phase-2 variant
+/// starts from. Deterministic: two envs prepared this way are identical.
+void PreparePhase1Store(Env* env, const TwoPhaseCpOptions& options) {
+  const GridPartition grid = TestGrid();
+  BlockTensorStore input(env, "t", grid);
+  LowRankSpec spec;
+  spec.shape = grid.tensor_shape();
+  spec.rank = options.rank;
+  spec.noise_level = 0.05;
+  spec.seed = kGenSeed;
+  ASSERT_TRUE(GenerateLowRankIntoStore(spec, &input).ok());
+  BlockFactorStore factors(env, "f", grid, options.rank);
+  TwoPhaseCp cp(&input, &factors, options);
+  ASSERT_TRUE(cp.RunPhase1().ok());
+}
+
+/// In-process worker fleet: each spawn runs ServeDistWorker on a thread
+/// against the shared base env, exactly as a forked dist-worker process
+/// would against its own mapping of the store directory.
+struct WorkerFleet {
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::vector<Status> statuses;
+
+  void Join() {
+    for (std::thread& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+  ~WorkerFleet() { Join(); }
+};
+
+std::function<Status(int, int)> SpawnInProcess(WorkerFleet* fleet, Env* env,
+                                               int crash_worker = -1,
+                                               int64_t crash_at_step = -1) {
+  return [fleet, env, crash_worker, crash_at_step](int port, int worker) {
+    fleet->threads.emplace_back([fleet, env, crash_worker, crash_at_step,
+                                 port, worker] {
+      DistWorkerHooks hooks;
+      if (worker == crash_worker) hooks.crash_at_step = crash_at_step;
+      const Status status =
+          ServeDistWorker(env, "f", port, worker, hooks);
+      std::lock_guard<std::mutex> lock(fleet->mu);
+      fleet->statuses.push_back(status);
+    });
+    return Status::OK();
+  };
+}
+
+void ExpectFactorsBitIdentical(Env* lhs_env, Env* rhs_env, int64_t rank) {
+  const GridPartition grid = TestGrid();
+  BlockFactorStore lhs(lhs_env, "f", grid, rank);
+  BlockFactorStore rhs(rhs_env, "f", grid, rank);
+  for (int mode = 0; mode < grid.num_modes(); ++mode) {
+    for (int64_t part = 0; part < grid.parts(mode); ++part) {
+      auto a = lhs.ReadSubFactor(mode, part);
+      auto b = rhs.ReadSubFactor(mode, part);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      EXPECT_TRUE(*a == *b) << "mode " << mode << " part " << part;
+    }
+  }
+}
+
+/// The plan both the engine and the coordinator derive from `options` —
+/// rebuilt here so tests can reason about positions and fingerprints.
+ExecutionPlan PlanFor(const TwoPhaseCpOptions& options) {
+  const GridPartition grid = TestGrid();
+  return Planner::Build(UpdateSchedule::Create(options.schedule, grid),
+                        Phase2PlannerOptions(options, grid));
+}
+
+TEST(DistPhase2Test, WorkersProduceBitIdenticalFactorsAndExactByteLedger) {
+  const TwoPhaseCpOptions options = DistOptions();
+
+  // Single-process reference.
+  const std::string ref_root = ::testing::TempDir() + "dist_ref";
+  auto ref_env = OpenEnv("posix://" + ref_root);
+  ASSERT_TRUE(ref_env.ok()) << ref_env.status().ToString();
+  PreparePhase1Store(ref_env->get(), options);
+  const GridPartition grid = TestGrid();
+  BlockFactorStore ref_factors(ref_env->get(), "f", grid, options.rank);
+  Phase2Engine engine(&ref_factors, options);
+  Phase2Result reference;
+  ASSERT_TRUE(engine.Run(&reference).ok());
+  ASSERT_EQ(reference.virtual_iterations, options.max_virtual_iterations);
+
+  const ExecutionPlan plan = PlanFor(options);
+
+  for (const int workers : {2, 4}) {
+    const std::string root =
+        ::testing::TempDir() + "dist_w" + std::to_string(workers);
+    auto env = OpenEnv("posix://" + root);
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    PreparePhase1Store(env->get(), options);
+    BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+    WorkerFleet fleet;
+    DistributedRunOptions dopts;
+    dopts.num_workers = workers;
+    dopts.spawn_worker = SpawnInProcess(&fleet, env->get());
+    DistributedRunResult result;
+    const Status status =
+        RunDistributedPhase2(&factors, options, dopts, &result);
+    fleet.Join();
+    ASSERT_TRUE(status.ok()) << workers << " workers: " << status.ToString();
+    ASSERT_EQ(fleet.statuses.size(), static_cast<size_t>(workers));
+    for (const Status& worker_status : fleet.statuses) {
+      EXPECT_TRUE(worker_status.ok()) << worker_status.ToString();
+    }
+
+    // Engine-equivalent result, bit for bit.
+    EXPECT_EQ(result.phase2.virtual_iterations, reference.virtual_iterations);
+    EXPECT_EQ(result.phase2.converged, reference.converged);
+    EXPECT_EQ(result.phase2.surrogate_fit, reference.surrogate_fit);
+    EXPECT_EQ(result.phase2.fit_trace, reference.fit_trace);
+    EXPECT_EQ(result.phase2.start_iteration, reference.start_iteration);
+    EXPECT_EQ(result.plan_fingerprint, plan.fingerprint());
+    ExpectFactorsBitIdentical(ref_env->get(), env->get(), options.rank);
+
+    // The byte ledger: what the coordinator counted on the wire equals
+    // what DistributedPlan predicted, exactly, per worker.
+    ASSERT_EQ(result.measured.size(), static_cast<size_t>(workers));
+    ASSERT_EQ(result.predicted.size(), static_cast<size_t>(workers));
+    ASSERT_EQ(result.measured_persist_bytes.size(),
+              static_cast<size_t>(workers));
+    ASSERT_EQ(result.predicted_persist_bytes.size(),
+              static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      const WorkerTraffic& measured = result.measured[static_cast<size_t>(w)];
+      const WorkerTraffic& predicted =
+          result.predicted[static_cast<size_t>(w)];
+      EXPECT_EQ(measured.up_bytes, predicted.up_bytes) << "worker " << w;
+      EXPECT_EQ(measured.down_bytes, predicted.down_bytes) << "worker " << w;
+      EXPECT_EQ(measured.up_messages, predicted.up_messages) << "worker " << w;
+      EXPECT_EQ(measured.down_messages, predicted.down_messages)
+          << "worker " << w;
+      EXPECT_EQ(result.measured_persist_bytes[static_cast<size_t>(w)],
+                result.predicted_persist_bytes[static_cast<size_t>(w)])
+          << "worker " << w;
+      // The run did move data: every worker uploaded something at some
+      // persist boundary unless it owns nothing (possible only when
+      // workers > partitions, not the case here).
+      EXPECT_GT(measured.up_bytes + measured.down_bytes, 0u);
+    }
+  }
+}
+
+TEST(DistPhase2Test, WorkerCrashMidWaveFailsCleanAndResumesBitIdentical) {
+  const TwoPhaseCpOptions options = DistOptions();
+
+  // Uninterrupted single-process reference.
+  const std::string ref_root = ::testing::TempDir() + "dist_crash_ref";
+  auto ref_env = OpenEnv("posix://" + ref_root);
+  ASSERT_TRUE(ref_env.ok()) << ref_env.status().ToString();
+  PreparePhase1Store(ref_env->get(), options);
+  const GridPartition grid = TestGrid();
+  BlockFactorStore ref_factors(ref_env->get(), "f", grid, options.rank);
+  Phase2Result reference;
+  ASSERT_TRUE(Phase2Engine(&ref_factors, options).Run(&reference).ok());
+
+  // Crash worker 1 just before its first owned step of the second virtual
+  // iteration — after the vi-0 checkpoint exists, in the middle of a wave.
+  const ExecutionPlan plan = PlanFor(options);
+  const int64_t vi_len = plan.virtual_iteration_length();
+  int64_t crash_pos = -1;
+  for (int64_t pos = vi_len; pos < 2 * vi_len; ++pos) {
+    if (plan.UnitAt(pos).part % 2 == 1) {
+      crash_pos = pos;
+      break;
+    }
+  }
+  ASSERT_GE(crash_pos, 0) << "worker 1 owns nothing in vi 1?";
+
+  const std::string root = ::testing::TempDir() + "dist_crash";
+  auto env = OpenEnv("posix://" + root);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+  {
+    WorkerFleet fleet;
+    DistributedRunOptions dopts;
+    dopts.num_workers = 2;
+    dopts.spawn_worker =
+        SpawnInProcess(&fleet, env->get(), /*crash_worker=*/1, crash_pos);
+    DistributedRunResult result;
+    const Status status =
+        RunDistributedPhase2(&factors, options, dopts, &result);
+    fleet.Join();
+    // Clean coordinator error naming the worker — not OK, not a hang
+    // (the test's own timeout enforces the latter).
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("dist worker"), std::string::npos)
+        << status.ToString();
+  }
+
+  // The base store sits exactly at the last checkpoint: the vi-0 cut,
+  // with its cursor and one-entry fit trace.
+  auto manifest = ReadManifest(env->get(), "f");
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_TRUE(manifest->checkpoint.has_value())
+      << "crash erased the checkpoint";
+  EXPECT_EQ(manifest->checkpoint->iteration, 1);
+  EXPECT_EQ(manifest->checkpoint->cursor, vi_len);
+  EXPECT_EQ(manifest->checkpoint->fit_trace.size(), 1u);
+  EXPECT_EQ(manifest->checkpoint->plan_fingerprint, plan.fingerprint());
+
+  // A plain single-process resume picks the checkpoint up and finishes
+  // bit-identically to the uninterrupted run.
+  TwoPhaseCpOptions resume_options = options;
+  resume_options.resume_phase2 = true;
+  Phase2Result resumed;
+  ASSERT_TRUE(Phase2Engine(&factors, resume_options).Run(&resumed).ok());
+  EXPECT_EQ(resumed.start_iteration, 1);
+  EXPECT_EQ(resumed.virtual_iterations, reference.virtual_iterations);
+  EXPECT_EQ(resumed.surrogate_fit, reference.surrogate_fit);
+  EXPECT_EQ(resumed.fit_trace, reference.fit_trace);
+  ExpectFactorsBitIdentical(ref_env->get(), env->get(), options.rank);
+}
+
+}  // namespace
+}  // namespace tpcp

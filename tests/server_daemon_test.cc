@@ -53,6 +53,17 @@ struct LogCapture {
     }
     return false;
   }
+  /// Index of the first line containing `needle`, or -1. The fair-share
+  /// test asserts on relative start order through this.
+  int IndexOf(const std::string& needle) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].find(needle) != std::string::npos) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
 };
 
 /// The submit used throughout: a generated low-rank cube. `long_run`
@@ -289,6 +300,67 @@ TEST(TpcpdPreemptionTest, HighPriorityPreemptsAndVictimResumesBitIdentical) {
       ReferenceRun(ref_env.get(), CubeSubmit("alice", 0, true).options);
   EXPECT_NEAR(low_record->fit, reference.surrogate_fit, 0.0);
   ExpectFactorsBitIdentical(ref_env.get(), alice_uri, *low);
+}
+
+TEST(TpcpdFairShareTest, LighterTenantStartsFirstAtEqualPriority) {
+  LogCapture log;
+  TpcpdOptions options;
+  for (const char* name : {"alice", "bob"}) {
+    TenantConfig tenant;
+    tenant.name = name;
+    options.tenants.push_back(tenant);
+  }
+  options.max_running_jobs = 1;  // one slot: release order is start order
+  options.log = log.Sink();
+  auto daemon = Tpcpd::Start(std::move(options));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  // Alice burns batch time in the only slot...
+  auto blocker = (*daemon)->Submit(CubeSubmit("alice", 0, true));
+  ASSERT_TRUE(blocker.ok()) << blocker.status().ToString();
+  ASSERT_TRUE(AwaitState(daemon->get(), *blocker, ServerJobState::kRunning));
+  ASSERT_TRUE(AwaitVirtualIteration(daemon->get(), *blocker, 2));
+
+  // ...while one job per tenant queues up at equal priority. Alice's is
+  // submitted first (lower seq), which a FIFO tie-break would reward.
+  auto alice_queued = (*daemon)->Submit(CubeSubmit("alice", 0, false));
+  ASSERT_TRUE(alice_queued.ok()) << alice_queued.status().ToString();
+  auto bob_queued = (*daemon)->Submit(CubeSubmit("bob", 0, false));
+  ASSERT_TRUE(bob_queued.ok()) << bob_queued.status().ToString();
+
+  // Free the slot. The blocker's wall time lands on alice's fair-share
+  // weight, so fresh-faced bob must start first despite his later seq.
+  ASSERT_TRUE((*daemon)->Cancel(*blocker).ok());
+  auto bob_record = (*daemon)->Await(*bob_queued, 120.0);
+  ASSERT_TRUE(bob_record.ok());
+  EXPECT_EQ(bob_record->state, ServerJobState::kSucceeded)
+      << bob_record->detail;
+  auto alice_record = (*daemon)->Await(*alice_queued, 120.0);
+  ASSERT_TRUE(alice_record.ok());
+  EXPECT_EQ(alice_record->state, ServerJobState::kSucceeded)
+      << alice_record->detail;
+
+  const int bob_start =
+      log.IndexOf("job " + std::to_string(*bob_queued) + " starts");
+  const int alice_start =
+      log.IndexOf("job " + std::to_string(*alice_queued) + " starts");
+  ASSERT_GE(bob_start, 0);
+  ASSERT_GE(alice_start, 0);
+  EXPECT_LT(bob_start, alice_start)
+      << "the tenant with less recent consumption must go first";
+
+  // The weight is visible to operators: both tenants have now consumed
+  // batch time, and the protocol reports it.
+  double alice_consumed = 0.0, bob_consumed = 0.0;
+  for (const TenantStats& stats : (*daemon)->Stats()) {
+    if (stats.config.name == "alice") alice_consumed = stats.consumed_seconds;
+    if (stats.config.name == "bob") bob_consumed = stats.consumed_seconds;
+  }
+  EXPECT_GT(alice_consumed, 0.0);
+  EXPECT_GT(bob_consumed, 0.0);
+  const std::string response =
+      (*daemon)->HandleRequest("{\"cmd\":\"tenant-stats\"}");
+  EXPECT_NE(response.find("consumed_seconds"), std::string::npos) << response;
 }
 
 TEST(TpcpdRestartTest, PersistedQueueSurvivesRestartAndResumes) {

@@ -26,7 +26,19 @@
 //       Prints the Phase-2 execution plan for the stored tensor's grid —
 //       waves, batch widths, shard counts, predicted swaps before/after
 //       conflict-aware reordering — without decomposing anything. Every
-//       line is prefixed "plan:" so CI can grep it.
+//       line is prefixed "plan:" so CI can grep it. With --workers=N the
+//       cluster simulator additionally prints per-worker ownership
+//       ("dist:" lines) and predicted swaps / exchange bytes / transfer
+//       seconds per virtual iteration ("cluster:" lines;
+//       --link-latency-us and --link-bandwidth-mbps set the link price).
+//
+//   tpcp_tool dist      <dir|uri> <rank> [decompose options] [--workers=N]
+//       Distributed Phase 2: runs Phase 1 in-process, then spawns N local
+//       worker processes (re-exec'ing this binary as `dist-worker`) and
+//       drives them through the wave protocol (dist/coordinator.h).
+//       Factors and fit trace are bit-identical to `decompose` with the
+//       same arguments. Needs a store worker processes can open — not
+//       mem://. `dist-worker` is the internal worker entry point.
 //
 //   tpcp_tool simulate  <parts> <buffer-fraction>
 //       Prints the exact per-virtual-iteration swap table for a cubic grid
@@ -77,6 +89,9 @@
 // The bare positional forms of the pre-Session tool keep working; every
 // numeric argument is parsed checked — garbage is an error, not a zero.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -92,11 +107,16 @@
 
 #include "api/job_service.h"
 #include "api/session.h"
+#include "core/cost_model.h"
 #include "core/names.h"
 #include "core/progress_observer.h"
 #include "core/swap_simulator.h"
 #include "core/phase2_engine.h"
+#include "core/two_phase_cp.h"
 #include "data/synthetic.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "grid/manifest.h"
 #include "schedule/planner.h"
 #include "server/json.h"
 #include "server/net.h"
@@ -126,11 +146,13 @@ int Usage(const char* argv0) {
       "[buffer-fraction=0.5]\n"
       "             [--plan-reorder] [--reorder-window=0] "
       "[--shard-blocks=0]\n"
-      "             [--prefetch-depth=0] [--plan-waves=8]\n"
+      "             [--prefetch-depth=0] [--plan-waves=8] [--workers=0]\n"
+      "             [--link-latency-us=100] [--link-bandwidth-mbps=1250]\n"
+      "  %s dist      <dir|uri> <rank> [decompose options] [--workers=2]\n"
       "  %s simulate  <parts> <buffer-fraction>\n"
       "  %s solvers\n"
       "schedules: %s   policies: %s\n",
-      argv0, argv0, argv0, argv0, argv0, argv0,
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0,
       ScheduleTypeChoices().c_str(), PolicyTypeChoices().c_str());
   return 2;
 }
@@ -536,18 +558,31 @@ int Decompose(int argc, char** argv) {
 int Plan(int argc, char** argv) {
   Args args;
   if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
-  const int64_t plan_waves = [&]() -> int64_t {
-    // Peel the one plan-only flag off before the shared parser (which
-    // rejects unknown flags).
-    auto it = args.flags.find("plan-waves");
-    if (it == args.flags.end()) return 8;
+  // Peel the plan-only flags off before the shared parser (which rejects
+  // unknown flags).
+  const auto peel_int = [&args](const char* flag, int64_t fallback,
+                                int64_t min) -> int64_t {
+    auto it = args.flags.find(flag);
+    if (it == args.flags.end()) return fallback;
     auto parsed = ParseInt64(it->second);
-    if (!parsed.ok() || *parsed < 0) return -1;
+    if (!parsed.ok() || *parsed < min) return -1;
     args.flags.erase(it);
     return *parsed;
-  }();
+  };
+  const int64_t plan_waves = peel_int("plan-waves", 8, 0);
   if (plan_waves < 0) {
     std::fprintf(stderr, "--plan-waves expects a non-negative integer\n");
+    return 2;
+  }
+  const int64_t workers = peel_int("workers", 0, 0);
+  if (workers < 0 || workers > 64) {
+    std::fprintf(stderr, "--workers expects an integer in [0, 64]\n");
+    return 2;
+  }
+  const int64_t link_latency_us = peel_int("link-latency-us", 100, 0);
+  const int64_t link_bandwidth_mbps = peel_int("link-bandwidth-mbps", 1250, 1);
+  if (link_latency_us < 0 || link_bandwidth_mbps < 1) {
+    std::fprintf(stderr, "bad --link-latency-us / --link-bandwidth-mbps\n");
     return 2;
   }
   DecomposeConfig config;
@@ -578,6 +613,26 @@ int Plan(int argc, char** argv) {
               HumanBytes(UnitCatalog(grid, options.rank).TotalBytes())
                   .c_str());
   std::fputs(plan.Summary(plan_waves).c_str(), stdout);
+  if (workers > 0) {
+    // Cluster view: ownership split plus the simulator's predicted
+    // per-worker swaps, exchange bytes and link-priced transfer time.
+    const DistributedPlan dplan(&plan, options.rank,
+                                static_cast<int>(workers));
+    std::fputs(dplan.Summary().c_str(), stdout);
+    ClusterSimConfig csim;
+    csim.num_workers = static_cast<int>(workers);
+    csim.policy = options.policy;
+    csim.buffer_bytes = planner_options.buffer_bytes;
+    csim.victim_hints = options.policy_victim_hints;
+    csim.link.latency_seconds =
+        static_cast<double>(link_latency_us) * 1e-6;
+    csim.link.bandwidth_bytes_per_second =
+        static_cast<double>(link_bandwidth_mbps) * 1e6;
+    for (const ClusterWorkerCost& cost :
+         SimulateCluster(dplan, options.rank, csim)) {
+      std::printf("%s\n", cost.ToString().c_str());
+    }
+  }
   return 0;
 }
 
@@ -842,7 +897,8 @@ int Client(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(
         stderr,
-        "usage: %s client <verb> [--host=127.0.0.1] [--port=7214] ...\n"
+        "usage: %s client <verb> [--host=127.0.0.1] [--port=7214]\n"
+        "                 [--compress=deflate] ...\n"
         "verbs:\n"
         "  submit --tenant=NAME [--name=LABEL] [--priority=N]\n"
         "         [--solver=2pcp] [--opt=key=value ...] [--param=k=v ...]\n"
@@ -857,6 +913,7 @@ int Client(int argc, char** argv) {
   const std::string verb = argv[2];
   std::string host = "127.0.0.1";
   int64_t port = 7214;
+  bool want_compress = false;
   JsonValue request = JsonValue::Object();
   request.Set("cmd", verb);
   JsonValue options = JsonValue::Object();
@@ -884,6 +941,13 @@ int Client(int argc, char** argv) {
     };
     if (key == "host") {
       host = value;
+    } else if (key == "compress") {
+      if (value != "deflate" && value != "none") {
+        std::fprintf(stderr, "bad --compress '%s' (deflate|none)\n",
+                     value.c_str());
+        return 2;
+      }
+      want_compress = value == "deflate";
     } else if (key == "port") {
       const auto parsed = ParseInt64(value);
       if (!parsed.ok()) {
@@ -977,6 +1041,14 @@ int Client(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
     return 1;
   }
+  if (want_compress) {
+    // Best effort: an older daemon declines and we keep speaking plain.
+    const auto granted = (*client)->NegotiateCompression();
+    if (!granted.ok()) {
+      std::fprintf(stderr, "%s\n", granted.status().ToString().c_str());
+      return 1;
+    }
+  }
   const auto response = (*client)->Call(request);
   if (!response.ok()) {
     std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
@@ -985,6 +1057,178 @@ int Client(int argc, char** argv) {
   std::printf("%s\n", response->Serialize().c_str());
   const JsonValue* ok = response->Find("ok");
   return (ok != nullptr && ok->is_bool() && ok->bool_value()) ? 0 : 1;
+}
+
+/// `dist-worker` — internal entry point for the worker processes `dist`
+/// spawns. Not part of the public surface; argv carries only the store
+/// location and the rendezvous port (grid and options travel in the init
+/// message).
+int DistWorker(int argc, char** argv) {
+  Args args;
+  if (!SplitArgs(argc, argv, 2, &args)) return 2;
+  OptionReader opts(args, 0);
+  const std::string uri = opts.Text("uri", "");
+  const std::string prefix = opts.Text("prefix", "factors");
+  const int64_t port = opts.Int("port", 0, false, 1, 65535);
+  const int64_t worker = opts.Int("worker", -1, false, 0, 63);
+  if (!opts.ok() || !opts.NoUnknownFlags() || uri.empty() || port == 0 ||
+      worker < 0) {
+    std::fprintf(stderr,
+                 "dist-worker needs --uri=... --port=N --worker=N\n");
+    return 2;
+  }
+  auto opened = OpenEnv(uri);
+  if (!opened.ok()) return ReportBad("dist-worker", opened.status()), 1;
+  const Status s = ServeDistWorker(opened->get(), prefix,
+                                   static_cast<int>(port),
+                                   static_cast<int>(worker));
+  if (!s.ok()) return ReportBad("dist-worker", s), 1;
+  return 0;
+}
+
+/// `dist` — Phase 1 in-process, Phase 2 across N spawned worker
+/// processes. Mirrors Session::RunSolver's factor-store lifecycle exactly
+/// so the resulting store is byte-identical to `decompose` with the same
+/// arguments.
+int Dist(int argc, char** argv) {
+  Args args;
+  if (!SplitArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+  int64_t workers = 2;
+  if (auto it = args.flags.find("workers"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.ok() || *parsed < 1 || *parsed > 64) {
+      std::fprintf(stderr, "--workers expects an integer in [1, 64]\n");
+      return 2;
+    }
+    workers = *parsed;
+    args.flags.erase(it);
+  }
+  DecomposeConfig config;
+  if (!ParseDecomposeConfig(args, &config)) return 2;
+  TwoPhaseCpOptions& options = config.options;
+  if (config.solver != "2pcp") {
+    std::fprintf(stderr, "dist supports only the 2pcp solver\n");
+    return 2;
+  }
+  if (config.uri.rfind("mem://", 0) == 0) {
+    std::fprintf(stderr,
+                 "dist workers are separate processes; the store must be "
+                 "openable by all of them (posix://, not mem://)\n");
+    return 2;
+  }
+  StderrProgress progress;
+  if (config.progress) options.observer = &progress;
+
+  auto session = Session::Open({config.uri});
+  if (!session.ok()) return ReportBad("open storage", session.status()), 1;
+  auto store = (*session)->OpenTensorStore();
+  if (!store.ok()) {
+    ReportBad("open tensor store", store.status());
+    std::fprintf(stderr, "(run `generate` first?)\n");
+    return 1;
+  }
+  const GridPartition& grid = (*store)->grid();
+  Env* env = (*session)->env();
+
+  // Factor-store lifecycle as Session::RunSolver: a fresh run must not
+  // inherit a stale manifest; a resume must keep its checkpoint.
+  const std::string factor_prefix = "factors";
+  if (!options.resume_phase2) {
+    const Status stale = env->DeleteFile(ManifestFileName(factor_prefix));
+    if (!stale.ok() && !stale.IsNotFound()) {
+      return ReportBad("dist", stale), 1;
+    }
+  }
+  BlockFactorStore factors(env, factor_prefix, grid, options.rank);
+
+  TwoPhaseCp cp(*store, &factors, options);
+  if (!options.resume_phase2) {
+    std::unique_ptr<ThreadPool> pool;
+    if (options.num_threads > 1) {
+      pool = std::make_unique<ThreadPool>(options.num_threads);
+    }
+    if (const Status s = cp.RunPhase1(pool.get()); !s.ok()) {
+      return ReportBad("phase 1", s), 1;
+    }
+  }
+
+  std::vector<pid_t> children;
+  DistributedRunOptions dopts;
+  dopts.num_workers = static_cast<int>(workers);
+  dopts.spawn_worker = [&children, &config](int port, int worker) -> Status {
+    const pid_t pid = ::fork();
+    if (pid < 0) return Status::IOError("fork failed");
+    if (pid == 0) {
+      const std::string uri_arg = "--uri=" + config.uri;
+      const std::string port_arg = "--port=" + std::to_string(port);
+      const std::string worker_arg = "--worker=" + std::to_string(worker);
+      ::execl("/proc/self/exe", "tpcp_tool", "dist-worker", uri_arg.c_str(),
+              port_arg.c_str(), worker_arg.c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    children.push_back(pid);
+    return Status::OK();
+  };
+
+  DistributedRunResult dist;
+  const Status run = RunDistributedPhase2(&factors, options, dopts, &dist);
+  // Reap all workers either way; on a coordinator error the closed
+  // channels make them exit on their own.
+  bool worker_failed = false;
+  for (const pid_t pid : children) {
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, 0) == pid) {
+      if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+        worker_failed = true;
+      }
+    }
+  }
+  if (!run.ok()) return ReportBad("dist", run), 1;
+  if (worker_failed) {
+    std::fprintf(stderr, "dist: a worker process exited with an error\n");
+    return 1;
+  }
+
+  // Final manifest, as Session::RunSolver writes after a successful run.
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = grid;
+  manifest.rank = options.rank;
+  if (const Status s = WriteManifest(env, factor_prefix, manifest);
+      !s.ok()) {
+    return ReportBad("dist", s), 1;
+  }
+
+  const Phase2Result& p2 = dist.phase2;
+  std::printf("dist: decomposed %s (grid %s) at rank %lld across %lld "
+              "workers [%s + %s]\n",
+              grid.tensor_shape().ToString().c_str(), grid.ToString().c_str(),
+              static_cast<long long>(options.rank),
+              static_cast<long long>(workers),
+              ScheduleTypeName(options.schedule),
+              PolicyTypeName(options.policy));
+  if (p2.start_iteration > 0) {
+    std::printf("  resumed at vi %d (phase 1 skipped)\n",
+                p2.start_iteration);
+  }
+  std::printf("  phase 2: %.2fs, %d virtual iterations (%s), surrogate "
+              "fit %.4f\n",
+              p2.seconds, p2.virtual_iterations,
+              p2.converged ? "converged" : "cap", p2.surrogate_fit);
+  for (int w = 0; w < dopts.num_workers; ++w) {
+    const WorkerTraffic& t = dist.measured[static_cast<size_t>(w)];
+    std::printf("  worker %d: xchg up %s / down %s (%lld msgs), "
+                "persisted %s\n",
+                w, HumanBytes(t.up_bytes).c_str(),
+                HumanBytes(t.down_bytes).c_str(),
+                static_cast<long long>(t.up_messages + t.down_messages),
+                HumanBytes(
+                    dist.measured_persist_bytes[static_cast<size_t>(w)])
+                    .c_str());
+  }
+  std::printf("factors written under %s\n", args.positional[0].c_str());
+  return 0;
 }
 
 int Solvers() {
@@ -1013,6 +1257,8 @@ int main(int argc, char** argv) {
   if (command == "decompose") return Decompose(argc, argv);
   if (command == "jobs") return Jobs(argc, argv);
   if (command == "plan") return Plan(argc, argv);
+  if (command == "dist") return Dist(argc, argv);
+  if (command == "dist-worker") return DistWorker(argc, argv);
   if (command == "simulate") return Simulate(argc, argv);
   if (command == "solvers") return Solvers();
   if (command == "client") return Client(argc, argv);
