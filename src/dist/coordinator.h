@@ -24,11 +24,26 @@
 //    bit-identically.
 //  - Accounts every relayed byte (logical matrix bytes, the
 //    DistributedPlan definition) so tests can assert measured == predicted
-//    exactly against schedule/planner.h's cluster traffic model.
+//    exactly against schedule/planner.h's cluster traffic model. The relay
+//    prunes dead absorbs (DistributedPlan::ImageLiveFor): images no
+//    recipient reads before their next refresh are never sent, and the
+//    prediction applies the identical rule, so measured == predicted stays
+//    exact while block-centric schedules move fewer bytes.
 //
-// Any worker channel failure (a killed worker closes its socket) aborts
-// the run with a clean error naming the worker — no hang, no partial
-// base-store write.
+// Fault tolerance (dist/supervisor.h): every worker channel carries
+// read/write deadlines and workers heartbeat through them, so a dead or
+// wedged worker surfaces as a worker-attributed channel error in bounded
+// time — never a hang. Because the base store only advances at checkpoint
+// boundaries and workers always initialize from it, recovery is "tear the
+// fleet down, restart from the last vi checkpoint": the supervisor
+// respawns at the same size while the --max-respawns budget lasts, then
+// degrades per DegradeMode (shed a worker and re-plan ownership, or
+// finish in-process). Every recovery path replays the identical plan
+// positions, so recovered runs stay byte-identical to uninterrupted ones;
+// only the wire ledger is re-priced (and the bytes a failed attempt moved
+// past its last checkpoint are reported as wasted_bytes). Content-level
+// violations (fingerprint mismatches, fit divergence, ownership
+// violations) are never retried — they mean the protocol itself failed.
 
 #ifndef TPCP_DIST_COORDINATOR_H_
 #define TPCP_DIST_COORDINATOR_H_
@@ -37,9 +52,12 @@
 #include <functional>
 #include <vector>
 
+#include <string>
+
 #include "core/block_factors.h"
 #include "core/config.h"
 #include "core/phase2_engine.h"
+#include "dist/supervisor.h"
 #include "schedule/planner.h"
 #include "util/status.h"
 
@@ -57,8 +75,24 @@ struct DistributedRunOptions {
   int accept_timeout_ms = 30000;
   /// Launches worker `worker`, which must call ServeDistWorker against
   /// 127.0.0.1:`port`. Required. The callback returns once the worker is
-  /// *launched* (forked / thread started), not once it connects.
+  /// *launched* (forked / thread started), not once it connects. Under
+  /// recovery the callback is invoked again for the same worker id (and,
+  /// after a degrade, for a smaller id range).
   std::function<Status(int port, int worker)> spawn_worker;
+
+  /// Interval at which workers heartbeat to the coordinator. <= 0
+  /// disables heartbeats (and, with io_timeout_ms == 0, all deadlines —
+  /// the pre-supervision wire behavior).
+  int heartbeat_ms = 1000;
+  /// Quiet-period deadline on every worker channel in both directions.
+  /// 0 derives 10 * heartbeat_ms; < 0 disables deadlines.
+  int io_timeout_ms = 0;
+  /// Fleet restarts at the same size before the supervisor degrades.
+  int max_respawns = 2;
+  /// What to do once the respawn budget is spent.
+  DegradeMode degrade = DegradeMode::kShrink;
+  /// Operator-visible recovery lines ("dist: worker 1 failed …"). Optional.
+  std::function<void(const std::string&)> log;
 };
 
 /// Outcome of a distributed run: the engine-equivalent Phase-2 result plus
@@ -81,6 +115,19 @@ struct DistributedRunResult {
   /// Per worker, DistributedPlan::PersistBytesForRange over the executed
   /// persist windows.
   std::vector<uint64_t> predicted_persist_bytes;
+
+  /// Recovery telemetry. The ledgers above hold only *committed* traffic
+  /// (attempts roll back to their last checkpoint on failure), accrued per
+  /// current-fleet worker id, so measured == predicted stays exact across
+  /// respawns and degrades; bytes a failed attempt moved past its last
+  /// checkpoint land in wasted_bytes instead.
+  int respawns = 0;
+  int degrades = 0;
+  /// Workers in the fleet that finished the run (0 when the run degraded
+  /// all the way to the in-process engine).
+  int final_workers = 0;
+  bool finished_single_process = false;
+  uint64_t wasted_bytes = 0;
 };
 
 /// Runs Phase 2 of the decomposition in `factors` across

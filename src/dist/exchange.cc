@@ -87,9 +87,32 @@ Result<std::string> Base64Decode(const std::string& text) {
   return out;
 }
 
-Status WriteAllNoSig(int fd, const char* data, size_t size) {
+/// Waits for `events` on `fd` for up to `timeout_ms` (< 0 blocks forever).
+/// OK when ready; IOError on poll failure or deadline expiry.
+Status PollFor(int fd, short events, int timeout_ms, const char* what) {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("dist poll: ") +
+                             std::strerror(errno));
+    }
+    if (ready == 0) {
+      return Status::IOError(std::string("dist ") + what + " timed out");
+    }
+    return Status::OK();
+  }
+}
+
+Status WriteAllNoSig(int fd, const char* data, size_t size, int timeout_ms) {
   size_t sent = 0;
   while (sent < size) {
+    if (timeout_ms >= 0) {
+      TPCP_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms, "send"));
+    }
     const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -297,17 +320,36 @@ Result<TwoPhaseCpOptions> DecodeOptions(const JsonValue& v) {
 }
 
 Status DistChannel::Send(const JsonValue& message) {
-  if (fd_ < 0) return Status::FailedPrecondition("dist channel closed");
-  TPCP_ASSIGN_OR_RETURN(const std::string frame,
-                        EncodeFrame(message.Serialize()));
-  return WriteAllNoSig(fd_, frame.data(), frame.size());
+  return SendRaw(message);
 }
 
-Status DistChannel::Recv(JsonValue* message) {
+Status DistChannel::Recv(JsonValue* message) { return RecvRaw(message); }
+
+Status DistChannel::SendRaw(const JsonValue& message) {
+  TPCP_ASSIGN_OR_RETURN(const std::string frame,
+                        EncodeFrame(message.Serialize()));
+  return SendBytes(frame.data(), frame.size());
+}
+
+Status DistChannel::SendBytes(const char* data, size_t size) {
+  // Serialize senders: the worker's heartbeat thread shares the channel
+  // with its protocol loop, and interleaved partial frames would corrupt
+  // the stream.
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("dist channel closed");
+  return WriteAllNoSig(fd_, data, size, io_timeout_ms_);
+}
+
+Status DistChannel::RecvRaw(JsonValue* message) {
   if (fd_ < 0) return Status::FailedPrecondition("dist channel closed");
   std::string payload;
   while (!decoder_.Next(&payload)) {
     TPCP_RETURN_IF_ERROR(decoder_.error());
+    if (io_timeout_ms_ >= 0) {
+      // Quiet-period deadline: each arriving byte restarts the clock, so a
+      // slow-but-alive peer is fine and a silent one fails in bounded time.
+      TPCP_RETURN_IF_ERROR(PollFor(fd_, POLLIN, io_timeout_ms_, "recv"));
+    }
     char buf[16384];
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) {
@@ -322,7 +364,15 @@ Status DistChannel::Recv(JsonValue* message) {
   return Status::OK();
 }
 
-void DistChannel::Close() {
+int DistChannel::ReleaseFd() {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void DistChannel::CloseFd() {
+  std::lock_guard<std::mutex> lock(send_mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -390,7 +440,9 @@ Result<std::unique_ptr<DistChannel>> DistAccept(int listen_fd,
   }
 }
 
-Result<std::unique_ptr<DistChannel>> DistConnect(int port) {
+namespace {
+
+Result<int> DistConnectOnce(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("dist socket: ") +
@@ -406,6 +458,21 @@ Result<std::unique_ptr<DistChannel>> DistConnect(int port) {
     ::close(fd);
     return s;
   }
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DistChannel>> DistConnect(int port,
+                                                 const RetryPolicy& retry) {
+  int fd = -1;
+  TPCP_RETURN_IF_ERROR(RetryWithBackoff(
+      retry, "dist connect to port " + std::to_string(port), [&] {
+        Result<int> attempt = DistConnectOnce(port);
+        if (!attempt.ok()) return attempt.status();
+        fd = *attempt;
+        return Status::OK();
+      }));
   return std::make_unique<DistChannel>(fd);
 }
 

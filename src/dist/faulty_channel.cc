@@ -1,0 +1,82 @@
+#include "dist/faulty_channel.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tpcp {
+namespace {
+
+bool IsHeartbeat(const JsonValue& message) {
+  const JsonValue* tag = message.Find("t");
+  return tag != nullptr && tag->is_string() && tag->string_value() == "hb";
+}
+
+void SleepMs(int64_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+const ChaosEvent* FaultyChannel::EventFor(ChaosEvent::Dir dir,
+                                          int64_t frame) const {
+  for (const ChaosEvent& event : schedule_.events) {
+    if (event.dir == dir && event.at_frame == frame) return &event;
+  }
+  return nullptr;
+}
+
+Status FaultyChannel::Send(const JsonValue& message) {
+  // Heartbeats are wall-clock-paced; letting them tick the frame counter
+  // would make the script fire at racy protocol moments.
+  if (IsHeartbeat(message)) return SendRaw(message);
+  const int64_t frame = sent_frames_++;
+  const ChaosEvent* event = EventFor(ChaosEvent::Dir::kSend, frame);
+  if (event == nullptr) return SendRaw(message);
+  switch (event->op) {
+    case ChaosEvent::Op::kDrop:
+      // Swallowed: the peer waits for a frame that never comes and its
+      // recv deadline attributes the silence to this worker.
+      return Status::OK();
+    case ChaosEvent::Op::kDelay:
+      SleepMs(event->delay_ms);
+      return SendRaw(message);
+    case ChaosEvent::Op::kGarbage: {
+      // A length prefix far over kMaxFrameBytes: the peer's FrameDecoder
+      // latches a permanent decode error and must hang up on us.
+      static const char garbage[8] = {'\xff', '\xff', '\xff', '\xff',
+                                      '\xde', '\xad', '\xbe', '\xef'};
+      return SendBytes(garbage, sizeof(garbage));
+    }
+    case ChaosEvent::Op::kDisconnect:
+      Close();
+      return Status::IOError("chaos: scripted disconnect on send");
+  }
+  return Status::Internal("chaos: unreachable");
+}
+
+Status FaultyChannel::Recv(JsonValue* message) {
+  for (;;) {
+    const ChaosEvent* event =
+        EventFor(ChaosEvent::Dir::kRecv, recv_frames_);
+    if (event != nullptr && event->op == ChaosEvent::Op::kDisconnect) {
+      ++recv_frames_;
+      Close();
+      return Status::IOError("chaos: scripted disconnect on recv");
+    }
+    if (event != nullptr && event->op == ChaosEvent::Op::kDelay) {
+      SleepMs(event->delay_ms);
+    }
+    TPCP_RETURN_IF_ERROR(RecvRaw(message));
+    const int64_t frame = recv_frames_++;
+    (void)frame;
+    if (event != nullptr && event->op == ChaosEvent::Op::kDrop) {
+      continue;  // discard this frame, deliver the next instead
+    }
+    if (event != nullptr && event->op == ChaosEvent::Op::kGarbage) {
+      return Status::IOError("chaos: garbage on recv");
+    }
+    return Status::OK();
+  }
+}
+
+}  // namespace tpcp

@@ -1,9 +1,13 @@
 #include "dist/worker.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -13,9 +17,55 @@
 #include "dist/exchange.h"
 #include "schedule/planner.h"
 #include "storage/overlay_env.h"
+#include "storage/retry_env.h"
+#include "util/retry.h"
 
 namespace tpcp {
 namespace {
+
+/// Sends {"t":"hb"} every `interval_ms` until stopped (or until a send
+/// fails — a vanished coordinator is the protocol thread's error to
+/// surface). Shares the channel with the protocol thread; DistChannel
+/// serializes frame writes internally.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(DistChannel* channel, int interval_ms)
+      : channel_(channel), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    JsonValue hb = JsonValue::Object();
+    hb.Set("t", "hb");
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lock.unlock();
+      const Status s = channel_->Send(hb);
+      lock.lock();
+      if (!s.ok()) return;
+    }
+  }
+
+  DistChannel* channel_;
+  int interval_ms_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
 
 /// Sends one owned step's metadata image as chunked "xchg" frames: the
 /// Gram rides in the first chunk, slab-M entries fill chunks up to the
@@ -58,7 +108,11 @@ Status SendExchange(DistChannel* channel, int64_t pos,
 /// complete image.
 class AbsorbBuffer {
  public:
-  Status Add(RefinementState* state, const JsonValue& msg) {
+  /// `completed` collects the plan positions whose images finished
+  /// installing — the worker's absorb-completeness gate reads it at the
+  /// wave commit barrier.
+  Status Add(RefinementState* state, const JsonValue& msg,
+             std::set<int64_t>* completed) {
     TPCP_ASSIGN_OR_RETURN(const int64_t mode, GetInt(msg, "mode"));
     TPCP_ASSIGN_OR_RETURN(const int64_t part, GetInt(msg, "part"));
     TPCP_ASSIGN_OR_RETURN(const int64_t pos, GetInt(msg, "pos"));
@@ -87,6 +141,7 @@ class AbsorbBuffer {
     const ModePartition unit{static_cast<int>(mode), part};
     const Status s = state->AbsorbExchange(unit, image);
     pending_.erase(pos);
+    if (s.ok()) completed->insert(pos);
     return s;
   }
 
@@ -122,6 +177,11 @@ Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
                        const DistWorkerHooks& hooks) {
   TPCP_ASSIGN_OR_RETURN(std::unique_ptr<DistChannel> channel,
                         DistConnect(port));
+  if (!hooks.chaos.empty()) {
+    // Chaos harness: replay the scripted fault schedule on this channel.
+    channel = std::make_unique<FaultyChannel>(channel->ReleaseFd(),
+                                              hooks.chaos);
+  }
   JsonValue hello = JsonValue::Object();
   hello.Set("t", "hello");
   hello.Set("worker", worker_id);
@@ -147,10 +207,27 @@ Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
   TPCP_ASSIGN_OR_RETURN(const GridPartition grid, DecodeGrid(*grid_json));
   TPCP_ASSIGN_OR_RETURN(const TwoPhaseCpOptions options,
                         DecodeOptions(*options_json));
+  TPCP_ASSIGN_OR_RETURN(const int64_t hb_ms, GetIntOr(init, "hb_ms", 0));
+
+  // From init on, heartbeat so the coordinator's quiet-period deadline
+  // never fires while this worker computes; mirror a (generous) deadline
+  // on our own channel so a vanished coordinator cannot wedge the worker.
+  // The worker gets no heartbeats back, so its deadline must cover the
+  // coordinator servicing every *other* worker's waves; 60 intervals is
+  // deliberately much looser than the coordinator's 10.
+  std::unique_ptr<HeartbeatThread> heartbeat;
+  if (hb_ms > 0) {
+    channel->set_io_timeout_ms(static_cast<int>(60 * hb_ms));
+    heartbeat = std::make_unique<HeartbeatThread>(channel.get(),
+                                                  static_cast<int>(hb_ms));
+  }
 
   // All worker-side writes (pool evictions of dirty sub-factors) stay in
-  // the overlay; the base store is the coordinator's to write.
-  std::unique_ptr<Env> overlay = NewOverlayEnv(base_env);
+  // the overlay; the base store is the coordinator's to write. Reads of
+  // the shared base store retry transient faults (storage/retry_env.h);
+  // the in-memory overlay itself never faults.
+  RetryEnv retry_base(base_env, RetryPolicy());
+  std::unique_ptr<Env> overlay = NewOverlayEnv(&retry_base);
   BlockFactorStore store(overlay.get(), factor_prefix, grid, options.rank);
 
   std::unique_ptr<ThreadPool> compute_pool;
@@ -194,6 +271,9 @@ Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
 
   AbsorbBuffer absorbs;
   std::set<ModePartition> pending_persist;
+  std::set<int64_t> absorbed;
+  int64_t wave_begin = 0;
+  int64_t wave_end = 0;
 
   for (;;) {
     JsonValue msg;
@@ -203,6 +283,9 @@ Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
     if (tag == "wave") {
       TPCP_ASSIGN_OR_RETURN(const int64_t begin, GetInt(msg, "pos"));
       TPCP_ASSIGN_OR_RETURN(const int64_t end, GetInt(msg, "end"));
+      wave_begin = begin;
+      wave_end = end;
+      absorbed.clear();
       for (int64_t pos = begin; pos < end; ++pos) {
         if (dplan.OwnerAt(pos) != worker_id) continue;
         if (hooks.crash_at_step == pos) {
@@ -222,8 +305,24 @@ Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
       done.Set("t", "wave_done");
       TPCP_RETURN_IF_ERROR(channel->Send(done));
     } else if (tag == "absorb") {
-      TPCP_RETURN_IF_ERROR(absorbs.Add(&state, msg));
+      TPCP_RETURN_IF_ERROR(absorbs.Add(&state, msg, &absorbed));
     } else if (tag == "wave_commit") {
+      // Absorb-completeness gate: by the commit barrier this worker must
+      // hold every live image of the wave it does not own
+      // (DistributedPlan::ImageLiveFor — the same pruning rule the relay
+      // applies). A gap means the channel dropped an absorb; dying here
+      // turns silent data loss into a coordinator-visible worker fault
+      // the supervisor can recover from.
+      for (int64_t pos = wave_begin; pos < wave_end; ++pos) {
+        if (dplan.OwnerAt(pos) == worker_id) continue;
+        if (!dplan.ImageLiveFor(pos, worker_id)) continue;
+        if (absorbed.count(pos) == 0) {
+          channel->Close();
+          return Status::IOError(
+              "dist worker: absorb missing for plan position " +
+              std::to_string(pos));
+        }
+      }
       JsonValue ack = JsonValue::Object();
       ack.Set("t", "wave_ack");
       TPCP_RETURN_IF_ERROR(channel->Send(ack));

@@ -20,8 +20,12 @@
 // Protocol (framed JSON over one socket, "t"-tagged; dist/exchange.h):
 //
 //   worker -> coord   {"t":"hello","worker":W}
-//   coord -> worker   {"t":"init","workers":N,"resume":B,"grid":…,
-//                      "options":…}
+//   coord -> worker   {"t":"init","workers":N,"resume":B,"hb_ms":H,
+//                      "grid":…,"options":…}
+//   worker -> coord   {"t":"hb"}   (every H ms from init on; carries no
+//                     protocol state — the coordinator skips it — and only
+//                     keeps the channel's quiet-period deadline from
+//                     firing while the worker computes)
 //   worker -> coord   {"t":"ready","plan_fp":i64,"opts_fp":i64,"fit":bits}
 //   coord -> worker   {"t":"wave","pos":P,"end":E}
 //   worker -> coord   {"t":"xchg","pos":i,"mode":m,"part":p,
@@ -45,16 +49,21 @@
 #include <cstdint>
 #include <string>
 
+#include "dist/faulty_channel.h"
 #include "storage/env.h"
 
 namespace tpcp {
 
-/// Test hooks for crash injection.
+/// Test hooks for crash and chaos injection.
 struct DistWorkerHooks {
   /// Abort the process's connection (close the socket, return Internal)
   /// just before executing the owned step at this global plan position —
   /// a worker crash mid-wave. -1 = never.
   int64_t crash_at_step = -1;
+  /// When non-empty, the worker's channel is wrapped in a FaultyChannel
+  /// replaying this schedule (scripted drop/delay/garbage/disconnect,
+  /// keyed by per-direction frame counters; heartbeats are exempt).
+  ChaosSchedule chaos;
 };
 
 /// Runs one worker to completion: connects to the coordinator on

@@ -19,14 +19,47 @@ DistributedPlan::DistributedPlan(const ExecutionPlan* plan, int64_t rank,
   const uint64_t gram_bytes =
       static_cast<uint64_t>(rank) * static_cast<uint64_t>(rank) *
       sizeof(double);
-  step_bytes_.reserve(static_cast<size_t>(plan_->cycle_length()));
-  for (int64_t pos = 0; pos < plan_->cycle_length(); ++pos) {
+  TPCP_CHECK_LE(num_workers_, 64);  // reader_mask_ is a 64-bit bitmask
+  const int64_t cycle = plan_->cycle_length();
+  step_bytes_.reserve(static_cast<size_t>(cycle));
+  for (int64_t pos = 0; pos < cycle; ++pos) {
     const int mode = plan_->StepAt(pos).mode;
     // G^(i)_(ki) plus one M^(i)_l per slab block.
     step_bytes_.push_back(
         gram_bytes *
         (1 + static_cast<uint64_t>(catalog_.SlabBlocks(mode))));
   }
+  // Liveness precomputation. Both the refresh distance and the set of
+  // cross-mode readers inside the window are relative to the position, so
+  // they are cycle-periodic even when vi_len does not divide the cycle
+  // (the fit-boundary test, which is not, runs per absolute position in
+  // ImageLiveFor).
+  next_refresh_delta_.reserve(static_cast<size_t>(cycle));
+  reader_mask_.reserve(static_cast<size_t>(cycle));
+  for (int64_t pos = 0; pos < cycle; ++pos) {
+    const ModePartition unit = plan_->UnitAt(pos);
+    int64_t delta = 1;
+    while (delta < cycle && !(plan_->UnitAt(pos + delta) == unit)) ++delta;
+    next_refresh_delta_.push_back(delta);
+    uint64_t mask = 0;
+    for (int64_t q = pos + 1; q < pos + delta; ++q) {
+      if (plan_->StepAt(q).mode != unit.mode) {
+        mask |= 1ull << OwnerAt(q);
+      }
+    }
+    reader_mask_.push_back(mask);
+  }
+}
+
+bool DistributedPlan::ImageLiveFor(int64_t pos, int worker) const {
+  const size_t cycle_pos =
+      static_cast<size_t>(pos % plan_->cycle_length());
+  // Fit-live: a virtual-iteration boundary inside (pos, next_refresh]
+  // means every worker's next SurrogateFit reads the image.
+  const int64_t next = pos + next_refresh_delta_[cycle_pos];
+  const int64_t vi_len = plan_->virtual_iteration_length();
+  if (next / vi_len > pos / vi_len) return true;
+  return (reader_mask_[cycle_pos] >> worker) & 1u;
 }
 
 uint64_t DistributedPlan::StepExchangeBytes(int64_t pos) const {
@@ -41,7 +74,7 @@ WorkerTraffic DistributedPlan::TrafficForRange(int worker, int64_t begin,
     if (OwnerAt(pos) == worker) {
       traffic.up_bytes += bytes;
       ++traffic.up_messages;
-    } else {
+    } else if (ImageLiveFor(pos, worker)) {
       traffic.down_bytes += bytes;
       ++traffic.down_messages;
     }

@@ -152,9 +152,29 @@ class DistributedPlan {
     return catalog_.FactorBytes(unit);
   }
 
+  /// Liveness of the metadata image published at absolute position `pos`
+  /// for non-owner `worker`: true when the worker actually reads the image
+  /// before the unit's next refresh supersedes it. An image is read by
+  ///
+  ///  - every worker's surrogate-fit evaluation when a virtual-iteration
+  ///    boundary falls inside the image's lifetime (pos, next_refresh] —
+  ///    SurrogateFit walks the complete metadata state, and fits must stay
+  ///    bitwise equal across workers; and
+  ///  - any step of a *different* mode inside (pos, next_refresh): every
+  ///    cross-mode step's slab intersects the image's slab, while same-mode
+  ///    steps never read mode-i metadata at all.
+  ///
+  /// Everything else is a dead absorb the relay can prune. Mode-centric
+  /// schedules refresh each unit exactly once per virtual iteration, so
+  /// every image there is fit-live and pruning is a provable no-op; the
+  /// wins come from block-centric schedules, whose units refresh once per
+  /// slab block per cycle.
+  bool ImageLiveFor(int64_t pos, int worker) const;
+
   /// Metadata exchange traffic of `worker` over plan positions
   /// [begin, end): one upload per owned step, one download per non-owned
-  /// step. Persist uploads are priced separately by PersistBytesForRange.
+  /// step whose image is live for this worker (ImageLiveFor). Persist
+  /// uploads are priced separately by PersistBytesForRange.
   WorkerTraffic TrafficForRange(int worker, int64_t begin, int64_t end) const;
 
   /// Sub-factor bytes `worker` uploads at a persist boundary covering plan
@@ -170,6 +190,12 @@ class DistributedPlan {
   int num_workers_;
   /// Metadata-image bytes per cycle position (cycle-periodic).
   std::vector<uint64_t> step_bytes_;
+  /// Steps until the unit updated at each cycle position is next updated
+  /// (cycle-periodic; in [1, cycle_length]).
+  std::vector<int64_t> next_refresh_delta_;
+  /// Bitmask (bit w = worker w) of workers owning a different-mode step
+  /// strictly inside each position's refresh window (cycle-periodic).
+  std::vector<uint64_t> reader_mask_;
 };
 
 /// The reordering pass alone (exposed for tests and benches): permutes

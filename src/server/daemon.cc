@@ -659,7 +659,47 @@ JsonValue Tpcpd::RecordToJson(const ServerJobRecord& record) const {
   return out;
 }
 
-Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
+Result<std::string> Tpcpd::Authenticate(const std::string& tenant,
+                                        const std::string& token) const {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  if (it->second.config.token.empty()) {
+    return Status::InvalidArgument("tenant '" + tenant +
+                                   "' has no token configured");
+  }
+  if (it->second.config.token != token) {
+    return Status::InvalidArgument("bad token for tenant '" + tenant + "'");
+  }
+  return tenant;
+}
+
+Status Tpcpd::CheckTenantAccess(const std::string& tenant,
+                                const std::string& auth_tenant) const {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + tenant + "'");
+  }
+  if (it->second.config.token.empty() || auth_tenant == tenant) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "tenant '" + tenant +
+      "' requires token authentication (hello with tenant and token)");
+}
+
+Result<std::string> Tpcpd::JobTenant(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(id));
+  }
+  return it->second.record.tenant;
+}
+
+Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request,
+                                  const std::string& auth_tenant) {
   if (!request.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
   }
@@ -670,6 +710,7 @@ Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
   if (cmd == "submit") {
     SubmitRequest submit;
     TPCP_ASSIGN_OR_RETURN(submit.tenant, GetString(request, "tenant"));
+    TPCP_RETURN_IF_ERROR(CheckTenantAccess(submit.tenant, auth_tenant));
     TPCP_ASSIGN_OR_RETURN(submit.name, GetStringOr(request, "name", ""));
     TPCP_ASSIGN_OR_RETURN(const int64_t priority,
                           GetIntOr(request, "priority", 0));
@@ -732,6 +773,8 @@ Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
 
   if (cmd == "poll") {
     TPCP_ASSIGN_OR_RETURN(const int64_t id, GetInt(request, "job"));
+    TPCP_ASSIGN_OR_RETURN(const std::string owner, JobTenant(id));
+    TPCP_RETURN_IF_ERROR(CheckTenantAccess(owner, auth_tenant));
     TPCP_ASSIGN_OR_RETURN(const ServerJobRecord record, Poll(id));
     response.Set("job", RecordToJson(record));
     if (const Result<JobProgress> progress = Progress(id); progress.ok()) {
@@ -748,6 +791,8 @@ Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
 
   if (cmd == "await") {
     TPCP_ASSIGN_OR_RETURN(const int64_t id, GetInt(request, "job"));
+    TPCP_ASSIGN_OR_RETURN(const std::string owner, JobTenant(id));
+    TPCP_RETURN_IF_ERROR(CheckTenantAccess(owner, auth_tenant));
     TPCP_ASSIGN_OR_RETURN(double timeout,
                           GetDoubleOr(request, "timeout_seconds", 10.0));
     timeout = std::min(timeout, 3600.0);
@@ -768,8 +813,14 @@ Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
     if (!tenant.empty() && tenants_.count(tenant) == 0) {
       return Status::NotFound("unknown tenant '" + tenant + "'");
     }
+    if (!tenant.empty()) {
+      TPCP_RETURN_IF_ERROR(CheckTenantAccess(tenant, auth_tenant));
+    }
     JsonValue array = JsonValue::Array();
     for (const ServerJobRecord& record : List(tenant, state)) {
+      // An unfiltered list only shows the jobs this connection may act on:
+      // open tenants' plus the authenticated tenant's own.
+      if (!CheckTenantAccess(record.tenant, auth_tenant).ok()) continue;
       array.Append(RecordToJson(record));
     }
     response.Set("jobs", std::move(array));
@@ -778,6 +829,8 @@ Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
 
   if (cmd == "cancel") {
     TPCP_ASSIGN_OR_RETURN(const int64_t id, GetInt(request, "job"));
+    TPCP_ASSIGN_OR_RETURN(const std::string owner, JobTenant(id));
+    TPCP_RETURN_IF_ERROR(CheckTenantAccess(owner, auth_tenant));
     TPCP_RETURN_IF_ERROR(Cancel(id));
     return response;
   }
@@ -810,10 +863,12 @@ Result<JsonValue> Tpcpd::Dispatch(const JsonValue& request) {
   return Status::InvalidArgument("unknown command '" + cmd + "'");
 }
 
-std::string Tpcpd::HandleRequest(const std::string& payload) {
+std::string Tpcpd::HandleRequest(const std::string& payload,
+                                 const std::string& auth_tenant) {
   const Result<JsonValue> parsed = JsonValue::Parse(payload);
-  Result<JsonValue> response =
-      parsed.ok() ? Dispatch(*parsed) : Result<JsonValue>(parsed.status());
+  Result<JsonValue> response = parsed.ok()
+                                   ? Dispatch(*parsed, auth_tenant)
+                                   : Result<JsonValue>(parsed.status());
   if (response.ok()) return response->Serialize();
   JsonValue error = JsonValue::Object();
   error.Set("ok", false);

@@ -113,7 +113,20 @@ class Tpcpd {
 
   /// One request, one response; never throws, never crashes on malformed
   /// input — every error is a well-formed {"ok":false,...} response.
-  std::string HandleRequest(const std::string& payload);
+  /// `auth_tenant` is the tenant the connection authenticated as via its
+  /// hello (empty: unauthenticated). Commands that touch a token-protected
+  /// tenant's jobs are rejected with {"ok":false} — before any job state
+  /// is touched — unless auth_tenant matches; open tenants (no token)
+  /// behave as before.
+  std::string HandleRequest(const std::string& payload,
+                            const std::string& auth_tenant = "");
+
+  /// Validates a hello's tenant + token pair. Returns the tenant name to
+  /// bind the connection to, NotFound for an unknown tenant, and
+  /// InvalidArgument for a wrong token or a tenant with no token
+  /// configured (an open tenant needs no authentication).
+  Result<std::string> Authenticate(const std::string& tenant,
+                                   const std::string& token) const;
 
   // ---- typed surface (what HandleRequest dispatches to) ----
 
@@ -193,7 +206,14 @@ class Tpcpd {
 
   // HandleRequest helpers (build/parse protocol JSON).
   JsonValue RecordToJson(const ServerJobRecord& record) const;
-  Result<JsonValue> Dispatch(const JsonValue& request);
+  Result<JsonValue> Dispatch(const JsonValue& request,
+                             const std::string& auth_tenant);
+  /// OK when `auth_tenant` may act on `tenant`'s jobs: the tenant is open
+  /// (no token) or the connection authenticated as it.
+  Status CheckTenantAccess(const std::string& tenant,
+                           const std::string& auth_tenant) const;
+  /// The owning tenant of job `id` (NotFound for an unknown id).
+  Result<std::string> JobTenant(int64_t id) const;
 
   TpcpdOptions options_;
   OpenedEnv state_env_;

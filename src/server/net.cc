@@ -36,9 +36,13 @@ Status WriteAll(int fd, const std::string& data) {
 /// Returns true when `payload` was a hello — the caller answers with
 /// `*response` (always a plain frame: the peer cannot decode deflate
 /// until it has read the grant) and, when `*grant` is set, switches the
-/// connection to deflate for everything after it.
-bool MaybeHandleHello(const std::string& payload, std::string* response,
-                      bool* grant) {
+/// connection to deflate for everything after it. A hello naming a
+/// tenant authenticates the connection: on success `*auth_tenant` is
+/// bound; on rejection the reply is {"ok":false,...}, nothing is granted
+/// and the binding is untouched.
+bool MaybeHandleHello(Tpcpd* daemon, const std::string& payload,
+                      std::string* response, bool* grant,
+                      std::string* auth_tenant) {
   const Result<JsonValue> request = JsonValue::Parse(payload);
   if (!request.ok() || !request->is_object()) return false;
   const JsonValue* cmd = request->Find("cmd");
@@ -46,10 +50,29 @@ bool MaybeHandleHello(const std::string& payload, std::string* response,
       cmd->string_value() != "hello") {
     return false;
   }
+  *grant = false;
+  JsonValue reply = JsonValue::Object();
+  if (const JsonValue* tenant = request->Find("tenant")) {
+    std::string token;
+    const JsonValue* tok = request->Find("token");
+    if (tok != nullptr && tok->is_string()) token = tok->string_value();
+    const Result<std::string> authed =
+        tenant->is_string() ? daemon->Authenticate(tenant->string_value(),
+                                                   token)
+                            : Result<std::string>(Status::InvalidArgument(
+                                  "hello field 'tenant' must be a string"));
+    if (!authed.ok()) {
+      reply.Set("ok", false);
+      reply.Set("error", authed.status().ToString());
+      *response = reply.Serialize();
+      return true;
+    }
+    *auth_tenant = *authed;
+    reply.Set("tenant", *authed);
+  }
   const JsonValue* compress = request->Find("compress");
   *grant = compress != nullptr && compress->is_string() &&
            compress->string_value() == "deflate" && DeflateSupported();
-  JsonValue reply = JsonValue::Object();
   reply.Set("ok", true);
   reply.Set("compress", *grant ? "deflate" : "none");
   *response = reply.Serialize();
@@ -135,6 +158,7 @@ void TpcpdServer::AcceptLoop() {
 void TpcpdServer::ServeConnection(int fd) {
   FrameDecoder decoder;
   bool compress = false;
+  std::string auth_tenant;  // set by an authenticated hello, sticky
   char buf[4096];
   for (;;) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -156,8 +180,9 @@ void TpcpdServer::ServeConnection(int fd) {
     while (decoder.Next(&payload)) {
       std::string response;
       bool grant = false;
-      const bool hello = MaybeHandleHello(payload, &response, &grant);
-      if (!hello) response = daemon_->HandleRequest(payload);
+      const bool hello =
+          MaybeHandleHello(daemon_, payload, &response, &grant, &auth_tenant);
+      if (!hello) response = daemon_->HandleRequest(payload, auth_tenant);
       // The hello reply itself always ships plain — the client enables
       // its decoder only after reading the grant.
       const Result<std::string> frame =
@@ -180,24 +205,34 @@ void TpcpdServer::ServeConnection(int fd) {
 // ---- client ----------------------------------------------------------------
 
 Result<std::unique_ptr<TpcpdClient>> TpcpdClient::Connect(
-    const std::string& host, int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Errno("socket");
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad address '" + host + "'");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status status =
-        Errno("connect " + host + ":" + std::to_string(port));
-    ::close(fd);
-    return status;
-  }
-  return std::unique_ptr<TpcpdClient>(new TpcpdClient(fd));
+    const std::string& host, int port, const RetryPolicy& retry) {
+  int connected_fd = -1;
+  const Status status = RetryWithBackoff(
+      retry, "connect " + host + ":" + std::to_string(port),
+      [&host, port, &connected_fd]() -> Status {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return Errno("socket");
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+          ::close(fd);
+          // Permanent: no retry will make the address parse.
+          return Status::InvalidArgument("bad address '" + host + "'");
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+          const Status error =
+              Errno("connect " + host + ":" + std::to_string(port));
+          ::close(fd);
+          return error;  // IOError: transient, retried
+        }
+        connected_fd = fd;
+        return Status::OK();
+      });
+  TPCP_RETURN_IF_ERROR(status);
+  return std::unique_ptr<TpcpdClient>(new TpcpdClient(connected_fd));
 }
 
 TpcpdClient::~TpcpdClient() {
@@ -239,6 +274,24 @@ Result<bool> TpcpdClient::NegotiateCompression() {
   compress_ = true;
   decoder_.EnableDeflate();
   return true;
+}
+
+Status TpcpdClient::Authenticate(const std::string& tenant,
+                                 const std::string& token) {
+  JsonValue hello = JsonValue::Object();
+  hello.Set("cmd", "hello");
+  hello.Set("tenant", tenant);
+  hello.Set("token", token);
+  TPCP_ASSIGN_OR_RETURN(const JsonValue reply, Call(hello));
+  const JsonValue* ok = reply.Find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->bool_value()) {
+    return Status::OK();
+  }
+  const JsonValue* error = reply.Find("error");
+  return Status::InvalidArgument(
+      error != nullptr && error->is_string()
+          ? error->string_value()
+          : "authentication rejected for tenant '" + tenant + "'");
 }
 
 }  // namespace tpcp

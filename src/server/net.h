@@ -21,6 +21,15 @@
 // and servers that predate it (they answer with an unknown-command
 // error), keep speaking plain frames: the negotiation is strictly
 // opt-in on both ends.
+//
+// The hello also carries tenant authentication:
+//   {"cmd":"hello","tenant":"acme","token":"s3cret"}
+// On success ({"ok":true,"tenant":"acme"}) the connection is bound to
+// that tenant: every later request on it reaches the daemon with the
+// authenticated identity, which token-protected tenants require. A bad
+// token or unknown tenant gets a clean {"ok":false,...} and the
+// connection stays open but unauthenticated. Tenants configured without
+// a token remain open to every connection.
 
 #ifndef TPCP_SERVER_NET_H_
 #define TPCP_SERVER_NET_H_
@@ -34,6 +43,7 @@
 #include "server/daemon.h"
 #include "server/json.h"
 #include "server/wire.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace tpcp {
@@ -75,8 +85,12 @@ class TpcpdServer {
 /// frame back. Not thread-safe; use one client per thread.
 class TpcpdClient {
  public:
+  /// Connects to `host:port`, retrying refused/transient connects with
+  /// the shared backoff policy (a daemon that is still binding its socket
+  /// looks exactly like a transient fault). `retry.max_attempts = 1`
+  /// restores single-shot connects.
   static Result<std::unique_ptr<TpcpdClient>> Connect(
-      const std::string& host, int port);
+      const std::string& host, int port, const RetryPolicy& retry = {});
   ~TpcpdClient();
 
   TpcpdClient(const TpcpdClient&) = delete;
@@ -92,6 +106,11 @@ class TpcpdClient {
   /// both directions. False (no error) when the server declined or
   /// predates the hello. Call at most once, before other traffic.
   Result<bool> NegotiateCompression();
+
+  /// Authenticates this connection as `tenant` (hello with token).
+  /// InvalidArgument when the server rejects the credentials — the
+  /// connection stays usable, unauthenticated.
+  Status Authenticate(const std::string& tenant, const std::string& token);
 
   bool compression_enabled() const { return compress_; }
 

@@ -57,6 +57,13 @@ Result<TenantConfig> ParseTenantSpec(const std::string& spec) {
     }
     const std::string key = parts[i].substr(0, eq);
     const std::string value = parts[i].substr(eq + 1);
+    if (key == "token") {
+      if (value.empty()) {
+        return Status::InvalidArgument("tenant token must be non-empty");
+      }
+      config.token = value;
+      continue;
+    }
     TPCP_ASSIGN_OR_RETURN(const int64_t number, ParseInt64(value));
     if (key == "buffer_mb") {
       if (number <= 0) {
@@ -76,7 +83,7 @@ Result<TenantConfig> ParseTenantSpec(const std::string& spec) {
     } else {
       return Status::InvalidArgument(
           "unknown tenant spec option '" + key +
-          "' (choices: buffer_mb, threads, max_jobs)");
+          "' (choices: buffer_mb, threads, max_jobs, token)");
     }
   }
   return config;

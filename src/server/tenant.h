@@ -35,6 +35,11 @@ struct TenantConfig {
   /// Storage root; each job's store lives at `<storage_uri>/<job dir>`
   /// (posix://) or in a daemon-held env (mem://).
   std::string storage_uri = "mem://";
+  /// Shared-secret auth token. Empty: the tenant is open (any connection
+  /// may act on it — the pre-token behavior). Non-empty: job-addressed
+  /// commands for this tenant are rejected unless the connection
+  /// authenticated with this exact token in its hello.
+  std::string token;
   TenantQuota quota;
 };
 
@@ -80,7 +85,7 @@ bool CanStart(const JobBudget& budget, const ResourceUsage& usage,
               const TenantQuota& quota);
 
 /// Parses a `name,storage_uri[,key=value...]` tenant spec (the tpcpd
-/// --tenant flag). Keys: buffer_mb, threads, max_jobs.
+/// --tenant flag). Keys: buffer_mb, threads, max_jobs, token.
 Result<TenantConfig> ParseTenantSpec(const std::string& spec);
 
 }  // namespace tpcp

@@ -4,6 +4,7 @@
 
 #include "storage/compressed_env.h"
 #include "storage/faulty_env.h"
+#include "storage/retry_env.h"
 #include "storage/throttled_env.h"
 #include "util/format.h"
 #include "util/parse.h"
@@ -153,10 +154,44 @@ EnvFactoryRegistry::EnvFactoryRegistry() {
                           params->GetInt("fail_reads_after", -1));
     TPCP_ASSIGN_OR_RETURN(const int64_t fail_writes,
                           params->GetInt("fail_writes_after", -1));
+    TPCP_ASSIGN_OR_RETURN(const int64_t transient_reads,
+                          params->GetInt("transient_read_every", 0));
+    TPCP_ASSIGN_OR_RETURN(const int64_t transient_writes,
+                          params->GetInt("transient_write_every", 0));
+    if (transient_reads == 1 || transient_writes == 1) {
+      return Status::InvalidArgument(
+          "faulty transient_*_every must be >= 2 (1 would fail every "
+          "attempt, i.e. permanently)");
+    }
     auto env = std::make_unique<FaultyEnv>(delegate);
     if (fail_reads >= 0) env->FailReadsAfter(fail_reads);
     if (fail_writes >= 0) env->FailWritesAfter(fail_writes);
+    if (transient_reads >= 2) env->TransientReadFaultEvery(transient_reads);
+    if (transient_writes >= 2) env->TransientWriteFaultEvery(transient_writes);
     return std::unique_ptr<Env>(std::move(env));
+  };
+  wrappers_["retry"] = [](Env* delegate, UriParams* params)
+      -> Result<std::unique_ptr<Env>> {
+    RetryPolicy policy;
+    TPCP_ASSIGN_OR_RETURN(const int64_t attempts,
+                          params->GetInt("attempts", policy.max_attempts));
+    TPCP_ASSIGN_OR_RETURN(
+        const int64_t backoff_ms,
+        params->GetInt("backoff_ms", policy.initial_backoff_ms));
+    TPCP_ASSIGN_OR_RETURN(
+        const int64_t max_backoff_ms,
+        params->GetInt("max_backoff_ms", policy.max_backoff_ms));
+    if (attempts < 1) {
+      return Status::InvalidArgument("retry attempts must be >= 1");
+    }
+    if (backoff_ms < 0 || max_backoff_ms < 0) {
+      return Status::InvalidArgument("retry backoff must be >= 0 ms");
+    }
+    policy.max_attempts = static_cast<int>(attempts);
+    policy.initial_backoff_ms = backoff_ms;
+    policy.max_backoff_ms = max_backoff_ms;
+    return std::unique_ptr<Env>(
+        std::make_unique<RetryEnv>(delegate, policy));
   };
 }
 

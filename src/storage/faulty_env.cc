@@ -9,6 +9,13 @@ Status FaultyEnv::WriteFile(const std::string& name, const std::string& data) {
       return Status::IOError("injected write failure: " + name);
     }
     if (writes_until_failure_ > 0) --writes_until_failure_;
+    // Transient fault: every n-th attempt fails, so the immediate retry of
+    // the same write (attempt n+1) goes through.
+    ++write_op_counter_;
+    if (transient_write_every_ > 0 &&
+        write_op_counter_ % transient_write_every_ == 0) {
+      return Status::IOError("injected transient write fault: " + name);
+    }
   }
   return delegate_->WriteFile(name, data);
 }
@@ -22,6 +29,11 @@ Status FaultyEnv::ReadFile(const std::string& name, std::string* out) {
       return Status::IOError("injected read failure: " + name);
     }
     if (reads_until_failure_ > 0) --reads_until_failure_;
+    ++read_op_counter_;
+    if (transient_read_every_ > 0 &&
+        read_op_counter_ % transient_read_every_ == 0) {
+      return Status::IOError("injected transient read fault: " + name);
+    }
     corrupt = corrupt_reads_;
     truncate = truncate_reads_;
   }

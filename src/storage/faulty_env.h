@@ -30,6 +30,21 @@ class FaultyEnv : public Env {
     reads_until_failure_ = n;
   }
 
+  /// Every `n`-th write fails once with a *transient* IOError — the same
+  /// write retried immediately succeeds (the counter keeps ticking). Models
+  /// a flaky disk rather than a full one; pair with a retrying Env wrapper.
+  /// n < 2 disables (n == 1 would fail every attempt, i.e. permanently).
+  void TransientWriteFaultEvery(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    transient_write_every_ = n >= 2 ? n : 0;
+  }
+
+  /// Every `n`-th read fails once with a transient IOError; see above.
+  void TransientReadFaultEvery(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    transient_read_every_ = n >= 2 ? n : 0;
+  }
+
   /// Flip one byte in every subsequent read result (checksum tests).
   void CorruptReads(bool enabled) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -54,6 +69,10 @@ class FaultyEnv : public Env {
   std::mutex mu_;
   int64_t writes_until_failure_ = -1;
   int64_t reads_until_failure_ = -1;
+  int64_t transient_write_every_ = 0;
+  int64_t transient_read_every_ = 0;
+  int64_t write_op_counter_ = 0;
+  int64_t read_op_counter_ = 0;
   bool corrupt_reads_ = false;
   bool truncate_reads_ = false;
 };

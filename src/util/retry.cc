@@ -1,0 +1,54 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tpcp {
+
+bool IsTransientStatus(const Status& status) {
+  return status.IsIOError() || status.IsResourceExhausted();
+}
+
+Backoff::Backoff(const RetryPolicy& policy)
+    : initial_ms_(std::max<int64_t>(policy.initial_backoff_ms, 0)),
+      max_ms_(std::max<int64_t>(policy.max_backoff_ms, initial_ms_)),
+      prev_ms_(initial_ms_),
+      rng_(policy.jitter_seed) {}
+
+int64_t Backoff::NextDelayMs() {
+  // Decorrelated jitter: each delay is drawn fresh from
+  // [initial, 3 * previous), so concurrent retriers spread out instead of
+  // thundering in lockstep, while the upper edge still grows geometrically.
+  const int64_t hi = std::max<int64_t>(initial_ms_ + 1, 3 * prev_ms_);
+  const int64_t span = hi - initial_ms_;
+  const int64_t drawn =
+      initial_ms_ + static_cast<int64_t>(
+                        rng_.NextUint64(static_cast<uint64_t>(span)));
+  prev_ms_ = std::min(drawn, max_ms_);
+  return prev_ms_;
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, const std::string& what,
+                        const std::function<Status()>& op,
+                        const std::function<void(int64_t)>* sleep_ms) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  Backoff backoff(policy);
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = op();
+    if (last.ok() || !IsTransientStatus(last)) return last;
+    if (attempt == attempts) break;
+    const int64_t delay = backoff.NextDelayMs();
+    if (sleep_ms != nullptr) {
+      (*sleep_ms)(delay);
+    } else if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  return Status::IOError(what + ": gave up after " +
+                         std::to_string(attempts) +
+                         " attempts: " + last.ToString());
+}
+
+}  // namespace tpcp

@@ -7,17 +7,33 @@
 //   * the coordinator's measured exchange-byte ledger equals the cluster
 //     traffic model's prediction exactly (bytes and messages, up, down
 //     and persist) — the property `plan --workers` summaries rely on,
-//   * a worker crash mid-wave surfaces as a clean coordinator error (no
-//     hang, worker named), leaves the base store exactly at the last
-//     checkpoint, and a single-process resume completes bit-identically
-//     to an uninterrupted run.
+//   * with supervision off, a worker crash mid-wave surfaces as a clean
+//     coordinator error (no hang, worker named), leaves the base store
+//     exactly at the last checkpoint, and a single-process resume
+//     completes bit-identically to an uninterrupted run,
+//   * with supervision on, the coordinator recovers *in-run*: it respawns
+//     the fleet from the last checkpoint, degrades to a smaller fleet
+//     (re-planned ownership, re-priced ledger), or finishes in-process —
+//     and every recovered run stays bit-identical to an uninterrupted
+//     one, with measured == predicted on the committed ledger,
+//   * scripted channel chaos (drop/delay/garbage/disconnect, at wave
+//     boundaries and mid-wave) is either absorbed or recovered from; the
+//     run still completes bit-identically,
+//   * transient storage faults are absorbed below the protocol by the
+//     retry layer (no respawn needed),
+//   * dead metadata absorbs are pruned on block-centric schedules: the
+//     relay moves strictly fewer bytes than the unpruned protocol while
+//     measured == predicted stays exact and the math does not move.
 //
 // Workers run as in-process threads here (ServeDistWorker is the exact
 // code path the spawned `tpcp_tool dist-worker` processes execute); the
-// tool-level fork/exec path is exercised by the CI dist-smoke job.
+// tool-level fork/exec path is exercised by the CI dist-smoke and
+// chaos-smoke jobs.
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -27,12 +43,15 @@
 #include "core/two_phase_cp.h"
 #include "data/synthetic.h"
 #include "dist/coordinator.h"
+#include "dist/faulty_channel.h"
 #include "dist/worker.h"
 #include "grid/block_tensor_store.h"
 #include "grid/grid_partition.h"
 #include "grid/manifest.h"
 #include "schedule/planner.h"
 #include "storage/env_uri.h"
+#include "storage/faulty_env.h"
+#include "storage/retry_env.h"
 
 namespace tpcp {
 namespace {
@@ -78,6 +97,30 @@ void PreparePhase1Store(Env* env, const TwoPhaseCpOptions& options) {
   ASSERT_TRUE(cp.RunPhase1().ok());
 }
 
+/// Uninterrupted single-process reference run in its own env.
+OpenedEnv RunEngineReference(const std::string& root,
+                             const TwoPhaseCpOptions& options,
+                             Phase2Result* reference) {
+  auto env = OpenEnv("posix://" + ::testing::TempDir() + root);
+  EXPECT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", TestGrid(), options.rank);
+  Phase2Engine engine(&factors, options);
+  EXPECT_TRUE(engine.Run(reference).ok());
+  return std::move(*env);
+}
+
+/// Fault-injection plan for one in-process fleet: which worker misbehaves,
+/// how, and whether on every (re)spawn or only the first.
+struct SpawnFaults {
+  int crash_worker = -1;
+  int64_t crash_at_step = -1;
+  bool crash_every_spawn = false;
+  int chaos_worker = -1;
+  ChaosSchedule chaos;
+  bool chaos_every_spawn = false;
+};
+
 /// In-process worker fleet: each spawn runs ServeDistWorker on a thread
 /// against the shared base env, exactly as a forked dist-worker process
 /// would against its own mapping of the store directory.
@@ -85,6 +128,7 @@ struct WorkerFleet {
   std::vector<std::thread> threads;
   std::mutex mu;
   std::vector<Status> statuses;
+  std::map<int, int> spawn_counts;
 
   void Join() {
     for (std::thread& t : threads) {
@@ -95,15 +139,20 @@ struct WorkerFleet {
 };
 
 std::function<Status(int, int)> SpawnInProcess(WorkerFleet* fleet, Env* env,
-                                               int crash_worker = -1,
-                                               int64_t crash_at_step = -1) {
-  return [fleet, env, crash_worker, crash_at_step](int port, int worker) {
-    fleet->threads.emplace_back([fleet, env, crash_worker, crash_at_step,
-                                 port, worker] {
-      DistWorkerHooks hooks;
-      if (worker == crash_worker) hooks.crash_at_step = crash_at_step;
-      const Status status =
-          ServeDistWorker(env, "f", port, worker, hooks);
+                                               SpawnFaults faults = {}) {
+  return [fleet, env, faults](int port, int worker) {
+    const int spawn_index = fleet->spawn_counts[worker]++;
+    DistWorkerHooks hooks;
+    if (worker == faults.crash_worker &&
+        (faults.crash_every_spawn || spawn_index == 0)) {
+      hooks.crash_at_step = faults.crash_at_step;
+    }
+    if (worker == faults.chaos_worker &&
+        (faults.chaos_every_spawn || spawn_index == 0)) {
+      hooks.chaos = faults.chaos;
+    }
+    fleet->threads.emplace_back([fleet, env, hooks, port, worker] {
+      const Status status = ServeDistWorker(env, "f", port, worker, hooks);
       std::lock_guard<std::mutex> lock(fleet->mu);
       fleet->statuses.push_back(status);
     });
@@ -126,6 +175,41 @@ void ExpectFactorsBitIdentical(Env* lhs_env, Env* rhs_env, int64_t rank) {
   }
 }
 
+/// Measured == predicted, exactly, for every worker slot of the ledger.
+void ExpectLedgerExact(const DistributedRunResult& result) {
+  ASSERT_EQ(result.measured.size(), result.predicted.size());
+  for (size_t w = 0; w < result.measured.size(); ++w) {
+    EXPECT_EQ(result.measured[w].up_bytes, result.predicted[w].up_bytes)
+        << "worker " << w;
+    EXPECT_EQ(result.measured[w].down_bytes, result.predicted[w].down_bytes)
+        << "worker " << w;
+    EXPECT_EQ(result.measured[w].up_messages, result.predicted[w].up_messages)
+        << "worker " << w;
+    EXPECT_EQ(result.measured[w].down_messages,
+              result.predicted[w].down_messages)
+        << "worker " << w;
+    EXPECT_EQ(result.measured_persist_bytes[w],
+              result.predicted_persist_bytes[w])
+        << "worker " << w;
+  }
+}
+
+void ExpectPhase2Equal(const Phase2Result& got, const Phase2Result& want) {
+  EXPECT_EQ(got.virtual_iterations, want.virtual_iterations);
+  EXPECT_EQ(got.converged, want.converged);
+  EXPECT_EQ(got.surrogate_fit, want.surrogate_fit);
+  EXPECT_EQ(got.fit_trace, want.fit_trace);
+  EXPECT_EQ(got.start_iteration, want.start_iteration);
+}
+
+bool LogsContain(const std::vector<std::string>& logs,
+                 const std::string& needle) {
+  for (const std::string& line : logs) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
 /// The plan both the engine and the coordinator derive from `options` —
 /// rebuilt here so tests can reason about positions and fingerprints.
 ExecutionPlan PlanFor(const TwoPhaseCpOptions& options) {
@@ -134,22 +218,27 @@ ExecutionPlan PlanFor(const TwoPhaseCpOptions& options) {
                         Phase2PlannerOptions(options, grid));
 }
 
+/// First plan position in the second virtual iteration owned by worker 1
+/// of a 2-worker fleet (part % 2 == 1) — a mid-wave crash point *after*
+/// the vi-0 checkpoint exists.
+int64_t CrashPosInSecondVi(const ExecutionPlan& plan) {
+  const int64_t vi_len = plan.virtual_iteration_length();
+  for (int64_t pos = vi_len; pos < 2 * vi_len; ++pos) {
+    if (plan.UnitAt(pos).part % 2 == 1) return pos;
+  }
+  return -1;
+}
+
 TEST(DistPhase2Test, WorkersProduceBitIdenticalFactorsAndExactByteLedger) {
   const TwoPhaseCpOptions options = DistOptions();
 
-  // Single-process reference.
-  const std::string ref_root = ::testing::TempDir() + "dist_ref";
-  auto ref_env = OpenEnv("posix://" + ref_root);
-  ASSERT_TRUE(ref_env.ok()) << ref_env.status().ToString();
-  PreparePhase1Store(ref_env->get(), options);
-  const GridPartition grid = TestGrid();
-  BlockFactorStore ref_factors(ref_env->get(), "f", grid, options.rank);
-  Phase2Engine engine(&ref_factors, options);
   Phase2Result reference;
-  ASSERT_TRUE(engine.Run(&reference).ok());
+  OpenedEnv ref_env =
+      RunEngineReference("dist_ref", options, &reference);
   ASSERT_EQ(reference.virtual_iterations, options.max_virtual_iterations);
 
   const ExecutionPlan plan = PlanFor(options);
+  const GridPartition grid = TestGrid();
 
   for (const int workers : {2, 4}) {
     const std::string root =
@@ -173,39 +262,28 @@ TEST(DistPhase2Test, WorkersProduceBitIdenticalFactorsAndExactByteLedger) {
       EXPECT_TRUE(worker_status.ok()) << worker_status.ToString();
     }
 
-    // Engine-equivalent result, bit for bit.
-    EXPECT_EQ(result.phase2.virtual_iterations, reference.virtual_iterations);
-    EXPECT_EQ(result.phase2.converged, reference.converged);
-    EXPECT_EQ(result.phase2.surrogate_fit, reference.surrogate_fit);
-    EXPECT_EQ(result.phase2.fit_trace, reference.fit_trace);
-    EXPECT_EQ(result.phase2.start_iteration, reference.start_iteration);
+    // Engine-equivalent result, bit for bit; a clean run reports no
+    // recovery activity.
+    ExpectPhase2Equal(result.phase2, reference);
     EXPECT_EQ(result.plan_fingerprint, plan.fingerprint());
-    ExpectFactorsBitIdentical(ref_env->get(), env->get(), options.rank);
+    EXPECT_EQ(result.respawns, 0);
+    EXPECT_EQ(result.degrades, 0);
+    EXPECT_EQ(result.final_workers, workers);
+    EXPECT_FALSE(result.finished_single_process);
+    EXPECT_EQ(result.wasted_bytes, 0u);
+    ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
 
     // The byte ledger: what the coordinator counted on the wire equals
     // what DistributedPlan predicted, exactly, per worker.
     ASSERT_EQ(result.measured.size(), static_cast<size_t>(workers));
-    ASSERT_EQ(result.predicted.size(), static_cast<size_t>(workers));
-    ASSERT_EQ(result.measured_persist_bytes.size(),
-              static_cast<size_t>(workers));
-    ASSERT_EQ(result.predicted_persist_bytes.size(),
-              static_cast<size_t>(workers));
+    ExpectLedgerExact(result);
     for (int w = 0; w < workers; ++w) {
-      const WorkerTraffic& measured = result.measured[static_cast<size_t>(w)];
-      const WorkerTraffic& predicted =
-          result.predicted[static_cast<size_t>(w)];
-      EXPECT_EQ(measured.up_bytes, predicted.up_bytes) << "worker " << w;
-      EXPECT_EQ(measured.down_bytes, predicted.down_bytes) << "worker " << w;
-      EXPECT_EQ(measured.up_messages, predicted.up_messages) << "worker " << w;
-      EXPECT_EQ(measured.down_messages, predicted.down_messages)
-          << "worker " << w;
-      EXPECT_EQ(result.measured_persist_bytes[static_cast<size_t>(w)],
-                result.predicted_persist_bytes[static_cast<size_t>(w)])
-          << "worker " << w;
       // The run did move data: every worker uploaded something at some
       // persist boundary unless it owns nothing (possible only when
       // workers > partitions, not the case here).
-      EXPECT_GT(measured.up_bytes + measured.down_bytes, 0u);
+      EXPECT_GT(result.measured[static_cast<size_t>(w)].up_bytes +
+                    result.measured[static_cast<size_t>(w)].down_bytes,
+                0u);
     }
   }
 }
@@ -213,29 +291,18 @@ TEST(DistPhase2Test, WorkersProduceBitIdenticalFactorsAndExactByteLedger) {
 TEST(DistPhase2Test, WorkerCrashMidWaveFailsCleanAndResumesBitIdentical) {
   const TwoPhaseCpOptions options = DistOptions();
 
-  // Uninterrupted single-process reference.
-  const std::string ref_root = ::testing::TempDir() + "dist_crash_ref";
-  auto ref_env = OpenEnv("posix://" + ref_root);
-  ASSERT_TRUE(ref_env.ok()) << ref_env.status().ToString();
-  PreparePhase1Store(ref_env->get(), options);
-  const GridPartition grid = TestGrid();
-  BlockFactorStore ref_factors(ref_env->get(), "f", grid, options.rank);
   Phase2Result reference;
-  ASSERT_TRUE(Phase2Engine(&ref_factors, options).Run(&reference).ok());
+  OpenedEnv ref_env =
+      RunEngineReference("dist_crash_ref", options, &reference);
 
   // Crash worker 1 just before its first owned step of the second virtual
   // iteration — after the vi-0 checkpoint exists, in the middle of a wave.
   const ExecutionPlan plan = PlanFor(options);
   const int64_t vi_len = plan.virtual_iteration_length();
-  int64_t crash_pos = -1;
-  for (int64_t pos = vi_len; pos < 2 * vi_len; ++pos) {
-    if (plan.UnitAt(pos).part % 2 == 1) {
-      crash_pos = pos;
-      break;
-    }
-  }
+  const int64_t crash_pos = CrashPosInSecondVi(plan);
   ASSERT_GE(crash_pos, 0) << "worker 1 owns nothing in vi 1?";
 
+  const GridPartition grid = TestGrid();
   const std::string root = ::testing::TempDir() + "dist_crash";
   auto env = OpenEnv("posix://" + root);
   ASSERT_TRUE(env.ok()) << env.status().ToString();
@@ -244,10 +311,16 @@ TEST(DistPhase2Test, WorkerCrashMidWaveFailsCleanAndResumesBitIdentical) {
 
   {
     WorkerFleet fleet;
+    SpawnFaults faults;
+    faults.crash_worker = 1;
+    faults.crash_at_step = crash_pos;
     DistributedRunOptions dopts;
     dopts.num_workers = 2;
-    dopts.spawn_worker =
-        SpawnInProcess(&fleet, env->get(), /*crash_worker=*/1, crash_pos);
+    // Supervision off: this test pins the *unsupervised* contract — fail
+    // clean, leave the checkpoint, let the operator resume.
+    dopts.max_respawns = 0;
+    dopts.degrade = DegradeMode::kOff;
+    dopts.spawn_worker = SpawnInProcess(&fleet, env->get(), faults);
     DistributedRunResult result;
     const Status status =
         RunDistributedPhase2(&factors, options, dopts, &result);
@@ -280,7 +353,347 @@ TEST(DistPhase2Test, WorkerCrashMidWaveFailsCleanAndResumesBitIdentical) {
   EXPECT_EQ(resumed.virtual_iterations, reference.virtual_iterations);
   EXPECT_EQ(resumed.surrogate_fit, reference.surrogate_fit);
   EXPECT_EQ(resumed.fit_trace, reference.fit_trace);
-  ExpectFactorsBitIdentical(ref_env->get(), env->get(), options.rank);
+  ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+}
+
+TEST(DistPhase2Test, SupervisorRespawnsCrashedWorkerInRunBitIdentical) {
+  const TwoPhaseCpOptions options = DistOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_respawn_ref", options, &reference);
+
+  const ExecutionPlan plan = PlanFor(options);
+  const int64_t crash_pos = CrashPosInSecondVi(plan);
+  ASSERT_GE(crash_pos, 0);
+
+  const GridPartition grid = TestGrid();
+  auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_respawn");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+  WorkerFleet fleet;
+  SpawnFaults faults;
+  faults.crash_worker = 1;
+  faults.crash_at_step = crash_pos;  // first spawn only: the respawn is clean
+  std::vector<std::string> logs;
+  DistributedRunOptions dopts;
+  dopts.num_workers = 2;
+  dopts.heartbeat_ms = 100;
+  dopts.spawn_worker = SpawnInProcess(&fleet, env->get(), faults);
+  dopts.log = [&logs](const std::string& line) { logs.push_back(line); };
+  DistributedRunResult result;
+  const Status status = RunDistributedPhase2(&factors, options, dopts, &result);
+  fleet.Join();
+
+  // No operator in the loop: the run completes by itself.
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(result.respawns, 1);
+  EXPECT_EQ(result.degrades, 0);
+  EXPECT_EQ(result.final_workers, 2);
+  EXPECT_FALSE(result.finished_single_process);
+  // The crashed attempt had moved wave bytes past the vi-0 checkpoint;
+  // those were rolled back into wasted_bytes, keeping the committed
+  // ledger exact.
+  EXPECT_GT(result.wasted_bytes, 0u);
+  EXPECT_TRUE(LogsContain(logs, "respawning fleet of 2")) << logs.size();
+
+  ExpectPhase2Equal(result.phase2, reference);
+  ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+  ExpectLedgerExact(result);
+
+  // The recovered store carries a plain manifest — no checkpoint residue.
+  auto manifest = ReadManifest(env->get(), "f");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_FALSE(manifest->checkpoint.has_value());
+}
+
+TEST(DistPhase2Test, SupervisorDegradesToSmallerFleetBitIdentical) {
+  const TwoPhaseCpOptions options = DistOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_shrink_ref", options, &reference);
+
+  const ExecutionPlan plan = PlanFor(options);
+  const int64_t crash_pos = CrashPosInSecondVi(plan);
+  ASSERT_GE(crash_pos, 0);
+
+  const GridPartition grid = TestGrid();
+  auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_shrink");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+  WorkerFleet fleet;
+  SpawnFaults faults;
+  faults.crash_worker = 1;
+  faults.crash_at_step = crash_pos;
+  faults.crash_every_spawn = true;  // worker 1 is a lemon: every spawn dies
+  std::vector<std::string> logs;
+  DistributedRunOptions dopts;
+  dopts.num_workers = 2;
+  dopts.heartbeat_ms = 100;
+  dopts.max_respawns = 1;
+  dopts.degrade = DegradeMode::kShrink;
+  dopts.spawn_worker = SpawnInProcess(&fleet, env->get(), faults);
+  dopts.log = [&logs](const std::string& line) { logs.push_back(line); };
+  DistributedRunResult result;
+  const Status status = RunDistributedPhase2(&factors, options, dopts, &result);
+  fleet.Join();
+
+  // One respawn (crashes again), then the supervisor sheds worker 1 and
+  // the single-worker fleet finishes: re-planned ownership, re-priced
+  // ledger, same bytes in the store.
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(result.respawns, 1);
+  EXPECT_EQ(result.degrades, 1);
+  EXPECT_EQ(result.final_workers, 1);
+  EXPECT_FALSE(result.finished_single_process);
+  EXPECT_GT(result.wasted_bytes, 0u);
+  EXPECT_TRUE(LogsContain(logs, "degrading to 1 worker(s)"));
+
+  ExpectPhase2Equal(result.phase2, reference);
+  ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+  // Worker 0's slots carry the committed 2-worker windows plus the
+  // re-priced 1-worker remainder; worker 1's slots carry only its
+  // committed windows. Exact either way.
+  ExpectLedgerExact(result);
+}
+
+TEST(DistPhase2Test, SupervisorFallsBackToSingleProcessBitIdentical) {
+  const TwoPhaseCpOptions options = DistOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_single_ref", options, &reference);
+
+  // Crash in the *first* virtual iteration: no checkpoint exists yet, so
+  // the fallback engine resumes from the coordinator's fresh-run seeds —
+  // the no-checkpoint resume path.
+  const ExecutionPlan plan = PlanFor(options);
+  int64_t crash_pos = -1;
+  for (int64_t pos = 0; pos < plan.virtual_iteration_length(); ++pos) {
+    if (plan.UnitAt(pos).part % 2 == 1) {
+      crash_pos = pos;
+      break;
+    }
+  }
+  ASSERT_GE(crash_pos, 0);
+
+  const GridPartition grid = TestGrid();
+  auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_single");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+  WorkerFleet fleet;
+  SpawnFaults faults;
+  faults.crash_worker = 1;
+  faults.crash_at_step = crash_pos;
+  faults.crash_every_spawn = true;
+  std::vector<std::string> logs;
+  DistributedRunOptions dopts;
+  dopts.num_workers = 2;
+  dopts.heartbeat_ms = 100;
+  dopts.max_respawns = 0;
+  dopts.degrade = DegradeMode::kSingle;
+  dopts.spawn_worker = SpawnInProcess(&fleet, env->get(), faults);
+  dopts.log = [&logs](const std::string& line) { logs.push_back(line); };
+  DistributedRunResult result;
+  const Status status = RunDistributedPhase2(&factors, options, dopts, &result);
+  fleet.Join();
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(result.respawns, 0);
+  EXPECT_EQ(result.degrades, 1);
+  EXPECT_EQ(result.final_workers, 0);
+  EXPECT_TRUE(result.finished_single_process);
+  EXPECT_TRUE(LogsContain(logs, "single-process finish"));
+
+  ExpectPhase2Equal(result.phase2, reference);
+  ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+}
+
+TEST(DistPhase2Test, ChannelChaosIsAbsorbedOrRecoveredBitIdentical) {
+  const TwoPhaseCpOptions options = DistOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_chaos_ref", options, &reference);
+  const GridPartition grid = TestGrid();
+
+  struct Case {
+    const char* name;
+    ChaosEvent event;
+    bool expect_recovery;  // else the fault must be absorbed silently
+  };
+  // Worker-1 send frames: 0 hello, 1 ready, 2.. first-wave xchg images,
+  // then wave_done/wave_ack/… — so index 0 hits fleet formation, 2 hits
+  // the first image of a wave (a wave boundary), and higher indices land
+  // mid-protocol. Recv frames: 0 init, 1 first wave, 2 first absorb.
+  const std::vector<Case> cases = {
+      {"drop_hello_at_formation",
+       {ChaosEvent::Op::kDrop, ChaosEvent::Dir::kSend, 0, 0},
+       true},
+      {"drop_first_wave_image",
+       {ChaosEvent::Op::kDrop, ChaosEvent::Dir::kSend, 2, 0},
+       true},
+      {"drop_absorb_mid_wave",
+       {ChaosEvent::Op::kDrop, ChaosEvent::Dir::kRecv, 2, 0},
+       true},
+      {"garbage_mid_wave",
+       {ChaosEvent::Op::kGarbage, ChaosEvent::Dir::kSend, 5, 0},
+       true},
+      {"disconnect_mid_run",
+       {ChaosEvent::Op::kDisconnect, ChaosEvent::Dir::kSend, 10, 0},
+       true},
+      {"delay_absorbed_by_heartbeats",
+       {ChaosEvent::Op::kDelay, ChaosEvent::Dir::kSend, 3, 1500},
+       false},
+  };
+
+  int case_index = 0;
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_chaos_" +
+                       std::to_string(case_index++));
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    PreparePhase1Store(env->get(), options);
+    BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+    WorkerFleet fleet;
+    SpawnFaults faults;
+    faults.chaos_worker = 1;
+    faults.chaos.events.push_back(c.event);
+    std::vector<std::string> logs;
+    DistributedRunOptions dopts;
+    dopts.num_workers = 2;
+    dopts.heartbeat_ms = 100;  // coordinator deadline 1s, worker 6s
+    dopts.accept_timeout_ms = 1500;
+    dopts.spawn_worker = SpawnInProcess(&fleet, env->get(), faults);
+    dopts.log = [&logs](const std::string& line) { logs.push_back(line); };
+    DistributedRunResult result;
+    const Status status =
+        RunDistributedPhase2(&factors, options, dopts, &result);
+    fleet.Join();
+
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    if (c.expect_recovery) {
+      EXPECT_GE(result.respawns, 1);
+      EXPECT_TRUE(LogsContain(logs, "respawning fleet"));
+    } else {
+      EXPECT_EQ(result.respawns, 0);
+      EXPECT_TRUE(logs.empty());
+    }
+    EXPECT_EQ(result.degrades, 0);
+    ExpectPhase2Equal(result.phase2, reference);
+    ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+    ExpectLedgerExact(result);
+  }
+}
+
+TEST(DistPhase2Test, TransientStorageFaultsAbsorbedWithoutRecovery) {
+  const TwoPhaseCpOptions options = DistOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_flaky_ref", options, &reference);
+  const GridPartition grid = TestGrid();
+
+  auto base = OpenEnv("posix://" + ::testing::TempDir() + "dist_flaky");
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  PreparePhase1Store(base->get(), options);  // fault-free preparation
+
+  // Every 7th read and every 9th write fails once, run-wide. Workers read
+  // the base store through their built-in retry layer; the coordinator's
+  // store writes go through an explicit RetryEnv. No fault ever reaches
+  // the protocol, so supervision has nothing to do — prove it by turning
+  // it off.
+  FaultyEnv flaky(base->get());
+  flaky.TransientReadFaultEvery(7);
+  flaky.TransientWriteFaultEvery(9);
+  RetryEnv coordinator_env(&flaky, RetryPolicy());
+  BlockFactorStore factors(&coordinator_env, "f", grid, options.rank);
+
+  WorkerFleet fleet;
+  DistributedRunOptions dopts;
+  dopts.num_workers = 2;
+  dopts.max_respawns = 0;
+  dopts.degrade = DegradeMode::kOff;
+  dopts.spawn_worker = SpawnInProcess(&fleet, &flaky);
+  DistributedRunResult result;
+  const Status status = RunDistributedPhase2(&factors, options, dopts, &result);
+  fleet.Join();
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(result.respawns, 0);
+  EXPECT_EQ(result.degrades, 0);
+  for (const Status& worker_status : fleet.statuses) {
+    EXPECT_TRUE(worker_status.ok()) << worker_status.ToString();
+  }
+  ExpectPhase2Equal(result.phase2, reference);
+  ExpectFactorsBitIdentical(ref_env.get(), base->get(), options.rank);
+  ExpectLedgerExact(result);
+}
+
+TEST(DistPhase2Test, DeadAbsorbPruningShrinksLedgerAndPreservesMath) {
+  // Block-centric schedule: units refresh once per slab block per cycle,
+  // so most images die before anyone reads them — the pruning win the
+  // mode-centric tests cannot show (there every image is fit-live and the
+  // existing hand-count ledger tests pin the no-op).
+  TwoPhaseCpOptions options = DistOptions();
+  options.schedule = ScheduleType::kFiberOrder;
+  options.max_virtual_iterations = 2;
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_prune_ref", options, &reference);
+  const GridPartition grid = TestGrid();
+
+  auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_prune");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+  WorkerFleet fleet;
+  DistributedRunOptions dopts;
+  dopts.num_workers = 2;
+  dopts.spawn_worker = SpawnInProcess(&fleet, env->get());
+  DistributedRunResult result;
+  const Status status = RunDistributedPhase2(&factors, options, dopts, &result);
+  fleet.Join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // Pruning is pure bandwidth: the math does not move.
+  ExpectPhase2Equal(result.phase2, reference);
+  ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+  // And the model still prices the relay exactly.
+  ExpectLedgerExact(result);
+
+  // The relay moved strictly fewer bytes than the unpruned protocol
+  // (every non-owner downloads every image) would have.
+  const ExecutionPlan plan = PlanFor(options);
+  const DistributedPlan dplan(&plan, options.rank, 2);
+  const int64_t executed = static_cast<int64_t>(
+      result.phase2.virtual_iterations * plan.virtual_iteration_length());
+  uint64_t unpruned_down = 0;
+  uint64_t live_down = 0;
+  for (int64_t pos = 0; pos < executed; ++pos) {
+    for (int v = 0; v < 2; ++v) {
+      if (dplan.OwnerAt(pos) == v) continue;
+      unpruned_down += dplan.StepExchangeBytes(pos);
+      if (dplan.ImageLiveFor(pos, v)) {
+        live_down += dplan.StepExchangeBytes(pos);
+      }
+    }
+  }
+  const uint64_t measured_down =
+      result.measured[0].down_bytes + result.measured[1].down_bytes;
+  EXPECT_EQ(measured_down, live_down);
+  EXPECT_LT(measured_down, unpruned_down)
+      << "fiber-order run relayed every image — pruning did nothing";
 }
 
 }  // namespace

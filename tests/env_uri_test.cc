@@ -121,6 +121,46 @@ TEST(OpenEnvTest, FaultyWrapperInjectsFailures) {
   EXPECT_TRUE((*env)->WriteFile("b", "2").IsIOError());
 }
 
+TEST(OpenEnvTest, FaultyTransientParamsInjectRecoverableFaults) {
+  auto env = OpenEnv("faulty+mem://?transient_write_every=2");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_TRUE((*env)->WriteFile("a", "1").ok());
+  EXPECT_TRUE((*env)->WriteFile("b", "2").IsIOError());  // every 2nd op
+  EXPECT_TRUE((*env)->WriteFile("b", "2").ok());         // retry lands
+
+  // every=1 would fail every attempt — a permanent fault in transient
+  // clothing, so the factory refuses it.
+  EXPECT_FALSE(OpenEnv("faulty+mem://?transient_write_every=1").ok());
+  EXPECT_FALSE(OpenEnv("faulty+mem://?transient_read_every=1").ok());
+}
+
+TEST(OpenEnvTest, RetryWrapperAbsorbsTransientFaults) {
+  // retry+ above faulty+: every 2nd write and 3rd read fails once, and the
+  // retry layer makes the stack look healthy.
+  auto env = OpenEnv(
+      "retry+faulty+mem://?transient_write_every=2&transient_read_every=3"
+      "&attempts=3&backoff_ms=0&max_backoff_ms=0");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    ASSERT_TRUE((*env)->WriteFile(name, name).ok()) << name;
+    std::string bytes;
+    ASSERT_TRUE((*env)->ReadFile(name, &bytes).ok()) << name;
+    EXPECT_EQ(bytes, name);
+  }
+
+  // Permanent failures pass through untouched (and unretried).
+  std::string bytes;
+  EXPECT_TRUE((*env)->ReadFile("missing", &bytes).IsNotFound());
+}
+
+TEST(OpenEnvTest, RetryWrapperParamsValidated) {
+  EXPECT_FALSE(OpenEnv("retry+mem://?attempts=0").ok());
+  EXPECT_FALSE(OpenEnv("retry+mem://?backoff_ms=-1").ok());
+  EXPECT_FALSE(OpenEnv("retry+mem://?max_backoff_ms=-1").ok());
+  EXPECT_TRUE(OpenEnv("retry+mem://?attempts=1").ok());
+}
+
 TEST(OpenEnvTest, UnknownParameterRejected) {
   auto env = OpenEnv("throttled+mem://?mbps=50&bogus=1");
   ASSERT_FALSE(env.ok());

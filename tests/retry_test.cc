@@ -1,0 +1,143 @@
+// util/retry.h: the shared transient-vs-permanent classification, the
+// decorrelated-jitter backoff, and the RetryWithBackoff driver every
+// retrying call site (dist sockets, RetryEnv, tpcpd clients) shares.
+
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace tpcp {
+namespace {
+
+TEST(IsTransientStatusTest, ClassifiesEnvironmentalVsDeterministic) {
+  // Environmental: a later attempt can plausibly miss the fault.
+  EXPECT_TRUE(IsTransientStatus(Status::IOError("flaky disk")));
+  EXPECT_TRUE(IsTransientStatus(Status::ResourceExhausted("pool full")));
+  // Deterministic: retrying repeats the same failure or hides a bug.
+  EXPECT_FALSE(IsTransientStatus(Status::OK()));
+  EXPECT_FALSE(IsTransientStatus(Status::NotFound("no such file")));
+  EXPECT_FALSE(IsTransientStatus(Status::InvalidArgument("bad rank")));
+  EXPECT_FALSE(IsTransientStatus(Status::Internal("protocol violation")));
+  EXPECT_FALSE(IsTransientStatus(Status::FailedPrecondition("fp mismatch")));
+  EXPECT_FALSE(IsTransientStatus(Status::Corruption("bad checksum")));
+  EXPECT_FALSE(IsTransientStatus(Status::Cancelled("user abort")));
+}
+
+TEST(BackoffTest, DelaysAreBoundedAndDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 200;
+
+  Backoff a(policy);
+  Backoff b(policy);
+  int64_t prev = policy.initial_backoff_ms;
+  for (int i = 0; i < 32; ++i) {
+    const int64_t delay = a.NextDelayMs();
+    // Same policy, same seed, same schedule — the property the chaos tests
+    // rely on for reproducible recovery timing.
+    EXPECT_EQ(delay, b.NextDelayMs());
+    EXPECT_GE(delay, policy.initial_backoff_ms);
+    EXPECT_LE(delay, policy.max_backoff_ms);
+    // Decorrelated jitter: each draw lives in [initial, 3 * previous].
+    EXPECT_LE(delay, std::max<int64_t>(policy.initial_backoff_ms + 1,
+                                       3 * prev));
+    prev = delay;
+  }
+
+  // A different jitter seed yields a different schedule.
+  RetryPolicy reseeded = policy;
+  reseeded.jitter_seed = 12345;
+  Backoff c(policy);
+  Backoff d(reseeded);
+  bool diverged = false;
+  for (int i = 0; i < 32 && !diverged; ++i) {
+    diverged = c.NextDelayMs() != d.NextDelayMs();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RetryWithBackoffTest, RecoversFromTransientFaults) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  std::vector<int64_t> slept;
+  const std::function<void(int64_t)> record = [&slept](int64_t ms) {
+    slept.push_back(ms);
+  };
+  const Status status = RetryWithBackoff(
+      policy, "test op",
+      [&calls] {
+        ++calls;
+        return calls < 3 ? Status::IOError("transient") : Status::OK();
+      },
+      &record);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u);  // one backoff per failed attempt
+}
+
+TEST(RetryWithBackoffTest, PermanentFailureIsNeverRetried) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int calls = 0;
+  std::vector<int64_t> slept;
+  const std::function<void(int64_t)> record = [&slept](int64_t ms) {
+    slept.push_back(ms);
+  };
+  const Status status = RetryWithBackoff(
+      policy, "test op",
+      [&calls] {
+        ++calls;
+        return Status::FailedPrecondition("fingerprint mismatch");
+      },
+      &record);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryWithBackoffTest, ExhaustedBudgetAnnotatesLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  std::vector<int64_t> slept;
+  const std::function<void(int64_t)> record = [&slept](int64_t ms) {
+    slept.push_back(ms);
+  };
+  const Status status = RetryWithBackoff(
+      policy, "write checkpoint",
+      [&calls] {
+        ++calls;
+        return Status::IOError("disk still down");
+      },
+      &record);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(slept.size(), 2u);  // no sleep after the final attempt
+  EXPECT_NE(status.ToString().find("write checkpoint"), std::string::npos);
+  EXPECT_NE(status.ToString().find("3 attempts"), std::string::npos);
+  EXPECT_NE(status.ToString().find("disk still down"), std::string::npos);
+}
+
+TEST(RetryWithBackoffTest, NonPositiveAttemptsMeanOneTry) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  int calls = 0;
+  std::vector<int64_t> slept;
+  const std::function<void(int64_t)> record = [&slept](int64_t ms) {
+    slept.push_back(ms);
+  };
+  const Status status = RetryWithBackoff(
+      policy, "one shot", [&calls] { ++calls; return Status::IOError("x"); },
+      &record);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+}  // namespace
+}  // namespace tpcp

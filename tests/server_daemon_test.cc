@@ -541,5 +541,89 @@ TEST(TenantTest, ParseTenantSpecReadsQuotaOverrides) {
   EXPECT_FALSE(ParseTenantSpec("alice,mem://,bogus=1").ok());
 }
 
+TEST(TenantTest, ParseTenantSpecReadsToken) {
+  auto spec = ParseTenantSpec("vault,mem://,token=s3cret,threads=2");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "vault");
+  EXPECT_EQ(spec->token, "s3cret");
+  EXPECT_EQ(spec->quota.threads, 2);
+  // No token key: the tenant stays open.
+  auto open = ParseTenantSpec("alice,mem://");
+  ASSERT_TRUE(open.ok());
+  EXPECT_TRUE(open->token.empty());
+  // An empty token would mean "protected by nothing" — rejected.
+  EXPECT_FALSE(ParseTenantSpec("vault,mem://,token=").ok());
+}
+
+TEST(TpcpdAuthTest, TokenProtectedTenantGuardsJobCommands) {
+  TpcpdOptions options;
+  TenantConfig open;
+  open.name = "open";
+  TenantConfig locked;
+  locked.name = "locked";
+  locked.token = "s3cret";
+  options.tenants = {open, locked};
+  auto daemon = Tpcpd::Start(std::move(options));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+
+  // Credential validation, the connection layer's entry point.
+  EXPECT_TRUE((*daemon)->Authenticate("locked", "s3cret").ok());
+  EXPECT_FALSE((*daemon)->Authenticate("locked", "wrong").ok());
+  EXPECT_FALSE((*daemon)->Authenticate("nobody", "s3cret").ok());
+  // An open tenant has nothing to authenticate against.
+  EXPECT_FALSE((*daemon)->Authenticate("open", "anything").ok());
+
+  const auto call = [&daemon](const std::string& payload,
+                              const std::string& auth) {
+    auto parsed = JsonValue::Parse((*daemon)->HandleRequest(payload, auth));
+    EXPECT_TRUE(parsed.ok());
+    return *parsed;
+  };
+  const auto ok = [](const JsonValue& response) {
+    const JsonValue* flag = response.Find("ok");
+    return flag != nullptr && flag->is_bool() && flag->bool_value();
+  };
+
+  // Submits: rejected before any job state is touched unless the
+  // connection authenticated as the tenant; open tenants need nothing.
+  const std::string submit_locked =
+      "{\"cmd\":\"submit\",\"tenant\":\"locked\"}";
+  const JsonValue rejected = call(submit_locked, "");
+  EXPECT_FALSE(ok(rejected));
+  EXPECT_NE(rejected.Find("error")->string_value().find(
+                "requires token authentication"),
+            std::string::npos);
+  EXPECT_TRUE((*daemon)->List("locked", "").empty())
+      << "rejected submit left job state behind";
+  EXPECT_FALSE(ok(call(submit_locked, "open")));  // wrong identity
+  const JsonValue admitted = call(submit_locked, "locked");
+  ASSERT_TRUE(ok(admitted));
+  const int64_t job = admitted.Find("job")->int_value();
+  EXPECT_TRUE(ok(call("{\"cmd\":\"submit\",\"tenant\":\"open\"}", "")));
+
+  // Job-addressed commands inherit the owner's protection.
+  const std::string poll =
+      "{\"cmd\":\"poll\",\"job\":" + std::to_string(job) + "}";
+  EXPECT_FALSE(ok(call(poll, "")));
+  EXPECT_TRUE(ok(call(poll, "locked")));
+  const std::string cancel =
+      "{\"cmd\":\"cancel\",\"job\":" + std::to_string(job) + "}";
+  EXPECT_FALSE(ok(call(cancel, "")));
+  EXPECT_TRUE(ok(call(cancel, "locked")));
+
+  // Listing: a protected tenant's jobs are invisible to strangers —
+  // filtered out of the unfiltered view, an error when asked for by name.
+  const JsonValue everyone = call("{\"cmd\":\"list\"}", "");
+  ASSERT_TRUE(ok(everyone));
+  for (const JsonValue& record : everyone.Find("jobs")->array_items()) {
+    EXPECT_EQ(record.Find("tenant")->string_value(), "open");
+  }
+  EXPECT_FALSE(ok(call("{\"cmd\":\"list\",\"tenant\":\"locked\"}", "")));
+  const JsonValue own = call("{\"cmd\":\"list\",\"tenant\":\"locked\"}",
+                             "locked");
+  ASSERT_TRUE(ok(own));
+  EXPECT_EQ(own.Find("jobs")->array_items().size(), 1u);
+}
+
 }  // namespace
 }  // namespace tpcp

@@ -395,5 +395,69 @@ TEST(ProtocolTest, HelloNegotiatesDeflateAndTrafficStillFlows) {
   }
 }
 
+TEST(ProtocolTest, HelloAuthenticatesTenantAndGuardsTheConnection) {
+  TpcpdOptions options;
+  TenantConfig open;
+  open.name = "alice";
+  TenantConfig locked;
+  locked.name = "vault";
+  locked.token = "s3cret";
+  options.tenants = {open, locked};
+  auto daemon = Tpcpd::Start(std::move(options));
+  ASSERT_TRUE(daemon.ok()) << daemon.status().ToString();
+  auto server = TpcpdServer::Listen(daemon->get(), 0);
+  if (!server.ok()) {
+    GTEST_SKIP() << "sockets unavailable: " << server.status().ToString();
+  }
+  const int port = (*server)->bound_port();
+
+  JsonValue submit_vault = JsonValue::Object();
+  submit_vault.Set("cmd", "submit");
+  submit_vault.Set("tenant", "vault");
+
+  {
+    // Unauthenticated connections bounce off the protected tenant with a
+    // clean {"ok":false}, and wrong credentials don't bind anything.
+    auto client = TpcpdClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto response = (*client)->Call(submit_vault);
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->Find("ok")->bool_value());
+
+    const Status bad = (*client)->Authenticate("vault", "wrong");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_NE(bad.ToString().find("bad token"), std::string::npos)
+        << bad.ToString();
+    response = (*client)->Call(submit_vault);
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->Find("ok")->bool_value());
+
+    // The rejected hello left the connection usable: open tenants and
+    // read-only commands still work.
+    JsonValue stats = JsonValue::Object();
+    stats.Set("cmd", "tenant-stats");
+    response = (*client)->Call(stats);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->Find("ok")->bool_value());
+  }
+  {
+    // The real token binds the connection; every later frame acts as the
+    // tenant.
+    auto client = TpcpdClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Authenticate("vault", "s3cret").ok());
+    auto response = (*client)->Call(submit_vault);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->Find("ok")->bool_value())
+        << response->Serialize();
+    JsonValue poll = JsonValue::Object();
+    poll.Set("cmd", "poll");
+    poll.Set("job", response->Find("job")->int_value());
+    response = (*client)->Call(poll);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->Find("ok")->bool_value());
+  }
+}
+
 }  // namespace
 }  // namespace tpcp

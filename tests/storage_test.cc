@@ -5,6 +5,7 @@
 #include "storage/crc32.h"
 #include "storage/env.h"
 #include "storage/faulty_env.h"
+#include "storage/retry_env.h"
 #include "storage/serializer.h"
 #include "util/random.h"
 
@@ -332,6 +333,66 @@ TEST(FaultyEnvTest, TruncationIsCaughtByChecksum) {
   ASSERT_TRUE(WriteMatrix(&env, "m", RandomMatrix(4, 4, 7)).ok());
   env.TruncateReads(true);
   EXPECT_TRUE(ReadMatrix(&env, "m").status().IsCorruption());
+}
+
+TEST(FaultyEnvTest, TransientFaultsFailOnceAndRecover) {
+  auto base = NewMemEnv();
+  FaultyEnv env(base.get());
+  env.TransientWriteFaultEvery(3);
+  // Every 3rd write op fails once; the immediate retry is a new op and
+  // succeeds — the shape RetryEnv is built to absorb.
+  EXPECT_TRUE(env.WriteFile("a", "1").ok());
+  EXPECT_TRUE(env.WriteFile("b", "2").ok());
+  EXPECT_TRUE(env.WriteFile("c", "3").IsIOError());
+  EXPECT_TRUE(env.WriteFile("c", "3").ok());
+  EXPECT_TRUE(env.WriteFile("d", "4").ok());
+  EXPECT_TRUE(env.WriteFile("e", "5").IsIOError());
+  EXPECT_TRUE(env.WriteFile("e", "5").ok());
+
+  env.TransientReadFaultEvery(2);
+  std::string out;
+  EXPECT_TRUE(env.ReadFile("a", &out).ok());
+  EXPECT_TRUE(env.ReadFile("a", &out).IsIOError());
+  EXPECT_TRUE(env.ReadFile("a", &out).ok());
+  EXPECT_EQ(out, "1");
+}
+
+TEST(RetryEnvTest, AbsorbsTransientFaults) {
+  auto base = NewMemEnv();
+  FaultyEnv flaky(base.get());
+  flaky.TransientWriteFaultEvery(2);
+  flaky.TransientReadFaultEvery(2);
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 0;
+  policy.max_backoff_ms = 0;
+  RetryEnv env(&flaky, policy);
+  for (int i = 0; i < 10; ++i) {
+    const std::string name = "f" + std::to_string(i);
+    ASSERT_TRUE(env.WriteFile(name, name).ok()) << name;
+    std::string out;
+    ASSERT_TRUE(env.ReadFile(name, &out).ok()) << name;
+    EXPECT_EQ(out, name);
+  }
+}
+
+TEST(RetryEnvTest, PermanentFaultsSurfaceAfterBudget) {
+  auto base = NewMemEnv();
+  FaultyEnv broken(base.get());
+  broken.FailWritesAfter(0);  // every attempt fails: transient code,
+                              // permanent behavior
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 0;
+  policy.max_backoff_ms = 0;
+  RetryEnv env(&broken, policy);
+  const Status status = env.WriteFile("a", "1");
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_NE(status.ToString().find("3 attempts"), std::string::npos)
+      << status.ToString();
+
+  // Deterministic failures short-circuit: no attempt budget burned.
+  std::string out;
+  EXPECT_TRUE(env.ReadFile("missing", &out).IsNotFound());
 }
 
 TEST(FaultyEnvTest, DelegatesMetadataOps) {

@@ -33,12 +33,19 @@
 //       --link-latency-us and --link-bandwidth-mbps set the link price).
 //
 //   tpcp_tool dist      <dir|uri> <rank> [decompose options] [--workers=N]
+//                       [--heartbeat-ms=1000] [--max-respawns=2]
+//                       [--degrade=off|shrink|single]
 //       Distributed Phase 2: runs Phase 1 in-process, then spawns N local
 //       worker processes (re-exec'ing this binary as `dist-worker`) and
 //       drives them through the wave protocol (dist/coordinator.h).
 //       Factors and fit trace are bit-identical to `decompose` with the
-//       same arguments. Needs a store worker processes can open — not
-//       mem://. `dist-worker` is the internal worker entry point.
+//       same arguments. A worker that dies or wedges mid-run is detected
+//       via heartbeats, respawned from the last checkpoint up to
+//       --max-respawns times, then the run degrades per --degrade (shed
+//       the worker, or finish in-process); recovery lines print to
+//       stdout ("dist: worker N failed ..."). Needs a store worker
+//       processes can open — not mem://. `dist-worker` is the internal
+//       worker entry point.
 //
 //   tpcp_tool simulate  <parts> <buffer-fraction>
 //       Prints the exact per-virtual-iteration swap table for a cubic grid
@@ -149,6 +156,8 @@ int Usage(const char* argv0) {
       "             [--prefetch-depth=0] [--plan-waves=8] [--workers=0]\n"
       "             [--link-latency-us=100] [--link-bandwidth-mbps=1250]\n"
       "  %s dist      <dir|uri> <rank> [decompose options] [--workers=2]\n"
+      "              [--heartbeat-ms=1000] [--max-respawns=2]"
+      " [--degrade=off|shrink|single]\n"
       "  %s simulate  <parts> <buffer-fraction>\n"
       "  %s solvers\n"
       "schedules: %s   policies: %s\n",
@@ -898,7 +907,9 @@ int Client(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s client <verb> [--host=127.0.0.1] [--port=7214]\n"
-        "                 [--compress=deflate] ...\n"
+        "                 [--compress=deflate] [--token=SECRET] ...\n"
+        "(--token authenticates the connection as --tenant; required for\n"
+        " tenants registered with token=)\n"
         "verbs:\n"
         "  submit --tenant=NAME [--name=LABEL] [--priority=N]\n"
         "         [--solver=2pcp] [--opt=key=value ...] [--param=k=v ...]\n"
@@ -914,6 +925,7 @@ int Client(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int64_t port = 7214;
   bool want_compress = false;
+  std::string token;
   JsonValue request = JsonValue::Object();
   request.Set("cmd", verb);
   JsonValue options = JsonValue::Object();
@@ -941,6 +953,8 @@ int Client(int argc, char** argv) {
     };
     if (key == "host") {
       host = value;
+    } else if (key == "token") {
+      token = value;
     } else if (key == "compress") {
       if (value != "deflate" && value != "none") {
         std::fprintf(stderr, "bad --compress '%s' (deflate|none)\n",
@@ -1049,6 +1063,19 @@ int Client(int argc, char** argv) {
       return 1;
     }
   }
+  if (!token.empty()) {
+    const JsonValue* tenant = request.Find("tenant");
+    if (tenant == nullptr) {
+      std::fprintf(stderr, "--token requires --tenant=NAME\n");
+      return 2;
+    }
+    const Status authed =
+        (*client)->Authenticate(tenant->string_value(), token);
+    if (!authed.ok()) {
+      std::fprintf(stderr, "%s\n", authed.ToString().c_str());
+      return 1;
+    }
+  }
   const auto response = (*client)->Call(request);
   if (!response.ok()) {
     std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
@@ -1103,6 +1130,36 @@ int Dist(int argc, char** argv) {
     workers = *parsed;
     args.flags.erase(it);
   }
+  int64_t heartbeat_ms = 1000;
+  if (auto it = args.flags.find("heartbeat-ms"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.ok() || *parsed < 0) {
+      std::fprintf(stderr, "--heartbeat-ms expects an integer >= 0\n");
+      return 2;
+    }
+    heartbeat_ms = *parsed;
+    args.flags.erase(it);
+  }
+  int64_t max_respawns = 2;
+  if (auto it = args.flags.find("max-respawns"); it != args.flags.end()) {
+    auto parsed = ParseInt64(it->second);
+    if (!parsed.ok() || *parsed < 0) {
+      std::fprintf(stderr, "--max-respawns expects an integer >= 0\n");
+      return 2;
+    }
+    max_respawns = *parsed;
+    args.flags.erase(it);
+  }
+  DegradeMode degrade = DegradeMode::kShrink;
+  if (auto it = args.flags.find("degrade"); it != args.flags.end()) {
+    auto parsed = DegradeModeFromName(it->second);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    degrade = *parsed;
+    args.flags.erase(it);
+  }
   DecomposeConfig config;
   if (!ParseDecomposeConfig(args, &config)) return 2;
   TwoPhaseCpOptions& options = config.options;
@@ -1155,6 +1212,15 @@ int Dist(int argc, char** argv) {
   std::vector<pid_t> children;
   DistributedRunOptions dopts;
   dopts.num_workers = static_cast<int>(workers);
+  dopts.heartbeat_ms = static_cast<int>(heartbeat_ms);
+  dopts.max_respawns = static_cast<int>(max_respawns);
+  dopts.degrade = degrade;
+  // Recovery lines go to stdout so harnesses (the CI chaos-smoke job) can
+  // grep for "respawning" / "degrading".
+  dopts.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
   dopts.spawn_worker = [&children, &config](int port, int worker) -> Status {
     const pid_t pid = ::fork();
     if (pid < 0) return Status::IOError("fork failed");
@@ -1185,7 +1251,9 @@ int Dist(int argc, char** argv) {
     }
   }
   if (!run.ok()) return ReportBad("dist", run), 1;
-  if (worker_failed) {
+  // After an in-run recovery, crashed/abandoned worker processes exiting
+  // non-zero is the expected debris of a successful run.
+  if (worker_failed && dist.respawns == 0 && dist.degrades == 0) {
     std::fprintf(stderr, "dist: a worker process exited with an error\n");
     return 1;
   }
@@ -1216,6 +1284,16 @@ int Dist(int argc, char** argv) {
               "fit %.4f\n",
               p2.seconds, p2.virtual_iterations,
               p2.converged ? "converged" : "cap", p2.surrogate_fit);
+  if (dist.respawns > 0 || dist.degrades > 0) {
+    const std::string finish =
+        dist.finished_single_process
+            ? std::string("single-process")
+            : std::to_string(dist.final_workers) + " worker(s)";
+    std::printf("  recovery: %d respawn(s), %d degrade(s), finished %s, "
+                "%s wasted\n",
+                dist.respawns, dist.degrades, finish.c_str(),
+                HumanBytes(dist.wasted_bytes).c_str());
+  }
   for (int w = 0; w < dopts.num_workers; ++w) {
     const WorkerTraffic& t = dist.measured[static_cast<size_t>(w)];
     std::printf("  worker %d: xchg up %s / down %s (%lld msgs), "

@@ -6,7 +6,11 @@
 //
 // Flags:
 //   --tenant=name,dir|uri[,key=value...]   (repeatable, required; keys:
-//                                           buffer_mb, threads, max_jobs)
+//                                           buffer_mb, threads, max_jobs,
+//                                           token — a token= tenant only
+//                                           accepts connections that
+//                                           authenticated with it in their
+//                                           hello / client --token)
 //   --state=dir|uri        persisted job queue (default mem:// — queue
 //                          dies with the process; use posix:// to make
 //                          restarts resume the backlog)
