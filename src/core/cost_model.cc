@@ -1,5 +1,6 @@
 #include "core/cost_model.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/swap_simulator.h"
@@ -53,7 +54,9 @@ std::vector<ClusterWorkerCost> SimulateCluster(const DistributedPlan& dplan,
     cost.swaps_per_vi = SimulateOwnedSteadyStateSwapsPerVi(
         schedule, rank, config.policy, config.buffer_bytes,
         config.warmup_cycles, config.measure_cycles, config.victim_hints,
-        worker, config.num_workers);
+        [&dplan, worker](const ModePartition& unit) {
+          return dplan.OwnerOf(unit) == worker;
+        });
     const WorkerTraffic traffic = dplan.TrafficForRange(worker, 0, cycle);
     cost.xchg_up_bytes_per_vi =
         static_cast<double>(traffic.up_bytes) * vi_scale;
@@ -78,6 +81,136 @@ std::vector<ClusterWorkerCost> SimulateCluster(const DistributedPlan& dplan,
     costs.push_back(cost);
   }
   return costs;
+}
+
+std::string ClusterOverlapCost::ToString() const {
+  std::ostringstream out;
+  out << "cluster-overlap: workers=" << num_workers
+      << " barrier_s/vi=" << barrier_seconds_per_vi
+      << " pipelined_s/vi=" << pipelined_seconds_per_vi
+      << " hidden_s/vi=" << hidden_seconds_per_vi
+      << " overlapped_bytes/vi=" << overlapped_bytes_per_vi;
+  return out.str();
+}
+
+ClusterOverlapCost SimulateClusterOverlap(const DistributedPlan& dplan,
+                                          int64_t rank,
+                                          const ClusterSimConfig& config) {
+  const ExecutionPlan& plan = dplan.plan();
+  const UpdateSchedule& schedule = plan.schedule();
+  const int64_t cycle = plan.cycle_length();
+  const int64_t vi_len = plan.virtual_iteration_length();
+  const int workers = config.num_workers;
+
+  // Per-worker seconds per owned step: the flat step cost plus this
+  // worker's steady-state swap I/O amortized over its own steps (swaps are
+  // where skewed ownership actually costs time).
+  std::vector<double> step_seconds(static_cast<size_t>(workers),
+                                   config.seconds_per_step);
+  for (int v = 0; v < workers; ++v) {
+    int64_t owned_steps = 0;
+    for (int64_t pos = 0; pos < cycle; ++pos) {
+      if (dplan.OwnerAt(pos) == v) ++owned_steps;
+    }
+    if (owned_steps == 0) continue;
+    const double swaps_per_cycle =
+        SimulateOwnedSteadyStateSwapsPerVi(
+            schedule, rank, config.policy, config.buffer_bytes,
+            config.warmup_cycles, config.measure_cycles,
+            config.victim_hints,
+            [&dplan, v](const ModePartition& unit) {
+              return dplan.OwnerOf(unit) == v;
+            }) *
+        static_cast<double>(cycle) / static_cast<double>(vi_len);
+    step_seconds[static_cast<size_t>(v)] +=
+        swaps_per_cycle * config.seconds_per_swap /
+        static_cast<double>(owned_steps);
+  }
+
+  // Walk whole virtual iterations covering at least one cycle (wave
+  // clipping at vi boundaries depends on the absolute position, so the
+  // wave pattern repeats with period lcm(vi, cycle); ⌈cycle/vi⌉ vis cover
+  // every cycle position at least once — the same averaging window
+  // SimulateCluster uses for persists).
+  const int64_t vis = (cycle + vi_len - 1) / vi_len;
+  const int64_t span = vis * vi_len;
+  ClusterOverlapCost cost;
+  cost.num_workers = workers;
+  double barrier = 0.0, pipelined = 0.0;
+  uint64_t overlapped_bytes = 0;
+  uint64_t carry_bytes = 0;  // deferred relay carried into the next wave
+  int64_t carry_msgs = 0;
+  std::vector<int64_t> owned_in_wave(static_cast<size_t>(workers), 0);
+  int64_t pos = 0;
+  while (pos < span) {
+    const int64_t vi_end = (pos / vi_len + 1) * vi_len;
+    const int64_t wave_end = std::min(plan.WaveEndAfter(pos), vi_end);
+    std::fill(owned_in_wave.begin(), owned_in_wave.end(), 0);
+    uint64_t up_bytes = 0, immediate_bytes = 0, deferred_bytes = 0;
+    int64_t up_msgs = 0, immediate_msgs = 0, deferred_msgs = 0;
+    for (int64_t p = pos; p < wave_end; ++p) {
+      const uint64_t bytes = dplan.StepExchangeBytes(p);
+      const int owner = dplan.OwnerAt(p);
+      ++owned_in_wave[static_cast<size_t>(owner)];
+      up_bytes += bytes;
+      ++up_msgs;
+      for (int v = 0; v < workers; ++v) {
+        if (v == owner || !dplan.ImageLiveFor(p, v)) continue;
+        if (dplan.CanDeferPast(p, v, wave_end)) {
+          deferred_bytes += bytes;
+          ++deferred_msgs;
+        } else {
+          immediate_bytes += bytes;
+          ++immediate_msgs;
+        }
+      }
+    }
+    double compute = 0.0;
+    for (int v = 0; v < workers; ++v) {
+      compute = std::max(compute,
+                         static_cast<double>(owned_in_wave[static_cast<size_t>(v)]) *
+                             step_seconds[static_cast<size_t>(v)]);
+    }
+    barrier += compute + config.link.TransferSeconds(
+                             up_bytes + immediate_bytes + deferred_bytes,
+                             up_msgs + immediate_msgs + deferred_msgs);
+    pipelined +=
+        std::max(compute,
+                 config.link.TransferSeconds(carry_bytes, carry_msgs)) +
+        config.link.TransferSeconds(up_bytes + immediate_bytes,
+                                    up_msgs + immediate_msgs);
+    overlapped_bytes += deferred_bytes;
+    carry_bytes = deferred_bytes;
+    carry_msgs = deferred_msgs;
+    pos = wave_end;
+    // Deferral never crosses a vi boundary (CanDeferPast), so nothing is
+    // carried past the fit/persist epilogue.
+    if (pos % vi_len == 0) {
+      carry_bytes = 0;
+      carry_msgs = 0;
+    }
+  }
+  // Persist epilogue, once per vi: every worker uploads its updated
+  // sub-factors — serialized through the coordinator in both executions.
+  uint64_t persist_total = 0;
+  for (int64_t k = 0; k < vis; ++k) {
+    for (int v = 0; v < workers; ++v) {
+      persist_total +=
+          dplan.PersistBytesForRange(v, k * vi_len, (k + 1) * vi_len);
+    }
+  }
+  const double persist_seconds =
+      config.link.TransferSeconds(persist_total, vis * workers);
+  barrier += persist_seconds;
+  pipelined += persist_seconds;
+
+  const double per_vi = 1.0 / static_cast<double>(vis);
+  cost.barrier_seconds_per_vi = barrier * per_vi;
+  cost.pipelined_seconds_per_vi = pipelined * per_vi;
+  cost.hidden_seconds_per_vi = (barrier - pipelined) * per_vi;
+  cost.overlapped_bytes_per_vi =
+      static_cast<double>(overlapped_bytes) * per_vi;
+  return cost;
 }
 
 }  // namespace tpcp

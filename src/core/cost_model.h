@@ -76,6 +76,16 @@ struct ClusterSimConfig {
   int warmup_cycles = 2;
   int measure_cycles = 2;
   ClusterLink link;
+
+  /// Price the overlapped pipeline (deferred relays hidden behind the next
+  /// wave's compute) instead of the strict barrier.
+  bool overlap = false;
+  /// Compute seconds per plan step (factor update + exchange encode) and
+  /// per buffer swap (unit load from the store) — the knobs that place
+  /// compute against comm in the per-wave max. Defaults are loose
+  /// commodity-disk estimates; calibrate for real predictions.
+  double seconds_per_step = 200e-6;
+  double seconds_per_swap = 2e-3;
 };
 
 /// Predicted per-virtual-iteration costs of one worker: local disk swaps
@@ -103,6 +113,33 @@ struct ClusterWorkerCost {
 std::vector<ClusterWorkerCost> SimulateCluster(const DistributedPlan& dplan,
                                                int64_t rank,
                                                const ClusterSimConfig& config);
+
+/// Fleet-aggregate wall-clock prediction of one virtual iteration, priced
+/// wave by wave. Barrier execution pays max-worker compute *plus* the full
+/// relay each wave; the pipelined execution pays per wave
+/// `max(compute, deferred comm of the previous wave)` plus the immediate
+/// remainder — the exact deferral split the coordinator uses
+/// (DistributedPlan::CanDeferPast), so predicted hidden time corresponds
+/// to what the executor reports as hidden_seconds.
+struct ClusterOverlapCost {
+  int num_workers = 0;
+  double barrier_seconds_per_vi = 0.0;
+  double pipelined_seconds_per_vi = 0.0;
+  /// barrier − pipelined: relay time hidden behind compute.
+  double hidden_seconds_per_vi = 0.0;
+  /// Relay bytes the pipeline defers into compute windows, per vi.
+  double overlapped_bytes_per_vi = 0.0;
+
+  /// One grep-able "cluster-overlap:" line.
+  std::string ToString() const;
+};
+
+/// Prices both executions of `dplan` under `config` (config.overlap gates
+/// only which number `plan --workers` reports as the headline; both are
+/// always computed here).
+ClusterOverlapCost SimulateClusterOverlap(const DistributedPlan& dplan,
+                                          int64_t rank,
+                                          const ClusterSimConfig& config);
 
 }  // namespace tpcp
 

@@ -76,13 +76,11 @@ double SimulateSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
          static_cast<double>(measure_steps);
 }
 
-double SimulateOwnedSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
-                                          int64_t rank, PolicyType policy,
-                                          uint64_t buffer_bytes,
-                                          int warmup_cycles,
-                                          int measure_cycles,
-                                          bool victim_hints, int worker,
-                                          int num_workers) {
+double SimulateOwnedSteadyStateSwapsPerVi(
+    const UpdateSchedule& schedule, int64_t rank, PolicyType policy,
+    uint64_t buffer_bytes, int warmup_cycles, int measure_cycles,
+    bool victim_hints,
+    const std::function<bool(const ModePartition&)>& owned) {
   UnitCatalog catalog(schedule.grid(), rank);
   const uint64_t capacity = std::max(buffer_bytes, catalog.MaxUnitBytes());
   BufferPool pool(capacity, catalog,
@@ -94,7 +92,7 @@ double SimulateOwnedSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
   int64_t pos = 0;
   for (; pos < warmup_steps; ++pos) {
     const ModePartition unit = schedule.UnitAt(pos);
-    if (unit.part % num_workers != worker) continue;
+    if (!owned(unit)) continue;
     const Status s = pool.Access(unit, pos);
     TPCP_CHECK(s.ok()) << s.ToString();
   }
@@ -102,13 +100,27 @@ double SimulateOwnedSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
   const int64_t end = pos + measure_steps;
   for (; pos < end; ++pos) {
     const ModePartition unit = schedule.UnitAt(pos);
-    if (unit.part % num_workers != worker) continue;
+    if (!owned(unit)) continue;
     const Status s = pool.Access(unit, pos);
     TPCP_CHECK(s.ok()) << s.ToString();
   }
   return static_cast<double>(pool.stats().swap_ins) *
          static_cast<double>(schedule.virtual_iteration_length()) /
          static_cast<double>(measure_steps);
+}
+
+double SimulateOwnedSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
+                                          int64_t rank, PolicyType policy,
+                                          uint64_t buffer_bytes,
+                                          int warmup_cycles,
+                                          int measure_cycles,
+                                          bool victim_hints, int worker,
+                                          int num_workers) {
+  return SimulateOwnedSteadyStateSwapsPerVi(
+      schedule, rank, policy, buffer_bytes, warmup_cycles, measure_cycles,
+      victim_hints, [worker, num_workers](const ModePartition& unit) {
+        return unit.part % num_workers == worker;
+      });
 }
 
 SwapSimResult SimulateSwaps(const SwapSimConfig& config) {

@@ -10,6 +10,8 @@
 #ifndef TPCP_CORE_SWAP_SIMULATOR_H_
 #define TPCP_CORE_SWAP_SIMULATOR_H_
 
+#include <functional>
+
 #include "buffer/buffer_pool.h"
 #include "schedule/update_schedule.h"
 
@@ -75,13 +77,22 @@ double SimulateSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
                                      bool victim_hints = false);
 
 /// Per-worker variant for the cluster simulator: replays only the plan
-/// positions the worker owns (unit.part % num_workers == worker) against a
-/// worker-local pool of the same budget, keeping the *global* position for
-/// each access so the next-use oracle sees the plan's real clock. Returns
-/// steady-state swaps per virtual iteration of that worker's slice,
-/// normalized over the same cycle-aligned window as the single-node
-/// function (so Σ over workers of a 1-worker split equals the global
-/// number).
+/// positions `owned` selects (one worker's slice of the ownership map)
+/// against a worker-local pool of the same budget, keeping the *global*
+/// position for each access so the next-use oracle sees the plan's real
+/// clock. Returns steady-state swaps per virtual iteration of that
+/// worker's slice, normalized over the same cycle-aligned window as the
+/// single-node function (so Σ over workers of any disjoint+exhaustive
+/// ownership split equals the global number).
+double SimulateOwnedSteadyStateSwapsPerVi(
+    const UpdateSchedule& schedule, int64_t rank, PolicyType policy,
+    uint64_t buffer_bytes, int warmup_cycles, int measure_cycles,
+    bool victim_hints,
+    const std::function<bool(const ModePartition&)>& owned);
+
+/// Round-robin convenience overload (unit.part % num_workers == worker) —
+/// kept for parity benches; the cluster cost model passes the weighted
+/// DistributedPlan ownership instead.
 double SimulateOwnedSteadyStateSwapsPerVi(const UpdateSchedule& schedule,
                                           int64_t rank, PolicyType policy,
                                           uint64_t buffer_bytes,

@@ -3,16 +3,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/names.h"
 #include "dist/exchange.h"
 #include "grid/manifest.h"
+#include "util/logging.h"
 #include "util/retry.h"
 #include "util/stopwatch.h"
 
@@ -82,6 +85,89 @@ struct RelayFrame {
   uint64_t bytes = 0;
   bool last = false;
   JsonValue msg;
+  /// Recipients whose delivery is deferred into the next wave's compute
+  /// window (overlap pipeline; CanDeferPast-approved).
+  std::vector<int> deferred_to;
+};
+
+/// Background relay of the previous wave's deferred absorb frames: one
+/// thread sending while the fleet computes the current wave. Safe against
+/// the collecting main thread because (a) workers in their compute loop
+/// keep draining their channel between steps, and the main thread drains
+/// every upload, so neither side can block forever on a full socket
+/// buffer, and (b) the thread writes only the recipients' down_bytes /
+/// down_messages ledger fields, which nothing else touches while a relay
+/// is in flight (the main thread writes up_* during collection; deferred
+/// and immediate sends to the same channel are serialized by DistChannel's
+/// send mutex). Writing the ledger as bytes hit the wire — not at join —
+/// is what keeps RollbackLedger's wasted_bytes exact when an attempt dies
+/// mid-relay: the destructor joins before the attempt returns, so the
+/// partial bytes are on the ledger the rollback measures.
+class RelayTask {
+ public:
+  RelayTask(std::vector<std::unique_ptr<DistChannel>>* channels,
+            DistributedRunResult* result, int throttle_us)
+      : channels_(channels), result_(result), throttle_us_(throttle_us) {}
+  ~RelayTask() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void Launch(std::vector<RelayFrame> frames) {
+    TPCP_CHECK(!thread_.joinable());
+    window_.Restart();
+    sent_bytes_ = 0;
+    busy_seconds_ = 0.0;
+    status_ = Status::OK();
+    fault_worker_ = kFaultNone;
+    thread_ = std::thread([this, frames = std::move(frames)]() mutable {
+      Stopwatch busy;
+      for (RelayFrame& frame : frames) {
+        for (int v : frame.deferred_to) {
+          if (throttle_us_ > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(throttle_us_));
+          }
+          const Status s = (*channels_)[static_cast<size_t>(v)]->Send(frame.msg);
+          if (!s.ok()) {
+            status_ = Annotate(v, s);
+            fault_worker_ = v;
+            busy_seconds_ = busy.ElapsedSeconds();
+            return;
+          }
+          result_->measured[static_cast<size_t>(v)].down_bytes += frame.bytes;
+          sent_bytes_ += frame.bytes;
+          if (frame.last) {
+            ++result_->measured[static_cast<size_t>(v)].down_messages;
+          }
+        }
+      }
+      busy_seconds_ = busy.ElapsedSeconds();
+    });
+  }
+
+  /// Joins the relay (called once the wave's collection is complete) and
+  /// folds its telemetry: relay time that fit inside the collection window
+  /// is time a barrier execution would have serialized — hidden_seconds.
+  Status Finish(int* fault_worker) {
+    if (!thread_.joinable()) return Status::OK();
+    const double window = window_.ElapsedSeconds();
+    thread_.join();
+    result_->hidden_seconds += std::min(busy_seconds_, window);
+    result_->overlapped_bytes += sent_bytes_;
+    if (!status_.ok()) *fault_worker = fault_worker_;
+    return status_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<DistChannel>>* channels_;
+  DistributedRunResult* result_;
+  int throttle_us_;
+  std::thread thread_;
+  Stopwatch window_;
+  uint64_t sent_bytes_ = 0;
+  double busy_seconds_ = 0.0;
+  Status status_;
+  int fault_worker_ = kFaultNone;
 };
 
 struct ListenGuard {
@@ -109,6 +195,10 @@ struct RunState {
   std::vector<WorkerTraffic> predicted;
   std::vector<uint64_t> measured_persist_bytes;
   std::vector<uint64_t> predicted_persist_bytes;
+  /// Overlap telemetry at the last checkpoint (committed attempts only,
+  /// like the ledgers; a failed attempt's hidden work is not "savings").
+  uint64_t overlapped_bytes = 0;
+  double hidden_seconds = 0.0;
 };
 
 uint64_t LedgerTotalBytes(const DistributedRunResult& result) {
@@ -125,6 +215,8 @@ void SnapshotLedger(const DistributedRunResult& result, RunState* state) {
   state->predicted = result.predicted;
   state->measured_persist_bytes = result.measured_persist_bytes;
   state->predicted_persist_bytes = result.predicted_persist_bytes;
+  state->overlapped_bytes = result.overlapped_bytes;
+  state->hidden_seconds = result.hidden_seconds;
 }
 
 void RollbackLedger(const RunState& state, DistributedRunResult* result) {
@@ -133,6 +225,8 @@ void RollbackLedger(const RunState& state, DistributedRunResult* result) {
   result->predicted = state.predicted;
   result->measured_persist_bytes = state.measured_persist_bytes;
   result->predicted_persist_bytes = state.predicted_persist_bytes;
+  result->overlapped_bytes = state.overlapped_bytes;
+  result->hidden_seconds = state.hidden_seconds;
   result->wasted_bytes += before - LedgerTotalBytes(*result);
 }
 
@@ -229,6 +323,10 @@ Status RunFleetAttempt(BlockFactorStore* factors,
   init.Set("workers", static_cast<int64_t>(fleet_size));
   init.Set("resume", options.resume_phase2);
   init.Set("hb_ms", static_cast<int64_t>(dopts.heartbeat_ms));
+  // The overlap knob travels outside EncodeOptions deliberately: it is not
+  // math-shaping (both settings are bit-identical), so it must not enter
+  // the options fingerprint workers echo back.
+  init.Set("overlap", dopts.overlap);
   init.Set("grid", EncodeGrid(factors->grid()));
   init.Set("options", EncodeOptions(options));
   for (int w = 0; w < fleet_size; ++w) {
@@ -259,6 +357,12 @@ Status RunFleetAttempt(BlockFactorStore* factors,
                               " decoded different math-shaping options "
                               "(fingerprint mismatch)");
     }
+    TPCP_ASSIGN_OR_RETURN(const int64_t own_fp, GetInt(ready, "own_fp"));
+    if (static_cast<uint64_t>(own_fp) != dplan.ownership_fingerprint()) {
+      return Status::Internal("dist worker " + std::to_string(w) +
+                              " built a different ownership map "
+                              "(fingerprint mismatch)");
+    }
     TPCP_ASSIGN_OR_RETURN(const int64_t fit_bits, GetInt(ready, "fit"));
     if (w == 0) {
       init_fit_bits = fit_bits;
@@ -281,6 +385,12 @@ Status RunFleetAttempt(BlockFactorStore* factors,
                                              : state->fit_trace.back();
   std::vector<double> fit_trace = state->fit_trace;
 
+  // Overlap pipeline state: the previous wave's deferred frames, relayed
+  // by a background thread while the fleet computes the current wave. The
+  // task object outlives each wave's thread and joins on any exit path.
+  RelayTask relay(&channels, result, dopts.relay_throttle_us);
+  std::vector<RelayFrame> deferred;
+
   for (int vi = state->committed_vi; vi < options.max_virtual_iterations;
        ++vi) {
     const int64_t vi_end = static_cast<int64_t>(vi + 1) * vi_len;
@@ -296,6 +406,15 @@ Status RunFleetAttempt(BlockFactorStore* factors,
       wave.Set("end", wave_end);
       for (int w = 0; w < fleet_size; ++w) {
         TPCP_RETURN_IF_ERROR(send(w, wave));
+      }
+      // Launch the previous wave's deferred relays *after* the wave
+      // broadcast: per-channel FIFO then guarantees every worker sees the
+      // wave message first, the deferred frames during its compute, and
+      // (after the join below) this wave's immediate frames — old frames
+      // always land before newer ones for every unit.
+      if (!deferred.empty()) {
+        relay.Launch(std::move(deferred));
+        deferred.clear();
       }
       // Collect the owners' metadata images in worker-id order — a
       // deterministic relay order, so every worker absorbs the same
@@ -350,6 +469,10 @@ Status RunFleetAttempt(BlockFactorStore* factors,
                                      " images)");
         }
       }
+      // The previous wave's deferred relays must be on the wire before
+      // this wave's immediate frames go out (per-unit old-before-new), and
+      // their fault attribution must surface here, not at the commit gate.
+      TPCP_RETURN_IF_ERROR(relay.Finish(fault_worker));
       for (RelayFrame& frame : frames) {
         frame.msg.Set("t", "absorb");
         for (int v = 0; v < fleet_size; ++v) {
@@ -358,12 +481,26 @@ Status RunFleetAttempt(BlockFactorStore* factors,
           // this image before its next refresh. The prediction applies
           // the identical rule, so measured == predicted stays exact.
           if (!dplan.ImageLiveFor(frame.pos, v)) continue;
+          // Overlap pipeline: recipients that provably do not read the
+          // image during the next wave get it relayed in the background
+          // while that wave computes.
+          if (dopts.overlap && dplan.CanDeferPast(frame.pos, v, wave_end)) {
+            frame.deferred_to.push_back(v);
+            continue;
+          }
+          if (dopts.relay_throttle_us > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(dopts.relay_throttle_us));
+          }
           TPCP_RETURN_IF_ERROR(send(v, frame.msg));
           result->measured[static_cast<size_t>(v)].down_bytes +=
               frame.bytes;
           if (frame.last) {
             ++result->measured[static_cast<size_t>(v)].down_messages;
           }
+        }
+        if (!frame.deferred_to.empty()) {
+          deferred.push_back(std::move(frame));
         }
       }
       // Commit barrier: no worker starts the next wave before every worker
@@ -388,6 +525,10 @@ Status RunFleetAttempt(BlockFactorStore* factors,
       }
       pos = wave_end;
     }
+    // CanDeferPast forbids deferral out of a virtual iteration's last
+    // wave, so the fit/persist epilogue below always starts with every
+    // image delivered and confirmed.
+    TPCP_CHECK(deferred.empty());
 
     // Virtual-iteration boundary: every worker evaluates the surrogate fit
     // over its (identical) full state; bitwise disagreement means the
@@ -488,6 +629,7 @@ Status RunFleetAttempt(BlockFactorStore* factors,
     ckpt.fit_trace = fit_trace;
     ckpt.options_fingerprint = options.ResumeFingerprint();
     ckpt.plan_fingerprint = plan.fingerprint();
+    ckpt.ownership_fingerprint = dplan.ownership_fingerprint();
     TPCP_RETURN_IF_ERROR(RetryWithBackoff(
         RetryPolicy(), "dist: write checkpoint manifest", [&]() {
           return WriteManifest(factors->env(), factors->prefix(),
@@ -603,6 +745,16 @@ Status RunDistributedPhase2(BlockFactorStore* factors,
             "checkpoint predates the execution planner and can only "
             "resume under the identity plan; resume with the planner "
             "knobs off");
+      }
+      if (ckpt.ownership_fingerprint != 0) {
+        const DistributedPlan resume_dplan(&plan, options.rank, num_workers);
+        if (ckpt.ownership_fingerprint !=
+            resume_dplan.ownership_fingerprint()) {
+          return Status::FailedPrecondition(
+              "checkpoint was cut under a different ownership map (fleet "
+              "size or unit weights differ); resume with the original "
+              "--workers, or finish single-process");
+        }
       }
       state.pos = ckpt.cursor;
       state.start_vi = ckpt.iteration;

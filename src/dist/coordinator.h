@@ -12,6 +12,17 @@
 //  - Drives the wave loop: broadcasts each conflict-free wave, collects
 //    the owners' metadata images (in worker-id order), relays them to
 //    every non-owner, and barriers on wave_commit/wave_ack.
+//  - Overlap pipeline (DistributedRunOptions::overlap): relays whose
+//    recipients provably do not read the image during the next wave
+//    (DistributedPlan::CanDeferPast — the planner's liveness analysis
+//    applied across one wave boundary) are deferred and sent by a
+//    background relay thread *while the next wave computes*; the rest are
+//    sent immediately as before. Deferred frames are confirmed absorbed at
+//    the next wave's commit barrier and never cross a virtual-iteration
+//    boundary, so every commit/checkpoint cut sees the identical metadata
+//    state and the identical ledger as barrier execution — the pipeline is
+//    bit-identical by construction and only the wall-clock shrinks. The
+//    hidden relay work is reported as overlapped_bytes / hidden_seconds.
 //  - At each virtual-iteration boundary collects every worker's surrogate
 //    fit and requires them bitwise equal (a divergence is an Internal
 //    error, never silently averaged), then applies the engine's exact
@@ -65,8 +76,10 @@ namespace tpcp {
 
 /// How RunDistributedPhase2 forms its worker fleet.
 struct DistributedRunOptions {
-  /// Worker processes (>= 1). Ownership: worker w runs the steps whose
-  /// unit has part % num_workers == w.
+  /// Worker processes (>= 1). Ownership: the weighted DistributedPlan
+  /// map — units assigned heaviest-first to the least-loaded worker,
+  /// identical on coordinator and workers, fingerprint-validated at hello
+  /// and on checkpoint resume.
   int num_workers = 2;
   /// Coordinator listen port (0 = ephemeral).
   int listen_port = 0;
@@ -93,6 +106,19 @@ struct DistributedRunOptions {
   DegradeMode degrade = DegradeMode::kShrink;
   /// Operator-visible recovery lines ("dist: worker 1 failed …"). Optional.
   std::function<void(const std::string&)> log;
+
+  /// Overlapped exchange/compute pipeline: defer the relays
+  /// CanDeferPast proves safe into the next wave's compute window
+  /// (coordinator relay thread + worker absorb-while-compute). Off runs
+  /// the strict per-wave barrier. Not a math-shaping option — both
+  /// settings produce bit-identical factors, fit traces, checkpoints, and
+  /// ledgers — so it is deliberately excluded from ResumeFingerprint.
+  bool overlap = false;
+  /// Test/bench-only simulated link throttle: the coordinator sleeps this
+  /// long per relayed absorb frame (immediate and deferred alike), so a
+  /// slow link's serialization cost is paid identically in both modes and
+  /// the pipeline's hiding becomes measurable on loopback. 0 = off.
+  int relay_throttle_us = 0;
 };
 
 /// Outcome of a distributed run: the engine-equivalent Phase-2 result plus
@@ -128,6 +154,15 @@ struct DistributedRunResult {
   int final_workers = 0;
   bool finished_single_process = false;
   uint64_t wasted_bytes = 0;
+
+  /// Overlap telemetry (committed attempts only, like the ledgers).
+  /// Logical bytes relayed by the background thread inside compute
+  /// windows; a subset of the measured down_bytes, which stay exact.
+  uint64_t overlapped_bytes = 0;
+  /// Wall-clock seconds of background relay work that finished before the
+  /// wave's collection did — time a barrier execution would have appended
+  /// to the critical path.
+  double hidden_seconds = 0.0;
 };
 
 /// Runs Phase 2 of the decomposition in `factors` across

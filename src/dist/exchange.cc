@@ -366,16 +366,18 @@ Status DistChannel::RecvRaw(JsonValue* message) {
 
 int DistChannel::ReleaseFd() {
   std::lock_guard<std::mutex> lock(send_mu_);
-  const int fd = fd_;
-  fd_ = -1;
-  return fd;
+  return fd_.exchange(-1);
 }
 
 void DistChannel::CloseFd() {
   std::lock_guard<std::mutex> lock(send_mu_);
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // A close() alone does not interrupt a recv() blocked on another
+    // thread (the overlap pipeline's compute thread closes the channel to
+    // abort the protocol loop); shutdown() wakes it with EOF first.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -20,6 +20,7 @@
 #ifndef TPCP_DIST_EXCHANGE_H_
 #define TPCP_DIST_EXCHANGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -107,7 +108,10 @@ class DistChannel {
   void CloseFd();
 
  private:
-  int fd_;
+  /// Atomic: under the overlap pipeline a worker's compute thread calls
+  /// Close() to abort a Recv blocked on the protocol thread, so the fd is
+  /// read and invalidated concurrently.
+  std::atomic<int> fd_;
   int io_timeout_ms_ = -1;
   std::mutex send_mu_;
   FrameDecoder decoder_;

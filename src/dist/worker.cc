@@ -18,6 +18,7 @@
 #include "schedule/planner.h"
 #include "storage/overlay_env.h"
 #include "storage/retry_env.h"
+#include "util/logging.h"
 #include "util/retry.h"
 
 namespace tpcp {
@@ -110,9 +111,12 @@ class AbsorbBuffer {
  public:
   /// `completed` collects the plan positions whose images finished
   /// installing — the worker's absorb-completeness gate reads it at the
-  /// wave commit barrier.
+  /// wave commit barrier. `state_mu` (overlap pipeline only, may be null)
+  /// serializes the install against a concurrently computing wave; frame
+  /// decode stays outside the lock, so absorbs and compute overlap on the
+  /// expensive part.
   Status Add(RefinementState* state, const JsonValue& msg,
-             std::set<int64_t>* completed) {
+             std::set<int64_t>* completed, std::mutex* state_mu = nullptr) {
     TPCP_ASSIGN_OR_RETURN(const int64_t mode, GetInt(msg, "mode"));
     TPCP_ASSIGN_OR_RETURN(const int64_t part, GetInt(msg, "part"));
     TPCP_ASSIGN_OR_RETURN(const int64_t pos, GetInt(msg, "pos"));
@@ -139,7 +143,12 @@ class AbsorbBuffer {
     }
     if (!last) return Status::OK();
     const ModePartition unit{static_cast<int>(mode), part};
-    const Status s = state->AbsorbExchange(unit, image);
+    Status s;
+    {
+      std::unique_lock<std::mutex> lock;
+      if (state_mu != nullptr) lock = std::unique_lock<std::mutex>(*state_mu);
+      s = state->AbsorbExchange(unit, image);
+    }
     pending_.erase(pos);
     if (s.ok()) completed->insert(pos);
     return s;
@@ -208,6 +217,11 @@ Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
   TPCP_ASSIGN_OR_RETURN(const TwoPhaseCpOptions options,
                         DecodeOptions(*options_json));
   TPCP_ASSIGN_OR_RETURN(const int64_t hb_ms, GetIntOr(init, "hb_ms", 0));
+  // Overlap is an execution-shape knob (absorb-while-compute), never a
+  // math-shaping one, so it rides alongside EncodeOptions instead of
+  // inside it and stays out of ResumeFingerprint.
+  TPCP_ASSIGN_OR_RETURN(const bool overlap,
+                        GetBoolOr(init, "overlap", false));
 
   // From init on, heartbeat so the coordinator's quiet-period deadline
   // never fires while this worker computes; mirror a (generous) deadline
@@ -266,14 +280,67 @@ Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
   ready.Set("t", "ready");
   ready.Set("plan_fp", static_cast<int64_t>(plan.fingerprint()));
   ready.Set("opts_fp", static_cast<int64_t>(options.ResumeFingerprint()));
+  ready.Set("own_fp",
+            static_cast<int64_t>(dplan.ownership_fingerprint()));
   ready.Set("fit", DoubleBits(state.SurrogateFit()));
   TPCP_RETURN_IF_ERROR(channel->Send(ready));
 
   AbsorbBuffer absorbs;
   std::set<ModePartition> pending_persist;
   std::set<int64_t> absorbed;
+  // Positions whose absorbs CanDeferPast proved safe to slide into the
+  // next wave (overlap pipeline); they are owed at that wave's commit.
+  std::set<int64_t> deferred_expected;
   int64_t wave_begin = 0;
   int64_t wave_end = 0;
+
+  // Overlap pipeline state. The compute thread runs one wave's owned
+  // steps (pool access + update + exchange upload) while the main thread
+  // keeps receiving — installing the previous wave's deferred absorbs as
+  // the relay thread streams them. state_mu serializes RefinementState
+  // and pool mutation between the two; the deferral proof guarantees the
+  // interleavings are semantically disjoint (an absorbed unit is never
+  // one this wave reads or refreshes), so the lock is purely for memory
+  // ordering. Declared after state/pool/channel so its destructor joins
+  // the thread before any of them die on an error path.
+  std::mutex state_mu;
+  struct ComputeTask {
+    std::thread thread;
+    Status status;
+    ~ComputeTask() {
+      if (thread.joinable()) thread.join();
+    }
+  } compute;
+
+  // One wave's owned steps plus the trailing wave_done. `synchronized`
+  // (overlap) takes state_mu around pool/state mutation and keeps the
+  // wire encode outside it so absorb installs interleave with uploads.
+  const auto run_owned_steps = [&](int64_t begin, int64_t end,
+                                   bool synchronized) -> Status {
+    for (int64_t pos = begin; pos < end; ++pos) {
+      if (dplan.OwnerAt(pos) != worker_id) continue;
+      if (hooks.crash_at_step == pos) {
+        channel->Close();
+        return Status::Internal("dist worker crash hook at step " +
+                                std::to_string(pos));
+      }
+      const ModePartition unit = plan.UnitAt(pos);
+      RefinementState::ExchangeImage image;
+      {
+        std::unique_lock<std::mutex> lock(state_mu, std::defer_lock);
+        if (synchronized) lock.lock();
+        TPCP_RETURN_IF_ERROR(pool.Access(unit, pos));
+        state.ApplyUpdate(plan.StepAt(pos), plan.ShardBlocksAt(pos));
+        image = state.ExportExchange(unit);
+      }
+      pool.MarkDirty(unit);
+      pending_persist.insert(unit);
+      TPCP_RETURN_IF_ERROR(SendExchange(channel.get(), pos, unit, image));
+    }
+    JsonValue done = JsonValue::Object();
+    done.Set("t", "wave_done");
+    return channel->Send(done);
+  };
 
   for (;;) {
     JsonValue msg;
@@ -285,37 +352,60 @@ Status ServeDistWorker(Env* base_env, const std::string& factor_prefix,
       TPCP_ASSIGN_OR_RETURN(const int64_t end, GetInt(msg, "end"));
       wave_begin = begin;
       wave_end = end;
+      // Safe under overlap too: channels are FIFO and the coordinator
+      // launches the deferred relay only after this wave's broadcast, so
+      // every deferred absorb of the previous wave arrives after this
+      // clear and before this wave's commit gate reads the set.
       absorbed.clear();
-      for (int64_t pos = begin; pos < end; ++pos) {
-        if (dplan.OwnerAt(pos) != worker_id) continue;
-        if (hooks.crash_at_step == pos) {
-          channel->Close();
-          return Status::Internal("dist worker crash hook at step " +
-                                  std::to_string(pos));
-        }
-        const ModePartition unit = plan.UnitAt(pos);
-        TPCP_RETURN_IF_ERROR(pool.Access(unit, pos));
-        state.ApplyUpdate(plan.StepAt(pos), plan.ShardBlocksAt(pos));
-        pool.MarkDirty(unit);
-        pending_persist.insert(unit);
-        TPCP_RETURN_IF_ERROR(SendExchange(channel.get(), pos, unit,
-                                          state.ExportExchange(unit)));
+      if (overlap) {
+        TPCP_CHECK(!compute.thread.joinable());
+        compute.status = Status::OK();
+        compute.thread = std::thread([&, begin, end] {
+          const Status s = run_owned_steps(begin, end,
+                                           /*synchronized=*/true);
+          if (!s.ok()) {
+            compute.status = s;
+            // Unblock the main Recv loop; the error surfaces at the
+            // commit-barrier join (or as the Recv failure it caused).
+            channel->Close();
+          }
+        });
+      } else {
+        TPCP_RETURN_IF_ERROR(run_owned_steps(begin, end,
+                                             /*synchronized=*/false));
       }
-      JsonValue done = JsonValue::Object();
-      done.Set("t", "wave_done");
-      TPCP_RETURN_IF_ERROR(channel->Send(done));
     } else if (tag == "absorb") {
-      TPCP_RETURN_IF_ERROR(absorbs.Add(&state, msg, &absorbed));
+      TPCP_RETURN_IF_ERROR(absorbs.Add(&state, msg, &absorbed,
+                                       overlap ? &state_mu : nullptr));
     } else if (tag == "wave_commit") {
+      if (compute.thread.joinable()) {
+        compute.thread.join();
+        TPCP_RETURN_IF_ERROR(compute.status);
+      }
       // Absorb-completeness gate: by the commit barrier this worker must
       // hold every live image of the wave it does not own
       // (DistributedPlan::ImageLiveFor — the same pruning rule the relay
-      // applies). A gap means the channel dropped an absorb; dying here
-      // turns silent data loss into a coordinator-visible worker fault
-      // the supervisor can recover from.
+      // applies) except those CanDeferPast lets ride one more wave; plus
+      // everything deferred out of the previous wave, which the relay
+      // streamed during this one. A gap means the channel dropped an
+      // absorb; dying here turns silent data loss into a
+      // coordinator-visible worker fault the supervisor can recover from.
+      for (const int64_t pos : deferred_expected) {
+        if (absorbed.count(pos) == 0) {
+          channel->Close();
+          return Status::IOError(
+              "dist worker: deferred absorb missing for plan position " +
+              std::to_string(pos));
+        }
+      }
+      deferred_expected.clear();
       for (int64_t pos = wave_begin; pos < wave_end; ++pos) {
         if (dplan.OwnerAt(pos) == worker_id) continue;
         if (!dplan.ImageLiveFor(pos, worker_id)) continue;
+        if (overlap && dplan.CanDeferPast(pos, worker_id, wave_end)) {
+          deferred_expected.insert(pos);
+          continue;
+        }
         if (absorbed.count(pos) == 0) {
           channel->Close();
           return Status::IOError(

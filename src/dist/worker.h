@@ -1,14 +1,25 @@
 // Distributed Phase-2 worker (the follower side of dist/coordinator.h).
 //
-// A worker owns the data units with part % num_workers == worker_id and
-// executes exactly their plan positions, serially in plan order, through
-// the same RefinementState / BufferPool machinery as the single-process
-// engine. Everything else it needs — the other owners' metadata refreshes
-// (G, slab M) — arrives from the coordinator after each wave; within a
-// conflict-free wave those images touch disjoint metadata no owned step
-// reads, so executing owned steps against pre-wave metadata and absorbing
-// the rest afterwards is bit-identical to the engine executing the whole
-// wave.
+// A worker owns the data units the weighted DistributedPlan ownership map
+// assigns to worker_id (heaviest units first onto the least-loaded
+// worker; schedule/planner.h) and executes exactly their plan positions,
+// serially in plan order, through the same RefinementState / BufferPool
+// machinery as the single-process engine. Everything else it needs — the
+// other owners' metadata refreshes (G, slab M) — arrives from the
+// coordinator after each wave; within a conflict-free wave those images
+// touch disjoint metadata no owned step reads, so executing owned steps
+// against pre-wave metadata and absorbing the rest afterwards is
+// bit-identical to the engine executing the whole wave.
+//
+// Overlap pipeline (init's "overlap" flag): each wave's owned steps run
+// on a compute thread while the protocol thread keeps receiving, so the
+// previous wave's *deferred* absorbs — the ones
+// DistributedPlan::CanDeferPast proves no owned step reads before the
+// next commit — install concurrently with compute. The commit gate then
+// demands the deferred set of the previous wave plus every non-deferrable
+// live image of this one, which keeps the metadata state at every commit
+// identical to barrier execution (and deferral never crosses a
+// virtual-iteration boundary, so fits and checkpoints match bit-for-bit).
 //
 // The worker's buffer pool runs against a private in-memory overlay of the
 // shared factor store (storage/overlay_env.h): evicted dirty sub-factors
@@ -21,18 +32,21 @@
 //
 //   worker -> coord   {"t":"hello","worker":W}
 //   coord -> worker   {"t":"init","workers":N,"resume":B,"hb_ms":H,
-//                      "grid":…,"options":…}
+//                      "overlap":B,"grid":…,"options":…}
 //   worker -> coord   {"t":"hb"}   (every H ms from init on; carries no
 //                     protocol state — the coordinator skips it — and only
 //                     keeps the channel's quiet-period deadline from
 //                     firing while the worker computes)
-//   worker -> coord   {"t":"ready","plan_fp":i64,"opts_fp":i64,"fit":bits}
+//   worker -> coord   {"t":"ready","plan_fp":i64,"opts_fp":i64,
+//                      "own_fp":i64,"fit":bits}
 //   coord -> worker   {"t":"wave","pos":P,"end":E}
 //   worker -> coord   {"t":"xchg","pos":i,"mode":m,"part":p,
 //                      "g":mat?,"m":[[flat,mat],…],"last":B}   (per owned
 //                      step, chunked under the frame ceiling)
 //   worker -> coord   {"t":"wave_done"}
-//   coord -> worker   {"t":"absorb",… same fields as xchg …}   (relayed)
+//   coord -> worker   {"t":"absorb",… same fields as xchg …}   (relayed;
+//                     under overlap, deferred images of wave w arrive
+//                     during wave w+1 and are owed at its commit)
 //   coord -> worker   {"t":"wave_commit"}
 //   worker -> coord   {"t":"wave_ack"}
 //   coord -> worker   {"t":"vi_end"}

@@ -29,6 +29,7 @@ std::string StoreManifest::Serialize() const {
     out << "ckpt_cursor " << checkpoint->cursor << "\n";
     out << "ckpt_fingerprint " << checkpoint->options_fingerprint << "\n";
     out << "ckpt_plan " << checkpoint->plan_fingerprint << "\n";
+    out << "ckpt_ownership " << checkpoint->ownership_fingerprint << "\n";
     out << "ckpt_fit";
     out.precision(17);  // bit-exact double round trip
     for (double fit : checkpoint->fit_trace) out << " " << fit;
@@ -107,6 +108,11 @@ Result<StoreManifest> StoreManifest::Parse(const std::string& bytes) {
     } else if (version >= 3 && key == "ckpt_plan") {
       if (!(in >> ckpt.plan_fingerprint)) {
         return Status::Corruption("manifest ckpt_plan is malformed");
+      }
+      has_ckpt = true;
+    } else if (version >= 5 && key == "ckpt_ownership") {
+      if (!(in >> ckpt.ownership_fingerprint)) {
+        return Status::Corruption("manifest ckpt_ownership is malformed");
       }
       has_ckpt = true;
     } else if (version >= 2 && key == "ckpt_fit") {

@@ -5,7 +5,7 @@
 // consumers open it by name instead of reverse-engineering shape and grid
 // from block filenames:
 //
-//   tpcp-manifest 4
+//   tpcp-manifest 5
 //   kind tensor            (or: factors)
 //   shape 60 60 60
 //   parts 2 2 2
@@ -20,11 +20,14 @@
 //   ckpt_iteration 3       (completed virtual iterations)
 //   ckpt_cursor 57         (next schedule position to execute)
 //   ckpt_plan 1234567      (execution-plan fingerprint, v3; 0 = absent)
+//   ckpt_ownership 7654321  (dist ownership-map fingerprint, v5; 0 =
+//                            single-process / not recorded)
 //   ckpt_fit 0.81 0.86 0.88   (surrogate fit trace, one per iteration)
 //
 // Version 1 manifests (no checkpoint vocabulary), version 2 manifests
-// (no ckpt_plan), and version 3 manifests (no format key) parse
-// unchanged; an absent format key means dense.
+// (no ckpt_plan), version 3 manifests (no format key), and version 4
+// manifests (no ckpt_ownership) parse unchanged; an absent format key
+// means dense.
 // BlockTensorStore::Open prefers the manifest and falls back to the legacy
 // block-filename scan (ScanTensorGeometry) for stores written before
 // manifests existed.
@@ -66,11 +69,18 @@ struct Phase2Checkpoint {
   /// flipped the certification outcome) is rejected instead of replaying
   /// the cursor against a different order (0: not recorded / pre-planner).
   uint64_t plan_fingerprint = 0;
+  /// DistributedPlan::ownership_fingerprint() of the fleet that wrote the
+  /// checkpoint (0: single-process run / not recorded). A distributed
+  /// resume under a different ownership map (changed fleet size or unit
+  /// weights) is rejected — it would re-price the wire ledger mid-run.
+  /// The single-process engine ignores the field, which is what keeps the
+  /// degrade-to-single-process floor able to finish any dist checkpoint.
+  uint64_t ownership_fingerprint = 0;
 };
 
 /// Geometry descriptor persisted per store.
 struct StoreManifest {
-  static constexpr int kVersion = 4;
+  static constexpr int kVersion = 5;
   static constexpr const char* kTensorKind = "tensor";
   static constexpr const char* kFactorsKind = "factors";
 

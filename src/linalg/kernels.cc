@@ -228,6 +228,23 @@ void HadamardKernel(double* a, const double* b, int64_t n,
   int64_t i = 0;
   if (simd::kEnabled && variant == KernelVariant::kSimd) {
     constexpr int64_t kW = simd::kWidth;
+    // This loop is pure streaming bandwidth; a single vector per
+    // iteration leaves load ports idle behind the store, so issue four
+    // independent lane groups per trip (element-wise multiply — the
+    // unroll order cannot change any result bit).
+    for (; i + 4 * kW <= n; i += 4 * kW) {
+      const simd::VecD r0 = simd::Mul(simd::Load(a + i), simd::Load(b + i));
+      const simd::VecD r1 =
+          simd::Mul(simd::Load(a + i + kW), simd::Load(b + i + kW));
+      const simd::VecD r2 =
+          simd::Mul(simd::Load(a + i + 2 * kW), simd::Load(b + i + 2 * kW));
+      const simd::VecD r3 =
+          simd::Mul(simd::Load(a + i + 3 * kW), simd::Load(b + i + 3 * kW));
+      simd::Store(a + i, r0);
+      simd::Store(a + i + kW, r1);
+      simd::Store(a + i + 2 * kW, r2);
+      simd::Store(a + i + 3 * kW, r3);
+    }
     for (; i + kW <= n; i += kW) {
       simd::Store(a + i, simd::Mul(simd::Load(a + i), simd::Load(b + i)));
     }

@@ -29,6 +29,65 @@ DistributedPlan::DistributedPlan(const ExecutionPlan* plan, int64_t rank,
         gram_bytes *
         (1 + static_cast<uint64_t>(catalog_.SlabBlocks(mode))));
   }
+  // Weighted ownership: assign units heaviest-first to the least-loaded
+  // worker, weighting each unit by the work it induces per cycle — its
+  // step count times its slab+factor bytes. Deterministic tie-breaks
+  // (weight desc, mode asc, part asc; lowest worker id) let coordinator
+  // and workers rebuild the identical map from (plan, rank, N). Must run
+  // before the liveness pass below: reader_mask_ is ownership-derived.
+  const GridPartition& grid = plan_->schedule().grid();
+  const int num_modes = grid.num_modes();
+  owner_offset_.assign(static_cast<size_t>(num_modes) + 1, 0);
+  for (int m = 0; m < num_modes; ++m) {
+    owner_offset_[static_cast<size_t>(m) + 1] =
+        owner_offset_[static_cast<size_t>(m)] + grid.parts(m);
+  }
+  owner_.assign(static_cast<size_t>(owner_offset_.back()), 0);
+  std::vector<uint64_t> occurrences(owner_.size(), 0);
+  for (int64_t pos = 0; pos < cycle; ++pos) {
+    ++occurrences[static_cast<size_t>(UnitIndex(plan_->UnitAt(pos)))];
+  }
+  struct WeightedUnit {
+    uint64_t weight;
+    ModePartition unit;
+  };
+  std::vector<WeightedUnit> units;
+  units.reserve(owner_.size());
+  for (const ModePartition& unit : catalog_.AllUnits()) {
+    const uint64_t weight =
+        occurrences[static_cast<size_t>(UnitIndex(unit))] *
+        catalog_.UnitBytes(unit);
+    units.push_back({weight, unit});
+  }
+  std::sort(units.begin(), units.end(),
+            [](const WeightedUnit& a, const WeightedUnit& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.unit.mode != b.unit.mode) return a.unit.mode < b.unit.mode;
+              return a.unit.part < b.unit.part;
+            });
+  std::vector<uint64_t> load(static_cast<size_t>(num_workers_), 0);
+  for (const WeightedUnit& wu : units) {
+    int lightest = 0;
+    for (int w = 1; w < num_workers_; ++w) {
+      if (load[static_cast<size_t>(w)] < load[static_cast<size_t>(lightest)]) {
+        lightest = w;
+      }
+    }
+    owner_[static_cast<size_t>(UnitIndex(wu.unit))] = lightest;
+    load[static_cast<size_t>(lightest)] += wu.weight;
+  }
+  // FNV-1a over (num_workers, owners in mode-major order). The or-1 keeps
+  // 0 free to mean "not recorded" in checkpoints.
+  uint64_t fp = 1469598103934665603ull;
+  auto mix = [&fp](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      fp ^= (v >> (8 * b)) & 0xff;
+      fp *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(num_workers_));
+  for (int owner : owner_) mix(static_cast<uint64_t>(owner));
+  ownership_fingerprint_ = fp | 1ull;
   // Liveness precomputation. Both the refresh distance and the set of
   // cross-mode readers inside the window are relative to the position, so
   // they are cycle-periodic even when vi_len does not divide the cycle
@@ -60,6 +119,32 @@ bool DistributedPlan::ImageLiveFor(int64_t pos, int worker) const {
   const int64_t vi_len = plan_->virtual_iteration_length();
   if (next / vi_len > pos / vi_len) return true;
   return (reader_mask_[cycle_pos] >> worker) & 1u;
+}
+
+bool DistributedPlan::CanDeferPast(int64_t pos, int worker,
+                                   int64_t wave_end) const {
+  const int64_t vi_len = plan_->virtual_iteration_length();
+  // A wave that ends its virtual iteration is followed by the fit/persist
+  // epilogue, which reads the complete metadata state: nothing live may be
+  // deferred past it.
+  if (wave_end % vi_len == 0) return false;
+  // The next wave, exactly as the executor will clip it.
+  const int64_t vi_end = (wave_end / vi_len + 1) * vi_len;
+  const int64_t next_end = std::min(plan_->WaveEndAfter(wave_end), vi_end);
+  const ModePartition unit = plan_->UnitAt(pos);
+  if (plan_->StepAt(wave_end).mode == unit.mode) {
+    // Same-mode steps never read mode-i metadata; the only hazard is the
+    // image's own unit refreshing in the next wave, which would order the
+    // stale deferred frame after the refresh's frame.
+    const size_t cycle_pos =
+        static_cast<size_t>(pos % plan_->cycle_length());
+    return pos + next_refresh_delta_[cycle_pos] >= next_end;
+  }
+  // Cross-mode next wave: every step `worker` owns there reads the image.
+  for (int64_t q = wave_end; q < next_end; ++q) {
+    if (OwnerAt(q) == worker) return false;
+  }
+  return true;
 }
 
 uint64_t DistributedPlan::StepExchangeBytes(int64_t pos) const {

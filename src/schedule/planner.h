@@ -115,8 +115,21 @@ struct WorkerTraffic {
 };
 
 /// The distribution layer over one ExecutionPlan: a deterministic, disjoint
-/// ownership map (worker = partition mod N, so every worker owns units of
-/// every mode) plus the exchange-message schedule it implies.
+/// and exhaustive ownership map plus the exchange-message schedule it
+/// implies.
+///
+/// Ownership is *weighted*: each data unit's weight is its per-cycle step
+/// count times its slab+factor bytes (the worker-local work and I/O the
+/// unit induces), and units are assigned greedily — heaviest first — to the
+/// least-loaded worker (longest-processing-time balance). Ties break
+/// deterministically (weight desc, then mode asc, part asc; least-loaded
+/// worker, lowest id first), so coordinator and workers rebuild the exact
+/// same map from (plan, rank, N) independently. On uniform grids this
+/// degenerates to round-robin; on skewed grids it keeps one giant
+/// partition from pacing the fleet. The map is a fingerprinted plan
+/// property (ownership_fingerprint) validated at worker hello and on
+/// checkpoint resume — a resume under a different map would re-price the
+/// ledger and break the measured==predicted invariant silently.
 ///
 /// The dist executor's contract falls out of the update's data flow: a step
 /// on ⟨i,ki⟩ writes its own A and U-slab (bulk data only its owner ever
@@ -136,12 +149,18 @@ class DistributedPlan {
   int num_workers() const { return num_workers_; }
   const ExecutionPlan& plan() const { return *plan_; }
 
-  /// Owner of a data unit: round-robin over partitions within each mode.
+  /// Owner of a data unit under the weighted ownership map.
   int OwnerOf(const ModePartition& unit) const {
-    return static_cast<int>(unit.part % num_workers_);
+    return owner_[static_cast<size_t>(UnitIndex(unit))];
   }
   /// Owner of the step at plan position `pos`.
   int OwnerAt(int64_t pos) const { return OwnerOf(plan_->UnitAt(pos)); }
+
+  /// FNV-1a hash over (num_workers, every unit's owner in mode-major
+  /// order). Workers echo it in their ready message and checkpoints record
+  /// it, so a fleet or resume under a different map is rejected instead of
+  /// silently re-pricing the ledger. Never 0 (0 means "not recorded").
+  uint64_t ownership_fingerprint() const { return ownership_fingerprint_; }
 
   /// Logical bytes of the metadata image the step at `pos` publishes:
   /// G (F×F) plus one M (F×F) per slab block of the step's mode.
@@ -171,6 +190,28 @@ class DistributedPlan {
   /// slab block per cycle.
   bool ImageLiveFor(int64_t pos, int worker) const;
 
+  /// Overlap-pipeline deferral: may the relay of the (live) image published
+  /// at `pos` — inside the wave ending at `wave_end` — be pushed into the
+  /// *next* wave's compute window without changing `worker`'s inputs?
+  /// Deferred frames are delivered while the next wave computes and are
+  /// confirmed absorbed at that wave's commit barrier, so deferral is safe
+  /// exactly when nothing in the next wave reads the image:
+  ///
+  ///  - never across a virtual-iteration boundary (`wave_end` ends its vi):
+  ///    the fit/persist epilogue that follows reads the complete metadata
+  ///    state, and any live image there is fit-live;
+  ///  - next wave of the *same* mode: same-mode steps never read mode-i
+  ///    metadata, so deferral is safe unless the image's own unit refreshes
+  ///    in that wave (the stale deferred frame must not be relayed after
+  ///    the refresh's frame);
+  ///  - next wave of a *different* mode: safe only when `worker` owns no
+  ///    step there (every cross-mode step reads the image).
+  ///
+  /// Coordinator and workers evaluate this identically, which is what makes
+  /// the pipelined commit gate (and hence the run) bit-identical to barrier
+  /// execution.
+  bool CanDeferPast(int64_t pos, int worker, int64_t wave_end) const;
+
   /// Metadata exchange traffic of `worker` over plan positions
   /// [begin, end): one upload per owned step, one download per non-owned
   /// step whose image is live for this worker (ImageLiveFor). Persist
@@ -185,9 +226,19 @@ class DistributedPlan {
   std::string Summary() const;
 
  private:
+  /// Flat index of `unit` in mode-major (mode, part) order.
+  int64_t UnitIndex(const ModePartition& unit) const {
+    return owner_offset_[static_cast<size_t>(unit.mode)] + unit.part;
+  }
+
   const ExecutionPlan* plan_;
   UnitCatalog catalog_;
   int num_workers_;
+  /// Per-mode offsets into owner_ (mode-major unit indexing).
+  std::vector<int64_t> owner_offset_;
+  /// Owner of every unit, mode-major.
+  std::vector<int> owner_;
+  uint64_t ownership_fingerprint_ = 0;
   /// Metadata-image bytes per cycle position (cycle-periodic).
   std::vector<uint64_t> step_bytes_;
   /// Steps until the unit updated at each cycle position is next updated

@@ -1,9 +1,11 @@
 // The network-aware cluster cost model behind `tpcp_tool plan --workers`
 // and the dist executor's accounting contract:
 //
-//   * DistributedPlan's ownership map is a disjoint, exhaustive partition
-//     of the data units, and its per-step exchange bytes follow the
-//     metadata-image formula rank²·8·(1 + slab blocks) exactly,
+//   * DistributedPlan's weighted ownership map is a disjoint, exhaustive
+//     partition of the data units that balances per-cycle step work even
+//     on skewed grids (heaviest unit first onto the least-loaded worker),
+//     and its per-step exchange bytes follow the metadata-image formula
+//     rank²·8·(1 + slab blocks) exactly,
 //   * TrafficForRange / PersistBytesForRange do the arithmetic the
 //     coordinator's measured counters are later compared against, checked
 //     here on hand-built 2- and 3-worker plans,
@@ -52,8 +54,9 @@ TEST(DistributedPlanTest, OwnershipIsADisjointExhaustivePartition) {
     // Disjoint by construction (each unit maps to exactly one owner);
     // exhaustive because every unit landed somewhere.
     EXPECT_EQ(total, catalog.AllUnits().size());
-    // part % workers: every worker owns units of every mode when there
-    // are at least as many partitions as workers.
+    // Equal-weight units deal out round-robin-like: every worker owns
+    // units of every mode when there are at least as many partitions as
+    // workers.
     if (workers <= 4) {
       for (int w = 0; w < workers; ++w) {
         std::set<int> modes;
@@ -130,16 +133,16 @@ TEST(DistributedPlanTest, TwoWorkerTrafficAccountsEveryStepExactlyOnce) {
 }
 
 TEST(DistributedPlanTest, ThreeWorkerTrafficMatchesHandCounts) {
-  // 4 partitions over 3 workers: worker 0 owns parts {0,3}, workers 1 and
-  // 2 own one part each per mode — deliberately asymmetric.
+  // 12 equal-weight units over 3 workers: the weighted map deals them
+  // 4/4/4 (part % 3 would have left worker 0 with 6 of 12).
   const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
   const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kModeCentric);
   const DistributedPlan dplan(&plan, kRank, 3);
   const int64_t cycle = plan.cycle_length();
 
-  // Hand count per worker: walk the cycle once with the ownership rule
-  // part % 3 and the byte formula, independently of TrafficForRange's
-  // own loop.
+  // Hand count per worker: walk the cycle once with the published
+  // ownership map (OwnerOf) and the byte formula, independently of
+  // TrafficForRange's own loop — this pins the *accounting*, not the map.
   const UnitCatalog catalog(grid, kRank);
   const uint64_t gram = kRank * kRank * sizeof(double);
   std::vector<WorkerTraffic> expected(3);
@@ -148,7 +151,7 @@ TEST(DistributedPlanTest, ThreeWorkerTrafficMatchesHandCounts) {
     const uint64_t bytes =
         gram * (1 + static_cast<uint64_t>(catalog.SlabBlocks(unit.mode)));
     for (int w = 0; w < 3; ++w) {
-      if (unit.part % 3 == w) {
+      if (dplan.OwnerOf(unit) == w) {
         expected[w].up_bytes += bytes;
         ++expected[w].up_messages;
       } else {
@@ -165,9 +168,86 @@ TEST(DistributedPlanTest, ThreeWorkerTrafficMatchesHandCounts) {
     EXPECT_EQ(traffic.down_messages, expected[w].down_messages)
         << "worker " << w;
   }
-  // Worker 0 owns two partitions per mode, so it uploads twice as much.
+  // Equal-weight units balance perfectly even though 3 does not divide 4
+  // per mode: every worker uploads the same volume.
   EXPECT_EQ(dplan.TrafficForRange(0, 0, cycle).up_bytes,
-            2 * dplan.TrafficForRange(1, 0, cycle).up_bytes);
+            dplan.TrafficForRange(1, 0, cycle).up_bytes);
+  EXPECT_EQ(dplan.TrafficForRange(1, 0, cycle).up_bytes,
+            dplan.TrafficForRange(2, 0, cycle).up_bytes);
+}
+
+TEST(DistributedPlanTest, WeightedOwnershipBalancesSkewedGrids) {
+  // Deliberately skewed store: mode 0 is one giant unit, modes 1 and 2
+  // are split four ways. part % N would dump every mode-0 step *and*
+  // every part-0 step onto worker 0.
+  auto grid =
+      GridPartition::Create(Shape({40, 24, 24}), {1, 4, 4});
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  const ExecutionPlan plan = BuildPlan(*grid, ScheduleType::kModeCentric);
+  const UnitCatalog catalog(*grid, kRank);
+
+  for (const int workers : {2, 3}) {
+    const DistributedPlan dplan(&plan, kRank, workers);
+
+    // Disjoint and exhaustive on the skewed catalog.
+    std::vector<uint64_t> weighted_load(static_cast<size_t>(workers), 0);
+    std::vector<uint64_t> modulo_load(static_cast<size_t>(workers), 0);
+    size_t assigned = 0;
+    std::vector<int64_t> occurrences_by_unit;
+    for (const ModePartition& unit : catalog.AllUnits()) {
+      const int owner = dplan.OwnerOf(unit);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, workers);
+      ++assigned;
+      // Per-cycle step weight of this unit, counted from the plan.
+      uint64_t weight = 0;
+      for (int64_t pos = 0; pos < plan.cycle_length(); ++pos) {
+        if (plan.UnitAt(pos) == unit) {
+          weight += catalog.UnitBytes(unit);
+        }
+      }
+      weighted_load[static_cast<size_t>(owner)] += weight;
+      modulo_load[static_cast<size_t>(unit.part % workers)] += weight;
+    }
+    EXPECT_EQ(assigned, catalog.AllUnits().size());
+
+    // The balance criterion the planner optimizes: max/mean load ratio no
+    // worse than part % N's on the skewed store (strictly better when the
+    // skew is this extreme).
+    const auto ratio = [](const std::vector<uint64_t>& load) {
+      uint64_t max = 0, sum = 0;
+      for (uint64_t l : load) {
+        max = std::max(max, l);
+        sum += l;
+      }
+      return static_cast<double>(max) * static_cast<double>(load.size()) /
+             static_cast<double>(sum);
+    };
+    EXPECT_LT(ratio(weighted_load), ratio(modulo_load))
+        << workers << " workers";
+  }
+}
+
+TEST(DistributedPlanTest, OwnershipFingerprintPinsFleetAndWeights) {
+  const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kModeCentric);
+  const DistributedPlan two_a(&plan, kRank, 2);
+  const DistributedPlan two_b(&plan, kRank, 2);
+  const DistributedPlan three(&plan, kRank, 3);
+  // Deterministic (the resume contract), never the 0 "not recorded"
+  // sentinel, and sensitive to fleet size.
+  EXPECT_NE(two_a.ownership_fingerprint(), 0u);
+  EXPECT_EQ(two_a.ownership_fingerprint(), two_b.ownership_fingerprint());
+  EXPECT_NE(two_a.ownership_fingerprint(), three.ownership_fingerprint());
+  // And to the unit weights: a skewed grid with the same fleet size maps
+  // differently.
+  auto skewed = GridPartition::Create(Shape({40, 24, 24}), {1, 4, 4});
+  ASSERT_TRUE(skewed.ok());
+  const ExecutionPlan skewed_plan =
+      BuildPlan(*skewed, ScheduleType::kModeCentric);
+  const DistributedPlan skewed_two(&skewed_plan, kRank, 2);
+  EXPECT_NE(skewed_two.ownership_fingerprint(),
+            two_a.ownership_fingerprint());
 }
 
 TEST(DistributedPlanTest, PersistBytesCountEachOwnedUpdatedUnitOnce) {
@@ -276,6 +356,44 @@ TEST(SimulateClusterTest, PerViFiguresAreCycleTotalsRescaled) {
     EXPECT_GT(slow_costs[static_cast<size_t>(w)].transfer_seconds_per_vi,
               costs[static_cast<size_t>(w)].transfer_seconds_per_vi);
   }
+}
+
+TEST(SimulateClusterTest, OverlapPricingHidesDeferredRelayTime) {
+  // Block-centric schedules produce singleton waves whose relays the
+  // liveness analysis can defer — the overlap model must find hidden
+  // time there, and pipelined wall-clock must never exceed barrier.
+  const GridPartition grid = GridPartition::Uniform(Shape({24, 24, 24}), 4);
+  const ExecutionPlan plan = BuildPlan(grid, ScheduleType::kFiberOrder);
+  const DistributedPlan dplan(&plan, kRank, 2);
+  const UnitCatalog catalog(grid, kRank);
+
+  ClusterSimConfig config;
+  config.num_workers = 2;
+  config.buffer_bytes = catalog.TotalBytes();
+  // A slow link makes the relay the dominant cost, so hiding it matters.
+  config.link.bandwidth_bytes_per_second = 1e6;
+  const ClusterOverlapCost cost =
+      SimulateClusterOverlap(dplan, kRank, config);
+  EXPECT_EQ(cost.num_workers, 2);
+  EXPECT_GT(cost.barrier_seconds_per_vi, 0.0);
+  EXPECT_GT(cost.pipelined_seconds_per_vi, 0.0);
+  EXPECT_LE(cost.pipelined_seconds_per_vi, cost.barrier_seconds_per_vi);
+  EXPECT_DOUBLE_EQ(
+      cost.hidden_seconds_per_vi,
+      cost.barrier_seconds_per_vi - cost.pipelined_seconds_per_vi);
+  EXPECT_GT(cost.overlapped_bytes_per_vi, 0.0);
+  EXPECT_GT(cost.hidden_seconds_per_vi, 0.0);
+  // The line the plan subcommand greps for.
+  EXPECT_NE(cost.ToString().find("cluster-overlap:"), std::string::npos);
+
+  // Mode-centric waves keep every worker busy in every wave, so nothing
+  // is deferrable: the pipeline degenerates to the barrier exactly.
+  const ExecutionPlan mc_plan = BuildPlan(grid, ScheduleType::kModeCentric);
+  const DistributedPlan mc_dplan(&mc_plan, kRank, 2);
+  const ClusterOverlapCost mc_cost =
+      SimulateClusterOverlap(mc_dplan, kRank, config);
+  EXPECT_DOUBLE_EQ(mc_cost.overlapped_bytes_per_vi, 0.0);
+  EXPECT_DOUBLE_EQ(mc_cost.hidden_seconds_per_vi, 0.0);
 }
 
 }  // namespace

@@ -83,8 +83,8 @@ GridPartition TestGrid() {
 /// Generates the synthetic input tensor into `env` and runs Phase 1, so
 /// the factor store at "f" holds the block factors every Phase-2 variant
 /// starts from. Deterministic: two envs prepared this way are identical.
-void PreparePhase1Store(Env* env, const TwoPhaseCpOptions& options) {
-  const GridPartition grid = TestGrid();
+void PreparePhase1Store(Env* env, const TwoPhaseCpOptions& options,
+                        const GridPartition& grid = TestGrid()) {
   BlockTensorStore input(env, "t", grid);
   LowRankSpec spec;
   spec.shape = grid.tensor_shape();
@@ -100,11 +100,12 @@ void PreparePhase1Store(Env* env, const TwoPhaseCpOptions& options) {
 /// Uninterrupted single-process reference run in its own env.
 OpenedEnv RunEngineReference(const std::string& root,
                              const TwoPhaseCpOptions& options,
-                             Phase2Result* reference) {
+                             Phase2Result* reference,
+                             const GridPartition& grid = TestGrid()) {
   auto env = OpenEnv("posix://" + ::testing::TempDir() + root);
   EXPECT_TRUE(env.ok()) << env.status().ToString();
-  PreparePhase1Store(env->get(), options);
-  BlockFactorStore factors(env->get(), "f", TestGrid(), options.rank);
+  PreparePhase1Store(env->get(), options, grid);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
   Phase2Engine engine(&factors, options);
   EXPECT_TRUE(engine.Run(reference).ok());
   return std::move(*env);
@@ -160,8 +161,8 @@ std::function<Status(int, int)> SpawnInProcess(WorkerFleet* fleet, Env* env,
   };
 }
 
-void ExpectFactorsBitIdentical(Env* lhs_env, Env* rhs_env, int64_t rank) {
-  const GridPartition grid = TestGrid();
+void ExpectFactorsBitIdentical(Env* lhs_env, Env* rhs_env, int64_t rank,
+                               const GridPartition& grid = TestGrid()) {
   BlockFactorStore lhs(lhs_env, "f", grid, rank);
   BlockFactorStore rhs(rhs_env, "f", grid, rank);
   for (int mode = 0; mode < grid.num_modes(); ++mode) {
@@ -212,19 +213,20 @@ bool LogsContain(const std::vector<std::string>& logs,
 
 /// The plan both the engine and the coordinator derive from `options` —
 /// rebuilt here so tests can reason about positions and fingerprints.
-ExecutionPlan PlanFor(const TwoPhaseCpOptions& options) {
-  const GridPartition grid = TestGrid();
+ExecutionPlan PlanFor(const TwoPhaseCpOptions& options,
+                      const GridPartition& grid = TestGrid()) {
   return Planner::Build(UpdateSchedule::Create(options.schedule, grid),
                         Phase2PlannerOptions(options, grid));
 }
 
 /// First plan position in the second virtual iteration owned by worker 1
-/// of a 2-worker fleet (part % 2 == 1) — a mid-wave crash point *after*
-/// the vi-0 checkpoint exists.
-int64_t CrashPosInSecondVi(const ExecutionPlan& plan) {
+/// of a 2-worker fleet (per the weighted ownership map) — a mid-wave
+/// crash point *after* the vi-0 checkpoint exists.
+int64_t CrashPosInSecondVi(const ExecutionPlan& plan, int64_t rank) {
+  const DistributedPlan dplan(&plan, rank, 2);
   const int64_t vi_len = plan.virtual_iteration_length();
   for (int64_t pos = vi_len; pos < 2 * vi_len; ++pos) {
-    if (plan.UnitAt(pos).part % 2 == 1) return pos;
+    if (dplan.OwnerAt(pos) == 1) return pos;
   }
   return -1;
 }
@@ -299,7 +301,7 @@ TEST(DistPhase2Test, WorkerCrashMidWaveFailsCleanAndResumesBitIdentical) {
   // iteration — after the vi-0 checkpoint exists, in the middle of a wave.
   const ExecutionPlan plan = PlanFor(options);
   const int64_t vi_len = plan.virtual_iteration_length();
-  const int64_t crash_pos = CrashPosInSecondVi(plan);
+  const int64_t crash_pos = CrashPosInSecondVi(plan, options.rank);
   ASSERT_GE(crash_pos, 0) << "worker 1 owns nothing in vi 1?";
 
   const GridPartition grid = TestGrid();
@@ -364,7 +366,7 @@ TEST(DistPhase2Test, SupervisorRespawnsCrashedWorkerInRunBitIdentical) {
       RunEngineReference("dist_respawn_ref", options, &reference);
 
   const ExecutionPlan plan = PlanFor(options);
-  const int64_t crash_pos = CrashPosInSecondVi(plan);
+  const int64_t crash_pos = CrashPosInSecondVi(plan, options.rank);
   ASSERT_GE(crash_pos, 0);
 
   const GridPartition grid = TestGrid();
@@ -417,7 +419,7 @@ TEST(DistPhase2Test, SupervisorDegradesToSmallerFleetBitIdentical) {
       RunEngineReference("dist_shrink_ref", options, &reference);
 
   const ExecutionPlan plan = PlanFor(options);
-  const int64_t crash_pos = CrashPosInSecondVi(plan);
+  const int64_t crash_pos = CrashPosInSecondVi(plan, options.rank);
   ASSERT_GE(crash_pos, 0);
 
   const GridPartition grid = TestGrid();
@@ -694,6 +696,294 @@ TEST(DistPhase2Test, DeadAbsorbPruningShrinksLedgerAndPreservesMath) {
   EXPECT_EQ(measured_down, live_down);
   EXPECT_LT(measured_down, unpruned_down)
       << "fiber-order run relayed every image — pruning did nothing";
+}
+
+/// Fiber-order options: singleton waves whose live images the liveness
+/// analysis can actually defer — mode-centric waves keep every worker
+/// busy every wave, so overlap would be a trivial no-op there.
+TwoPhaseCpOptions OverlapOptions() {
+  TwoPhaseCpOptions options = DistOptions();
+  options.schedule = ScheduleType::kFiberOrder;
+  options.max_virtual_iterations = 2;
+  return options;
+}
+
+TEST(DistPhase2Test, OverlapPipelineBitIdenticalAndExactLedger) {
+  const TwoPhaseCpOptions options = OverlapOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_overlap_ref", options, &reference);
+  const GridPartition grid = TestGrid();
+
+  for (const int workers : {2, 4}) {
+    for (const bool overlap : {false, true}) {
+      SCOPED_TRACE(std::to_string(workers) + " workers, overlap " +
+                   (overlap ? "on" : "off"));
+      const std::string root = ::testing::TempDir() + "dist_overlap_w" +
+                               std::to_string(workers) +
+                               (overlap ? "_on" : "_off");
+      auto env = OpenEnv("posix://" + root);
+      ASSERT_TRUE(env.ok()) << env.status().ToString();
+      PreparePhase1Store(env->get(), options);
+      BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+      WorkerFleet fleet;
+      DistributedRunOptions dopts;
+      dopts.num_workers = workers;
+      dopts.overlap = overlap;
+      dopts.spawn_worker = SpawnInProcess(&fleet, env->get());
+      DistributedRunResult result;
+      const Status status =
+          RunDistributedPhase2(&factors, options, dopts, &result);
+      fleet.Join();
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      for (const Status& worker_status : fleet.statuses) {
+        EXPECT_TRUE(worker_status.ok()) << worker_status.ToString();
+      }
+
+      // The pipeline is pure latency hiding: identical math, identical
+      // wire ledger — only the telemetry shows the deferral happened.
+      ExpectPhase2Equal(result.phase2, reference);
+      ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+      ExpectLedgerExact(result);
+      if (overlap) {
+        EXPECT_GT(result.overlapped_bytes, 0u)
+            << "fiber-order run deferred nothing — the pipeline idled";
+        EXPECT_GE(result.hidden_seconds, 0.0);
+      } else {
+        EXPECT_EQ(result.overlapped_bytes, 0u);
+        EXPECT_EQ(result.hidden_seconds, 0.0);
+      }
+    }
+  }
+}
+
+TEST(DistPhase2Test, OverlapSupervisorRecoveryBitIdentical) {
+  // A worker dies mid-pipelined-wave (deferred relays in flight): the
+  // supervisor must tear down, roll the ledger — including the overlap
+  // telemetry — back to the vi-0 checkpoint, and replay byte-identically.
+  const TwoPhaseCpOptions options = OverlapOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_overlap_crash_ref", options, &reference);
+
+  const ExecutionPlan plan = PlanFor(options);
+  // Strictly past the first step of vi 1: fiber-order waves are
+  // singletons, so a crash at vi 1's very first step would waste nothing
+  // — at least one committed-then-rolled-back step must precede it.
+  const DistributedPlan dplan(&plan, options.rank, 2);
+  const int64_t vi_len = plan.virtual_iteration_length();
+  int64_t crash_pos = -1;
+  for (int64_t pos = vi_len + 1; pos < 2 * vi_len; ++pos) {
+    if (dplan.OwnerAt(pos) == 1) {
+      crash_pos = pos;
+      break;
+    }
+  }
+  ASSERT_GE(crash_pos, 0);
+
+  const GridPartition grid = TestGrid();
+  auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_overlap_crash");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+  WorkerFleet fleet;
+  SpawnFaults faults;
+  faults.crash_worker = 1;
+  faults.crash_at_step = crash_pos;  // first spawn only
+  std::vector<std::string> logs;
+  DistributedRunOptions dopts;
+  dopts.num_workers = 2;
+  dopts.overlap = true;
+  dopts.heartbeat_ms = 100;
+  dopts.spawn_worker = SpawnInProcess(&fleet, env->get(), faults);
+  dopts.log = [&logs](const std::string& line) { logs.push_back(line); };
+  DistributedRunResult result;
+  const Status status =
+      RunDistributedPhase2(&factors, options, dopts, &result);
+  fleet.Join();
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(result.respawns, 1);
+  EXPECT_EQ(result.degrades, 0);
+  EXPECT_GT(result.wasted_bytes, 0u);
+  EXPECT_GT(result.overlapped_bytes, 0u);
+  EXPECT_TRUE(LogsContain(logs, "respawning fleet of 2"));
+
+  ExpectPhase2Equal(result.phase2, reference);
+  ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+  ExpectLedgerExact(result);
+}
+
+TEST(DistPhase2Test, OverlapChaosDisconnectMidRelayRecoversExactly) {
+  // A disconnect landing while the previous wave's deferred image set is
+  // mid-relay: the half-relayed bytes were already counted on the wire,
+  // so the rollback must move exactly them (plus the rest of the attempt
+  // past its checkpoint) into wasted_bytes, keeping the committed ledger
+  // exact — and the replay must stay bit-identical.
+  const TwoPhaseCpOptions options = OverlapOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_overlap_chaos_ref", options, &reference);
+  const GridPartition grid = TestGrid();
+
+  auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_overlap_chaos");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
+
+  WorkerFleet fleet;
+  SpawnFaults faults;
+  faults.chaos_worker = 1;
+  // Worker-1 recv frames: 0 init, then waves and relayed absorbs. Under
+  // overlap on fiber-order, the absorbs arriving while a wave computes
+  // are exactly the deferred ones — index 8 lands the disconnect in that
+  // stream, mid-run.
+  faults.chaos.events.push_back(
+      {ChaosEvent::Op::kDisconnect, ChaosEvent::Dir::kRecv, 8, 0});
+  std::vector<std::string> logs;
+  DistributedRunOptions dopts;
+  dopts.num_workers = 2;
+  dopts.overlap = true;
+  dopts.heartbeat_ms = 100;
+  dopts.accept_timeout_ms = 1500;
+  dopts.spawn_worker = SpawnInProcess(&fleet, env->get(), faults);
+  dopts.log = [&logs](const std::string& line) { logs.push_back(line); };
+  DistributedRunResult result;
+  const Status status =
+      RunDistributedPhase2(&factors, options, dopts, &result);
+  fleet.Join();
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(result.respawns, 1);
+  EXPECT_TRUE(LogsContain(logs, "respawning fleet"));
+  // The severed attempt had relayed bytes (possibly half an image set);
+  // they rolled into wasted_bytes, not the committed ledger.
+  EXPECT_GT(result.wasted_bytes, 0u);
+  EXPECT_GT(result.overlapped_bytes, 0u);
+
+  ExpectPhase2Equal(result.phase2, reference);
+  ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+  ExpectLedgerExact(result);
+}
+
+TEST(DistPhase2Test, ResumeUnderDifferentOwnershipMapIsRejected) {
+  const TwoPhaseCpOptions options = DistOptions();
+
+  // Crash an unsupervised 2-worker run after the vi-0 checkpoint: the
+  // manifest now records the 2-worker ownership fingerprint.
+  const ExecutionPlan plan = PlanFor(options);
+  const int64_t crash_pos = CrashPosInSecondVi(plan, options.rank);
+  ASSERT_GE(crash_pos, 0);
+
+  const GridPartition grid = TestGrid();
+  auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_own_resume");
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  PreparePhase1Store(env->get(), options);
+  BlockFactorStore factors(env->get(), "f", grid, options.rank);
+  {
+    WorkerFleet fleet;
+    SpawnFaults faults;
+    faults.crash_worker = 1;
+    faults.crash_at_step = crash_pos;
+    DistributedRunOptions dopts;
+    dopts.num_workers = 2;
+    dopts.max_respawns = 0;
+    dopts.degrade = DegradeMode::kOff;
+    dopts.spawn_worker = SpawnInProcess(&fleet, env->get(), faults);
+    DistributedRunResult result;
+    ASSERT_FALSE(
+        RunDistributedPhase2(&factors, options, dopts, &result).ok());
+    fleet.Join();
+  }
+  auto manifest = ReadManifest(env->get(), "f");
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(manifest->checkpoint.has_value());
+  EXPECT_NE(manifest->checkpoint->ownership_fingerprint, 0u);
+
+  // Resuming with a different fleet size would replay the cursor against
+  // a different ownership map: rejected before any worker spawns.
+  TwoPhaseCpOptions resume_options = options;
+  resume_options.resume_phase2 = true;
+  {
+    WorkerFleet fleet;
+    DistributedRunOptions dopts;
+    dopts.num_workers = 3;
+    dopts.spawn_worker = SpawnInProcess(&fleet, env->get());
+    DistributedRunResult result;
+    const Status status =
+        RunDistributedPhase2(&factors, resume_options, dopts, &result);
+    fleet.Join();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+        << status.ToString();
+    EXPECT_NE(status.ToString().find("ownership"), std::string::npos)
+        << status.ToString();
+  }
+
+  // The original fleet size picks the checkpoint up and finishes
+  // bit-identically to an uninterrupted run.
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_own_resume_ref", options, &reference);
+  {
+    WorkerFleet fleet;
+    DistributedRunOptions dopts;
+    dopts.num_workers = 2;
+    dopts.spawn_worker = SpawnInProcess(&fleet, env->get());
+    DistributedRunResult result;
+    const Status status =
+        RunDistributedPhase2(&factors, resume_options, dopts, &result);
+    fleet.Join();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(result.phase2.start_iteration, 1);
+    EXPECT_EQ(result.phase2.surrogate_fit, reference.surrogate_fit);
+    EXPECT_EQ(result.phase2.fit_trace, reference.fit_trace);
+  }
+  ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank);
+}
+
+TEST(DistPhase2Test, SkewedStoreFleetSizesBitIdentical) {
+  // One giant part: mode 0 is a single unit spanning twice the dim, so
+  // part % N would pile its every step *and* every part-0 step onto
+  // worker 0. The weighted map spreads the rest; the math must not care
+  // either way, for 2 and 4 workers, overlap on.
+  auto skew = GridPartition::Create(Shape({2 * kDim, kDim, kDim}),
+                                    {1, kParts, kParts});
+  ASSERT_TRUE(skew.ok()) << skew.status().ToString();
+  TwoPhaseCpOptions options = OverlapOptions();
+
+  Phase2Result reference;
+  OpenedEnv ref_env =
+      RunEngineReference("dist_skew_ref", options, &reference, *skew);
+
+  for (const int workers : {2, 4}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    auto env = OpenEnv("posix://" + ::testing::TempDir() + "dist_skew_w" +
+                       std::to_string(workers));
+    ASSERT_TRUE(env.ok()) << env.status().ToString();
+    PreparePhase1Store(env->get(), options, *skew);
+    BlockFactorStore factors(env->get(), "f", *skew, options.rank);
+
+    WorkerFleet fleet;
+    DistributedRunOptions dopts;
+    dopts.num_workers = workers;
+    dopts.overlap = true;
+    dopts.spawn_worker = SpawnInProcess(&fleet, env->get());
+    DistributedRunResult result;
+    const Status status =
+        RunDistributedPhase2(&factors, options, dopts, &result);
+    fleet.Join();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ExpectPhase2Equal(result.phase2, reference);
+    ExpectFactorsBitIdentical(ref_env.get(), env->get(), options.rank,
+                              *skew);
+    ExpectLedgerExact(result);
+  }
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ TEST(StoreManifestTest, GarbageIsCorruption) {
 }
 
 TEST(StoreManifestTest, NewerVersionIsIncompatibleNotCorrupt) {
-  auto parsed = StoreManifest::Parse("tpcp-manifest 5\nkind tensor\n");
+  auto parsed = StoreManifest::Parse("tpcp-manifest 6\nkind tensor\n");
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -142,6 +142,42 @@ TEST(StoreManifestTest, PlanFingerprintRoundTripsAndV2Defaults) {
   EXPECT_TRUE(v2_plan.status().IsCorruption());
 }
 
+TEST(StoreManifestTest, OwnershipFingerprintRoundTripsAndV4Defaults) {
+  // v5 serializes the dist ownership-map fingerprint bit for bit.
+  StoreManifest manifest;
+  manifest.kind = StoreManifest::kFactorsKind;
+  manifest.grid = TestGrid();
+  manifest.rank = 3;
+  Phase2Checkpoint ckpt;
+  ckpt.schedule = "mc";
+  ckpt.iteration = 1;
+  ckpt.cursor = 7;
+  ckpt.fit_trace = {0.5};
+  ckpt.ownership_fingerprint = 0x0123456789abcdefull;
+  manifest.checkpoint = ckpt;
+  auto parsed = StoreManifest::Parse(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->checkpoint.has_value());
+  EXPECT_EQ(parsed->checkpoint->ownership_fingerprint,
+            0x0123456789abcdefull);
+
+  // A v4 checkpoint (single-process era) parses with "not recorded" (0).
+  auto v4 = StoreManifest::Parse(
+      "tpcp-manifest 4\nkind factors\nshape 4 4\nparts 2 2\nrank 2\n"
+      "ckpt_schedule zo\nckpt_iteration 1\nckpt_cursor 4\nckpt_fit 0.5\n");
+  ASSERT_TRUE(v4.ok()) << v4.status().ToString();
+  ASSERT_TRUE(v4->checkpoint.has_value());
+  EXPECT_EQ(v4->checkpoint->ownership_fingerprint, 0u);
+
+  // The ckpt_ownership vocabulary did not exist at version 4.
+  auto v4_own = StoreManifest::Parse(
+      "tpcp-manifest 4\nkind factors\nshape 4 4\nparts 2 2\nrank 2\n"
+      "ckpt_schedule zo\nckpt_iteration 0\nckpt_cursor 0\n"
+      "ckpt_ownership 7\nckpt_fit\n");
+  ASSERT_FALSE(v4_own.ok());
+  EXPECT_TRUE(v4_own.status().IsCorruption());
+}
+
 TEST(StoreManifestTest, CheckpointRoundTrip) {
   StoreManifest manifest;
   manifest.kind = StoreManifest::kFactorsKind;
@@ -208,7 +244,7 @@ TEST(StoreManifestTest, MalformedCheckpointIsCorruption) {
 
 TEST(BlockTensorStoreManifestTest, NewerManifestIsNeverClobbered) {
   auto env = NewMemEnv();
-  const std::string future = "tpcp-manifest 5\nkind tensor\nfrobnicate 7\n";
+  const std::string future = "tpcp-manifest 6\nkind tensor\nfrobnicate 7\n";
   ASSERT_TRUE(env->WriteFile("t/MANIFEST", future).ok());
   auto opened = BlockTensorStore::Open(env.get(), "t");
   ASSERT_FALSE(opened.ok());

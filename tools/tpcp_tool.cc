@@ -28,13 +28,17 @@
 //       conflict-aware reordering — without decomposing anything. Every
 //       line is prefixed "plan:" so CI can grep it. With --workers=N the
 //       cluster simulator additionally prints per-worker ownership
-//       ("dist:" lines) and predicted swaps / exchange bytes / transfer
+//       ("dist:" lines), predicted swaps / exchange bytes / transfer
 //       seconds per virtual iteration ("cluster:" lines;
-//       --link-latency-us and --link-bandwidth-mbps set the link price).
+//       --link-latency-us and --link-bandwidth-mbps set the link price)
+//       and the overlapped-vs-barrier wall-clock ("cluster-overlap:").
+//       --workers=auto instead searches N=1..8 and prints one
+//       "cluster-auto:" row per N plus the chosen fleet size
+//       (--overlap=on picks by pipelined wall-clock, off by barrier).
 //
 //   tpcp_tool dist      <dir|uri> <rank> [decompose options] [--workers=N]
 //                       [--heartbeat-ms=1000] [--max-respawns=2]
-//                       [--degrade=off|shrink|single]
+//                       [--degrade=off|shrink|single] [--overlap=on|off]
 //       Distributed Phase 2: runs Phase 1 in-process, then spawns N local
 //       worker processes (re-exec'ing this binary as `dist-worker`) and
 //       drives them through the wave protocol (dist/coordinator.h).
@@ -43,9 +47,11 @@
 //       via heartbeats, respawned from the last checkpoint up to
 //       --max-respawns times, then the run degrades per --degrade (shed
 //       the worker, or finish in-process); recovery lines print to
-//       stdout ("dist: worker N failed ..."). Needs a store worker
-//       processes can open — not mem://. `dist-worker` is the internal
-//       worker entry point.
+//       stdout ("dist: worker N failed ..."). --overlap=on pipelines the
+//       wave relay into the next wave's compute window (bit-identical
+//       output; the hidden relay volume prints as an "overlap:" line).
+//       Needs a store worker processes can open — not mem://.
+//       `dist-worker` is the internal worker entry point.
 //
 //   tpcp_tool simulate  <parts> <buffer-fraction>
 //       Prints the exact per-virtual-iteration swap table for a cubic grid
@@ -153,11 +159,13 @@ int Usage(const char* argv0) {
       "[buffer-fraction=0.5]\n"
       "             [--plan-reorder] [--reorder-window=0] "
       "[--shard-blocks=0]\n"
-      "             [--prefetch-depth=0] [--plan-waves=8] [--workers=0]\n"
-      "             [--link-latency-us=100] [--link-bandwidth-mbps=1250]\n"
+      "             [--prefetch-depth=0] [--plan-waves=8] "
+      "[--workers=0|N|auto]\n"
+      "             [--link-latency-us=100] [--link-bandwidth-mbps=1250] "
+      "[--overlap=on|off]\n"
       "  %s dist      <dir|uri> <rank> [decompose options] [--workers=2]\n"
       "              [--heartbeat-ms=1000] [--max-respawns=2]"
-      " [--degrade=off|shrink|single]\n"
+      " [--degrade=off|shrink|single] [--overlap=on|off]\n"
       "  %s simulate  <parts> <buffer-fraction>\n"
       "  %s solvers\n"
       "schedules: %s   policies: %s\n",
@@ -583,10 +591,29 @@ int Plan(int argc, char** argv) {
     std::fprintf(stderr, "--plan-waves expects a non-negative integer\n");
     return 2;
   }
+  // --workers=auto searches fleet sizes with the overlap-aware simulator
+  // instead of pricing one explicit N.
+  bool workers_auto = false;
+  if (auto it = args.flags.find("workers");
+      it != args.flags.end() && it->second == "auto") {
+    workers_auto = true;
+    args.flags.erase(it);
+  }
   const int64_t workers = peel_int("workers", 0, 0);
   if (workers < 0 || workers > 64) {
-    std::fprintf(stderr, "--workers expects an integer in [0, 64]\n");
+    std::fprintf(stderr, "--workers expects an integer in [0, 64] or "
+                 "'auto'\n");
     return 2;
+  }
+  bool plan_overlap = false;
+  if (auto it = args.flags.find("overlap"); it != args.flags.end()) {
+    if (it->second == "on") {
+      plan_overlap = true;
+    } else if (it->second != "off") {
+      std::fprintf(stderr, "--overlap expects on or off\n");
+      return 2;
+    }
+    args.flags.erase(it);
   }
   const int64_t link_latency_us = peel_int("link-latency-us", 100, 0);
   const int64_t link_bandwidth_mbps = peel_int("link-bandwidth-mbps", 1250, 1);
@@ -622,25 +649,56 @@ int Plan(int argc, char** argv) {
               HumanBytes(UnitCatalog(grid, options.rank).TotalBytes())
                   .c_str());
   std::fputs(plan.Summary(plan_waves).c_str(), stdout);
+  ClusterSimConfig csim;
+  csim.policy = options.policy;
+  csim.buffer_bytes = planner_options.buffer_bytes;
+  csim.victim_hints = options.policy_victim_hints;
+  csim.link.latency_seconds = static_cast<double>(link_latency_us) * 1e-6;
+  csim.link.bandwidth_bytes_per_second =
+      static_cast<double>(link_bandwidth_mbps) * 1e6;
+  csim.overlap = plan_overlap;
   if (workers > 0) {
     // Cluster view: ownership split plus the simulator's predicted
     // per-worker swaps, exchange bytes and link-priced transfer time.
     const DistributedPlan dplan(&plan, options.rank,
                                 static_cast<int>(workers));
     std::fputs(dplan.Summary().c_str(), stdout);
-    ClusterSimConfig csim;
     csim.num_workers = static_cast<int>(workers);
-    csim.policy = options.policy;
-    csim.buffer_bytes = planner_options.buffer_bytes;
-    csim.victim_hints = options.policy_victim_hints;
-    csim.link.latency_seconds =
-        static_cast<double>(link_latency_us) * 1e-6;
-    csim.link.bandwidth_bytes_per_second =
-        static_cast<double>(link_bandwidth_mbps) * 1e6;
     for (const ClusterWorkerCost& cost :
          SimulateCluster(dplan, options.rank, csim)) {
       std::printf("%s\n", cost.ToString().c_str());
     }
+    std::printf("%s\n",
+                SimulateClusterOverlap(dplan, options.rank, csim)
+                    .ToString()
+                    .c_str());
+  } else if (workers_auto) {
+    // Fleet-size search: price every N, pick the cheapest per-vi
+    // wall-clock (pipelined when --overlap=on, barrier otherwise).
+    // N=1 is the degenerate single-worker fleet — the comparison floor.
+    int best = 0;
+    double best_seconds = 0.0;
+    for (int n = 1; n <= 8; ++n) {
+      const DistributedPlan dplan(&plan, options.rank, n);
+      csim.num_workers = n;
+      const ClusterOverlapCost cost =
+          SimulateClusterOverlap(dplan, options.rank, csim);
+      const double seconds = plan_overlap ? cost.pipelined_seconds_per_vi
+                                          : cost.barrier_seconds_per_vi;
+      std::printf("cluster-auto: workers=%d barrier_s/vi=%.6f "
+                  "pipelined_s/vi=%.6f hidden_s/vi=%.6f\n",
+                  n, cost.barrier_seconds_per_vi,
+                  cost.pipelined_seconds_per_vi,
+                  cost.hidden_seconds_per_vi);
+      if (best == 0 || seconds < best_seconds) {
+        best = n;
+        best_seconds = seconds;
+      }
+    }
+    std::printf("cluster-auto: chosen workers=%d predicted_s/vi=%.6f "
+                "(%s)\n",
+                best, best_seconds,
+                plan_overlap ? "pipelined" : "barrier");
   }
   return 0;
 }
@@ -1160,6 +1218,16 @@ int Dist(int argc, char** argv) {
     degrade = *parsed;
     args.flags.erase(it);
   }
+  bool overlap = false;
+  if (auto it = args.flags.find("overlap"); it != args.flags.end()) {
+    if (it->second == "on") {
+      overlap = true;
+    } else if (it->second != "off") {
+      std::fprintf(stderr, "--overlap expects on or off\n");
+      return 2;
+    }
+    args.flags.erase(it);
+  }
   DecomposeConfig config;
   if (!ParseDecomposeConfig(args, &config)) return 2;
   TwoPhaseCpOptions& options = config.options;
@@ -1215,6 +1283,7 @@ int Dist(int argc, char** argv) {
   dopts.heartbeat_ms = static_cast<int>(heartbeat_ms);
   dopts.max_respawns = static_cast<int>(max_respawns);
   dopts.degrade = degrade;
+  dopts.overlap = overlap;
   // Recovery lines go to stdout so harnesses (the CI chaos-smoke job) can
   // grep for "respawning" / "degrading".
   dopts.log = [](const std::string& line) {
@@ -1293,6 +1362,12 @@ int Dist(int argc, char** argv) {
                 "%s wasted\n",
                 dist.respawns, dist.degrades, finish.c_str(),
                 HumanBytes(dist.wasted_bytes).c_str());
+  }
+  if (overlap) {
+    std::printf("  overlap: relayed %s inside compute windows (hid "
+                "%.3fs)\n",
+                HumanBytes(dist.overlapped_bytes).c_str(),
+                dist.hidden_seconds);
   }
   for (int w = 0; w < dopts.num_workers; ++w) {
     const WorkerTraffic& t = dist.measured[static_cast<size_t>(w)];
